@@ -1,0 +1,184 @@
+/// \file bench_e10_extensions.cc
+/// \brief E10 — ablations for the extension subsystems DESIGN.md calls out:
+///
+///  (a) merging session windows vs. tumbling windows (the cost of data-
+///      driven window merging, §4.1.3's richer variants);
+///  (b) CEP selection policies (strict / skip-till-next / skip-till-any):
+///      partial-run state and match counts, §6;
+///  (c) why-provenance overhead: annotated vs. plain evaluation, §7.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cep/pattern.h"
+#include "cql/provenance.h"
+#include "dataflow/executor.h"
+#include "dataflow/operators.h"
+#include "dataflow/session_operator.h"
+#include "dataflow/window_operator.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+constexpr size_t kTransactions = 8000;
+
+TransactionWorkload& Workload() {
+  static TransactionWorkload w =
+      MakeTransactionWorkload(kTransactions, 64, 0.9, 500.0, 0, 99);
+  return w;
+}
+
+void BM_TumblingWindows(benchmark::State& state) {
+  TransactionWorkload& w = Workload();
+  size_t results = 0;
+  for (auto _ : state) {
+    WindowedAggregateConfig cfg;
+    cfg.assigner = std::make_shared<TumblingWindowAssigner>(32);
+    cfg.key_indexes = {1};
+    cfg.aggs.push_back({AggregateKind::kSum, Col(2), "s"});
+    auto g = std::make_unique<DataflowGraph>();
+    NodeId src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+    NodeId win = g->AddNode(
+        std::make_unique<WindowedAggregateOperator>("win", std::move(cfg)));
+    auto* counter = new CountingSinkOperator("sink");
+    NodeId sink = g->AddNode(std::unique_ptr<Operator>(counter));
+    (void)g->Connect(src, win);
+    (void)g->Connect(win, sink);
+    PipelineExecutor exec(std::move(g));
+    for (const auto& e : w.transactions) {
+      if (e.is_record()) {
+        benchmark::DoNotOptimize(exec.PushRecord(src, e.tuple, e.timestamp));
+      }
+    }
+    benchmark::DoNotOptimize(
+        exec.PushWatermark(src, w.transactions.MaxTimestamp() + 64));
+    results = counter->count();
+  }
+  state.SetLabel("tumbling (stateless assignment)");
+  state.counters["results"] = static_cast<double>(results);
+  SetPerItemMicros(state, static_cast<double>(kTransactions));
+}
+BENCHMARK(BM_TumblingWindows);
+
+void BM_SessionWindows(benchmark::State& state) {
+  TransactionWorkload& w = Workload();
+  size_t results = 0;
+  for (auto _ : state) {
+    SessionAggregateConfig cfg;
+    cfg.gap = state.range(0);
+    cfg.key_indexes = {1};
+    cfg.aggs.push_back({AggregateKind::kSum, Col(2), "s"});
+    auto g = std::make_unique<DataflowGraph>();
+    NodeId src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+    NodeId win = g->AddNode(
+        std::make_unique<SessionWindowOperator>("session", std::move(cfg)));
+    auto* counter = new CountingSinkOperator("sink");
+    NodeId sink = g->AddNode(std::unique_ptr<Operator>(counter));
+    (void)g->Connect(src, win);
+    (void)g->Connect(win, sink);
+    PipelineExecutor exec(std::move(g));
+    size_t i = 0;
+    for (const auto& e : w.transactions) {
+      if (!e.is_record()) continue;
+      benchmark::DoNotOptimize(exec.PushRecord(src, e.tuple, e.timestamp));
+      if (++i % 256 == 0) {
+        benchmark::DoNotOptimize(exec.PushWatermark(src, e.timestamp - 1));
+      }
+    }
+    benchmark::DoNotOptimize(exec.PushWatermark(
+        src, w.transactions.MaxTimestamp() + 10 * state.range(0)));
+    results = counter->count();
+  }
+  state.SetLabel("session (merging windows)");
+  state.counters["gap"] = static_cast<double>(state.range(0));
+  state.counters["sessions"] = static_cast<double>(results);
+  SetPerItemMicros(state, static_cast<double>(kTransactions));
+}
+BENCHMARK(BM_SessionWindows)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_CepPolicy(benchmark::State& state) {
+  TransactionWorkload& w = Workload();
+  auto policy = static_cast<ContiguityPolicy>(state.range(0));
+  uint64_t matches = 0;
+  size_t peak_runs = 0;
+  for (auto _ : state) {
+    CepPattern p;
+    p.steps.push_back({"small", Lt(Col(2), Lit(50.0))});
+    p.steps.push_back({"medium", And(Bin(BinaryOp::kGe, Col(2), Lit(50.0)),
+                                     Lt(Col(2), Lit(400.0)))});
+    p.steps.push_back({"large", Bin(BinaryOp::kGe, Col(2), Lit(400.0))});
+    p.within = 512;
+    p.key_indexes = {1};
+    p.policy = policy;
+    PatternMatcher matcher(std::move(p));
+    matches = 0;
+    peak_runs = 0;
+    size_t i = 0;
+    for (const auto& e : w.transactions) {
+      if (!e.is_record()) continue;
+      matches += matcher.Advance(e.tuple, e.timestamp)->size();
+      if (++i % 512 == 0) {
+        matcher.ExpireBefore(e.timestamp - 512);
+        peak_runs = std::max(peak_runs, matcher.PartialRuns());
+      }
+    }
+  }
+  state.SetLabel(ContiguityPolicyToString(policy));
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["peak_runs"] = static_cast<double>(peak_runs);
+  SetPerItemMicros(state, static_cast<double>(kTransactions));
+}
+BENCHMARK(BM_CepPolicy)
+    ->Arg(static_cast<int>(ContiguityPolicy::kStrictContiguity))
+    ->Arg(static_cast<int>(ContiguityPolicy::kSkipTillNext))
+    ->Arg(static_cast<int>(ContiguityPolicy::kSkipTillAny));
+
+SchemaPtr KV() {
+  return Schema::Make({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+}
+
+void BM_PlainEvaluation(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  auto join = *RelOp::Join(RelOp::Scan(0, KV()), RelOp::Scan(1, KV()),
+                           {0}, {0});
+  auto plan = *RelOp::Select(join, Gt(Col(1), Lit(int64_t{100})));
+  std::mt19937_64 rng(31);
+  std::uniform_int_distribution<int64_t> key(0, 63), val(0, 999);
+  MultisetRelation a, b;
+  for (size_t i = 0; i < rows; ++i) {
+    a.Add(Tuple({Value(key(rng)), Value(val(rng))}), 1);
+    b.Add(Tuple({Value(key(rng)), Value(val(rng))}), 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan->Eval({a, b}));
+  }
+  state.SetLabel("plain evaluation");
+  SetPerItemMicros(state, static_cast<double>(rows));
+}
+BENCHMARK(BM_PlainEvaluation)->Arg(200)->Arg(400);
+
+void BM_ProvenanceEvaluation(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  auto join = *RelOp::Join(RelOp::Scan(0, KV()), RelOp::Scan(1, KV()),
+                           {0}, {0});
+  auto plan = *RelOp::Select(join, Gt(Col(1), Lit(int64_t{100})));
+  std::mt19937_64 rng(31);
+  std::uniform_int_distribution<int64_t> key(0, 63), val(0, 999);
+  MultisetRelation a, b;
+  for (size_t i = 0; i < rows; ++i) {
+    a.Add(Tuple({Value(key(rng)), Value(val(rng))}), 1);
+    b.Add(Tuple({Value(key(rng)), Value(val(rng))}), 1);
+  }
+  std::vector<ProvenanceRelation> annotated{BaseProvenance(0, a),
+                                            BaseProvenance(1, b)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalWithProvenance(*plan, annotated));
+  }
+  state.SetLabel("why-provenance evaluation");
+  SetPerItemMicros(state, static_cast<double>(rows));
+}
+BENCHMARK(BM_ProvenanceEvaluation)->Arg(200)->Arg(400);
+
+}  // namespace
+}  // namespace cq

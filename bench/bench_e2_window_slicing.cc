@@ -1,0 +1,97 @@
+/// \file bench_e2_window_slicing.cc
+/// \brief E2 — §4.1.3: shared window-aggregation (stream slicing, as in
+/// Scotty [87]) vs. per-window recomputation.
+///
+/// Series: per-element cost and resident state of the naive buffering
+/// aggregator vs. the slicing aggregator as the overlap factor (window size
+/// / slide) grows. Expected shape: naive cost grows with the overlap factor
+/// (every element recomputed in O(size) per closing window); slicing stays
+/// flat (each element lifted once, windows combine size/slide partials);
+/// slicing state is O(size/slide) partials instead of O(size) raw elements.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "window/sliding.h"
+
+namespace cq {
+namespace {
+
+constexpr size_t kElements = 50000;
+constexpr Duration kSlide = 16;
+
+void FeedAll(WindowedAggregator* agg, size_t* peak_state) {
+  *peak_state = 0;
+  for (size_t i = 0; i < kElements; ++i) {
+    Timestamp ts = static_cast<Timestamp>(i);
+    benchmark::DoNotOptimize(
+        agg->Add(ts, Value(static_cast<int64_t>(i % 97))));
+    if (i % 256 == 255) {
+      benchmark::DoNotOptimize(agg->AdvanceWatermark(ts - 8));
+      *peak_state = std::max(*peak_state, agg->StateSize());
+    }
+  }
+  benchmark::DoNotOptimize(
+      agg->AdvanceWatermark(static_cast<Timestamp>(kElements) + 1));
+}
+
+void BM_NaivePerWindowRecompute(benchmark::State& state) {
+  const Duration overlap = state.range(0);
+  const Duration size = kSlide * overlap;
+  auto func = std::shared_ptr<AggregateFunction>(
+      AggregateFunction::Make(AggregateKind::kSum));
+  size_t peak_state = 0;
+  for (auto _ : state) {
+    auto assigner = std::make_shared<SlidingWindowAssigner>(size, kSlide);
+    NaiveWindowAggregator agg(assigner, func);
+    FeedAll(&agg, &peak_state);
+  }
+  state.counters["overlap"] = static_cast<double>(overlap);
+  state.counters["peak_state"] = static_cast<double>(peak_state);
+  SetPerItemMicros(state, static_cast<double>(kElements));
+}
+BENCHMARK(BM_NaivePerWindowRecompute)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SlicedSharedAggregation(benchmark::State& state) {
+  const Duration overlap = state.range(0);
+  const Duration size = kSlide * overlap;
+  auto func = std::shared_ptr<AggregateFunction>(
+      AggregateFunction::Make(AggregateKind::kSum));
+  size_t peak_state = 0;
+  for (auto _ : state) {
+    auto agg = std::move(SlicingWindowAggregator::Make(size, kSlide, func))
+                   .value();
+    FeedAll(agg.get(), &peak_state);
+  }
+  state.counters["overlap"] = static_cast<double>(overlap);
+  state.counters["peak_state"] = static_cast<double>(peak_state);
+  SetPerItemMicros(state, static_cast<double>(kElements));
+}
+BENCHMARK(BM_SlicedSharedAggregation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16);
+
+void BM_TwoStacksCountWindow(benchmark::State& state) {
+  // The count-based ("last N") sliding window: amortised O(1) per element
+  // regardless of N, even for the non-invertible MAX.
+  const size_t window = static_cast<size_t>(state.range(0));
+  auto func = std::shared_ptr<AggregateFunction>(
+      AggregateFunction::Make(AggregateKind::kMax));
+  for (auto _ : state) {
+    TwoStacksSlidingAggregator agg(func);
+    for (size_t i = 0; i < kElements; ++i) {
+      agg.Push(Value(static_cast<int64_t>(i % 1009)));
+      if (agg.Size() > window) agg.Pop();
+      benchmark::DoNotOptimize(agg.Query());
+    }
+  }
+  state.counters["window_n"] = static_cast<double>(window);
+  SetPerItemMicros(state, static_cast<double>(kElements));
+}
+BENCHMARK(BM_TwoStacksCountWindow)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace cq

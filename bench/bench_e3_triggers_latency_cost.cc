@@ -1,0 +1,166 @@
+/// \file bench_e3_triggers_latency_cost.cc
+/// \brief E3 — §4.1.1, the Dataflow Model [8]: triggers let a pipeline trade
+/// correctness, latency, and cost.
+///
+/// Series: for the same windowed aggregation over the same out-of-order
+/// stream, sweep the trigger/lateness configuration and report
+///   panes        — output volume (cost),
+///   mean_lat     — mean emission latency in event-time ticks, measured as
+///                  (watermark at emission) - (window end) for on-time panes
+///                  and negative for early (speculative) panes,
+///   dropped      — late elements lost (correctness).
+/// Expected shape: early triggers cut latency below zero (speculative) at
+/// the price of more panes; allowed lateness recovers late data at the price
+/// of retained state and refinement panes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "dataflow/executor.h"
+#include "dataflow/source.h"
+#include "dataflow/operators.h"
+#include "dataflow/window_operator.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+constexpr size_t kTransactions = 8000;
+constexpr Duration kWindow = 64;
+constexpr Duration kDisorder = 24;
+
+struct RunStats {
+  uint64_t panes = 0;
+  uint64_t dropped = 0;
+  double mean_latency = 0;
+};
+
+RunStats RunTriggerConfig(std::shared_ptr<TriggerFactory> trigger,
+                          Duration allowed_lateness,
+                          AccumulationMode accumulation) {
+  TransactionWorkload w =
+      MakeTransactionWorkload(kTransactions, 64, 0.8, 500.0, kDisorder, 3);
+  WindowedAggregateConfig cfg;
+  cfg.assigner = std::make_shared<TumblingWindowAssigner>(kWindow);
+  cfg.key_indexes = {1};
+  cfg.aggs.push_back({AggregateKind::kCount, nullptr, "c"});
+  cfg.trigger = std::move(trigger);
+  cfg.allowed_lateness = allowed_lateness;
+  cfg.accumulation = accumulation;
+
+  auto g = std::make_unique<DataflowGraph>();
+  NodeId src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+  auto window_op =
+      std::make_unique<WindowedAggregateOperator>("win", std::move(cfg));
+  auto* op = window_op.get();
+  NodeId win = g->AddNode(std::move(window_op));
+
+  // Latency probe: compare each pane's window end with the watermark at
+  // emission time.
+  struct Probe {
+    PipelineExecutor* exec = nullptr;
+    NodeId win_node = 0;
+    double sum_latency = 0;
+    uint64_t panes = 0;
+    uint64_t timed_panes = 0;
+  };
+  auto probe = std::make_shared<Probe>();
+  NodeId sink = g->AddNode(std::make_unique<CallbackSinkOperator>(
+      "probe", [probe](const StreamElement& e) {
+        probe->panes++;
+        Timestamp wm = probe->exec->NodeWatermark(probe->win_node);
+        // Panes fired before any watermark (pure count triggers) have no
+        // meaningful event-time latency; count them but skip the mean.
+        if (wm == kMinTimestamp) return Status::OK();
+        Timestamp window_end = e.tuple[2].int64_value();
+        probe->sum_latency += static_cast<double>(wm - window_end);
+        probe->timed_panes++;
+        return Status::OK();
+      }));
+  (void)g->Connect(src, win);
+  (void)g->Connect(win, sink);
+
+  PipelineExecutor exec(std::move(g));
+  probe->exec = &exec;
+  probe->win_node = win;
+
+  BoundedOutOfOrdernessWatermark wm_gen(kDisorder / 2);  // deliberately tight
+  Timestamp pt = 0;
+  size_t i = 0;
+  for (const auto& e : w.transactions) {
+    if (!e.is_record()) continue;
+    wm_gen.Observe(e.timestamp);
+    (void)exec.PushRecord(src, e.tuple, e.timestamp);
+    if (++i % 16 == 0) {
+      (void)exec.PushWatermark(src, wm_gen.Current());
+      (void)exec.AdvanceProcessingTime(pt += 10);
+    }
+  }
+  (void)exec.PushWatermark(src, w.transactions.MaxTimestamp() + kWindow * 2);
+
+  RunStats stats;
+  stats.panes = probe->panes;
+  stats.dropped = op->dropped_late();
+  stats.mean_latency =
+      probe->timed_panes == 0 ? 0
+                              : probe->sum_latency /
+                                    static_cast<double>(probe->timed_panes);
+  return stats;
+}
+
+void ReportRun(benchmark::State& state, const RunStats& stats) {
+  state.counters["panes"] = static_cast<double>(stats.panes);
+  state.counters["dropped"] = static_cast<double>(stats.dropped);
+  state.counters["mean_lat"] = stats.mean_latency;
+  SetPerItemMicros(state, static_cast<double>(kTransactions));
+}
+
+void BM_Trigger_OnTimeOnly(benchmark::State& state) {
+  RunStats stats;
+  for (auto _ : state) {
+    stats = RunTriggerConfig(TriggerFactory::AfterWatermark(), 0,
+                             AccumulationMode::kAccumulating);
+  }
+  state.SetLabel("on-time only (watermark trigger, no lateness)");
+  ReportRun(state, stats);
+}
+BENCHMARK(BM_Trigger_OnTimeOnly);
+
+void BM_Trigger_EarlySpeculative(benchmark::State& state) {
+  RunStats stats;
+  for (auto _ : state) {
+    stats = RunTriggerConfig(TriggerFactory::EarlyAndLate(15), 0,
+                             AccumulationMode::kAccumulating);
+  }
+  state.SetLabel("early speculative panes (EarlyAndLate)");
+  ReportRun(state, stats);
+}
+BENCHMARK(BM_Trigger_EarlySpeculative);
+
+void BM_Trigger_WithAllowedLateness(benchmark::State& state) {
+  const Duration lateness = state.range(0);
+  RunStats stats;
+  for (auto _ : state) {
+    stats = RunTriggerConfig(TriggerFactory::AfterWatermark(), lateness,
+                             AccumulationMode::kAccumulating);
+  }
+  state.SetLabel("on-time + allowed lateness " + std::to_string(lateness));
+  ReportRun(state, stats);
+}
+BENCHMARK(BM_Trigger_WithAllowedLateness)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Trigger_CountEveryN(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  RunStats stats;
+  for (auto _ : state) {
+    stats = RunTriggerConfig(TriggerFactory::AfterCount(n), 0,
+                             AccumulationMode::kDiscarding);
+  }
+  state.SetLabel("count trigger, discarding panes");
+  state.counters["every_n"] = static_cast<double>(n);
+  ReportRun(state, stats);
+}
+BENCHMARK(BM_Trigger_CountEveryN)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,85 @@
+/// \file bench_e4_split_maintenance.cc
+/// \brief E4 — §5.1, Winter et al. [91]: split maintenance of continuous
+/// views sits between eager IVM and lazy re-execution.
+///
+/// Series: total time for a mixed workload of `inserts` base-table updates
+/// and `queries` view reads, sweeping the insert:query ratio. Expected
+/// shape: eager wins when reads dominate, lazy when writes dominate with
+/// rare reads (small history) but degrades as history grows, and split
+/// tracks the better of the two across the sweep — inserts stay cheap and
+/// query-time folding is incremental, the "meet me halfway" claim.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ivm/view.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+SchemaPtr KV() {
+  return Schema::Make({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+}
+
+RelOpPtr ViewPlan() {
+  // SELECT L.k, COUNT(*) FROM L JOIN R ON L.k = R.k GROUP BY L.k.
+  auto join = *RelOp::Join(RelOp::Scan(0, KV()->Qualified("L")),
+                           RelOp::Scan(1, KV()->Qualified("R")), {0}, {0});
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggregateKind::kCount, nullptr, "c"});
+  return *RelOp::Aggregate(join, {0}, aggs);
+}
+
+std::vector<Tuple> Rows(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> key(0, 127), val(0, 9999);
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(Tuple({Value(key(rng)), Value(val(rng))}));
+  }
+  return rows;
+}
+
+/// Runs `inserts` updates with one view read every `inserts_per_query`.
+template <typename ViewType>
+void RunMixedWorkload(benchmark::State& state, const char* label) {
+  const size_t inserts = 3000;
+  const size_t inserts_per_query = static_cast<size_t>(state.range(0));
+  std::vector<Tuple> rows = Rows(inserts, 11);
+  int64_t result_rows = 0;
+  for (auto _ : state) {
+    ViewType view(ViewPlan(), 2);
+    for (size_t i = 0; i < inserts; ++i) {
+      benchmark::DoNotOptimize(view.Insert(i % 2, rows[i]));
+      if (i % inserts_per_query == inserts_per_query - 1) {
+        Result<MultisetRelation> r = view.Query();
+        result_rows = static_cast<int64_t>(r->NumDistinct());
+        benchmark::DoNotOptimize(result_rows);
+      }
+    }
+  }
+  state.SetLabel(label);
+  state.counters["ins_per_qry"] = static_cast<double>(inserts_per_query);
+  state.counters["view_rows"] = static_cast<double>(result_rows);
+  SetPerItemMicros(state, static_cast<double>(inserts));
+}
+
+void BM_EagerMaintenance(benchmark::State& state) {
+  RunMixedWorkload<EagerView>(state, "eager (PipelineDB/DBToaster style)");
+}
+BENCHMARK(BM_EagerMaintenance)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_LazyMaintenance(benchmark::State& state) {
+  RunMixedWorkload<LazyView>(state, "lazy (re-execute per query)");
+}
+BENCHMARK(BM_LazyMaintenance)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SplitMaintenance(benchmark::State& state) {
+  RunMixedWorkload<SplitView>(state, "split (Winter et al.)");
+}
+BENCHMARK(BM_SplitMaintenance)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,91 @@
+/// \file bench_e5_delta_join.cc
+/// \brief E5 — §5.1, DBToaster [57]: delta processing maintains join views
+/// in time proportional to the update's matches, not the base size.
+///
+/// Series: per-update maintenance cost of a two-way join view as the base
+/// tables grow, for (a) full re-execution and (b) delta propagation
+/// (dL >< R + L >< dR). Expected shape: (a) grows linearly with base size;
+/// (b) flat (hash probe + matching outputs only).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cql/continuous_query.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+SchemaPtr KV() {
+  return Schema::Make({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+}
+
+RelOpPtr JoinPlan() {
+  return *RelOp::Join(RelOp::Scan(0, KV()->Qualified("L")),
+                      RelOp::Scan(1, KV()->Qualified("R")), {0}, {0});
+}
+
+MultisetRelation BaseTable(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> key(0, 255), val(0, 9999);
+  MultisetRelation rel;
+  for (size_t i = 0; i < n; ++i) {
+    rel.Add(Tuple({Value(key(rng)), Value(val(rng))}), 1);
+  }
+  return rel;
+}
+
+void BM_FullReJoinPerUpdate(benchmark::State& state) {
+  const size_t base = static_cast<size_t>(state.range(0));
+  RelOpPtr plan = JoinPlan();
+  std::vector<MultisetRelation> tables{BaseTable(base, 1), BaseTable(base, 2)};
+  std::vector<Tuple> updates;
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<int64_t> key(0, 255), val(0, 9999);
+  for (int i = 0; i < 64; ++i) {
+    updates.push_back(Tuple({Value(key(rng)), Value(val(rng))}));
+  }
+  size_t u = 0;
+  for (auto _ : state) {
+    tables[0].Add(updates[u % updates.size()], 1);
+    ++u;
+    MultisetRelation out = *plan->Eval(tables);
+    benchmark::DoNotOptimize(out.Cardinality());
+  }
+  state.counters["base_rows"] = static_cast<double>(base);
+  SetPerItemMicros(state, 1.0);
+}
+BENCHMARK(BM_FullReJoinPerUpdate)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000);
+
+void BM_DeltaJoinPerUpdate(benchmark::State& state) {
+  const size_t base = static_cast<size_t>(state.range(0));
+  RelOpPtr plan = JoinPlan();
+  IncrementalPlanExecutor exec(plan, 2);
+  {
+    std::vector<MultisetRelation> init{BaseTable(base, 1),
+                                       BaseTable(base, 2)};
+    std::vector<MultisetRelation> deltas(2);
+    deltas[0] = init[0];
+    deltas[1] = init[1];
+    (void)exec.ApplyDeltas(deltas);
+  }
+  std::vector<Tuple> updates;
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<int64_t> key(0, 255), val(0, 9999);
+  for (int i = 0; i < 64; ++i) {
+    updates.push_back(Tuple({Value(key(rng)), Value(val(rng))}));
+  }
+  size_t u = 0;
+  for (auto _ : state) {
+    std::vector<MultisetRelation> deltas(2);
+    deltas[0].Add(updates[u % updates.size()], 1);
+    ++u;
+    benchmark::DoNotOptimize(exec.ApplyDeltas(deltas));
+  }
+  state.counters["base_rows"] = static_cast<double>(base);
+  SetPerItemMicros(state, 1.0);
+}
+BENCHMARK(BM_DeltaJoinPerUpdate)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000);
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,135 @@
+/// \file bench_e8_out_of_order.cc
+/// \brief E8 — §4: out-of-order processing. The watermark's lateness bound
+/// trades dropped data against buffering state and result latency.
+///
+/// Series: for a stream whose elements arrive up to D ticks out of order,
+/// sweep the watermark generator's assumed bound B and report
+///   dropped_pct — fraction of elements lost as late,
+///   peak_state  — per-(key, window) cells buffered awaiting the watermark,
+///   panes       — emitted results.
+/// Expected shape: B >= D drops nothing but buffers longest; tightening B
+/// below D sheds an increasing fraction of input — correctness vs. resource
+/// curve.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "dataflow/executor.h"
+#include "dataflow/source.h"
+#include "dataflow/operators.h"
+#include "dataflow/window_operator.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+constexpr size_t kTransactions = 10000;
+constexpr Duration kDisorder = 48;
+constexpr Duration kWindow = 32;
+
+void BM_WatermarkBoundSweep(benchmark::State& state) {
+  const Duration bound = state.range(0);
+  TransactionWorkload w =
+      MakeTransactionWorkload(kTransactions, 64, 0.8, 500.0, kDisorder, 19);
+  uint64_t dropped = 0, panes = 0;
+  size_t peak_state = 0;
+  for (auto _ : state) {
+    WindowedAggregateConfig cfg;
+    cfg.assigner = std::make_shared<TumblingWindowAssigner>(kWindow);
+    cfg.key_indexes = {1};
+    cfg.aggs.push_back({AggregateKind::kCount, nullptr, "c"});
+    auto g = std::make_unique<DataflowGraph>();
+    NodeId src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+    auto window_op = std::make_unique<WindowedAggregateOperator>(
+        "win", std::move(cfg));
+    auto* op = window_op.get();
+    NodeId win = g->AddNode(std::move(window_op));
+    auto* counter = new CountingSinkOperator("sink");
+    NodeId sink = g->AddNode(std::unique_ptr<Operator>(counter));
+    (void)g->Connect(src, win);
+    (void)g->Connect(win, sink);
+    PipelineExecutor exec(std::move(g));
+
+    BoundedOutOfOrdernessWatermark wm(bound);
+    peak_state = 0;
+    size_t i = 0;
+    for (const auto& e : w.transactions) {
+      if (!e.is_record()) continue;
+      wm.Observe(e.timestamp);
+      benchmark::DoNotOptimize(exec.PushRecord(src, e.tuple, e.timestamp));
+      if (++i % 4 == 0) {
+        benchmark::DoNotOptimize(exec.PushWatermark(src, wm.Current()));
+        peak_state = std::max(peak_state, op->StateSize());
+      }
+    }
+    benchmark::DoNotOptimize(exec.PushWatermark(
+        src, w.transactions.MaxTimestamp() + kWindow * 2));
+    dropped = op->dropped_late();
+    panes = counter->count();
+  }
+  state.counters["bound"] = static_cast<double>(bound);
+  state.counters["disorder"] = static_cast<double>(kDisorder);
+  state.counters["dropped_pct"] =
+      100.0 * static_cast<double>(dropped) / kTransactions;
+  state.counters["peak_state"] = static_cast<double>(peak_state);
+  state.counters["panes"] = static_cast<double>(panes);
+  SetPerItemMicros(state, static_cast<double>(kTransactions));
+}
+BENCHMARK(BM_WatermarkBoundSweep)
+    ->Arg(0)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(48)
+    ->Arg(96);
+
+void BM_DisorderDegreeSweep(benchmark::State& state) {
+  // Fixed correct bound, growing actual disorder: buffering (state) and
+  // result latency grow with the disorder the pipeline must absorb.
+  const Duration disorder = state.range(0);
+  TransactionWorkload w = MakeTransactionWorkload(kTransactions, 64, 0.8,
+                                                  500.0, disorder, 19);
+  size_t peak_state = 0;
+  uint64_t dropped = 0;
+  for (auto _ : state) {
+    WindowedAggregateConfig cfg;
+    cfg.assigner = std::make_shared<TumblingWindowAssigner>(kWindow);
+    cfg.key_indexes = {1};
+    cfg.aggs.push_back({AggregateKind::kCount, nullptr, "c"});
+    auto g = std::make_unique<DataflowGraph>();
+    NodeId src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+    auto window_op = std::make_unique<WindowedAggregateOperator>(
+        "win", std::move(cfg));
+    auto* op = window_op.get();
+    NodeId win = g->AddNode(std::move(window_op));
+    auto* counter = new CountingSinkOperator("sink");
+    NodeId sink = g->AddNode(std::unique_ptr<Operator>(counter));
+    (void)g->Connect(src, win);
+    (void)g->Connect(win, sink);
+    PipelineExecutor exec(std::move(g));
+
+    BoundedOutOfOrdernessWatermark wm(disorder);
+    peak_state = 0;
+    size_t i = 0;
+    for (const auto& e : w.transactions) {
+      if (!e.is_record()) continue;
+      wm.Observe(e.timestamp);
+      benchmark::DoNotOptimize(exec.PushRecord(src, e.tuple, e.timestamp));
+      if (++i % 4 == 0) {
+        benchmark::DoNotOptimize(exec.PushWatermark(src, wm.Current()));
+        peak_state = std::max(peak_state, op->StateSize());
+      }
+    }
+    benchmark::DoNotOptimize(exec.PushWatermark(
+        src, w.transactions.MaxTimestamp() + kWindow * 2));
+    dropped = op->dropped_late();
+  }
+  state.counters["disorder"] = static_cast<double>(disorder);
+  state.counters["dropped"] = static_cast<double>(dropped);
+  state.counters["peak_state"] = static_cast<double>(peak_state);
+  SetPerItemMicros(state, static_cast<double>(kTransactions));
+}
+BENCHMARK(BM_DisorderDegreeSweep)->Arg(0)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace cq

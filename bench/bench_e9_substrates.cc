@@ -1,0 +1,169 @@
+/// \file bench_e9_substrates.cc
+/// \brief E9 — substrate microbenchmarks: the Fig. 5 building blocks.
+///
+/// Series: (a) queue produce/consume throughput by partition count;
+/// (b) KV-store point writes, reads from memtable vs. flushed runs (bloom
+/// filters on the miss path), and ordered scans through the merging
+/// iterator.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "kvstore/kvstore.h"
+#include "queue/broker.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+Tuple T(int64_t v) { return Tuple({Value(v)}); }
+
+void BM_QueueProduce(benchmark::State& state) {
+  const size_t partitions = static_cast<size_t>(state.range(0));
+  Broker broker;
+  (void)broker.CreateTopic("t", partitions);
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        broker.Produce("t", "key" + std::to_string(i % 1024), T(i), i));
+    ++i;
+  }
+  state.counters["partitions"] = static_cast<double>(partitions);
+  SetPerItemMicros(state, 1.0);
+}
+BENCHMARK(BM_QueueProduce)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_QueueConsume(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Broker broker;
+  (void)broker.CreateTopic("t", 1);
+  for (int64_t i = 0; i < 100000; ++i) {
+    (void)broker.Produce("t", "", T(i), i);
+  }
+  int64_t offset = 0;
+  Topic* topic = *broker.GetTopic("t");
+  for (auto _ : state) {
+    Result<std::vector<Message>> msgs = topic->partition(0).Read(offset, batch);
+    offset += static_cast<int64_t>(msgs->size());
+    if (msgs->empty()) offset = 0;  // wrap for steady-state measurement
+    benchmark::DoNotOptimize(msgs->size());
+  }
+  state.counters["batch"] = static_cast<double>(batch);
+  SetPerItemMicros(state, static_cast<double>(batch));
+}
+BENCHMARK(BM_QueueConsume)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_KvPut(benchmark::State& state) {
+  auto workload = MakeKvWorkload(100000, 1 << 20, 64, 3);
+  KVStoreOptions opts;
+  opts.memtable_max_entries = static_cast<size_t>(state.range(0));
+  auto db = std::move(KVStore::Open(opts)).value();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [k, v] = workload[i % workload.size()];
+    benchmark::DoNotOptimize(db->Put(k, v));
+    ++i;
+  }
+  KVStoreStats stats = db->stats();
+  state.counters["memtable_cap"] = static_cast<double>(opts.memtable_max_entries);
+  state.counters["flushes"] = static_cast<double>(stats.flushes);
+  state.counters["compactions"] = static_cast<double>(stats.compactions);
+  SetPerItemMicros(state, 1.0);
+}
+BENCHMARK(BM_KvPut)->Arg(1024)->Arg(16384);
+
+void BM_KvGetMemtable(benchmark::State& state) {
+  KVStoreOptions opts;
+  opts.memtable_max_entries = 1 << 20;  // everything stays in the memtable
+  auto db = std::move(KVStore::Open(opts)).value();
+  auto workload = MakeKvWorkload(10000, 10000, 64, 4);
+  for (const auto& [k, v] : workload) (void)db->Put(k, v);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->Get(workload[i % workload.size()].first));
+    ++i;
+  }
+  state.SetLabel("hit in memtable");
+  SetPerItemMicros(state, 1.0);
+}
+BENCHMARK(BM_KvGetMemtable);
+
+void BM_KvGetFlushedRuns(benchmark::State& state) {
+  KVStoreOptions opts;
+  opts.memtable_max_entries = 1024;  // force data into runs
+  auto db = std::move(KVStore::Open(opts)).value();
+  auto workload = MakeKvWorkload(20000, 10000, 64, 4);
+  for (const auto& [k, v] : workload) (void)db->Put(k, v);
+  (void)db->Flush();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->Get(workload[i % workload.size()].first));
+    ++i;
+  }
+  KVStoreStats stats = db->stats();
+  state.SetLabel("hit across sorted runs");
+  state.counters["runs"] = static_cast<double>(stats.num_runs);
+  SetPerItemMicros(state, 1.0);
+}
+BENCHMARK(BM_KvGetFlushedRuns);
+
+void BM_KvGetMissBloom(benchmark::State& state) {
+  KVStoreOptions opts;
+  opts.memtable_max_entries = 1024;
+  auto db = std::move(KVStore::Open(opts)).value();
+  auto workload = MakeKvWorkload(20000, 10000, 64, 4);
+  for (const auto& [k, v] : workload) (void)db->Put(k, v);
+  (void)db->Flush();
+  size_t i = 0;
+  for (auto _ : state) {
+    // Absent keys: bloom filters short-circuit the run searches.
+    benchmark::DoNotOptimize(db->Get("missing" + std::to_string(i)));
+    ++i;
+  }
+  KVStoreStats stats = db->stats();
+  state.SetLabel("miss (bloom short-circuit)");
+  state.counters["bloom_neg"] = static_cast<double>(stats.bloom_negative);
+  SetPerItemMicros(state, 1.0);
+}
+BENCHMARK(BM_KvGetMissBloom);
+
+void BM_KvScan(benchmark::State& state) {
+  KVStoreOptions opts;
+  opts.memtable_max_entries = 1024;
+  auto db = std::move(KVStore::Open(opts)).value();
+  auto workload = MakeKvWorkload(20000, 1 << 20, 64, 5);
+  for (const auto& [k, v] : workload) (void)db->Put(k, v);
+  size_t scanned = 0;
+  for (auto _ : state) {
+    scanned = 0;
+    auto it = db->NewIterator();
+    for (; it->Valid(); it->Next()) ++scanned;
+    benchmark::DoNotOptimize(scanned);
+  }
+  state.counters["rows"] = static_cast<double>(scanned);
+  SetPerItemMicros(state, static_cast<double>(scanned));
+}
+BENCHMARK(BM_KvScan);
+
+void BM_KvScanAfterCompaction(benchmark::State& state) {
+  KVStoreOptions opts;
+  opts.memtable_max_entries = 1024;
+  auto db = std::move(KVStore::Open(opts)).value();
+  auto workload = MakeKvWorkload(20000, 1 << 20, 64, 5);
+  for (const auto& [k, v] : workload) (void)db->Put(k, v);
+  (void)db->Flush();
+  (void)db->Compact();
+  size_t scanned = 0;
+  for (auto _ : state) {
+    scanned = 0;
+    auto it = db->NewIterator();
+    for (; it->Valid(); it->Next()) ++scanned;
+    benchmark::DoNotOptimize(scanned);
+  }
+  state.counters["rows"] = static_cast<double>(scanned);
+  SetPerItemMicros(state, static_cast<double>(scanned));
+}
+BENCHMARK(BM_KvScanAfterCompaction);
+
+}  // namespace
+}  // namespace cq

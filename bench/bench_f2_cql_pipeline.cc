@@ -1,0 +1,107 @@
+/// \file bench_f2_cql_pipeline.cc
+/// \brief F2 — Fig. 2 / §3.1: the S2R -> R2R -> R2S composition on the
+/// paper's Listing 1 query.
+///
+/// Series: execution cost of the full CQL pipeline over the room workload as
+/// the [Range w] window grows (bigger windows => bigger instantaneous
+/// relations => costlier R2R), and the relative output volumes of the three
+/// R2S operators at a fixed window (RStream >> IStream ~ DStream).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cql/continuous_query.h"
+#include "sql/optimizer.h"
+#include "sql/planner.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+struct Fixture {
+  RoomWorkload workload;
+  Catalog catalog;
+
+  explicit Fixture(size_t observations)
+      : workload(MakeRoomWorkload(20, observations, 5, 0.8, 0, 7)) {
+    (void)catalog.RegisterStream("Person", workload.person_schema);
+    (void)catalog.RegisterStream("RoomObservation",
+                                 workload.observation_schema);
+  }
+
+  ContinuousQuery Query(Duration range, R2SKind emit) const {
+    std::string sql =
+        "Select count(P.id) From Person P, RoomObservation O [Range " +
+        std::to_string(range) + "] Where P.id = O.id";
+    PlannedQuery planned = *PlanSql(sql, catalog);
+    planned.query.plan = *OptimizePlan(planned.query.plan, OptimizerOptions{});
+    planned.query.output = emit;
+    return planned.query;
+  }
+};
+
+void BM_ListingOneByWindowRange(benchmark::State& state) {
+  Fixture f(600);
+  ContinuousQuery q = f.Query(state.range(0), R2SKind::kIStream);
+  std::vector<const BoundedStream*> inputs{&f.workload.persons,
+                                           &f.workload.observations};
+  std::vector<Timestamp> ticks = ReferenceExecutor::DefaultTicks(q, inputs);
+  size_t outputs = 0;
+  for (auto _ : state) {
+    BoundedStream out = *ReferenceExecutor::Execute(q, inputs, ticks);
+    outputs = out.num_records();
+    benchmark::DoNotOptimize(outputs);
+  }
+  state.counters["range"] = static_cast<double>(state.range(0));
+  state.counters["ticks"] = static_cast<double>(ticks.size());
+  state.counters["results"] = static_cast<double>(outputs);
+  SetPerItemMicros(state, static_cast<double>(ticks.size()));
+}
+BENCHMARK(BM_ListingOneByWindowRange)->Arg(5)->Arg(15)->Arg(60)->Arg(240);
+
+void BM_R2SOutputVolume(benchmark::State& state) {
+  Fixture f(600);
+  R2SKind kind = static_cast<R2SKind>(state.range(0));
+  ContinuousQuery q = f.Query(15, kind);
+  std::vector<const BoundedStream*> inputs{&f.workload.persons,
+                                           &f.workload.observations};
+  std::vector<Timestamp> ticks = ReferenceExecutor::DefaultTicks(q, inputs);
+  size_t outputs = 0;
+  for (auto _ : state) {
+    BoundedStream out = *ReferenceExecutor::Execute(q, inputs, ticks);
+    outputs = out.num_records();
+    benchmark::DoNotOptimize(outputs);
+  }
+  state.SetLabel(R2SKindToString(kind));
+  state.counters["results"] = static_cast<double>(outputs);
+  SetPerItemMicros(state, static_cast<double>(ticks.size()));
+}
+BENCHMARK(BM_R2SOutputVolume)
+    ->Arg(static_cast<int>(R2SKind::kIStream))
+    ->Arg(static_cast<int>(R2SKind::kDStream))
+    ->Arg(static_cast<int>(R2SKind::kRStream));
+
+void BM_SlideGranularity(benchmark::State& state) {
+  // [Range 60 Slide s]: coarser slides evaluate fewer distinct windows.
+  Fixture f(600);
+  Duration slide = state.range(0);
+  ContinuousQuery q = f.Query(60, R2SKind::kIStream);
+  q.input_windows[1] = S2RSpec::Range(60, slide);
+  std::vector<const BoundedStream*> inputs{&f.workload.persons,
+                                           &f.workload.observations};
+  std::vector<Timestamp> ticks = ReferenceExecutor::DefaultTicks(q, inputs);
+  size_t outputs = 0;
+  for (auto _ : state) {
+    BoundedStream out = *ReferenceExecutor::Execute(q, inputs, ticks);
+    outputs = out.num_records();
+    benchmark::DoNotOptimize(outputs);
+  }
+  state.counters["slide"] = static_cast<double>(slide);
+  state.counters["ticks"] = static_cast<double>(ticks.size());
+  state.counters["results"] = static_cast<double>(outputs);
+  SetPerItemMicros(state, static_cast<double>(ticks.size()));
+}
+BENCHMARK(BM_SlideGranularity)->Arg(1)->Arg(10)->Arg(30)->Arg(60);
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,103 @@
+/// \file bench_f3_dsms_memory.cc
+/// \brief F3 — Fig. 3: the DSMS store/scratch/throw discipline keeps memory
+/// bounded under unbounded input.
+///
+/// Series: peak scratch size (buffered elements / partial aggregates) while
+/// streaming N elements through a windowed aggregation with watermark-driven
+/// eviction ("throw"). Expected shape: scratch tracks the window extent, not
+/// the stream length — doubling N leaves peak state flat, while an unbounded
+/// (no-throw) query's state grows linearly with N.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cql/continuous_query.h"
+#include "window/sliding.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+void BM_WindowedScratchBounded(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Duration window = 64;
+  auto func = std::shared_ptr<AggregateFunction>(
+      AggregateFunction::Make(AggregateKind::kSum));
+  size_t peak_state = 0;
+  for (auto _ : state) {
+    auto assigner = std::make_shared<SlidingWindowAssigner>(window, window / 4);
+    NaiveWindowAggregator agg(assigner, func);
+    peak_state = 0;
+    std::mt19937_64 rng(9);
+    std::uniform_real_distribution<double> amount(0, 100);
+    for (size_t i = 0; i < n; ++i) {
+      Timestamp ts = static_cast<Timestamp>(i);
+      benchmark::DoNotOptimize(agg.Add(ts, Value(amount(rng))));
+      if (i % 64 == 63) {
+        // Watermark advance = the "throw" arrow of Fig. 3.
+        benchmark::DoNotOptimize(agg.AdvanceWatermark(ts - 4));
+        peak_state = std::max(peak_state, agg.StateSize());
+      }
+    }
+  }
+  state.counters["elements"] = static_cast<double>(n);
+  state.counters["peak_state"] = static_cast<double>(peak_state);
+  SetPerItemMicros(state, static_cast<double>(n));
+}
+BENCHMARK(BM_WindowedScratchBounded)
+    ->Arg(10000)
+    ->Arg(20000)
+    ->Arg(40000)
+    ->Arg(80000);
+
+void BM_UnboundedStoreGrows(benchmark::State& state) {
+  // The contrast: an unbounded accumulation (no window, no throw) — its
+  // store is the whole history.
+  const size_t n = static_cast<size_t>(state.range(0));
+  size_t final_state = 0;
+  SchemaPtr schema = Schema::Make({{"v", ValueType::kInt64}});
+  RelOpPtr plan = *RelOp::Distinct(RelOp::Scan(0, schema));
+  for (auto _ : state) {
+    IncrementalPlanExecutor exec(plan, 1);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<MultisetRelation> deltas(1);
+      deltas[0].Add(Tuple({Value(static_cast<int64_t>(i))}), 1);
+      benchmark::DoNotOptimize(exec.ApplyDeltas(deltas));
+    }
+    final_state = exec.StateSize();
+  }
+  state.counters["elements"] = static_cast<double>(n);
+  state.counters["final_state"] = static_cast<double>(final_state);
+  SetPerItemMicros(state, static_cast<double>(n));
+}
+BENCHMARK(BM_UnboundedStoreGrows)->Arg(2000)->Arg(4000)->Arg(8000);
+
+void BM_ThrowFrequency(benchmark::State& state) {
+  // How often the system "throws" (watermark cadence) trades peak scratch
+  // against per-element cost.
+  const size_t n = 40000;
+  const size_t cadence = static_cast<size_t>(state.range(0));
+  auto func = std::shared_ptr<AggregateFunction>(
+      AggregateFunction::Make(AggregateKind::kMax));
+  size_t peak_state = 0;
+  for (auto _ : state) {
+    auto assigner = std::make_shared<TumblingWindowAssigner>(32);
+    NaiveWindowAggregator agg(assigner, func);
+    peak_state = 0;
+    for (size_t i = 0; i < n; ++i) {
+      Timestamp ts = static_cast<Timestamp>(i);
+      benchmark::DoNotOptimize(agg.Add(ts, Value(static_cast<int64_t>(i))));
+      if (i % cadence == cadence - 1) {
+        benchmark::DoNotOptimize(agg.AdvanceWatermark(ts));
+        peak_state = std::max(peak_state, agg.StateSize());
+      }
+    }
+  }
+  state.counters["cadence"] = static_cast<double>(cadence);
+  state.counters["peak_state"] = static_cast<double>(peak_state);
+  SetPerItemMicros(state, static_cast<double>(n));
+}
+BENCHMARK(BM_ThrowFrequency)->Arg(32)->Arg(256)->Arg(2048)->Arg(16384);
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,25 @@
+#ifndef CQ_BENCH_BENCH_UTIL_H_
+#define CQ_BENCH_BENCH_UTIL_H_
+
+/// \file bench_util.h
+/// \brief Shared helpers for the benchmark harness.
+
+#include <benchmark/benchmark.h>
+
+namespace cq {
+
+/// \brief Adds throughput counters: items/s and seconds-per-item (printed
+/// with an SI suffix, e.g. "1.5u" = 1.5 microseconds per item), where
+/// `items_per_iter` counts logical work units per iteration.
+inline void SetPerItemMicros(benchmark::State& state, double items_per_iter) {
+  const double items =
+      items_per_iter * static_cast<double>(state.iterations());
+  state.counters["items_per_sec"] =
+      benchmark::Counter(items, benchmark::Counter::kIsRate);
+  state.counters["sec_per_item"] = benchmark::Counter(
+      items, benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+}  // namespace cq
+
+#endif  // CQ_BENCH_BENCH_UTIL_H_

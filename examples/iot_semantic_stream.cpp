@@ -1,0 +1,98 @@
+/// \file iot_semantic_stream.cpp
+/// \brief RDF Stream Processing over IoT sensor data (paper §5.2, the
+/// Stream Reasoning lineage: RSP-QL / RSP4J).
+///
+/// Heterogeneous sensors publish observations as RDF triples; a continuous
+/// BGP query joins observations with static sensor metadata inside a
+/// sliding window — "It's a streaming world" [33] in ~60 lines. The BGP is
+/// compiled onto the relational CQL engine (see src/rdf), so windows,
+/// continuous semantics, and R2S operators all behave exactly as for
+/// relational streams.
+
+#include <cstdio>
+
+#include "rdf/rdf.h"
+
+using namespace cq;
+
+int main() {
+  // The RDF stream: sensor observations plus (streamed) metadata asserts.
+  RdfStream stream;
+  auto obs = [&](const char* sensor, const char* value, Timestamp ts) {
+    stream.Append({RdfTerm::Iri(sensor), RdfTerm::Iri("hasReading"),
+                   RdfTerm::Literal(value)},
+                  ts);
+  };
+  auto in_room = [&](const char* sensor, const char* room, Timestamp ts) {
+    stream.Append({RdfTerm::Iri(sensor), RdfTerm::Iri("locatedIn"),
+                   RdfTerm::Iri(room)},
+                  ts);
+  };
+
+  // Deployment metadata arrives first (ts 0).
+  in_room("sensor/t1", "room/kitchen", 0);
+  in_room("sensor/t2", "room/lab", 0);
+  in_room("sensor/t3", "room/lab", 0);
+
+  // Observations over time.
+  obs("sensor/t1", "21.5", 10);
+  obs("sensor/t2", "19.0", 12);
+  obs("sensor/t3", "48.5", 14);  // suspicious reading in the lab
+  obs("sensor/t2", "19.2", 20);
+  obs("sensor/t1", "21.6", 25);
+  obs("sensor/t3", "49.1", 26);
+
+  // Continuous query, RSP-QL shape:
+  //   SELECT ?room ?sensor ?value
+  //   FROM NAMED WINDOW [RANGE 15] ON :stream
+  //   WHERE { ?sensor :hasReading ?value . ?sensor :locatedIn ?room }
+  RspQuery query;
+  query.window = S2RSpec::Unbounded();  // metadata must stay visible
+  query.pattern.push_back({PatternTerm::Var("?sensor"),
+                           PatternTerm::Const(RdfTerm::Iri("hasReading")),
+                           PatternTerm::Var("?value")});
+  query.pattern.push_back({PatternTerm::Var("?sensor"),
+                           PatternTerm::Const(RdfTerm::Iri("locatedIn")),
+                           PatternTerm::Var("?room")});
+  query.projection = {"?room", "?sensor", "?value"};
+  query.output = R2SKind::kIStream;
+
+  Result<CompiledRspQuery> compiled = CompileRspQuery(query);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "%s\n", compiled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("compiled BGP onto the relational engine:\n%s\n",
+              compiled->query.plan->ToString(1).c_str());
+
+  Result<std::vector<std::pair<RdfBinding, Timestamp>>> answers =
+      ExecuteRspQuery(query, stream);
+  if (!answers.ok()) {
+    std::fprintf(stderr, "%s\n", answers.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("continuous answers (IStream of new bindings):\n");
+  for (const auto& [binding, ts] : *answers) {
+    std::printf("  t=%-3lld %s reads %s in %s\n",
+                static_cast<long long>(ts),
+                binding.at("?sensor").ToString().c_str(),
+                binding.at("?value").ToString().c_str(),
+                binding.at("?room").ToString().c_str());
+  }
+
+  // A second standing query watching only the lab.
+  RspQuery lab_query = query;
+  lab_query.pattern[1].object =
+      PatternTerm::Const(RdfTerm::Iri("room/lab"));
+  lab_query.projection = {"?sensor", "?value"};
+  Result<std::vector<std::pair<RdfBinding, Timestamp>>> lab =
+      ExecuteRspQuery(lab_query, stream);
+  if (!lab.ok()) {
+    std::fprintf(stderr, "%s\n", lab.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nlab-only standing query produced %zu readings\n",
+              lab->size());
+  return 0;
+}

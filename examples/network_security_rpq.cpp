@@ -1,0 +1,91 @@
+/// \file network_security_rpq.cpp
+/// \brief Continuous graph querying for network security (paper §5.2).
+///
+/// The survey motivates streaming graphs with network-security monitoring:
+/// connection events form a streaming property graph, and threats are
+/// navigational patterns — e.g. a host that reaches a sensitive server
+/// through any chain of lateral movements after a suspicious login.
+///
+/// This example ingests a synthetic connection-event stream and evaluates
+/// the continuous RPQ
+///     suspiciousLogin / lateralMove* / accessesSecret
+/// incrementally: every new event reports exactly the (attacker, asset)
+/// pairs it completes, with per-edge latency independent of history size.
+
+#include <cstdio>
+
+#include "graph/streaming_rpq.h"
+#include "workload/generators.h"
+
+using namespace cq;
+
+int main() {
+  LabelRegistry registry;
+  Result<RpqAutomaton> dfa = RpqAutomaton::Compile(
+      "suspiciousLogin/lateralMove*/accessesSecret", &registry);
+  if (!dfa.ok()) {
+    std::fprintf(stderr, "%s\n", dfa.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("compiled RPQ automaton:\n%s\n",
+              dfa->ToString(registry).c_str());
+
+  LabelId login = *registry.Lookup("suspiciousLogin");
+  LabelId lateral = *registry.Lookup("lateralMove");
+  LabelId secret = *registry.Lookup("accessesSecret");
+
+  // Synthetic event stream over 40 hosts: mostly lateral movement, a few
+  // suspicious logins and secret accesses.
+  std::vector<StreamingEdge> events =
+      MakeGraphStream(/*num_edges=*/600, /*num_vertices=*/40,
+                      {lateral, lateral, lateral, login, secret},
+                      /*step=*/1, /*seed=*/2024);
+
+  IncrementalRpq continuous(&*dfa);
+  size_t total_alerts = 0;
+  for (const auto& event : events) {
+    std::vector<RpqResult> derived = continuous.AddEdge(event);
+    for (const auto& hit : derived) {
+      ++total_alerts;
+      if (total_alerts <= 12) {
+        std::printf(
+            "  t=%-4lld ALERT attacker host %lld reaches asset %lld "
+            "(event %lld -%s-> %lld completed the path)\n",
+            static_cast<long long>(hit.ts),
+            static_cast<long long>(hit.src),
+            static_cast<long long>(hit.dst),
+            static_cast<long long>(event.src),
+            registry.Name(event.label).c_str(),
+            static_cast<long long>(event.dst));
+      }
+    }
+  }
+  if (total_alerts > 12) {
+    std::printf("  ... %zu further alerts suppressed\n", total_alerts - 12);
+  }
+
+  std::printf(
+      "\ningested %zu events; %zu (attacker, asset) pairs derived; "
+      "product-graph state: %zu entries\n",
+      events.size(), continuous.Results().size(), continuous.StateSize());
+
+  // Cross-check against full snapshot re-evaluation (what a non-incremental
+  // engine would recompute after every event).
+  SnapshotRpq snapshot(&*dfa);
+  for (const auto& event : events) snapshot.AddEdge(event);
+  bool consistent = snapshot.Evaluate() == continuous.Results();
+  std::printf("snapshot re-evaluation agrees: %s\n",
+              consistent ? "yes" : "NO (bug!)");
+
+  // Simple-path semantics (§5.2: different query semantics for navigational
+  // queries): how much smaller is the answer when vertices cannot repeat?
+  SimplePathRpq simple(&*dfa, /*max_depth=*/6);
+  for (const auto& event : events) simple.AddEdge(event);
+  auto simple_results = simple.Evaluate();
+  std::printf(
+      "simple-path semantics (depth<=6): %zu pairs (vs %zu arbitrary), "
+      "%llu DFS expansions\n",
+      simple_results.size(), continuous.Results().size(),
+      static_cast<unsigned long long>(simple.last_expansions()));
+  return consistent ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+/// \file quickstart.cpp
+/// \brief Quickstart: run the paper's Listing 1 continuous query end to end.
+///
+/// Registers the Person / RoomObservation streams, parses the CQL text,
+/// optimises the plan, and executes it under continuous semantics
+/// (Definition 2.3), printing each emitted result. Demonstrates the
+/// SQL-first path of a streaming database (§5.1).
+
+#include <cstdio>
+
+#include "sql/optimizer.h"
+#include "sql/planner.h"
+#include "workload/generators.h"
+
+using namespace cq;  // examples favour brevity
+
+int main() {
+  // 1. Register stream schemas in the catalog.
+  Catalog catalog;
+  Status st = catalog.RegisterStream(
+      "Person", Schema::Make({{"id", ValueType::kInt64},
+                              {"name", ValueType::kString}}));
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = catalog.RegisterStream(
+      "RoomObservation", Schema::Make({{"id", ValueType::kInt64},
+                                       {"room", ValueType::kString}}));
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 2. The continuous query from the paper's Listing 1 (time unit: ticks).
+  const char* sql =
+      "Select count(P.ID) "
+      "From Person P, RoomObservation O [Range 15] "
+      "Where P.id = O.id "
+      "EMIT ISTREAM";
+  std::printf("query:\n  %s\n\n", sql);
+
+  Result<PlannedQuery> planned = PlanSql(sql, catalog);
+  if (!planned.ok()) {
+    std::fprintf(stderr, "plan error: %s\n",
+                 planned.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Optimise: the cross product + WHERE becomes a hash equi-join.
+  OptimizerStats stats;
+  Result<RelOpPtr> optimized =
+      OptimizePlan(planned->query.plan, OptimizerOptions{}, &stats);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "optimiser error: %s\n",
+                 optimized.status().ToString().c_str());
+    return 1;
+  }
+  ContinuousQuery query = planned->query;
+  query.plan = *optimized;
+  std::printf("optimised plan (%zu equi-joins extracted):\n%s\n",
+              stats.equi_joins_extracted, query.plan->ToString(1).c_str());
+
+  // 4. Generate the workload: 5 persons, 40 room observations.
+  RoomWorkload w = MakeRoomWorkload(/*num_persons=*/5,
+                                    /*num_observations=*/40,
+                                    /*num_rooms=*/3, /*skew=*/0.8,
+                                    /*max_disorder=*/0, /*seed=*/42);
+  std::vector<const BoundedStream*> inputs{&w.persons, &w.observations};
+
+  // 5. Execute continuously: the query is issued once and produces results
+  //    at every instant the windows change, until the input is exhausted.
+  std::vector<Timestamp> ticks = ReferenceExecutor::DefaultTicks(query, inputs);
+  Result<BoundedStream> out = ReferenceExecutor::Execute(query, inputs, ticks);
+  if (!out.ok()) {
+    std::fprintf(stderr, "execution error: %s\n",
+                 out.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("IStream output (count changes as observations enter/leave the"
+              " 15-tick window):\n");
+  for (const auto& e : *out) {
+    if (!e.is_record()) continue;
+    std::printf("  t=%3lld  count=%s\n",
+                static_cast<long long>(e.timestamp),
+                e.tuple[0].ToString().c_str());
+  }
+  std::printf("\n%zu result records emitted over %zu ticks\n",
+              out->num_records(), ticks.size());
+  return 0;
+}

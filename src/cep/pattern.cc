@@ -1,0 +1,140 @@
+#include "cep/pattern.h"
+
+#include <algorithm>
+
+namespace cq {
+
+const char* ContiguityPolicyToString(ContiguityPolicy policy) {
+  switch (policy) {
+    case ContiguityPolicy::kStrictContiguity:
+      return "strict-contiguity";
+    case ContiguityPolicy::kSkipTillNext:
+      return "skip-till-next";
+    case ContiguityPolicy::kSkipTillAny:
+      return "skip-till-any";
+  }
+  return "?";
+}
+
+PatternMatcher::PatternMatcher(CepPattern pattern)
+    : pattern_(std::move(pattern)) {}
+
+Result<std::vector<CepMatch>> PatternMatcher::Advance(const Tuple& event,
+                                                      Timestamp ts) {
+  std::vector<CepMatch> matches;
+  if (pattern_.steps.empty()) return matches;
+
+  Tuple key = event.Project(pattern_.key_indexes);
+  std::vector<Run>& runs = runs_[key];
+
+  auto step_matches = [&](size_t step) -> Result<bool> {
+    const ExprPtr& pred = pattern_.steps[step].predicate;
+    if (pred == nullptr) return true;
+    CQ_ASSIGN_OR_RETURN(Value v, pred->Eval(event));
+    return v.is_bool() && v.bool_value();
+  };
+
+  auto in_window = [&](const Run& run) {
+    return pattern_.within <= 0 || ts - run.start <= pattern_.within;
+  };
+
+  std::vector<Run> next_runs;
+  next_runs.reserve(runs.size() + 1);
+
+  for (Run& run : runs) {
+    if (!in_window(run)) continue;  // expired: drop
+    CQ_ASSIGN_OR_RETURN(bool advance, step_matches(run.next_step));
+    if (!advance) {
+      switch (pattern_.policy) {
+        case ContiguityPolicy::kStrictContiguity:
+          continue;  // the run dies: the next event did not match
+        case ContiguityPolicy::kSkipTillNext:
+        case ContiguityPolicy::kSkipTillAny:
+          next_runs.push_back(std::move(run));  // skip this event
+          continue;
+      }
+    }
+    // The event advances this run.
+    Run advanced = run;
+    advanced.events.push_back(event);
+    advanced.next_step = run.next_step + 1;
+    if (pattern_.policy == ContiguityPolicy::kSkipTillAny) {
+      // Fork: the original run also survives, awaiting another candidate.
+      next_runs.push_back(std::move(run));
+    }
+    if (advanced.next_step == pattern_.steps.size()) {
+      CepMatch m;
+      m.key = key;
+      m.events = std::move(advanced.events);
+      m.start = advanced.start;
+      m.end = ts;
+      matches.push_back(std::move(m));
+    } else {
+      next_runs.push_back(std::move(advanced));
+    }
+  }
+
+  // The event may also begin a fresh run.
+  CQ_ASSIGN_OR_RETURN(bool starts, step_matches(0));
+  if (starts) {
+    if (pattern_.steps.size() == 1) {
+      CepMatch m;
+      m.key = key;
+      m.events = {event};
+      m.start = ts;
+      m.end = ts;
+      matches.push_back(std::move(m));
+    } else {
+      next_runs.push_back(Run{1, {event}, ts});
+    }
+  }
+
+  runs = std::move(next_runs);
+  if (runs.empty()) runs_.erase(key);
+  return matches;
+}
+
+void PatternMatcher::ExpireBefore(Timestamp cutoff) {
+  if (pattern_.within <= 0) return;
+  for (auto it = runs_.begin(); it != runs_.end();) {
+    auto& runs = it->second;
+    runs.erase(std::remove_if(runs.begin(), runs.end(),
+                              [&](const Run& r) {
+                                return r.start + pattern_.within < cutoff;
+                              }),
+               runs.end());
+    if (runs.empty()) {
+      it = runs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t PatternMatcher::PartialRuns() const {
+  size_t n = 0;
+  for (const auto& [key, runs] : runs_) n += runs.size();
+  return n;
+}
+
+Status CepOperator::ProcessElement(size_t, const StreamElement& element,
+                                   const OperatorContext&, Collector* out) {
+  CQ_ASSIGN_OR_RETURN(std::vector<CepMatch> found,
+                      matcher_.Advance(element.tuple, element.timestamp));
+  for (const CepMatch& m : found) {
+    ++matches_;
+    std::vector<Value> vals = m.key.values();
+    vals.push_back(Value(m.start));
+    vals.push_back(Value(m.end));
+    out->Emit(StreamElement::Record(Tuple(std::move(vals)), m.end));
+  }
+  return Status::OK();
+}
+
+Status CepOperator::OnWatermark(Timestamp watermark, const OperatorContext&,
+                                Collector*) {
+  matcher_.ExpireBefore(watermark);
+  return Status::OK();
+}
+
+}  // namespace cq

@@ -1,0 +1,42 @@
+#ifndef CQ_COMMON_HASH_H_
+#define CQ_COMMON_HASH_H_
+
+/// \file hash.h
+/// \brief Hashing utilities shared across modules (keyed partitioning,
+/// hash joins, grouped aggregation, KV store bloom filters).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace cq {
+
+/// \brief Combines a new hash into a seed (boost::hash_combine recipe).
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// \brief 64-bit FNV-1a over raw bytes; stable across runs (unlike
+/// std::hash) so it is safe for partitioning decisions that must be
+/// reproducible in benchmarks and tests.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// \brief Stable 64-bit integer mix (SplitMix64 finalizer).
+inline uint64_t MixU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace cq
+
+#endif  // CQ_COMMON_HASH_H_

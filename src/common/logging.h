@@ -1,0 +1,73 @@
+#ifndef CQ_COMMON_LOGGING_H_
+#define CQ_COMMON_LOGGING_H_
+
+/// \file logging.h
+/// \brief Minimal leveled logging for the library. Off by default at DEBUG;
+/// intended for diagnosing runtime behaviour, not for hot paths.
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace cq {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Process-wide logging configuration.
+class Logger {
+ public:
+  static Logger& Instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void Log(LogLevel level, const std::string& msg) {
+    if (level < level_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::cerr << "[" << Name(level) << "] " << msg << "\n";
+  }
+
+ private:
+  static const char* Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarn:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+/// \brief Stream-style log statement: CQ_LOG(kInfo) << "msg " << value;
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Instance().Log(level_, ss_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+#define CQ_LOG(level) ::cq::LogMessage(::cq::LogLevel::level)
+
+}  // namespace cq
+
+#endif  // CQ_COMMON_LOGGING_H_

@@ -1,0 +1,202 @@
+#ifndef CQ_COMMON_STATUS_H_
+#define CQ_COMMON_STATUS_H_
+
+/// \file status.h
+/// \brief Error handling primitives for the cqstream library.
+///
+/// The library does not throw exceptions across API boundaries. Fallible
+/// operations return a `cq::Status`, or a `cq::Result<T>` when they also
+/// produce a value, following the conventions of production database
+/// codebases (Arrow, RocksDB, LevelDB).
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cq {
+
+/// \brief Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kIOError = 7,
+  kParseError = 8,
+  kPlanError = 9,
+  kTypeError = 10,
+  kLateData = 11,
+  kClosed = 12,
+};
+
+/// \brief Human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// `Status::OK()` carries no allocation; error statuses carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : state_(nullptr) {}
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// \brief The success status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status LateData(std::string msg) {
+    return Status(StatusCode::kLateData, std::move(msg));
+  }
+  static Status Closed(std::string msg) {
+    return Status(StatusCode::kClosed, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsLateData() const { return code() == StatusCode::kLateData; }
+  bool IsClosed() const { return code() == StatusCode::kClosed; }
+
+  /// \brief "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  /// \brief Access the value. Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// \brief The value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// \brief Propagates a non-OK status to the caller.
+#define CQ_RETURN_NOT_OK(expr)                \
+  do {                                        \
+    ::cq::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#define CQ_CONCAT_IMPL(a, b) a##b
+#define CQ_CONCAT(a, b) CQ_CONCAT_IMPL(a, b)
+
+/// \brief Evaluates a Result<T>-returning expression; on success binds the
+/// value to `lhs`, on failure returns the error status.
+#define CQ_ASSIGN_OR_RETURN(lhs, expr)                          \
+  CQ_ASSIGN_OR_RETURN_IMPL(CQ_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define CQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+
+}  // namespace cq
+
+#endif  // CQ_COMMON_STATUS_H_

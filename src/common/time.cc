@@ -1,0 +1,27 @@
+#include "common/time.h"
+
+#include <chrono>
+
+namespace cq {
+
+const char* TimeDomainToString(TimeDomain domain) {
+  switch (domain) {
+    case TimeDomain::kEventTime:
+      return "event-time";
+    case TimeDomain::kProcessingTime:
+      return "processing-time";
+  }
+  return "unknown";
+}
+
+std::string TimeInterval::ToString() const {
+  return "[" + std::to_string(start) + ", " + std::to_string(end) + ")";
+}
+
+Timestamp SystemClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace cq

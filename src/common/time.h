@@ -1,0 +1,109 @@
+#ifndef CQ_COMMON_TIME_H_
+#define CQ_COMMON_TIME_H_
+
+/// \file time.h
+/// \brief The time domain of continuous queries (paper Definition 2.1).
+///
+/// The time domain T is an ordered, infinite set of discrete time instants.
+/// We model instants as signed 64-bit integers with millisecond granularity
+/// (the unit is by convention only; all algebra is unit-agnostic). Two time
+/// domains are relevant in practice (paper §2): *processing time*, assigned
+/// by the system on receipt, and *event time*, carried by the data itself.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace cq {
+
+/// \brief A discrete instant in the time domain T.
+using Timestamp = int64_t;
+
+/// \brief A length of time, in the same granularity as Timestamp.
+using Duration = int64_t;
+
+/// \brief Smallest representable instant; used as the initial watermark.
+constexpr Timestamp kMinTimestamp = std::numeric_limits<Timestamp>::min();
+
+/// \brief Largest representable instant; a watermark of kMaxTimestamp means
+/// the stream has been exhausted (end-of-stream punctuation).
+constexpr Timestamp kMaxTimestamp = std::numeric_limits<Timestamp>::max();
+
+/// \brief Which clock a timestamp refers to (paper §2).
+enum class TimeDomain {
+  /// When the event happened in the real world; permits out-of-order and
+  /// contemporary (equal-timestamp) data.
+  kEventTime,
+  /// When the system received the event; strictly monotonic by construction.
+  kProcessingTime,
+};
+
+const char* TimeDomainToString(TimeDomain domain);
+
+/// \brief A half-open time interval [start, end).
+///
+/// Intervals are the range of a window function W : T -> T x T
+/// (paper Definition 2.4) and the validity interval of tuples in the
+/// Kramer-Seeger logical stream model (§3.1).
+struct TimeInterval {
+  Timestamp start = 0;
+  Timestamp end = 0;  // exclusive
+
+  bool Contains(Timestamp t) const { return t >= start && t < end; }
+  bool Overlaps(const TimeInterval& other) const {
+    return start < other.end && other.start < end;
+  }
+  bool Empty() const { return end <= start; }
+  Duration Length() const { return end - start; }
+
+  /// \brief The last instant inside the interval (end is exclusive).
+  Timestamp MaxTimestamp() const { return end - 1; }
+
+  /// \brief Intersection with another interval (may be empty).
+  TimeInterval Intersect(const TimeInterval& other) const {
+    return {start > other.start ? start : other.start,
+            end < other.end ? end : other.end};
+  }
+
+  bool operator==(const TimeInterval& other) const = default;
+  /// Ordered by start, then end, so intervals sort chronologically.
+  bool operator<(const TimeInterval& other) const {
+    if (start != other.start) return start < other.start;
+    return end < other.end;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief A monotonically advancing clock abstraction.
+///
+/// The dataflow runtime uses a ProcessingTimeSource for trigger timers; tests
+/// substitute a ManualClock for determinism.
+class ProcessingTimeSource {
+ public:
+  virtual ~ProcessingTimeSource() = default;
+  /// \brief Current processing time.
+  virtual Timestamp Now() const = 0;
+};
+
+/// \brief Wall-clock time source (milliseconds since the Unix epoch).
+class SystemClock : public ProcessingTimeSource {
+ public:
+  Timestamp Now() const override;
+};
+
+/// \brief Deterministic, manually advanced clock for tests and simulation.
+class ManualClock : public ProcessingTimeSource {
+ public:
+  explicit ManualClock(Timestamp start = 0) : now_(start) {}
+  Timestamp Now() const override { return now_; }
+  void Advance(Duration d) { now_ += d; }
+  void Set(Timestamp t) { now_ = t; }
+
+ private:
+  Timestamp now_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_COMMON_TIME_H_

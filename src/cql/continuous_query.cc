@@ -1,0 +1,429 @@
+#include "cql/continuous_query.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cq {
+
+std::string ContinuousQuery::ToString() const {
+  std::string out = "ContinuousQuery{windows=[";
+  for (size_t i = 0; i < input_windows.size(); ++i) {
+    if (i) out += ", ";
+    out += input_windows[i].ToString();
+  }
+  out += "], output=";
+  out += R2SKindToString(output);
+  out += "}\n";
+  if (plan) out += plan->ToString(1);
+  return out;
+}
+
+std::vector<Timestamp> ReferenceExecutor::DefaultTicks(
+    const ContinuousQuery& query,
+    const std::vector<const BoundedStream*>& inputs) {
+  Timestamp horizon = kMinTimestamp;
+  for (const auto* s : inputs) {
+    horizon = std::max(horizon, s->MaxTimestamp());
+  }
+  std::set<Timestamp> ticks;
+  for (size_t i = 0; i < inputs.size() && i < query.input_windows.size();
+       ++i) {
+    for (Timestamp t :
+         ChangeInstants(*inputs[i], query.input_windows[i], horizon)) {
+      ticks.insert(t);
+    }
+  }
+  return {ticks.begin(), ticks.end()};
+}
+
+Result<MultisetRelation> ReferenceExecutor::ResultAt(
+    const ContinuousQuery& query,
+    const std::vector<const BoundedStream*>& inputs, Timestamp tau) {
+  if (query.plan == nullptr) return Status::PlanError("query has no plan");
+  if (inputs.size() != query.input_windows.size()) {
+    return Status::PlanError("input stream count does not match window specs");
+  }
+  std::vector<MultisetRelation> windowed;
+  windowed.reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    CQ_ASSIGN_OR_RETURN(MultisetRelation w,
+                        ApplyS2R(*inputs[i], query.input_windows[i], tau));
+    windowed.push_back(std::move(w));
+  }
+  return query.plan->Eval(windowed);
+}
+
+Result<TimeVaryingRelation> ReferenceExecutor::MaterializeRelation(
+    const ContinuousQuery& query,
+    const std::vector<const BoundedStream*>& inputs,
+    const std::vector<Timestamp>& ticks) {
+  TimeVaryingRelation out;
+  MultisetRelation previous;
+  for (Timestamp tau : ticks) {
+    CQ_ASSIGN_OR_RETURN(MultisetRelation current,
+                        ResultAt(query, inputs, tau));
+    out.ApplyDelta(tau, current.Minus(previous));
+    previous = std::move(current);
+  }
+  return out;
+}
+
+Result<BoundedStream> ReferenceExecutor::Execute(
+    const ContinuousQuery& query,
+    const std::vector<const BoundedStream*>& inputs,
+    const std::vector<Timestamp>& ticks) {
+  BoundedStream out;
+  MultisetRelation previous;
+  for (Timestamp tau : ticks) {
+    CQ_ASSIGN_OR_RETURN(MultisetRelation current,
+                        ResultAt(query, inputs, tau));
+    for (auto& e : R2SStep(previous, current, query.output, tau)) {
+      out.Append(std::move(e));
+    }
+    previous = std::move(current);
+  }
+  return out;
+}
+
+Result<MultisetRelation> BabcockSellisResult(
+    const RelOpPtr& plan, const std::vector<const BoundedStream*>& inputs,
+    const std::vector<Timestamp>& ticks, Timestamp tau_i) {
+  MultisetRelation acc;
+  for (Timestamp tau : ticks) {
+    if (tau > tau_i) break;
+    std::vector<MultisetRelation> prefix;
+    prefix.reserve(inputs.size());
+    for (const auto* s : inputs) {
+      MultisetRelation r;
+      for (const auto& e : *s) {
+        if (e.is_record() && e.timestamp <= tau) r.Add(e.tuple, 1);
+      }
+      prefix.push_back(std::move(r));
+    }
+    CQ_ASSIGN_OR_RETURN(MultisetRelation result, plan->Eval(prefix));
+    // Set-union accumulation.
+    acc = UnionOp(acc, result).Distinct();
+  }
+  return acc;
+}
+
+namespace {
+
+/// Marks plan nodes whose accumulated output the delta rules actually read:
+/// children of ThetaJoin (bilinear expansion), Distinct, Except, Intersect
+/// (multiplicity lookups). Other nodes never materialise their output.
+void MarkCachedNodes(const RelOp* op, std::set<const RelOp*>* cached) {
+  switch (op->kind()) {
+    case RelOpKind::kThetaJoin:
+    case RelOpKind::kDistinct:
+    case RelOpKind::kExcept:
+    case RelOpKind::kIntersect:
+      for (const auto& c : op->children()) cached->insert(c.get());
+      break;
+    default:
+      break;
+  }
+  for (const auto& c : op->children()) MarkCachedNodes(c.get(), cached);
+}
+
+}  // namespace
+
+IncrementalPlanExecutor::IncrementalPlanExecutor(RelOpPtr plan,
+                                                 size_t num_inputs)
+    : plan_(std::move(plan)), num_inputs_(num_inputs) {
+  if (plan_ != nullptr) MarkCachedNodes(plan_.get(), &cached_nodes_);
+}
+
+Result<MultisetRelation> IncrementalPlanExecutor::ApplyDeltas(
+    const std::vector<MultisetRelation>& input_deltas) {
+  if (input_deltas.size() != num_inputs_) {
+    return Status::InvalidArgument("delta batch arity mismatch");
+  }
+  CQ_ASSIGN_OR_RETURN(MultisetRelation delta,
+                      DeltaEval(plan_.get(), input_deltas));
+  output_.PlusInPlace(delta);
+  return delta;
+}
+
+size_t IncrementalPlanExecutor::StateSize() const {
+  size_t n = 0;
+  for (const auto& [op, rel] : cache_) n += rel.NumDistinct();
+  for (const auto& [op, idx] : agg_indexes_) n += idx.groups.size();
+  return n;
+}
+
+Result<MultisetRelation> IncrementalPlanExecutor::DeltaJoin(
+    const RelOp* op, const MultisetRelation& dl, const MultisetRelation& dr) {
+  JoinIndex& index = join_indexes_[op];
+  MultisetRelation delta;
+  const Expr* residual = op->predicate().get();
+
+  auto combine = [&](const Tuple& lt, int64_t lc, const Tuple& rt,
+                     int64_t rc) -> Status {
+    Tuple joined = Tuple::Concat(lt, rt);
+    if (residual != nullptr) {
+      CQ_ASSIGN_OR_RETURN(Value v, residual->Eval(joined));
+      if (!(v.is_bool() && v.bool_value())) return Status::OK();
+    }
+    delta.Add(std::move(joined), lc * rc);
+    return Status::OK();
+  };
+
+  // dL >< R_old: probe the right index before applying dR.
+  for (const auto& [lt, lc] : dl.entries()) {
+    auto it = index.right.find(lt.Project(op->left_keys()));
+    if (it == index.right.end()) continue;
+    for (const auto& [rt, rc] : it->second) {
+      CQ_RETURN_NOT_OK(combine(lt, lc, rt, rc));
+    }
+  }
+  // Fold dL into the left index (making it L_new).
+  for (const auto& [lt, lc] : dl.entries()) {
+    auto& bucket = index.left[lt.Project(op->left_keys())];
+    bucket[lt] += lc;
+    if (bucket[lt] == 0) bucket.erase(lt);
+  }
+  // L_new >< dR.
+  for (const auto& [rt, rc] : dr.entries()) {
+    auto it = index.left.find(rt.Project(op->right_keys()));
+    if (it != index.left.end()) {
+      for (const auto& [lt, lc] : it->second) {
+        CQ_RETURN_NOT_OK(combine(lt, lc, rt, rc));
+      }
+    }
+  }
+  // Fold dR into the right index.
+  for (const auto& [rt, rc] : dr.entries()) {
+    auto& bucket = index.right[rt.Project(op->right_keys())];
+    bucket[rt] += rc;
+    if (bucket[rt] == 0) bucket.erase(rt);
+  }
+  return delta;
+}
+
+Result<Tuple> IncrementalPlanExecutor::GroupRow(const RelOp* op,
+                                                const Tuple& key,
+                                                const GroupState& g) const {
+  std::vector<Value> vals = key.values();
+  const auto& aggs = op->aggs();
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    switch (aggs[i].kind) {
+      case AggregateKind::kCount:
+        vals.push_back(Value(g.running[i].count));
+        break;
+      case AggregateKind::kSum:
+        vals.push_back(g.running[i].count == 0 ? Value::Null()
+                                               : Value(g.running[i].sum));
+        break;
+      case AggregateKind::kAvg:
+        vals.push_back(g.running[i].count == 0
+                           ? Value::Null()
+                           : Value(g.running[i].sum /
+                                   static_cast<double>(g.running[i].count)));
+        break;
+      case AggregateKind::kMin: {
+        Value out = Value::Null();
+        for (const auto& [v, c] : g.ordered[i]) {
+          if (c > 0) {
+            out = v;
+            break;
+          }
+        }
+        vals.push_back(std::move(out));
+        break;
+      }
+      case AggregateKind::kMax: {
+        Value out = Value::Null();
+        for (auto it = g.ordered[i].rbegin(); it != g.ordered[i].rend();
+             ++it) {
+          if (it->second > 0) {
+            out = it->first;
+            break;
+          }
+        }
+        vals.push_back(std::move(out));
+        break;
+      }
+    }
+  }
+  return Tuple(std::move(vals));
+}
+
+Result<MultisetRelation> IncrementalPlanExecutor::DeltaAggregate(
+    const RelOp* op, const MultisetRelation& dc) {
+  AggIndex& index = agg_indexes_[op];
+  const auto& aggs = op->aggs();
+  const bool global = op->group_indexes().empty();
+
+  std::set<Tuple> touched;
+  // The global (scalar) aggregate always has a row (identity on empty
+  // input); materialise its group on the first batch so the identity row is
+  // emitted even when this batch carries no data for it.
+  if (global && index.groups.empty()) {
+    GroupState g;
+    g.running.resize(aggs.size());
+    g.ordered.resize(aggs.size());
+    index.groups.emplace(Tuple(), std::move(g));
+    touched.insert(Tuple());
+  }
+  for (const auto& [t, c] : dc.entries()) {
+    Tuple key = t.Project(op->group_indexes());
+    auto [it, inserted] = index.groups.try_emplace(key);
+    GroupState& g = it->second;
+    if (inserted) {
+      g.running.resize(aggs.size());
+      g.ordered.resize(aggs.size());
+    }
+    g.rows += c;
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      Value in(static_cast<int64_t>(1));
+      if (aggs[i].input != nullptr) {
+        CQ_ASSIGN_OR_RETURN(in, aggs[i].input->Eval(t));
+      }
+      if (in.is_null()) continue;  // NULLs contribute to no aggregate
+      switch (aggs[i].kind) {
+        case AggregateKind::kCount:
+          g.running[i].count += c;
+          break;
+        case AggregateKind::kSum:
+        case AggregateKind::kAvg:
+          g.running[i].count += c;
+          g.running[i].sum += static_cast<double>(c) * in.AsDouble();
+          break;
+        case AggregateKind::kMin:
+        case AggregateKind::kMax: {
+          auto& bucket = g.ordered[i];
+          bucket[in] += c;
+          if (bucket[in] == 0) bucket.erase(in);
+          break;
+        }
+      }
+    }
+    touched.insert(std::move(key));
+  }
+
+  MultisetRelation delta;
+  for (const Tuple& key : touched) {
+    auto it = index.groups.find(key);
+    GroupState& g = it->second;
+    bool want_row = global || g.rows > 0;
+    if (g.has_row) delta.Add(g.row, -1);
+    if (want_row) {
+      CQ_ASSIGN_OR_RETURN(Tuple row, GroupRow(op, key, g));
+      delta.Add(row, 1);
+      g.row = std::move(row);
+      g.has_row = true;
+    } else {
+      index.groups.erase(it);
+    }
+  }
+  return delta;
+}
+
+Result<MultisetRelation> IncrementalPlanExecutor::DeltaEval(
+    const RelOp* op, const std::vector<MultisetRelation>& input_deltas) {
+  MultisetRelation delta;
+  switch (op->kind()) {
+    case RelOpKind::kScan:
+      delta = input_deltas[op->input_index()];
+      break;
+    case RelOpKind::kSelect: {
+      CQ_ASSIGN_OR_RETURN(MultisetRelation dc,
+                          DeltaEval(op->children()[0].get(), input_deltas));
+      CQ_ASSIGN_OR_RETURN(delta, SelectOp(dc, *op->predicate()));
+      break;
+    }
+    case RelOpKind::kProject: {
+      CQ_ASSIGN_OR_RETURN(MultisetRelation dc,
+                          DeltaEval(op->children()[0].get(), input_deltas));
+      CQ_ASSIGN_OR_RETURN(delta, ProjectOp(dc, op->projections()));
+      break;
+    }
+    case RelOpKind::kUnion: {
+      CQ_ASSIGN_OR_RETURN(MultisetRelation dl,
+                          DeltaEval(op->children()[0].get(), input_deltas));
+      CQ_ASSIGN_OR_RETURN(MultisetRelation dr,
+                          DeltaEval(op->children()[1].get(), input_deltas));
+      delta = dl.Plus(dr);
+      break;
+    }
+    case RelOpKind::kJoin: {
+      CQ_ASSIGN_OR_RETURN(MultisetRelation dl,
+                          DeltaEval(op->children()[0].get(), input_deltas));
+      CQ_ASSIGN_OR_RETURN(MultisetRelation dr,
+                          DeltaEval(op->children()[1].get(), input_deltas));
+      CQ_ASSIGN_OR_RETURN(delta, DeltaJoin(op, dl, dr));
+      break;
+    }
+    case RelOpKind::kThetaJoin: {
+      // dJ = dL >< R_new - dL >< dR + L_new >< dR (all against maintained
+      // accumulations; references into cache_ are stable, no copies).
+      const RelOp* l = op->children()[0].get();
+      const RelOp* r = op->children()[1].get();
+      CQ_ASSIGN_OR_RETURN(MultisetRelation dl, DeltaEval(l, input_deltas));
+      CQ_ASSIGN_OR_RETURN(MultisetRelation dr, DeltaEval(r, input_deltas));
+      const MultisetRelation& l_new = cache_[l];
+      const MultisetRelation& r_new = cache_[r];
+      const Expr* pred = op->predicate().get();
+      CQ_ASSIGN_OR_RETURN(MultisetRelation part1,
+                          ThetaJoinOp(dl, r_new, pred));
+      CQ_ASSIGN_OR_RETURN(MultisetRelation part2, ThetaJoinOp(dl, dr, pred));
+      CQ_ASSIGN_OR_RETURN(MultisetRelation part3,
+                          ThetaJoinOp(l_new, dr, pred));
+      delta = part1.Minus(part2).Plus(part3);
+      break;
+    }
+    case RelOpKind::kAggregate: {
+      CQ_ASSIGN_OR_RETURN(MultisetRelation dc,
+                          DeltaEval(op->children()[0].get(), input_deltas));
+      CQ_ASSIGN_OR_RETURN(delta, DeltaAggregate(op, dc));
+      break;
+    }
+    case RelOpKind::kDistinct: {
+      const RelOp* child = op->children()[0].get();
+      CQ_ASSIGN_OR_RETURN(MultisetRelation dc,
+                          DeltaEval(child, input_deltas));
+      const MultisetRelation& c_new = cache_[child];
+      for (const auto& [t, c] : dc.entries()) {
+        int64_t now = c_new.Count(t);
+        int64_t before = now - c;
+        int64_t out_now = now > 0 ? 1 : 0;
+        int64_t out_before = before > 0 ? 1 : 0;
+        delta.Add(t, out_now - out_before);
+      }
+      break;
+    }
+    case RelOpKind::kExcept:
+    case RelOpKind::kIntersect: {
+      const RelOp* l = op->children()[0].get();
+      const RelOp* r = op->children()[1].get();
+      CQ_ASSIGN_OR_RETURN(MultisetRelation dl, DeltaEval(l, input_deltas));
+      CQ_ASSIGN_OR_RETURN(MultisetRelation dr, DeltaEval(r, input_deltas));
+      const MultisetRelation& l_new = cache_[l];
+      const MultisetRelation& r_new = cache_[r];
+      auto clamp = [](int64_t x) { return x > 0 ? x : 0; };
+      auto out_count = [&](int64_t lc, int64_t rc) {
+        if (op->kind() == RelOpKind::kExcept) {
+          return clamp(clamp(lc) - clamp(rc));
+        }
+        return std::min(clamp(lc), clamp(rc));
+      };
+      std::set<Tuple> affected;
+      for (const auto& [t, c] : dl.entries()) affected.insert(t);
+      for (const auto& [t, c] : dr.entries()) affected.insert(t);
+      for (const Tuple& t : affected) {
+        int64_t l_now = l_new.Count(t), r_now = r_new.Count(t);
+        int64_t l_before = l_now - dl.Count(t);
+        int64_t r_before = r_now - dr.Count(t);
+        delta.Add(t, out_count(l_now, r_now) - out_count(l_before, r_before));
+      }
+      break;
+    }
+  }
+  if (cached_nodes_.count(op)) {
+    cache_[op].PlusInPlace(delta);
+  }
+  return delta;
+}
+
+}  // namespace cq

@@ -1,0 +1,163 @@
+#ifndef CQ_CQL_CONTINUOUS_QUERY_H_
+#define CQ_CQL_CONTINUOUS_QUERY_H_
+
+/// \file continuous_query.h
+/// \brief Composed continuous queries and their semantics (paper §2, §3.1).
+///
+/// A continuous query is an S2R layer (one window per input stream), an R2R
+/// plan, and an optional R2S operator. Two result definitions from the
+/// survey are implemented:
+///
+///  - CQL / Arasu et al. (Definition 2.3): the result at tau is obtained by
+///    recursively applying the operators to the streams up to tau —
+///    `ReferenceExecutor` realises this literally, re-evaluating the plan at
+///    every instant. It is the engine's executable specification.
+///  - Babcock/Sellis union semantics: the result at tau_i is the *union* of
+///    one-time query results over successive stream contents. Equal to the
+///    CQL result exactly for monotonic queries (Barbara et al.) —
+///    `BabcockSellisResult` lets tests and benches exhibit both sides.
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "cql/plan.h"
+#include "cql/r2s.h"
+#include "cql/s2r.h"
+#include "relation/relation.h"
+#include "stream/stream.h"
+
+namespace cq {
+
+/// \brief A full continuous query: input windows, R2R plan, R2S output.
+struct ContinuousQuery {
+  /// One window spec per input slot (index-aligned with Scan nodes).
+  std::vector<S2RSpec> input_windows;
+  RelOpPtr plan;
+  R2SKind output = R2SKind::kIStream;
+
+  std::string ToString() const;
+};
+
+/// \brief Reference executor: Definition 2.3 made executable.
+///
+/// Evaluates the query at a set of instants by re-running the full plan over
+/// the windowed inputs at each instant. O(ticks x history); exists as the
+/// semantics oracle that every optimised evaluator is tested against, and as
+/// the re-execution baseline of bench E1/F1.
+class ReferenceExecutor {
+ public:
+  /// \brief Instants at which any input window can change, up to the largest
+  /// record timestamp across inputs (plus window expirations).
+  static std::vector<Timestamp> DefaultTicks(
+      const ContinuousQuery& query,
+      const std::vector<const BoundedStream*>& inputs);
+
+  /// \brief Materialises the result time-varying relation (the R2R/S2R
+  /// topmost case of CQL's result definition).
+  static Result<TimeVaryingRelation> MaterializeRelation(
+      const ContinuousQuery& query,
+      const std::vector<const BoundedStream*>& inputs,
+      const std::vector<Timestamp>& ticks);
+
+  /// \brief Executes with the query's R2S operator, producing the output
+  /// stream observed at `ticks` (the R2S topmost case).
+  static Result<BoundedStream> Execute(
+      const ContinuousQuery& query,
+      const std::vector<const BoundedStream*>& inputs,
+      const std::vector<Timestamp>& ticks);
+
+  /// \brief The instantaneous result relation at a single instant.
+  static Result<MultisetRelation> ResultAt(
+      const ContinuousQuery& query,
+      const std::vector<const BoundedStream*>& inputs, Timestamp tau);
+};
+
+/// \brief Babcock/Sellis continuous semantics: the union, over all ticks
+/// tau <= tau_i, of the one-time query over the stream content accumulated
+/// up to tau (set semantics). Ignores the query's window specs — the
+/// formulation predates windows and reads whole stream prefixes.
+Result<MultisetRelation> BabcockSellisResult(
+    const RelOpPtr& plan, const std::vector<const BoundedStream*>& inputs,
+    const std::vector<Timestamp>& ticks, Timestamp tau_i);
+
+/// \brief Incremental delta executor (Barbara et al.'s rewriting, §3.2, and
+/// the kernel of IVM, §5.1 — DBToaster-style delta processing).
+///
+/// On a batch of input deltas, propagates exact output deltas through the
+/// plan with per-update cost proportional to the data the update touches:
+///
+///  - Select / Project / Union: linearity — apply the operator to the delta;
+///  - Join (equi): bilinearity dJ = dL >< R + L' >< dR, realised with
+///    maintained per-side hash indexes keyed by the join key, so each delta
+///    tuple probes only its matching partners;
+///  - ThetaJoin: bilinear expansion against the accumulated sides (no index
+///    can help an arbitrary predicate);
+///  - Aggregate: maintained per-group state — running count/sum for
+///    COUNT/SUM/AVG (retraction by arithmetic), ordered value multisets for
+///    MIN/MAX (retraction by multiset removal); emits -old_row / +new_row;
+///  - Distinct / Except / Intersect: per-affected-tuple multiplicity logic
+///    from the maintained child counts.
+class IncrementalPlanExecutor {
+ public:
+  IncrementalPlanExecutor(RelOpPtr plan, size_t num_inputs);
+
+  /// \brief Applies one batch of input deltas (slot-aligned); returns the
+  /// exact delta of the plan's output.
+  Result<MultisetRelation> ApplyDeltas(
+      const std::vector<MultisetRelation>& input_deltas);
+
+  /// \brief Accumulated output after all deltas applied so far.
+  const MultisetRelation& current_output() const { return output_; }
+
+  /// \brief Total distinct tuples cached across plan nodes (state size).
+  size_t StateSize() const;
+
+ private:
+  /// Per-side hash index for equi-join nodes: join key -> matching tuples.
+  struct JoinIndex {
+    std::unordered_map<Tuple, std::map<Tuple, int64_t>> left;
+    std::unordered_map<Tuple, std::map<Tuple, int64_t>> right;
+  };
+
+  /// Maintained state of one aggregation group.
+  struct GroupState {
+    int64_t rows = 0;  // sum of input-row multiplicities in the group
+    /// Running state per aggregate (count/sum interpretation by kind).
+    std::vector<AggState> running;
+    /// Ordered value multisets for MIN/MAX aggregates (empty for others).
+    std::vector<std::map<Value, int64_t>> ordered;
+    bool has_row = false;  // an output row is currently materialised
+    Tuple row;             // the materialised output row
+  };
+  struct AggIndex {
+    std::map<Tuple, GroupState> groups;
+  };
+
+  Result<MultisetRelation> DeltaEval(
+      const RelOp* op, const std::vector<MultisetRelation>& input_deltas);
+  Result<MultisetRelation> DeltaJoin(const RelOp* op,
+                                     const MultisetRelation& dl,
+                                     const MultisetRelation& dr);
+  Result<MultisetRelation> DeltaAggregate(const RelOp* op,
+                                          const MultisetRelation& dc);
+  Result<Tuple> GroupRow(const RelOp* op, const Tuple& key,
+                         const GroupState& g) const;
+
+  RelOpPtr plan_;
+  size_t num_inputs_;
+  MultisetRelation output_;
+  // Node-keyed state; std::map keeps references stable across inserts.
+  std::map<const RelOp*, MultisetRelation> cache_;
+  std::map<const RelOp*, JoinIndex> join_indexes_;
+  std::map<const RelOp*, AggIndex> agg_indexes_;
+  /// Nodes whose accumulated output is actually consumed by a parent rule.
+  std::set<const RelOp*> cached_nodes_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_CQL_CONTINUOUS_QUERY_H_

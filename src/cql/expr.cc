@@ -1,0 +1,163 @@
+#include "cql/expr.h"
+
+namespace cq {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+bool IsPredicateOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<Value> BinaryExpr::Eval(const Tuple& tuple) const {
+  // Short-circuit logical operators first.
+  if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+    CQ_ASSIGN_OR_RETURN(Value l, left_->Eval(tuple));
+    if (l.is_null()) return Value::Null();
+    if (!l.is_bool()) {
+      return Status::TypeError("AND/OR operand must be BOOL, got " +
+                               std::string(ValueTypeToString(l.type())));
+    }
+    if (op_ == BinaryOp::kAnd && !l.bool_value()) return Value(false);
+    if (op_ == BinaryOp::kOr && l.bool_value()) return Value(true);
+    CQ_ASSIGN_OR_RETURN(Value r, right_->Eval(tuple));
+    if (r.is_null()) return Value::Null();
+    if (!r.is_bool()) {
+      return Status::TypeError("AND/OR operand must be BOOL, got " +
+                               std::string(ValueTypeToString(r.type())));
+    }
+    return Value(r.bool_value());
+  }
+
+  CQ_ASSIGN_OR_RETURN(Value l, left_->Eval(tuple));
+  CQ_ASSIGN_OR_RETURN(Value r, right_->Eval(tuple));
+
+  switch (op_) {
+    case BinaryOp::kAdd:
+      return Value::Add(l, r);
+    case BinaryOp::kSub:
+      return Value::Subtract(l, r);
+    case BinaryOp::kMul:
+      return Value::Multiply(l, r);
+    case BinaryOp::kDiv:
+      return Value::Divide(l, r);
+    case BinaryOp::kMod:
+      return Value::Modulo(l, r);
+    default:
+      break;
+  }
+
+  // Comparisons: SQL semantics — any NULL operand yields NULL.
+  if (l.is_null() || r.is_null()) return Value::Null();
+  int c = l.Compare(r);
+  switch (op_) {
+    case BinaryOp::kEq:
+      return Value(c == 0);
+    case BinaryOp::kNe:
+      return Value(c != 0);
+    case BinaryOp::kLt:
+      return Value(c < 0);
+    case BinaryOp::kLe:
+      return Value(c <= 0);
+    case BinaryOp::kGt:
+      return Value(c > 0);
+    case BinaryOp::kGe:
+      return Value(c >= 0);
+    default:
+      return Status::Internal("unhandled binary operator");
+  }
+}
+
+Result<Value> NotExpr::Eval(const Tuple& tuple) const {
+  CQ_ASSIGN_OR_RETURN(Value v, inner_->Eval(tuple));
+  if (v.is_null()) return Value::Null();
+  if (!v.is_bool()) {
+    return Status::TypeError("NOT operand must be BOOL");
+  }
+  return Value(!v.bool_value());
+}
+
+Result<Value> NegExpr::Eval(const Tuple& tuple) const {
+  CQ_ASSIGN_OR_RETURN(Value v, inner_->Eval(tuple));
+  if (v.is_null()) return Value::Null();
+  if (v.is_int64()) return Value(-v.int64_value());
+  if (v.is_double()) return Value(-v.double_value());
+  return Status::TypeError("unary - operand must be numeric");
+}
+
+Result<Value> IsNullExpr::Eval(const Tuple& tuple) const {
+  CQ_ASSIGN_OR_RETURN(Value v, inner_->Eval(tuple));
+  bool is_null = v.is_null();
+  return Value(negated_ ? !is_null : is_null);
+}
+
+ExprPtr Col(size_t index, std::string name) {
+  if (name.empty()) name = "$" + std::to_string(index);
+  return std::make_shared<ColumnRef>(index, std::move(name));
+}
+ExprPtr Lit(Value v) { return std::make_shared<Literal>(std::move(v)); }
+ExprPtr Lit(int64_t v) { return Lit(Value(v)); }
+ExprPtr Lit(double v) { return Lit(Value(v)); }
+ExprPtr Lit(const char* v) { return Lit(Value(v)); }
+ExprPtr Bin(BinaryOp op, ExprPtr l, ExprPtr r) {
+  return std::make_shared<BinaryExpr>(op, std::move(l), std::move(r));
+}
+ExprPtr Eq(ExprPtr l, ExprPtr r) {
+  return Bin(BinaryOp::kEq, std::move(l), std::move(r));
+}
+ExprPtr Lt(ExprPtr l, ExprPtr r) {
+  return Bin(BinaryOp::kLt, std::move(l), std::move(r));
+}
+ExprPtr Gt(ExprPtr l, ExprPtr r) {
+  return Bin(BinaryOp::kGt, std::move(l), std::move(r));
+}
+ExprPtr And(ExprPtr l, ExprPtr r) {
+  return Bin(BinaryOp::kAnd, std::move(l), std::move(r));
+}
+ExprPtr Or(ExprPtr l, ExprPtr r) {
+  return Bin(BinaryOp::kOr, std::move(l), std::move(r));
+}
+ExprPtr Not(ExprPtr e) { return std::make_shared<NotExpr>(std::move(e)); }
+
+}  // namespace cq

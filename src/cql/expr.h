@@ -1,0 +1,214 @@
+#ifndef CQ_CQL_EXPR_H_
+#define CQ_CQL_EXPR_H_
+
+/// \file expr.h
+/// \brief Scalar expressions evaluated against tuples.
+///
+/// Expressions appear in R2R operators (selection predicates, projection
+/// lists, join conditions) and are produced by the SQL frontend. They are
+/// resolved: column references carry field indexes, bound against a schema
+/// at plan time.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace cq {
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// \brief Binary operators supported in expressions.
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* BinaryOpToString(BinaryOp op);
+
+/// \brief Whether the operator yields a BOOL.
+bool IsPredicateOp(BinaryOp op);
+
+/// \brief Base class of the expression tree.
+class Expr {
+ public:
+  enum class Kind { kColumn, kLiteral, kBinary, kNot, kNeg, kIsNull };
+
+  virtual ~Expr() = default;
+  virtual Kind kind() const = 0;
+
+  /// \brief Evaluates against a tuple. Errors on type mismatches and
+  /// out-of-range column references.
+  virtual Result<Value> Eval(const Tuple& tuple) const = 0;
+
+  virtual std::string ToString() const = 0;
+
+  /// \brief Field indexes referenced anywhere in this expression.
+  virtual void CollectColumns(std::vector<size_t>* out) const = 0;
+
+  /// \brief Convenience: evaluates a predicate expression; non-BOOL results
+  /// and NULL evaluate to false (SQL three-valued logic collapsed to
+  /// two-valued acceptance).
+  bool Matches(const Tuple& tuple) const {
+    Result<Value> r = Eval(tuple);
+    return r.ok() && r->is_bool() && r->bool_value();
+  }
+};
+
+/// \brief Reference to a column by position (name retained for printing).
+class ColumnRef : public Expr {
+ public:
+  ColumnRef(size_t index, std::string name)
+      : index_(index), name_(std::move(name)) {}
+
+  Kind kind() const override { return Kind::kColumn; }
+  Result<Value> Eval(const Tuple& tuple) const override {
+    if (index_ >= tuple.size()) {
+      return Status::OutOfRange("column index " + std::to_string(index_) +
+                                " out of range for tuple of arity " +
+                                std::to_string(tuple.size()));
+    }
+    return tuple.at(index_);
+  }
+  std::string ToString() const override { return name_; }
+  void CollectColumns(std::vector<size_t>* out) const override {
+    out->push_back(index_);
+  }
+
+  size_t index() const { return index_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  size_t index_;
+  std::string name_;
+};
+
+/// \brief A constant.
+class Literal : public Expr {
+ public:
+  explicit Literal(Value v) : value_(std::move(v)) {}
+
+  Kind kind() const override { return Kind::kLiteral; }
+  Result<Value> Eval(const Tuple&) const override { return value_; }
+  std::string ToString() const override { return value_.ToString(); }
+  void CollectColumns(std::vector<size_t>*) const override {}
+
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+/// \brief Binary operation node.
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+
+  Kind kind() const override { return Kind::kBinary; }
+  Result<Value> Eval(const Tuple& tuple) const override;
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " " + BinaryOpToString(op_) + " " +
+           right_->ToString() + ")";
+  }
+  void CollectColumns(std::vector<size_t>* out) const override {
+    left_->CollectColumns(out);
+    right_->CollectColumns(out);
+  }
+
+  BinaryOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+ private:
+  BinaryOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// \brief Logical negation.
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr inner) : inner_(std::move(inner)) {}
+  Kind kind() const override { return Kind::kNot; }
+  Result<Value> Eval(const Tuple& tuple) const override;
+  std::string ToString() const override {
+    return "NOT " + inner_->ToString();
+  }
+  void CollectColumns(std::vector<size_t>* out) const override {
+    inner_->CollectColumns(out);
+  }
+  const ExprPtr& inner() const { return inner_; }
+
+ private:
+  ExprPtr inner_;
+};
+
+/// \brief Arithmetic negation.
+class NegExpr : public Expr {
+ public:
+  explicit NegExpr(ExprPtr inner) : inner_(std::move(inner)) {}
+  Kind kind() const override { return Kind::kNeg; }
+  Result<Value> Eval(const Tuple& tuple) const override;
+  std::string ToString() const override { return "-" + inner_->ToString(); }
+  void CollectColumns(std::vector<size_t>* out) const override {
+    inner_->CollectColumns(out);
+  }
+
+ private:
+  ExprPtr inner_;
+};
+
+/// \brief IS NULL / IS NOT NULL test.
+class IsNullExpr : public Expr {
+ public:
+  IsNullExpr(ExprPtr inner, bool negated)
+      : inner_(std::move(inner)), negated_(negated) {}
+  Kind kind() const override { return Kind::kIsNull; }
+  Result<Value> Eval(const Tuple& tuple) const override;
+  std::string ToString() const override {
+    return inner_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
+  }
+  void CollectColumns(std::vector<size_t>* out) const override {
+    inner_->CollectColumns(out);
+  }
+  const ExprPtr& inner() const { return inner_; }
+  bool negated() const { return negated_; }
+
+ private:
+  ExprPtr inner_;
+  bool negated_;
+};
+
+// Convenience factories, heavily used by tests and examples.
+ExprPtr Col(size_t index, std::string name = "");
+ExprPtr Lit(Value v);
+ExprPtr Lit(int64_t v);
+ExprPtr Lit(double v);
+ExprPtr Lit(const char* v);
+ExprPtr Bin(BinaryOp op, ExprPtr l, ExprPtr r);
+ExprPtr Eq(ExprPtr l, ExprPtr r);
+ExprPtr Lt(ExprPtr l, ExprPtr r);
+ExprPtr Gt(ExprPtr l, ExprPtr r);
+ExprPtr And(ExprPtr l, ExprPtr r);
+ExprPtr Or(ExprPtr l, ExprPtr r);
+ExprPtr Not(ExprPtr e);
+
+}  // namespace cq
+
+#endif  // CQ_CQL_EXPR_H_

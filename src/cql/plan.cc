@@ -1,0 +1,358 @@
+#include "cql/plan.h"
+
+#include <algorithm>
+
+namespace cq {
+
+const char* RelOpKindToString(RelOpKind kind) {
+  switch (kind) {
+    case RelOpKind::kScan:
+      return "Scan";
+    case RelOpKind::kSelect:
+      return "Select";
+    case RelOpKind::kProject:
+      return "Project";
+    case RelOpKind::kJoin:
+      return "HashJoin";
+    case RelOpKind::kThetaJoin:
+      return "ThetaJoin";
+    case RelOpKind::kAggregate:
+      return "Aggregate";
+    case RelOpKind::kDistinct:
+      return "Distinct";
+    case RelOpKind::kUnion:
+      return "Union";
+    case RelOpKind::kExcept:
+      return "Except";
+    case RelOpKind::kIntersect:
+      return "Intersect";
+  }
+  return "?";
+}
+
+RelOpPtr RelOp::Scan(size_t input_index, SchemaPtr schema) {
+  auto op = RelOpPtr(new RelOp(RelOpKind::kScan));
+  op->input_index_ = input_index;
+  op->schema_ = std::move(schema);
+  return op;
+}
+
+Result<RelOpPtr> RelOp::Select(RelOpPtr child, ExprPtr predicate) {
+  if (child == nullptr || predicate == nullptr) {
+    return Status::PlanError("Select requires a child and a predicate");
+  }
+  auto op = RelOpPtr(new RelOp(RelOpKind::kSelect));
+  op->schema_ = child->schema_;
+  op->children_ = {std::move(child)};
+  op->predicate_ = std::move(predicate);
+  return op;
+}
+
+Result<RelOpPtr> RelOp::Project(RelOpPtr child, std::vector<ExprPtr> exprs,
+                                std::vector<Field> output_fields) {
+  if (child == nullptr) return Status::PlanError("Project requires a child");
+  if (exprs.size() != output_fields.size()) {
+    return Status::PlanError("Project: expression/field count mismatch");
+  }
+  auto op = RelOpPtr(new RelOp(RelOpKind::kProject));
+  op->schema_ = Schema::Make(std::move(output_fields));
+  op->children_ = {std::move(child)};
+  op->projections_ = std::move(exprs);
+  return op;
+}
+
+Result<RelOpPtr> RelOp::Join(RelOpPtr left, RelOpPtr right,
+                             std::vector<size_t> left_keys,
+                             std::vector<size_t> right_keys,
+                             ExprPtr residual) {
+  if (left == nullptr || right == nullptr) {
+    return Status::PlanError("Join requires two children");
+  }
+  if (left_keys.size() != right_keys.size()) {
+    return Status::PlanError("Join: key column count mismatch");
+  }
+  for (size_t k : left_keys) {
+    if (k >= left->schema()->num_fields()) {
+      return Status::PlanError("Join: left key index out of range");
+    }
+  }
+  for (size_t k : right_keys) {
+    if (k >= right->schema()->num_fields()) {
+      return Status::PlanError("Join: right key index out of range");
+    }
+  }
+  auto op = RelOpPtr(new RelOp(RelOpKind::kJoin));
+  op->schema_ = Schema::Concat(*left->schema(), *right->schema());
+  op->children_ = {std::move(left), std::move(right)};
+  op->left_keys_ = std::move(left_keys);
+  op->right_keys_ = std::move(right_keys);
+  op->predicate_ = std::move(residual);
+  return op;
+}
+
+Result<RelOpPtr> RelOp::ThetaJoin(RelOpPtr left, RelOpPtr right,
+                                  ExprPtr predicate) {
+  if (left == nullptr || right == nullptr) {
+    return Status::PlanError("ThetaJoin requires two children");
+  }
+  auto op = RelOpPtr(new RelOp(RelOpKind::kThetaJoin));
+  op->schema_ = Schema::Concat(*left->schema(), *right->schema());
+  op->children_ = {std::move(left), std::move(right)};
+  op->predicate_ = std::move(predicate);
+  return op;
+}
+
+Result<RelOpPtr> RelOp::Aggregate(RelOpPtr child,
+                                  std::vector<size_t> group_indexes,
+                                  std::vector<AggSpec> aggs) {
+  if (child == nullptr) return Status::PlanError("Aggregate requires a child");
+  for (size_t g : group_indexes) {
+    if (g >= child->schema()->num_fields()) {
+      return Status::PlanError("Aggregate: group index out of range");
+    }
+  }
+  std::vector<Field> fields;
+  for (size_t g : group_indexes) fields.push_back(child->schema()->field(g));
+  for (const auto& a : aggs) {
+    ValueType t = ValueType::kDouble;
+    if (a.kind == AggregateKind::kCount) t = ValueType::kInt64;
+    if (a.kind == AggregateKind::kMin || a.kind == AggregateKind::kMax) {
+      // MIN/MAX preserve the input type; without full type derivation use
+      // the input expression's type when it is a plain column.
+      t = ValueType::kNull;
+      if (a.input != nullptr && a.input->kind() == Expr::Kind::kColumn) {
+        size_t idx = static_cast<const ColumnRef&>(*a.input).index();
+        if (idx < child->schema()->num_fields()) {
+          t = child->schema()->field(idx).type;
+        }
+      }
+    }
+    std::string name = a.output_name;
+    if (name.empty()) {
+      name = std::string(AggregateKindToString(a.kind)) + "(" +
+             (a.input ? a.input->ToString() : "*") + ")";
+    }
+    fields.push_back({std::move(name), t});
+  }
+  auto op = RelOpPtr(new RelOp(RelOpKind::kAggregate));
+  op->schema_ = Schema::Make(std::move(fields));
+  op->children_ = {std::move(child)};
+  op->group_indexes_ = std::move(group_indexes);
+  op->aggs_ = std::move(aggs);
+  return op;
+}
+
+Result<RelOpPtr> RelOp::Distinct(RelOpPtr child) {
+  if (child == nullptr) return Status::PlanError("Distinct requires a child");
+  auto op = RelOpPtr(new RelOp(RelOpKind::kDistinct));
+  op->schema_ = child->schema_;
+  op->children_ = {std::move(child)};
+  return op;
+}
+
+Result<RelOpPtr> RelOp::Union(RelOpPtr left, RelOpPtr right) {
+  if (left == nullptr || right == nullptr) {
+    return Status::PlanError("Union requires two children");
+  }
+  if (left->schema()->num_fields() != right->schema()->num_fields()) {
+    return Status::PlanError("Union children must have equal arity");
+  }
+  auto op = RelOpPtr(new RelOp(RelOpKind::kUnion));
+  op->schema_ = left->schema_;
+  op->children_ = {std::move(left), std::move(right)};
+  return op;
+}
+
+Result<RelOpPtr> RelOp::Except(RelOpPtr left, RelOpPtr right) {
+  if (left == nullptr || right == nullptr) {
+    return Status::PlanError("Except requires two children");
+  }
+  if (left->schema()->num_fields() != right->schema()->num_fields()) {
+    return Status::PlanError("Except children must have equal arity");
+  }
+  auto op = RelOpPtr(new RelOp(RelOpKind::kExcept));
+  op->schema_ = left->schema_;
+  op->children_ = {std::move(left), std::move(right)};
+  return op;
+}
+
+Result<RelOpPtr> RelOp::Intersect(RelOpPtr left, RelOpPtr right) {
+  if (left == nullptr || right == nullptr) {
+    return Status::PlanError("Intersect requires two children");
+  }
+  if (left->schema()->num_fields() != right->schema()->num_fields()) {
+    return Status::PlanError("Intersect children must have equal arity");
+  }
+  auto op = RelOpPtr(new RelOp(RelOpKind::kIntersect));
+  op->schema_ = left->schema_;
+  op->children_ = {std::move(left), std::move(right)};
+  return op;
+}
+
+Result<MultisetRelation> RelOp::Eval(
+    const std::vector<MultisetRelation>& inputs) const {
+  switch (kind_) {
+    case RelOpKind::kScan:
+      if (input_index_ >= inputs.size()) {
+        return Status::PlanError("Scan input slot " +
+                                 std::to_string(input_index_) + " not bound");
+      }
+      return inputs[input_index_];
+    case RelOpKind::kSelect: {
+      CQ_ASSIGN_OR_RETURN(MultisetRelation in, children_[0]->Eval(inputs));
+      return SelectOp(in, *predicate_);
+    }
+    case RelOpKind::kProject: {
+      CQ_ASSIGN_OR_RETURN(MultisetRelation in, children_[0]->Eval(inputs));
+      return ProjectOp(in, projections_);
+    }
+    case RelOpKind::kJoin: {
+      CQ_ASSIGN_OR_RETURN(MultisetRelation l, children_[0]->Eval(inputs));
+      CQ_ASSIGN_OR_RETURN(MultisetRelation r, children_[1]->Eval(inputs));
+      return HashJoinOp(l, r, left_keys_, right_keys_, predicate_.get());
+    }
+    case RelOpKind::kThetaJoin: {
+      CQ_ASSIGN_OR_RETURN(MultisetRelation l, children_[0]->Eval(inputs));
+      CQ_ASSIGN_OR_RETURN(MultisetRelation r, children_[1]->Eval(inputs));
+      return ThetaJoinOp(l, r, predicate_.get());
+    }
+    case RelOpKind::kAggregate: {
+      CQ_ASSIGN_OR_RETURN(MultisetRelation in, children_[0]->Eval(inputs));
+      return AggregateOp(in, group_indexes_, aggs_);
+    }
+    case RelOpKind::kDistinct: {
+      CQ_ASSIGN_OR_RETURN(MultisetRelation in, children_[0]->Eval(inputs));
+      return DistinctOp(in);
+    }
+    case RelOpKind::kUnion: {
+      CQ_ASSIGN_OR_RETURN(MultisetRelation l, children_[0]->Eval(inputs));
+      CQ_ASSIGN_OR_RETURN(MultisetRelation r, children_[1]->Eval(inputs));
+      return UnionOp(l, r);
+    }
+    case RelOpKind::kExcept: {
+      CQ_ASSIGN_OR_RETURN(MultisetRelation l, children_[0]->Eval(inputs));
+      CQ_ASSIGN_OR_RETURN(MultisetRelation r, children_[1]->Eval(inputs));
+      return ExceptOp(l, r);
+    }
+    case RelOpKind::kIntersect: {
+      CQ_ASSIGN_OR_RETURN(MultisetRelation l, children_[0]->Eval(inputs));
+      CQ_ASSIGN_OR_RETURN(MultisetRelation r, children_[1]->Eval(inputs));
+      return IntersectOp(l, r);
+    }
+  }
+  return Status::Internal("unhandled RelOp kind");
+}
+
+bool RelOp::IsMonotonic() const {
+  switch (kind_) {
+    case RelOpKind::kAggregate:
+    case RelOpKind::kExcept:
+      return false;
+    default:
+      break;
+  }
+  for (const auto& c : children_) {
+    if (!c->IsMonotonic()) return false;
+  }
+  return true;
+}
+
+bool RelOp::IsDeltaComputable() const {
+  switch (kind_) {
+    case RelOpKind::kScan:
+    case RelOpKind::kSelect:
+    case RelOpKind::kProject:
+    case RelOpKind::kJoin:
+    case RelOpKind::kThetaJoin:
+    case RelOpKind::kUnion:
+      break;
+    default:
+      return false;
+  }
+  for (const auto& c : children_) {
+    if (!c->IsDeltaComputable()) return false;
+  }
+  return true;
+}
+
+size_t RelOp::TreeSize() const {
+  size_t n = 1;
+  for (const auto& c : children_) n += c->TreeSize();
+  return n;
+}
+
+void RelOp::CollectInputs(std::vector<size_t>* out) const {
+  if (kind_ == RelOpKind::kScan) out->push_back(input_index_);
+  for (const auto& c : children_) c->CollectInputs(out);
+}
+
+std::string RelOp::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + RelOpKindToString(kind_);
+  switch (kind_) {
+    case RelOpKind::kScan:
+      out += "(#" + std::to_string(input_index_) + ")";
+      break;
+    case RelOpKind::kSelect:
+      out += "(" + predicate_->ToString() + ")";
+      break;
+    case RelOpKind::kProject: {
+      out += "(";
+      for (size_t i = 0; i < projections_.size(); ++i) {
+        if (i) out += ", ";
+        out += projections_[i]->ToString();
+      }
+      out += ")";
+      break;
+    }
+    case RelOpKind::kJoin: {
+      out += "(keys=";
+      for (size_t i = 0; i < left_keys_.size(); ++i) {
+        if (i) out += ",";
+        out += std::to_string(left_keys_[i]) + "=" +
+               std::to_string(right_keys_[i]);
+      }
+      if (predicate_) out += " residual=" + predicate_->ToString();
+      out += ")";
+      break;
+    }
+    case RelOpKind::kThetaJoin:
+      if (predicate_) out += "(" + predicate_->ToString() + ")";
+      break;
+    case RelOpKind::kAggregate: {
+      out += "(groups=[";
+      for (size_t i = 0; i < group_indexes_.size(); ++i) {
+        if (i) out += ",";
+        out += std::to_string(group_indexes_[i]);
+      }
+      out += "], aggs=[";
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        if (i) out += ",";
+        out += AggregateKindToString(aggs_[i].kind);
+      }
+      out += "])";
+      break;
+    }
+    default:
+      break;
+  }
+  out += "\n";
+  for (const auto& c : children_) out += c->ToString(indent + 1);
+  return out;
+}
+
+RelOpPtr RelOp::WithChildren(std::vector<RelOpPtr> children) const {
+  auto op = RelOpPtr(new RelOp(kind_));
+  op->children_ = std::move(children);
+  op->schema_ = schema_;
+  op->input_index_ = input_index_;
+  op->predicate_ = predicate_;
+  op->projections_ = projections_;
+  op->left_keys_ = left_keys_;
+  op->right_keys_ = right_keys_;
+  op->group_indexes_ = group_indexes_;
+  op->aggs_ = aggs_;
+  return op;
+}
+
+}  // namespace cq

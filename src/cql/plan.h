@@ -1,0 +1,139 @@
+#ifndef CQ_CQL_PLAN_H_
+#define CQ_CQL_PLAN_H_
+
+/// \file plan.h
+/// \brief Logical plans for the R2R part of a continuous query.
+///
+/// A RelOp tree combines the R2R operators of r2r.h. Leaves are Scan nodes
+/// referring to input slots (each slot is a windowed stream — the output of
+/// an S2R operator — or a base relation). The same tree is produced by the
+/// SQL frontend, consumed by the reference and incremental executors, and
+/// rewritten by the optimiser (§4.2).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cql/expr.h"
+#include "cql/r2r.h"
+#include "relation/relation.h"
+#include "types/schema.h"
+
+namespace cq {
+
+enum class RelOpKind {
+  kScan,
+  kSelect,
+  kProject,
+  kJoin,       // hash equi-join with optional residual predicate
+  kThetaJoin,  // nested-loops join with arbitrary predicate
+  kAggregate,
+  kDistinct,
+  kUnion,
+  kExcept,
+  kIntersect,
+};
+
+const char* RelOpKindToString(RelOpKind kind);
+
+class RelOp;
+using RelOpPtr = std::shared_ptr<RelOp>;
+
+/// \brief A node of the logical plan (concrete, tagged by kind).
+class RelOp {
+ public:
+  RelOpKind kind() const { return kind_; }
+  const std::vector<RelOpPtr>& children() const { return children_; }
+  const SchemaPtr& schema() const { return schema_; }
+
+  // --- Factories (each validates and computes the output schema) ---
+
+  /// \brief Leaf: reads input slot `input_index` with the given schema.
+  static RelOpPtr Scan(size_t input_index, SchemaPtr schema);
+
+  static Result<RelOpPtr> Select(RelOpPtr child, ExprPtr predicate);
+
+  /// \brief Projection with explicit output column names and types.
+  static Result<RelOpPtr> Project(RelOpPtr child, std::vector<ExprPtr> exprs,
+                                  std::vector<Field> output_fields);
+
+  /// \brief Hash equi-join; key indexes are positions into each child's
+  /// schema; `residual` (may be null) is evaluated on concatenated tuples.
+  static Result<RelOpPtr> Join(RelOpPtr left, RelOpPtr right,
+                               std::vector<size_t> left_keys,
+                               std::vector<size_t> right_keys,
+                               ExprPtr residual = nullptr);
+
+  /// \brief Nested-loops join with an arbitrary predicate over concatenated
+  /// tuples (null predicate = cross product).
+  static Result<RelOpPtr> ThetaJoin(RelOpPtr left, RelOpPtr right,
+                                    ExprPtr predicate);
+
+  static Result<RelOpPtr> Aggregate(RelOpPtr child,
+                                    std::vector<size_t> group_indexes,
+                                    std::vector<AggSpec> aggs);
+
+  static Result<RelOpPtr> Distinct(RelOpPtr child);
+  static Result<RelOpPtr> Union(RelOpPtr left, RelOpPtr right);
+  static Result<RelOpPtr> Except(RelOpPtr left, RelOpPtr right);
+  static Result<RelOpPtr> Intersect(RelOpPtr left, RelOpPtr right);
+
+  // --- Evaluation ---
+
+  /// \brief Evaluates the tree against instantaneous input relations
+  /// (`inputs[i]` feeds Scan nodes with input_index == i).
+  Result<MultisetRelation> Eval(
+      const std::vector<MultisetRelation>& inputs) const;
+
+  // --- Analysis ---
+
+  /// \brief Barbara et al. (§3.2): true when the whole tree is monotonic —
+  /// S1 ⊆ S2 implies Q(S1) ⊆ Q(S2). Select/Project/Join/Union/Distinct/
+  /// Intersect preserve monotonicity; Except and Aggregate break it.
+  bool IsMonotonic() const;
+
+  /// \brief True when every operator in the tree is linear (select/project)
+  /// or bilinear (join) or additive (union) in multiplicities — the
+  /// precondition for exact delta propagation in IVM.
+  bool IsDeltaComputable() const;
+
+  /// \brief Number of nodes in the tree.
+  size_t TreeSize() const;
+
+  /// \brief Indexes of all Scan input slots referenced by the tree.
+  void CollectInputs(std::vector<size_t>* out) const;
+
+  std::string ToString(int indent = 0) const;
+
+  // --- Per-kind accessors (valid only for the matching kind) ---
+  size_t input_index() const { return input_index_; }
+  const ExprPtr& predicate() const { return predicate_; }
+  const std::vector<ExprPtr>& projections() const { return projections_; }
+  const std::vector<size_t>& left_keys() const { return left_keys_; }
+  const std::vector<size_t>& right_keys() const { return right_keys_; }
+  const std::vector<size_t>& group_indexes() const { return group_indexes_; }
+  const std::vector<AggSpec>& aggs() const { return aggs_; }
+
+  /// \brief Shallow copy with different children (for optimiser rewrites).
+  RelOpPtr WithChildren(std::vector<RelOpPtr> children) const;
+
+ private:
+  explicit RelOp(RelOpKind kind) : kind_(kind) {}
+
+  RelOpKind kind_;
+  std::vector<RelOpPtr> children_;
+  SchemaPtr schema_;
+
+  size_t input_index_ = 0;
+  ExprPtr predicate_;
+  std::vector<ExprPtr> projections_;
+  std::vector<size_t> left_keys_;
+  std::vector<size_t> right_keys_;
+  std::vector<size_t> group_indexes_;
+  std::vector<AggSpec> aggs_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_CQL_PLAN_H_

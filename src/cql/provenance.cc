@@ -1,0 +1,183 @@
+#include "cql/provenance.h"
+
+#include <algorithm>
+
+namespace cq {
+
+MultisetRelation ProvenanceRelation::ToRelation() const {
+  MultisetRelation out;
+  for (const auto& [t, prov] : entries_) out.Add(t, 1);
+  return out;
+}
+
+ProvenanceRelation BaseProvenance(uint32_t slot, const MultisetRelation& rel) {
+  ProvenanceRelation out;
+  uint64_t seq = 0;
+  for (const auto& [t, count] : rel.entries()) {
+    if (count <= 0) continue;
+    out.Add(t, Witness{BaseTupleId{slot, seq}});
+    ++seq;
+  }
+  return out;
+}
+
+namespace {
+
+Witness UnionWitness(const Witness& a, const Witness& b) {
+  Witness out = a;
+  out.insert(b.begin(), b.end());
+  return out;
+}
+
+/// Pairwise union of two alternative sets (join-style combination).
+WhyProvenance CrossCombine(const WhyProvenance& a, const WhyProvenance& b) {
+  WhyProvenance out;
+  for (const auto& wa : a) {
+    for (const auto& wb : b) {
+      out.insert(UnionWitness(wa, wb));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ProvenanceRelation> EvalWithProvenance(
+    const RelOp& plan, const std::vector<ProvenanceRelation>& inputs) {
+  ProvenanceRelation out;
+  switch (plan.kind()) {
+    case RelOpKind::kScan: {
+      if (plan.input_index() >= inputs.size()) {
+        return Status::PlanError("provenance: unbound input slot");
+      }
+      return inputs[plan.input_index()];
+    }
+    case RelOpKind::kSelect: {
+      CQ_ASSIGN_OR_RETURN(ProvenanceRelation child,
+                          EvalWithProvenance(*plan.children()[0], inputs));
+      for (const auto& [t, prov] : child.entries()) {
+        CQ_ASSIGN_OR_RETURN(Value v, plan.predicate()->Eval(t));
+        if (v.is_bool() && v.bool_value()) out.AddAll(t, prov);
+      }
+      return out;
+    }
+    case RelOpKind::kProject: {
+      CQ_ASSIGN_OR_RETURN(ProvenanceRelation child,
+                          EvalWithProvenance(*plan.children()[0], inputs));
+      for (const auto& [t, prov] : child.entries()) {
+        std::vector<Value> vals;
+        vals.reserve(plan.projections().size());
+        for (const auto& e : plan.projections()) {
+          CQ_ASSIGN_OR_RETURN(Value v, e->Eval(t));
+          vals.push_back(std::move(v));
+        }
+        out.AddAll(Tuple(std::move(vals)), prov);
+      }
+      return out;
+    }
+    case RelOpKind::kJoin:
+    case RelOpKind::kThetaJoin: {
+      CQ_ASSIGN_OR_RETURN(ProvenanceRelation left,
+                          EvalWithProvenance(*plan.children()[0], inputs));
+      CQ_ASSIGN_OR_RETURN(ProvenanceRelation right,
+                          EvalWithProvenance(*plan.children()[1], inputs));
+      for (const auto& [lt, lprov] : left.entries()) {
+        for (const auto& [rt, rprov] : right.entries()) {
+          Tuple joined = Tuple::Concat(lt, rt);
+          if (plan.kind() == RelOpKind::kJoin) {
+            if (lt.Project(plan.left_keys()) != rt.Project(plan.right_keys())) {
+              continue;
+            }
+          }
+          if (plan.predicate() != nullptr) {
+            CQ_ASSIGN_OR_RETURN(Value v, plan.predicate()->Eval(joined));
+            if (!(v.is_bool() && v.bool_value())) continue;
+          }
+          out.AddAll(joined, CrossCombine(lprov, rprov));
+        }
+      }
+      return out;
+    }
+    case RelOpKind::kUnion: {
+      CQ_ASSIGN_OR_RETURN(ProvenanceRelation left,
+                          EvalWithProvenance(*plan.children()[0], inputs));
+      CQ_ASSIGN_OR_RETURN(ProvenanceRelation right,
+                          EvalWithProvenance(*plan.children()[1], inputs));
+      for (const auto& [t, prov] : left.entries()) out.AddAll(t, prov);
+      for (const auto& [t, prov] : right.entries()) out.AddAll(t, prov);
+      return out;
+    }
+    case RelOpKind::kDistinct: {
+      return EvalWithProvenance(*plan.children()[0], inputs);
+    }
+    case RelOpKind::kIntersect: {
+      CQ_ASSIGN_OR_RETURN(ProvenanceRelation left,
+                          EvalWithProvenance(*plan.children()[0], inputs));
+      CQ_ASSIGN_OR_RETURN(ProvenanceRelation right,
+                          EvalWithProvenance(*plan.children()[1], inputs));
+      for (const auto& [t, lprov] : left.entries()) {
+        const WhyProvenance* rprov = right.Find(t);
+        if (rprov == nullptr) continue;
+        out.AddAll(t, CrossCombine(lprov, *rprov));
+      }
+      return out;
+    }
+    case RelOpKind::kExcept: {
+      CQ_ASSIGN_OR_RETURN(ProvenanceRelation left,
+                          EvalWithProvenance(*plan.children()[0], inputs));
+      CQ_ASSIGN_OR_RETURN(ProvenanceRelation right,
+                          EvalWithProvenance(*plan.children()[1], inputs));
+      for (const auto& [t, prov] : left.entries()) {
+        if (!right.Contains(t)) out.AddAll(t, prov);
+      }
+      return out;
+    }
+    case RelOpKind::kAggregate: {
+      CQ_ASSIGN_OR_RETURN(ProvenanceRelation child,
+                          EvalWithProvenance(*plan.children()[0], inputs));
+      // Group tuples; aggregate values come from the plain evaluation over
+      // the distinct support (provenance evaluation is set semantics).
+      CQ_ASSIGN_OR_RETURN(
+          MultisetRelation agg_result,
+          AggregateOp(child.ToRelation(), plan.group_indexes(), plan.aggs()));
+      // Witness per output row: union of all witnesses of the group's
+      // contributing tuples.
+      std::map<Tuple, Witness> group_witness;
+      for (const auto& [t, prov] : child.entries()) {
+        Tuple key = t.Project(plan.group_indexes());
+        Witness& w = group_witness[key];
+        for (const auto& alt : prov) w.insert(alt.begin(), alt.end());
+      }
+      size_t num_groups = plan.group_indexes().size();
+      for (const auto& [row, count] : agg_result.entries()) {
+        std::vector<Value> key_vals(row.values().begin(),
+                                    row.values().begin() +
+                                        static_cast<long>(num_groups));
+        Tuple key{std::vector<Value>(key_vals)};
+        auto it = group_witness.find(key);
+        out.Add(row, it == group_witness.end() ? Witness{} : it->second);
+      }
+      return out;
+    }
+  }
+  return Status::Internal("provenance: unhandled operator");
+}
+
+Witness WitnessCore(const WhyProvenance& prov) {
+  Witness core;
+  bool first = true;
+  for (const auto& w : prov) {
+    if (first) {
+      core = w;
+      first = false;
+      continue;
+    }
+    Witness next;
+    std::set_intersection(core.begin(), core.end(), w.begin(), w.end(),
+                          std::inserter(next, next.begin()));
+    core = std::move(next);
+  }
+  return core;
+}
+
+}  // namespace cq

@@ -1,0 +1,101 @@
+#ifndef CQ_CQL_PROVENANCE_H_
+#define CQ_CQL_PROVENANCE_H_
+
+/// \file provenance.h
+/// \brief Why-provenance for continuous queries (paper §7, "Streaming Data
+/// Governance").
+///
+/// The survey flags provenance in streaming contexts as nascent, limited to
+/// why/how-provenance within pipelines ([67], [71]). This module implements
+/// *why-provenance* for the R2R plan algebra: every derived tuple carries a
+/// set of witnesses, each witness being a set of base-tuple ids sufficient
+/// to derive it. Rules follow the classical semiring-flavoured treatment:
+///
+///   Select / Scan:  witnesses pass through;
+///   Project / Union / Distinct:  tuples that coincide merge their witness
+///                   sets (alternative derivations);
+///   Join / Intersect:  pairwise unions of left and right witnesses;
+///   Aggregate:      one witness per group — the union of all contributors
+///                   (every input row matters to an aggregate);
+///   Except:         witnesses of the surviving left tuples.
+///
+/// Base-tuple ids are assigned per input slot by BaseProvenance(); streaming
+/// engines would stamp ids at ingestion.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "cql/plan.h"
+#include "relation/relation.h"
+
+namespace cq {
+
+/// \brief Globally unique base-tuple id: (input slot, sequence).
+struct BaseTupleId {
+  uint32_t slot = 0;
+  uint64_t seq = 0;
+
+  bool operator<(const BaseTupleId& other) const {
+    if (slot != other.slot) return slot < other.slot;
+    return seq < other.seq;
+  }
+  bool operator==(const BaseTupleId& other) const = default;
+};
+
+/// \brief One sufficient derivation: a set of base tuples.
+using Witness = std::set<BaseTupleId>;
+
+/// \brief Why-provenance: the alternative witnesses of a derived tuple.
+using WhyProvenance = std::set<Witness>;
+
+/// \brief A relation whose tuples are annotated with why-provenance.
+/// (Set semantics: provenance-carrying evaluation tracks distinct tuples.)
+class ProvenanceRelation {
+ public:
+  void Add(const Tuple& t, Witness witness) {
+    entries_[t].insert(std::move(witness));
+  }
+  void AddAll(const Tuple& t, const WhyProvenance& prov) {
+    entries_[t].insert(prov.begin(), prov.end());
+  }
+
+  bool Contains(const Tuple& t) const { return entries_.count(t) > 0; }
+  const WhyProvenance* Find(const Tuple& t) const {
+    auto it = entries_.find(t);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<Tuple, WhyProvenance>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  /// \brief Drops annotations: the plain (set-semantics) relation.
+  MultisetRelation ToRelation() const;
+
+ private:
+  std::map<Tuple, WhyProvenance> entries_;
+};
+
+/// \brief Annotates a base relation for input slot `slot`, assigning ids in
+/// iteration order (deterministic: MultisetRelation iterates sorted).
+ProvenanceRelation BaseProvenance(uint32_t slot, const MultisetRelation& rel);
+
+/// \brief Evaluates the plan with why-provenance propagation.
+///
+/// The result's plain projection equals Distinct(plan->Eval(inputs)) — the
+/// provenance evaluation is set-semantics (asserted by the test suite).
+Result<ProvenanceRelation> EvalWithProvenance(
+    const RelOp& plan, const std::vector<ProvenanceRelation>& inputs);
+
+/// \brief True when removing the base tuples in `witness` from the inputs
+/// removes `t` from the (set-semantics) query answer only if *every* witness
+/// intersects the removal — convenience used by tests to validate witnesses.
+/// Returns the set of base ids that appear in every witness (the "must
+/// have" core; empty when alternatives exist).
+Witness WitnessCore(const WhyProvenance& prov);
+
+}  // namespace cq
+
+#endif  // CQ_CQL_PROVENANCE_H_

@@ -1,0 +1,177 @@
+#include "cql/r2r.h"
+
+#include <unordered_map>
+
+namespace cq {
+
+Result<MultisetRelation> SelectOp(const MultisetRelation& rel,
+                                  const Expr& predicate) {
+  MultisetRelation out;
+  for (const auto& [t, c] : rel.entries()) {
+    CQ_ASSIGN_OR_RETURN(Value v, predicate.Eval(t));
+    if (v.is_bool() && v.bool_value()) out.Add(t, c);
+  }
+  return out;
+}
+
+Result<MultisetRelation> ProjectOp(const MultisetRelation& rel,
+                                   const std::vector<ExprPtr>& exprs) {
+  MultisetRelation out;
+  for (const auto& [t, c] : rel.entries()) {
+    std::vector<Value> vals;
+    vals.reserve(exprs.size());
+    for (const auto& e : exprs) {
+      CQ_ASSIGN_OR_RETURN(Value v, e->Eval(t));
+      vals.push_back(std::move(v));
+    }
+    out.Add(Tuple(std::move(vals)), c);
+  }
+  return out;
+}
+
+Result<MultisetRelation> ThetaJoinOp(const MultisetRelation& left,
+                                     const MultisetRelation& right,
+                                     const Expr* predicate) {
+  MultisetRelation out;
+  for (const auto& [lt, lc] : left.entries()) {
+    for (const auto& [rt, rc] : right.entries()) {
+      Tuple joined = Tuple::Concat(lt, rt);
+      if (predicate != nullptr) {
+        CQ_ASSIGN_OR_RETURN(Value v, predicate->Eval(joined));
+        if (!(v.is_bool() && v.bool_value())) continue;
+      }
+      out.Add(joined, lc * rc);
+    }
+  }
+  return out;
+}
+
+Result<MultisetRelation> HashJoinOp(const MultisetRelation& left,
+                                    const MultisetRelation& right,
+                                    const std::vector<size_t>& left_keys,
+                                    const std::vector<size_t>& right_keys,
+                                    const Expr* residual) {
+  // Build on the smaller side by distinct-tuple count.
+  const bool build_left = left.NumDistinct() <= right.NumDistinct();
+  const MultisetRelation& build = build_left ? left : right;
+  const MultisetRelation& probe = build_left ? right : left;
+  const std::vector<size_t>& build_keys = build_left ? left_keys : right_keys;
+  const std::vector<size_t>& probe_keys = build_left ? right_keys : left_keys;
+
+  std::unordered_map<Tuple, std::vector<std::pair<const Tuple*, int64_t>>> ht;
+  for (const auto& [t, c] : build.entries()) {
+    ht[t.Project(build_keys)].emplace_back(&t, c);
+  }
+
+  MultisetRelation out;
+  for (const auto& [pt, pc] : probe.entries()) {
+    auto it = ht.find(pt.Project(probe_keys));
+    if (it == ht.end()) continue;
+    for (const auto& [bt, bc] : it->second) {
+      Tuple joined =
+          build_left ? Tuple::Concat(*bt, pt) : Tuple::Concat(pt, *bt);
+      if (residual != nullptr) {
+        CQ_ASSIGN_OR_RETURN(Value v, residual->Eval(joined));
+        if (!(v.is_bool() && v.bool_value())) continue;
+      }
+      out.Add(joined, pc * bc);
+    }
+  }
+  return out;
+}
+
+MultisetRelation UnionOp(const MultisetRelation& a, const MultisetRelation& b) {
+  return a.Plus(b);
+}
+
+MultisetRelation ExceptOp(const MultisetRelation& a,
+                          const MultisetRelation& b) {
+  MultisetRelation out;
+  for (const auto& [t, c] : a.entries()) {
+    if (c <= 0) continue;
+    int64_t bc = b.Count(t);
+    int64_t keep = c - (bc > 0 ? bc : 0);
+    if (keep > 0) out.Add(t, keep);
+  }
+  return out;
+}
+
+MultisetRelation IntersectOp(const MultisetRelation& a,
+                             const MultisetRelation& b) {
+  MultisetRelation out;
+  for (const auto& [t, c] : a.entries()) {
+    if (c <= 0) continue;
+    int64_t bc = b.Count(t);
+    int64_t keep = c < bc ? c : bc;
+    if (keep > 0) out.Add(t, keep);
+  }
+  return out;
+}
+
+MultisetRelation DistinctOp(const MultisetRelation& rel) {
+  return rel.Distinct();
+}
+
+Result<MultisetRelation> AggregateOp(const MultisetRelation& rel,
+                                     const std::vector<size_t>& group_indexes,
+                                     const std::vector<AggSpec>& aggs) {
+  struct GroupState {
+    std::vector<AggState> states;
+  };
+  // Deterministic group order via std::map keyed by group tuple.
+  std::map<Tuple, GroupState> groups;
+
+  std::vector<std::unique_ptr<AggregateFunction>> funcs;
+  funcs.reserve(aggs.size());
+  for (const auto& a : aggs) funcs.push_back(AggregateFunction::Make(a.kind));
+
+  for (const auto& [t, c] : rel.entries()) {
+    if (c < 0) {
+      return Status::InvalidArgument(
+          "AggregateOp requires a non-negative relation (got a delta); use "
+          "the IVM aggregate maintainer for deltas");
+    }
+    Tuple key = t.Project(group_indexes);
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) {
+      it->second.states.resize(aggs.size());
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        it->second.states[i] = funcs[i]->Identity();
+      }
+    }
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      Value in;
+      if (aggs[i].input == nullptr) {
+        in = Value(static_cast<int64_t>(1));  // COUNT(*): count every row
+      } else {
+        CQ_ASSIGN_OR_RETURN(in, aggs[i].input->Eval(t));
+      }
+      // Bag semantics: each of the c duplicates contributes.
+      AggState lifted = funcs[i]->Lift(in);
+      for (int64_t k = 0; k < c; ++k) {
+        it->second.states[i] = funcs[i]->Combine(it->second.states[i], lifted);
+      }
+    }
+  }
+
+  // SQL scalar aggregate: grouping by nothing over an empty input produces
+  // one row of identity aggregates.
+  if (groups.empty() && group_indexes.empty()) {
+    GroupState g;
+    g.states.resize(aggs.size());
+    for (size_t i = 0; i < aggs.size(); ++i) g.states[i] = funcs[i]->Identity();
+    groups.emplace(Tuple(), std::move(g));
+  }
+
+  MultisetRelation out;
+  for (const auto& [key, g] : groups) {
+    std::vector<Value> vals = key.values();
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      vals.push_back(funcs[i]->Lower(g.states[i]));
+    }
+    out.Add(Tuple(std::move(vals)), 1);
+  }
+  return out;
+}
+
+}  // namespace cq

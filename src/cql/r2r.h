@@ -1,0 +1,82 @@
+#ifndef CQ_CQL_R2R_H_
+#define CQ_CQL_R2R_H_
+
+/// \file r2r.h
+/// \brief Relation-to-Relation operators (paper §3.1, CQL's R2R class).
+///
+/// R2R operators derive a new time-varying relation from one or more others.
+/// Instant-by-instant they are ordinary bag-relational operators, so we
+/// implement them over MultisetRelation. All of Select/Project/Join/Union
+/// are *linear* (respectively bilinear) in multiplicities — they are defined
+/// on Z-sets with negative counts too, which is exactly the property that
+/// incremental view maintenance (§5.1) exploits.
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "cql/expr.h"
+#include "relation/relation.h"
+#include "window/aggregate.h"
+
+namespace cq {
+
+/// \brief Bag selection: keeps tuples matching the predicate.
+/// Linear: Select(a + b) = Select(a) + Select(b).
+Result<MultisetRelation> SelectOp(const MultisetRelation& rel,
+                                  const Expr& predicate);
+
+/// \brief Bag projection: evaluates the expression list per tuple.
+/// Linear in multiplicities.
+Result<MultisetRelation> ProjectOp(const MultisetRelation& rel,
+                                   const std::vector<ExprPtr>& exprs);
+
+/// \brief Theta join (nested loops): concatenates tuple pairs matching the
+/// predicate; output multiplicity is the product. Bilinear.
+Result<MultisetRelation> ThetaJoinOp(const MultisetRelation& left,
+                                     const MultisetRelation& right,
+                                     const Expr* predicate);
+
+/// \brief Hash equi-join on key columns, plus an optional residual
+/// predicate. Bilinear; equivalent to ThetaJoinOp with the corresponding
+/// conjunction but O(|L| + |R| + |out|).
+Result<MultisetRelation> HashJoinOp(const MultisetRelation& left,
+                                    const MultisetRelation& right,
+                                    const std::vector<size_t>& left_keys,
+                                    const std::vector<size_t>& right_keys,
+                                    const Expr* residual);
+
+/// \brief Bag union: pointwise multiplicity sum (Z-set Plus).
+MultisetRelation UnionOp(const MultisetRelation& a, const MultisetRelation& b);
+
+/// \brief Bag difference with floor at zero (SQL EXCEPT ALL): multiplicity
+/// max(a - b, 0). Non-linear and non-monotonic.
+MultisetRelation ExceptOp(const MultisetRelation& a, const MultisetRelation& b);
+
+/// \brief Bag intersection: multiplicity min(a, b). Monotonic, non-linear.
+MultisetRelation IntersectOp(const MultisetRelation& a,
+                             const MultisetRelation& b);
+
+/// \brief Set-semantics duplicate elimination of the positive part.
+MultisetRelation DistinctOp(const MultisetRelation& rel);
+
+/// \brief One aggregate column specification.
+struct AggSpec {
+  AggregateKind kind = AggregateKind::kCount;
+  /// Input expression; nullptr means COUNT(*) (count rows).
+  ExprPtr input;
+  std::string output_name;
+};
+
+/// \brief Grouped aggregation. Output tuples are (group key columns...,
+/// aggregate values...). Defined over the positive part of the relation;
+/// groups are set-keyed (each group appears once). With empty
+/// `group_indexes` produces a single global row (even for empty input,
+/// matching SQL's scalar aggregate).
+Result<MultisetRelation> AggregateOp(const MultisetRelation& rel,
+                                     const std::vector<size_t>& group_indexes,
+                                     const std::vector<AggSpec>& aggs);
+
+}  // namespace cq
+
+#endif  // CQ_CQL_R2R_H_

@@ -1,0 +1,60 @@
+#include "cql/r2s.h"
+
+namespace cq {
+
+const char* R2SKindToString(R2SKind kind) {
+  switch (kind) {
+    case R2SKind::kIStream:
+      return "IStream";
+    case R2SKind::kDStream:
+      return "DStream";
+    case R2SKind::kRStream:
+      return "RStream";
+    case R2SKind::kRelation:
+      return "Relation";
+  }
+  return "?";
+}
+
+std::vector<StreamElement> R2SStep(const MultisetRelation& previous,
+                                   const MultisetRelation& current,
+                                   R2SKind kind, Timestamp tau) {
+  std::vector<StreamElement> out;
+  auto emit_bag = [&out, tau](const MultisetRelation& bag) {
+    for (const auto& [t, c] : bag.entries()) {
+      for (int64_t i = 0; i < c; ++i) {
+        out.push_back(StreamElement::Record(t, tau));
+      }
+    }
+  };
+  switch (kind) {
+    case R2SKind::kIStream:
+      emit_bag(current.Minus(previous).PositivePart());
+      break;
+    case R2SKind::kDStream:
+      emit_bag(current.Minus(previous).NegativePartAbs());
+      break;
+    case R2SKind::kRStream:
+      emit_bag(current.PositivePart());
+      break;
+    case R2SKind::kRelation:
+      break;  // no stream output
+  }
+  return out;
+}
+
+BoundedStream ApplyR2S(const TimeVaryingRelation& rel, R2SKind kind,
+                       const std::vector<Timestamp>& instants) {
+  BoundedStream out;
+  MultisetRelation previous;
+  for (Timestamp tau : instants) {
+    MultisetRelation current = rel.At(tau);
+    for (auto& e : R2SStep(previous, current, kind, tau)) {
+      out.Append(std::move(e));
+    }
+    previous = std::move(current);
+  }
+  return out;
+}
+
+}  // namespace cq

@@ -1,0 +1,51 @@
+#ifndef CQ_CQL_R2S_H_
+#define CQ_CQL_R2S_H_
+
+/// \file r2s.h
+/// \brief Relation-to-Stream operators (paper §3.1, CQL's R2S class).
+///
+/// R2S operators turn a time-varying relation back into a stream:
+///  - IStream: at each instant, the tuples *inserted* since the previous one;
+///  - DStream: at each instant, the tuples *deleted* since the previous one;
+///  - RStream: at each instant, the entire instantaneous relation.
+/// The IStream/DStream pair is exactly the positive/negative decomposition of
+/// consecutive Z-set differences — the duality the survey highlights between
+/// R2R and R2S results.
+
+#include <vector>
+
+#include "common/time.h"
+#include "relation/relation.h"
+#include "stream/stream.h"
+
+namespace cq {
+
+enum class R2SKind {
+  kIStream,
+  kDStream,
+  kRStream,
+  /// No R2S operator: the query's result stays a time-varying relation
+  /// (the second case of CQL's result definition).
+  kRelation,
+};
+
+const char* R2SKindToString(R2SKind kind);
+
+/// \brief Applies an R2S operator to a time-varying relation, producing the
+/// output stream observed at the given instants (ascending). Each emitted
+/// tuple appears with multiplicity-many records at the instant.
+///
+/// For IStream/DStream the difference at instants[0] is taken against the
+/// empty relation (the relation before the query started).
+BoundedStream ApplyR2S(const TimeVaryingRelation& rel, R2SKind kind,
+                       const std::vector<Timestamp>& instants);
+
+/// \brief Incremental single-step form: given the previous instantaneous
+/// relation and the current one, the records an R2S operator emits at `tau`.
+std::vector<StreamElement> R2SStep(const MultisetRelation& previous,
+                                   const MultisetRelation& current,
+                                   R2SKind kind, Timestamp tau);
+
+}  // namespace cq
+
+#endif  // CQ_CQL_R2S_H_

@@ -1,0 +1,175 @@
+#include "cql/s2r.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cq {
+
+std::string S2RSpec::ToString() const {
+  switch (kind) {
+    case S2RKind::kRange: {
+      std::string out = "[Range " + std::to_string(range);
+      if (slide > 1) out += " Slide " + std::to_string(slide);
+      return out + "]";
+    }
+    case S2RKind::kNow:
+      return "[Now]";
+    case S2RKind::kUnbounded:
+      return "[Range Unbounded]";
+    case S2RKind::kRows:
+      return "[Rows " + std::to_string(rows) + "]";
+    case S2RKind::kPartitionedRows: {
+      std::string out = "[Partition By ";
+      for (size_t i = 0; i < partition_keys.size(); ++i) {
+        if (i) out += ",";
+        out += "$" + std::to_string(partition_keys[i]);
+      }
+      return out + " Rows " + std::to_string(rows) + "]";
+    }
+  }
+  return "[?]";
+}
+
+namespace {
+
+Timestamp SlideAlignedTau(const S2RSpec& spec, Timestamp tau) {
+  if (spec.slide <= 1) return tau;
+  Timestamp rem = tau % spec.slide;
+  if (rem < 0) rem += spec.slide;
+  return tau - rem;
+}
+
+}  // namespace
+
+Result<MultisetRelation> ApplyS2R(const BoundedStream& s, const S2RSpec& spec,
+                                  Timestamp tau) {
+  MultisetRelation out;
+  switch (spec.kind) {
+    case S2RKind::kRange: {
+      if (spec.range < 0) {
+        return Status::InvalidArgument("Range window length must be >= 0");
+      }
+      Timestamp upper = SlideAlignedTau(spec, tau);
+      Timestamp lower = upper - spec.range;  // exclusive
+      for (const auto& e : s) {
+        if (!e.is_record()) continue;
+        if (e.timestamp > lower && e.timestamp <= upper) out.Add(e.tuple, 1);
+      }
+      return out;
+    }
+    case S2RKind::kNow: {
+      for (const auto& e : s) {
+        if (e.is_record() && e.timestamp == tau) out.Add(e.tuple, 1);
+      }
+      return out;
+    }
+    case S2RKind::kUnbounded: {
+      for (const auto& e : s) {
+        if (e.is_record() && e.timestamp <= tau) out.Add(e.tuple, 1);
+      }
+      return out;
+    }
+    case S2RKind::kRows: {
+      // Last n records with ts <= tau, by (timestamp, arrival) recency.
+      std::vector<const StreamElement*> eligible;
+      for (const auto& e : s) {
+        if (e.is_record() && e.timestamp <= tau) eligible.push_back(&e);
+      }
+      std::stable_sort(eligible.begin(), eligible.end(),
+                       [](const StreamElement* a, const StreamElement* b) {
+                         return a->timestamp < b->timestamp;
+                       });
+      size_t start = eligible.size() > spec.rows ? eligible.size() - spec.rows
+                                                 : 0;
+      for (size_t i = start; i < eligible.size(); ++i) {
+        out.Add(eligible[i]->tuple, 1);
+      }
+      return out;
+    }
+    case S2RKind::kPartitionedRows: {
+      std::map<Tuple, std::vector<const StreamElement*>> parts;
+      std::vector<const StreamElement*> eligible;
+      for (const auto& e : s) {
+        if (e.is_record() && e.timestamp <= tau) eligible.push_back(&e);
+      }
+      std::stable_sort(eligible.begin(), eligible.end(),
+                       [](const StreamElement* a, const StreamElement* b) {
+                         return a->timestamp < b->timestamp;
+                       });
+      for (const auto* e : eligible) {
+        parts[e->tuple.Project(spec.partition_keys)].push_back(e);
+      }
+      for (const auto& [key, elems] : parts) {
+        size_t start =
+            elems.size() > spec.rows ? elems.size() - spec.rows : 0;
+        for (size_t i = start; i < elems.size(); ++i) {
+          out.Add(elems[i]->tuple, 1);
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unhandled S2R kind");
+}
+
+Result<TimeInterval> TupleValidity(const S2RSpec& spec, Timestamp ts) {
+  switch (spec.kind) {
+    case S2RKind::kRange: {
+      if (spec.slide <= 1) {
+        // In window at tau iff ts > tau - w && ts <= tau
+        // <=> tau in [ts, ts + w).
+        return TimeInterval{ts, ts + spec.range};
+      }
+      // With slide s, in window at tau iff the aligned tau' satisfies the
+      // same bound; the tuple is visible from the first grid point >= ts
+      // until the last grid point < ts + w (plus the non-aligned instants
+      // mapping to those grid points).
+      Timestamp first_grid = ((ts + spec.slide - 1) / spec.slide) * spec.slide;
+      Timestamp last_grid = ((ts + spec.range - 1) / spec.slide) * spec.slide;
+      if (last_grid < first_grid) return TimeInterval{0, 0};  // never visible
+      return TimeInterval{first_grid, last_grid + spec.slide};
+    }
+    case S2RKind::kNow:
+      return TimeInterval{ts, ts + 1};
+    case S2RKind::kUnbounded:
+      return TimeInterval{ts, kMaxTimestamp};
+    default:
+      return Status::InvalidArgument(
+          "tuple validity undefined for tuple-based windows");
+  }
+}
+
+std::vector<Timestamp> ChangeInstants(const BoundedStream& s,
+                                      const S2RSpec& spec, Timestamp horizon) {
+  std::set<Timestamp> instants;
+  for (const auto& e : s) {
+    if (!e.is_record()) continue;
+    if (e.timestamp <= horizon) instants.insert(e.timestamp);
+    switch (spec.kind) {
+      case S2RKind::kRange: {
+        Timestamp expiry = e.timestamp + spec.range;
+        if (spec.slide <= 1) {
+          if (expiry <= horizon) instants.insert(expiry);
+        } else {
+          // Content changes only at slide grid points.
+          Timestamp first_grid =
+              ((e.timestamp + spec.slide - 1) / spec.slide) * spec.slide;
+          for (Timestamp g = first_grid; g <= horizon; g += spec.slide) {
+            instants.insert(g);
+            if (g >= expiry) break;
+          }
+        }
+        break;
+      }
+      case S2RKind::kNow:
+        if (e.timestamp + 1 <= horizon) instants.insert(e.timestamp + 1);
+        break;
+      default:
+        break;  // unbounded / rows: change only on arrivals
+    }
+  }
+  return {instants.begin(), instants.end()};
+}
+
+}  // namespace cq

@@ -1,0 +1,99 @@
+#ifndef CQ_CQL_S2R_H_
+#define CQ_CQL_S2R_H_
+
+/// \file s2r.h
+/// \brief Stream-to-Relation operators (paper §3.1, CQL's S2R class).
+///
+/// S2R operators convert a stream into a time-varying relation by windowing:
+/// time-based ([Range w], optionally [Slide s]), tuple-based ([Rows n]),
+/// and partitioned ([Partition By k Rows n]) windows, plus the degenerate
+/// [Now] and [Range Unbounded] forms.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "relation/relation.h"
+#include "stream/stream.h"
+
+namespace cq {
+
+/// \brief The window family of an S2R operator.
+enum class S2RKind {
+  kRange,            // [Range w] or [Range w Slide s]
+  kNow,              // [Now]: tuples with timestamp == tau
+  kUnbounded,        // [Range Unbounded]: all tuples up to tau
+  kRows,             // [Rows n]: last n tuples by arrival
+  kPartitionedRows,  // [Partition By cols Rows n]
+};
+
+/// \brief Specification of one S2R window operator.
+struct S2RSpec {
+  S2RKind kind = S2RKind::kUnbounded;
+  Duration range = 0;  // kRange: window length w
+  Duration slide = 0;  // kRange: 0 means slide == 1 tick (continuous slide)
+  size_t rows = 0;     // kRows / kPartitionedRows: n
+  std::vector<size_t> partition_keys;  // kPartitionedRows
+
+  static S2RSpec Range(Duration w, Duration slide = 0) {
+    S2RSpec s;
+    s.kind = S2RKind::kRange;
+    s.range = w;
+    s.slide = slide;
+    return s;
+  }
+  static S2RSpec Now() {
+    S2RSpec s;
+    s.kind = S2RKind::kNow;
+    return s;
+  }
+  static S2RSpec Unbounded() {
+    S2RSpec s;
+    s.kind = S2RKind::kUnbounded;
+    return s;
+  }
+  static S2RSpec Rows(size_t n) {
+    S2RSpec s;
+    s.kind = S2RKind::kRows;
+    s.rows = n;
+    return s;
+  }
+  static S2RSpec PartitionedRows(std::vector<size_t> keys, size_t n) {
+    S2RSpec s;
+    s.kind = S2RKind::kPartitionedRows;
+    s.partition_keys = std::move(keys);
+    s.rows = n;
+    return s;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief Reference (denotational) evaluation: the instantaneous relation
+/// W(S)(tau) produced by applying the window `spec` to the stream `s`,
+/// observed at instant `tau`.
+///
+/// Range semantics: tuples with timestamp in (tau' - w, tau'] where tau' is
+/// tau rounded down to the slide grid (tau' == tau when slide <= 1).
+/// Rows semantics: the `n` most recent tuples with timestamp <= tau,
+/// recency by (timestamp, arrival position).
+Result<MultisetRelation> ApplyS2R(const BoundedStream& s, const S2RSpec& spec,
+                                  Timestamp tau);
+
+/// \brief The validity interval of a tuple with event timestamp `ts` under a
+/// time-based window spec: the set of instants tau at which the tuple is in
+/// the window. Used by incremental evaluators to schedule expirations.
+/// Errors for tuple-based windows (whose validity depends on later input).
+Result<TimeInterval> TupleValidity(const S2RSpec& spec, Timestamp ts);
+
+/// \brief Instants at which W(S) can change content, restricted to
+/// timestamps <= horizon: tuple entries and (for Range windows) expirations.
+/// The reference continuous-query executor evaluates at exactly these
+/// instants plus any explicitly requested ticks.
+std::vector<Timestamp> ChangeInstants(const BoundedStream& s,
+                                      const S2RSpec& spec, Timestamp horizon);
+
+}  // namespace cq
+
+#endif  // CQ_CQL_S2R_H_

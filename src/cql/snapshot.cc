@@ -1,0 +1,124 @@
+#include "cql/snapshot.h"
+
+#include <set>
+
+namespace cq {
+
+MultisetRelation LogicalStream::SnapshotAt(Timestamp tau) const {
+  MultisetRelation out;
+  for (const auto& e : elements_) {
+    if (e.validity.Contains(tau)) out.Add(e.tuple, 1);
+  }
+  return out;
+}
+
+std::vector<Timestamp> LogicalStream::Endpoints() const {
+  std::set<Timestamp> pts;
+  for (const auto& e : elements_) {
+    pts.insert(e.validity.start);
+    pts.insert(e.validity.end);
+  }
+  return {pts.begin(), pts.end()};
+}
+
+Result<LogicalStream> SelectLS(const LogicalStream& s, const Expr& predicate) {
+  LogicalStream out;
+  for (const auto& e : s.elements()) {
+    CQ_ASSIGN_OR_RETURN(Value v, predicate.Eval(e.tuple));
+    if (v.is_bool() && v.bool_value()) out.Add(e.tuple, e.validity);
+  }
+  return out;
+}
+
+Result<LogicalStream> ProjectLS(const LogicalStream& s,
+                                const std::vector<ExprPtr>& exprs) {
+  LogicalStream out;
+  for (const auto& e : s.elements()) {
+    std::vector<Value> vals;
+    vals.reserve(exprs.size());
+    for (const auto& ex : exprs) {
+      CQ_ASSIGN_OR_RETURN(Value v, ex->Eval(e.tuple));
+      vals.push_back(std::move(v));
+    }
+    out.Add(Tuple(std::move(vals)), e.validity);
+  }
+  return out;
+}
+
+Result<LogicalStream> JoinLS(const LogicalStream& a, const LogicalStream& b,
+                             const Expr* predicate) {
+  LogicalStream out;
+  for (const auto& ea : a.elements()) {
+    for (const auto& eb : b.elements()) {
+      TimeInterval v = ea.validity.Intersect(eb.validity);
+      if (v.Empty()) continue;
+      Tuple joined = Tuple::Concat(ea.tuple, eb.tuple);
+      if (predicate != nullptr) {
+        CQ_ASSIGN_OR_RETURN(Value p, predicate->Eval(joined));
+        if (!(p.is_bool() && p.bool_value())) continue;
+      }
+      out.Add(std::move(joined), v);
+    }
+  }
+  return out;
+}
+
+LogicalStream UnionLS(const LogicalStream& a, const LogicalStream& b) {
+  LogicalStream out;
+  for (const auto& e : a.elements()) out.Add(e.tuple, e.validity);
+  for (const auto& e : b.elements()) out.Add(e.tuple, e.validity);
+  return out;
+}
+
+LogicalStream WindowLS(const LogicalStream& s, Duration range) {
+  LogicalStream out;
+  for (const auto& e : s.elements()) {
+    out.Add(e.tuple, TimeInterval{e.validity.start, e.validity.start + range});
+  }
+  return out;
+}
+
+Status CheckSnapshotReducibleUnary(
+    const LogicalStream& input,
+    const std::function<Result<LogicalStream>(const LogicalStream&)>& op_ls,
+    const std::function<Result<MultisetRelation>(const MultisetRelation&)>&
+        op_ms,
+    const std::vector<Timestamp>& instants) {
+  CQ_ASSIGN_OR_RETURN(LogicalStream transformed, op_ls(input));
+  for (Timestamp tau : instants) {
+    MultisetRelation lhs = transformed.SnapshotAt(tau);
+    CQ_ASSIGN_OR_RETURN(MultisetRelation rhs, op_ms(input.SnapshotAt(tau)));
+    if (!(lhs == rhs)) {
+      return Status::Internal(
+          "not snapshot-reducible at tau=" + std::to_string(tau) +
+          ": snapshot(op(S)) = " + lhs.ToString() +
+          " but op(snapshot(S)) = " + rhs.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckSnapshotReducibleBinary(
+    const LogicalStream& a, const LogicalStream& b,
+    const std::function<Result<LogicalStream>(const LogicalStream&,
+                                              const LogicalStream&)>& op_ls,
+    const std::function<Result<MultisetRelation>(const MultisetRelation&,
+                                                 const MultisetRelation&)>&
+        op_ms,
+    const std::vector<Timestamp>& instants) {
+  CQ_ASSIGN_OR_RETURN(LogicalStream transformed, op_ls(a, b));
+  for (Timestamp tau : instants) {
+    MultisetRelation lhs = transformed.SnapshotAt(tau);
+    CQ_ASSIGN_OR_RETURN(MultisetRelation rhs,
+                        op_ms(a.SnapshotAt(tau), b.SnapshotAt(tau)));
+    if (!(lhs == rhs)) {
+      return Status::Internal(
+          "not snapshot-reducible at tau=" + std::to_string(tau) +
+          ": snapshot(op(S)) = " + lhs.ToString() +
+          " but op(snapshot(S)) = " + rhs.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cq

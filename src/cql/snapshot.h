@@ -1,0 +1,99 @@
+#ifndef CQ_CQL_SNAPSHOT_H_
+#define CQ_CQL_SNAPSHOT_H_
+
+/// \file snapshot.h
+/// \brief Kramer-Seeger logical streams and snapshot reducibility (§3.1).
+///
+/// Kramer et al. bridge streaming and temporal databases: a *logical stream*
+/// carries tuples with validity intervals; the *timeslice* operation takes
+/// the snapshot at an instant. An operator over logical streams is
+/// *snapshot-reducible* (Definition 3.2) to its multiset counterpart when
+/// timeslice commutes with it at every instant. We implement logical-stream
+/// counterparts of the core operators and a checker that verifies
+/// Definition 3.2 on concrete inputs — used by the property-test suite to
+/// certify each operator individually, as the paper describes.
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "cql/expr.h"
+#include "cql/r2r.h"
+#include "relation/relation.h"
+
+namespace cq {
+
+/// \brief One element of a logical stream: a tuple valid on [start, end).
+struct LogicalElement {
+  Tuple tuple;
+  TimeInterval validity;
+};
+
+/// \brief A logical stream: a multiset of validity-stamped tuples.
+class LogicalStream {
+ public:
+  LogicalStream() = default;
+
+  void Add(Tuple t, TimeInterval validity) {
+    if (!validity.Empty()) elements_.push_back({std::move(t), validity});
+  }
+
+  const std::vector<LogicalElement>& elements() const { return elements_; }
+  size_t size() const { return elements_.size(); }
+
+  /// \brief The timeslice operation: the instantaneous multiset at `tau`.
+  MultisetRelation SnapshotAt(Timestamp tau) const;
+
+  /// \brief All interval endpoints — the instants where a snapshot can
+  /// change (sorted, deduplicated).
+  std::vector<Timestamp> Endpoints() const;
+
+ private:
+  std::vector<LogicalElement> elements_;
+};
+
+/// \brief Logical-stream selection: filters tuples, keeps validity.
+Result<LogicalStream> SelectLS(const LogicalStream& s, const Expr& predicate);
+
+/// \brief Logical-stream projection: maps tuples, keeps validity.
+Result<LogicalStream> ProjectLS(const LogicalStream& s,
+                                const std::vector<ExprPtr>& exprs);
+
+/// \brief Logical-stream theta join: output validity is the intersection of
+/// the operands' validities (empty intersections produce nothing).
+Result<LogicalStream> JoinLS(const LogicalStream& a, const LogicalStream& b,
+                             const Expr* predicate);
+
+/// \brief Logical-stream union: concatenation.
+LogicalStream UnionLS(const LogicalStream& a, const LogicalStream& b);
+
+/// \brief A windowing operation expressed as a logical-stream transform:
+/// replaces each element's validity with [start, start + range) — the
+/// time-based sliding window as validity assignment. (This is how Kramer et
+/// al. express windows as stream properties rather than operators.)
+LogicalStream WindowLS(const LogicalStream& s, Duration range);
+
+/// \brief Verifies Definition 3.2 for a unary operator on a concrete input:
+/// for every instant in `instants`, snapshot(op_ls(S)) == op_ms(snapshot(S)).
+/// Returns OK when reducible, Internal with a counterexample otherwise.
+Status CheckSnapshotReducibleUnary(
+    const LogicalStream& input,
+    const std::function<Result<LogicalStream>(const LogicalStream&)>& op_ls,
+    const std::function<Result<MultisetRelation>(const MultisetRelation&)>&
+        op_ms,
+    const std::vector<Timestamp>& instants);
+
+/// \brief Binary-operator variant of the Definition 3.2 check.
+Status CheckSnapshotReducibleBinary(
+    const LogicalStream& a, const LogicalStream& b,
+    const std::function<Result<LogicalStream>(const LogicalStream&,
+                                              const LogicalStream&)>& op_ls,
+    const std::function<Result<MultisetRelation>(const MultisetRelation&,
+                                                 const MultisetRelation&)>&
+        op_ms,
+    const std::vector<Timestamp>& instants);
+
+}  // namespace cq
+
+#endif  // CQ_CQL_SNAPSHOT_H_

@@ -1,0 +1,173 @@
+#include "dataflow/chaining.h"
+
+#include <functional>
+#include <map>
+
+namespace cq {
+
+namespace {
+
+/// Feeds a stage's emissions into the next stage of the chain.
+class StageCollector : public Collector {
+ public:
+  using RunFn = std::function<Status(size_t, const StreamElement&)>;
+  StageCollector(RunFn run, size_t next_stage)
+      : run_(std::move(run)), next_stage_(next_stage) {}
+
+  void Emit(StreamElement element) override {
+    Status st = run_(next_stage_, element);
+    if (!st.ok() && status_.ok()) status_ = st;
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  RunFn run_;
+  size_t next_stage_;
+  Status status_;
+};
+
+}  // namespace
+
+ChainedOperator::ChainedOperator(std::vector<std::unique_ptr<Operator>> stages)
+    : Operator(stages.empty() ? "chain" : "chain[" + stages.front()->name() +
+                                              "..." + stages.back()->name() +
+                                              "]"),
+      stages_(std::move(stages)) {}
+
+Status ChainedOperator::RunFrom(size_t stage_index,
+                                const StreamElement& element,
+                                const OperatorContext& ctx, Collector* out) {
+  if (stage_index >= stages_.size()) {
+    out->Emit(element);
+    return Status::OK();
+  }
+  StageCollector collector(
+      [this, &ctx, out](size_t next, const StreamElement& e) {
+        return RunFrom(next, e, ctx, out);
+      },
+      stage_index + 1);
+  CQ_RETURN_NOT_OK(
+      stages_[stage_index]->ProcessElement(0, element, ctx, &collector));
+  return collector.status();
+}
+
+Status ChainedOperator::ProcessElement(size_t, const StreamElement& element,
+                                       const OperatorContext& ctx,
+                                       Collector* out) {
+  return RunFrom(0, element, ctx, out);
+}
+
+Status ChainedOperator::OnWatermark(Timestamp watermark,
+                                    const OperatorContext& ctx,
+                                    Collector* out) {
+  // Chained stages are stateless: their watermark hooks cannot emit, but
+  // invoke them anyway for operators that track statistics.
+  for (auto& stage : stages_) {
+    StageCollector collector(
+        [](size_t, const StreamElement&) {
+          return Status::Internal(
+              "stateless chained stage emitted on watermark");
+        },
+        0);
+    CQ_RETURN_NOT_OK(stage->OnWatermark(watermark, ctx, &collector));
+    CQ_RETURN_NOT_OK(collector.status());
+  }
+  (void)out;
+  return Status::OK();
+}
+
+Status ChainedOperator::OnProcessingTime(const OperatorContext& ctx,
+                                         Collector* out) {
+  (void)ctx;
+  (void)out;
+  return Status::OK();
+}
+
+bool IsChainable(const Operator& op) {
+  return op.num_input_ports() == 1 && op.IsStateless();
+}
+
+Result<std::unique_ptr<DataflowGraph>> FuseChains(
+    std::unique_ptr<DataflowGraph> graph, std::vector<NodeId>* node_mapping,
+    size_t* fused_count) {
+  if (graph == nullptr) return Status::InvalidArgument("no graph");
+  const size_t n = graph->num_nodes();
+  CQ_RETURN_NOT_OK(graph->Validate());
+
+  // In-degrees.
+  std::vector<size_t> indegree(n, 0);
+  for (NodeId i = 0; i < n; ++i) {
+    for (const auto& e : graph->outputs(i)) indegree[e.to]++;
+  }
+
+  // A node j is absorbed into its predecessor's chain when both ends are
+  // chainable (stateful operators emit on watermarks and need their own
+  // checkpoint slot, so they neither head nor join a chain), i has exactly
+  // one output, j has in-degree 1, and the edge targets port 0.
+  std::vector<bool> absorbed(n, false);
+  std::vector<NodeId> chain_next(n, static_cast<NodeId>(-1));
+  for (NodeId i = 0; i < n; ++i) {
+    if (!IsChainable(*graph->node(i))) continue;
+    const auto& outs = graph->outputs(i);
+    if (outs.size() != 1) continue;
+    NodeId j = outs[0].to;
+    if (outs[0].port != 0 || indegree[j] != 1) continue;
+    if (!IsChainable(*graph->node(j))) continue;
+    chain_next[i] = j;
+    absorbed[j] = true;
+  }
+
+  // Build chains starting at non-absorbed nodes.
+  std::vector<NodeId> head_of(n);
+  std::vector<std::vector<NodeId>> chains;  // heads with their members
+  for (NodeId i = 0; i < n; ++i) {
+    if (absorbed[i]) continue;
+    std::vector<NodeId> members{i};
+    NodeId cursor = i;
+    while (chain_next[cursor] != static_cast<NodeId>(-1)) {
+      cursor = chain_next[cursor];
+      members.push_back(cursor);
+    }
+    for (NodeId m : members) head_of[m] = i;
+    chains.push_back(std::move(members));
+  }
+
+  // Assemble the fused graph.
+  auto fused = std::make_unique<DataflowGraph>();
+  std::map<NodeId, NodeId> new_id_of_head;
+  size_t eliminated = 0;
+  for (const auto& members : chains) {
+    std::unique_ptr<Operator> op;
+    if (members.size() == 1) {
+      op = graph->ReleaseOperator(members[0]);
+    } else {
+      std::vector<std::unique_ptr<Operator>> stages;
+      stages.reserve(members.size());
+      for (NodeId m : members) stages.push_back(graph->ReleaseOperator(m));
+      eliminated += members.size() - 1;
+      op = std::make_unique<ChainedOperator>(std::move(stages));
+    }
+    new_id_of_head[members[0]] = fused->AddNode(std::move(op));
+  }
+  // Re-wire edges: the chain tail's outgoing edges leave the fused node;
+  // intra-chain edges disappear.
+  for (NodeId i = 0; i < n; ++i) {
+    for (const auto& e : graph->outputs(i)) {
+      if (absorbed[e.to] && head_of[e.to] == head_of[i]) continue;  // fused
+      CQ_RETURN_NOT_OK(fused->Connect(new_id_of_head[head_of[i]],
+                                      new_id_of_head[head_of[e.to]], e.port));
+    }
+  }
+
+  if (node_mapping != nullptr) {
+    node_mapping->assign(n, 0);
+    for (NodeId i = 0; i < n; ++i) {
+      (*node_mapping)[i] = new_id_of_head[head_of[i]];
+    }
+  }
+  if (fused_count != nullptr) *fused_count = eliminated;
+  return fused;
+}
+
+}  // namespace cq

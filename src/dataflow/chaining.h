@@ -1,0 +1,60 @@
+#ifndef CQ_DATAFLOW_CHAINING_H_
+#define CQ_DATAFLOW_CHAINING_H_
+
+/// \file chaining.h
+/// \brief Operator chaining — the dataflow-level *fusion* optimisation
+/// (paper §4.2, Hirzel et al.'s catalogue, rule (v)).
+///
+/// Streaming systems fuse chains of forwarding operators into a single
+/// physical operator so records pass through one dispatch instead of one per
+/// logical operator. `FuseChains` rewrites a DataflowGraph: every maximal
+/// linear chain of stateless single-input operators collapses into one
+/// ChainedOperator; stateful operators (windows, joins) and fan-in/fan-out
+/// points break chains, exactly as in production runtimes.
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/graph.h"
+
+namespace cq {
+
+/// \brief A fused chain: runs each fused operator in sequence, feeding each
+/// operator's emissions into the next without touching the executor.
+class ChainedOperator : public Operator {
+ public:
+  explicit ChainedOperator(std::vector<std::unique_ptr<Operator>> stages);
+
+  Status ProcessElement(size_t port, const StreamElement& element,
+                        const OperatorContext& ctx, Collector* out) override;
+  Status OnWatermark(Timestamp watermark, const OperatorContext& ctx,
+                     Collector* out) override;
+  Status OnProcessingTime(const OperatorContext& ctx, Collector* out) override;
+
+  size_t num_stages() const { return stages_.size(); }
+  const Operator* stage(size_t i) const { return stages_[i].get(); }
+
+ private:
+  Status RunFrom(size_t stage_index, const StreamElement& element,
+                 const OperatorContext& ctx, Collector* out);
+
+  std::vector<std::unique_ptr<Operator>> stages_;
+};
+
+/// \brief Whether an operator is chainable: single input port and no state
+/// to checkpoint (stateless forwarding stage). Conservative: any operator
+/// that snapshots state is excluded.
+bool IsChainable(const Operator& op);
+
+/// \brief Rewrites the graph, fusing maximal chains. Returns the new graph
+/// and (via `fused_count`) how many operators were eliminated. Node ids are
+/// reassigned; `node_mapping[old_id]` gives the new id of each old node
+/// (chained followers map to their chain head's id).
+Result<std::unique_ptr<DataflowGraph>> FuseChains(
+    std::unique_ptr<DataflowGraph> graph, std::vector<NodeId>* node_mapping,
+    size_t* fused_count);
+
+}  // namespace cq
+
+#endif  // CQ_DATAFLOW_CHAINING_H_

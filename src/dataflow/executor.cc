@@ -1,0 +1,184 @@
+#include "dataflow/executor.h"
+
+#include <algorithm>
+
+#include "types/serde.h"
+
+namespace cq {
+
+namespace {
+
+/// Routes an operator's emissions to its downstream nodes, recursively.
+class RoutingCollector : public Collector {
+ public:
+  using DeliverFn =
+      std::function<Status(NodeId, size_t, const StreamElement&)>;
+  RoutingCollector(const std::vector<DataflowGraph::Edge>* edges,
+                   DeliverFn deliver)
+      : edges_(edges), deliver_(std::move(deliver)) {}
+
+  void Emit(StreamElement element) override {
+    for (const auto& e : *edges_) {
+      Status s = deliver_(e.to, e.port, element);
+      if (!s.ok() && status_.ok()) status_ = s;
+    }
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  const std::vector<DataflowGraph::Edge>* edges_;
+  DeliverFn deliver_;
+  Status status_;
+};
+
+}  // namespace
+
+PipelineExecutor::PipelineExecutor(std::unique_ptr<DataflowGraph> graph,
+                                   ProcessingTimeSource* clock)
+    : graph_(std::move(graph)), clock_(clock) {
+  if (clock_ == nullptr) clock_ = &manual_clock_;
+  port_watermarks_.resize(graph_->num_nodes());
+  node_watermarks_.assign(graph_->num_nodes(), kMinTimestamp);
+  for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
+    port_watermarks_[i].assign(graph_->node(i)->num_input_ports(),
+                               kMinTimestamp);
+  }
+}
+
+OperatorContext PipelineExecutor::ContextFor(NodeId node) const {
+  OperatorContext ctx;
+  ctx.processing_time = clock_->Now();
+  ctx.watermark = node_watermarks_[node];
+  return ctx;
+}
+
+Status PipelineExecutor::PushRecord(NodeId source, Tuple tuple, Timestamp ts) {
+  return Push(source, StreamElement::Record(std::move(tuple), ts));
+}
+
+Status PipelineExecutor::PushWatermark(NodeId source, Timestamp watermark) {
+  return Push(source, StreamElement::Watermark(watermark));
+}
+
+Status PipelineExecutor::Push(NodeId source, const StreamElement& element) {
+  if (source >= graph_->num_nodes()) {
+    return Status::InvalidArgument("no such node");
+  }
+  if (element.is_watermark()) {
+    return DeliverWatermark(source, 0, element.timestamp);
+  }
+  return Deliver(source, 0, element);
+}
+
+Status PipelineExecutor::Deliver(NodeId node, size_t port,
+                                 const StreamElement& element) {
+  Operator* op = graph_->node(node);
+  RoutingCollector collector(
+      &graph_->outputs(node),
+      [this](NodeId to, size_t to_port, const StreamElement& e) {
+        return e.is_watermark() ? DeliverWatermark(to, to_port, e.timestamp)
+                                : Deliver(to, to_port, e);
+      });
+  CQ_RETURN_NOT_OK(
+      op->ProcessElement(port, element, ContextFor(node), &collector));
+  return collector.status();
+}
+
+Status PipelineExecutor::DeliverWatermark(NodeId node, size_t port,
+                                          Timestamp wm) {
+  auto& ports = port_watermarks_[node];
+  if (port >= ports.size()) {
+    return Status::InvalidArgument("watermark delivered to unknown port");
+  }
+  if (wm <= ports[port]) return Status::OK();  // watermarks are monotonic
+  ports[port] = wm;
+  Timestamp combined = *std::min_element(ports.begin(), ports.end());
+  if (combined <= node_watermarks_[node]) return Status::OK();
+  node_watermarks_[node] = combined;
+
+  Operator* op = graph_->node(node);
+  RoutingCollector collector(
+      &graph_->outputs(node),
+      [this](NodeId to, size_t to_port, const StreamElement& e) {
+        return e.is_watermark() ? DeliverWatermark(to, to_port, e.timestamp)
+                                : Deliver(to, to_port, e);
+      });
+  CQ_RETURN_NOT_OK(op->OnWatermark(combined, ContextFor(node), &collector));
+  CQ_RETURN_NOT_OK(collector.status());
+  // Forward the combined watermark downstream.
+  for (const auto& e : graph_->outputs(node)) {
+    CQ_RETURN_NOT_OK(DeliverWatermark(e.to, e.port, combined));
+  }
+  return Status::OK();
+}
+
+Status PipelineExecutor::AdvanceProcessingTime(Timestamp now) {
+  if (clock_ == &manual_clock_) manual_clock_.Set(now);
+  CQ_ASSIGN_OR_RETURN(std::vector<NodeId> order, graph_->TopologicalOrder());
+  for (NodeId id : order) {
+    Operator* op = graph_->node(id);
+    RoutingCollector collector(
+        &graph_->outputs(id),
+        [this](NodeId to, size_t to_port, const StreamElement& e) {
+          return e.is_watermark() ? DeliverWatermark(to, to_port, e.timestamp)
+                                  : Deliver(to, to_port, e);
+        });
+    CQ_RETURN_NOT_OK(op->OnProcessingTime(ContextFor(id), &collector));
+    CQ_RETURN_NOT_OK(collector.status());
+  }
+  return Status::OK();
+}
+
+Result<std::string> PipelineExecutor::Checkpoint(
+    const std::map<std::string, int64_t>& source_offsets) const {
+  std::string out;
+  EncodeU32(static_cast<uint32_t>(graph_->num_nodes()), &out);
+  for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
+    CQ_ASSIGN_OR_RETURN(std::string state, graph_->node(i)->SnapshotState());
+    EncodeString(state, &out);
+  }
+  EncodeU32(static_cast<uint32_t>(source_offsets.size()), &out);
+  for (const auto& [name, offset] : source_offsets) {
+    EncodeString(name, &out);
+    EncodeI64(offset, &out);
+  }
+  return out;
+}
+
+Result<std::map<std::string, int64_t>> PipelineExecutor::Restore(
+    std::string_view image) {
+  std::string_view in = image;
+  CQ_ASSIGN_OR_RETURN(uint32_t n, DecodeU32(&in));
+  if (n != graph_->num_nodes()) {
+    return Status::InvalidArgument(
+        "checkpoint image is for a graph with " + std::to_string(n) +
+        " nodes, this graph has " + std::to_string(graph_->num_nodes()));
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    CQ_ASSIGN_OR_RETURN(std::string state, DecodeString(&in));
+    CQ_RETURN_NOT_OK(graph_->node(i)->RestoreState(state));
+  }
+  std::map<std::string, int64_t> offsets;
+  CQ_ASSIGN_OR_RETURN(uint32_t m, DecodeU32(&in));
+  for (uint32_t i = 0; i < m; ++i) {
+    CQ_ASSIGN_OR_RETURN(std::string name, DecodeString(&in));
+    CQ_ASSIGN_OR_RETURN(int64_t offset, DecodeI64(&in));
+    offsets[name] = offset;
+  }
+  return offsets;
+}
+
+size_t PipelineExecutor::TotalStateSize() const {
+  size_t n = 0;
+  for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
+    n += graph_->node(i)->StateSize();
+  }
+  return n;
+}
+
+Timestamp PipelineExecutor::NodeWatermark(NodeId id) const {
+  return node_watermarks_[id];
+}
+
+}  // namespace cq

@@ -1,0 +1,79 @@
+#include "dataflow/graph.h"
+
+#include <deque>
+
+namespace cq {
+
+NodeId DataflowGraph::AddNode(std::unique_ptr<Operator> op) {
+  nodes_.push_back(Node{std::move(op), {}, 0});
+  return nodes_.size() - 1;
+}
+
+Status DataflowGraph::Connect(NodeId from, NodeId to, size_t to_port) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    return Status::InvalidArgument("Connect: node id out of range");
+  }
+  if (to_port >= nodes_[to].op->num_input_ports()) {
+    return Status::InvalidArgument(
+        "Connect: port " + std::to_string(to_port) + " out of range for '" +
+        nodes_[to].op->name() + "'");
+  }
+  nodes_[from].outputs.push_back({to, to_port});
+  nodes_[to].num_inputs++;
+  return Status::OK();
+}
+
+std::vector<NodeId> DataflowGraph::SourceNodes() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].num_inputs == 0) out.push_back(i);
+  }
+  return out;
+}
+
+Result<std::vector<NodeId>> DataflowGraph::TopologicalOrder() const {
+  std::vector<size_t> indegree(nodes_.size(), 0);
+  for (const auto& n : nodes_) {
+    for (const auto& e : n.outputs) indegree[e.to]++;
+  }
+  std::deque<NodeId> ready;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    NodeId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (const auto& e : nodes_[id].outputs) {
+      if (--indegree[e.to] == 0) ready.push_back(e.to);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Status::PlanError("dataflow graph has a cycle");
+  }
+  return order;
+}
+
+Status DataflowGraph::Validate() const {
+  CQ_RETURN_NOT_OK(TopologicalOrder().status());
+  return Status::OK();
+}
+
+std::string DataflowGraph::ToString() const {
+  std::string out;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    out += "[" + std::to_string(i) + "] " + nodes_[i].op->name();
+    if (!nodes_[i].outputs.empty()) {
+      out += " ->";
+      for (const auto& e : nodes_[i].outputs) {
+        out += " " + std::to_string(e.to) + ":" + std::to_string(e.port);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cq

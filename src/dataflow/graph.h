@@ -1,0 +1,69 @@
+#ifndef CQ_DATAFLOW_GRAPH_H_
+#define CQ_DATAFLOW_GRAPH_H_
+
+/// \file graph.h
+/// \brief The dataflow DAG (paper §4.1.1, Fig. 5): operators as nodes,
+/// directed edges carrying records and watermarks between them.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/operator.h"
+
+namespace cq {
+
+using NodeId = size_t;
+
+/// \brief A DAG of operators under construction / execution.
+class DataflowGraph {
+ public:
+  /// \brief Adds an operator; returns its node id.
+  NodeId AddNode(std::unique_ptr<Operator> op);
+
+  /// \brief Wires `from`'s output into `to`'s input port `to_port`.
+  Status Connect(NodeId from, NodeId to, size_t to_port = 0);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  Operator* node(NodeId id) { return nodes_[id].op.get(); }
+  const Operator* node(NodeId id) const { return nodes_[id].op.get(); }
+
+  struct Edge {
+    NodeId to;
+    size_t port;
+  };
+  const std::vector<Edge>& outputs(NodeId id) const {
+    return nodes_[id].outputs;
+  }
+  size_t num_inputs(NodeId id) const { return nodes_[id].num_inputs; }
+
+  /// \brief Nodes with no incoming edges (the graph's sources).
+  std::vector<NodeId> SourceNodes() const;
+
+  /// \brief Topological order; PlanError if the graph has a cycle.
+  Result<std::vector<NodeId>> TopologicalOrder() const;
+
+  /// \brief Validates: all ports wired within operator arity, acyclic.
+  Status Validate() const;
+
+  /// \brief Extracts ownership of a node's operator (for rewrite passes
+  /// such as chain fusion). The graph must not be executed afterwards.
+  std::unique_ptr<Operator> ReleaseOperator(NodeId id) {
+    return std::move(nodes_[id].op);
+  }
+
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<Operator> op;
+    std::vector<Edge> outputs;
+    size_t num_inputs = 0;  // count of incoming edges
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_DATAFLOW_GRAPH_H_

@@ -1,0 +1,117 @@
+#include "dataflow/join_operator.h"
+
+#include "types/serde.h"
+
+namespace cq {
+
+StreamJoinOperator::StreamJoinOperator(std::string name,
+                                       StreamJoinConfig config)
+    : Operator(std::move(name), /*num_input_ports=*/2),
+      config_(std::move(config)) {}
+
+Status StreamJoinOperator::Probe(const BufferedElement& elem,
+                                 const std::string& key, bool from_left,
+                                 const SideBuffer& other, Collector* out) {
+  auto it = other.find(key);
+  if (it == other.end()) return Status::OK();
+  for (const auto& candidate : it->second) {
+    Duration diff = elem.ts - candidate.ts;
+    if (diff < 0) diff = -diff;
+    if (diff > config_.time_bound) continue;
+    Tuple joined = from_left ? Tuple::Concat(elem.tuple, candidate.tuple)
+                             : Tuple::Concat(candidate.tuple, elem.tuple);
+    if (config_.residual != nullptr) {
+      CQ_ASSIGN_OR_RETURN(Value v, config_.residual->Eval(joined));
+      if (!(v.is_bool() && v.bool_value())) continue;
+    }
+    Timestamp out_ts = elem.ts > candidate.ts ? elem.ts : candidate.ts;
+    out->Emit(StreamElement::Record(std::move(joined), out_ts));
+  }
+  return Status::OK();
+}
+
+Status StreamJoinOperator::ProcessElement(size_t port,
+                                          const StreamElement& element,
+                                          const OperatorContext&,
+                                          Collector* out) {
+  bool from_left = (port == 0);
+  const std::vector<size_t>& keys =
+      from_left ? config_.left_keys : config_.right_keys;
+  std::string key = TupleToBytes(element.tuple.Project(keys));
+  BufferedElement elem{element.tuple, element.timestamp};
+
+  CQ_RETURN_NOT_OK(
+      Probe(elem, key, from_left, from_left ? right_ : left_, out));
+  (from_left ? left_ : right_)[key].push_back(std::move(elem));
+  return Status::OK();
+}
+
+void StreamJoinOperator::Evict(SideBuffer* side, Timestamp watermark) {
+  // An element can still match a future element from the other side while
+  // ts + bound >= watermark (future elements have ts >= watermark).
+  for (auto it = side->begin(); it != side->end();) {
+    auto& buffer = it->second;
+    while (!buffer.empty() &&
+           buffer.front().ts + config_.time_bound < watermark) {
+      buffer.pop_front();
+    }
+    if (buffer.empty()) {
+      it = side->erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status StreamJoinOperator::OnWatermark(Timestamp watermark,
+                                       const OperatorContext&, Collector*) {
+  Evict(&left_, watermark);
+  Evict(&right_, watermark);
+  return Status::OK();
+}
+
+Result<std::string> StreamJoinOperator::SnapshotState() const {
+  std::string out;
+  for (const SideBuffer* side : {&left_, &right_}) {
+    EncodeU32(static_cast<uint32_t>(side->size()), &out);
+    for (const auto& [key, buffer] : *side) {
+      EncodeString(key, &out);
+      EncodeU32(static_cast<uint32_t>(buffer.size()), &out);
+      for (const auto& e : buffer) {
+        EncodeTuple(e.tuple, &out);
+        EncodeI64(e.ts, &out);
+      }
+    }
+  }
+  return out;
+}
+
+Status StreamJoinOperator::RestoreState(std::string_view snapshot) {
+  left_.clear();
+  right_.clear();
+  std::string_view in = snapshot;
+  for (SideBuffer* side : {&left_, &right_}) {
+    CQ_ASSIGN_OR_RETURN(uint32_t nkeys, DecodeU32(&in));
+    for (uint32_t i = 0; i < nkeys; ++i) {
+      CQ_ASSIGN_OR_RETURN(std::string key, DecodeString(&in));
+      CQ_ASSIGN_OR_RETURN(uint32_t nelems, DecodeU32(&in));
+      auto& buffer = (*side)[key];
+      for (uint32_t j = 0; j < nelems; ++j) {
+        CQ_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(&in));
+        CQ_ASSIGN_OR_RETURN(Timestamp ts, DecodeI64(&in));
+        buffer.push_back({std::move(t), ts});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+size_t StreamJoinOperator::StateSize() const {
+  size_t n = 0;
+  for (const SideBuffer* side : {&left_, &right_}) {
+    for (const auto& [key, buffer] : *side) n += buffer.size();
+  }
+  return n;
+}
+
+}  // namespace cq

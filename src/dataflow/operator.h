@@ -1,0 +1,96 @@
+#ifndef CQ_DATAFLOW_OPERATOR_H_
+#define CQ_DATAFLOW_OPERATOR_H_
+
+/// \file operator.h
+/// \brief Dataflow operators: the computational nodes of Fig. 5.
+///
+/// Streaming-system computations are DAGs of operators exchanging
+/// timestamped records and watermarks (§4.1.1). An operator consumes
+/// elements on input ports, emits through a Collector, reacts to event-time
+/// watermarks and processing-time sweeps, and exposes its state for
+/// checkpointing.
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "stream/stream.h"
+
+namespace cq {
+
+/// \brief Downstream emission interface handed to operators.
+class Collector {
+ public:
+  virtual ~Collector() = default;
+  virtual void Emit(StreamElement element) = 0;
+};
+
+/// \brief Per-invocation context.
+struct OperatorContext {
+  /// Current processing time.
+  Timestamp processing_time = 0;
+  /// The operator's current (min-combined) input watermark.
+  Timestamp watermark = kMinTimestamp;
+};
+
+/// \brief Base class for dataflow operators.
+class Operator {
+ public:
+  explicit Operator(std::string name, size_t num_input_ports = 1)
+      : name_(std::move(name)), num_input_ports_(num_input_ports) {}
+  virtual ~Operator() = default;
+
+  const std::string& name() const { return name_; }
+  size_t num_input_ports() const { return num_input_ports_; }
+
+  /// \brief Handles one data record arriving on `port`.
+  virtual Status ProcessElement(size_t port, const StreamElement& element,
+                                const OperatorContext& ctx, Collector* out) = 0;
+
+  /// \brief The operator's combined input watermark advanced to
+  /// `watermark`. The executor forwards the watermark downstream after this
+  /// returns; the hook is for firing event-time timers and emitting results.
+  virtual Status OnWatermark(Timestamp watermark, const OperatorContext& ctx,
+                             Collector* out) {
+    (void)watermark;
+    (void)ctx;
+    (void)out;
+    return Status::OK();
+  }
+
+  /// \brief Processing time advanced (processing-time trigger sweep).
+  virtual Status OnProcessingTime(const OperatorContext& ctx, Collector* out) {
+    (void)ctx;
+    (void)out;
+    return Status::OK();
+  }
+
+  /// \brief Serializes operator state for a checkpoint (empty = stateless).
+  virtual Result<std::string> SnapshotState() const { return std::string(); }
+
+  /// \brief Restores from a SnapshotState payload.
+  virtual Status RestoreState(std::string_view snapshot) {
+    if (!snapshot.empty()) {
+      return Status::Internal("operator '" + name_ +
+                              "' received state but is stateless");
+    }
+    return Status::OK();
+  }
+
+  /// \brief Resident state cells (for memory-shape reporting).
+  virtual size_t StateSize() const { return 0; }
+
+  /// \brief Whether the operator keeps no cross-element state. Stateless
+  /// operators are eligible for chain fusion (chaining.h) and need no
+  /// checkpoint. Stateful operators MUST override this to false.
+  virtual bool IsStateless() const { return true; }
+
+ private:
+  std::string name_;
+  size_t num_input_ports_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_DATAFLOW_OPERATOR_H_

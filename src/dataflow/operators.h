@@ -1,0 +1,166 @@
+#ifndef CQ_DATAFLOW_OPERATORS_H_
+#define CQ_DATAFLOW_OPERATORS_H_
+
+/// \file operators.h
+/// \brief Stateless dataflow operators: the Dataflow Model's ParDo family
+/// (paper §4.1.1) plus sources and sinks.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cql/expr.h"
+#include "dataflow/operator.h"
+
+namespace cq {
+
+/// \brief Identity operator: a named injection point for records and
+/// watermarks (the in-graph stand-in for an external source).
+class PassThroughOperator : public Operator {
+ public:
+  explicit PassThroughOperator(std::string name) : Operator(std::move(name)) {}
+  Status ProcessElement(size_t, const StreamElement& element,
+                        const OperatorContext&, Collector* out) override {
+    out->Emit(element);
+    return Status::OK();
+  }
+};
+
+/// \brief ParDo with exactly one output per input (map).
+class MapOperator : public Operator {
+ public:
+  using Fn = std::function<Result<Tuple>(const Tuple&)>;
+  MapOperator(std::string name, Fn fn)
+      : Operator(std::move(name)), fn_(std::move(fn)) {}
+
+  Status ProcessElement(size_t, const StreamElement& element,
+                        const OperatorContext&, Collector* out) override {
+    CQ_ASSIGN_OR_RETURN(Tuple t, fn_(element.tuple));
+    out->Emit(StreamElement::Record(std::move(t), element.timestamp));
+    return Status::OK();
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// \brief Predicate filter; accepts an Expr or an arbitrary function.
+class FilterOperator : public Operator {
+ public:
+  using Fn = std::function<bool(const Tuple&)>;
+  FilterOperator(std::string name, Fn fn)
+      : Operator(std::move(name)), fn_(std::move(fn)) {}
+  FilterOperator(std::string name, ExprPtr predicate)
+      : Operator(std::move(name)),
+        fn_([predicate](const Tuple& t) { return predicate->Matches(t); }) {}
+
+  Status ProcessElement(size_t, const StreamElement& element,
+                        const OperatorContext&, Collector* out) override {
+    if (fn_(element.tuple)) out->Emit(element);
+    return Status::OK();
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// \brief ParDo with zero or more outputs per input (flat map).
+class FlatMapOperator : public Operator {
+ public:
+  using Fn = std::function<Result<std::vector<Tuple>>(const Tuple&)>;
+  FlatMapOperator(std::string name, Fn fn)
+      : Operator(std::move(name)), fn_(std::move(fn)) {}
+
+  Status ProcessElement(size_t, const StreamElement& element,
+                        const OperatorContext&, Collector* out) override {
+    CQ_ASSIGN_OR_RETURN(std::vector<Tuple> ts, fn_(element.tuple));
+    for (auto& t : ts) {
+      out->Emit(StreamElement::Record(std::move(t), element.timestamp));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// \brief Projection via expressions (the map special case the SQL frontend
+/// compiles to).
+class ProjectOperator : public Operator {
+ public:
+  ProjectOperator(std::string name, std::vector<ExprPtr> exprs)
+      : Operator(std::move(name)), exprs_(std::move(exprs)) {}
+
+  Status ProcessElement(size_t, const StreamElement& element,
+                        const OperatorContext&, Collector* out) override {
+    std::vector<Value> vals;
+    vals.reserve(exprs_.size());
+    for (const auto& e : exprs_) {
+      CQ_ASSIGN_OR_RETURN(Value v, e->Eval(element.tuple));
+      vals.push_back(std::move(v));
+    }
+    out->Emit(StreamElement::Record(Tuple(std::move(vals)), element.timestamp));
+    return Status::OK();
+  }
+
+ private:
+  std::vector<ExprPtr> exprs_;
+};
+
+/// \brief Collects records into a BoundedStream (test/bench sink).
+class CollectSinkOperator : public Operator {
+ public:
+  CollectSinkOperator(std::string name, BoundedStream* out)
+      : Operator(std::move(name)), out_(out) {}
+
+  Status ProcessElement(size_t, const StreamElement& element,
+                        const OperatorContext&, Collector*) override {
+    out_->Append(element);
+    return Status::OK();
+  }
+
+ private:
+  BoundedStream* out_;
+};
+
+/// \brief Invokes a callback per record (application sink).
+class CallbackSinkOperator : public Operator {
+ public:
+  using Fn = std::function<Status(const StreamElement&)>;
+  CallbackSinkOperator(std::string name, Fn fn)
+      : Operator(std::move(name)), fn_(std::move(fn)) {}
+
+  Status ProcessElement(size_t, const StreamElement& element,
+                        const OperatorContext&, Collector*) override {
+    return fn_(element);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// \brief Counts records and tracks the max timestamp (throughput probes).
+class CountingSinkOperator : public Operator {
+ public:
+  explicit CountingSinkOperator(std::string name)
+      : Operator(std::move(name)) {}
+
+  Status ProcessElement(size_t, const StreamElement& element,
+                        const OperatorContext&, Collector*) override {
+    ++count_;
+    if (element.timestamp > max_ts_) max_ts_ = element.timestamp;
+    return Status::OK();
+  }
+
+  uint64_t count() const { return count_; }
+  Timestamp max_timestamp() const { return max_ts_; }
+
+ private:
+  uint64_t count_ = 0;
+  Timestamp max_ts_ = kMinTimestamp;
+};
+
+}  // namespace cq
+
+#endif  // CQ_DATAFLOW_OPERATORS_H_

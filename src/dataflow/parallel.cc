@@ -1,0 +1,126 @@
+#include "dataflow/parallel.h"
+
+#include <algorithm>
+
+namespace cq {
+
+Status Mailbox::Push(StreamElement element) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] { return queue_.size() < capacity_ || closed_; });
+  if (closed_) return Status::Closed("mailbox closed");
+  queue_.push_back(std::move(element));
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+bool Mailbox::Pop(StreamElement* element) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return false;  // closed and drained
+  *element = std::move(queue_.front());
+  queue_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+void Mailbox::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+ParallelPipeline::ParallelPipeline(size_t parallelism, Factory factory,
+                                   KeyFn key_fn)
+    : parallelism_(parallelism == 0 ? 1 : parallelism),
+      factory_(std::move(factory)),
+      key_fn_(std::move(key_fn)) {}
+
+ParallelPipeline::~ParallelPipeline() {
+  if (started_ && !finished_) {
+    Result<BoundedStream> r = Finish();
+    (void)r;
+  }
+}
+
+Status ParallelPipeline::Start() {
+  if (started_) return Status::Internal("pipeline already started");
+  workers_.reserve(parallelism_);
+  for (size_t i = 0; i < parallelism_; ++i) {
+    CQ_ASSIGN_OR_RETURN(WorkerPipeline p, factory_(i));
+    if (p.executor == nullptr || p.output == nullptr) {
+      return Status::InvalidArgument("factory returned incomplete pipeline");
+    }
+    auto w = std::make_unique<Worker>();
+    w->pipeline = std::move(p);
+    workers_.push_back(std::move(w));
+  }
+  for (size_t i = 0; i < parallelism_; ++i) {
+    workers_[i]->thread = std::thread([this, i] { WorkerLoop(i); });
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+void ParallelPipeline::WorkerLoop(size_t index) {
+  Worker& w = *workers_[index];
+  StreamElement element;
+  while (w.mailbox.Pop(&element)) {
+    Status st = w.pipeline.executor->Push(w.pipeline.source, element);
+    if (!st.ok() && w.status.ok()) w.status = st;
+  }
+}
+
+Status ParallelPipeline::Send(Tuple tuple, Timestamp ts) {
+  if (!started_) return Status::Internal("pipeline not started");
+  std::string key = key_fn_(tuple);
+  size_t target = Fnv1a64(key) % parallelism_;
+  return workers_[target]->mailbox.Push(
+      StreamElement::Record(std::move(tuple), ts));
+}
+
+Status ParallelPipeline::BroadcastWatermark(Timestamp watermark) {
+  if (!started_) return Status::Internal("pipeline not started");
+  for (auto& w : workers_) {
+    CQ_RETURN_NOT_OK(w->mailbox.Push(StreamElement::Watermark(watermark)));
+  }
+  return Status::OK();
+}
+
+Result<BoundedStream> ParallelPipeline::Finish() {
+  if (!started_) return Status::Internal("pipeline not started");
+  if (finished_) return Status::Internal("pipeline already finished");
+  finished_ = true;
+  for (auto& w : workers_) w->mailbox.Close();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  for (auto& w : workers_) {
+    CQ_RETURN_NOT_OK(w->status);
+  }
+  // Merge outputs deterministically: sort records by (timestamp, tuple).
+  std::vector<StreamElement> all;
+  for (auto& w : workers_) {
+    for (const auto& e : *w->pipeline.output) {
+      if (e.is_record()) all.push_back(e);
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const StreamElement& a, const StreamElement& b) {
+                     if (a.timestamp != b.timestamp) {
+                       return a.timestamp < b.timestamp;
+                     }
+                     return a.tuple.Compare(b.tuple) < 0;
+                   });
+  BoundedStream out;
+  for (auto& e : all) out.Append(std::move(e));
+  return out;
+}
+
+ParallelPipeline::KeyFn ProjectKeyFn(std::vector<size_t> key_indexes) {
+  return [key_indexes = std::move(key_indexes)](const Tuple& t) {
+    return TupleToBytes(t.Project(key_indexes));
+  };
+}
+
+}  // namespace cq

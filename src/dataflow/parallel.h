@@ -1,0 +1,113 @@
+#ifndef CQ_DATAFLOW_PARALLEL_H_
+#define CQ_DATAFLOW_PARALLEL_H_
+
+/// \file parallel.h
+/// \brief Actor-style parallel execution (paper §4.1, Fig. 4 bottom layer).
+///
+/// At the base of every streaming system's stack sits a variation of the
+/// actor model: workers own state, communicate exclusively by message
+/// passing, and the runtime routes records to workers by key so that keyed
+/// state is single-writer. This module implements that layer: each worker
+/// thread runs its own synchronous PipelineExecutor instance and drains a
+/// mailbox; a router hashes keys to mailboxes; watermarks are broadcast.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "dataflow/executor.h"
+#include "types/serde.h"
+
+namespace cq {
+
+/// \brief Bounded MPSC blocking queue of stream elements.
+class Mailbox {
+ public:
+  explicit Mailbox(size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// \brief Blocks while full; fails once closed.
+  Status Push(StreamElement element);
+
+  /// \brief Blocks while empty; returns false once closed and drained.
+  bool Pop(StreamElement* element);
+
+  void Close();
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<StreamElement> queue_;
+  bool closed_ = false;
+};
+
+/// \brief A fully built worker pipeline returned by the factory.
+struct WorkerPipeline {
+  std::unique_ptr<PipelineExecutor> executor;
+  NodeId source = 0;
+  /// Sink output owned by the worker; merged by Finish().
+  std::unique_ptr<BoundedStream> output;
+};
+
+/// \brief Data-parallel keyed pipeline: P workers, each a full pipeline
+/// copy over its hash shard of the key space.
+class ParallelPipeline {
+ public:
+  using Factory = std::function<Result<WorkerPipeline>(size_t worker_index)>;
+  /// Extracts the partitioning key bytes from a record.
+  using KeyFn = std::function<std::string(const Tuple&)>;
+
+  ParallelPipeline(size_t parallelism, Factory factory, KeyFn key_fn);
+  ~ParallelPipeline();
+
+  /// \brief Builds the workers and starts their threads.
+  Status Start();
+
+  /// \brief Routes a record to the worker owning its key.
+  Status Send(Tuple tuple, Timestamp ts);
+
+  /// \brief Broadcasts a watermark to every worker.
+  Status BroadcastWatermark(Timestamp watermark);
+
+  /// \brief Closes mailboxes, joins workers, returns all sink outputs
+  /// merged and sorted by timestamp.
+  Result<BoundedStream> Finish();
+
+  size_t parallelism() const { return parallelism_; }
+
+ private:
+  void WorkerLoop(size_t index);
+
+  size_t parallelism_;
+  Factory factory_;
+  KeyFn key_fn_;
+
+  struct Worker {
+    WorkerPipeline pipeline;
+    Mailbox mailbox;
+    std::thread thread;
+    Status status;  // first error observed by the worker
+  };
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+/// \brief Convenience KeyFn: hash of the projection onto `key_indexes`.
+ParallelPipeline::KeyFn ProjectKeyFn(std::vector<size_t> key_indexes);
+
+}  // namespace cq
+
+#endif  // CQ_DATAFLOW_PARALLEL_H_

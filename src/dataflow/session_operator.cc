@@ -1,0 +1,175 @@
+#include "dataflow/session_operator.h"
+
+#include "types/serde.h"
+
+namespace cq {
+
+namespace {
+
+void EncodeAggStateVec(const std::vector<AggState>& states, std::string* out) {
+  EncodeU32(static_cast<uint32_t>(states.size()), out);
+  for (const auto& s : states) {
+    EncodeI64(s.count, out);
+    EncodeF64(s.sum, out);
+    EncodeValue(s.min, out);
+    EncodeValue(s.max, out);
+  }
+}
+
+Result<std::vector<AggState>> DecodeAggStateVec(std::string_view* in) {
+  CQ_ASSIGN_OR_RETURN(uint32_t n, DecodeU32(in));
+  std::vector<AggState> states;
+  states.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    AggState s;
+    CQ_ASSIGN_OR_RETURN(s.count, DecodeI64(in));
+    CQ_ASSIGN_OR_RETURN(s.sum, DecodeF64(in));
+    CQ_ASSIGN_OR_RETURN(s.min, DecodeValue(in));
+    CQ_ASSIGN_OR_RETURN(s.max, DecodeValue(in));
+    states.push_back(std::move(s));
+  }
+  return states;
+}
+
+}  // namespace
+
+SessionWindowOperator::SessionWindowOperator(std::string name,
+                                             SessionAggregateConfig config)
+    : Operator(std::move(name)), config_(std::move(config)) {
+  for (const auto& a : config_.aggs) {
+    funcs_.push_back(AggregateFunction::Make(a.kind));
+  }
+}
+
+std::vector<AggState> SessionWindowOperator::IdentityStates() const {
+  std::vector<AggState> states(funcs_.size());
+  for (size_t i = 0; i < funcs_.size(); ++i) states[i] = funcs_[i]->Identity();
+  return states;
+}
+
+Status SessionWindowOperator::ProcessElement(size_t,
+                                             const StreamElement& element,
+                                             const OperatorContext& ctx,
+                                             Collector*) {
+  Timestamp ts = element.timestamp;
+  if (ts < ctx.watermark) {
+    // The session this element would belong to may already be closed; the
+    // watermark contract makes it late.
+    ++dropped_late_;
+    return Status::OK();
+  }
+  std::string key =
+      TupleToBytes(element.tuple.Project(config_.key_indexes));
+  auto it = keys_.find(key);
+  if (it == keys_.end()) {
+    it = keys_.emplace(key, KeyState(config_.gap)).first;
+  }
+  KeyState& ks = it->second;
+
+  std::vector<TimeInterval> absorbed;
+  TimeInterval session = ks.merger.AddElement(ts, &absorbed);
+
+  // Merge absorbed sessions' aggregate state into the new session's cell.
+  std::vector<AggState> states = IdentityStates();
+  for (const TimeInterval& old : absorbed) {
+    auto cell = ks.cells.find(old);
+    if (cell == ks.cells.end()) continue;
+    for (size_t i = 0; i < funcs_.size(); ++i) {
+      states[i] = funcs_[i]->Combine(states[i], cell->second[i]);
+    }
+    ks.cells.erase(cell);
+  }
+  // Fold in the new element.
+  for (size_t i = 0; i < funcs_.size(); ++i) {
+    Value in(static_cast<int64_t>(1));
+    if (config_.aggs[i].input != nullptr) {
+      CQ_ASSIGN_OR_RETURN(in, config_.aggs[i].input->Eval(element.tuple));
+    }
+    states[i] = funcs_[i]->Combine(states[i], funcs_[i]->Lift(in));
+  }
+  ks.cells[session] = std::move(states);
+  return Status::OK();
+}
+
+Status SessionWindowOperator::OnWatermark(Timestamp watermark,
+                                          const OperatorContext&,
+                                          Collector* out) {
+  for (auto it = keys_.begin(); it != keys_.end();) {
+    KeyState& ks = it->second;
+    for (const TimeInterval& closed : ks.merger.CloseUpTo(watermark)) {
+      auto cell = ks.cells.find(closed);
+      if (cell == ks.cells.end()) {
+        return Status::Internal("closed session has no aggregate state");
+      }
+      CQ_ASSIGN_OR_RETURN(Tuple key_tuple, TupleFromBytes(it->first));
+      std::vector<Value> vals = key_tuple.values();
+      vals.push_back(Value(closed.start));
+      vals.push_back(Value(closed.end));
+      for (size_t i = 0; i < funcs_.size(); ++i) {
+        vals.push_back(funcs_[i]->Lower(cell->second[i]));
+      }
+      out->Emit(StreamElement::Record(Tuple(std::move(vals)),
+                                      closed.end - 1));
+      ++sessions_emitted_;
+      ks.cells.erase(cell);
+    }
+    if (ks.cells.empty()) {
+      it = keys_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> SessionWindowOperator::SnapshotState() const {
+  std::string out;
+  EncodeU32(static_cast<uint32_t>(keys_.size()), &out);
+  for (const auto& [key, ks] : keys_) {
+    EncodeString(key, &out);
+    EncodeU32(static_cast<uint32_t>(ks.cells.size()), &out);
+    for (const auto& [session, states] : ks.cells) {
+      EncodeI64(session.start, &out);
+      EncodeI64(session.end, &out);
+      EncodeAggStateVec(states, &out);
+    }
+  }
+  return out;
+}
+
+Status SessionWindowOperator::RestoreState(std::string_view snapshot) {
+  keys_.clear();
+  if (snapshot.empty()) return Status::OK();
+  std::string_view in = snapshot;
+  CQ_ASSIGN_OR_RETURN(uint32_t nkeys, DecodeU32(&in));
+  for (uint32_t k = 0; k < nkeys; ++k) {
+    CQ_ASSIGN_OR_RETURN(std::string key, DecodeString(&in));
+    auto it = keys_.emplace(std::move(key), KeyState(config_.gap)).first;
+    CQ_ASSIGN_OR_RETURN(uint32_t ncells, DecodeU32(&in));
+    for (uint32_t c = 0; c < ncells; ++c) {
+      CQ_ASSIGN_OR_RETURN(Timestamp start, DecodeI64(&in));
+      CQ_ASSIGN_OR_RETURN(Timestamp end, DecodeI64(&in));
+      CQ_ASSIGN_OR_RETURN(std::vector<AggState> states,
+                          DecodeAggStateVec(&in));
+      TimeInterval session{start, end};
+      it->second.cells[session] = std::move(states);
+      // Rebuild the merger's view of the open session: re-adding the start
+      // creates [start, start+gap); extend by re-adding end - gap as well.
+      it->second.merger.AddElement(start);
+      if (end - config_.gap > start) {
+        it->second.merger.AddElement(end - config_.gap);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+size_t SessionWindowOperator::StateSize() const {
+  size_t n = 0;
+  for (const auto& [key, ks] : keys_) n += ks.cells.size();
+  return n;
+}
+
+size_t SessionWindowOperator::open_sessions() const { return StateSize(); }
+
+}  // namespace cq

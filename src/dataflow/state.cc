@@ -1,0 +1,120 @@
+#include "dataflow/state.h"
+
+#include "types/serde.h"
+
+namespace cq {
+
+Result<std::string> KeyedStateBackend::Snapshot() const {
+  std::string out;
+  Status st = ForEach([&out](const std::string& key, const std::string& ns,
+                             const std::string& value) {
+    EncodeString(key, &out);
+    EncodeString(ns, &out);
+    EncodeString(value, &out);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Status KeyedStateBackend::Restore(std::string_view snapshot) {
+  CQ_RETURN_NOT_OK(Clear());
+  std::string_view in = snapshot;
+  while (!in.empty()) {
+    CQ_ASSIGN_OR_RETURN(std::string key, DecodeString(&in));
+    CQ_ASSIGN_OR_RETURN(std::string ns, DecodeString(&in));
+    CQ_ASSIGN_OR_RETURN(std::string value, DecodeString(&in));
+    CQ_RETURN_NOT_OK(Put(key, ns, std::move(value)));
+  }
+  return Status::OK();
+}
+
+Status InMemoryStateBackend::Put(const std::string& key, const std::string& ns,
+                                 std::string value) {
+  cells_[{key, ns}] = std::move(value);
+  return Status::OK();
+}
+
+Result<std::string> InMemoryStateBackend::Get(const std::string& key,
+                                              const std::string& ns) const {
+  auto it = cells_.find({key, ns});
+  if (it == cells_.end()) return Status::NotFound("no state cell");
+  return it->second;
+}
+
+Status InMemoryStateBackend::Remove(const std::string& key,
+                                    const std::string& ns) {
+  cells_.erase({key, ns});
+  return Status::OK();
+}
+
+Status InMemoryStateBackend::ForEach(
+    const std::function<Status(const std::string&, const std::string&,
+                               const std::string&)>& fn) const {
+  for (const auto& [kns, value] : cells_) {
+    CQ_RETURN_NOT_OK(fn(kns.first, kns.second, value));
+  }
+  return Status::OK();
+}
+
+std::string KVStoreStateBackend::Compose(const std::string& key,
+                                         const std::string& ns) {
+  std::string out;
+  EncodeString(key, &out);
+  out += ns;
+  return out;
+}
+
+Status KVStoreStateBackend::Decompose(const std::string& composite,
+                                      std::string* key, std::string* ns) {
+  std::string_view in = composite;
+  CQ_ASSIGN_OR_RETURN(*key, DecodeString(&in));
+  ns->assign(in.data(), in.size());
+  return Status::OK();
+}
+
+Status KVStoreStateBackend::Put(const std::string& key, const std::string& ns,
+                                std::string value) {
+  return store_->Put(Compose(key, ns), value);
+}
+
+Result<std::string> KVStoreStateBackend::Get(const std::string& key,
+                                             const std::string& ns) const {
+  return store_->Get(Compose(key, ns));
+}
+
+Status KVStoreStateBackend::Remove(const std::string& key,
+                                   const std::string& ns) {
+  return store_->Delete(Compose(key, ns));
+}
+
+Status KVStoreStateBackend::ForEach(
+    const std::function<Status(const std::string&, const std::string&,
+                               const std::string&)>& fn) const {
+  auto it = store_->NewIterator();
+  for (; it->Valid(); it->Next()) {
+    std::string key, ns;
+    CQ_RETURN_NOT_OK(Decompose(it->key(), &key, &ns));
+    CQ_RETURN_NOT_OK(fn(key, ns, it->value()));
+  }
+  return Status::OK();
+}
+
+size_t KVStoreStateBackend::Size() const {
+  size_t n = 0;
+  auto it = store_->NewIterator();
+  for (; it->Valid(); it->Next()) ++n;
+  return n;
+}
+
+Status KVStoreStateBackend::Clear() {
+  std::vector<std::string> keys;
+  auto it = store_->NewIterator();
+  for (; it->Valid(); it->Next()) keys.push_back(it->key());
+  for (const auto& k : keys) {
+    CQ_RETURN_NOT_OK(store_->Delete(k));
+  }
+  return Status::OK();
+}
+
+}  // namespace cq

@@ -1,0 +1,106 @@
+#ifndef CQ_DATAFLOW_STATE_H_
+#define CQ_DATAFLOW_STATE_H_
+
+/// \file state.h
+/// \brief Keyed state backends for stateful operators (Fig. 5).
+///
+/// Stateful operations (aggregations, windows, joins) keep per-key state in
+/// a pluggable backend: an in-memory hash map, or the embedded KV store —
+/// the trade-off the survey's Fig. 5 architecture embodies (and bench F5
+/// measures). State is addressed by (key, namespace): the key is the
+/// partitioning key bytes, the namespace distinguishes state cells of the
+/// same operator (e.g. one per window).
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "kvstore/kvstore.h"
+
+namespace cq {
+
+/// \brief Per-operator keyed state, byte-addressed.
+class KeyedStateBackend {
+ public:
+  virtual ~KeyedStateBackend() = default;
+
+  virtual Status Put(const std::string& key, const std::string& ns,
+                     std::string value) = 0;
+  /// \brief NotFound when absent.
+  virtual Result<std::string> Get(const std::string& key,
+                                  const std::string& ns) const = 0;
+  virtual Status Remove(const std::string& key, const std::string& ns) = 0;
+
+  /// \brief Visits all live cells (used by checkpoints and window sweeps);
+  /// deterministic order (key, then namespace).
+  virtual Status ForEach(
+      const std::function<Status(const std::string& key, const std::string& ns,
+                                 const std::string& value)>& fn) const = 0;
+
+  /// \brief Number of live cells.
+  virtual size_t Size() const = 0;
+
+  /// \brief Serializes the entire state (checkpointing).
+  virtual Result<std::string> Snapshot() const;
+
+  /// \brief Replaces the state from a Snapshot() payload.
+  virtual Status Restore(std::string_view snapshot);
+
+  /// \brief Drops everything.
+  virtual Status Clear() = 0;
+};
+
+/// \brief Hash-map backend: fastest, bounded by RAM, state lost on crash.
+class InMemoryStateBackend : public KeyedStateBackend {
+ public:
+  Status Put(const std::string& key, const std::string& ns,
+             std::string value) override;
+  Result<std::string> Get(const std::string& key,
+                          const std::string& ns) const override;
+  Status Remove(const std::string& key, const std::string& ns) override;
+  Status ForEach(
+      const std::function<Status(const std::string&, const std::string&,
+                                 const std::string&)>& fn) const override;
+  size_t Size() const override { return cells_.size(); }
+  Status Clear() override {
+    cells_.clear();
+    return Status::OK();
+  }
+
+ private:
+  std::map<std::pair<std::string, std::string>, std::string> cells_;
+};
+
+/// \brief KV-store backend: state spills through the embedded store
+/// (memtable/runs), surviving via its WAL; slower per access.
+class KVStoreStateBackend : public KeyedStateBackend {
+ public:
+  /// \brief Wraps an open store; the backend owns its keyspace but not the
+  /// store.
+  explicit KVStoreStateBackend(KVStore* store) : store_(store) {}
+
+  Status Put(const std::string& key, const std::string& ns,
+             std::string value) override;
+  Result<std::string> Get(const std::string& key,
+                          const std::string& ns) const override;
+  Status Remove(const std::string& key, const std::string& ns) override;
+  Status ForEach(
+      const std::function<Status(const std::string&, const std::string&,
+                                 const std::string&)>& fn) const override;
+  size_t Size() const override;
+  Status Clear() override;
+
+ private:
+  // Composite key: u32(len(key)) + key + ns — order-preserving per key.
+  static std::string Compose(const std::string& key, const std::string& ns);
+  static Status Decompose(const std::string& composite, std::string* key,
+                          std::string* ns);
+
+  KVStore* store_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_DATAFLOW_STATE_H_

@@ -1,0 +1,200 @@
+#include "dataflow/trigger.h"
+
+namespace cq {
+
+namespace {
+
+/// Fire-and-purge once the watermark passes the window end. Late elements
+/// (delivered while the window is retained for allowed lateness) each cause
+/// a refinement firing.
+class AfterWatermarkTrigger : public Trigger {
+ public:
+  explicit AfterWatermarkTrigger(const TimeInterval& window)
+      : window_(window) {}
+
+  TriggerAction OnElement(Timestamp, Timestamp) override {
+    // An element arriving after the on-time firing is late data surviving
+    // allowed lateness: emit a refinement.
+    return fired_on_time_ ? TriggerAction::kFire : TriggerAction::kContinue;
+  }
+
+  TriggerAction OnWatermark(Timestamp watermark) override {
+    if (!fired_on_time_ && watermark >= window_.end) {
+      fired_on_time_ = true;
+      return TriggerAction::kFire;
+    }
+    return TriggerAction::kContinue;
+  }
+
+  TriggerAction OnProcessingTime(Timestamp) override {
+    return TriggerAction::kContinue;
+  }
+
+ private:
+  TimeInterval window_;
+  bool fired_on_time_ = false;
+};
+
+class AfterWatermarkFactory : public TriggerFactory {
+ public:
+  std::unique_ptr<Trigger> Create(const TimeInterval& window) const override {
+    return std::make_unique<AfterWatermarkTrigger>(window);
+  }
+  std::string ToString() const override { return "AfterWatermark"; }
+};
+
+/// Repeating count trigger.
+class AfterCountTrigger : public Trigger {
+ public:
+  explicit AfterCountTrigger(size_t count) : count_(count) {}
+
+  TriggerAction OnElement(Timestamp, Timestamp) override {
+    if (++seen_ >= count_) {
+      seen_ = 0;
+      return TriggerAction::kFire;
+    }
+    return TriggerAction::kContinue;
+  }
+  TriggerAction OnWatermark(Timestamp) override {
+    return TriggerAction::kContinue;
+  }
+  TriggerAction OnProcessingTime(Timestamp) override {
+    return TriggerAction::kContinue;
+  }
+
+ private:
+  size_t count_;
+  size_t seen_ = 0;
+};
+
+class AfterCountFactory : public TriggerFactory {
+ public:
+  explicit AfterCountFactory(size_t count) : count_(count) {}
+  std::unique_ptr<Trigger> Create(const TimeInterval&) const override {
+    return std::make_unique<AfterCountTrigger>(count_);
+  }
+  std::string ToString() const override {
+    return "AfterCount(" + std::to_string(count_) + ")";
+  }
+
+ private:
+  size_t count_;
+};
+
+/// Repeating processing-time trigger: fires when processing time advances
+/// `interval` past the first element (then re-arms).
+class AfterProcessingTimeTrigger : public Trigger {
+ public:
+  explicit AfterProcessingTimeTrigger(Duration interval)
+      : interval_(interval) {}
+
+  TriggerAction OnElement(Timestamp, Timestamp processing_time) override {
+    if (!armed_) {
+      armed_ = true;
+      deadline_ = processing_time + interval_;
+    }
+    return TriggerAction::kContinue;
+  }
+  TriggerAction OnWatermark(Timestamp) override {
+    return TriggerAction::kContinue;
+  }
+  TriggerAction OnProcessingTime(Timestamp processing_time) override {
+    if (armed_ && processing_time >= deadline_) {
+      armed_ = false;
+      return TriggerAction::kFire;
+    }
+    return TriggerAction::kContinue;
+  }
+
+ private:
+  Duration interval_;
+  bool armed_ = false;
+  Timestamp deadline_ = 0;
+};
+
+class AfterProcessingTimeFactory : public TriggerFactory {
+ public:
+  explicit AfterProcessingTimeFactory(Duration interval)
+      : interval_(interval) {}
+  std::unique_ptr<Trigger> Create(const TimeInterval&) const override {
+    return std::make_unique<AfterProcessingTimeTrigger>(interval_);
+  }
+  std::string ToString() const override {
+    return "AfterProcessingTime(" + std::to_string(interval_) + ")";
+  }
+
+ private:
+  Duration interval_;
+};
+
+/// Dataflow-Model composite: early (processing time, repeating) + on-time
+/// (watermark) + late (per late element).
+class EarlyAndLateTrigger : public Trigger {
+ public:
+  EarlyAndLateTrigger(const TimeInterval& window, Duration early_interval)
+      : window_(window), early_interval_(early_interval) {}
+
+  TriggerAction OnElement(Timestamp, Timestamp processing_time) override {
+    if (fired_on_time_) return TriggerAction::kFire;  // late refinement
+    if (!armed_) {
+      armed_ = true;
+      deadline_ = processing_time + early_interval_;
+    }
+    return TriggerAction::kContinue;
+  }
+  TriggerAction OnWatermark(Timestamp watermark) override {
+    if (!fired_on_time_ && watermark >= window_.end) {
+      fired_on_time_ = true;
+      return TriggerAction::kFire;
+    }
+    return TriggerAction::kContinue;
+  }
+  TriggerAction OnProcessingTime(Timestamp processing_time) override {
+    if (!fired_on_time_ && armed_ && processing_time >= deadline_) {
+      armed_ = false;
+      return TriggerAction::kFire;  // early speculative pane
+    }
+    return TriggerAction::kContinue;
+  }
+
+ private:
+  TimeInterval window_;
+  Duration early_interval_;
+  bool armed_ = false;
+  Timestamp deadline_ = 0;
+  bool fired_on_time_ = false;
+};
+
+class EarlyAndLateFactory : public TriggerFactory {
+ public:
+  explicit EarlyAndLateFactory(Duration early_interval)
+      : early_interval_(early_interval) {}
+  std::unique_ptr<Trigger> Create(const TimeInterval& window) const override {
+    return std::make_unique<EarlyAndLateTrigger>(window, early_interval_);
+  }
+  std::string ToString() const override {
+    return "EarlyAndLate(early=" + std::to_string(early_interval_) + ")";
+  }
+
+ private:
+  Duration early_interval_;
+};
+
+}  // namespace
+
+std::shared_ptr<TriggerFactory> TriggerFactory::AfterWatermark() {
+  return std::make_shared<AfterWatermarkFactory>();
+}
+std::shared_ptr<TriggerFactory> TriggerFactory::AfterCount(size_t count) {
+  return std::make_shared<AfterCountFactory>(count);
+}
+std::shared_ptr<TriggerFactory> TriggerFactory::AfterProcessingTime(
+    Duration interval) {
+  return std::make_shared<AfterProcessingTimeFactory>(interval);
+}
+std::shared_ptr<TriggerFactory> TriggerFactory::EarlyAndLate(
+    Duration early_interval) {
+  return std::make_shared<EarlyAndLateFactory>(early_interval);
+}
+
+}  // namespace cq

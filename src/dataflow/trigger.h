@@ -1,0 +1,81 @@
+#ifndef CQ_DATAFLOW_TRIGGER_H_
+#define CQ_DATAFLOW_TRIGGER_H_
+
+/// \file trigger.h
+/// \brief Triggers from the Dataflow Model (paper §4.1.1, [8]).
+///
+/// Windows decide *where in event time* data are grouped; triggers decide
+/// *when in processing time* (or watermark time) results are emitted,
+/// letting a pipeline trade completeness, latency, and cost. A trigger
+/// observes per-(key, window) events and answers whether to fire (emit the
+/// current pane) and whether to purge (discard accumulated state).
+
+#include <memory>
+#include <string>
+
+#include "common/time.h"
+
+namespace cq {
+
+enum class TriggerAction {
+  kContinue,      // no output
+  kFire,          // emit the current pane, keep state
+  kFireAndPurge,  // emit and discard state
+};
+
+/// \brief How successive firings of the same window relate (Dataflow Model
+/// accumulation modes).
+enum class AccumulationMode {
+  /// Each pane contains the full window contents so far (refinements).
+  kAccumulating,
+  /// Each pane contains only data since the previous firing.
+  kDiscarding,
+};
+
+/// \brief Per-(key, window) trigger state machine. Instances are created by
+/// a TriggerFactory per window and discarded with the window.
+class Trigger {
+ public:
+  virtual ~Trigger() = default;
+
+  /// \brief Called for each element assigned to the window.
+  virtual TriggerAction OnElement(Timestamp element_ts,
+                                  Timestamp processing_time) = 0;
+
+  /// \brief Called when the event-time watermark advances.
+  virtual TriggerAction OnWatermark(Timestamp watermark) = 0;
+
+  /// \brief Called when processing time advances (timer sweep).
+  virtual TriggerAction OnProcessingTime(Timestamp processing_time) = 0;
+};
+
+/// \brief Creates a trigger instance for a concrete window.
+class TriggerFactory {
+ public:
+  virtual ~TriggerFactory() = default;
+  virtual std::unique_ptr<Trigger> Create(const TimeInterval& window) const = 0;
+  virtual std::string ToString() const = 0;
+
+  // Built-in factories:
+
+  /// \brief The default trigger: fire-and-purge once when the watermark
+  /// passes the end of the window.
+  static std::shared_ptr<TriggerFactory> AfterWatermark();
+
+  /// \brief Fires every `count` elements (repeating), purging on fire when
+  /// used with discarding accumulation.
+  static std::shared_ptr<TriggerFactory> AfterCount(size_t count);
+
+  /// \brief Fires whenever processing time advances `interval` past the
+  /// window's first element (repeating) — early speculative results.
+  static std::shared_ptr<TriggerFactory> AfterProcessingTime(Duration interval);
+
+  /// \brief Composite: repeating early firings every `early_interval`
+  /// processing time, an on-time firing at the watermark, then late
+  /// refinement firings per late element while the window is retained.
+  static std::shared_ptr<TriggerFactory> EarlyAndLate(Duration early_interval);
+};
+
+}  // namespace cq
+
+#endif  // CQ_DATAFLOW_TRIGGER_H_

@@ -1,0 +1,262 @@
+#include "dataflow/window_operator.h"
+
+#include "types/serde.h"
+
+namespace cq {
+
+namespace {
+
+void EncodeAggState(const AggState& s, std::string* out) {
+  EncodeI64(s.count, out);
+  EncodeF64(s.sum, out);
+  EncodeValue(s.min, out);
+  EncodeValue(s.max, out);
+}
+
+Result<AggState> DecodeAggState(std::string_view* in) {
+  AggState s;
+  CQ_ASSIGN_OR_RETURN(s.count, DecodeI64(in));
+  CQ_ASSIGN_OR_RETURN(s.sum, DecodeF64(in));
+  CQ_ASSIGN_OR_RETURN(s.min, DecodeValue(in));
+  CQ_ASSIGN_OR_RETURN(s.max, DecodeValue(in));
+  return s;
+}
+
+}  // namespace
+
+WindowedAggregateOperator::WindowedAggregateOperator(
+    std::string name, WindowedAggregateConfig config)
+    : Operator(std::move(name)), config_(std::move(config)) {
+  if (config_.trigger == nullptr) {
+    config_.trigger = TriggerFactory::AfterWatermark();
+  }
+  for (const auto& a : config_.aggs) {
+    funcs_.push_back(AggregateFunction::Make(a.kind));
+  }
+  if (config_.state == nullptr) {
+    owned_state_ = std::make_unique<InMemoryStateBackend>();
+    state_ = owned_state_.get();
+  } else {
+    state_ = config_.state;
+  }
+}
+
+std::string WindowedAggregateOperator::WindowNamespace(
+    const TimeInterval& w) const {
+  std::string ns = "w:";
+  EncodeI64(w.start, &ns);
+  EncodeI64(w.end, &ns);
+  return ns;
+}
+
+Result<WindowedAggregateOperator::Cell> WindowedAggregateOperator::LoadCell(
+    const std::string& key, const TimeInterval& w) const {
+  Cell cell;
+  Result<std::string> bytes = state_->Get(key, WindowNamespace(w));
+  if (!bytes.ok()) {
+    if (bytes.status().IsNotFound()) {
+      cell.states.resize(funcs_.size());
+      for (size_t i = 0; i < funcs_.size(); ++i) {
+        cell.states[i] = funcs_[i]->Identity();
+      }
+      return cell;
+    }
+    return bytes.status();
+  }
+  std::string_view in = *bytes;
+  CQ_ASSIGN_OR_RETURN(uint32_t n, DecodeU32(&in));
+  cell.states.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CQ_ASSIGN_OR_RETURN(AggState s, DecodeAggState(&in));
+    cell.states.push_back(s);
+  }
+  CQ_ASSIGN_OR_RETURN(cell.since_fire, DecodeI64(&in));
+  if (in.empty()) return Status::ParseError("window cell truncated");
+  cell.fired = in[0] != 0;
+  return cell;
+}
+
+Status WindowedAggregateOperator::StoreCell(const std::string& key,
+                                            const TimeInterval& w,
+                                            const Cell& cell) {
+  std::string out;
+  EncodeU32(static_cast<uint32_t>(cell.states.size()), &out);
+  for (const auto& s : cell.states) EncodeAggState(s, &out);
+  EncodeI64(cell.since_fire, &out);
+  out.push_back(cell.fired ? 1 : 0);
+  return state_->Put(key, WindowNamespace(w), std::move(out));
+}
+
+Trigger* WindowedAggregateOperator::GetOrCreateTrigger(const std::string& key,
+                                                       const TimeInterval& w,
+                                                       bool primed_fired) {
+  ActiveKey akey{w.end, w.start, key};
+  auto it = active_.find(akey);
+  if (it == active_.end()) {
+    auto trigger = config_.trigger->Create(w);
+    if (primed_fired) {
+      // The window had already fired before a restore; move the fresh
+      // trigger past its on-time firing so it refines instead of re-firing.
+      (void)trigger->OnWatermark(w.end);
+    }
+    it = active_.emplace(std::move(akey), std::move(trigger)).first;
+  }
+  return it->second.get();
+}
+
+Status WindowedAggregateOperator::FirePane(const std::string& key,
+                                           const TimeInterval& w,
+                                           Collector* out, bool purge) {
+  CQ_ASSIGN_OR_RETURN(Cell cell, LoadCell(key, w));
+  CQ_ASSIGN_OR_RETURN(Tuple key_tuple, TupleFromBytes(key));
+  std::vector<Value> vals = key_tuple.values();
+  vals.push_back(Value(w.start));
+  vals.push_back(Value(w.end));
+  for (size_t i = 0; i < funcs_.size(); ++i) {
+    vals.push_back(funcs_[i]->Lower(cell.states[i]));
+  }
+  out->Emit(StreamElement::Record(Tuple(std::move(vals)), w.end - 1));
+  ++panes_emitted_;
+
+  if (purge) {
+    CQ_RETURN_NOT_OK(state_->Remove(key, WindowNamespace(w)));
+    active_.erase(ActiveKey{w.end, w.start, key});
+    return Status::OK();
+  }
+  cell.fired = true;
+  cell.since_fire = 0;
+  if (config_.accumulation == AccumulationMode::kDiscarding) {
+    for (size_t i = 0; i < funcs_.size(); ++i) {
+      cell.states[i] = funcs_[i]->Identity();
+    }
+  }
+  return StoreCell(key, w, cell);
+}
+
+Status WindowedAggregateOperator::HandleTriggerAction(TriggerAction action,
+                                                      const std::string& key,
+                                                      const TimeInterval& w,
+                                                      Collector* out) {
+  switch (action) {
+    case TriggerAction::kContinue:
+      return Status::OK();
+    case TriggerAction::kFire:
+      return FirePane(key, w, out, /*purge=*/false);
+    case TriggerAction::kFireAndPurge:
+      return FirePane(key, w, out, /*purge=*/true);
+  }
+  return Status::Internal("unhandled trigger action");
+}
+
+Status WindowedAggregateOperator::ProcessElement(size_t,
+                                                 const StreamElement& element,
+                                                 const OperatorContext& ctx,
+                                                 Collector* out) {
+  const Tuple& tuple = element.tuple;
+  Timestamp ts = element.timestamp;
+  std::string key = TupleToBytes(tuple.Project(config_.key_indexes));
+
+  for (const TimeInterval& w : config_.assigner->AssignWindows(ts)) {
+    if (w.end + config_.allowed_lateness <= ctx.watermark) {
+      ++dropped_late_;
+      continue;
+    }
+    CQ_ASSIGN_OR_RETURN(Cell cell, LoadCell(key, w));
+    for (size_t i = 0; i < funcs_.size(); ++i) {
+      Value in;
+      if (config_.aggs[i].input == nullptr) {
+        in = Value(static_cast<int64_t>(1));
+      } else {
+        CQ_ASSIGN_OR_RETURN(in, config_.aggs[i].input->Eval(tuple));
+      }
+      cell.states[i] = funcs_[i]->Combine(cell.states[i], funcs_[i]->Lift(in));
+    }
+    cell.since_fire += 1;
+    bool was_fired = cell.fired;
+    CQ_RETURN_NOT_OK(StoreCell(key, w, cell));
+    Trigger* trigger = GetOrCreateTrigger(key, w, was_fired);
+    CQ_RETURN_NOT_OK(HandleTriggerAction(
+        trigger->OnElement(ts, ctx.processing_time), key, w, out));
+  }
+  return Status::OK();
+}
+
+Status WindowedAggregateOperator::OnWatermark(Timestamp watermark,
+                                              const OperatorContext&,
+                                              Collector* out) {
+  // Phase 1: deliver the watermark to triggers of windows that have closed
+  // (end <= watermark). The active_ map is ordered by window end, so this is
+  // a prefix scan.
+  std::vector<std::pair<ActiveKey, TriggerAction>> actions;
+  for (auto& [akey, trigger] : active_) {
+    Timestamp end = std::get<0>(akey);
+    if (end > watermark) break;
+    TriggerAction a = trigger->OnWatermark(watermark);
+    if (a != TriggerAction::kContinue) actions.push_back({akey, a});
+  }
+  for (const auto& [akey, action] : actions) {
+    TimeInterval w{std::get<1>(akey), std::get<0>(akey)};
+    CQ_RETURN_NOT_OK(HandleTriggerAction(action, std::get<2>(akey), w, out));
+  }
+
+  // Phase 2: garbage-collect windows past their allowed lateness. Windows
+  // holding an unfired residual pane (e.g. a count trigger's tail) fire one
+  // final time before being dropped.
+  std::vector<ActiveKey> expired;
+  for (auto& [akey, trigger] : active_) {
+    if (std::get<0>(akey) + config_.allowed_lateness > watermark) break;
+    expired.push_back(akey);
+  }
+  for (const auto& akey : expired) {
+    TimeInterval w{std::get<1>(akey), std::get<0>(akey)};
+    const std::string& key = std::get<2>(akey);
+    CQ_ASSIGN_OR_RETURN(Cell cell, LoadCell(key, w));
+    if (cell.since_fire > 0) {
+      CQ_RETURN_NOT_OK(FirePane(key, w, out, /*purge=*/true));
+    } else {
+      CQ_RETURN_NOT_OK(state_->Remove(key, WindowNamespace(w)));
+      active_.erase(akey);
+    }
+  }
+  return Status::OK();
+}
+
+Status WindowedAggregateOperator::OnProcessingTime(const OperatorContext& ctx,
+                                                   Collector* out) {
+  std::vector<std::pair<ActiveKey, TriggerAction>> actions;
+  for (auto& [akey, trigger] : active_) {
+    TriggerAction a = trigger->OnProcessingTime(ctx.processing_time);
+    if (a != TriggerAction::kContinue) actions.push_back({akey, a});
+  }
+  for (const auto& [akey, action] : actions) {
+    TimeInterval w{std::get<1>(akey), std::get<0>(akey)};
+    CQ_RETURN_NOT_OK(HandleTriggerAction(action, std::get<2>(akey), w, out));
+  }
+  return Status::OK();
+}
+
+Result<std::string> WindowedAggregateOperator::SnapshotState() const {
+  return state_->Snapshot();
+}
+
+Status WindowedAggregateOperator::RestoreState(std::string_view snapshot) {
+  CQ_RETURN_NOT_OK(state_->Restore(snapshot));
+  active_.clear();
+  // Rebuild the active-window index (and primed triggers) from state cells.
+  return state_->ForEach([this](const std::string& key, const std::string& ns,
+                                const std::string& value) -> Status {
+    if (ns.size() < 2 || ns[0] != 'w' || ns[1] != ':') {
+      return Status::ParseError("unexpected state namespace");
+    }
+    std::string_view in(ns);
+    in.remove_prefix(2);
+    CQ_ASSIGN_OR_RETURN(Timestamp start, DecodeI64(&in));
+    CQ_ASSIGN_OR_RETURN(Timestamp end, DecodeI64(&in));
+    // Parse the cell's fired flag (last byte).
+    bool fired = !value.empty() && value.back() != 0;
+    GetOrCreateTrigger(key, TimeInterval{start, end}, fired);
+    return Status::OK();
+  });
+}
+
+}  // namespace cq

@@ -1,0 +1,98 @@
+#ifndef CQ_DATAFLOW_WINDOW_OPERATOR_H_
+#define CQ_DATAFLOW_WINDOW_OPERATOR_H_
+
+/// \file window_operator.h
+/// \brief Keyed windowed aggregation: GroupByKey + Window + Trigger.
+///
+/// The Dataflow Model's core stateful primitive (paper §4.1.1): elements are
+/// keyed, assigned to event-time windows, accumulated into per-(key, window)
+/// aggregate state, and emitted when the window's trigger fires. Supports
+/// out-of-order input up to the watermark, allowed lateness with refinement
+/// firings, accumulating vs. discarding panes, and pluggable state backends.
+///
+/// Output records have schema (key columns..., window_start, window_end,
+/// aggregate columns...) and timestamp window.end - 1.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cql/r2r.h"
+#include "dataflow/operator.h"
+#include "dataflow/state.h"
+#include "dataflow/trigger.h"
+#include "window/aggregate.h"
+#include "window/window.h"
+
+namespace cq {
+
+/// \brief Configuration of a WindowedAggregateOperator.
+struct WindowedAggregateConfig {
+  std::shared_ptr<WindowAssigner> assigner;
+  std::vector<size_t> key_indexes;
+  std::vector<AggSpec> aggs;
+  std::shared_ptr<TriggerFactory> trigger;  // default AfterWatermark
+  AccumulationMode accumulation = AccumulationMode::kAccumulating;
+  Duration allowed_lateness = 0;
+  /// External state backend; nullptr uses an internal in-memory backend.
+  KeyedStateBackend* state = nullptr;
+};
+
+class WindowedAggregateOperator : public Operator {
+ public:
+  WindowedAggregateOperator(std::string name, WindowedAggregateConfig config);
+
+  Status ProcessElement(size_t port, const StreamElement& element,
+                        const OperatorContext& ctx, Collector* out) override;
+  Status OnWatermark(Timestamp watermark, const OperatorContext& ctx,
+                     Collector* out) override;
+  Status OnProcessingTime(const OperatorContext& ctx, Collector* out) override;
+
+  Result<std::string> SnapshotState() const override;
+  Status RestoreState(std::string_view snapshot) override;
+  size_t StateSize() const override { return state_->Size(); }
+  bool IsStateless() const override { return false; }
+
+  /// \brief Elements dropped because they arrived past the allowed lateness.
+  uint64_t dropped_late() const { return dropped_late_; }
+  /// \brief Total pane firings emitted.
+  uint64_t panes_emitted() const { return panes_emitted_; }
+
+ private:
+  struct Cell {
+    std::vector<AggState> states;
+    int64_t since_fire = 0;  // elements accumulated since the last firing
+    bool fired = false;      // has this window ever fired?
+  };
+
+  std::string WindowNamespace(const TimeInterval& w) const;
+  Result<Cell> LoadCell(const std::string& key, const TimeInterval& w) const;
+  Status StoreCell(const std::string& key, const TimeInterval& w,
+                   const Cell& cell);
+  Status HandleTriggerAction(TriggerAction action, const std::string& key,
+                             const TimeInterval& w, Collector* out);
+  /// Emits the current pane for (key, w); resets per accumulation mode.
+  Status FirePane(const std::string& key, const TimeInterval& w,
+                  Collector* out, bool purge);
+  Trigger* GetOrCreateTrigger(const std::string& key, const TimeInterval& w,
+                              bool primed_fired);
+
+  WindowedAggregateConfig config_;
+  std::vector<std::unique_ptr<AggregateFunction>> funcs_;
+  std::unique_ptr<InMemoryStateBackend> owned_state_;
+  KeyedStateBackend* state_;
+
+  // Active (key, window) index ordered by window end for watermark sweeps.
+  using ActiveKey = std::tuple<Timestamp /*end*/, Timestamp /*start*/,
+                               std::string /*key bytes*/>;
+  std::map<ActiveKey, std::unique_ptr<Trigger>> active_;
+
+  uint64_t dropped_late_ = 0;
+  uint64_t panes_emitted_ = 0;
+};
+
+}  // namespace cq
+
+#endif  // CQ_DATAFLOW_WINDOW_OPERATOR_H_

@@ -1,0 +1,241 @@
+#include "duality/kstream.h"
+
+#include <algorithm>
+
+namespace cq {
+
+KStream KStream::From(BoundedStream stream) {
+  return KStream(stream.Sorted());
+}
+
+KStream KStream::Filter(const std::function<bool(const Tuple&)>& pred) const {
+  BoundedStream out(stream_.schema());
+  for (const auto& e : stream_) {
+    if (e.is_record() && pred(e.tuple)) out.Append(e);
+  }
+  return KStream(std::move(out));
+}
+
+KStream KStream::Filter(const ExprPtr& predicate) const {
+  return Filter(
+      [predicate](const Tuple& t) { return predicate->Matches(t); });
+}
+
+Result<KStream> KStream::Map(
+    const std::function<Result<Tuple>(const Tuple&)>& fn) const {
+  BoundedStream out;
+  for (const auto& e : stream_) {
+    if (!e.is_record()) continue;
+    CQ_ASSIGN_OR_RETURN(Tuple t, fn(e.tuple));
+    out.Append(std::move(t), e.timestamp);
+  }
+  return KStream(std::move(out));
+}
+
+Result<KStream> KStream::FlatMap(
+    const std::function<Result<std::vector<Tuple>>(const Tuple&)>& fn) const {
+  BoundedStream out;
+  for (const auto& e : stream_) {
+    if (!e.is_record()) continue;
+    CQ_ASSIGN_OR_RETURN(std::vector<Tuple> ts, fn(e.tuple));
+    for (auto& t : ts) out.Append(std::move(t), e.timestamp);
+  }
+  return KStream(std::move(out));
+}
+
+KStream KStream::Merge(const KStream& other) const {
+  BoundedStream out = stream_;
+  for (const auto& e : other.stream_) out.Append(e);
+  return KStream(out.Sorted());
+}
+
+KGroupedStream KStream::GroupBy(std::vector<size_t> key_indexes) const {
+  return KGroupedStream(&stream_, std::move(key_indexes));
+}
+
+Result<KStream> KStream::JoinTable(const KTable& table,
+                                   std::vector<size_t> key_indexes) const {
+  // Both sides time-ordered: advance a changelog cursor as records arrive so
+  // each record sees the table as of its own timestamp.
+  std::map<Tuple, Tuple> view;
+  const auto& changelog = table.Changelog();
+  size_t cursor = 0;
+  BoundedStream out;
+  for (const auto& e : stream_) {
+    if (!e.is_record()) continue;
+    while (cursor < changelog.size() && changelog[cursor].ts <= e.timestamp) {
+      const Change& c = changelog[cursor++];
+      if (c.is_tombstone()) {
+        view.erase(c.key);
+      } else {
+        view[c.key] = *c.value;
+      }
+    }
+    Tuple key = e.tuple.Project(key_indexes);
+    auto it = view.find(key);
+    if (it == view.end()) continue;  // inner join
+    out.Append(Tuple::Concat(e.tuple, it->second), e.timestamp);
+  }
+  return KStream(std::move(out));
+}
+
+namespace {
+
+/// Shared engine for per-key stream aggregation: emits a changelog entry for
+/// every input record (continuous refinement, the table picture of an
+/// aggregation).
+Result<KTable> AggregateImpl(
+    const BoundedStream& stream, const std::vector<size_t>& key_indexes,
+    AggregateKind kind, const ExprPtr& input,
+    const WindowAssigner* assigner /* nullptr = global */) {
+  auto func = AggregateFunction::Make(kind);
+  std::map<Tuple, AggState> states;
+  std::vector<Change> changelog;
+  for (const auto& e : stream) {
+    if (!e.is_record()) continue;
+    Value in(static_cast<int64_t>(1));
+    if (input != nullptr) {
+      CQ_ASSIGN_OR_RETURN(in, input->Eval(e.tuple));
+    }
+    std::vector<TimeInterval> windows;
+    if (assigner != nullptr) {
+      windows = assigner->AssignWindows(e.timestamp);
+    } else {
+      windows.push_back({kMinTimestamp, kMaxTimestamp});
+    }
+    for (const TimeInterval& w : windows) {
+      Tuple key = e.tuple.Project(key_indexes);
+      if (assigner != nullptr) {
+        std::vector<Value> kv = key.values();
+        kv.push_back(Value(w.start));
+        kv.push_back(Value(w.end));
+        key = Tuple(std::move(kv));
+      }
+      auto [it, inserted] = states.try_emplace(key, func->Identity());
+      it->second = func->Combine(it->second, func->Lift(in));
+      changelog.push_back(
+          {it->first, Tuple({func->Lower(it->second)}), e.timestamp});
+    }
+  }
+  return KTable::FromChangelog(std::move(changelog));
+}
+
+}  // namespace
+
+Result<KTable> KGroupedStream::Count() const {
+  return AggregateImpl(*stream_, key_indexes_, AggregateKind::kCount, nullptr,
+                       nullptr);
+}
+
+Result<KTable> KGroupedStream::Aggregate(AggregateKind kind,
+                                         const ExprPtr& input) const {
+  return AggregateImpl(*stream_, key_indexes_, kind, input, nullptr);
+}
+
+Result<KTable> KGroupedStream::Reduce(
+    const std::function<Result<Tuple>(const Tuple&, const Tuple&)>& fn) const {
+  std::map<Tuple, Tuple> states;
+  std::vector<Change> changelog;
+  for (const auto& e : *stream_) {
+    if (!e.is_record()) continue;
+    Tuple key = e.tuple.Project(key_indexes_);
+    auto it = states.find(key);
+    if (it == states.end()) {
+      states.emplace(key, e.tuple);
+      changelog.push_back({key, e.tuple, e.timestamp});
+    } else {
+      CQ_ASSIGN_OR_RETURN(Tuple reduced, fn(it->second, e.tuple));
+      it->second = reduced;
+      changelog.push_back({key, std::move(reduced), e.timestamp});
+    }
+  }
+  return KTable::FromChangelog(std::move(changelog));
+}
+
+Result<KTable> KGroupedStream::WindowedAggregate(const WindowAssigner& assigner,
+                                                 AggregateKind kind,
+                                                 const ExprPtr& input) const {
+  return AggregateImpl(*stream_, key_indexes_, kind, input, &assigner);
+}
+
+KTable KTable::FromChangelog(std::vector<Change> changelog) {
+  std::stable_sort(changelog.begin(), changelog.end(),
+                   [](const Change& a, const Change& b) { return a.ts < b.ts; });
+  KTable table;
+  for (const auto& c : changelog) {
+    if (c.is_tombstone()) {
+      table.materialized_.erase(c.key);
+    } else {
+      table.materialized_[c.key] = *c.value;
+    }
+  }
+  table.changelog_ = std::move(changelog);
+  return table;
+}
+
+std::map<Tuple, Tuple> KTable::AsOf(Timestamp ts) const {
+  std::map<Tuple, Tuple> view;
+  for (const auto& c : changelog_) {
+    if (c.ts > ts) break;
+    if (c.is_tombstone()) {
+      view.erase(c.key);
+    } else {
+      view[c.key] = *c.value;
+    }
+  }
+  return view;
+}
+
+KTable KTable::Filter(const std::function<bool(const Tuple& key,
+                                               const Tuple& value)>& pred)
+    const {
+  std::vector<Change> out;
+  // Track which keys are currently *in* the filtered view so that a change
+  // from passing to failing emits a tombstone (the table-filter semantics
+  // that distinguish it from a stream filter).
+  std::map<Tuple, bool> present;
+  for (const auto& c : changelog_) {
+    if (c.is_tombstone()) {
+      if (present.count(c.key) && present[c.key]) {
+        out.push_back(c);
+      }
+      present[c.key] = false;
+      continue;
+    }
+    bool pass = pred(c.key, *c.value);
+    if (pass) {
+      out.push_back(c);
+      present[c.key] = true;
+    } else if (present.count(c.key) && present[c.key]) {
+      out.push_back({c.key, std::nullopt, c.ts});  // leaves the view
+      present[c.key] = false;
+    }
+  }
+  return FromChangelog(std::move(out));
+}
+
+Result<KTable> KTable::MapValues(
+    const std::function<Result<Tuple>(const Tuple&)>& fn) const {
+  std::vector<Change> out;
+  out.reserve(changelog_.size());
+  for (const auto& c : changelog_) {
+    if (c.is_tombstone()) {
+      out.push_back(c);
+      continue;
+    }
+    CQ_ASSIGN_OR_RETURN(Tuple mapped, fn(*c.value));
+    out.push_back({c.key, std::move(mapped), c.ts});
+  }
+  return FromChangelog(std::move(out));
+}
+
+KStream KTable::ToStream() const {
+  BoundedStream out;
+  for (const auto& c : changelog_) {
+    if (c.is_tombstone()) continue;
+    out.Append(Tuple::Concat(c.key, *c.value), c.ts);
+  }
+  return KStream::From(std::move(out));
+}
+
+}  // namespace cq

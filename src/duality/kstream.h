@@ -1,0 +1,148 @@
+#ifndef CQ_DUALITY_KSTREAM_H_
+#define CQ_DUALITY_KSTREAM_H_
+
+/// \file kstream.h
+/// \brief The Stream and Table Duality Model (paper §4.1.2, [77]).
+///
+/// Streaming systems' functional DSLs rest on two abstractions: the *record
+/// stream* (each element an independent event) and the *changelog stream* or
+/// "table" (each element an upsert/delete on a keyed view). Stateless
+/// operators transform streams; stateful operators (group/aggregate) turn
+/// streams into tables; `ToStream` turns a table's changes back into a
+/// stream — the duality. This module implements the model over bounded
+/// streams as the DSL blueprint (the dataflow module is the unbounded
+/// runtime for the same operations); Listing 2's
+/// `transactions.filter(..).map(..)` style is expressed directly.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "cql/expr.h"
+#include "stream/stream.h"
+#include "window/aggregate.h"
+#include "window/window.h"
+
+namespace cq {
+
+class KTable;
+class KGroupedStream;
+
+/// \brief One entry of a changelog stream: an upsert (value present) or a
+/// deletion (tombstone) for a key, at a time.
+struct Change {
+  Tuple key;
+  std::optional<Tuple> value;
+  Timestamp ts = 0;
+
+  bool is_tombstone() const { return !value.has_value(); }
+};
+
+/// \brief A record stream with functional transformations.
+class KStream {
+ public:
+  /// \brief Wraps an existing record stream.
+  static KStream From(BoundedStream stream);
+
+  /// \brief Stateless: keeps records matching the predicate.
+  KStream Filter(const std::function<bool(const Tuple&)>& pred) const;
+  KStream Filter(const ExprPtr& predicate) const;
+
+  /// \brief Stateless: one-to-one transformation.
+  Result<KStream> Map(
+      const std::function<Result<Tuple>(const Tuple&)>& fn) const;
+
+  /// \brief Stateless: one-to-many transformation.
+  Result<KStream> FlatMap(
+      const std::function<Result<std::vector<Tuple>>(const Tuple&)>& fn) const;
+
+  /// \brief Merges two record streams (resorted by timestamp).
+  KStream Merge(const KStream& other) const;
+
+  /// \brief Keys the stream by column indexes — the stateful boundary.
+  KGroupedStream GroupBy(std::vector<size_t> key_indexes) const;
+
+  /// \brief Stream-table (enrichment) join: each record is joined with the
+  /// table version *as of the record's timestamp*; records whose key is
+  /// absent are dropped (inner join). Output tuple = record ++ table value.
+  Result<KStream> JoinTable(const KTable& table,
+                            std::vector<size_t> key_indexes) const;
+
+  const BoundedStream& stream() const { return stream_; }
+  size_t size() const { return stream_.num_records(); }
+
+ private:
+  explicit KStream(BoundedStream s) : stream_(std::move(s)) {}
+  BoundedStream stream_;
+};
+
+/// \brief A keyed stream awaiting a stateful operation.
+class KGroupedStream {
+ public:
+  /// \brief COUNT per key; the table value is a 1-tuple (count).
+  Result<KTable> Count() const;
+
+  /// \brief Aggregates `spec` per key; the table value is a 1-tuple.
+  Result<KTable> Aggregate(AggregateKind kind, const ExprPtr& input) const;
+
+  /// \brief Binary reduction of whole value tuples per key.
+  Result<KTable> Reduce(
+      const std::function<Result<Tuple>(const Tuple&, const Tuple&)>& fn)
+      const;
+
+  /// \brief Windowed aggregation: per (key, window) with the given assigner;
+  /// table keys become (key columns..., window_start, window_end).
+  Result<KTable> WindowedAggregate(const WindowAssigner& assigner,
+                                   AggregateKind kind,
+                                   const ExprPtr& input) const;
+
+ private:
+  friend class KStream;
+  KGroupedStream(const BoundedStream* stream, std::vector<size_t> keys)
+      : stream_(stream), key_indexes_(std::move(keys)) {}
+  const BoundedStream* stream_;
+  std::vector<size_t> key_indexes_;
+};
+
+/// \brief A table: a changelog stream plus its materialisation.
+class KTable {
+ public:
+  /// \brief Builds a table from a raw changelog.
+  static KTable FromChangelog(std::vector<Change> changelog);
+
+  /// \brief Current materialised contents (last value per key, tombstones
+  /// removed).
+  const std::map<Tuple, Tuple>& Materialized() const { return materialized_; }
+
+  /// \brief The full changelog, time-ordered.
+  const std::vector<Change>& Changelog() const { return changelog_; }
+
+  /// \brief Table contents as of a timestamp (changelog replay).
+  std::map<Tuple, Tuple> AsOf(Timestamp ts) const;
+
+  /// \brief Stateful: filters the *materialised view*; rows leaving the view
+  /// appear as tombstones in the result changelog.
+  KTable Filter(const std::function<bool(const Tuple& key,
+                                         const Tuple& value)>& pred) const;
+
+  /// \brief Per-change value transformation.
+  Result<KTable> MapValues(
+      const std::function<Result<Tuple>(const Tuple&)>& fn) const;
+
+  /// \brief The duality: the changelog as a record stream. Each upsert
+  /// becomes a record (key ++ value); tombstones are dropped.
+  KStream ToStream() const;
+
+  size_t size() const { return materialized_.size(); }
+
+ private:
+  std::vector<Change> changelog_;
+  std::map<Tuple, Tuple> materialized_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_DUALITY_KSTREAM_H_

@@ -1,0 +1,82 @@
+#include "graph/property_graph.h"
+
+#include <algorithm>
+
+namespace cq {
+
+const std::vector<PropertyGraph::AdjEntry> PropertyGraph::kEmpty;
+
+LabelId LabelRegistry::Intern(const std::string& label) {
+  auto it = ids_.find(label);
+  if (it != ids_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.push_back(label);
+  ids_.emplace(label, id);
+  return id;
+}
+
+Result<LabelId> LabelRegistry::Lookup(const std::string& label) const {
+  auto it = ids_.find(label);
+  if (it == ids_.end()) {
+    return Status::NotFound("unknown edge label '" + label + "'");
+  }
+  return it->second;
+}
+
+void PropertyGraph::AddEdge(const StreamingEdge& edge) {
+  out_[edge.src].push_back({edge.dst, edge.label, edge.ts});
+  ++num_edges_;
+}
+
+size_t PropertyGraph::ExpireBefore(Timestamp cutoff) {
+  size_t removed = 0;
+  for (auto it = out_.begin(); it != out_.end();) {
+    auto& adj = it->second;
+    size_t before = adj.size();
+    adj.erase(std::remove_if(adj.begin(), adj.end(),
+                             [cutoff](const AdjEntry& e) {
+                               return e.ts < cutoff;
+                             }),
+              adj.end());
+    removed += before - adj.size();
+    if (adj.empty()) {
+      it = out_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  num_edges_ -= removed;
+  return removed;
+}
+
+const std::vector<PropertyGraph::AdjEntry>& PropertyGraph::Out(
+    VertexId v) const {
+  auto it = out_.find(v);
+  return it == out_.end() ? kEmpty : it->second;
+}
+
+std::vector<VertexId> PropertyGraph::SourceVertices() const {
+  std::vector<VertexId> out;
+  out.reserve(out_.size());
+  for (const auto& [v, adj] : out_) {
+    if (!adj.empty()) out.push_back(v);
+  }
+  return out;
+}
+
+void PropertyGraph::SetVertexProperty(VertexId v, const std::string& key,
+                                      Value value) {
+  vertex_props_[{v, key}] = std::move(value);
+}
+
+Result<Value> PropertyGraph::GetVertexProperty(VertexId v,
+                                               const std::string& key) const {
+  auto it = vertex_props_.find({v, key});
+  if (it == vertex_props_.end()) {
+    return Status::NotFound("vertex " + std::to_string(v) +
+                            " has no property '" + key + "'");
+  }
+  return it->second;
+}
+
+}  // namespace cq

@@ -1,0 +1,94 @@
+#ifndef CQ_GRAPH_PROPERTY_GRAPH_H_
+#define CQ_GRAPH_PROPERTY_GRAPH_H_
+
+/// \file property_graph.h
+/// \brief Streaming property graphs (paper §5.2).
+///
+/// The property-graph data model [76]: vertices and edges carry labels and
+/// property maps. A *streaming graph* is an unbounded, timestamped sequence
+/// of edge insertions (richer variants add deletions and windows);
+/// continuous graph queries evaluate incrementally as the graph evolves.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "types/value.h"
+
+namespace cq {
+
+using VertexId = int64_t;
+using LabelId = uint32_t;
+
+/// \brief Interns label strings to dense ids (automaton alphabet).
+class LabelRegistry {
+ public:
+  /// \brief Id for `label`, interning it if new.
+  LabelId Intern(const std::string& label);
+
+  /// \brief Id if present, NotFound otherwise (no interning).
+  Result<LabelId> Lookup(const std::string& label) const;
+
+  const std::string& Name(LabelId id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::map<std::string, LabelId> ids_;
+  std::vector<std::string> names_;
+};
+
+/// \brief One timestamped edge of a streaming property graph.
+struct StreamingEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  LabelId label = 0;
+  Timestamp ts = 0;
+  /// Property map (sparse; most benches leave it empty).
+  std::map<std::string, Value> properties;
+};
+
+/// \brief Adjacency-indexed property graph accumulating a streaming prefix.
+///
+/// Supports append (streaming ingestion) and timestamp-based expiry
+/// (windowed streaming graphs): expired edges are physically removed.
+class PropertyGraph {
+ public:
+  /// \brief Adds an edge (vertices are implicit).
+  void AddEdge(const StreamingEdge& edge);
+
+  /// \brief Removes edges with ts < cutoff; returns how many were removed.
+  size_t ExpireBefore(Timestamp cutoff);
+
+  struct AdjEntry {
+    VertexId dst;
+    LabelId label;
+    Timestamp ts;
+  };
+
+  /// \brief Outgoing edges of `v` (empty when unknown).
+  const std::vector<AdjEntry>& Out(VertexId v) const;
+
+  /// \brief Vertices with at least one outgoing edge.
+  std::vector<VertexId> SourceVertices() const;
+
+  size_t num_edges() const { return num_edges_; }
+  size_t num_vertices() const { return out_.size(); }
+
+  /// \brief Vertex property store (labels / attributes for vertices).
+  void SetVertexProperty(VertexId v, const std::string& key, Value value);
+  Result<Value> GetVertexProperty(VertexId v, const std::string& key) const;
+
+ private:
+  std::map<VertexId, std::vector<AdjEntry>> out_;
+  std::map<std::pair<VertexId, std::string>, Value> vertex_props_;
+  size_t num_edges_ = 0;
+  static const std::vector<AdjEntry> kEmpty;
+};
+
+}  // namespace cq
+
+#endif  // CQ_GRAPH_PROPERTY_GRAPH_H_

@@ -1,0 +1,319 @@
+#include "graph/rpq_automaton.h"
+
+#include <queue>
+
+namespace cq {
+
+namespace {
+
+// ---- Regex AST ----
+
+struct RegexNode {
+  enum class Kind { kLabel, kConcat, kAlt, kStar, kPlus, kOpt };
+  Kind kind;
+  LabelId label = 0;
+  std::unique_ptr<RegexNode> left;
+  std::unique_ptr<RegexNode> right;
+};
+
+using NodePtr = std::unique_ptr<RegexNode>;
+
+NodePtr MakeLabel(LabelId id) {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = RegexNode::Kind::kLabel;
+  n->label = id;
+  return n;
+}
+
+NodePtr MakeBinary(RegexNode::Kind kind, NodePtr l, NodePtr r) {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = kind;
+  n->left = std::move(l);
+  n->right = std::move(r);
+  return n;
+}
+
+NodePtr MakeUnary(RegexNode::Kind kind, NodePtr inner) {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = kind;
+  n->left = std::move(inner);
+  return n;
+}
+
+// ---- Recursive-descent parser ----
+
+class RegexParser {
+ public:
+  RegexParser(const std::string& input, LabelRegistry* registry)
+      : input_(input), registry_(registry) {}
+
+  Result<NodePtr> Parse() {
+    CQ_ASSIGN_OR_RETURN(NodePtr expr, ParseAlt());
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return Status::ParseError("RPQ: trailing input at position " +
+                                std::to_string(pos_));
+    }
+    return expr;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() && isspace(static_cast<unsigned char>(
+                                       input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < input_.size() && input_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<NodePtr> ParseAlt() {
+    CQ_ASSIGN_OR_RETURN(NodePtr left, ParseConcat());
+    while (Consume('|')) {
+      CQ_ASSIGN_OR_RETURN(NodePtr right, ParseConcat());
+      left = MakeBinary(RegexNode::Kind::kAlt, std::move(left),
+                        std::move(right));
+    }
+    return left;
+  }
+
+  Result<NodePtr> ParseConcat() {
+    CQ_ASSIGN_OR_RETURN(NodePtr left, ParseFactor());
+    while (Consume('/')) {
+      CQ_ASSIGN_OR_RETURN(NodePtr right, ParseFactor());
+      left = MakeBinary(RegexNode::Kind::kConcat, std::move(left),
+                        std::move(right));
+    }
+    return left;
+  }
+
+  Result<NodePtr> ParseFactor() {
+    CQ_ASSIGN_OR_RETURN(NodePtr atom, ParseAtom());
+    while (true) {
+      if (Consume('*')) {
+        atom = MakeUnary(RegexNode::Kind::kStar, std::move(atom));
+      } else if (Consume('+')) {
+        atom = MakeUnary(RegexNode::Kind::kPlus, std::move(atom));
+      } else if (Consume('?')) {
+        atom = MakeUnary(RegexNode::Kind::kOpt, std::move(atom));
+      } else {
+        break;
+      }
+    }
+    return atom;
+  }
+
+  Result<NodePtr> ParseAtom() {
+    SkipSpace();
+    if (Consume('(')) {
+      CQ_ASSIGN_OR_RETURN(NodePtr inner, ParseAlt());
+      if (!Consume(')')) {
+        return Status::ParseError("RPQ: expected ')'");
+      }
+      return inner;
+    }
+    size_t start = pos_;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+          c == ':') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return Status::ParseError("RPQ: expected a label at position " +
+                                std::to_string(pos_));
+    }
+    return MakeLabel(registry_->Intern(input_.substr(start, pos_ - start)));
+  }
+
+  const std::string& input_;
+  LabelRegistry* registry_;
+  size_t pos_ = 0;
+};
+
+// ---- Thompson NFA ----
+
+struct Nfa {
+  struct State {
+    std::vector<std::pair<LabelId, uint32_t>> label_edges;
+    std::vector<uint32_t> eps_edges;
+  };
+  std::vector<State> states;
+  uint32_t start = 0;
+  uint32_t accept = 0;
+
+  uint32_t NewState() {
+    states.emplace_back();
+    return static_cast<uint32_t>(states.size() - 1);
+  }
+};
+
+struct Frag {
+  uint32_t in;
+  uint32_t out;
+};
+
+Frag Build(Nfa* nfa, const RegexNode& node) {
+  switch (node.kind) {
+    case RegexNode::Kind::kLabel: {
+      uint32_t a = nfa->NewState();
+      uint32_t b = nfa->NewState();
+      nfa->states[a].label_edges.push_back({node.label, b});
+      return {a, b};
+    }
+    case RegexNode::Kind::kConcat: {
+      Frag l = Build(nfa, *node.left);
+      Frag r = Build(nfa, *node.right);
+      nfa->states[l.out].eps_edges.push_back(r.in);
+      return {l.in, r.out};
+    }
+    case RegexNode::Kind::kAlt: {
+      Frag l = Build(nfa, *node.left);
+      Frag r = Build(nfa, *node.right);
+      uint32_t a = nfa->NewState();
+      uint32_t b = nfa->NewState();
+      nfa->states[a].eps_edges.push_back(l.in);
+      nfa->states[a].eps_edges.push_back(r.in);
+      nfa->states[l.out].eps_edges.push_back(b);
+      nfa->states[r.out].eps_edges.push_back(b);
+      return {a, b};
+    }
+    case RegexNode::Kind::kStar: {
+      Frag inner = Build(nfa, *node.left);
+      uint32_t a = nfa->NewState();
+      uint32_t b = nfa->NewState();
+      nfa->states[a].eps_edges.push_back(inner.in);
+      nfa->states[a].eps_edges.push_back(b);
+      nfa->states[inner.out].eps_edges.push_back(inner.in);
+      nfa->states[inner.out].eps_edges.push_back(b);
+      return {a, b};
+    }
+    case RegexNode::Kind::kPlus: {
+      Frag inner = Build(nfa, *node.left);
+      uint32_t b = nfa->NewState();
+      nfa->states[inner.out].eps_edges.push_back(inner.in);
+      nfa->states[inner.out].eps_edges.push_back(b);
+      return {inner.in, b};
+    }
+    case RegexNode::Kind::kOpt: {
+      Frag inner = Build(nfa, *node.left);
+      uint32_t a = nfa->NewState();
+      uint32_t b = nfa->NewState();
+      nfa->states[a].eps_edges.push_back(inner.in);
+      nfa->states[a].eps_edges.push_back(b);
+      nfa->states[inner.out].eps_edges.push_back(b);
+      return {a, b};
+    }
+  }
+  return {0, 0};
+}
+
+std::set<uint32_t> EpsClosure(const Nfa& nfa, std::set<uint32_t> states) {
+  std::vector<uint32_t> stack(states.begin(), states.end());
+  while (!stack.empty()) {
+    uint32_t s = stack.back();
+    stack.pop_back();
+    for (uint32_t t : nfa.states[s].eps_edges) {
+      if (states.insert(t).second) stack.push_back(t);
+    }
+  }
+  return states;
+}
+
+}  // namespace
+
+Result<RpqAutomaton> RpqAutomaton::Compile(const std::string& pattern,
+                                           LabelRegistry* registry) {
+  RegexParser parser(pattern, registry);
+  CQ_ASSIGN_OR_RETURN(NodePtr ast, parser.Parse());
+
+  Nfa nfa;
+  Frag frag = Build(&nfa, *ast);
+  nfa.start = frag.in;
+  nfa.accept = frag.out;
+
+  // Subset construction.
+  RpqAutomaton dfa;
+  std::map<std::set<uint32_t>, uint32_t> subset_ids;
+  std::queue<std::set<uint32_t>> work;
+
+  std::set<uint32_t> start_set = EpsClosure(nfa, {nfa.start});
+  subset_ids[start_set] = 0;
+  dfa.start_ = 0;
+  dfa.accepting_.push_back(start_set.count(nfa.accept) > 0);
+  work.push(start_set);
+
+  while (!work.empty()) {
+    std::set<uint32_t> current = std::move(work.front());
+    work.pop();
+    uint32_t current_id = subset_ids[current];
+    // Group label transitions out of this subset.
+    std::map<LabelId, std::set<uint32_t>> moves;
+    for (uint32_t s : current) {
+      for (const auto& [label, target] : nfa.states[s].label_edges) {
+        moves[label].insert(target);
+      }
+    }
+    for (auto& [label, targets] : moves) {
+      std::set<uint32_t> closure = EpsClosure(nfa, std::move(targets));
+      auto it = subset_ids.find(closure);
+      uint32_t target_id;
+      if (it == subset_ids.end()) {
+        target_id = static_cast<uint32_t>(dfa.accepting_.size());
+        subset_ids.emplace(closure, target_id);
+        dfa.accepting_.push_back(closure.count(nfa.accept) > 0);
+        work.push(std::move(closure));
+      } else {
+        target_id = it->second;
+      }
+      dfa.transitions_[{current_id, label}] = target_id;
+    }
+  }
+  return dfa;
+}
+
+Result<uint32_t> RpqAutomaton::Next(uint32_t state, LabelId label) const {
+  auto it = transitions_.find({state, label});
+  if (it == transitions_.end()) {
+    return Status::NotFound("no transition");
+  }
+  return it->second;
+}
+
+bool RpqAutomaton::Accepts(const std::vector<LabelId>& labels) const {
+  uint32_t state = start_;
+  for (LabelId l : labels) {
+    Result<uint32_t> next = Next(state, l);
+    if (!next.ok()) return false;
+    state = *next;
+  }
+  return accepting_[state];
+}
+
+std::string RpqAutomaton::ToString(const LabelRegistry& registry) const {
+  std::string out = "DFA states=" + std::to_string(num_states()) +
+                    " start=" + std::to_string(start_) + "\n";
+  for (const auto& [key, target] : transitions_) {
+    out += "  " + std::to_string(key.first) + " --" +
+           registry.Name(key.second) + "--> " + std::to_string(target);
+    if (accepting_[target]) out += " (accept)";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cq

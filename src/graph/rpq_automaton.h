@@ -1,0 +1,65 @@
+#ifndef CQ_GRAPH_RPQ_AUTOMATON_H_
+#define CQ_GRAPH_RPQ_AUTOMATON_H_
+
+/// \file rpq_automaton.h
+/// \brief Regular Path Queries: regex over edge labels, compiled to a DFA.
+///
+/// An RPQ selects vertex pairs (x, y) connected by a path whose label
+/// sequence belongs to a regular language (paper §5.2, [65]). The expression
+/// syntax follows the navigational-query convention:
+///
+///   expr  := term ('|' term)*            alternation
+///   term  := factor ('/' factor)*        concatenation
+///   factor:= atom ('*' | '+' | '?')?     closure / repetition / option
+///   atom  := label | '(' expr ')'
+///
+/// e.g. "follows+/posts" or "(knows|worksWith)*/memberOf".
+/// Compilation: Thompson NFA construction, epsilon-closure subset
+/// construction to a DFA over interned label ids.
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property_graph.h"
+
+namespace cq {
+
+/// \brief A deterministic automaton over edge-label ids.
+class RpqAutomaton {
+ public:
+  /// \brief Parses and compiles `pattern`, interning labels in `registry`.
+  static Result<RpqAutomaton> Compile(const std::string& pattern,
+                                      LabelRegistry* registry);
+
+  uint32_t start_state() const { return start_; }
+  size_t num_states() const { return accepting_.size(); }
+  bool IsAccepting(uint32_t state) const { return accepting_[state]; }
+
+  /// \brief Next state for (state, label); NotFound when the transition is
+  /// undefined (the path prefix cannot be extended).
+  Result<uint32_t> Next(uint32_t state, LabelId label) const;
+
+  /// \brief True when the empty path is in the language (start accepting).
+  bool AcceptsEmpty() const { return accepting_[start_]; }
+
+  /// \brief Runs the automaton over a full label sequence.
+  bool Accepts(const std::vector<LabelId>& labels) const;
+
+  std::string ToString(const LabelRegistry& registry) const;
+
+ private:
+  RpqAutomaton() = default;
+
+  uint32_t start_ = 0;
+  std::vector<bool> accepting_;
+  // (state, label) -> state.
+  std::map<std::pair<uint32_t, LabelId>, uint32_t> transitions_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_GRAPH_RPQ_AUTOMATON_H_

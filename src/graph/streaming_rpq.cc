@@ -1,0 +1,125 @@
+#include "graph/streaming_rpq.h"
+
+#include <deque>
+
+namespace cq {
+
+bool IncrementalRpq::Reach(VertexId source, const ProductNode& node) {
+  auto [it, inserted] = reached_[source].insert(node);
+  if (inserted) inverted_[node].insert(source);
+  return inserted;
+}
+
+std::vector<RpqResult> IncrementalRpq::AddEdge(const StreamingEdge& edge) {
+  graph_.AddEdge(edge);
+  std::vector<RpqResult> derived;
+
+  // Propagation frontier: (source, product node) pairs newly reachable.
+  std::deque<std::pair<VertexId, ProductNode>> frontier;
+
+  auto consider = [&](VertexId source, const ProductNode& node) {
+    if (!Reach(source, node)) return;
+    // Accepting product node => (source, node.first) joins the result.
+    // node.first == source is a non-empty cyclic match, still reported.
+    if (dfa_->IsAccepting(node.second)) {
+      if (results_.insert({source, node.first}).second) {
+        derived.push_back({source, node.first, edge.ts});
+      }
+    }
+    frontier.push_back({source, node});
+  };
+
+  // Case 1: paths *starting* with the new edge. The implicit product node
+  // (u, start) belongs to source u.
+  Reach(edge.src, {edge.src, dfa_->start_state()});
+  // Case 2 (includes case 1 now): every source that reaches (u, q) for some
+  // state q extends through the new edge.
+  for (uint32_t q = 0; q < dfa_->num_states(); ++q) {
+    Result<uint32_t> next = dfa_->Next(q, edge.label);
+    if (!next.ok()) continue;
+    auto it = inverted_.find(ProductNode{edge.src, q});
+    if (it == inverted_.end()) continue;
+    // Copy: consider() mutates inverted_.
+    std::vector<VertexId> sources(it->second.begin(), it->second.end());
+    for (VertexId x : sources) {
+      consider(x, {edge.dst, *next});
+    }
+  }
+
+  // BFS: extend newly reached product nodes through existing edges.
+  while (!frontier.empty()) {
+    auto [source, node] = frontier.front();
+    frontier.pop_front();
+    for (const auto& adj : graph_.Out(node.first)) {
+      Result<uint32_t> next = dfa_->Next(node.second, adj.label);
+      if (!next.ok()) continue;
+      consider(source, {adj.dst, *next});
+    }
+  }
+  return derived;
+}
+
+size_t IncrementalRpq::StateSize() const {
+  size_t n = 0;
+  for (const auto& [source, nodes] : reached_) n += nodes.size();
+  return n;
+}
+
+std::set<VertexId> SnapshotRpq::EvaluateFrom(VertexId source) const {
+  std::set<VertexId> out;
+  std::set<std::pair<VertexId, uint32_t>> visited;
+  std::deque<std::pair<VertexId, uint32_t>> frontier;
+  frontier.push_back({source, dfa_->start_state()});
+  visited.insert({source, dfa_->start_state()});
+  while (!frontier.empty()) {
+    auto [v, q] = frontier.front();
+    frontier.pop_front();
+    for (const auto& adj : graph_.Out(v)) {
+      Result<uint32_t> next = dfa_->Next(q, adj.label);
+      if (!next.ok()) continue;
+      std::pair<VertexId, uint32_t> node{adj.dst, *next};
+      if (!visited.insert(node).second) continue;
+      if (dfa_->IsAccepting(*next)) out.insert(adj.dst);
+      frontier.push_back(node);
+    }
+  }
+  return out;
+}
+
+std::set<std::pair<VertexId, VertexId>> SnapshotRpq::Evaluate() const {
+  std::set<std::pair<VertexId, VertexId>> out;
+  for (VertexId source : graph_.SourceVertices()) {
+    for (VertexId dst : EvaluateFrom(source)) {
+      out.insert({source, dst});
+    }
+  }
+  return out;
+}
+
+void SimplePathRpq::Dfs(VertexId source, VertexId current, uint32_t state,
+                        std::set<VertexId>* on_path, size_t depth,
+                        std::set<std::pair<VertexId, VertexId>>* out) const {
+  if (depth >= max_depth_) return;
+  for (const auto& adj : graph_.Out(current)) {
+    ++expansions_;
+    Result<uint32_t> next = dfa_->Next(state, adj.label);
+    if (!next.ok()) continue;
+    if (on_path->count(adj.dst)) continue;  // simple: no vertex repetition
+    if (dfa_->IsAccepting(*next)) out->insert({source, adj.dst});
+    on_path->insert(adj.dst);
+    Dfs(source, adj.dst, *next, on_path, depth + 1, out);
+    on_path->erase(adj.dst);
+  }
+}
+
+std::set<std::pair<VertexId, VertexId>> SimplePathRpq::Evaluate() const {
+  expansions_ = 0;
+  std::set<std::pair<VertexId, VertexId>> out;
+  for (VertexId source : graph_.SourceVertices()) {
+    std::set<VertexId> on_path{source};
+    Dfs(source, source, dfa_->start_state(), &on_path, 0, &out);
+  }
+  return out;
+}
+
+}  // namespace cq

@@ -1,0 +1,130 @@
+#include "ivm/view.h"
+
+namespace cq {
+
+namespace {
+
+std::vector<MultisetRelation> OneHotDeltas(size_t num_tables, size_t table,
+                                           const MultisetRelation& delta) {
+  std::vector<MultisetRelation> deltas(num_tables);
+  deltas[table] = delta;
+  return deltas;
+}
+
+}  // namespace
+
+// ---- EagerView ----
+
+EagerView::EagerView(RelOpPtr plan, size_t num_tables)
+    : num_tables_(num_tables), executor_(std::move(plan), num_tables) {}
+
+Status EagerView::ApplyDelta(size_t table, const MultisetRelation& delta) {
+  if (table >= num_tables_) {
+    return Status::InvalidArgument("table index out of range");
+  }
+  return executor_.ApplyDeltas(OneHotDeltas(num_tables_, table, delta))
+      .status();
+}
+
+Result<MultisetRelation> EagerView::Query() {
+  return executor_.current_output();
+}
+
+// ---- LazyView ----
+
+LazyView::LazyView(RelOpPtr plan, size_t num_tables)
+    : plan_(std::move(plan)), tables_(num_tables) {}
+
+Status LazyView::ApplyDelta(size_t table, const MultisetRelation& delta) {
+  if (table >= tables_.size()) {
+    return Status::InvalidArgument("table index out of range");
+  }
+  tables_[table].PlusInPlace(delta);
+  return Status::OK();
+}
+
+Result<MultisetRelation> LazyView::Query() { return plan_->Eval(tables_); }
+
+size_t LazyView::StateSize() const {
+  size_t n = 0;
+  for (const auto& t : tables_) n += t.NumDistinct();
+  return n;
+}
+
+// ---- SplitView ----
+
+SplitView::SplitView(RelOpPtr plan, size_t num_tables)
+    : num_tables_(num_tables),
+      executor_(std::move(plan), num_tables),
+      pending_(num_tables) {}
+
+Status SplitView::ApplyDelta(size_t table, const MultisetRelation& delta) {
+  if (table >= num_tables_) {
+    return Status::InvalidArgument("table index out of range");
+  }
+  // Insert-side work is a cheap append into the delta partition.
+  pending_[table].PlusInPlace(delta);
+  return Status::OK();
+}
+
+Result<MultisetRelation> SplitView::Query() {
+  bool any = false;
+  for (const auto& p : pending_) {
+    if (!p.Empty()) {
+      any = true;
+      break;
+    }
+  }
+  if (any) {
+    // Query-side work: fold all pending deltas incrementally (one batch).
+    CQ_RETURN_NOT_OK(executor_.ApplyDeltas(pending_).status());
+    for (auto& p : pending_) p = MultisetRelation();
+  }
+  return executor_.current_output();
+}
+
+size_t SplitView::StateSize() const {
+  size_t n = executor_.StateSize();
+  for (const auto& p : pending_) n += p.NumDistinct();
+  return n;
+}
+
+size_t SplitView::PendingDeltas() const {
+  size_t n = 0;
+  for (const auto& p : pending_) n += p.NumDistinct();
+  return n;
+}
+
+// ---- PushView ----
+
+PushView::PushView(RelOpPtr plan, size_t num_tables)
+    : num_tables_(num_tables), executor_(std::move(plan), num_tables) {}
+
+size_t PushView::Subscribe(Listener listener) {
+  listeners_.emplace_back(next_id_, std::move(listener));
+  return next_id_++;
+}
+
+void PushView::Unsubscribe(size_t id) {
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first == id) {
+      listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+Status PushView::ApplyDelta(size_t table, const MultisetRelation& delta) {
+  if (table >= num_tables_) {
+    return Status::InvalidArgument("table index out of range");
+  }
+  CQ_ASSIGN_OR_RETURN(
+      MultisetRelation result_delta,
+      executor_.ApplyDeltas(OneHotDeltas(num_tables_, table, delta)));
+  if (!result_delta.Empty()) {
+    for (auto& [id, listener] : listeners_) listener(result_delta);
+  }
+  return Status::OK();
+}
+
+}  // namespace cq

@@ -1,0 +1,148 @@
+#ifndef CQ_IVM_VIEW_H_
+#define CQ_IVM_VIEW_H_
+
+/// \file view.h
+/// \brief Continuous views: maintenance strategies for in-database stream
+/// processing (paper §5.1).
+///
+/// Streaming databases answer standing queries over high-velocity updates by
+/// maintaining materialised views. The survey contrasts three strategies,
+/// all implemented here behind one interface so bench E4 can reproduce the
+/// trade-off:
+///
+///  - EagerView (PipelineDB / DBToaster style): every update propagates a
+///    delta through the plan immediately. Slow inserts, instant queries.
+///  - LazyView: updates only touch base tables; each query re-executes the
+///    plan. Instant inserts, slow queries.
+///  - SplitView (Winter et al., "Meet me halfway" [91]): updates append to a
+///    cheap delta log; queries first fold the accumulated deltas
+///    incrementally into the cached result, then read it. Work is split
+///    between the two sides, sitting between the extremes.
+///
+/// A PushView (InvaliDB style [90]) wraps an eager view with subscriptions:
+/// listeners receive the exact result delta caused by each update — the
+/// push-based query interface on top of a pull-based store.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "cql/continuous_query.h"
+#include "cql/plan.h"
+#include "relation/relation.h"
+
+namespace cq {
+
+/// \brief A continuous view over `num_tables` base tables.
+class MaterializedView {
+ public:
+  virtual ~MaterializedView() = default;
+
+  /// \brief Applies a base-table delta (insertions and/or deletions).
+  virtual Status ApplyDelta(size_t table, const MultisetRelation& delta) = 0;
+
+  Status Insert(size_t table, const Tuple& t) {
+    MultisetRelation d;
+    d.Add(t, 1);
+    return ApplyDelta(table, d);
+  }
+  Status Delete(size_t table, const Tuple& t) {
+    MultisetRelation d;
+    d.Add(t, -1);
+    return ApplyDelta(table, d);
+  }
+
+  /// \brief The view's current contents. May perform deferred maintenance.
+  virtual Result<MultisetRelation> Query() = 0;
+
+  /// \brief Distinct tuples of auxiliary state the strategy retains.
+  virtual size_t StateSize() const = 0;
+
+  virtual const char* strategy() const = 0;
+};
+
+/// \brief Eager incremental maintenance (delta propagation on every update).
+class EagerView : public MaterializedView {
+ public:
+  EagerView(RelOpPtr plan, size_t num_tables);
+
+  Status ApplyDelta(size_t table, const MultisetRelation& delta) override;
+  Result<MultisetRelation> Query() override;
+  size_t StateSize() const override { return executor_.StateSize(); }
+  const char* strategy() const override { return "eager"; }
+
+ private:
+  size_t num_tables_;
+  IncrementalPlanExecutor executor_;
+};
+
+/// \brief Lazy maintenance: full re-execution per query.
+class LazyView : public MaterializedView {
+ public:
+  LazyView(RelOpPtr plan, size_t num_tables);
+
+  Status ApplyDelta(size_t table, const MultisetRelation& delta) override;
+  Result<MultisetRelation> Query() override;
+  size_t StateSize() const override;
+  const char* strategy() const override { return "lazy"; }
+
+ private:
+  RelOpPtr plan_;
+  std::vector<MultisetRelation> tables_;
+};
+
+/// \brief Split maintenance (Winter et al. [91]): inserts append to delta
+/// logs; queries fold pending deltas incrementally, then read the cache.
+class SplitView : public MaterializedView {
+ public:
+  SplitView(RelOpPtr plan, size_t num_tables);
+
+  Status ApplyDelta(size_t table, const MultisetRelation& delta) override;
+  Result<MultisetRelation> Query() override;
+  size_t StateSize() const override;
+  const char* strategy() const override { return "split"; }
+
+  /// \brief Pending (unfolded) delta tuples — shrinks to 0 on Query().
+  size_t PendingDeltas() const;
+
+ private:
+  size_t num_tables_;
+  IncrementalPlanExecutor executor_;
+  std::vector<MultisetRelation> pending_;
+};
+
+/// \brief Push-based continuous query: subscribers get result deltas.
+class PushView {
+ public:
+  /// \brief Called with the exact change to the result (a Z-set: positive
+  /// entries are new result rows, negative entries invalidated ones).
+  using Listener = std::function<void(const MultisetRelation& delta)>;
+
+  PushView(RelOpPtr plan, size_t num_tables);
+
+  /// \brief Registers a subscriber; returns its id.
+  size_t Subscribe(Listener listener);
+  void Unsubscribe(size_t id);
+
+  /// \brief Applies an update; notifies subscribers iff the result changed.
+  Status ApplyDelta(size_t table, const MultisetRelation& delta);
+
+  Status Insert(size_t table, const Tuple& t) {
+    MultisetRelation d;
+    d.Add(t, 1);
+    return ApplyDelta(table, d);
+  }
+
+  const MultisetRelation& Current() const { return executor_.current_output(); }
+
+ private:
+  size_t num_tables_;
+  IncrementalPlanExecutor executor_;
+  std::vector<std::pair<size_t, Listener>> listeners_;
+  size_t next_id_ = 0;
+};
+
+}  // namespace cq
+
+#endif  // CQ_IVM_VIEW_H_

@@ -1,0 +1,65 @@
+#ifndef CQ_KVSTORE_BLOOM_H_
+#define CQ_KVSTORE_BLOOM_H_
+
+/// \file bloom.h
+/// \brief Per-run bloom filters for point-lookup short-circuiting, as in
+/// LSM stores (RocksDB-style full filters).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace cq {
+
+/// \brief A fixed-size bloom filter using double hashing (Kirsch-
+/// Mitzenmacher): k probe positions derived from two base hashes.
+class BloomFilter {
+ public:
+  /// \brief Sizes the filter for `expected_keys` at ~10 bits/key, 6 probes
+  /// (~1% false positive rate).
+  explicit BloomFilter(size_t expected_keys);
+
+  void Add(std::string_view key);
+
+  /// \brief False means definitely absent; true means probably present.
+  bool MayContain(std::string_view key) const;
+
+  size_t SizeBits() const { return bits_.size() * 64; }
+
+ private:
+  static constexpr int kNumProbes = 6;
+  std::vector<uint64_t> bits_;
+};
+
+inline BloomFilter::BloomFilter(size_t expected_keys) {
+  size_t nbits = expected_keys * 10;
+  if (nbits < 64) nbits = 64;
+  bits_.assign((nbits + 63) / 64, 0);
+}
+
+inline void BloomFilter::Add(std::string_view key) {
+  uint64_t h1 = Fnv1a64(key);
+  uint64_t h2 = MixU64(h1);
+  size_t nbits = bits_.size() * 64;
+  for (int i = 0; i < kNumProbes; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % nbits;
+    bits_[bit / 64] |= (1ULL << (bit % 64));
+  }
+}
+
+inline bool BloomFilter::MayContain(std::string_view key) const {
+  uint64_t h1 = Fnv1a64(key);
+  uint64_t h2 = MixU64(h1);
+  size_t nbits = bits_.size() * 64;
+  for (int i = 0; i < kNumProbes; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % nbits;
+    if (!(bits_[bit / 64] & (1ULL << (bit % 64)))) return false;
+  }
+  return true;
+}
+
+}  // namespace cq
+
+#endif  // CQ_KVSTORE_BLOOM_H_

@@ -1,0 +1,339 @@
+#include "kvstore/kvstore.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace cq {
+
+namespace {
+constexpr uint64_t kLiveSeqno = std::numeric_limits<uint64_t>::max();
+}  // namespace
+
+// ---- MergingIterator ----
+
+/// K-way merge over the memtable (copied under lock at creation) and the
+/// immutable runs (shared ownership). Yields the newest visible version per
+/// user key, ascending; tombstoned keys are skipped.
+class MergingIterator : public KVIterator {
+ public:
+  MergingIterator(std::vector<KVStore::Entry> memtable,
+                  std::vector<std::shared_ptr<const std::vector<KVStore::Entry>>>
+                      runs,
+                  uint64_t max_seqno)
+      : memtable_(std::move(memtable)), max_seqno_(max_seqno) {
+    sources_.push_back({&memtable_, 0});
+    run_refs_ = std::move(runs);
+    for (const auto& r : run_refs_) sources_.push_back({r.get(), 0});
+    FindNextVisible();
+  }
+
+  bool Valid() const override { return valid_; }
+
+  void Next() override { FindNextVisible(); }
+
+  const std::string& key() const override { return key_; }
+  const std::string& value() const override { return value_; }
+
+  void Seek(const std::string& target) override {
+    KVStore::VersionedKey probe{target, kLiveSeqno};
+    for (auto& s : sources_) {
+      auto it = std::lower_bound(
+          s.data->begin(), s.data->end(), probe,
+          [](const KVStore::Entry& e, const KVStore::VersionedKey& k) {
+            return e.vkey < k;
+          });
+      s.pos = static_cast<size_t>(it - s.data->begin());
+    }
+    has_last_key_ = false;
+    FindNextVisible();
+  }
+
+ private:
+  struct Source {
+    const std::vector<KVStore::Entry>* data;
+    size_t pos;
+  };
+
+  // Advances a source past versions invisible to the snapshot.
+  void SkipInvisible(Source* s) {
+    while (s->pos < s->data->size() &&
+           (*s->data)[s->pos].vkey.seqno > max_seqno_) {
+      ++s->pos;
+    }
+  }
+
+  void FindNextVisible() {
+    while (true) {
+      const KVStore::Entry* best = nullptr;
+      for (auto& s : sources_) {
+        SkipInvisible(&s);
+        // Also skip versions of the key we already emitted/decided.
+        while (s.pos < s.data->size() && has_last_key_ &&
+               (*s.data)[s.pos].vkey.user_key == last_key_) {
+          ++s.pos;
+          SkipInvisible(&s);
+        }
+        if (s.pos >= s.data->size()) continue;
+        const KVStore::Entry& e = (*s.data)[s.pos];
+        if (best == nullptr || e.vkey < best->vkey) best = &e;
+      }
+      if (best == nullptr) {
+        valid_ = false;
+        return;
+      }
+      last_key_ = best->vkey.user_key;
+      has_last_key_ = true;
+      if (best->value.has_value()) {
+        key_ = best->vkey.user_key;
+        value_ = *best->value;
+        valid_ = true;
+        return;
+      }
+      // Tombstone: the key is deleted at this snapshot; loop to the next key.
+    }
+  }
+
+  std::vector<KVStore::Entry> memtable_;
+  std::vector<std::shared_ptr<const std::vector<KVStore::Entry>>> run_refs_;
+  std::vector<Source> sources_;
+  uint64_t max_seqno_;
+  bool valid_ = false;
+  bool has_last_key_ = false;
+  std::string last_key_;
+  std::string key_;
+  std::string value_;
+};
+
+// ---- KVStore ----
+
+Result<std::unique_ptr<KVStore>> KVStore::Open(KVStoreOptions options) {
+  auto store = std::unique_ptr<KVStore>(new KVStore(options));
+  if (!options.wal_path.empty()) {
+    CQ_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                        ReadWal(options.wal_path));
+    for (const auto& rec : records) {
+      std::optional<std::string> v;
+      if (rec.op == WalRecord::Op::kPut) v = rec.value;
+      CQ_RETURN_NOT_OK(store->WriteInternal(rec.key, std::move(v),
+                                            /*log=*/false));
+    }
+    CQ_ASSIGN_OR_RETURN(store->wal_, WalWriter::Open(options.wal_path));
+  }
+  return store;
+}
+
+KVStore::~KVStore() {
+  if (wal_ != nullptr) {
+    Status s = wal_->Flush();
+    (void)s;
+  }
+}
+
+Status KVStore::Put(const std::string& key, const std::string& value) {
+  return WriteInternal(key, value, /*log=*/true);
+}
+
+Status KVStore::Delete(const std::string& key) {
+  return WriteInternal(key, std::nullopt, /*log=*/true);
+}
+
+Status KVStore::WriteInternal(const std::string& key,
+                              std::optional<std::string> value, bool log) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log && wal_ != nullptr) {
+    WalRecord rec;
+    rec.op = value.has_value() ? WalRecord::Op::kPut : WalRecord::Op::kDelete;
+    rec.key = key;
+    rec.value = value.value_or("");
+    CQ_RETURN_NOT_OK(wal_->Append(rec));
+  }
+  memtable_.emplace(VersionedKey{key, next_seqno_++}, std::move(value));
+  if (memtable_.size() >= options_.memtable_max_entries) {
+    CQ_RETURN_NOT_OK(FlushLocked());
+  }
+  return Status::OK();
+}
+
+Status KVStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status KVStore::FlushLocked() {
+  if (memtable_.empty()) return Status::OK();
+  auto run = std::make_shared<Run>();
+  run->entries.reserve(memtable_.size());
+  run->bloom = std::make_unique<BloomFilter>(memtable_.size());
+  for (auto& [vkey, value] : memtable_) {
+    run->bloom->Add(vkey.user_key);
+    run->entries.push_back({vkey, std::move(value)});
+  }
+  run->min_key = run->entries.front().vkey.user_key;
+  run->max_key = run->entries.back().vkey.user_key;
+  memtable_.clear();
+  runs_.insert(runs_.begin(), std::move(run));  // newest first
+  ++stats_.flushes;
+  if (runs_.size() > options_.max_runs_before_compaction) {
+    return CompactLocked();
+  }
+  return Status::OK();
+}
+
+uint64_t KVStore::OldestLiveSnapshot() const {
+  return live_snapshots_.empty() ? kLiveSeqno : *live_snapshots_.begin();
+}
+
+Status KVStore::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CompactLocked();
+}
+
+Status KVStore::CompactLocked() {
+  if (runs_.empty()) return Status::OK();
+  // Gather all run entries in sorted order (k-way merge via sort: runs are
+  // individually sorted; a std::merge cascade would be faster but this is a
+  // full compaction, already O(n log n) overall).
+  std::vector<Entry> all;
+  size_t total = 0;
+  for (const auto& r : runs_) total += r->entries.size();
+  all.reserve(total);
+  for (const auto& r : runs_) {
+    all.insert(all.end(), r->entries.begin(), r->entries.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Entry& a, const Entry& b) { return a.vkey < b.vkey; });
+
+  std::vector<uint64_t> snaps(live_snapshots_.begin(), live_snapshots_.end());
+
+  auto run = std::make_shared<Run>();
+  run->bloom = std::make_unique<BloomFilter>(all.size());
+  size_t i = 0;
+  while (i < all.size()) {
+    size_t j = i;
+    while (j < all.size() &&
+           all[j].vkey.user_key == all[i].vkey.user_key) {
+      ++j;
+    }
+    // Versions of one key, newest (largest seqno) first: [i, j).
+    // Keep: (a) the newest version for live reads — unless it is a
+    // tombstone, which after a full compaction shadows nothing;
+    // (b) for each live snapshot s, the newest version with seqno <= s.
+    std::vector<bool> keep(j - i, false);
+    if (all[i].value.has_value()) keep[0] = true;
+    for (uint64_t s : snaps) {
+      for (size_t k = i; k < j; ++k) {
+        if (all[k].vkey.seqno <= s) {
+          keep[k - i] = true;
+          break;
+        }
+      }
+    }
+    for (size_t k = i; k < j; ++k) {
+      if (keep[k - i]) {
+        run->bloom->Add(all[k].vkey.user_key);
+        run->entries.push_back(std::move(all[k]));
+      }
+    }
+    i = j;
+  }
+  runs_.clear();
+  if (!run->entries.empty()) {
+    run->min_key = run->entries.front().vkey.user_key;
+    run->max_key = run->entries.back().vkey.user_key;
+    runs_.push_back(std::move(run));
+  }
+  ++stats_.compactions;
+  return Status::OK();
+}
+
+Result<std::string> KVStore::Get(const std::string& key) const {
+  return GetAtSeqno(key, kLiveSeqno);
+}
+
+Result<std::string> KVStore::Get(const std::string& key,
+                                 const KVSnapshot& snapshot) const {
+  return GetAtSeqno(key, snapshot.seqno());
+}
+
+Result<std::string> KVStore::GetAtSeqno(const std::string& key,
+                                        uint64_t max_seqno) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Memtable: first entry with vkey >= {key, max_seqno} is the newest
+  // visible version of the key, if its user_key matches.
+  auto it = memtable_.lower_bound(VersionedKey{key, max_seqno});
+  if (it != memtable_.end() && it->first.user_key == key) {
+    if (!it->second.has_value()) {
+      return Status::NotFound("key '" + key + "' deleted");
+    }
+    return *it->second;
+  }
+  // Runs, newest first. Seqno ranges across sources are disjoint, so the
+  // first source holding any visible version holds the newest one.
+  for (const auto& r : runs_) {
+    if (key < r->min_key || key > r->max_key) continue;
+    if (!r->bloom->MayContain(key)) {
+      ++stats_.bloom_negative;
+      continue;
+    }
+    VersionedKey probe{key, max_seqno};
+    auto rit = std::lower_bound(
+        r->entries.begin(), r->entries.end(), probe,
+        [](const Entry& e, const VersionedKey& k) { return e.vkey < k; });
+    if (rit != r->entries.end() && rit->vkey.user_key == key) {
+      if (!rit->value.has_value()) {
+        return Status::NotFound("key '" + key + "' deleted");
+      }
+      return *rit->value;
+    }
+  }
+  return Status::NotFound("key '" + key + "' not found");
+}
+
+KVSnapshot KVStore::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t seq = next_seqno_ - 1;
+  live_snapshots_.insert(seq);
+  return KVSnapshot(seq);
+}
+
+void KVStore::ReleaseSnapshot(const KVSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_snapshots_.find(snapshot.seqno());
+  if (it != live_snapshots_.end()) live_snapshots_.erase(it);
+}
+
+std::unique_ptr<KVIterator> KVStore::NewIterator() const {
+  return NewIterator(KVSnapshot(kLiveSeqno));
+}
+
+std::unique_ptr<KVIterator> KVStore::NewIterator(
+    const KVSnapshot& snapshot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> mem;
+  mem.reserve(memtable_.size());
+  for (const auto& [vkey, value] : memtable_) {
+    if (vkey.seqno <= snapshot.seqno()) mem.push_back({vkey, value});
+  }
+  std::vector<std::shared_ptr<const std::vector<Entry>>> run_views;
+  run_views.reserve(runs_.size());
+  for (const auto& r : runs_) {
+    run_views.push_back(
+        std::shared_ptr<const std::vector<Entry>>(r, &r->entries));
+  }
+  return std::make_unique<MergingIterator>(std::move(mem),
+                                           std::move(run_views),
+                                           snapshot.seqno());
+}
+
+KVStoreStats KVStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  KVStoreStats s = stats_;
+  s.memtable_entries = memtable_.size();
+  s.num_runs = runs_.size();
+  s.run_entries = 0;
+  for (const auto& r : runs_) s.run_entries += r->entries.size();
+  return s;
+}
+
+}  // namespace cq

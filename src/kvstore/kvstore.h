@@ -1,0 +1,156 @@
+#ifndef CQ_KVSTORE_KVSTORE_H_
+#define CQ_KVSTORE_KVSTORE_H_
+
+/// \file kvstore.h
+/// \brief Embedded ordered key-value store (Fig. 5 substrate).
+///
+/// Stateful streaming operators (windows, aggregations, joins) persist
+/// intermediate results in an embedded KV store — RocksDB in the systems the
+/// survey describes. This is the in-tree substitute: an LSM-shaped store
+/// with a versioned memtable, write-ahead log, immutable sorted runs with
+/// bloom filters, k-way merging iterators, snapshot isolation via sequence
+/// numbers, and full-merge compaction.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kvstore/bloom.h"
+#include "kvstore/wal.h"
+
+namespace cq {
+
+/// \brief Store configuration.
+struct KVStoreOptions {
+  /// Memtable entry budget; exceeding it flushes to an immutable run.
+  size_t memtable_max_entries = 4096;
+  /// Merge all runs into one when their count exceeds this.
+  size_t max_runs_before_compaction = 8;
+  /// WAL path; empty disables durability (pure in-memory store).
+  std::string wal_path;
+};
+
+/// \brief A read view at a fixed sequence number.
+class KVSnapshot {
+ public:
+  explicit KVSnapshot(uint64_t seqno) : seqno_(seqno) {}
+  uint64_t seqno() const { return seqno_; }
+
+ private:
+  uint64_t seqno_;
+};
+
+/// \brief Observability counters.
+struct KVStoreStats {
+  size_t memtable_entries = 0;
+  size_t num_runs = 0;
+  size_t run_entries = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t bloom_negative = 0;  // point lookups short-circuited by blooms
+};
+
+/// \brief Forward iteration over the live (or snapshot) key space, keys
+/// ascending, newest visible version per key, tombstones skipped.
+class KVIterator {
+ public:
+  virtual ~KVIterator() = default;
+  virtual bool Valid() const = 0;
+  virtual void Next() = 0;
+  virtual const std::string& key() const = 0;
+  virtual const std::string& value() const = 0;
+  /// \brief Repositions at the first key >= target.
+  virtual void Seek(const std::string& target) = 0;
+};
+
+class KVStore {
+ public:
+  /// \brief Opens a store, replaying the WAL when one is configured.
+  static Result<std::unique_ptr<KVStore>> Open(KVStoreOptions options);
+
+  ~KVStore();
+
+  Status Put(const std::string& key, const std::string& value);
+  Status Delete(const std::string& key);
+
+  /// \brief Point lookup against the live version.
+  Result<std::string> Get(const std::string& key) const;
+
+  /// \brief Point lookup against a snapshot.
+  Result<std::string> Get(const std::string& key,
+                          const KVSnapshot& snapshot) const;
+
+  /// \brief Takes a snapshot pinning the current state for readers.
+  KVSnapshot GetSnapshot() const;
+
+  /// \brief Releases a snapshot (allows compaction to drop its versions).
+  void ReleaseSnapshot(const KVSnapshot& snapshot);
+
+  /// \brief Iterator over the live state (or a snapshot if provided).
+  std::unique_ptr<KVIterator> NewIterator() const;
+  std::unique_ptr<KVIterator> NewIterator(const KVSnapshot& snapshot) const;
+
+  /// \brief Forces a memtable flush (tests / benches).
+  Status Flush();
+
+  /// \brief Forces a full compaction of all runs.
+  Status Compact();
+
+  KVStoreStats stats() const;
+
+ private:
+  explicit KVStore(KVStoreOptions options) : options_(std::move(options)) {}
+
+  struct VersionedKey {
+    std::string user_key;
+    uint64_t seqno;
+    // user_key ascending, then seqno DESCENDING: the first version seen in
+    // iteration order for a key is the newest.
+    bool operator<(const VersionedKey& other) const {
+      if (user_key != other.user_key) return user_key < other.user_key;
+      return seqno > other.seqno;
+    }
+  };
+
+  struct Entry {
+    VersionedKey vkey;
+    std::optional<std::string> value;  // nullopt == tombstone
+  };
+
+  /// An immutable sorted run (in-memory SST analogue).
+  struct Run {
+    std::vector<Entry> entries;  // sorted by VersionedKey
+    std::unique_ptr<BloomFilter> bloom;
+    std::string min_key;
+    std::string max_key;
+  };
+
+  Status WriteInternal(const std::string& key,
+                       std::optional<std::string> value, bool log);
+  Status FlushLocked();
+  Status CompactLocked();
+  Result<std::string> GetAtSeqno(const std::string& key,
+                                 uint64_t max_seqno) const;
+  /// Smallest seqno any live snapshot can see (or UINT64_MAX when none).
+  uint64_t OldestLiveSnapshot() const;
+
+  friend class MergingIterator;
+
+  KVStoreOptions options_;
+  mutable std::mutex mu_;
+  std::map<VersionedKey, std::optional<std::string>> memtable_;
+  std::vector<std::shared_ptr<Run>> runs_;  // newest first
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t next_seqno_ = 1;
+  mutable std::multiset<uint64_t> live_snapshots_;
+  mutable KVStoreStats stats_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_KVSTORE_KVSTORE_H_

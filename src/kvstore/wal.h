@@ -1,0 +1,52 @@
+#ifndef CQ_KVSTORE_WAL_H_
+#define CQ_KVSTORE_WAL_H_
+
+/// \file wal.h
+/// \brief Write-ahead log for the embedded KV store.
+///
+/// Every mutation is appended to the WAL before being applied to the
+/// memtable; on open, the store replays the log to rebuild its state. The
+/// record format is length-prefixed binary with a per-record checksum so a
+/// torn tail write is detected and truncated rather than corrupting replay.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cq {
+
+/// \brief One logical WAL record.
+struct WalRecord {
+  enum class Op : uint8_t { kPut = 1, kDelete = 2 };
+  Op op = Op::kPut;
+  std::string key;
+  std::string value;  // empty for deletes
+};
+
+/// \brief Appender over a WAL file.
+class WalWriter {
+ public:
+  ~WalWriter();
+
+  /// \brief Opens (creating or appending to) the log at `path`.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path);
+
+  Status Append(const WalRecord& record);
+
+  /// \brief Flushes buffered records to the OS.
+  Status Flush();
+
+ private:
+  explicit WalWriter(FILE* f) : file_(f) {}
+  FILE* file_;
+};
+
+/// \brief Reads all intact records from a WAL file. A trailing partial or
+/// checksum-failing record ends the replay cleanly (crash-consistent).
+Result<std::vector<WalRecord>> ReadWal(const std::string& path);
+
+}  // namespace cq
+
+#endif  // CQ_KVSTORE_WAL_H_

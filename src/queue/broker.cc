@@ -1,0 +1,128 @@
+#include "queue/broker.h"
+
+namespace cq {
+
+int64_t Partition::Append(std::string key, Tuple value, Timestamp timestamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t offset = static_cast<int64_t>(log_.size());
+  log_.push_back({offset, std::move(key), std::move(value), timestamp});
+  if (timestamp > max_ts_) max_ts_ = timestamp;
+  return offset;
+}
+
+Result<std::vector<Message>> Partition::Read(int64_t offset,
+                                             size_t max_messages) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (offset < 0 || offset > static_cast<int64_t>(log_.size())) {
+    return Status::OutOfRange("offset " + std::to_string(offset) +
+                              " outside log [0, " +
+                              std::to_string(log_.size()) + "]");
+  }
+  std::vector<Message> out;
+  size_t start = static_cast<size_t>(offset);
+  size_t end = std::min(log_.size(), start + max_messages);
+  out.reserve(end - start);
+  for (size_t i = start; i < end; ++i) out.push_back(log_[i]);
+  return out;
+}
+
+int64_t Partition::EndOffset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(log_.size());
+}
+
+Timestamp Partition::MaxTimestamp() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_ts_;
+}
+
+Topic::Topic(std::string name, size_t num_partitions)
+    : name_(std::move(name)) {
+  partitions_.reserve(num_partitions);
+  for (size_t i = 0; i < num_partitions; ++i) {
+    partitions_.push_back(std::make_unique<Partition>());
+  }
+}
+
+size_t Topic::PartitionFor(const std::string& key) {
+  if (key.empty()) {
+    return round_robin_.fetch_add(1, std::memory_order_relaxed) %
+           partitions_.size();
+  }
+  return Fnv1a64(key) % partitions_.size();
+}
+
+Status Broker::CreateTopic(const std::string& name, size_t num_partitions) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("topic needs at least one partition");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (topics_.count(name)) {
+    return Status::AlreadyExists("topic '" + name + "' exists");
+  }
+  topics_.emplace(name, std::make_unique<Topic>(name, num_partitions));
+  return Status::OK();
+}
+
+Result<Topic*> Broker::GetTopic(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(name);
+  if (it == topics_.end()) {
+    return Status::NotFound("topic '" + name + "' does not exist");
+  }
+  return it->second.get();
+}
+
+Result<std::pair<size_t, int64_t>> Broker::Produce(const std::string& topic,
+                                                   std::string key,
+                                                   Tuple value,
+                                                   Timestamp timestamp) {
+  CQ_ASSIGN_OR_RETURN(Topic * t, GetTopic(topic));
+  size_t p = t->PartitionFor(key);
+  int64_t offset = t->partition(p).Append(std::move(key), std::move(value),
+                                          timestamp);
+  return std::make_pair(p, offset);
+}
+
+Result<std::vector<Message>> Broker::Poll(const std::string& group,
+                                          const std::string& topic,
+                                          size_t partition,
+                                          size_t max_messages) {
+  CQ_ASSIGN_OR_RETURN(Topic * t, GetTopic(topic));
+  if (partition >= t->num_partitions()) {
+    return Status::OutOfRange("partition index out of range");
+  }
+  int64_t offset = CommittedOffset(group, topic, partition);
+  return t->partition(partition).Read(offset, max_messages);
+}
+
+Status Broker::Commit(const std::string& group, const std::string& topic,
+                      size_t partition, int64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  offsets_[{group, topic, partition}] = offset;
+  return Status::OK();
+}
+
+int64_t Broker::CommittedOffset(const std::string& group,
+                                const std::string& topic,
+                                size_t partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = offsets_.find({group, topic, partition});
+  return it == offsets_.end() ? 0 : it->second;
+}
+
+Result<std::vector<size_t>> Broker::AssignPartitions(const std::string& topic,
+                                                     size_t num_members,
+                                                     size_t member_index) {
+  if (num_members == 0 || member_index >= num_members) {
+    return Status::InvalidArgument("invalid consumer group membership");
+  }
+  CQ_ASSIGN_OR_RETURN(Topic * t, GetTopic(topic));
+  std::vector<size_t> mine;
+  for (size_t p = member_index; p < t->num_partitions(); p += num_members) {
+    mine.push_back(p);
+  }
+  return mine;
+}
+
+}  // namespace cq

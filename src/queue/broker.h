@@ -1,0 +1,125 @@
+#ifndef CQ_QUEUE_BROKER_H_
+#define CQ_QUEUE_BROKER_H_
+
+/// \file broker.h
+/// \brief In-process partitioned log broker (Fig. 5 substrate).
+///
+/// The survey's abstract streaming-system architecture consumes streaming
+/// data from a distributed queue (Kafka/Pulsar) and pushes outputs to the
+/// same kind of system. This module is the in-process substitute: topics
+/// split into partitions, each an append-only offset-addressed log, with
+/// key-based partitioning, consumer groups, and committed offsets. Network
+/// transport is deliberately out of scope — the consume/produce/offset/
+/// rebalance code paths are what continuous-query processing exercises.
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "types/tuple.h"
+
+namespace cq {
+
+/// \brief A message in a partition log.
+struct Message {
+  int64_t offset = 0;  // position within the partition
+  std::string key;     // partitioning key (may be empty)
+  Tuple value;
+  Timestamp timestamp = 0;  // event time stamped by the producer
+};
+
+/// \brief One append-only partition log. Thread-safe.
+class Partition {
+ public:
+  /// \brief Appends a message, assigning its offset. Returns the offset.
+  int64_t Append(std::string key, Tuple value, Timestamp timestamp);
+
+  /// \brief Reads up to `max_messages` starting at `offset`. An offset at
+  /// the end returns an empty batch (poll semantics); past-the-end offsets
+  /// are OutOfRange.
+  Result<std::vector<Message>> Read(int64_t offset,
+                                    size_t max_messages) const;
+
+  /// \brief Offset one past the last appended message.
+  int64_t EndOffset() const;
+
+  /// \brief Largest event timestamp appended so far (kMinTimestamp if none);
+  /// consumers use it to derive source watermarks.
+  Timestamp MaxTimestamp() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Message> log_;
+  Timestamp max_ts_ = kMinTimestamp;
+};
+
+/// \brief A named topic: a fixed set of partitions.
+class Topic {
+ public:
+  Topic(std::string name, size_t num_partitions);
+
+  const std::string& name() const { return name_; }
+  size_t num_partitions() const { return partitions_.size(); }
+  Partition& partition(size_t i) { return *partitions_[i]; }
+  const Partition& partition(size_t i) const { return *partitions_[i]; }
+
+  /// \brief Stable key-hash partitioner; empty keys round-robin.
+  size_t PartitionFor(const std::string& key);
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::atomic<size_t> round_robin_{0};
+};
+
+/// \brief The broker: topic registry plus consumer-group offset tracking.
+class Broker {
+ public:
+  /// \brief Creates a topic; AlreadyExists if the name is taken.
+  Status CreateTopic(const std::string& name, size_t num_partitions);
+
+  Result<Topic*> GetTopic(const std::string& name);
+
+  /// \brief Produces a message; returns (partition, offset).
+  Result<std::pair<size_t, int64_t>> Produce(const std::string& topic,
+                                             std::string key, Tuple value,
+                                             Timestamp timestamp);
+
+  /// \brief Reads a batch from one partition at the group's committed
+  /// offset, without committing.
+  Result<std::vector<Message>> Poll(const std::string& group,
+                                    const std::string& topic,
+                                    size_t partition, size_t max_messages);
+
+  /// \brief Commits the group's offset for a partition.
+  Status Commit(const std::string& group, const std::string& topic,
+                size_t partition, int64_t offset);
+
+  /// \brief Committed offset (0 when the group has never committed).
+  int64_t CommittedOffset(const std::string& group, const std::string& topic,
+                          size_t partition) const;
+
+  /// \brief Round-robin assignment of a topic's partitions to `num_members`
+  /// consumers; returns the partitions owned by `member_index`.
+  Result<std::vector<size_t>> AssignPartitions(const std::string& topic,
+                                               size_t num_members,
+                                               size_t member_index);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Topic>> topics_;
+  // (group, topic, partition) -> committed offset
+  std::map<std::tuple<std::string, std::string, size_t>, int64_t> offsets_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_QUEUE_BROKER_H_

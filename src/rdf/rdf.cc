@@ -1,0 +1,222 @@
+#include "rdf/rdf.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cq {
+
+std::string RdfTerm::ToString() const {
+  switch (kind) {
+    case Kind::kIri:
+      return "<" + text + ">";
+    case Kind::kLiteral:
+      return "\"" + text + "\"";
+    case Kind::kBlank:
+      return "_:" + text;
+  }
+  return "?";
+}
+
+Value RdfTerm::ToValue() const {
+  char tag = 'I';
+  if (kind == Kind::kLiteral) tag = 'L';
+  if (kind == Kind::kBlank) tag = 'B';
+  return Value(std::string(1, tag) + text);
+}
+
+Result<RdfTerm> RdfTerm::FromValue(const Value& v) {
+  if (!v.is_string() || v.string_value().empty()) {
+    return Status::TypeError("not an encoded RDF term: " + v.ToString());
+  }
+  const std::string& s = v.string_value();
+  RdfTerm out;
+  switch (s[0]) {
+    case 'I':
+      out.kind = Kind::kIri;
+      break;
+    case 'L':
+      out.kind = Kind::kLiteral;
+      break;
+    case 'B':
+      out.kind = Kind::kBlank;
+      break;
+    default:
+      return Status::TypeError("unknown RDF term tag in " + s);
+  }
+  out.text = s.substr(1);
+  return out;
+}
+
+std::string RdfTriple::ToString() const {
+  return subject.ToString() + " " + predicate.ToString() + " " +
+         object.ToString() + " .";
+}
+
+Tuple RdfTriple::ToTuple() const {
+  return Tuple({subject.ToValue(), predicate.ToValue(), object.ToValue()});
+}
+
+Result<RdfTriple> RdfTriple::FromTuple(const Tuple& t) {
+  if (t.size() != 3) {
+    return Status::TypeError("RDF triple tuple must have arity 3");
+  }
+  RdfTriple out;
+  CQ_ASSIGN_OR_RETURN(out.subject, RdfTerm::FromValue(t[0]));
+  CQ_ASSIGN_OR_RETURN(out.predicate, RdfTerm::FromValue(t[1]));
+  CQ_ASSIGN_OR_RETURN(out.object, RdfTerm::FromValue(t[2]));
+  return out;
+}
+
+SchemaPtr RdfStream::TupleSchema() {
+  return Schema::Make({{"s", ValueType::kString},
+                       {"p", ValueType::kString},
+                       {"o", ValueType::kString}});
+}
+
+namespace {
+
+const PatternTerm* PositionsOf(const TriplePattern& p, size_t i) {
+  switch (i) {
+    case 0:
+      return &p.subject;
+    case 1:
+      return &p.predicate;
+    default:
+      return &p.object;
+  }
+}
+
+}  // namespace
+
+Result<CompiledRspQuery> CompileRspQuery(const RspQuery& rsp) {
+  if (rsp.pattern.empty()) {
+    return Status::PlanError("RSP query needs at least one triple pattern");
+  }
+
+  // var -> column index in the accumulated plan's schema.
+  std::map<std::string, size_t> var_columns;
+  RelOpPtr plan;
+
+  for (size_t i = 0; i < rsp.pattern.size(); ++i) {
+    const TriplePattern& pattern = rsp.pattern[i];
+    RelOpPtr scan = RelOp::Scan(
+        i, RdfStream::TupleSchema()->Qualified("t" + std::to_string(i)));
+
+    // Selections for constant positions and intra-pattern repeated
+    // variables.
+    ExprPtr local_pred;
+    std::map<std::string, size_t> local_vars;  // var -> position 0..2
+    for (size_t pos = 0; pos < 3; ++pos) {
+      const PatternTerm& term = *PositionsOf(pattern, pos);
+      if (!term.is_variable()) {
+        ExprPtr eq = Eq(Col(pos), Lit(term.term->ToValue()));
+        local_pred = local_pred ? And(local_pred, eq) : eq;
+        continue;
+      }
+      if (term.variable.empty()) {
+        return Status::PlanError("pattern variable must have a name");
+      }
+      auto it = local_vars.find(term.variable);
+      if (it != local_vars.end()) {
+        ExprPtr eq = Eq(Col(it->second), Col(pos));
+        local_pred = local_pred ? And(local_pred, eq) : eq;
+      } else {
+        local_vars.emplace(term.variable, pos);
+      }
+    }
+    if (local_pred != nullptr) {
+      CQ_ASSIGN_OR_RETURN(scan, RelOp::Select(scan, local_pred));
+    }
+
+    if (plan == nullptr) {
+      plan = scan;
+      for (const auto& [var, pos] : local_vars) {
+        var_columns.emplace(var, pos);
+      }
+      continue;
+    }
+
+    // Join on variables shared with the accumulated plan.
+    std::vector<size_t> left_keys, right_keys;
+    size_t offset = plan->schema()->num_fields();
+    for (const auto& [var, pos] : local_vars) {
+      auto bound = var_columns.find(var);
+      if (bound != var_columns.end()) {
+        left_keys.push_back(bound->second);
+        right_keys.push_back(pos);
+      }
+    }
+    if (left_keys.empty()) {
+      // No shared variables: cartesian product.
+      CQ_ASSIGN_OR_RETURN(plan, RelOp::ThetaJoin(plan, scan, nullptr));
+    } else {
+      CQ_ASSIGN_OR_RETURN(plan,
+                          RelOp::Join(plan, scan, left_keys, right_keys));
+    }
+    for (const auto& [var, pos] : local_vars) {
+      var_columns.emplace(var, offset + pos);  // first binding wins
+    }
+  }
+
+  // Projection onto the answer variables.
+  std::vector<std::string> variables = rsp.projection;
+  if (variables.empty()) {
+    for (const auto& [var, col] : var_columns) variables.push_back(var);
+  }
+  std::vector<ExprPtr> projections;
+  std::vector<Field> fields;
+  for (const auto& var : variables) {
+    auto it = var_columns.find(var);
+    if (it == var_columns.end()) {
+      return Status::PlanError("projection variable " + var +
+                               " does not occur in the pattern");
+    }
+    projections.push_back(Col(it->second, var));
+    fields.push_back({var, ValueType::kString});
+  }
+  CQ_ASSIGN_OR_RETURN(plan, RelOp::Project(plan, std::move(projections),
+                                           std::move(fields)));
+  // SPARQL SELECT is set semantics per instantaneous graph.
+  CQ_ASSIGN_OR_RETURN(plan, RelOp::Distinct(plan));
+
+  CompiledRspQuery out;
+  out.query.plan = plan;
+  out.query.output = rsp.output;
+  out.query.input_windows.assign(rsp.pattern.size(), rsp.window);
+  out.variables = std::move(variables);
+  return out;
+}
+
+Result<RdfBinding> CompiledRspQuery::DecodeRow(const Tuple& t) const {
+  if (t.size() != variables.size()) {
+    return Status::TypeError("row arity does not match variables");
+  }
+  RdfBinding out;
+  for (size_t i = 0; i < variables.size(); ++i) {
+    CQ_ASSIGN_OR_RETURN(RdfTerm term, RdfTerm::FromValue(t[i]));
+    out.emplace(variables[i], std::move(term));
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<RdfBinding, Timestamp>>> ExecuteRspQuery(
+    const RspQuery& rsp, const RdfStream& stream) {
+  CQ_ASSIGN_OR_RETURN(CompiledRspQuery compiled, CompileRspQuery(rsp));
+  // Every pattern reads the same (windowed) stream.
+  std::vector<const BoundedStream*> inputs(
+      compiled.query.input_windows.size(), &stream.stream());
+  std::vector<Timestamp> ticks =
+      ReferenceExecutor::DefaultTicks(compiled.query, inputs);
+  CQ_ASSIGN_OR_RETURN(BoundedStream out,
+                      ReferenceExecutor::Execute(compiled.query, inputs,
+                                                 ticks));
+  std::vector<std::pair<RdfBinding, Timestamp>> bindings;
+  for (const auto& e : out) {
+    if (!e.is_record()) continue;
+    CQ_ASSIGN_OR_RETURN(RdfBinding b, compiled.DecodeRow(e.tuple));
+    bindings.emplace_back(std::move(b), e.timestamp);
+  }
+  return bindings;
+}
+
+}  // namespace cq

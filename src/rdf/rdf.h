@@ -1,0 +1,153 @@
+#ifndef CQ_RDF_RDF_H_
+#define CQ_RDF_RDF_H_
+
+/// \file rdf.h
+/// \brief RDF streams and continuous basic-graph-pattern queries
+/// (paper §5.2, the Semantic Web lineage: RSP-QL [34], RSP4J [83]).
+///
+/// RDF Stream Processing extends SPARQL with CQL's S2R/R2S operator classes:
+/// a window turns a stream of timestamped triples into an instantaneous RDF
+/// graph, a basic graph pattern (BGP) is matched against it, and an R2S
+/// operator streams the binding changes out. Following RSP4J's design — which
+/// the survey describes as generalising the computational approach by
+/// borrowing from Streaming Systems and CQL — this module *compiles* BGPs
+/// onto the relational engine: triples become 3-tuples, each pattern becomes
+/// a selection over a scan, shared variables become equi-join keys, and the
+/// projection extracts the answer variables. Every engine facility
+/// (reference semantics, incremental evaluation, optimisation) then applies
+/// to RDF streams unchanged.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cql/continuous_query.h"
+#include "stream/stream.h"
+
+namespace cq {
+
+/// \brief An RDF term: IRI, literal, or blank node. (Plain strings; datatype
+/// machinery is out of scope for the engine's purposes.)
+struct RdfTerm {
+  enum class Kind { kIri, kLiteral, kBlank };
+  Kind kind = Kind::kIri;
+  std::string text;
+
+  static RdfTerm Iri(std::string iri) {
+    return {Kind::kIri, std::move(iri)};
+  }
+  static RdfTerm Literal(std::string value) {
+    return {Kind::kLiteral, std::move(value)};
+  }
+  static RdfTerm Blank(std::string label) {
+    return {Kind::kBlank, std::move(label)};
+  }
+
+  bool operator==(const RdfTerm& other) const = default;
+  bool operator<(const RdfTerm& other) const {
+    if (kind != other.kind) return kind < other.kind;
+    return text < other.text;
+  }
+
+  /// \brief Turtle-ish rendering: <iri>, "literal", _:blank.
+  std::string ToString() const;
+
+  /// \brief Engine encoding: a tagged string Value.
+  Value ToValue() const;
+  static Result<RdfTerm> FromValue(const Value& v);
+};
+
+/// \brief One RDF triple.
+struct RdfTriple {
+  RdfTerm subject;
+  RdfTerm predicate;
+  RdfTerm object;
+
+  bool operator==(const RdfTriple& other) const = default;
+  std::string ToString() const;
+
+  /// \brief Engine encoding: the 3-tuple (s, p, o).
+  Tuple ToTuple() const;
+  static Result<RdfTriple> FromTuple(const Tuple& t);
+};
+
+/// \brief A timestamped RDF stream (RSP input).
+class RdfStream {
+ public:
+  void Append(RdfTriple triple, Timestamp ts) {
+    stream_.Append(triple.ToTuple(), ts);
+  }
+  const BoundedStream& stream() const { return stream_; }
+  size_t size() const { return stream_.num_records(); }
+
+  /// \brief Schema of the tuple encoding: (s STRING, p STRING, o STRING).
+  static SchemaPtr TupleSchema();
+
+ private:
+  BoundedStream stream_;
+};
+
+/// \brief A position in a triple pattern: a constant term or a variable.
+struct PatternTerm {
+  std::optional<RdfTerm> term;  // constant when set
+  std::string variable;         // "?name" when term is unset
+
+  static PatternTerm Const(RdfTerm t) { return {std::move(t), ""}; }
+  static PatternTerm Var(std::string name) {
+    return {std::nullopt, std::move(name)};
+  }
+  bool is_variable() const { return !term.has_value(); }
+};
+
+/// \brief A triple pattern of a BGP.
+struct TriplePattern {
+  PatternTerm subject;
+  PatternTerm predicate;
+  PatternTerm object;
+};
+
+/// \brief A basic graph pattern: conjunctive triple patterns over shared
+/// variables.
+using BasicGraphPattern = std::vector<TriplePattern>;
+
+/// \brief One query answer: variable name -> bound term.
+using RdfBinding = std::map<std::string, RdfTerm>;
+
+/// \brief A continuous RDF query in RSP-QL shape: window + BGP + projection
+/// + R2S operator.
+struct RspQuery {
+  /// Window over the triple stream (RSP-QL's FROM NAMED WINDOW).
+  S2RSpec window = S2RSpec::Unbounded();
+  BasicGraphPattern pattern;
+  /// Answer variables, in output order (SELECT ?x ?y). Empty = all
+  /// variables, sorted.
+  std::vector<std::string> projection;
+  R2SKind output = R2SKind::kIStream;
+};
+
+/// \brief A compiled continuous RDF query: the relational plan plus the
+/// variable layout of its output.
+struct CompiledRspQuery {
+  ContinuousQuery query;
+  std::vector<std::string> variables;  // output column -> variable name
+
+  /// \brief Decodes an output tuple into a binding.
+  Result<RdfBinding> DecodeRow(const Tuple& t) const;
+};
+
+/// \brief Compiles an RSP query onto the relational engine: one Scan of the
+/// triple stream per pattern (slots share input 0's stream via identical
+/// windows), selections for constant positions, equi-joins on shared
+/// variables, projection onto the answer variables.
+Result<CompiledRspQuery> CompileRspQuery(const RspQuery& query);
+
+/// \brief Convenience: continuous evaluation over a bounded RDF stream —
+/// bindings produced per tick, via the reference executor.
+Result<std::vector<std::pair<RdfBinding, Timestamp>>> ExecuteRspQuery(
+    const RspQuery& query, const RdfStream& stream);
+
+}  // namespace cq
+
+#endif  // CQ_RDF_RDF_H_

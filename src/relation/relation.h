@@ -1,0 +1,146 @@
+#ifndef CQ_RELATION_RELATION_H_
+#define CQ_RELATION_RELATION_H_
+
+/// \file relation.h
+/// \brief Instantaneous and time-varying relations (paper Definition 3.1).
+///
+/// CQL gives continuous queries their semantics through *time-varying
+/// relations*: a mapping from each time instant to a finite bag of tuples.
+/// We represent instantaneous relations as multisets with signed
+/// multiplicities (Z-sets), which makes deltas first-class: an update is just
+/// a relation whose multiplicities may be negative. This is the algebra that
+/// underlies both the R2S operators (IStream/DStream are literally the
+/// positive/negative parts of consecutive differences) and incremental view
+/// maintenance (§5.1).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace cq {
+
+/// \brief A multiset of tuples with signed multiplicities (a Z-set).
+///
+/// Multiplicity 0 entries are never stored. A MultisetRelation with all
+/// multiplicities >= 0 is an ordinary bag (an instantaneous relation R(tau));
+/// mixed signs represent a *delta*.
+class MultisetRelation {
+ public:
+  MultisetRelation() = default;
+
+  /// \brief Adds `count` copies of `t` (count may be negative).
+  void Add(const Tuple& t, int64_t count = 1);
+
+  /// \brief Multiplicity of `t` (0 when absent).
+  int64_t Count(const Tuple& t) const;
+
+  bool Contains(const Tuple& t) const { return Count(t) != 0; }
+
+  /// \brief Number of distinct tuples with non-zero multiplicity.
+  size_t NumDistinct() const { return entries_.size(); }
+
+  /// \brief Sum of positive multiplicities (bag cardinality of the positive
+  /// part).
+  int64_t Cardinality() const;
+
+  bool Empty() const { return entries_.empty(); }
+
+  /// \brief Z-set addition: pointwise sum of multiplicities.
+  MultisetRelation Plus(const MultisetRelation& other) const;
+
+  /// \brief In-place Z-set addition: this += other, O(|other| log |this|).
+  /// The workhorse of incremental accumulation (Plus() copies the receiver).
+  void PlusInPlace(const MultisetRelation& other);
+
+  /// \brief Z-set negation.
+  MultisetRelation Negate() const;
+
+  /// \brief this + other.Negate(); the delta taking `other` to `this`.
+  MultisetRelation Minus(const MultisetRelation& other) const;
+
+  /// \brief Tuples with positive multiplicity, multiplicities preserved.
+  MultisetRelation PositivePart() const;
+
+  /// \brief Tuples with negative multiplicity, multiplicities negated to be
+  /// positive (i.e. "what was deleted", as a bag).
+  MultisetRelation NegativePartAbs() const;
+
+  /// \brief Set-semantics projection: every positive tuple at multiplicity 1.
+  MultisetRelation Distinct() const;
+
+  bool operator==(const MultisetRelation& other) const {
+    return entries_ == other.entries_;
+  }
+
+  /// \brief Deterministic iteration order (sorted by tuple) — hashing the
+  /// contents or printing them is reproducible.
+  const std::map<Tuple, int64_t>& entries() const { return entries_; }
+
+  /// \brief Materialises the positive part as a flat bag of tuples
+  /// (each tuple repeated per its multiplicity), sorted.
+  std::vector<Tuple> ToBag() const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<Tuple, int64_t> entries_;
+};
+
+/// \brief A time-varying relation: the full map tau -> R(tau), stored as
+/// deltas keyed by the instants at which the relation changed.
+///
+/// `At(tau)` reconstructs the instantaneous relation by summing all deltas
+/// with timestamp <= tau. This is the reference ("denotational") object that
+/// operators are tested against; execution engines never materialise it.
+class TimeVaryingRelation {
+ public:
+  TimeVaryingRelation() = default;
+  explicit TimeVaryingRelation(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+
+  /// \brief Records that at instant `tau` the relation changed by `delta`.
+  /// Multiple calls at the same instant accumulate.
+  void ApplyDelta(Timestamp tau, const MultisetRelation& delta);
+
+  /// \brief Inserts one tuple at instant tau.
+  void Insert(Timestamp tau, const Tuple& t) {
+    MultisetRelation d;
+    d.Add(t, 1);
+    ApplyDelta(tau, d);
+  }
+
+  /// \brief Deletes one tuple at instant tau.
+  void Delete(Timestamp tau, const Tuple& t) {
+    MultisetRelation d;
+    d.Add(t, -1);
+    ApplyDelta(tau, d);
+  }
+
+  /// \brief The instantaneous relation R(tau).
+  MultisetRelation At(Timestamp tau) const;
+
+  /// \brief The delta R(tau) - R(tau-) applied exactly at instant tau
+  /// (empty if the relation did not change at tau).
+  MultisetRelation DeltaAt(Timestamp tau) const;
+
+  /// \brief All instants at which the relation changes, ascending.
+  std::vector<Timestamp> ChangeInstants() const;
+
+  bool Empty() const { return deltas_.empty(); }
+
+ private:
+  SchemaPtr schema_;
+  std::map<Timestamp, MultisetRelation> deltas_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_RELATION_RELATION_H_

@@ -1,0 +1,26 @@
+#include "sql/ast.h"
+
+namespace cq {
+
+std::string AstExpr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kBinary:
+      return "(" + left->ToString() + " " + op + " " + right->ToString() + ")";
+    case Kind::kNot:
+      return "NOT " + left->ToString();
+    case Kind::kIsNull:
+      return left->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case Kind::kAggregate:
+      return std::string(AggregateKindToString(agg_kind)) + "(" +
+             (agg_star ? "*" : left->ToString()) + ")";
+    case Kind::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+}  // namespace cq

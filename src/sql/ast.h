@@ -1,0 +1,116 @@
+#ifndef CQ_SQL_AST_H_
+#define CQ_SQL_AST_H_
+
+/// \file ast.h
+/// \brief Abstract syntax tree for the CQL dialect.
+///
+/// Unresolved: column references are names, window durations carry units.
+/// The planner resolves names against the catalog and produces a
+/// ContinuousQuery (cql module).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "cql/r2s.h"
+#include "types/value.h"
+#include "window/aggregate.h"
+
+namespace cq {
+
+// ---- Scalar expression AST (unresolved) ----
+
+struct AstExpr;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+
+struct AstExpr {
+  enum class Kind {
+    kColumn,    // qualifier.name or name
+    kLiteral,   // constant
+    kBinary,    // op applied to left/right
+    kNot,
+    kIsNull,    // IS [NOT] NULL
+    kAggregate, // COUNT/SUM/MIN/MAX/AVG(expr | *)
+    kStar,      // bare * (only valid in select lists)
+  };
+
+  Kind kind = Kind::kLiteral;
+
+  // kColumn
+  std::string qualifier;  // may be empty
+  std::string column;
+
+  // kLiteral
+  Value literal;
+
+  // kBinary / kNot / kIsNull / kAggregate argument
+  std::string op;  // binary operator text: = <> < <= > >= + - * / % AND OR
+  AstExprPtr left;
+  AstExprPtr right;
+  bool negated = false;  // IS NOT NULL
+
+  // kAggregate
+  AggregateKind agg_kind = AggregateKind::kCount;
+  bool agg_star = false;  // COUNT(*)
+
+  std::string ToString() const;
+};
+
+// ---- Window specification AST ----
+
+struct AstWindow {
+  enum class Kind { kDefaultUnbounded, kRange, kNow, kUnbounded, kRows,
+                    kPartitionedRows };
+  Kind kind = Kind::kDefaultUnbounded;
+  Duration range = 0;  // already unit-normalised (milliseconds)
+  Duration slide = 0;
+  int64_t rows = 0;
+  std::vector<std::string> partition_columns;
+};
+
+// ---- Query AST ----
+
+struct AstSelectItem {
+  AstExprPtr expr;
+  std::string alias;  // empty = derive from expression
+};
+
+struct AstTableRef {
+  std::string name;
+  std::string alias;  // empty = use name
+  AstWindow window;
+};
+
+struct AstSelect {
+  bool distinct = false;
+  std::vector<AstSelectItem> items;  // empty + star_ = SELECT *
+  bool select_star = false;
+  std::vector<AstTableRef> from;
+  AstExprPtr where;                  // may be null
+  std::vector<AstExpr> group_by;     // column refs
+  AstExprPtr having;                 // may be null
+  R2SKind emit = R2SKind::kIStream;  // EMIT clause; default IStream
+};
+
+/// \brief A query tree: a single SELECT, or a bag set-operation combining
+/// two query trees (UNION ALL / EXCEPT ALL / INTERSECT ALL). The outermost
+/// EMIT clause selects the R2S operator for the whole compound.
+struct AstQuery {
+  enum class SetOp { kNone, kUnion, kExcept, kIntersect };
+
+  SetOp op = SetOp::kNone;
+  /// Bag semantics (UNION ALL) vs set semantics (UNION = distinct result).
+  bool all = true;
+  // Leaf (op == kNone):
+  std::shared_ptr<AstSelect> select;
+  // Internal node:
+  std::shared_ptr<AstQuery> left;
+  std::shared_ptr<AstQuery> right;
+  R2SKind emit = R2SKind::kIStream;
+};
+
+}  // namespace cq
+
+#endif  // CQ_SQL_AST_H_

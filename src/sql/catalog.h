@@ -1,0 +1,56 @@
+#ifndef CQ_SQL_CATALOG_H_
+#define CQ_SQL_CATALOG_H_
+
+/// \file catalog.h
+/// \brief Stream/schema registry for the SQL frontend — the "manage data and
+/// metadata directly through the declarative interface" aspect of streaming
+/// databases (paper §5.1).
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "types/schema.h"
+
+namespace cq {
+
+class Catalog {
+ public:
+  /// \brief Registers a named stream; AlreadyExists on duplicates.
+  Status RegisterStream(const std::string& name, SchemaPtr schema) {
+    if (streams_.count(name)) {
+      return Status::AlreadyExists("stream '" + name + "' already registered");
+    }
+    streams_.emplace(name, std::move(schema));
+    return Status::OK();
+  }
+
+  Result<SchemaPtr> GetStream(const std::string& name) const {
+    auto it = streams_.find(name);
+    if (it == streams_.end()) {
+      return Status::NotFound("stream '" + name + "' is not registered");
+    }
+    return it->second;
+  }
+
+  Status DropStream(const std::string& name) {
+    if (streams_.erase(name) == 0) {
+      return Status::NotFound("stream '" + name + "' is not registered");
+    }
+    return Status::OK();
+  }
+
+  std::vector<std::string> StreamNames() const {
+    std::vector<std::string> out;
+    out.reserve(streams_.size());
+    for (const auto& [name, schema] : streams_) out.push_back(name);
+    return out;
+  }
+
+ private:
+  std::map<std::string, SchemaPtr> streams_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_SQL_CATALOG_H_

@@ -1,0 +1,103 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace cq {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "SELECT", "FROM",   "WHERE",     "GROUP",  "BY",     "HAVING",
+      "AS",     "AND",    "OR",        "NOT",    "IS",     "NULL",
+      "TRUE",   "FALSE",  "RANGE",     "SLIDE",  "ROWS",   "NOW",
+      "UNBOUNDED",        "PARTITION", "ISTREAM", "DSTREAM", "RSTREAM",
+      "EMIT",   "COUNT",  "SUM",       "MIN",    "MAX",    "AVG",
+      "DISTINCT",         "UNION",     "EXCEPT", "INTERSECT", "ALL",
+      "JOIN",   "ON",     "INNER",     "MINUTES", "MINUTE", "SECONDS",
+      "SECOND", "HOURS",  "HOUR",      "MILLISECONDS",
+  };
+  return kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+      if (Keywords().count(upper)) {
+        out.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        out.push_back({TokenType::kIdentifier, word, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i + 1 < n && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      out.push_back({is_double ? TokenType::kDoubleLiteral
+                               : TokenType::kIntLiteral,
+                     input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      while (i < n && input[i] != '\'') text += input[i++];
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      ++i;  // closing quote
+      out.push_back({TokenType::kStringLiteral, std::move(text), start});
+      continue;
+    }
+    // Multi-char symbols first.
+    if (i + 1 < n) {
+      std::string two = input.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        out.push_back({TokenType::kSymbol, two == "!=" ? "<>" : two, start});
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingles = "()[],.*=<>+-/%";
+    if (kSingles.find(c) != std::string::npos) {
+      out.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(start));
+  }
+  out.push_back({TokenType::kEnd, "", n});
+  return out;
+}
+
+}  // namespace cq

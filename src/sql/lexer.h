@@ -1,0 +1,42 @@
+#ifndef CQ_SQL_LEXER_H_
+#define CQ_SQL_LEXER_H_
+
+/// \file lexer.h
+/// \brief Tokenizer for the CQL dialect (paper §3.1, Listing 1).
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cq {
+
+enum class TokenType {
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kSymbol,  // ( ) [ ] , . * = < > <= >= <> + - / %
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    // raw text; keywords upper-cased
+  size_t position = 0;  // byte offset for error messages
+
+  bool IsKeyword(const std::string& kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const std::string& s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+/// \brief Tokenizes `input`; keywords are recognised case-insensitively.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace cq
+
+#endif  // CQ_SQL_LEXER_H_

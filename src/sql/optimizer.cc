@@ -1,0 +1,442 @@
+#include "sql/optimizer.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cq {
+
+namespace {
+
+// ---- Expression utilities ----
+
+void CollectConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind() == Expr::Kind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(*e);
+    if (b.op() == BinaryOp::kAnd) {
+      CollectConjuncts(b.left(), out);
+      CollectConjuncts(b.right(), out);
+      return;
+    }
+  }
+  out->push_back(e);
+}
+
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr acc = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    acc = And(acc, conjuncts[i]);
+  }
+  return acc;
+}
+
+std::set<size_t> ColumnsOf(const Expr& e) {
+  std::vector<size_t> cols;
+  e.CollectColumns(&cols);
+  return {cols.begin(), cols.end()};
+}
+
+/// Rebuilds an expression with column indexes remapped.
+Result<ExprPtr> RemapColumns(const ExprPtr& e,
+                             const std::function<Result<size_t>(size_t)>& fn) {
+  switch (e->kind()) {
+    case Expr::Kind::kColumn: {
+      const auto& c = static_cast<const ColumnRef&>(*e);
+      CQ_ASSIGN_OR_RETURN(size_t idx, fn(c.index()));
+      return Col(idx, c.name());
+    }
+    case Expr::Kind::kLiteral:
+      return e;
+    case Expr::Kind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(*e);
+      CQ_ASSIGN_OR_RETURN(ExprPtr l, RemapColumns(b.left(), fn));
+      CQ_ASSIGN_OR_RETURN(ExprPtr r, RemapColumns(b.right(), fn));
+      return Bin(b.op(), std::move(l), std::move(r));
+    }
+    case Expr::Kind::kNot: {
+      const auto& n = static_cast<const NotExpr&>(*e);
+      CQ_ASSIGN_OR_RETURN(ExprPtr inner, RemapColumns(n.inner(), fn));
+      return Not(std::move(inner));
+    }
+    default:
+      // IsNull / Neg keep inner structure; conservatively refuse so callers
+      // skip the rewrite rather than corrupt it.
+      return Status::Unimplemented("remap of this expression kind");
+  }
+}
+
+// ---- Rule: separate conjunctive selections ----
+
+Result<RelOpPtr> SeparateConjuncts(RelOpPtr plan) {
+  std::vector<RelOpPtr> children;
+  for (const auto& c : plan->children()) {
+    CQ_ASSIGN_OR_RETURN(RelOpPtr nc, SeparateConjuncts(c));
+    children.push_back(std::move(nc));
+  }
+  RelOpPtr node = plan->WithChildren(std::move(children));
+  if (node->kind() != RelOpKind::kSelect) return node;
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(node->predicate(), &conjuncts);
+  if (conjuncts.size() <= 1) return node;
+  RelOpPtr acc = node->children()[0];
+  // Innermost applies the last conjunct; order preserved overall.
+  for (auto it = conjuncts.rbegin(); it != conjuncts.rend(); ++it) {
+    CQ_ASSIGN_OR_RETURN(acc, RelOp::Select(acc, *it));
+  }
+  return acc;
+}
+
+// ---- Rule: push selections down ----
+
+Result<RelOpPtr> PushDownOnce(RelOpPtr plan, OptimizerStats* stats,
+                              bool* changed) {
+  std::vector<RelOpPtr> children;
+  for (const auto& c : plan->children()) {
+    CQ_ASSIGN_OR_RETURN(RelOpPtr nc, PushDownOnce(c, stats, changed));
+    children.push_back(std::move(nc));
+  }
+  RelOpPtr node = plan->WithChildren(std::move(children));
+  if (node->kind() != RelOpKind::kSelect) return node;
+
+  RelOpPtr child = node->children()[0];
+  const ExprPtr& pred = node->predicate();
+  std::set<size_t> cols = ColumnsOf(*pred);
+
+  switch (child->kind()) {
+    case RelOpKind::kJoin:
+    case RelOpKind::kThetaJoin: {
+      size_t nl = child->children()[0]->schema()->num_fields();
+      bool left_only = true, right_only = true;
+      for (size_t c : cols) {
+        if (c >= nl) left_only = false;
+        if (c < nl) right_only = false;
+      }
+      if (left_only && !cols.empty()) {
+        CQ_ASSIGN_OR_RETURN(RelOpPtr pushed,
+                            RelOp::Select(child->children()[0], pred));
+        if (stats) stats->selections_pushed++;
+        *changed = true;
+        return child->WithChildren({pushed, child->children()[1]});
+      }
+      if (right_only && !cols.empty()) {
+        Result<ExprPtr> remapped = RemapColumns(
+            pred, [nl](size_t idx) -> Result<size_t> { return idx - nl; });
+        if (remapped.ok()) {
+          CQ_ASSIGN_OR_RETURN(
+              RelOpPtr pushed,
+              RelOp::Select(child->children()[1], std::move(remapped).value()));
+          if (stats) stats->selections_pushed++;
+          *changed = true;
+          return child->WithChildren({child->children()[0], pushed});
+        }
+      }
+      return node;
+    }
+    case RelOpKind::kUnion: {
+      CQ_ASSIGN_OR_RETURN(RelOpPtr l,
+                          RelOp::Select(child->children()[0], pred));
+      CQ_ASSIGN_OR_RETURN(RelOpPtr r,
+                          RelOp::Select(child->children()[1], pred));
+      if (stats) stats->selections_pushed++;
+      *changed = true;
+      return child->WithChildren({l, r});
+    }
+    case RelOpKind::kProject: {
+      // Pushable when every projection the predicate touches is a pure
+      // column reference.
+      const auto& projections = child->projections();
+      Result<ExprPtr> remapped = RemapColumns(
+          pred, [&projections](size_t idx) -> Result<size_t> {
+            if (idx >= projections.size() ||
+                projections[idx]->kind() != Expr::Kind::kColumn) {
+              return Status::Unimplemented("projection is not a column");
+            }
+            return static_cast<const ColumnRef&>(*projections[idx]).index();
+          });
+      if (!remapped.ok()) return node;
+      CQ_ASSIGN_OR_RETURN(
+          RelOpPtr pushed,
+          RelOp::Select(child->children()[0], std::move(remapped).value()));
+      if (stats) stats->selections_pushed++;
+      *changed = true;
+      return child->WithChildren({pushed});
+    }
+    default:
+      return node;
+  }
+}
+
+// ---- Rule: extract hash equi-joins ----
+
+bool IsJoinEquality(const Expr& e, size_t nl, size_t* left_col,
+                    size_t* right_col) {
+  if (e.kind() != Expr::Kind::kBinary) return false;
+  const auto& b = static_cast<const BinaryExpr&>(e);
+  if (b.op() != BinaryOp::kEq) return false;
+  if (b.left()->kind() != Expr::Kind::kColumn ||
+      b.right()->kind() != Expr::Kind::kColumn) {
+    return false;
+  }
+  size_t a = static_cast<const ColumnRef&>(*b.left()).index();
+  size_t c = static_cast<const ColumnRef&>(*b.right()).index();
+  if (a < nl && c >= nl) {
+    *left_col = a;
+    *right_col = c - nl;
+    return true;
+  }
+  if (c < nl && a >= nl) {
+    *left_col = c;
+    *right_col = a - nl;
+    return true;
+  }
+  return false;
+}
+
+Result<RelOpPtr> ExtractEquiJoins(RelOpPtr plan, OptimizerStats* stats) {
+  std::vector<RelOpPtr> children;
+  for (const auto& c : plan->children()) {
+    CQ_ASSIGN_OR_RETURN(RelOpPtr nc, ExtractEquiJoins(c, stats));
+    children.push_back(std::move(nc));
+  }
+  RelOpPtr node = plan->WithChildren(std::move(children));
+
+  // Case A: a ThetaJoin whose own predicate contains equalities.
+  if (node->kind() == RelOpKind::kThetaJoin && node->predicate() != nullptr) {
+    size_t nl = node->children()[0]->schema()->num_fields();
+    std::vector<ExprPtr> conjuncts;
+    CollectConjuncts(node->predicate(), &conjuncts);
+    std::vector<size_t> lk, rk;
+    std::vector<ExprPtr> residual;
+    for (const auto& c : conjuncts) {
+      size_t l, r;
+      if (IsJoinEquality(*c, nl, &l, &r)) {
+        lk.push_back(l);
+        rk.push_back(r);
+      } else {
+        residual.push_back(c);
+      }
+    }
+    if (!lk.empty()) {
+      ExprPtr res = residual.empty() ? nullptr : AndAll(residual);
+      if (stats) stats->equi_joins_extracted++;
+      return RelOp::Join(node->children()[0], node->children()[1],
+                         std::move(lk), std::move(rk), std::move(res));
+    }
+    return node;
+  }
+
+  // Case B: a selection chain whose bottom sits directly above a cross
+  // ThetaJoin — join equalities may be anywhere in the chain (pushdown may
+  // be disabled), so the whole chain's conjuncts are inspected.
+  if (node->kind() == RelOpKind::kSelect) {
+    std::vector<ExprPtr> conjuncts;
+    RelOpPtr cursor = node;
+    while (cursor->kind() == RelOpKind::kSelect) {
+      CollectConjuncts(cursor->predicate(), &conjuncts);
+      cursor = cursor->children()[0];
+    }
+    if (cursor->kind() != RelOpKind::kThetaJoin) return node;
+    RelOpPtr join = cursor;
+    size_t nl = join->children()[0]->schema()->num_fields();
+    std::vector<size_t> lk, rk;
+    std::vector<ExprPtr> residual;
+    if (join->predicate() != nullptr) residual.push_back(join->predicate());
+    for (const auto& c : conjuncts) {
+      size_t l, r;
+      if (IsJoinEquality(*c, nl, &l, &r)) {
+        lk.push_back(l);
+        rk.push_back(r);
+      } else {
+        residual.push_back(c);
+      }
+    }
+    if (!lk.empty()) {
+      if (stats) stats->equi_joins_extracted++;
+      CQ_ASSIGN_OR_RETURN(
+          RelOpPtr out,
+          RelOp::Join(join->children()[0], join->children()[1], std::move(lk),
+                      std::move(rk), nullptr));
+      // Non-equality conjuncts stay as selections above the new join.
+      for (auto it = residual.rbegin(); it != residual.rend(); ++it) {
+        CQ_ASSIGN_OR_RETURN(out, RelOp::Select(out, *it));
+      }
+      return out;
+    }
+    return node;
+  }
+  return node;
+}
+
+// ---- Rule: redundancy elimination ----
+
+Result<RelOpPtr> EliminateRedundancy(RelOpPtr plan, OptimizerStats* stats) {
+  std::vector<RelOpPtr> children;
+  for (const auto& c : plan->children()) {
+    CQ_ASSIGN_OR_RETURN(RelOpPtr nc, EliminateRedundancy(c, stats));
+    children.push_back(std::move(nc));
+  }
+  RelOpPtr node = plan->WithChildren(std::move(children));
+
+  // Duplicate predicate in a selection chain: Select(p, Select(p, x)) ->
+  // Select(p, x). Matched on printed form.
+  if (node->kind() == RelOpKind::kSelect &&
+      node->children()[0]->kind() == RelOpKind::kSelect) {
+    if (node->predicate()->ToString() ==
+        node->children()[0]->predicate()->ToString()) {
+      if (stats) stats->predicates_deduped++;
+      return node->children()[0];
+    }
+  }
+  // Identity projection: Project(cols 0..n-1 in order, same arity).
+  if (node->kind() == RelOpKind::kProject) {
+    const auto& ps = node->projections();
+    const auto& child = node->children()[0];
+    bool identity = ps.size() == child->schema()->num_fields();
+    for (size_t i = 0; identity && i < ps.size(); ++i) {
+      identity = ps[i]->kind() == Expr::Kind::kColumn &&
+                 static_cast<const ColumnRef&>(*ps[i]).index() == i;
+    }
+    // Only drop if names also match (otherwise the projection renames).
+    if (identity && node->schema()->Equals(*child->schema())) {
+      if (stats) stats->predicates_deduped++;
+      return child;
+    }
+  }
+  return node;
+}
+
+// ---- Rule: reorder selection chains by selectivity ----
+
+Result<RelOpPtr> ReorderSelections(RelOpPtr plan, OptimizerStats* stats) {
+  std::vector<RelOpPtr> children;
+  for (const auto& c : plan->children()) {
+    CQ_ASSIGN_OR_RETURN(RelOpPtr nc, ReorderSelections(c, stats));
+    children.push_back(std::move(nc));
+  }
+  RelOpPtr node = plan->WithChildren(std::move(children));
+  if (node->kind() != RelOpKind::kSelect) return node;
+
+  // Gather the maximal selection chain.
+  std::vector<ExprPtr> preds;
+  RelOpPtr cursor = node;
+  while (cursor->kind() == RelOpKind::kSelect) {
+    preds.push_back(cursor->predicate());
+    cursor = cursor->children()[0];
+  }
+  if (preds.size() <= 1) return node;
+  std::vector<ExprPtr> sorted = preds;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ExprPtr& a, const ExprPtr& b) {
+                     return EstimateSelectivity(*a) < EstimateSelectivity(*b);
+                   });
+  bool same = true;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    same = same && preds[i].get() == sorted[i].get();
+  }
+  if (same) return node;
+  if (stats) stats->selections_reordered++;
+  // Most selective evaluates first == innermost.
+  RelOpPtr acc = cursor;
+  for (auto it = sorted.begin(); it != sorted.end(); ++it) {
+    CQ_ASSIGN_OR_RETURN(acc, RelOp::Select(acc, *it));
+  }
+  return acc;
+}
+
+// ---- Rule: fuse selection chains ----
+
+Result<RelOpPtr> FuseSelections(RelOpPtr plan, OptimizerStats* stats) {
+  std::vector<RelOpPtr> children;
+  for (const auto& c : plan->children()) {
+    CQ_ASSIGN_OR_RETURN(RelOpPtr nc, FuseSelections(c, stats));
+    children.push_back(std::move(nc));
+  }
+  RelOpPtr node = plan->WithChildren(std::move(children));
+  if (node->kind() != RelOpKind::kSelect ||
+      node->children()[0]->kind() != RelOpKind::kSelect) {
+    return node;
+  }
+  // Fuse the whole chain into one conjunction (outer first => leftmost, so
+  // short-circuit order preserves the reordered sequence).
+  std::vector<ExprPtr> preds;
+  RelOpPtr cursor = node;
+  while (cursor->kind() == RelOpKind::kSelect) {
+    preds.push_back(cursor->predicate());
+    cursor = cursor->children()[0];
+  }
+  // Innermost executes first: reverse so it leads the conjunction.
+  std::reverse(preds.begin(), preds.end());
+  if (stats) stats->selections_fused += preds.size() - 1;
+  return RelOp::Select(cursor, AndAll(preds));
+}
+
+}  // namespace
+
+double EstimateSelectivity(const Expr& predicate) {
+  switch (predicate.kind()) {
+    case Expr::Kind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(predicate);
+      bool has_literal = b.left()->kind() == Expr::Kind::kLiteral ||
+                         b.right()->kind() == Expr::Kind::kLiteral;
+      switch (b.op()) {
+        case BinaryOp::kEq:
+          return has_literal ? 0.05 : 0.15;
+        case BinaryOp::kNe:
+          return 0.9;
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return 0.33;
+        case BinaryOp::kAnd: {
+          return EstimateSelectivity(*b.left()) *
+                 EstimateSelectivity(*b.right());
+        }
+        case BinaryOp::kOr: {
+          double l = EstimateSelectivity(*b.left());
+          double r = EstimateSelectivity(*b.right());
+          return l + r - l * r;
+        }
+        default:
+          return 0.5;
+      }
+    }
+    case Expr::Kind::kNot:
+      return 1.0 - EstimateSelectivity(
+                       *static_cast<const NotExpr&>(predicate).inner());
+    case Expr::Kind::kIsNull:
+      return 0.1;
+    default:
+      return 0.5;
+  }
+}
+
+Result<RelOpPtr> OptimizePlan(RelOpPtr plan, const OptimizerOptions& options,
+                              OptimizerStats* stats) {
+  if (plan == nullptr) return Status::PlanError("no plan to optimise");
+  if (options.separate_conjuncts) {
+    CQ_ASSIGN_OR_RETURN(plan, SeparateConjuncts(plan));
+  }
+  if (options.push_down_selections) {
+    bool changed = true;
+    int guard = 0;
+    while (changed && guard++ < 64) {
+      changed = false;
+      CQ_ASSIGN_OR_RETURN(plan, PushDownOnce(plan, stats, &changed));
+    }
+  }
+  if (options.extract_equi_joins) {
+    CQ_ASSIGN_OR_RETURN(plan, ExtractEquiJoins(plan, stats));
+  }
+  if (options.eliminate_redundancy) {
+    CQ_ASSIGN_OR_RETURN(plan, EliminateRedundancy(plan, stats));
+  }
+  if (options.reorder_selections) {
+    CQ_ASSIGN_OR_RETURN(plan, ReorderSelections(plan, stats));
+  }
+  if (options.fuse_selections) {
+    CQ_ASSIGN_OR_RETURN(plan, FuseSelections(plan, stats));
+  }
+  return plan;
+}
+
+}  // namespace cq

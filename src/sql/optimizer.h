@@ -1,0 +1,52 @@
+#ifndef CQ_SQL_OPTIMIZER_H_
+#define CQ_SQL_OPTIMIZER_H_
+
+/// \file optimizer.h
+/// \brief Static plan optimisations from the streaming-systems catalogue
+/// (paper §4.2, Hirzel et al. [49]).
+///
+/// Rules, each independently switchable so bench E7 can ablate them:
+///  - separation: split conjunctive selections into chains;
+///  - operator reordering: push selections below joins/unions and order
+///    selection chains most-selective-first;
+///  - redundancy elimination: drop duplicate predicates and identity
+///    projections;
+///  - equi-join extraction: turn cross-product + equality predicates into
+///    hash equi-joins (the special case of reordering that matters most);
+///  - fusion: merge adjacent selections back into single operators to cut
+///    per-operator overhead after placement.
+
+#include "common/status.h"
+#include "cql/plan.h"
+
+namespace cq {
+
+struct OptimizerOptions {
+  bool separate_conjuncts = true;
+  bool push_down_selections = true;
+  bool extract_equi_joins = true;
+  bool eliminate_redundancy = true;
+  bool reorder_selections = true;
+  bool fuse_selections = true;
+};
+
+struct OptimizerStats {
+  size_t selections_pushed = 0;
+  size_t equi_joins_extracted = 0;
+  size_t predicates_deduped = 0;
+  size_t selections_fused = 0;
+  size_t selections_reordered = 0;
+};
+
+/// \brief Rewrites the plan; the result computes the same relation at every
+/// instant (all rules are semantics-preserving for bag semantics).
+Result<RelOpPtr> OptimizePlan(RelOpPtr plan, const OptimizerOptions& options,
+                              OptimizerStats* stats = nullptr);
+
+/// \brief Estimated selectivity of a predicate in [0, 1] (lower = more
+/// selective); the heuristic cost model behind selection reordering.
+double EstimateSelectivity(const Expr& predicate);
+
+}  // namespace cq
+
+#endif  // CQ_SQL_OPTIMIZER_H_

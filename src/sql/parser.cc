@@ -1,0 +1,469 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace cq {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<AstSelect> ParseSelect();
+  Result<AstQuery> ParseCompound();
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+
+  Status ExpectEnd() {
+    if (!At().IsSymbol("") && At().type != TokenType::kEnd) {
+      return Error("trailing input");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Token& At() const { return tokens_[pos_]; }
+  const Token& Ahead(size_t k) const {
+    size_t i = pos_ + k;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool ConsumeKeyword(const std::string& kw) {
+    if (At().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeSymbol(const std::string& s) {
+    if (At().IsSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " near offset " +
+                              std::to_string(At().position) + " ('" +
+                              At().text + "')");
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (At().type != TokenType::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    std::string name = At().text;
+    Advance();
+    return name;
+  }
+
+  Result<AstSelect> ParseSelectBody();
+  Result<bool> ParseEmit(R2SKind* emit);  // true when an EMIT was consumed
+  Result<Duration> ParseDuration();
+  Result<AstWindow> ParseWindow();
+  Result<AstTableRef> ParseTableRef();
+  Result<AstSelectItem> ParseSelectItem();
+  Result<AstExprPtr> ParseOr();
+  Result<AstExprPtr> ParseAnd();
+  Result<AstExprPtr> ParseNot();
+  Result<AstExprPtr> ParseComparison();
+  Result<AstExprPtr> ParseAdditive();
+  Result<AstExprPtr> ParseMultiplicative();
+  Result<AstExprPtr> ParsePrimary();
+  Result<AstExprPtr> ParseColumnRef();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<Duration> Parser::ParseDuration() {
+  if (At().type != TokenType::kIntLiteral) {
+    return Error("expected a duration");
+  }
+  Duration base = std::stoll(At().text);
+  Advance();
+  Duration scale = 1;
+  if (At().IsKeyword("MILLISECONDS")) {
+    scale = 1;
+    Advance();
+  } else if (At().IsKeyword("SECOND") || At().IsKeyword("SECONDS")) {
+    scale = 1000;
+    Advance();
+  } else if (At().IsKeyword("MINUTE") || At().IsKeyword("MINUTES")) {
+    scale = 60 * 1000;
+    Advance();
+  } else if (At().IsKeyword("HOUR") || At().IsKeyword("HOURS")) {
+    scale = 60 * 60 * 1000;
+    Advance();
+  }
+  return base * scale;
+}
+
+Result<AstWindow> Parser::ParseWindow() {
+  AstWindow w;
+  if (!ConsumeSymbol("[")) return w;  // default: unbounded
+  if (ConsumeKeyword("RANGE")) {
+    if (ConsumeKeyword("UNBOUNDED")) {
+      w.kind = AstWindow::Kind::kUnbounded;
+    } else {
+      w.kind = AstWindow::Kind::kRange;
+      CQ_ASSIGN_OR_RETURN(w.range, ParseDuration());
+      if (ConsumeKeyword("SLIDE")) {
+        CQ_ASSIGN_OR_RETURN(w.slide, ParseDuration());
+      }
+    }
+  } else if (ConsumeKeyword("ROWS")) {
+    w.kind = AstWindow::Kind::kRows;
+    if (At().type != TokenType::kIntLiteral) return Error("expected ROWS n");
+    w.rows = std::stoll(At().text);
+    Advance();
+  } else if (ConsumeKeyword("NOW")) {
+    w.kind = AstWindow::Kind::kNow;
+  } else if (ConsumeKeyword("UNBOUNDED")) {
+    w.kind = AstWindow::Kind::kUnbounded;
+  } else if (ConsumeKeyword("PARTITION")) {
+    if (!ConsumeKeyword("BY")) return Error("expected PARTITION BY");
+    w.kind = AstWindow::Kind::kPartitionedRows;
+    do {
+      CQ_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+      // Allow qualified partition columns q.c.
+      if (ConsumeSymbol(".")) {
+        CQ_ASSIGN_OR_RETURN(std::string col2, ExpectIdentifier("column"));
+        col += "." + col2;
+      }
+      w.partition_columns.push_back(std::move(col));
+    } while (ConsumeSymbol(","));
+    if (!ConsumeKeyword("ROWS")) return Error("expected ROWS after PARTITION");
+    if (At().type != TokenType::kIntLiteral) return Error("expected ROWS n");
+    w.rows = std::stoll(At().text);
+    Advance();
+  } else {
+    return Error("expected a window specification");
+  }
+  if (!ConsumeSymbol("]")) return Error("expected ']' closing window");
+  return w;
+}
+
+Result<AstTableRef> Parser::ParseTableRef() {
+  AstTableRef ref;
+  CQ_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier("stream name"));
+  if (At().type == TokenType::kIdentifier) {
+    ref.alias = At().text;
+    Advance();
+  } else {
+    ref.alias = ref.name;
+  }
+  CQ_ASSIGN_OR_RETURN(ref.window, ParseWindow());
+  return ref;
+}
+
+Result<AstExprPtr> Parser::ParseColumnRef() {
+  auto e = std::make_shared<AstExpr>();
+  e->kind = AstExpr::Kind::kColumn;
+  CQ_ASSIGN_OR_RETURN(e->column, ExpectIdentifier("column"));
+  if (ConsumeSymbol(".")) {
+    e->qualifier = e->column;
+    CQ_ASSIGN_OR_RETURN(e->column, ExpectIdentifier("column"));
+  }
+  return e;
+}
+
+Result<AstExprPtr> Parser::ParsePrimary() {
+  // Aggregates.
+  for (const char* kw : {"COUNT", "SUM", "MIN", "MAX", "AVG"}) {
+    if (At().IsKeyword(kw)) {
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstExpr::Kind::kAggregate;
+      if (At().IsKeyword("COUNT")) e->agg_kind = AggregateKind::kCount;
+      if (At().IsKeyword("SUM")) e->agg_kind = AggregateKind::kSum;
+      if (At().IsKeyword("MIN")) e->agg_kind = AggregateKind::kMin;
+      if (At().IsKeyword("MAX")) e->agg_kind = AggregateKind::kMax;
+      if (At().IsKeyword("AVG")) e->agg_kind = AggregateKind::kAvg;
+      Advance();
+      if (!ConsumeSymbol("(")) return Error("expected '(' after aggregate");
+      if (ConsumeSymbol("*")) {
+        e->agg_star = true;
+      } else {
+        CQ_ASSIGN_OR_RETURN(e->left, ParseExpr());
+      }
+      if (!ConsumeSymbol(")")) return Error("expected ')' after aggregate");
+      return e;
+    }
+  }
+  if (ConsumeSymbol("(")) {
+    CQ_ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+    if (!ConsumeSymbol(")")) return Error("expected ')'");
+    return inner;
+  }
+  if (At().type == TokenType::kIntLiteral) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExpr::Kind::kLiteral;
+    e->literal = Value(static_cast<int64_t>(std::stoll(At().text)));
+    Advance();
+    return e;
+  }
+  if (At().type == TokenType::kDoubleLiteral) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExpr::Kind::kLiteral;
+    e->literal = Value(std::stod(At().text));
+    Advance();
+    return e;
+  }
+  if (At().type == TokenType::kStringLiteral) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExpr::Kind::kLiteral;
+    e->literal = Value(At().text);
+    Advance();
+    return e;
+  }
+  if (ConsumeKeyword("TRUE")) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExpr::Kind::kLiteral;
+    e->literal = Value(true);
+    return e;
+  }
+  if (ConsumeKeyword("FALSE")) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExpr::Kind::kLiteral;
+    e->literal = Value(false);
+    return e;
+  }
+  if (ConsumeKeyword("NULL")) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExpr::Kind::kLiteral;
+    e->literal = Value::Null();
+    return e;
+  }
+  if (ConsumeSymbol("-")) {
+    // Negative literal / negation folded as 0 - expr.
+    CQ_ASSIGN_OR_RETURN(AstExprPtr inner, ParsePrimary());
+    auto zero = std::make_shared<AstExpr>();
+    zero->kind = AstExpr::Kind::kLiteral;
+    zero->literal = Value(static_cast<int64_t>(0));
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExpr::Kind::kBinary;
+    e->op = "-";
+    e->left = zero;
+    e->right = inner;
+    return e;
+  }
+  if (At().type == TokenType::kIdentifier) return ParseColumnRef();
+  return Error("expected an expression");
+}
+
+Result<AstExprPtr> Parser::ParseMultiplicative() {
+  CQ_ASSIGN_OR_RETURN(AstExprPtr left, ParsePrimary());
+  while (At().IsSymbol("*") || At().IsSymbol("/") || At().IsSymbol("%")) {
+    std::string op = At().text;
+    Advance();
+    CQ_ASSIGN_OR_RETURN(AstExprPtr right, ParsePrimary());
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExpr::Kind::kBinary;
+    e->op = op;
+    e->left = std::move(left);
+    e->right = std::move(right);
+    left = std::move(e);
+  }
+  return left;
+}
+
+Result<AstExprPtr> Parser::ParseAdditive() {
+  CQ_ASSIGN_OR_RETURN(AstExprPtr left, ParseMultiplicative());
+  while (At().IsSymbol("+") || At().IsSymbol("-")) {
+    std::string op = At().text;
+    Advance();
+    CQ_ASSIGN_OR_RETURN(AstExprPtr right, ParseMultiplicative());
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExpr::Kind::kBinary;
+    e->op = op;
+    e->left = std::move(left);
+    e->right = std::move(right);
+    left = std::move(e);
+  }
+  return left;
+}
+
+Result<AstExprPtr> Parser::ParseComparison() {
+  CQ_ASSIGN_OR_RETURN(AstExprPtr left, ParseAdditive());
+  if (At().IsKeyword("IS")) {
+    Advance();
+    bool negated = ConsumeKeyword("NOT");
+    if (!ConsumeKeyword("NULL")) return Error("expected NULL after IS");
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExpr::Kind::kIsNull;
+    e->left = std::move(left);
+    e->negated = negated;
+    return e;
+  }
+  for (const char* op : {"=", "<>", "<=", ">=", "<", ">"}) {
+    if (At().IsSymbol(op)) {
+      Advance();
+      CQ_ASSIGN_OR_RETURN(AstExprPtr right, ParseAdditive());
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstExpr::Kind::kBinary;
+      e->op = op;
+      e->left = std::move(left);
+      e->right = std::move(right);
+      return e;
+    }
+  }
+  return left;
+}
+
+Result<AstExprPtr> Parser::ParseNot() {
+  if (ConsumeKeyword("NOT")) {
+    CQ_ASSIGN_OR_RETURN(AstExprPtr inner, ParseNot());
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExpr::Kind::kNot;
+    e->left = std::move(inner);
+    return e;
+  }
+  return ParseComparison();
+}
+
+Result<AstExprPtr> Parser::ParseAnd() {
+  CQ_ASSIGN_OR_RETURN(AstExprPtr left, ParseNot());
+  while (ConsumeKeyword("AND")) {
+    CQ_ASSIGN_OR_RETURN(AstExprPtr right, ParseNot());
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExpr::Kind::kBinary;
+    e->op = "AND";
+    e->left = std::move(left);
+    e->right = std::move(right);
+    left = std::move(e);
+  }
+  return left;
+}
+
+Result<AstExprPtr> Parser::ParseOr() {
+  CQ_ASSIGN_OR_RETURN(AstExprPtr left, ParseAnd());
+  while (ConsumeKeyword("OR")) {
+    CQ_ASSIGN_OR_RETURN(AstExprPtr right, ParseAnd());
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExpr::Kind::kBinary;
+    e->op = "OR";
+    e->left = std::move(left);
+    e->right = std::move(right);
+    left = std::move(e);
+  }
+  return left;
+}
+
+Result<AstSelectItem> Parser::ParseSelectItem() {
+  AstSelectItem item;
+  CQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+  if (ConsumeKeyword("AS")) {
+    CQ_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+  }
+  return item;
+}
+
+Result<bool> Parser::ParseEmit(R2SKind* emit) {
+  if (!ConsumeKeyword("EMIT")) return false;
+  if (ConsumeKeyword("ISTREAM")) {
+    *emit = R2SKind::kIStream;
+  } else if (ConsumeKeyword("DSTREAM")) {
+    *emit = R2SKind::kDStream;
+  } else if (ConsumeKeyword("RSTREAM")) {
+    *emit = R2SKind::kRStream;
+  } else {
+    return Error("expected ISTREAM, DSTREAM or RSTREAM after EMIT");
+  }
+  return true;
+}
+
+Result<AstSelect> Parser::ParseSelectBody() {
+  AstSelect q;
+  if (!ConsumeKeyword("SELECT")) return Error("expected SELECT");
+  q.distinct = ConsumeKeyword("DISTINCT");
+  if (ConsumeSymbol("*")) {
+    q.select_star = true;
+  } else {
+    do {
+      CQ_ASSIGN_OR_RETURN(AstSelectItem item, ParseSelectItem());
+      q.items.push_back(std::move(item));
+    } while (ConsumeSymbol(","));
+  }
+  if (!ConsumeKeyword("FROM")) return Error("expected FROM");
+  do {
+    CQ_ASSIGN_OR_RETURN(AstTableRef ref, ParseTableRef());
+    q.from.push_back(std::move(ref));
+  } while (ConsumeSymbol(","));
+  if (ConsumeKeyword("WHERE")) {
+    CQ_ASSIGN_OR_RETURN(q.where, ParseExpr());
+  }
+  if (ConsumeKeyword("GROUP")) {
+    if (!ConsumeKeyword("BY")) return Error("expected GROUP BY");
+    do {
+      CQ_ASSIGN_OR_RETURN(AstExprPtr col, ParseColumnRef());
+      q.group_by.push_back(*col);
+    } while (ConsumeSymbol(","));
+  }
+  if (ConsumeKeyword("HAVING")) {
+    CQ_ASSIGN_OR_RETURN(q.having, ParseExpr());
+  }
+  return q;
+}
+
+Result<AstSelect> Parser::ParseSelect() {
+  CQ_ASSIGN_OR_RETURN(AstSelect q, ParseSelectBody());
+  CQ_RETURN_NOT_OK(ParseEmit(&q.emit).status());
+  if (At().type != TokenType::kEnd) return Error("unexpected trailing input");
+  return q;
+}
+
+Result<AstQuery> Parser::ParseCompound() {
+  CQ_ASSIGN_OR_RETURN(AstSelect first, ParseSelectBody());
+  AstQuery root;
+  root.select = std::make_shared<AstSelect>(std::move(first));
+  while (true) {
+    AstQuery::SetOp op = AstQuery::SetOp::kNone;
+    if (ConsumeKeyword("UNION")) {
+      op = AstQuery::SetOp::kUnion;
+    } else if (ConsumeKeyword("EXCEPT")) {
+      op = AstQuery::SetOp::kExcept;
+    } else if (ConsumeKeyword("INTERSECT")) {
+      op = AstQuery::SetOp::kIntersect;
+    } else {
+      break;
+    }
+    bool all = ConsumeKeyword("ALL");
+    CQ_ASSIGN_OR_RETURN(AstSelect next, ParseSelectBody());
+    AstQuery combined;
+    combined.op = op;
+    combined.all = all;
+    combined.left = std::make_shared<AstQuery>(std::move(root));
+    combined.right = std::make_shared<AstQuery>();
+    combined.right->select = std::make_shared<AstSelect>(std::move(next));
+    root = std::move(combined);
+  }
+  CQ_RETURN_NOT_OK(ParseEmit(&root.emit).status());
+  if (At().type != TokenType::kEnd) return Error("unexpected trailing input");
+  return root;
+}
+
+}  // namespace
+
+Result<AstSelect> ParseQuery(const std::string& sql) {
+  CQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelect();
+}
+
+Result<AstQuery> ParseCompoundQuery(const std::string& sql) {
+  CQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseCompound();
+}
+
+Result<AstExprPtr> ParseExpression(const std::string& text) {
+  CQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  CQ_ASSIGN_OR_RETURN(AstExprPtr e, parser.ParseExpr());
+  CQ_RETURN_NOT_OK(parser.ExpectEnd());
+  return e;
+}
+
+}  // namespace cq

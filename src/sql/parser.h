@@ -1,0 +1,39 @@
+#ifndef CQ_SQL_PARSER_H_
+#define CQ_SQL_PARSER_H_
+
+/// \file parser.h
+/// \brief Recursive-descent parser for the CQL dialect.
+///
+/// Grammar (Listing 1 style):
+///
+///   query     := SELECT [DISTINCT] select_list
+///                FROM table_ref (',' table_ref)*
+///                [WHERE expr] [GROUP BY column_list] [HAVING expr]
+///                [EMIT (ISTREAM | DSTREAM | RSTREAM)]
+///   table_ref := name [alias] [window]
+///   window    := '[' RANGE duration [SLIDE duration]
+///              | ROWS int | NOW | UNBOUNDED
+///              | PARTITION BY column_list ROWS int ']'
+///   duration  := int [MILLISECONDS|SECONDS|MINUTES|HOURS]
+///
+/// Expressions support comparison/arithmetic/AND/OR/NOT/IS NULL and the five
+/// aggregates.
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace cq {
+
+/// \brief Parses one continuous query (a single SELECT).
+Result<AstSelect> ParseQuery(const std::string& sql);
+
+/// \brief Parses a compound query: SELECTs combined with UNION / EXCEPT /
+/// INTERSECT (optionally ALL), left-associative, with one trailing EMIT.
+Result<AstQuery> ParseCompoundQuery(const std::string& sql);
+
+/// \brief Parses a standalone scalar expression (tests / tools).
+Result<AstExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace cq
+
+#endif  // CQ_SQL_PARSER_H_

@@ -1,0 +1,640 @@
+#include "sql/plan_serde.h"
+
+#include <cctype>
+#include <memory>
+#include <vector>
+
+namespace cq {
+
+namespace {
+
+// ---- Rendering ----
+
+void QuoteString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void RenderValue(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      *out += "(lit null)";
+      return;
+    case ValueType::kBool:
+      *out += v.bool_value() ? "(lit b true)" : "(lit b false)";
+      return;
+    case ValueType::kInt64:
+      *out += "(lit i " + std::to_string(v.int64_value()) + ")";
+      return;
+    case ValueType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.double_value());
+      *out += std::string("(lit d ") + buf + ")";
+      return;
+    }
+    case ValueType::kString:
+      *out += "(lit s ";
+      QuoteString(v.string_value(), out);
+      *out += ")";
+      return;
+  }
+}
+
+void RenderExpr(const Expr& e, std::string* out) {
+  switch (e.kind()) {
+    case Expr::Kind::kColumn: {
+      const auto& c = static_cast<const ColumnRef&>(e);
+      *out += "(col " + std::to_string(c.index()) + " ";
+      QuoteString(c.name(), out);
+      *out += ")";
+      return;
+    }
+    case Expr::Kind::kLiteral:
+      RenderValue(static_cast<const Literal&>(e).value(), out);
+      return;
+    case Expr::Kind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      *out += std::string("(") + BinaryOpToString(b.op()) + " ";
+      RenderExpr(*b.left(), out);
+      *out += " ";
+      RenderExpr(*b.right(), out);
+      *out += ")";
+      return;
+    }
+    case Expr::Kind::kNot: {
+      *out += "(not ";
+      RenderExpr(*static_cast<const NotExpr&>(e).inner(), out);
+      *out += ")";
+      return;
+    }
+    case Expr::Kind::kIsNull: {
+      const auto& n = static_cast<const IsNullExpr&>(e);
+      *out += n.negated() ? "(isnotnull " : "(isnull ";
+      RenderExpr(*n.inner(), out);
+      *out += ")";
+      return;
+    }
+    default:
+      *out += "(unsupported)";
+      return;
+  }
+}
+
+void RenderSchema(const Schema& schema, std::string* out) {
+  *out += "(schema";
+  for (const auto& f : schema.fields()) {
+    *out += " (";
+    QuoteString(f.name, out);
+    *out += std::string(" ") + ValueTypeToString(f.type) + ")";
+  }
+  *out += ")";
+}
+
+void RenderIndexList(const std::vector<size_t>& xs, std::string* out) {
+  *out += "(";
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (i) *out += " ";
+    *out += std::to_string(xs[i]);
+  }
+  *out += ")";
+}
+
+void RenderPlan(const RelOp& plan, std::string* out) {
+  switch (plan.kind()) {
+    case RelOpKind::kScan:
+      *out += "(scan " + std::to_string(plan.input_index()) + " ";
+      RenderSchema(*plan.schema(), out);
+      *out += ")";
+      return;
+    case RelOpKind::kSelect:
+      *out += "(select ";
+      RenderExpr(*plan.predicate(), out);
+      *out += " ";
+      RenderPlan(*plan.children()[0], out);
+      *out += ")";
+      return;
+    case RelOpKind::kProject: {
+      *out += "(project (";
+      for (size_t i = 0; i < plan.projections().size(); ++i) {
+        if (i) *out += " ";
+        const Field& f = plan.schema()->field(i);
+        *out += "(";
+        QuoteString(f.name, out);
+        *out += std::string(" ") + ValueTypeToString(f.type) + " ";
+        RenderExpr(*plan.projections()[i], out);
+        *out += ")";
+      }
+      *out += ") ";
+      RenderPlan(*plan.children()[0], out);
+      *out += ")";
+      return;
+    }
+    case RelOpKind::kJoin: {
+      *out += "(join ";
+      RenderIndexList(plan.left_keys(), out);
+      *out += " ";
+      RenderIndexList(plan.right_keys(), out);
+      *out += " ";
+      if (plan.predicate() != nullptr) {
+        RenderExpr(*plan.predicate(), out);
+        *out += " ";
+      }
+      RenderPlan(*plan.children()[0], out);
+      *out += " ";
+      RenderPlan(*plan.children()[1], out);
+      *out += ")";
+      return;
+    }
+    case RelOpKind::kThetaJoin: {
+      *out += "(thetajoin ";
+      if (plan.predicate() != nullptr) {
+        RenderExpr(*plan.predicate(), out);
+        *out += " ";
+      }
+      RenderPlan(*plan.children()[0], out);
+      *out += " ";
+      RenderPlan(*plan.children()[1], out);
+      *out += ")";
+      return;
+    }
+    case RelOpKind::kAggregate: {
+      *out += "(agg ";
+      RenderIndexList(plan.group_indexes(), out);
+      *out += " (";
+      for (size_t i = 0; i < plan.aggs().size(); ++i) {
+        if (i) *out += " ";
+        const AggSpec& a = plan.aggs()[i];
+        *out += std::string("(") + AggregateKindToString(a.kind) + " ";
+        if (a.input != nullptr) {
+          RenderExpr(*a.input, out);
+          *out += " ";
+        }
+        QuoteString(a.output_name, out);
+        *out += ")";
+      }
+      *out += ") ";
+      RenderPlan(*plan.children()[0], out);
+      *out += ")";
+      return;
+    }
+    case RelOpKind::kDistinct:
+      *out += "(distinct ";
+      RenderPlan(*plan.children()[0], out);
+      *out += ")";
+      return;
+    case RelOpKind::kUnion:
+    case RelOpKind::kExcept:
+    case RelOpKind::kIntersect: {
+      const char* tag = plan.kind() == RelOpKind::kUnion
+                            ? "union"
+                            : (plan.kind() == RelOpKind::kExcept
+                                   ? "except"
+                                   : "intersect");
+      *out += std::string("(") + tag + " ";
+      RenderPlan(*plan.children()[0], out);
+      *out += " ";
+      RenderPlan(*plan.children()[1], out);
+      *out += ")";
+      return;
+    }
+  }
+}
+
+void RenderWindow(const S2RSpec& w, std::string* out) {
+  switch (w.kind) {
+    case S2RKind::kRange:
+      *out += "(range " + std::to_string(w.range);
+      if (w.slide > 1) *out += " slide " + std::to_string(w.slide);
+      *out += ")";
+      return;
+    case S2RKind::kNow:
+      *out += "(now)";
+      return;
+    case S2RKind::kUnbounded:
+      *out += "(unbounded)";
+      return;
+    case S2RKind::kRows:
+      *out += "(rows " + std::to_string(w.rows) + ")";
+      return;
+    case S2RKind::kPartitionedRows:
+      *out += "(prows ";
+      RenderIndexList(w.partition_keys, out);
+      *out += " " + std::to_string(w.rows) + ")";
+      return;
+  }
+}
+
+// ---- Parsing: s-expressions ----
+
+struct Sexp {
+  bool is_atom = false;
+  std::string atom;  // unquoted form for atoms; raw text for strings
+  bool was_string = false;
+  std::vector<Sexp> items;
+};
+
+class SexpParser {
+ public:
+  explicit SexpParser(const std::string& text) : text_(text) {}
+
+  Result<Sexp> Parse() {
+    CQ_ASSIGN_OR_RETURN(Sexp s, ParseOne());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("IR: trailing input at " +
+                                std::to_string(pos_));
+    }
+    return s;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<Sexp> ParseOne() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Status::ParseError("IR: unexpected end");
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      Sexp list;
+      while (true) {
+        SkipSpace();
+        if (pos_ >= text_.size()) {
+          return Status::ParseError("IR: unterminated list");
+        }
+        if (text_[pos_] == ')') {
+          ++pos_;
+          return list;
+        }
+        CQ_ASSIGN_OR_RETURN(Sexp item, ParseOne());
+        list.items.push_back(std::move(item));
+      }
+    }
+    if (c == '"') {
+      ++pos_;
+      Sexp s;
+      s.is_atom = true;
+      s.was_string = true;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        s.atom += text_[pos_++];
+      }
+      if (pos_ >= text_.size()) {
+        return Status::ParseError("IR: unterminated string");
+      }
+      ++pos_;
+      return s;
+    }
+    Sexp s;
+    s.is_atom = true;
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])) &&
+           text_[pos_] != '(' && text_[pos_] != ')') {
+      s.atom += text_[pos_++];
+    }
+    if (s.atom.empty()) return Status::ParseError("IR: empty atom");
+    return s;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Status Expect(const Sexp& s, const char* tag) {
+  if (s.is_atom || s.items.empty() || !s.items[0].is_atom ||
+      s.items[0].atom != tag) {
+    return Status::ParseError(std::string("IR: expected (") + tag + " ...)");
+  }
+  return Status::OK();
+}
+
+Result<int64_t> AtomInt(const Sexp& s) {
+  if (!s.is_atom) return Status::ParseError("IR: expected an integer atom");
+  try {
+    return static_cast<int64_t>(std::stoll(s.atom));
+  } catch (...) {
+    return Status::ParseError("IR: bad integer '" + s.atom + "'");
+  }
+}
+
+Result<ValueType> AtomType(const Sexp& s) {
+  if (!s.is_atom) return Status::ParseError("IR: expected a type atom");
+  for (ValueType t : {ValueType::kNull, ValueType::kBool, ValueType::kInt64,
+                      ValueType::kDouble, ValueType::kString}) {
+    if (s.atom == ValueTypeToString(t)) return t;
+  }
+  return Status::ParseError("IR: unknown type '" + s.atom + "'");
+}
+
+Result<std::vector<size_t>> IndexList(const Sexp& s) {
+  if (s.is_atom) return Status::ParseError("IR: expected an index list");
+  std::vector<size_t> out;
+  for (const auto& item : s.items) {
+    CQ_ASSIGN_OR_RETURN(int64_t v, AtomInt(item));
+    out.push_back(static_cast<size_t>(v));
+  }
+  return out;
+}
+
+Result<ExprPtr> ParseExprSexp(const Sexp& s);
+
+Result<Value> ParseLit(const Sexp& s) {
+  // (lit null) | (lit b true) | (lit i N) | (lit d X) | (lit s "...")
+  if (s.items.size() < 2) return Status::ParseError("IR: bad literal");
+  const std::string& tag = s.items[1].atom;
+  if (tag == "null") return Value::Null();
+  if (s.items.size() != 3) return Status::ParseError("IR: bad literal arity");
+  const Sexp& payload = s.items[2];
+  if (tag == "b") return Value(payload.atom == "true");
+  if (tag == "i") {
+    CQ_ASSIGN_OR_RETURN(int64_t v, AtomInt(payload));
+    return Value(v);
+  }
+  if (tag == "d") {
+    try {
+      return Value(std::stod(payload.atom));
+    } catch (...) {
+      return Status::ParseError("IR: bad double '" + payload.atom + "'");
+    }
+  }
+  if (tag == "s") return Value(payload.atom);
+  return Status::ParseError("IR: unknown literal tag '" + tag + "'");
+}
+
+Result<ExprPtr> ParseExprSexp(const Sexp& s) {
+  if (s.is_atom || s.items.empty() || !s.items[0].is_atom) {
+    return Status::ParseError("IR: expected an expression list");
+  }
+  const std::string& tag = s.items[0].atom;
+  if (tag == "col") {
+    if (s.items.size() != 3) return Status::ParseError("IR: bad (col ...)");
+    CQ_ASSIGN_OR_RETURN(int64_t idx, AtomInt(s.items[1]));
+    return Col(static_cast<size_t>(idx), s.items[2].atom);
+  }
+  if (tag == "lit") {
+    CQ_ASSIGN_OR_RETURN(Value v, ParseLit(s));
+    return Lit(std::move(v));
+  }
+  if (tag == "not") {
+    if (s.items.size() != 2) return Status::ParseError("IR: bad (not ...)");
+    CQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseExprSexp(s.items[1]));
+    return Not(std::move(inner));
+  }
+  if (tag == "isnull" || tag == "isnotnull") {
+    if (s.items.size() != 2) return Status::ParseError("IR: bad isnull");
+    CQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseExprSexp(s.items[1]));
+    return ExprPtr(
+        std::make_shared<IsNullExpr>(std::move(inner), tag == "isnotnull"));
+  }
+  // Binary operators by printed symbol.
+  for (BinaryOp op :
+       {BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul, BinaryOp::kDiv,
+        BinaryOp::kMod, BinaryOp::kEq, BinaryOp::kNe, BinaryOp::kLt,
+        BinaryOp::kLe, BinaryOp::kGt, BinaryOp::kGe, BinaryOp::kAnd,
+        BinaryOp::kOr}) {
+    if (tag == BinaryOpToString(op)) {
+      if (s.items.size() != 3) {
+        return Status::ParseError("IR: binary operator needs two operands");
+      }
+      CQ_ASSIGN_OR_RETURN(ExprPtr l, ParseExprSexp(s.items[1]));
+      CQ_ASSIGN_OR_RETURN(ExprPtr r, ParseExprSexp(s.items[2]));
+      return Bin(op, std::move(l), std::move(r));
+    }
+  }
+  return Status::ParseError("IR: unknown expression tag '" + tag + "'");
+}
+
+Result<SchemaPtr> ParseSchemaSexp(const Sexp& s) {
+  CQ_RETURN_NOT_OK(Expect(s, "schema"));
+  std::vector<Field> fields;
+  for (size_t i = 1; i < s.items.size(); ++i) {
+    const Sexp& f = s.items[i];
+    if (f.is_atom || f.items.size() != 2) {
+      return Status::ParseError("IR: bad schema field");
+    }
+    CQ_ASSIGN_OR_RETURN(ValueType t, AtomType(f.items[1]));
+    fields.push_back({f.items[0].atom, t});
+  }
+  return Schema::Make(std::move(fields));
+}
+
+Result<RelOpPtr> ParsePlanSexp(const Sexp& s) {
+  if (s.is_atom || s.items.empty() || !s.items[0].is_atom) {
+    return Status::ParseError("IR: expected a plan list");
+  }
+  const std::string& tag = s.items[0].atom;
+  if (tag == "scan") {
+    if (s.items.size() != 3) return Status::ParseError("IR: bad (scan ...)");
+    CQ_ASSIGN_OR_RETURN(int64_t slot, AtomInt(s.items[1]));
+    CQ_ASSIGN_OR_RETURN(SchemaPtr schema, ParseSchemaSexp(s.items[2]));
+    return RelOp::Scan(static_cast<size_t>(slot), std::move(schema));
+  }
+  if (tag == "select") {
+    if (s.items.size() != 3) return Status::ParseError("IR: bad (select)");
+    CQ_ASSIGN_OR_RETURN(ExprPtr pred, ParseExprSexp(s.items[1]));
+    CQ_ASSIGN_OR_RETURN(RelOpPtr child, ParsePlanSexp(s.items[2]));
+    return RelOp::Select(std::move(child), std::move(pred));
+  }
+  if (tag == "project") {
+    if (s.items.size() != 3) return Status::ParseError("IR: bad (project)");
+    std::vector<ExprPtr> exprs;
+    std::vector<Field> fields;
+    for (const auto& col : s.items[1].items) {
+      if (col.is_atom || col.items.size() != 3) {
+        return Status::ParseError("IR: bad projection column");
+      }
+      CQ_ASSIGN_OR_RETURN(ValueType t, AtomType(col.items[1]));
+      CQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExprSexp(col.items[2]));
+      fields.push_back({col.items[0].atom, t});
+      exprs.push_back(std::move(e));
+    }
+    CQ_ASSIGN_OR_RETURN(RelOpPtr child, ParsePlanSexp(s.items[2]));
+    return RelOp::Project(std::move(child), std::move(exprs),
+                          std::move(fields));
+  }
+  if (tag == "join") {
+    if (s.items.size() != 5 && s.items.size() != 6) {
+      return Status::ParseError("IR: bad (join ...)");
+    }
+    CQ_ASSIGN_OR_RETURN(std::vector<size_t> lk, IndexList(s.items[1]));
+    CQ_ASSIGN_OR_RETURN(std::vector<size_t> rk, IndexList(s.items[2]));
+    size_t i = 3;
+    ExprPtr residual;
+    if (s.items.size() == 6) {
+      CQ_ASSIGN_OR_RETURN(residual, ParseExprSexp(s.items[i++]));
+    }
+    CQ_ASSIGN_OR_RETURN(RelOpPtr l, ParsePlanSexp(s.items[i]));
+    CQ_ASSIGN_OR_RETURN(RelOpPtr r, ParsePlanSexp(s.items[i + 1]));
+    return RelOp::Join(std::move(l), std::move(r), std::move(lk),
+                       std::move(rk), std::move(residual));
+  }
+  if (tag == "thetajoin") {
+    if (s.items.size() != 3 && s.items.size() != 4) {
+      return Status::ParseError("IR: bad (thetajoin ...)");
+    }
+    size_t i = 1;
+    ExprPtr pred;
+    if (s.items.size() == 4) {
+      CQ_ASSIGN_OR_RETURN(pred, ParseExprSexp(s.items[i++]));
+    }
+    CQ_ASSIGN_OR_RETURN(RelOpPtr l, ParsePlanSexp(s.items[i]));
+    CQ_ASSIGN_OR_RETURN(RelOpPtr r, ParsePlanSexp(s.items[i + 1]));
+    return RelOp::ThetaJoin(std::move(l), std::move(r), std::move(pred));
+  }
+  if (tag == "agg") {
+    if (s.items.size() != 4) return Status::ParseError("IR: bad (agg ...)");
+    CQ_ASSIGN_OR_RETURN(std::vector<size_t> groups, IndexList(s.items[1]));
+    std::vector<AggSpec> aggs;
+    for (const auto& a : s.items[2].items) {
+      if (a.is_atom || a.items.size() < 2) {
+        return Status::ParseError("IR: bad aggregate spec");
+      }
+      AggSpec spec;
+      bool found = false;
+      for (AggregateKind k :
+           {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+            AggregateKind::kMax, AggregateKind::kAvg}) {
+        if (a.items[0].atom == AggregateKindToString(k)) {
+          spec.kind = k;
+          found = true;
+        }
+      }
+      if (!found) {
+        return Status::ParseError("IR: unknown aggregate '" +
+                                  a.items[0].atom + "'");
+      }
+      if (a.items.size() == 3) {
+        CQ_ASSIGN_OR_RETURN(spec.input, ParseExprSexp(a.items[1]));
+        spec.output_name = a.items[2].atom;
+      } else {
+        spec.output_name = a.items[1].atom;
+      }
+      aggs.push_back(std::move(spec));
+    }
+    CQ_ASSIGN_OR_RETURN(RelOpPtr child, ParsePlanSexp(s.items[3]));
+    return RelOp::Aggregate(std::move(child), std::move(groups),
+                            std::move(aggs));
+  }
+  if (tag == "distinct") {
+    if (s.items.size() != 2) return Status::ParseError("IR: bad (distinct)");
+    CQ_ASSIGN_OR_RETURN(RelOpPtr child, ParsePlanSexp(s.items[1]));
+    return RelOp::Distinct(std::move(child));
+  }
+  if (tag == "union" || tag == "except" || tag == "intersect") {
+    if (s.items.size() != 3) return Status::ParseError("IR: bad set op");
+    CQ_ASSIGN_OR_RETURN(RelOpPtr l, ParsePlanSexp(s.items[1]));
+    CQ_ASSIGN_OR_RETURN(RelOpPtr r, ParsePlanSexp(s.items[2]));
+    if (tag == "union") return RelOp::Union(std::move(l), std::move(r));
+    if (tag == "except") return RelOp::Except(std::move(l), std::move(r));
+    return RelOp::Intersect(std::move(l), std::move(r));
+  }
+  return Status::ParseError("IR: unknown plan tag '" + tag + "'");
+}
+
+Result<S2RSpec> ParseWindowSexp(const Sexp& s) {
+  if (s.is_atom || s.items.empty()) {
+    return Status::ParseError("IR: bad window");
+  }
+  const std::string& tag = s.items[0].atom;
+  if (tag == "range") {
+    S2RSpec spec;
+    CQ_ASSIGN_OR_RETURN(int64_t range, AtomInt(s.items[1]));
+    Duration slide = 0;
+    if (s.items.size() == 4 && s.items[2].atom == "slide") {
+      CQ_ASSIGN_OR_RETURN(slide, AtomInt(s.items[3]));
+    }
+    return S2RSpec::Range(range, slide);
+  }
+  if (tag == "now") return S2RSpec::Now();
+  if (tag == "unbounded") return S2RSpec::Unbounded();
+  if (tag == "rows") {
+    CQ_ASSIGN_OR_RETURN(int64_t n, AtomInt(s.items[1]));
+    return S2RSpec::Rows(static_cast<size_t>(n));
+  }
+  if (tag == "prows") {
+    if (s.items.size() != 3) return Status::ParseError("IR: bad (prows)");
+    CQ_ASSIGN_OR_RETURN(std::vector<size_t> keys, IndexList(s.items[1]));
+    CQ_ASSIGN_OR_RETURN(int64_t n, AtomInt(s.items[2]));
+    return S2RSpec::PartitionedRows(std::move(keys),
+                                    static_cast<size_t>(n));
+  }
+  return Status::ParseError("IR: unknown window tag '" + tag + "'");
+}
+
+}  // namespace
+
+std::string SerializeExpr(const Expr& expr) {
+  std::string out;
+  RenderExpr(expr, &out);
+  return out;
+}
+
+std::string SerializePlan(const RelOp& plan) {
+  std::string out;
+  RenderPlan(plan, &out);
+  return out;
+}
+
+std::string SerializeQuery(const ContinuousQuery& query) {
+  std::string out = "(query (windows";
+  for (const auto& w : query.input_windows) {
+    out += " ";
+    RenderWindow(w, &out);
+  }
+  out += ") ";
+  if (query.plan != nullptr) RenderPlan(*query.plan, &out);
+  out += " (emit ";
+  out += R2SKindToString(query.output);
+  out += "))";
+  return out;
+}
+
+Result<RelOpPtr> ParsePlanIr(const std::string& text) {
+  SexpParser parser(text);
+  CQ_ASSIGN_OR_RETURN(Sexp s, parser.Parse());
+  return ParsePlanSexp(s);
+}
+
+Result<ContinuousQuery> ParseQueryIr(const std::string& text) {
+  SexpParser parser(text);
+  CQ_ASSIGN_OR_RETURN(Sexp s, parser.Parse());
+  CQ_RETURN_NOT_OK(Expect(s, "query"));
+  if (s.items.size() != 4) {
+    return Status::ParseError("IR: (query ...) needs windows, plan, emit");
+  }
+  ContinuousQuery out;
+  CQ_RETURN_NOT_OK(Expect(s.items[1], "windows"));
+  for (size_t i = 1; i < s.items[1].items.size(); ++i) {
+    CQ_ASSIGN_OR_RETURN(S2RSpec w, ParseWindowSexp(s.items[1].items[i]));
+    out.input_windows.push_back(std::move(w));
+  }
+  CQ_ASSIGN_OR_RETURN(out.plan, ParsePlanSexp(s.items[2]));
+  CQ_RETURN_NOT_OK(Expect(s.items[3], "emit"));
+  if (s.items[3].items.size() != 2) {
+    return Status::ParseError("IR: bad (emit ...)");
+  }
+  const std::string& kind = s.items[3].items[1].atom;
+  if (kind == "IStream") {
+    out.output = R2SKind::kIStream;
+  } else if (kind == "DStream") {
+    out.output = R2SKind::kDStream;
+  } else if (kind == "RStream") {
+    out.output = R2SKind::kRStream;
+  } else if (kind == "Relation") {
+    out.output = R2SKind::kRelation;
+  } else {
+    return Status::ParseError("IR: unknown emit kind '" + kind + "'");
+  }
+  return out;
+}
+
+}  // namespace cq

@@ -1,0 +1,413 @@
+#include "sql/planner.h"
+
+#include "sql/parser.h"
+
+namespace cq {
+
+namespace {
+
+Result<BinaryOp> MapBinaryOp(const std::string& op) {
+  if (op == "+") return BinaryOp::kAdd;
+  if (op == "-") return BinaryOp::kSub;
+  if (op == "*") return BinaryOp::kMul;
+  if (op == "/") return BinaryOp::kDiv;
+  if (op == "%") return BinaryOp::kMod;
+  if (op == "=") return BinaryOp::kEq;
+  if (op == "<>") return BinaryOp::kNe;
+  if (op == "<") return BinaryOp::kLt;
+  if (op == "<=") return BinaryOp::kLe;
+  if (op == ">") return BinaryOp::kGt;
+  if (op == ">=") return BinaryOp::kGe;
+  if (op == "AND") return BinaryOp::kAnd;
+  if (op == "OR") return BinaryOp::kOr;
+  return Status::PlanError("unknown operator '" + op + "'");
+}
+
+Result<size_t> ResolveColumn(const AstExpr& col, const Schema& schema) {
+  std::string name =
+      col.qualifier.empty() ? col.column : col.qualifier + "." + col.column;
+  return schema.FieldIndex(name);
+}
+
+bool ContainsAggregate(const AstExpr& e) {
+  if (e.kind == AstExpr::Kind::kAggregate) return true;
+  if (e.left != nullptr && ContainsAggregate(*e.left)) return true;
+  if (e.right != nullptr && ContainsAggregate(*e.right)) return true;
+  return false;
+}
+
+ValueType InferType(const ExprPtr& expr, const Schema& schema) {
+  switch (expr->kind()) {
+    case Expr::Kind::kColumn: {
+      size_t idx = static_cast<const ColumnRef&>(*expr).index();
+      if (idx < schema.num_fields()) return schema.field(idx).type;
+      return ValueType::kNull;
+    }
+    case Expr::Kind::kLiteral:
+      return static_cast<const Literal&>(*expr).value().type();
+    case Expr::Kind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(*expr);
+      if (IsPredicateOp(b.op())) return ValueType::kBool;
+      ValueType l = InferType(b.left(), schema);
+      ValueType r = InferType(b.right(), schema);
+      if (l == ValueType::kDouble || r == ValueType::kDouble) {
+        return ValueType::kDouble;
+      }
+      if (l == ValueType::kString) return ValueType::kString;
+      return ValueType::kInt64;
+    }
+    case Expr::Kind::kNot:
+    case Expr::Kind::kIsNull:
+      return ValueType::kBool;
+    default:
+      return ValueType::kNull;
+  }
+}
+
+}  // namespace
+
+Result<ExprPtr> TranslateScalar(const AstExpr& ast, const Schema& schema) {
+  switch (ast.kind) {
+    case AstExpr::Kind::kColumn: {
+      CQ_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(ast, schema));
+      return Col(idx, ast.ToString());
+    }
+    case AstExpr::Kind::kLiteral:
+      return Lit(ast.literal);
+    case AstExpr::Kind::kBinary: {
+      CQ_ASSIGN_OR_RETURN(BinaryOp op, MapBinaryOp(ast.op));
+      CQ_ASSIGN_OR_RETURN(ExprPtr l, TranslateScalar(*ast.left, schema));
+      CQ_ASSIGN_OR_RETURN(ExprPtr r, TranslateScalar(*ast.right, schema));
+      return Bin(op, std::move(l), std::move(r));
+    }
+    case AstExpr::Kind::kNot: {
+      CQ_ASSIGN_OR_RETURN(ExprPtr inner, TranslateScalar(*ast.left, schema));
+      return Not(std::move(inner));
+    }
+    case AstExpr::Kind::kIsNull: {
+      CQ_ASSIGN_OR_RETURN(ExprPtr inner, TranslateScalar(*ast.left, schema));
+      return ExprPtr(std::make_shared<IsNullExpr>(std::move(inner), ast.negated));
+    }
+    case AstExpr::Kind::kAggregate:
+      return Status::PlanError(
+          "aggregate '" + ast.ToString() +
+          "' is not allowed here (only in SELECT or HAVING)");
+    case AstExpr::Kind::kStar:
+      return Status::PlanError("'*' is not a scalar expression");
+  }
+  return Status::Internal("unhandled AST expression kind");
+}
+
+namespace {
+
+Result<S2RSpec> TranslateWindow(const AstWindow& w, const Schema& schema) {
+  switch (w.kind) {
+    case AstWindow::Kind::kDefaultUnbounded:
+    case AstWindow::Kind::kUnbounded:
+      return S2RSpec::Unbounded();
+    case AstWindow::Kind::kRange:
+      if (w.range <= 0) {
+        return Status::PlanError("RANGE window length must be positive");
+      }
+      return S2RSpec::Range(w.range, w.slide);
+    case AstWindow::Kind::kNow:
+      return S2RSpec::Now();
+    case AstWindow::Kind::kRows:
+      if (w.rows <= 0) {
+        return Status::PlanError("ROWS window size must be positive");
+      }
+      return S2RSpec::Rows(static_cast<size_t>(w.rows));
+    case AstWindow::Kind::kPartitionedRows: {
+      if (w.rows <= 0) {
+        return Status::PlanError("ROWS window size must be positive");
+      }
+      std::vector<size_t> keys;
+      for (const auto& col : w.partition_columns) {
+        CQ_ASSIGN_OR_RETURN(size_t idx, schema.FieldIndex(col));
+        keys.push_back(idx);
+      }
+      return S2RSpec::PartitionedRows(std::move(keys),
+                                      static_cast<size_t>(w.rows));
+    }
+  }
+  return Status::Internal("unhandled window kind");
+}
+
+/// Rewrites a HAVING expression against the aggregate output schema:
+/// aggregate sub-expressions become references to the matching aggregate
+/// output column (matched by printed name); plain columns resolve normally.
+Result<ExprPtr> TranslateHaving(const AstExpr& ast, const Schema& agg_schema) {
+  if (ast.kind == AstExpr::Kind::kAggregate) {
+    std::string name = ast.ToString();
+    Result<size_t> idx = agg_schema.FieldIndex(name);
+    if (!idx.ok()) {
+      return Status::PlanError("HAVING references aggregate '" + name +
+                               "' which is not computed by the query");
+    }
+    return Col(*idx, name);
+  }
+  switch (ast.kind) {
+    case AstExpr::Kind::kColumn: {
+      CQ_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(ast, agg_schema));
+      return Col(idx, ast.ToString());
+    }
+    case AstExpr::Kind::kLiteral:
+      return Lit(ast.literal);
+    case AstExpr::Kind::kBinary: {
+      CQ_ASSIGN_OR_RETURN(BinaryOp op, MapBinaryOp(ast.op));
+      CQ_ASSIGN_OR_RETURN(ExprPtr l, TranslateHaving(*ast.left, agg_schema));
+      CQ_ASSIGN_OR_RETURN(ExprPtr r, TranslateHaving(*ast.right, agg_schema));
+      return Bin(op, std::move(l), std::move(r));
+    }
+    case AstExpr::Kind::kNot: {
+      CQ_ASSIGN_OR_RETURN(ExprPtr inner,
+                          TranslateHaving(*ast.left, agg_schema));
+      return Not(std::move(inner));
+    }
+    case AstExpr::Kind::kIsNull: {
+      CQ_ASSIGN_OR_RETURN(ExprPtr inner,
+                          TranslateHaving(*ast.left, agg_schema));
+      return ExprPtr(std::make_shared<IsNullExpr>(std::move(inner), ast.negated));
+    }
+    default:
+      return Status::PlanError("unsupported expression in HAVING");
+  }
+}
+
+}  // namespace
+
+Result<PlannedQuery> PlanQuery(const AstSelect& ast, const Catalog& catalog) {
+  if (ast.from.empty()) {
+    return Status::PlanError("query needs at least one stream in FROM");
+  }
+
+  // 1. Bind FROM entries to input slots; build the combined schema.
+  PlannedQuery out;
+  std::vector<SchemaPtr> qualified;
+  SchemaPtr combined;
+  for (size_t i = 0; i < ast.from.size(); ++i) {
+    const AstTableRef& ref = ast.from[i];
+    CQ_ASSIGN_OR_RETURN(SchemaPtr base, catalog.GetStream(ref.name));
+    SchemaPtr q = base->Qualified(ref.alias.empty() ? ref.name : ref.alias);
+    CQ_ASSIGN_OR_RETURN(S2RSpec spec, TranslateWindow(ref.window, *q));
+    out.query.input_windows.push_back(spec);
+    qualified.push_back(q);
+    combined = (i == 0) ? q : Schema::Concat(*combined, *q);
+  }
+
+  // 2. Left-deep cross products over the scans (the optimiser extracts
+  //    equi-joins from the WHERE conjunction later).
+  RelOpPtr plan = RelOp::Scan(0, qualified[0]);
+  for (size_t i = 1; i < qualified.size(); ++i) {
+    CQ_ASSIGN_OR_RETURN(
+        plan, RelOp::ThetaJoin(plan, RelOp::Scan(i, qualified[i]), nullptr));
+  }
+
+  // 3. WHERE.
+  if (ast.where != nullptr) {
+    if (ContainsAggregate(*ast.where)) {
+      return Status::PlanError("aggregates are not allowed in WHERE");
+    }
+    CQ_ASSIGN_OR_RETURN(ExprPtr pred, TranslateScalar(*ast.where, *combined));
+    CQ_ASSIGN_OR_RETURN(plan, RelOp::Select(plan, std::move(pred)));
+  }
+
+  // 4. Aggregation.
+  bool has_aggregates = !ast.group_by.empty();
+  for (const auto& item : ast.items) {
+    if (ContainsAggregate(*item.expr)) has_aggregates = true;
+  }
+
+  if (has_aggregates) {
+    if (ast.select_star) {
+      return Status::PlanError("SELECT * cannot be combined with aggregates");
+    }
+    std::vector<size_t> group_indexes;
+    for (const auto& col : ast.group_by) {
+      CQ_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(col, *combined));
+      group_indexes.push_back(idx);
+    }
+    // Collect aggregates from the select list; validate non-aggregate items
+    // are grouping columns.
+    std::vector<AggSpec> aggs;
+    struct OutputCol {
+      bool is_group = false;
+      size_t index = 0;  // group position or aggregate position
+      std::string name;
+      ValueType type = ValueType::kNull;
+    };
+    std::vector<OutputCol> output;
+    for (const auto& item : ast.items) {
+      const AstExpr& e = *item.expr;
+      if (e.kind == AstExpr::Kind::kAggregate) {
+        AggSpec spec;
+        spec.kind = e.agg_kind;
+        if (!e.agg_star && e.left != nullptr) {
+          CQ_ASSIGN_OR_RETURN(spec.input, TranslateScalar(*e.left, *combined));
+        }
+        spec.output_name = e.ToString();
+        OutputCol col;
+        col.is_group = false;
+        col.index = aggs.size();
+        col.name = item.alias.empty() ? e.ToString() : item.alias;
+        col.type = (e.agg_kind == AggregateKind::kCount) ? ValueType::kInt64
+                                                         : ValueType::kDouble;
+        if ((e.agg_kind == AggregateKind::kMin ||
+             e.agg_kind == AggregateKind::kMax) &&
+            spec.input != nullptr) {
+          col.type = InferType(spec.input, *combined);
+        }
+        aggs.push_back(std::move(spec));
+        output.push_back(std::move(col));
+      } else if (e.kind == AstExpr::Kind::kColumn) {
+        CQ_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(e, *combined));
+        size_t pos = group_indexes.size();
+        for (size_t g = 0; g < group_indexes.size(); ++g) {
+          if (group_indexes[g] == idx) {
+            pos = g;
+            break;
+          }
+        }
+        if (pos == group_indexes.size()) {
+          return Status::PlanError("column '" + e.ToString() +
+                                   "' must appear in GROUP BY");
+        }
+        OutputCol col;
+        col.is_group = true;
+        col.index = pos;
+        col.name = item.alias.empty() ? e.ToString() : item.alias;
+        col.type = combined->field(idx).type;
+        output.push_back(std::move(col));
+      } else {
+        return Status::PlanError(
+            "in an aggregating query, select items must be grouping columns "
+            "or aggregates");
+      }
+    }
+    CQ_ASSIGN_OR_RETURN(plan, RelOp::Aggregate(plan, group_indexes, aggs));
+
+    // 5. HAVING over the aggregate's output.
+    if (ast.having != nullptr) {
+      CQ_ASSIGN_OR_RETURN(ExprPtr pred,
+                          TranslateHaving(*ast.having, *plan->schema()));
+      CQ_ASSIGN_OR_RETURN(plan, RelOp::Select(plan, std::move(pred)));
+    }
+
+    // 6. Project into select-list order. Aggregate output layout: group
+    // columns first, then aggregates.
+    std::vector<ExprPtr> projections;
+    std::vector<Field> fields;
+    for (const auto& col : output) {
+      size_t idx =
+          col.is_group ? col.index : group_indexes.size() + col.index;
+      projections.push_back(Col(idx, col.name));
+      fields.push_back({col.name, col.type});
+    }
+    CQ_ASSIGN_OR_RETURN(plan, RelOp::Project(plan, std::move(projections),
+                                             std::move(fields)));
+  } else if (!ast.select_star) {
+    if (ast.having != nullptr) {
+      return Status::PlanError("HAVING requires aggregation");
+    }
+    std::vector<ExprPtr> projections;
+    std::vector<Field> fields;
+    for (const auto& item : ast.items) {
+      CQ_ASSIGN_OR_RETURN(ExprPtr e, TranslateScalar(*item.expr, *combined));
+      std::string name =
+          item.alias.empty() ? item.expr->ToString() : item.alias;
+      fields.push_back({name, InferType(e, *combined)});
+      projections.push_back(std::move(e));
+    }
+    CQ_ASSIGN_OR_RETURN(plan, RelOp::Project(plan, std::move(projections),
+                                             std::move(fields)));
+  } else if (ast.having != nullptr) {
+    return Status::PlanError("HAVING requires aggregation");
+  }
+
+  if (ast.distinct) {
+    CQ_ASSIGN_OR_RETURN(plan, RelOp::Distinct(plan));
+  }
+
+  out.query.plan = plan;
+  out.query.output = ast.emit;
+  out.output_schema = plan->schema();
+  return out;
+}
+
+namespace {
+
+/// Rebuilds a plan with all Scan slots shifted by `offset` (used when
+/// flattening the branches of a compound query into one input space).
+RelOpPtr OffsetScans(const RelOpPtr& plan, size_t offset) {
+  if (plan->kind() == RelOpKind::kScan) {
+    return RelOp::Scan(plan->input_index() + offset, plan->schema());
+  }
+  std::vector<RelOpPtr> children;
+  children.reserve(plan->children().size());
+  for (const auto& c : plan->children()) {
+    children.push_back(OffsetScans(c, offset));
+  }
+  return plan->WithChildren(std::move(children));
+}
+
+}  // namespace
+
+Result<PlannedQuery> PlanCompoundQuery(const AstQuery& ast,
+                                       const Catalog& catalog) {
+  if (ast.op == AstQuery::SetOp::kNone) {
+    if (ast.select == nullptr) {
+      return Status::PlanError("compound query leaf has no SELECT");
+    }
+    CQ_ASSIGN_OR_RETURN(PlannedQuery out, PlanQuery(*ast.select, catalog));
+    out.query.output = ast.emit;
+    return out;
+  }
+  if (ast.left == nullptr || ast.right == nullptr) {
+    return Status::PlanError("set operation requires two branches");
+  }
+  CQ_ASSIGN_OR_RETURN(PlannedQuery left, PlanCompoundQuery(*ast.left, catalog));
+  CQ_ASSIGN_OR_RETURN(PlannedQuery right,
+                      PlanCompoundQuery(*ast.right, catalog));
+  size_t offset = left.query.input_windows.size();
+  RelOpPtr right_plan = OffsetScans(right.query.plan, offset);
+
+  RelOpPtr combined;
+  switch (ast.op) {
+    case AstQuery::SetOp::kUnion: {
+      CQ_ASSIGN_OR_RETURN(combined, RelOp::Union(left.query.plan, right_plan));
+      break;
+    }
+    case AstQuery::SetOp::kExcept: {
+      CQ_ASSIGN_OR_RETURN(combined,
+                          RelOp::Except(left.query.plan, right_plan));
+      break;
+    }
+    case AstQuery::SetOp::kIntersect: {
+      CQ_ASSIGN_OR_RETURN(combined,
+                          RelOp::Intersect(left.query.plan, right_plan));
+      break;
+    }
+    case AstQuery::SetOp::kNone:
+      return Status::Internal("unreachable");
+  }
+  if (!ast.all) {
+    CQ_ASSIGN_OR_RETURN(combined, RelOp::Distinct(combined));
+  }
+
+  PlannedQuery out;
+  out.query.plan = combined;
+  out.query.input_windows = left.query.input_windows;
+  out.query.input_windows.insert(out.query.input_windows.end(),
+                                 right.query.input_windows.begin(),
+                                 right.query.input_windows.end());
+  out.query.output = ast.emit;
+  out.output_schema = combined->schema();
+  return out;
+}
+
+Result<PlannedQuery> PlanSql(const std::string& sql, const Catalog& catalog) {
+  CQ_ASSIGN_OR_RETURN(AstQuery ast, ParseCompoundQuery(sql));
+  return PlanCompoundQuery(ast, catalog);
+}
+
+}  // namespace cq

@@ -1,0 +1,43 @@
+#ifndef CQ_SQL_PLANNER_H_
+#define CQ_SQL_PLANNER_H_
+
+/// \file planner.h
+/// \brief Plans a parsed CQL query into an executable ContinuousQuery.
+///
+/// Resolution: FROM entries bind input slots 0..n-1 with alias-qualified
+/// schemas; column references resolve against the concatenation. The naive
+/// plan is left-deep cross products + a WHERE filter + aggregation +
+/// projection; the optimiser (optimizer.h) then applies the §4.2 rules
+/// (predicate pushdown, equi-join extraction, fusion).
+
+#include "common/status.h"
+#include "cql/continuous_query.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+
+namespace cq {
+
+/// \brief A planned query plus its output schema.
+struct PlannedQuery {
+  ContinuousQuery query;
+  SchemaPtr output_schema;
+};
+
+/// \brief Plans the AST against the catalog (no optimisation).
+Result<PlannedQuery> PlanQuery(const AstSelect& ast, const Catalog& catalog);
+
+/// \brief Plans a compound (set-operation) query tree. Each branch keeps its
+/// own windows; branch input slots are renumbered into one flat slot space.
+/// Non-ALL set operations wrap the combination in Distinct.
+Result<PlannedQuery> PlanCompoundQuery(const AstQuery& ast,
+                                       const Catalog& catalog);
+
+/// \brief Convenience: parse + plan (accepts compound queries).
+Result<PlannedQuery> PlanSql(const std::string& sql, const Catalog& catalog);
+
+/// \brief Translates a resolved scalar AST (no aggregates) against a schema.
+Result<ExprPtr> TranslateScalar(const AstExpr& ast, const Schema& schema);
+
+}  // namespace cq
+
+#endif  // CQ_SQL_PLANNER_H_

@@ -1,0 +1,60 @@
+#include "stream/stream.h"
+
+namespace cq {
+
+std::string StreamElement::ToString() const {
+  if (is_watermark()) {
+    if (is_end_of_stream()) return "WM(+inf)";
+    return "WM(" + std::to_string(timestamp) + ")";
+  }
+  return tuple.ToString() + "@" + std::to_string(timestamp);
+}
+
+size_t BoundedStream::num_records() const {
+  size_t n = 0;
+  for (const auto& e : elements_) n += e.is_record();
+  return n;
+}
+
+BoundedStream BoundedStream::UpTo(Timestamp tau) const {
+  BoundedStream out(schema_);
+  for (const auto& e : elements_) {
+    if (e.is_record() && e.timestamp <= tau) out.Append(e);
+  }
+  return out;
+}
+
+bool BoundedStream::IsOrdered() const {
+  Timestamp last = kMinTimestamp;
+  for (const auto& e : elements_) {
+    if (!e.is_record()) continue;
+    if (e.timestamp < last) return false;
+    last = e.timestamp;
+  }
+  return true;
+}
+
+BoundedStream BoundedStream::Sorted() const {
+  BoundedStream out(schema_);
+  std::vector<StreamElement> records;
+  records.reserve(elements_.size());
+  for (const auto& e : elements_) {
+    if (e.is_record()) records.push_back(e);
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const StreamElement& a, const StreamElement& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  for (auto& e : records) out.Append(std::move(e));
+  return out;
+}
+
+Timestamp BoundedStream::MaxTimestamp() const {
+  Timestamp max = kMinTimestamp;
+  for (const auto& e : elements_) {
+    if (e.is_record() && e.timestamp > max) max = e.timestamp;
+  }
+  return max;
+}
+
+}  // namespace cq

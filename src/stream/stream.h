@@ -1,0 +1,163 @@
+#ifndef CQ_STREAM_STREAM_H_
+#define CQ_STREAM_STREAM_H_
+
+/// \file stream.h
+/// \brief Data streams per paper Definition 2.2.
+///
+/// A data stream S maps each instant tau in T to a finite subset of tuples;
+/// operationally it is a potentially infinite sequence of elements (o, tau)
+/// where o is a tuple and tau a timestamp. Streams also carry *punctuation*
+/// (watermarks): assertions that no element with a smaller timestamp will
+/// arrive, which is how event-time progress propagates (§4).
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace cq {
+
+/// \brief Kind of element travelling on a stream.
+enum class ElementKind : uint8_t {
+  /// A data record (o, tau).
+  kRecord,
+  /// A low watermark: no further record will carry timestamp < `timestamp`.
+  kWatermark,
+};
+
+/// \brief One element of a data stream: a timestamped record or a watermark.
+struct StreamElement {
+  ElementKind kind = ElementKind::kRecord;
+  Timestamp timestamp = 0;
+  Tuple tuple;  // empty for watermarks
+
+  static StreamElement Record(Tuple t, Timestamp ts) {
+    return {ElementKind::kRecord, ts, std::move(t)};
+  }
+  static StreamElement Watermark(Timestamp ts) {
+    return {ElementKind::kWatermark, ts, Tuple()};
+  }
+  /// \brief End-of-stream punctuation: a watermark at +infinity.
+  static StreamElement EndOfStream() { return Watermark(kMaxTimestamp); }
+
+  bool is_record() const { return kind == ElementKind::kRecord; }
+  bool is_watermark() const { return kind == ElementKind::kWatermark; }
+  bool is_end_of_stream() const {
+    return is_watermark() && timestamp == kMaxTimestamp;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief A finite, materialised prefix of a stream (testing, batch replay,
+/// and the "stream up to tau" construction of Definition 2.3).
+class BoundedStream {
+ public:
+  BoundedStream() = default;
+  explicit BoundedStream(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+  void set_schema(SchemaPtr schema) { schema_ = std::move(schema); }
+
+  void Append(Tuple t, Timestamp ts) {
+    elements_.push_back(StreamElement::Record(std::move(t), ts));
+  }
+  void AppendWatermark(Timestamp ts) {
+    elements_.push_back(StreamElement::Watermark(ts));
+  }
+  void Append(StreamElement e) { elements_.push_back(std::move(e)); }
+
+  size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+  const StreamElement& at(size_t i) const { return elements_[i]; }
+  const std::vector<StreamElement>& elements() const { return elements_; }
+
+  auto begin() const { return elements_.begin(); }
+  auto end() const { return elements_.end(); }
+
+  /// \brief Number of data records (excludes punctuation).
+  size_t num_records() const;
+
+  /// \brief All records with timestamp <= tau — the "stream up to tau" of the
+  /// CQL continuous-semantics definition (§3.1).
+  BoundedStream UpTo(Timestamp tau) const;
+
+  /// \brief True if record timestamps are non-decreasing (ordered /
+  /// append-only stream assumption of Terry et al.).
+  bool IsOrdered() const;
+
+  /// \brief Stable sort of records by timestamp (record order preserved for
+  /// equal timestamps); watermarks are dropped.
+  BoundedStream Sorted() const;
+
+  /// \brief Largest record timestamp, or kMinTimestamp when empty.
+  Timestamp MaxTimestamp() const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<StreamElement> elements_;
+};
+
+/// \brief Consumer-side interface: a pull-based reader over a stream.
+class StreamReader {
+ public:
+  virtual ~StreamReader() = default;
+  /// \brief Next element, or Status::Closed once exhausted.
+  virtual Result<StreamElement> Next() = 0;
+};
+
+/// \brief Producer-side interface: a push-based sink for stream elements.
+class StreamWriter {
+ public:
+  virtual ~StreamWriter() = default;
+  virtual Status Write(StreamElement element) = 0;
+};
+
+/// \brief Reader over a materialised BoundedStream.
+class BoundedStreamReader : public StreamReader {
+ public:
+  explicit BoundedStreamReader(const BoundedStream* stream)
+      : stream_(stream) {}
+  Result<StreamElement> Next() override {
+    if (pos_ >= stream_->size()) return Status::Closed("end of stream");
+    return stream_->at(pos_++);
+  }
+
+ private:
+  const BoundedStream* stream_;
+  size_t pos_ = 0;
+};
+
+/// \brief Writer that appends into a BoundedStream (collecting sink).
+class CollectingWriter : public StreamWriter {
+ public:
+  explicit CollectingWriter(BoundedStream* out) : out_(out) {}
+  Status Write(StreamElement element) override {
+    out_->Append(std::move(element));
+    return Status::OK();
+  }
+
+ private:
+  BoundedStream* out_;
+};
+
+/// \brief Writer that invokes a callback per element (inline sink).
+class CallbackWriter : public StreamWriter {
+ public:
+  using Callback = std::function<Status(const StreamElement&)>;
+  explicit CallbackWriter(Callback cb) : cb_(std::move(cb)) {}
+  Status Write(StreamElement element) override { return cb_(element); }
+
+ private:
+  Callback cb_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_STREAM_STREAM_H_

@@ -1,0 +1,88 @@
+#include "types/schema.h"
+#include <cctype>
+#include <string_view>
+
+namespace cq {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  // Exact match first, then case-insensitive (SQL identifiers are
+  // case-insensitive by convention), erroring on ambiguity.
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  size_t found = fields_.size();
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) {
+      if (found != fields_.size()) {
+        return Status::InvalidArgument("ambiguous column reference: " + name);
+      }
+      found = i;
+    }
+  }
+  if (found != fields_.size()) return found;
+  // Last pass: allow unqualified lookup of a qualified field ("P.id" can be
+  // found via "id") when it is unambiguous.
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const std::string& fname = fields_[i].name;
+    auto dot = fname.rfind('.');
+    if (dot != std::string::npos &&
+        EqualsIgnoreCase(fname.substr(dot + 1), name)) {
+      if (found != fields_.size()) {
+        return Status::InvalidArgument("ambiguous column reference: " + name);
+      }
+      found = i;
+    }
+  }
+  if (found != fields_.size()) return found;
+  return Status::NotFound("no field named '" + name + "' in schema " +
+                          ToString());
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return FieldIndex(name).ok();
+}
+
+std::shared_ptr<Schema> Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Field> fields = left.fields_;
+  fields.insert(fields.end(), right.fields_.begin(), right.fields_.end());
+  return Make(std::move(fields));
+}
+
+std::shared_ptr<Schema> Schema::Qualified(const std::string& qualifier) const {
+  std::vector<Field> fields = fields_;
+  for (auto& f : fields) {
+    // Re-qualify: strip any existing qualifier first.
+    auto dot = f.name.rfind('.');
+    std::string base =
+        dot == std::string::npos ? f.name : f.name.substr(dot + 1);
+    f.name = qualifier + "." + base;
+  }
+  return Make(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace cq

@@ -1,0 +1,69 @@
+#ifndef CQ_TYPES_SCHEMA_H_
+#define CQ_TYPES_SCHEMA_H_
+
+/// \file schema.h
+/// \brief Relational schemas for tuples flowing through continuous queries.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace cq {
+
+/// \brief One named, typed column of a schema.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Field& other) const = default;
+  std::string ToString() const {
+    return name + " " + ValueTypeToString(type);
+  }
+};
+
+/// \brief An ordered list of named fields (the schema E of Definition 2.2).
+///
+/// Schemas are immutable once constructed and shared via shared_ptr across
+/// operators; plan construction resolves column references to field indexes
+/// against them.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  static std::shared_ptr<Schema> Make(std::vector<Field> fields) {
+    return std::make_shared<Schema>(std::move(fields));
+  }
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// \brief Index of the field with `name`, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  bool HasField(const std::string& name) const;
+
+  /// \brief Concatenation of two schemas (used by joins / cartesian
+  /// products); names may be qualified by the caller to avoid collisions.
+  static std::shared_ptr<Schema> Concat(const Schema& left, const Schema& right);
+
+  /// \brief A copy with every field name prefixed "qualifier.".
+  std::shared_ptr<Schema> Qualified(const std::string& qualifier) const;
+
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<Schema>;
+
+}  // namespace cq
+
+#endif  // CQ_TYPES_SCHEMA_H_

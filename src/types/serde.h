@@ -1,0 +1,50 @@
+#ifndef CQ_TYPES_SERDE_H_
+#define CQ_TYPES_SERDE_H_
+
+/// \file serde.h
+/// \brief Binary serialization of Values and Tuples.
+///
+/// Used wherever engine data crosses a byte boundary: the KV-store state
+/// backend, operator checkpoints, and order-preserving state keys.
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace cq {
+
+/// \brief Appends a compact binary encoding of `v` to `out`.
+void EncodeValue(const Value& v, std::string* out);
+
+/// \brief Decodes one Value from the front of `in`, advancing it.
+Result<Value> DecodeValue(std::string_view* in);
+
+/// \brief Appends an encoding of `t` (arity-prefixed) to `out`.
+void EncodeTuple(const Tuple& t, std::string* out);
+
+/// \brief Decodes one Tuple from the front of `in`, advancing it.
+Result<Tuple> DecodeTuple(std::string_view* in);
+
+/// \brief Convenience: single-buffer round trips.
+std::string TupleToBytes(const Tuple& t);
+Result<Tuple> TupleFromBytes(std::string_view bytes);
+
+/// \brief Appends fixed-width primitives (little-endian).
+void EncodeU32(uint32_t v, std::string* out);
+void EncodeU64(uint64_t v, std::string* out);
+void EncodeI64(int64_t v, std::string* out);
+void EncodeF64(double v, std::string* out);
+void EncodeString(std::string_view s, std::string* out);  // u32 len + bytes
+
+Result<uint32_t> DecodeU32(std::string_view* in);
+Result<uint64_t> DecodeU64(std::string_view* in);
+Result<int64_t> DecodeI64(std::string_view* in);
+Result<double> DecodeF64(std::string_view* in);
+Result<std::string> DecodeString(std::string_view* in);
+
+}  // namespace cq
+
+#endif  // CQ_TYPES_SERDE_H_

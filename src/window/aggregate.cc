@@ -1,0 +1,174 @@
+#include "window/aggregate.h"
+
+#include <cassert>
+
+namespace cq {
+
+const char* AggregateKindToString(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount:
+      return "COUNT";
+    case AggregateKind::kSum:
+      return "SUM";
+    case AggregateKind::kMin:
+      return "MIN";
+    case AggregateKind::kMax:
+      return "MAX";
+    case AggregateKind::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+AggState AggregateFunction::Retract(const AggState&, const Value&) const {
+  assert(false && "Retract called on non-invertible aggregate");
+  return AggState{};
+}
+
+std::unique_ptr<AggregateFunction> AggregateFunction::Make(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount:
+      return std::make_unique<CountAggregate>();
+    case AggregateKind::kSum:
+      return std::make_unique<SumAggregate>();
+    case AggregateKind::kMin:
+      return std::make_unique<MinAggregate>();
+    case AggregateKind::kMax:
+      return std::make_unique<MaxAggregate>();
+    case AggregateKind::kAvg:
+      return std::make_unique<AvgAggregate>();
+  }
+  return nullptr;
+}
+
+// ---- COUNT ----
+
+AggState CountAggregate::Lift(const Value& v) const {
+  AggState s;
+  s.count = v.is_null() ? 0 : 1;  // SQL: COUNT ignores NULLs
+  return s;
+}
+
+AggState CountAggregate::Combine(const AggState& a, const AggState& b) const {
+  AggState s;
+  s.count = a.count + b.count;
+  return s;
+}
+
+Value CountAggregate::Lower(const AggState& s) const { return Value(s.count); }
+
+AggState CountAggregate::Retract(const AggState& s, const Value& v) const {
+  AggState out = s;
+  if (!v.is_null()) out.count -= 1;
+  return out;
+}
+
+// ---- SUM ----
+
+AggState SumAggregate::Lift(const Value& v) const {
+  AggState s;
+  if (!v.is_null()) {
+    s.count = 1;
+    s.sum = v.AsDouble();
+  }
+  return s;
+}
+
+AggState SumAggregate::Combine(const AggState& a, const AggState& b) const {
+  AggState s;
+  s.count = a.count + b.count;
+  s.sum = a.sum + b.sum;
+  return s;
+}
+
+Value SumAggregate::Lower(const AggState& s) const {
+  if (s.count == 0) return Value::Null();  // SUM of empty set is NULL
+  return Value(s.sum);
+}
+
+AggState SumAggregate::Retract(const AggState& s, const Value& v) const {
+  AggState out = s;
+  if (!v.is_null()) {
+    out.count -= 1;
+    out.sum -= v.AsDouble();
+  }
+  return out;
+}
+
+// ---- AVG ----
+
+AggState AvgAggregate::Lift(const Value& v) const {
+  AggState s;
+  if (!v.is_null()) {
+    s.count = 1;
+    s.sum = v.AsDouble();
+  }
+  return s;
+}
+
+AggState AvgAggregate::Combine(const AggState& a, const AggState& b) const {
+  AggState s;
+  s.count = a.count + b.count;
+  s.sum = a.sum + b.sum;
+  return s;
+}
+
+Value AvgAggregate::Lower(const AggState& s) const {
+  if (s.count == 0) return Value::Null();
+  return Value(s.sum / static_cast<double>(s.count));
+}
+
+AggState AvgAggregate::Retract(const AggState& s, const Value& v) const {
+  AggState out = s;
+  if (!v.is_null()) {
+    out.count -= 1;
+    out.sum -= v.AsDouble();
+  }
+  return out;
+}
+
+// ---- MIN ----
+
+AggState MinAggregate::Lift(const Value& v) const {
+  AggState s;
+  s.min = v;
+  return s;
+}
+
+AggState MinAggregate::Combine(const AggState& a, const AggState& b) const {
+  AggState s;
+  if (a.min.is_null()) {
+    s.min = b.min;
+  } else if (b.min.is_null()) {
+    s.min = a.min;
+  } else {
+    s.min = a.min <= b.min ? a.min : b.min;
+  }
+  return s;
+}
+
+Value MinAggregate::Lower(const AggState& s) const { return s.min; }
+
+// ---- MAX ----
+
+AggState MaxAggregate::Lift(const Value& v) const {
+  AggState s;
+  s.max = v;
+  return s;
+}
+
+AggState MaxAggregate::Combine(const AggState& a, const AggState& b) const {
+  AggState s;
+  if (a.max.is_null()) {
+    s.max = b.max;
+  } else if (b.max.is_null()) {
+    s.max = a.max;
+  } else {
+    s.max = a.max >= b.max ? a.max : b.max;
+  }
+  return s;
+}
+
+Value MaxAggregate::Lower(const AggState& s) const { return s.max; }
+
+}  // namespace cq

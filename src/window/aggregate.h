@@ -1,0 +1,118 @@
+#ifndef CQ_WINDOW_AGGREGATE_H_
+#define CQ_WINDOW_AGGREGATE_H_
+
+/// \file aggregate.h
+/// \brief Aggregate functions in lift/combine/lower form.
+///
+/// Window-aggregation sharing techniques (stream slicing, two-stacks) require
+/// aggregates decomposed into: lift (value -> partial), combine (associative
+/// merge of partials), lower (partial -> final value). Invertible aggregates
+/// additionally support retract; the engine picks evaluation strategies based
+/// on these capabilities, mirroring the general window-aggregation frameworks
+/// the survey cites (Scotty [87], window surveys [88]).
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace cq {
+
+/// \brief Identifier of a built-in aggregate.
+enum class AggregateKind { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggregateKindToString(AggregateKind kind);
+
+/// \brief A partial aggregate state, generic across built-ins.
+struct AggState {
+  int64_t count = 0;     // COUNT / AVG denominator
+  double sum = 0;        // SUM / AVG numerator (double; exact for int sums
+                         // within 2^53, acceptable for this engine)
+  Value min;             // MIN partial (Null = empty)
+  Value max;             // MAX partial (Null = empty)
+};
+
+/// \brief An aggregate function decomposed for shared evaluation.
+class AggregateFunction {
+ public:
+  virtual ~AggregateFunction() = default;
+
+  virtual AggregateKind kind() const = 0;
+
+  /// \brief Neutral element of combine().
+  virtual AggState Identity() const { return AggState{}; }
+
+  /// \brief Lifts a single input value into a partial.
+  virtual AggState Lift(const Value& v) const = 0;
+
+  /// \brief Associative merge of two partials.
+  virtual AggState Combine(const AggState& a, const AggState& b) const = 0;
+
+  /// \brief Final value of a partial.
+  virtual Value Lower(const AggState& s) const = 0;
+
+  /// \brief Whether Retract() is supported (true for COUNT/SUM/AVG, false
+  /// for MIN/MAX, whose inverses do not exist).
+  virtual bool Invertible() const = 0;
+
+  /// \brief Removes `v`'s contribution. Precondition: Invertible().
+  virtual AggState Retract(const AggState& s, const Value& v) const;
+
+  std::string ToString() const { return AggregateKindToString(kind()); }
+
+  /// \brief Factory for built-ins.
+  static std::unique_ptr<AggregateFunction> Make(AggregateKind kind);
+};
+
+class CountAggregate : public AggregateFunction {
+ public:
+  AggregateKind kind() const override { return AggregateKind::kCount; }
+  AggState Lift(const Value& v) const override;
+  AggState Combine(const AggState& a, const AggState& b) const override;
+  Value Lower(const AggState& s) const override;
+  bool Invertible() const override { return true; }
+  AggState Retract(const AggState& s, const Value& v) const override;
+};
+
+class SumAggregate : public AggregateFunction {
+ public:
+  AggregateKind kind() const override { return AggregateKind::kSum; }
+  AggState Lift(const Value& v) const override;
+  AggState Combine(const AggState& a, const AggState& b) const override;
+  Value Lower(const AggState& s) const override;
+  bool Invertible() const override { return true; }
+  AggState Retract(const AggState& s, const Value& v) const override;
+};
+
+class AvgAggregate : public AggregateFunction {
+ public:
+  AggregateKind kind() const override { return AggregateKind::kAvg; }
+  AggState Lift(const Value& v) const override;
+  AggState Combine(const AggState& a, const AggState& b) const override;
+  Value Lower(const AggState& s) const override;
+  bool Invertible() const override { return true; }
+  AggState Retract(const AggState& s, const Value& v) const override;
+};
+
+class MinAggregate : public AggregateFunction {
+ public:
+  AggregateKind kind() const override { return AggregateKind::kMin; }
+  AggState Lift(const Value& v) const override;
+  AggState Combine(const AggState& a, const AggState& b) const override;
+  Value Lower(const AggState& s) const override;
+  bool Invertible() const override { return false; }
+};
+
+class MaxAggregate : public AggregateFunction {
+ public:
+  AggregateKind kind() const override { return AggregateKind::kMax; }
+  AggState Lift(const Value& v) const override;
+  AggState Combine(const AggState& a, const AggState& b) const override;
+  Value Lower(const AggState& s) const override;
+  bool Invertible() const override { return false; }
+};
+
+}  // namespace cq
+
+#endif  // CQ_WINDOW_AGGREGATE_H_

@@ -1,0 +1,178 @@
+#include "window/sliding.h"
+
+#include <algorithm>
+
+namespace cq {
+
+// ---- NaiveWindowAggregator ----
+
+NaiveWindowAggregator::NaiveWindowAggregator(
+    std::shared_ptr<WindowAssigner> assigner,
+    std::shared_ptr<AggregateFunction> func)
+    : assigner_(std::move(assigner)), func_(std::move(func)) {}
+
+Status NaiveWindowAggregator::Add(Timestamp ts, const Value& v) {
+  if (ts < watermark_) {
+    return Status::LateData("element at " + std::to_string(ts) +
+                            " behind watermark " + std::to_string(watermark_));
+  }
+  buffer_.emplace(ts, v);
+  for (const TimeInterval& w : assigner_->AssignWindows(ts)) {
+    pending_.emplace(w, true);
+  }
+  return Status::OK();
+}
+
+std::vector<WindowResult> NaiveWindowAggregator::AdvanceWatermark(
+    Timestamp watermark) {
+  if (watermark > watermark_) watermark_ = watermark;
+  std::vector<WindowResult> out;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const TimeInterval& w = it->first;
+    if (w.end > watermark_) {
+      ++it;
+      continue;
+    }
+    // Recompute from the raw buffer: the naive strategy's defining cost.
+    AggState state = func_->Identity();
+    auto lo = buffer_.lower_bound(w.start);
+    auto hi = buffer_.lower_bound(w.end);
+    for (auto b = lo; b != hi; ++b) {
+      state = func_->Combine(state, func_->Lift(b->second));
+    }
+    out.push_back({w, func_->Lower(state)});
+    it = pending_.erase(it);
+  }
+  // Evict buffered elements all of whose windows have been emitted. For the
+  // stateless assigners the last window containing ts has the maximal end
+  // among AssignWindows(ts), which is monotone in ts, so a prefix scan works.
+  while (!buffer_.empty()) {
+    Timestamp ts = buffer_.begin()->first;
+    Timestamp max_end = kMinTimestamp;
+    for (const TimeInterval& w : assigner_->AssignWindows(ts)) {
+      max_end = std::max(max_end, w.end);
+    }
+    if (max_end > watermark_) break;
+    buffer_.erase(buffer_.begin());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WindowResult& a, const WindowResult& b) {
+              return a.window < b.window;
+            });
+  return out;
+}
+
+// ---- SlicingWindowAggregator ----
+
+Result<std::unique_ptr<SlicingWindowAggregator>> SlicingWindowAggregator::Make(
+    Duration size, Duration slide, std::shared_ptr<AggregateFunction> func) {
+  if (size <= 0 || slide <= 0) {
+    return Status::InvalidArgument("window size and slide must be positive");
+  }
+  if (size % slide != 0) {
+    return Status::InvalidArgument(
+        "slicing aggregation requires size to be a multiple of slide");
+  }
+  return std::unique_ptr<SlicingWindowAggregator>(
+      new SlicingWindowAggregator(size, slide, std::move(func)));
+}
+
+Status SlicingWindowAggregator::Add(Timestamp ts, const Value& v) {
+  if (ts < watermark_) {
+    return Status::LateData("element at " + std::to_string(ts) +
+                            " behind watermark " + std::to_string(watermark_));
+  }
+  Timestamp slice = SliceStart(ts);
+  auto it = slices_.find(slice);
+  if (it == slices_.end()) {
+    slices_.emplace(slice, func_->Lift(v));
+  } else {
+    it->second = func_->Combine(it->second, func_->Lift(v));
+  }
+  if (!has_data_) {
+    has_data_ = true;
+    min_ts_seen_ = ts;
+    if (!emitted_any_) next_window_end_ = SliceStart(ts) + slide_;
+  } else if (ts < min_ts_seen_) {
+    min_ts_seen_ = ts;
+    if (!emitted_any_) {
+      next_window_end_ = std::min(next_window_end_, SliceStart(ts) + slide_);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<WindowResult> SlicingWindowAggregator::AdvanceWatermark(
+    Timestamp watermark) {
+  std::vector<WindowResult> out;
+  if (watermark > watermark_) watermark_ = watermark;
+  if (!has_data_) return out;
+  while (next_window_end_ <= watermark_) {
+    if (slices_.empty()) {
+      // Nothing buffered: skip ahead to the first window end past the
+      // watermark, keeping grid alignment.
+      Timestamp gap = watermark_ - next_window_end_;
+      next_window_end_ += (gap / slide_ + 1) * slide_;
+      break;
+    }
+    Timestamp first_slice = slices_.begin()->first;
+    if (first_slice >= next_window_end_) {
+      // Skip empty windows up to the first window that contains data.
+      next_window_end_ = first_slice + slide_;
+      continue;
+    }
+    TimeInterval w{next_window_end_ - size_, next_window_end_};
+    AggState state = func_->Identity();
+    bool any = false;
+    auto lo = slices_.lower_bound(w.start);
+    for (auto it = lo; it != slices_.end() && it->first < w.end; ++it) {
+      state = func_->Combine(state, it->second);
+      any = true;
+    }
+    if (any) out.push_back({w, func_->Lower(state)});
+    emitted_any_ = true;
+    next_window_end_ += slide_;
+    // Evict slices whose last containing window has now been emitted.
+    while (!slices_.empty() &&
+           slices_.begin()->first + size_ < next_window_end_) {
+      slices_.erase(slices_.begin());
+    }
+  }
+  return out;
+}
+
+// ---- TwoStacksSlidingAggregator ----
+
+void TwoStacksSlidingAggregator::Push(const Value& v) {
+  Entry e;
+  e.lifted = func_->Lift(v);
+  e.agg = back_.empty() ? e.lifted : func_->Combine(back_.back().agg, e.lifted);
+  back_.push_back(std::move(e));
+}
+
+void TwoStacksSlidingAggregator::FlipIfNeeded() {
+  if (!front_.empty()) return;
+  while (!back_.empty()) {
+    Entry e = std::move(back_.back());
+    back_.pop_back();
+    e.agg = front_.empty() ? e.lifted
+                           : func_->Combine(e.lifted, front_.back().agg);
+    front_.push_back(std::move(e));
+  }
+}
+
+void TwoStacksSlidingAggregator::Pop() {
+  FlipIfNeeded();
+  front_.pop_back();
+}
+
+Value TwoStacksSlidingAggregator::Query() const {
+  if (front_.empty() && back_.empty()) {
+    return func_->Lower(func_->Identity());
+  }
+  if (front_.empty()) return func_->Lower(back_.back().agg);
+  if (back_.empty()) return func_->Lower(front_.back().agg);
+  return func_->Lower(func_->Combine(front_.back().agg, back_.back().agg));
+}
+
+}  // namespace cq

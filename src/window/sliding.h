@@ -1,0 +1,184 @@
+#ifndef CQ_WINDOW_SLIDING_H_
+#define CQ_WINDOW_SLIDING_H_
+
+/// \file sliding.h
+/// \brief Window-aggregation evaluation strategies (§4.1.3).
+///
+/// The survey highlights sliding-window aggregation as the "most delicate
+/// contact" between continuous querying and streaming systems, citing general
+/// window-aggregation frameworks (Scotty [87]) and window surveys [88]. We
+/// implement three evaluation strategies over the same (window, aggregate)
+/// specification so bench E2 can compare them:
+///
+///  - NaiveWindowAggregator: buffers raw tuples, recomputes each window from
+///    scratch — O(size) work per window.
+///  - SlicingWindowAggregator: stream slicing — partial aggregates per
+///    non-overlapping slice, each window result combines size/slide partials;
+///    each element is lifted exactly once (shared across overlapping
+///    windows).
+///  - TwoStacksSlidingAggregator: amortised O(1) insert/evict FIFO sliding
+///    aggregation for arbitrary (also non-invertible) aggregates, the classic
+///    two-stacks trick used for count-based windows.
+///  - RetractingAggregator: O(1) insert/evict for invertible aggregates via
+///    Retract.
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+#include "window/aggregate.h"
+#include "window/window.h"
+
+namespace cq {
+
+/// \brief A (window, aggregate value) result.
+struct WindowResult {
+  TimeInterval window;
+  Value value;
+
+  bool operator==(const WindowResult& other) const = default;
+};
+
+/// \brief Common interface: feed timestamped values, harvest results whose
+/// windows are complete when the event-time watermark passes.
+class WindowedAggregator {
+ public:
+  virtual ~WindowedAggregator() = default;
+
+  /// \brief Incorporates one element. Elements may arrive out of order up to
+  /// the current watermark; elements at or below the watermark are rejected
+  /// with Status::LateData.
+  virtual Status Add(Timestamp ts, const Value& v) = 0;
+
+  /// \brief Advances the watermark; returns results of every window whose
+  /// end <= watermark (ascending by window), each exactly once.
+  virtual std::vector<WindowResult> AdvanceWatermark(Timestamp watermark) = 0;
+
+  /// \brief Resident state footprint in "units" (buffered elements or
+  /// partial aggregates) — exposed so benches can report memory shape.
+  virtual size_t StateSize() const = 0;
+};
+
+/// \brief Baseline: buffer everything in-window, recompute per window.
+class NaiveWindowAggregator : public WindowedAggregator {
+ public:
+  NaiveWindowAggregator(std::shared_ptr<WindowAssigner> assigner,
+                        std::shared_ptr<AggregateFunction> func);
+
+  Status Add(Timestamp ts, const Value& v) override;
+  std::vector<WindowResult> AdvanceWatermark(Timestamp watermark) override;
+  size_t StateSize() const override { return buffer_.size(); }
+
+ private:
+  std::shared_ptr<WindowAssigner> assigner_;
+  std::shared_ptr<AggregateFunction> func_;
+  std::multimap<Timestamp, Value> buffer_;
+  // Ends of windows already emitted are < emitted_up_to_.
+  Timestamp watermark_ = kMinTimestamp;
+  // Pending windows keyed by interval, discovered on Add.
+  std::map<TimeInterval, bool> pending_;
+};
+
+/// \brief Stream slicing: one partial aggregate per slide-aligned slice.
+///
+/// Requires a sliding/tumbling window spec (size, slide) with size a
+/// multiple of slide for exact sharing; enforced at construction.
+class SlicingWindowAggregator : public WindowedAggregator {
+ public:
+  /// \brief Creates a slicing aggregator; size must be a positive multiple
+  /// of slide.
+  static Result<std::unique_ptr<SlicingWindowAggregator>> Make(
+      Duration size, Duration slide, std::shared_ptr<AggregateFunction> func);
+
+  Status Add(Timestamp ts, const Value& v) override;
+  std::vector<WindowResult> AdvanceWatermark(Timestamp watermark) override;
+  size_t StateSize() const override { return slices_.size(); }
+
+ private:
+  SlicingWindowAggregator(Duration size, Duration slide,
+                          std::shared_ptr<AggregateFunction> func)
+      : size_(size), slide_(slide), func_(std::move(func)) {}
+
+  Timestamp SliceStart(Timestamp ts) const {
+    Timestamp rem = ts % slide_;
+    if (rem < 0) rem += slide_;
+    return ts - rem;
+  }
+
+  Duration size_;
+  Duration slide_;
+  std::shared_ptr<AggregateFunction> func_;
+  std::map<Timestamp, AggState> slices_;  // slice start -> partial
+  Timestamp watermark_ = kMinTimestamp;
+  bool emitted_any_ = false;
+  Timestamp next_window_end_ = 0;  // valid once emitted_any_ or first Add
+  bool has_data_ = false;
+  Timestamp min_ts_seen_ = 0;
+};
+
+/// \brief Two-stacks FIFO aggregator: amortised O(1) push/evict for any
+/// associative aggregate, no invertibility required.
+///
+/// This is the evaluation core for count-based ("last N") windows and a
+/// building block for eager time-window evaluation.
+class TwoStacksSlidingAggregator {
+ public:
+  explicit TwoStacksSlidingAggregator(std::shared_ptr<AggregateFunction> func)
+      : func_(std::move(func)) {}
+
+  /// \brief Pushes a value at the back of the FIFO window.
+  void Push(const Value& v);
+
+  /// \brief Evicts the oldest value. Precondition: !Empty().
+  void Pop();
+
+  /// \brief Aggregate over the current window contents.
+  Value Query() const;
+
+  size_t Size() const { return front_.size() + back_.size(); }
+  bool Empty() const { return Size() == 0; }
+
+ private:
+  struct Entry {
+    AggState lifted;  // lift of this element
+    AggState agg;     // running combine (suffix for front, prefix for back)
+  };
+
+  void FlipIfNeeded();
+
+  std::shared_ptr<AggregateFunction> func_;
+  std::vector<Entry> front_;  // eviction side; agg = combine of this..bottom
+  std::vector<Entry> back_;   // insertion side; agg = combine of bottom..this
+};
+
+/// \brief O(1) insert/evict sliding aggregation for invertible aggregates.
+class RetractingAggregator {
+ public:
+  explicit RetractingAggregator(std::shared_ptr<AggregateFunction> func)
+      : func_(std::move(func)), state_(func_->Identity()) {}
+
+  void Push(const Value& v) {
+    state_ = func_->Combine(state_, func_->Lift(v));
+    window_.push_back(v);
+  }
+
+  void Pop() {
+    state_ = func_->Retract(state_, window_.front());
+    window_.pop_front();
+  }
+
+  Value Query() const { return func_->Lower(state_); }
+  size_t Size() const { return window_.size(); }
+
+ private:
+  std::shared_ptr<AggregateFunction> func_;
+  AggState state_;
+  std::deque<Value> window_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_WINDOW_SLIDING_H_

@@ -1,0 +1,144 @@
+#include "window/window.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cq {
+
+namespace {
+
+/// Floor of ts to the window grid defined by (size, offset), robust to
+/// negative timestamps.
+Timestamp AlignToGrid(Timestamp ts, Duration size, Timestamp offset) {
+  Timestamp shifted = ts - offset;
+  Timestamp rem = shifted % size;
+  if (rem < 0) rem += size;
+  return ts - rem;
+}
+
+}  // namespace
+
+TumblingWindowAssigner::TumblingWindowAssigner(Duration size, Timestamp offset)
+    : size_(size), offset_(offset) {
+  assert(size > 0 && "tumbling window size must be positive");
+}
+
+std::vector<TimeInterval> TumblingWindowAssigner::AssignWindows(
+    Timestamp ts) const {
+  Timestamp start = AlignToGrid(ts, size_, offset_);
+  return {{start, start + size_}};
+}
+
+std::string TumblingWindowAssigner::ToString() const {
+  return "Tumbling(size=" + std::to_string(size_) + ")";
+}
+
+SlidingWindowAssigner::SlidingWindowAssigner(Duration size, Duration slide,
+                                             Timestamp offset)
+    : size_(size), slide_(slide), offset_(offset) {
+  assert(size > 0 && slide > 0 && "sliding window size/slide must be positive");
+}
+
+std::vector<TimeInterval> SlidingWindowAssigner::AssignWindows(
+    Timestamp ts) const {
+  std::vector<TimeInterval> out;
+  // Last window that starts at or before ts.
+  Timestamp last_start = AlignToGrid(ts, slide_, offset_);
+  for (Timestamp start = last_start; start > ts - size_; start -= slide_) {
+    out.push_back({start, start + size_});
+  }
+  // Emit ascending by start for determinism.
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+size_t SlidingWindowAssigner::MaxWindowsPerElement() const {
+  return static_cast<size_t>((size_ + slide_ - 1) / slide_);
+}
+
+std::string SlidingWindowAssigner::ToString() const {
+  return "Sliding(size=" + std::to_string(size_) +
+         ", slide=" + std::to_string(slide_) + ")";
+}
+
+SessionWindowAssigner::SessionWindowAssigner(Duration gap) : gap_(gap) {
+  assert(gap > 0 && "session gap must be positive");
+}
+
+std::vector<TimeInterval> SessionWindowAssigner::AssignWindows(
+    Timestamp ts) const {
+  return {{ts, ts + gap_}};
+}
+
+std::string SessionWindowAssigner::ToString() const {
+  return "Session(gap=" + std::to_string(gap_) + ")";
+}
+
+TimeInterval SessionWindowMerger::AddElement(
+    Timestamp ts, std::vector<TimeInterval>* absorbed) {
+  TimeInterval proto{ts, ts + gap_};
+  // Find all active sessions overlapping (or touching) the proto window and
+  // merge them. Sessions touch if one's end >= other's start.
+  Timestamp merged_start = proto.start;
+  Timestamp merged_end = proto.end;
+  // First candidate: the last session starting at or before proto.start.
+  auto it = sessions_.upper_bound(proto.start);
+  if (it != sessions_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= proto.start) it = prev;
+  }
+  while (it != sessions_.end() && it->first <= merged_end) {
+    if (absorbed != nullptr) absorbed->push_back({it->first, it->second});
+    merged_start = std::min(merged_start, it->first);
+    merged_end = std::max(merged_end, it->second);
+    it = sessions_.erase(it);
+  }
+  sessions_[merged_start] = merged_end;
+  return {merged_start, merged_end};
+}
+
+std::vector<TimeInterval> SessionWindowMerger::CloseUpTo(Timestamp watermark) {
+  std::vector<TimeInterval> closed;
+  auto it = sessions_.begin();
+  while (it != sessions_.end() && it->second <= watermark) {
+    closed.push_back({it->first, it->second});
+    it = sessions_.erase(it);
+  }
+  return closed;
+}
+
+std::vector<TimeInterval> SessionWindowMerger::ActiveSessions() const {
+  std::vector<TimeInterval> out;
+  out.reserve(sessions_.size());
+  for (const auto& [s, e] : sessions_) out.push_back({s, e});
+  return out;
+}
+
+std::optional<Tuple> RowsWindow::Add(Tuple t) {
+  buffer_.push_back(std::move(t));
+  if (buffer_.size() > n_) {
+    Tuple evicted = std::move(buffer_.front());
+    buffer_.pop_front();
+    return evicted;
+  }
+  return std::nullopt;
+}
+
+std::optional<Tuple> PartitionedRowsWindow::Add(const Tuple& t) {
+  Tuple key = t.Project(key_indexes_);
+  auto it = partitions_.find(key);
+  if (it == partitions_.end()) {
+    it = partitions_.emplace(std::move(key), RowsWindow(n_)).first;
+  }
+  return it->second.Add(t);
+}
+
+std::vector<Tuple> PartitionedRowsWindow::Contents() const {
+  std::vector<Tuple> out;
+  for (const auto& [key, window] : partitions_) {
+    for (const auto& t : window.contents()) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace cq

@@ -1,0 +1,163 @@
+#ifndef CQ_WINDOW_WINDOW_H_
+#define CQ_WINDOW_WINDOW_H_
+
+/// \file window.h
+/// \brief Window operators (paper Definition 2.4 and §4.1.3).
+///
+/// Windows are functions W : T -> T x T that segment an unbounded stream
+/// into finite, queryable extents. We implement the window families the
+/// survey discusses: time-based tumbling, sliding (hopping), and session
+/// windows, plus tuple(count)-based and partitioned windows from CQL (§3.1).
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "types/tuple.h"
+
+namespace cq {
+
+/// \brief Assigns each event-time instant to the set of time windows it
+/// belongs to. Stateless; suitable for tumbling and sliding windows.
+class WindowAssigner {
+ public:
+  virtual ~WindowAssigner() = default;
+
+  /// \brief All windows containing an element with timestamp `ts`.
+  virtual std::vector<TimeInterval> AssignWindows(Timestamp ts) const = 0;
+
+  /// \brief Maximum number of windows a single element can belong to.
+  virtual size_t MaxWindowsPerElement() const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+/// \brief Tumbling windows: consecutive, non-overlapping intervals of fixed
+/// `size`, aligned to multiples of `size` plus `offset`.
+class TumblingWindowAssigner : public WindowAssigner {
+ public:
+  explicit TumblingWindowAssigner(Duration size, Timestamp offset = 0);
+
+  std::vector<TimeInterval> AssignWindows(Timestamp ts) const override;
+  size_t MaxWindowsPerElement() const override { return 1; }
+  std::string ToString() const override;
+
+  Duration size() const { return size_; }
+
+ private:
+  Duration size_;
+  Timestamp offset_;
+};
+
+/// \brief Sliding (hopping) windows: intervals of fixed `size` starting every
+/// `slide`; each element belongs to ceil(size/slide) windows.
+class SlidingWindowAssigner : public WindowAssigner {
+ public:
+  SlidingWindowAssigner(Duration size, Duration slide, Timestamp offset = 0);
+
+  std::vector<TimeInterval> AssignWindows(Timestamp ts) const override;
+  size_t MaxWindowsPerElement() const override;
+  std::string ToString() const override;
+
+  Duration size() const { return size_; }
+  Duration slide() const { return slide_; }
+
+ private:
+  Duration size_;
+  Duration slide_;
+  Timestamp offset_;
+};
+
+/// \brief Session windows: per-element proto-windows [ts, ts+gap) that are
+/// merged while they overlap. Unlike tumbling/sliding assigners, session
+/// windowing is stateful; SessionWindowMerger tracks the merge.
+class SessionWindowAssigner : public WindowAssigner {
+ public:
+  explicit SessionWindowAssigner(Duration gap);
+
+  std::vector<TimeInterval> AssignWindows(Timestamp ts) const override;
+  size_t MaxWindowsPerElement() const override { return 1; }
+  std::string ToString() const override;
+
+  Duration gap() const { return gap_; }
+
+ private:
+  Duration gap_;
+};
+
+/// \brief Incremental merger for session windows (one instance per key).
+///
+/// Feeding timestamps produces the current set of merged sessions; sessions
+/// whose end precedes the watermark are *closed* and can be emitted/expired.
+class SessionWindowMerger {
+ public:
+  explicit SessionWindowMerger(Duration gap) : gap_(gap) {}
+
+  /// \brief Incorporates an element; returns the merged session it now
+  /// belongs to. When `absorbed` is non-null it receives the pre-existing
+  /// sessions that were merged away (callers migrate per-session state).
+  TimeInterval AddElement(Timestamp ts,
+                          std::vector<TimeInterval>* absorbed = nullptr);
+
+  /// \brief Sessions with end <= watermark, removed from the active set.
+  std::vector<TimeInterval> CloseUpTo(Timestamp watermark);
+
+  /// \brief Currently open (unmerged-into-closed) sessions, ascending.
+  std::vector<TimeInterval> ActiveSessions() const;
+
+ private:
+  Duration gap_;
+  // start -> end of active sessions; non-overlapping by construction.
+  std::map<Timestamp, Timestamp> sessions_;
+};
+
+/// \brief CQL "[Rows N]": count-based window over arrival order — the last N
+/// tuples. Stateful sliding buffer; windows are defined on sequence numbers.
+class RowsWindow {
+ public:
+  explicit RowsWindow(size_t n) : n_(n) {}
+
+  /// \brief Appends a tuple; evicts the oldest once more than N are held.
+  /// Returns the evicted tuple if any.
+  std::optional<Tuple> Add(Tuple t);
+
+  const std::deque<Tuple>& contents() const { return buffer_; }
+  size_t size() const { return buffer_.size(); }
+  size_t capacity() const { return n_; }
+
+ private:
+  size_t n_;
+  std::deque<Tuple> buffer_;
+};
+
+/// \brief CQL "[Partition By k Rows N]": an independent RowsWindow per
+/// partition key — the last N tuples *per key*.
+class PartitionedRowsWindow {
+ public:
+  PartitionedRowsWindow(size_t n, std::vector<size_t> key_indexes)
+      : n_(n), key_indexes_(std::move(key_indexes)) {}
+
+  /// \brief Appends a tuple to its partition; returns any evicted tuple.
+  std::optional<Tuple> Add(const Tuple& t);
+
+  /// \brief Union of all per-partition window contents (deterministic order:
+  /// sorted by key, then arrival).
+  std::vector<Tuple> Contents() const;
+
+  size_t num_partitions() const { return partitions_.size(); }
+
+ private:
+  size_t n_;
+  std::vector<size_t> key_indexes_;
+  std::map<Tuple, RowsWindow> partitions_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_WINDOW_WINDOW_H_

@@ -1,0 +1,126 @@
+#include "workload/generators.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cq {
+
+ZipfGenerator::ZipfGenerator(size_t n, double s, uint64_t seed) : rng_(seed) {
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  dist_ = std::discrete_distribution<size_t>(weights.begin(), weights.end());
+}
+
+size_t ZipfGenerator::Next() { return dist_(rng_); }
+
+Timestamp TimestampGenerator::Next() {
+  base_ += step_;
+  Timestamp ts = base_;
+  if (max_disorder_ > 0) {
+    std::uniform_int_distribution<Duration> jitter(0, max_disorder_);
+    ts -= jitter(rng_);
+  }
+  if (ts > max_emitted_) max_emitted_ = ts;
+  return ts;
+}
+
+RoomWorkload MakeRoomWorkload(size_t num_persons, size_t num_observations,
+                              size_t num_rooms, double skew,
+                              Duration max_disorder, uint64_t seed) {
+  RoomWorkload w;
+  w.person_schema = Schema::Make(
+      {{"id", ValueType::kInt64}, {"name", ValueType::kString}});
+  w.observation_schema = Schema::Make(
+      {{"id", ValueType::kInt64}, {"room", ValueType::kString}});
+  w.persons.set_schema(w.person_schema);
+  w.observations.set_schema(w.observation_schema);
+
+  for (size_t i = 0; i < num_persons; ++i) {
+    w.persons.Append(Tuple({Value(static_cast<int64_t>(i)),
+                            Value("person-" + std::to_string(i))}),
+                     0);
+  }
+
+  ZipfGenerator person_picker(num_persons, skew, seed);
+  std::mt19937_64 rng(seed ^ 0x9e3779b9);
+  std::uniform_int_distribution<size_t> room_picker(0, num_rooms - 1);
+  TimestampGenerator ts_gen(0, 1, max_disorder, seed ^ 0x1234567);
+  for (size_t i = 0; i < num_observations; ++i) {
+    int64_t pid = static_cast<int64_t>(person_picker.Next());
+    std::string room = "room-" + std::to_string(room_picker(rng));
+    w.observations.Append(Tuple({Value(pid), Value(std::move(room))}),
+                          ts_gen.Next());
+  }
+  return w;
+}
+
+TransactionWorkload MakeTransactionWorkload(size_t num_transactions,
+                                            size_t num_accounts, double skew,
+                                            double max_amount,
+                                            Duration max_disorder,
+                                            uint64_t seed) {
+  TransactionWorkload w;
+  w.schema = Schema::Make({{"tid", ValueType::kInt64},
+                           {"account", ValueType::kInt64},
+                           {"amount", ValueType::kDouble}});
+  w.transactions.set_schema(w.schema);
+
+  ZipfGenerator account_picker(num_accounts, skew, seed);
+  std::mt19937_64 rng(seed ^ 0xabcdef);
+  std::uniform_real_distribution<double> amount(0.01, max_amount);
+  TimestampGenerator ts_gen(0, 1, max_disorder, seed ^ 0x7654321);
+  for (size_t i = 0; i < num_transactions; ++i) {
+    w.transactions.Append(
+        Tuple({Value(static_cast<int64_t>(i)),
+               Value(static_cast<int64_t>(account_picker.Next())),
+               Value(amount(rng))}),
+        ts_gen.Next());
+  }
+  return w;
+}
+
+std::vector<StreamingEdge> MakeGraphStream(size_t num_edges,
+                                           size_t num_vertices,
+                                           const std::vector<LabelId>& labels,
+                                           Duration step, uint64_t seed) {
+  std::vector<StreamingEdge> out;
+  out.reserve(num_edges);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<VertexId> vertex(
+      0, static_cast<VertexId>(num_vertices) - 1);
+  std::uniform_int_distribution<size_t> label(0, labels.size() - 1);
+  Timestamp ts = 0;
+  for (size_t i = 0; i < num_edges; ++i) {
+    ts += step;
+    StreamingEdge e;
+    e.src = vertex(rng);
+    do {
+      e.dst = vertex(rng);
+    } while (e.dst == e.src && num_vertices > 1);
+    e.label = labels[label(rng)];
+    e.ts = ts;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> MakeKvWorkload(
+    size_t n, size_t key_space, size_t value_size, uint64_t seed) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(n);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<size_t> key(0, key_space - 1);
+  std::uniform_int_distribution<int> byte('a', 'z');
+  for (size_t i = 0; i < n; ++i) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "key%08zu", key(rng));
+    std::string value(value_size, 'x');
+    for (auto& c : value) c = static_cast<char>(byte(rng));
+    out.emplace_back(buf, std::move(value));
+  }
+  return out;
+}
+
+}  // namespace cq

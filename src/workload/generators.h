@@ -1,0 +1,98 @@
+#ifndef CQ_WORKLOAD_GENERATORS_H_
+#define CQ_WORKLOAD_GENERATORS_H_
+
+/// \file generators.h
+/// \brief Seeded synthetic workload generators for benches and examples.
+///
+/// Substitutes for the real-world streams the survey motivates (sensor
+/// networks, transaction logs, social/graph streams): each generator exposes
+/// the parameters the experiments sweep — skew, out-of-orderness, rate,
+/// cardinality — and is deterministic under a fixed seed.
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "graph/property_graph.h"
+#include "stream/stream.h"
+#include "types/schema.h"
+
+namespace cq {
+
+/// \brief Zipf-distributed integer sampler over [0, n).
+class ZipfGenerator {
+ public:
+  /// \brief `s` is the skew exponent (0 = uniform; 1+ = heavy skew).
+  ZipfGenerator(size_t n, double s, uint64_t seed);
+
+  size_t Next();
+
+ private:
+  std::mt19937_64 rng_;
+  std::discrete_distribution<size_t> dist_;
+};
+
+/// \brief Event timestamps: mean inter-arrival `step`, out-of-order by up to
+/// `max_disorder` (0 = strictly ordered).
+class TimestampGenerator {
+ public:
+  TimestampGenerator(Timestamp start, Duration step, Duration max_disorder,
+                     uint64_t seed)
+      : rng_(seed), base_(start), step_(step), max_disorder_(max_disorder) {}
+
+  Timestamp Next();
+
+  /// \brief Largest timestamp emitted so far.
+  Timestamp MaxEmitted() const { return max_emitted_; }
+
+ private:
+  std::mt19937_64 rng_;
+  Timestamp base_;
+  Duration step_;
+  Duration max_disorder_;
+  Timestamp max_emitted_ = kMinTimestamp;
+};
+
+/// \brief Listing 1 workload: Person and RoomObservation streams.
+struct RoomWorkload {
+  SchemaPtr person_schema;       // (id INT64, name STRING)
+  SchemaPtr observation_schema;  // (id INT64, room STRING)
+  BoundedStream persons;
+  BoundedStream observations;
+};
+
+/// \brief Generates `num_persons` person records at t=0..,
+/// `num_observations` observations across `num_rooms` rooms with Zipf person
+/// skew and bounded disorder.
+RoomWorkload MakeRoomWorkload(size_t num_persons, size_t num_observations,
+                              size_t num_rooms, double skew,
+                              Duration max_disorder, uint64_t seed);
+
+/// \brief Listing 2 workload: transactions (tid, account, amount).
+struct TransactionWorkload {
+  SchemaPtr schema;  // (tid INT64, account INT64, amount DOUBLE)
+  BoundedStream transactions;
+};
+
+TransactionWorkload MakeTransactionWorkload(size_t num_transactions,
+                                            size_t num_accounts, double skew,
+                                            double max_amount,
+                                            Duration max_disorder,
+                                            uint64_t seed);
+
+/// \brief Streaming-graph workload: timestamped labeled edges over
+/// `num_vertices` vertices; labels drawn uniformly from `labels`.
+std::vector<StreamingEdge> MakeGraphStream(size_t num_edges,
+                                           size_t num_vertices,
+                                           const std::vector<LabelId>& labels,
+                                           Duration step, uint64_t seed);
+
+/// \brief Key-value workload for the KV-store bench: `n` (key, value) pairs
+/// with keys "key########" drawn uniformly from a space of `key_space`.
+std::vector<std::pair<std::string, std::string>> MakeKvWorkload(
+    size_t n, size_t key_space, size_t value_size, uint64_t seed);
+
+}  // namespace cq
+
+#endif  // CQ_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "window/sliding.h"
+
+namespace cq {
+namespace {
+
+TEST(AggregateFunctionTest, CountLiftCombineLower) {
+  CountAggregate f;
+  AggState s = f.Combine(f.Lift(Value(int64_t{5})), f.Lift(Value(int64_t{7})));
+  EXPECT_EQ(f.Lower(s), Value(int64_t{2}));
+  // NULLs are not counted (SQL semantics).
+  s = f.Combine(s, f.Lift(Value()));
+  EXPECT_EQ(f.Lower(s), Value(int64_t{2}));
+  EXPECT_TRUE(f.Invertible());
+  EXPECT_EQ(f.Lower(f.Retract(s, Value(int64_t{5}))), Value(int64_t{1}));
+}
+
+TEST(AggregateFunctionTest, SumOfEmptyIsNull) {
+  SumAggregate f;
+  EXPECT_TRUE(f.Lower(f.Identity()).is_null());
+  AggState s = f.Lift(Value(2.5));
+  EXPECT_EQ(f.Lower(s), Value(2.5));
+}
+
+TEST(AggregateFunctionTest, AvgComputesMean) {
+  AvgAggregate f;
+  AggState s = f.Identity();
+  for (int v : {2, 4, 6}) s = f.Combine(s, f.Lift(Value(int64_t{v})));
+  EXPECT_EQ(f.Lower(s), Value(4.0));
+  s = f.Retract(s, Value(int64_t{6}));
+  EXPECT_EQ(f.Lower(s), Value(3.0));
+}
+
+TEST(AggregateFunctionTest, MinMaxIgnoreNulls) {
+  MinAggregate mn;
+  MaxAggregate mx;
+  AggState smin = mn.Combine(mn.Lift(Value()), mn.Lift(Value(int64_t{3})));
+  smin = mn.Combine(smin, mn.Lift(Value(int64_t{1})));
+  EXPECT_EQ(mn.Lower(smin), Value(int64_t{1}));
+  AggState smax = mx.Combine(mx.Lift(Value(int64_t{3})), mx.Lift(Value()));
+  EXPECT_EQ(mx.Lower(smax), Value(int64_t{3}));
+  EXPECT_FALSE(mn.Invertible());
+  EXPECT_FALSE(mx.Invertible());
+}
+
+TEST(AggregateFunctionTest, FactoryMakesAllKinds) {
+  for (AggregateKind k :
+       {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+        AggregateKind::kMax, AggregateKind::kAvg}) {
+    auto f = AggregateFunction::Make(k);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->kind(), k);
+  }
+}
+
+// Combine must be associative — the precondition for slicing and two-stacks.
+class CombineAssociativityTest
+    : public ::testing::TestWithParam<AggregateKind> {};
+
+TEST_P(CombineAssociativityTest, Associative) {
+  auto f = AggregateFunction::Make(GetParam());
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int64_t> val(-50, 50);
+  for (int trial = 0; trial < 50; ++trial) {
+    AggState a = f->Lift(Value(val(rng)));
+    AggState b = f->Lift(Value(val(rng)));
+    AggState c = f->Lift(Value(val(rng)));
+    Value left = f->Lower(f->Combine(f->Combine(a, b), c));
+    Value right = f->Lower(f->Combine(a, f->Combine(b, c)));
+    EXPECT_EQ(left, right);
+    // Identity is neutral.
+    EXPECT_EQ(f->Lower(f->Combine(f->Identity(), a)), f->Lower(a));
+    EXPECT_EQ(f->Lower(f->Combine(a, f->Identity())), f->Lower(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, CombineAssociativityTest,
+                         ::testing::Values(AggregateKind::kCount,
+                                           AggregateKind::kSum,
+                                           AggregateKind::kMin,
+                                           AggregateKind::kMax,
+                                           AggregateKind::kAvg));
+
+TEST(TwoStacksTest, FifoAggregationMatchesDirect) {
+  auto f = std::shared_ptr<AggregateFunction>(
+      AggregateFunction::Make(AggregateKind::kMax));
+  TwoStacksSlidingAggregator agg(f);
+  agg.Push(Value(int64_t{3}));
+  agg.Push(Value(int64_t{9}));
+  agg.Push(Value(int64_t{5}));
+  EXPECT_EQ(agg.Query(), Value(int64_t{9}));
+  agg.Pop();  // remove 3
+  EXPECT_EQ(agg.Query(), Value(int64_t{9}));
+  agg.Pop();  // remove 9 — max must fall to 5 (non-invertible case!)
+  EXPECT_EQ(agg.Query(), Value(int64_t{5}));
+  agg.Pop();
+  EXPECT_TRUE(agg.Empty());
+  EXPECT_TRUE(agg.Query().is_null());
+}
+
+// Property: two-stacks == brute force over a random push/pop sequence, for
+// every aggregate kind.
+class TwoStacksPropertyTest : public ::testing::TestWithParam<AggregateKind> {
+};
+
+TEST_P(TwoStacksPropertyTest, MatchesBruteForce) {
+  auto f = std::shared_ptr<AggregateFunction>(
+      AggregateFunction::Make(GetParam()));
+  TwoStacksSlidingAggregator agg(f);
+  std::deque<Value> reference;
+  std::mt19937_64 rng(GetParam() == AggregateKind::kSum ? 11 : 13);
+  std::uniform_int_distribution<int64_t> val(-100, 100);
+  std::uniform_int_distribution<int> coin(0, 2);
+  for (int step = 0; step < 500; ++step) {
+    if (reference.empty() || coin(rng) != 0) {
+      Value v(val(rng));
+      agg.Push(v);
+      reference.push_back(v);
+    } else {
+      agg.Pop();
+      reference.pop_front();
+    }
+    AggState direct = f->Identity();
+    for (const auto& v : reference) direct = f->Combine(direct, f->Lift(v));
+    ASSERT_EQ(agg.Query(), f->Lower(direct)) << "step " << step;
+    ASSERT_EQ(agg.Size(), reference.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, TwoStacksPropertyTest,
+                         ::testing::Values(AggregateKind::kCount,
+                                           AggregateKind::kSum,
+                                           AggregateKind::kMin,
+                                           AggregateKind::kMax,
+                                           AggregateKind::kAvg));
+
+TEST(RetractingTest, MatchesTwoStacksForInvertible) {
+  auto f = std::shared_ptr<AggregateFunction>(
+      AggregateFunction::Make(AggregateKind::kSum));
+  RetractingAggregator ret(f);
+  TwoStacksSlidingAggregator ts(f);
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<int64_t> val(-20, 20);
+  for (int i = 0; i < 100; ++i) {
+    Value v(val(rng));
+    ret.Push(v);
+    ts.Push(v);
+    if (i % 3 == 2) {
+      ret.Pop();
+      ts.Pop();
+    }
+    EXPECT_EQ(ret.Query(), ts.Query());
+  }
+}
+
+// ---- Windowed aggregators: slicing vs naive reference ----
+
+struct WindowAggCase {
+  Duration size;
+  Duration slide;
+  AggregateKind kind;
+  Duration disorder;
+};
+
+class WindowedAggEquivalenceTest
+    : public ::testing::TestWithParam<WindowAggCase> {};
+
+TEST_P(WindowedAggEquivalenceTest, SlicingMatchesNaive) {
+  const WindowAggCase& c = GetParam();
+  auto assigner = std::make_shared<SlidingWindowAssigner>(c.size, c.slide);
+  auto naive_func = std::shared_ptr<AggregateFunction>(
+      AggregateFunction::Make(c.kind));
+  NaiveWindowAggregator naive(assigner, naive_func);
+  auto slicing_or = SlicingWindowAggregator::Make(c.size, c.slide, naive_func);
+  ASSERT_TRUE(slicing_or.ok()) << slicing_or.status().ToString();
+  auto& slicing = *slicing_or.value();
+
+  std::mt19937_64 rng(777);
+  std::uniform_int_distribution<int64_t> val(-100, 100);
+  std::uniform_int_distribution<Duration> jitter(0, c.disorder);
+
+  std::vector<WindowResult> naive_results, slicing_results;
+  Timestamp base = 0;
+  for (int i = 0; i < 400; ++i) {
+    base += 2;
+    Timestamp ts = base - jitter(rng);
+    Value v(val(rng));
+    ASSERT_TRUE(naive.Add(ts, v).ok());
+    ASSERT_TRUE(slicing.Add(ts, v).ok());
+    if (i % 20 == 19) {
+      Timestamp wm = base - c.disorder;
+      for (auto& r : naive.AdvanceWatermark(wm)) naive_results.push_back(r);
+      for (auto& r : slicing.AdvanceWatermark(wm)) {
+        slicing_results.push_back(r);
+      }
+    }
+  }
+  Timestamp final_wm = base + c.size + 1;
+  for (auto& r : naive.AdvanceWatermark(final_wm)) naive_results.push_back(r);
+  for (auto& r : slicing.AdvanceWatermark(final_wm)) {
+    slicing_results.push_back(r);
+  }
+  ASSERT_EQ(naive_results.size(), slicing_results.size());
+  for (size_t i = 0; i < naive_results.size(); ++i) {
+    EXPECT_EQ(naive_results[i].window, slicing_results[i].window) << i;
+    EXPECT_EQ(naive_results[i].value, slicing_results[i].value)
+        << "window " << naive_results[i].window.ToString();
+  }
+  // After everything expired, slicing state is bounded by the window span.
+  EXPECT_LE(slicing.StateSize(), static_cast<size_t>(c.size / c.slide) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WindowedAggEquivalenceTest,
+    ::testing::Values(WindowAggCase{20, 5, AggregateKind::kSum, 0},
+                      WindowAggCase{20, 5, AggregateKind::kMax, 6},
+                      WindowAggCase{50, 10, AggregateKind::kCount, 10},
+                      WindowAggCase{16, 4, AggregateKind::kAvg, 3},
+                      WindowAggCase{30, 30, AggregateKind::kMin, 5},
+                      WindowAggCase{12, 3, AggregateKind::kSum, 12}));
+
+TEST(SlicingTest, RejectsNonDivisibleSlide) {
+  auto func = std::shared_ptr<AggregateFunction>(
+      AggregateFunction::Make(AggregateKind::kSum));
+  EXPECT_TRUE(SlicingWindowAggregator::Make(10, 3, func)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SlicingWindowAggregator::Make(0, 1, func)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(WindowedAggTest, LateDataRejected) {
+  auto assigner = std::make_shared<TumblingWindowAssigner>(10);
+  auto func = std::shared_ptr<AggregateFunction>(
+      AggregateFunction::Make(AggregateKind::kCount));
+  NaiveWindowAggregator agg(assigner, func);
+  ASSERT_TRUE(agg.Add(5, Value(int64_t{1})).ok());
+  agg.AdvanceWatermark(20);
+  EXPECT_TRUE(agg.Add(15, Value(int64_t{1})).IsLateData());
+  EXPECT_TRUE(agg.Add(20, Value(int64_t{1})).ok());
+}
+
+TEST(WindowedAggTest, EmptyWindowsNotEmitted) {
+  auto func = std::shared_ptr<AggregateFunction>(
+      AggregateFunction::Make(AggregateKind::kCount));
+  auto slicing = std::move(SlicingWindowAggregator::Make(10, 10, func)).value();
+  ASSERT_TRUE(slicing->Add(5, Value(int64_t{1})).ok());
+  // Big time gap: windows between 10 and 1000 are empty and skipped.
+  ASSERT_TRUE(slicing->Add(1005, Value(int64_t{1})).ok());
+  auto results = slicing->AdvanceWatermark(2000);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].window, (TimeInterval{0, 10}));
+  EXPECT_EQ(results[1].window, (TimeInterval{1000, 1010}));
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "cep/pattern.h"
+#include "dataflow/executor.h"
+#include "dataflow/operators.h"
+
+namespace cq {
+namespace {
+
+// Events: (account, kind, amount); kind 0 = login, 1 = transfer, 2 = logout.
+Tuple Ev(int64_t account, int64_t kind, int64_t amount) {
+  return Tuple({Value(account), Value(kind), Value(amount)});
+}
+
+CepPattern LoginTransferPattern(ContiguityPolicy policy, Duration within) {
+  CepPattern p;
+  p.steps.push_back({"login", Eq(Col(1), Lit(int64_t{0}))});
+  p.steps.push_back(
+      {"big-transfer", And(Eq(Col(1), Lit(int64_t{1})),
+                           Gt(Col(2), Lit(int64_t{1000})))});
+  p.within = within;
+  p.key_indexes = {0};
+  p.policy = policy;
+  return p;
+}
+
+TEST(PatternMatcherTest, BasicSequenceMatch) {
+  PatternMatcher m(LoginTransferPattern(ContiguityPolicy::kSkipTillNext, 0));
+  EXPECT_TRUE(m.Advance(Ev(1, 0, 0), 1)->empty());     // login
+  EXPECT_TRUE(m.Advance(Ev(1, 1, 50), 2)->empty());    // small transfer: skip
+  auto matches = *m.Advance(Ev(1, 1, 5000), 3);        // big transfer
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].key, Tuple({Value(int64_t{1})}));
+  EXPECT_EQ(matches[0].start, 1);
+  EXPECT_EQ(matches[0].end, 3);
+  ASSERT_EQ(matches[0].events.size(), 2u);
+  EXPECT_EQ(matches[0].events[1], Ev(1, 1, 5000));
+}
+
+TEST(PatternMatcherTest, KeysAreIndependent) {
+  PatternMatcher m(LoginTransferPattern(ContiguityPolicy::kSkipTillNext, 0));
+  EXPECT_TRUE(m.Advance(Ev(1, 0, 0), 1)->empty());
+  // Account 2's transfer cannot use account 1's login.
+  EXPECT_TRUE(m.Advance(Ev(2, 1, 9999), 2)->empty());
+  EXPECT_EQ(m.PartialRuns(), 1u);
+}
+
+TEST(PatternMatcherTest, StrictContiguityKillsRunOnGap) {
+  PatternMatcher m(
+      LoginTransferPattern(ContiguityPolicy::kStrictContiguity, 0));
+  EXPECT_TRUE(m.Advance(Ev(1, 0, 0), 1)->empty());    // login
+  EXPECT_TRUE(m.Advance(Ev(1, 2, 0), 2)->empty());    // logout: kills the run
+  EXPECT_TRUE(m.Advance(Ev(1, 1, 5000), 3)->empty()); // too late
+  EXPECT_EQ(m.PartialRuns(), 0u);
+}
+
+TEST(PatternMatcherTest, SkipTillNextDoesNotBranch) {
+  PatternMatcher m(LoginTransferPattern(ContiguityPolicy::kSkipTillNext, 0));
+  EXPECT_TRUE(m.Advance(Ev(1, 0, 0), 1)->empty());
+  auto m1 = *m.Advance(Ev(1, 1, 2000), 2);
+  ASSERT_EQ(m1.size(), 1u);
+  // The run was consumed: a second big transfer does not rematch.
+  EXPECT_TRUE(m.Advance(Ev(1, 1, 3000), 3)->empty());
+}
+
+TEST(PatternMatcherTest, SkipTillAnyFindsAllCombinations) {
+  PatternMatcher m(LoginTransferPattern(ContiguityPolicy::kSkipTillAny, 0));
+  EXPECT_TRUE(m.Advance(Ev(1, 0, 0), 1)->empty());
+  EXPECT_EQ(m.Advance(Ev(1, 1, 2000), 2)->size(), 1u);
+  // The partial run survives under skip-till-any: both transfers match.
+  EXPECT_EQ(m.Advance(Ev(1, 1, 3000), 3)->size(), 1u);
+  // Two logins then a transfer: two matches at once.
+  PatternMatcher m2(LoginTransferPattern(ContiguityPolicy::kSkipTillAny, 0));
+  EXPECT_TRUE(m2.Advance(Ev(7, 0, 0), 1)->empty());
+  EXPECT_TRUE(m2.Advance(Ev(7, 0, 0), 2)->empty());
+  EXPECT_EQ(m2.Advance(Ev(7, 1, 2000), 3)->size(), 2u);
+}
+
+TEST(PatternMatcherTest, WithinWindowExpiresRuns) {
+  PatternMatcher m(LoginTransferPattern(ContiguityPolicy::kSkipTillNext, 10));
+  EXPECT_TRUE(m.Advance(Ev(1, 0, 0), 1)->empty());
+  // 15 ticks later: outside WITHIN, no match.
+  EXPECT_TRUE(m.Advance(Ev(1, 1, 5000), 16)->empty());
+  // Explicit expiry prunes state.
+  EXPECT_TRUE(m.Advance(Ev(2, 0, 0), 20)->empty());
+  m.ExpireBefore(40);
+  EXPECT_EQ(m.PartialRuns(), 0u);
+}
+
+TEST(PatternMatcherTest, SingleStepPatternMatchesImmediately) {
+  CepPattern p;
+  p.steps.push_back({"any-big", Gt(Col(2), Lit(int64_t{100}))});
+  p.key_indexes = {0};
+  PatternMatcher m(p);
+  EXPECT_EQ(m.Advance(Ev(1, 1, 500), 1)->size(), 1u);
+  EXPECT_TRUE(m.Advance(Ev(1, 1, 50), 2)->empty());
+}
+
+TEST(CepOperatorTest, EmitsMatchRecordsInPipeline) {
+  auto g = std::make_unique<DataflowGraph>();
+  NodeId src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+  auto cep = std::make_unique<CepOperator>(
+      "cep", LoginTransferPattern(ContiguityPolicy::kSkipTillNext, 10));
+  auto* op = cep.get();
+  NodeId pattern = g->AddNode(std::move(cep));
+  BoundedStream out;
+  NodeId sink = g->AddNode(std::make_unique<CollectSinkOperator>("sink", &out));
+  ASSERT_TRUE(g->Connect(src, pattern).ok());
+  ASSERT_TRUE(g->Connect(pattern, sink).ok());
+  PipelineExecutor exec(std::move(g));
+
+  ASSERT_TRUE(exec.PushRecord(src, Ev(1, 0, 0), 1).ok());
+  ASSERT_TRUE(exec.PushRecord(src, Ev(2, 0, 0), 2).ok());
+  ASSERT_TRUE(exec.PushRecord(src, Ev(1, 1, 5000), 4).ok());
+  ASSERT_TRUE(exec.PushWatermark(src, 50).ok());
+  ASSERT_TRUE(exec.PushRecord(src, Ev(2, 1, 9000), 60).ok());  // expired run
+
+  ASSERT_EQ(out.num_records(), 1u);
+  EXPECT_EQ(out.at(0).tuple,
+            Tuple({Value(int64_t{1}), Value(int64_t{1}), Value(int64_t{4})}));
+  EXPECT_EQ(out.at(0).timestamp, 4);
+  EXPECT_EQ(op->matches(), 1u);
+  // Watermark pruned account 2's stale login run.
+  EXPECT_EQ(op->StateSize(), 0u);
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/chaining.h"
+#include "dataflow/executor.h"
+#include "dataflow/operators.h"
+#include "dataflow/window_operator.h"
+
+namespace cq {
+namespace {
+
+Tuple T2(int64_t k, int64_t v) { return Tuple({Value(k), Value(v)}); }
+
+std::unique_ptr<DataflowGraph> LinearGraph(BoundedStream* out, NodeId* src) {
+  auto g = std::make_unique<DataflowGraph>();
+  *src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+  NodeId f = g->AddNode(std::make_unique<FilterOperator>(
+      "filter", Gt(Col(1), Lit(int64_t{5}))));
+  NodeId m = g->AddNode(std::make_unique<MapOperator>(
+      "double", [](const Tuple& t) -> Result<Tuple> {
+        return Tuple({t[0], *Value::Multiply(t[1], Value(int64_t{2}))});
+      }));
+  NodeId p = g->AddNode(std::make_unique<ProjectOperator>(
+      "proj", std::vector<ExprPtr>{Col(1)}));
+  NodeId sink = g->AddNode(std::make_unique<CollectSinkOperator>("sink", out));
+  EXPECT_TRUE(g->Connect(*src, f).ok());
+  EXPECT_TRUE(g->Connect(f, m).ok());
+  EXPECT_TRUE(g->Connect(m, p).ok());
+  EXPECT_TRUE(g->Connect(p, sink).ok());
+  return g;
+}
+
+TEST(ChainingTest, LinearStatelessChainFusesToOneNode) {
+  BoundedStream out;
+  NodeId src;
+  auto g = LinearGraph(&out, &src);
+  std::vector<NodeId> mapping;
+  size_t fused = 0;
+  auto fused_graph = std::move(FuseChains(std::move(g), &mapping, &fused)).value();
+  EXPECT_EQ(fused_graph->num_nodes(), 1u);  // everything fused
+  EXPECT_EQ(fused, 4u);
+  EXPECT_EQ(mapping[src], 0u);
+}
+
+TEST(ChainingTest, FusedPipelineProducesIdenticalResults) {
+  BoundedStream plain_out, fused_out;
+  NodeId src_plain, src_fused;
+  auto plain = LinearGraph(&plain_out, &src_plain);
+  auto to_fuse = LinearGraph(&fused_out, &src_fused);
+  std::vector<NodeId> mapping;
+  size_t fused = 0;
+  auto fused_graph = std::move(FuseChains(std::move(to_fuse), &mapping, &fused)).value();
+
+  PipelineExecutor plain_exec(std::move(plain));
+  PipelineExecutor fused_exec(std::move(fused_graph));
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(plain_exec.PushRecord(src_plain, T2(i, i % 13), i).ok());
+    ASSERT_TRUE(
+        fused_exec.PushRecord(mapping[src_fused], T2(i, i % 13), i).ok());
+  }
+  ASSERT_EQ(plain_out.num_records(), fused_out.num_records());
+  for (size_t i = 0; i < plain_out.num_records(); ++i) {
+    EXPECT_EQ(plain_out.at(i).tuple, fused_out.at(i).tuple);
+    EXPECT_EQ(plain_out.at(i).timestamp, fused_out.at(i).timestamp);
+  }
+}
+
+TEST(ChainingTest, StatefulOperatorBreaksChains) {
+  BoundedStream out;
+  auto g = std::make_unique<DataflowGraph>();
+  NodeId src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+  NodeId f = g->AddNode(std::make_unique<FilterOperator>(
+      "f", Gt(Col(1), Lit(int64_t{0}))));
+  WindowedAggregateConfig cfg;
+  cfg.assigner = std::make_shared<TumblingWindowAssigner>(10);
+  cfg.key_indexes = {0};
+  cfg.aggs.push_back({AggregateKind::kCount, nullptr, "c"});
+  NodeId win = g->AddNode(
+      std::make_unique<WindowedAggregateOperator>("win", std::move(cfg)));
+  NodeId m = g->AddNode(std::make_unique<MapOperator>(
+      "m", [](const Tuple& t) -> Result<Tuple> { return t; }));
+  NodeId sink = g->AddNode(std::make_unique<CollectSinkOperator>("sink", &out));
+  ASSERT_TRUE(g->Connect(src, f).ok());
+  ASSERT_TRUE(g->Connect(f, win).ok());
+  ASSERT_TRUE(g->Connect(win, m).ok());
+  ASSERT_TRUE(g->Connect(m, sink).ok());
+
+  std::vector<NodeId> mapping;
+  size_t fused = 0;
+  auto fused_graph = std::move(FuseChains(std::move(g), &mapping, &fused)).value();
+  // src+f fuse; win stays alone (stateful); m+sink fuse: 3 nodes.
+  EXPECT_EQ(fused_graph->num_nodes(), 3u);
+  EXPECT_EQ(fused, 2u);
+
+  // The fused pipeline still windows correctly end to end.
+  PipelineExecutor exec(std::move(fused_graph));
+  NodeId fsrc = mapping[src];
+  ASSERT_TRUE(exec.PushRecord(fsrc, T2(1, 3), 1).ok());
+  ASSERT_TRUE(exec.PushRecord(fsrc, T2(1, 4), 5).ok());
+  ASSERT_TRUE(exec.PushWatermark(fsrc, 20).ok());
+  ASSERT_EQ(out.num_records(), 1u);
+  EXPECT_EQ(out.at(0).tuple[3], Value(int64_t{2}));
+}
+
+TEST(ChainingTest, FanOutBreaksChains) {
+  BoundedStream out1, out2;
+  auto g = std::make_unique<DataflowGraph>();
+  NodeId src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+  NodeId s1 = g->AddNode(std::make_unique<CollectSinkOperator>("s1", &out1));
+  NodeId s2 = g->AddNode(std::make_unique<CollectSinkOperator>("s2", &out2));
+  ASSERT_TRUE(g->Connect(src, s1).ok());
+  ASSERT_TRUE(g->Connect(src, s2).ok());
+  size_t fused = 0;
+  auto fused_graph = std::move(FuseChains(std::move(g), nullptr, &fused)).value();
+  EXPECT_EQ(fused_graph->num_nodes(), 3u);  // fan-out cannot fuse
+  EXPECT_EQ(fused, 0u);
+}
+
+TEST(ChainingTest, ChainedOperatorPropagatesErrors) {
+  std::vector<std::unique_ptr<Operator>> stages;
+  stages.push_back(std::make_unique<MapOperator>(
+      "ok", [](const Tuple& t) -> Result<Tuple> { return t; }));
+  stages.push_back(std::make_unique<MapOperator>(
+      "bad", [](const Tuple&) -> Result<Tuple> {
+        return Status::Internal("stage failure");
+      }));
+  ChainedOperator chain(std::move(stages));
+  EXPECT_EQ(chain.num_stages(), 2u);
+  class NullCollector : public Collector {
+   public:
+    void Emit(StreamElement) override {}
+  } sink;
+  OperatorContext ctx;
+  Status st = chain.ProcessElement(0, StreamElement::Record(T2(1, 1), 1), ctx,
+                                   &sink);
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace cq

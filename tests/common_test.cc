@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace cq {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad window size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad window size");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad window size");
+}
+
+TEST(StatusTest, CopyAndMove) {
+  Status s = Status::NotFound("x");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsNotFound());
+  EXPECT_TRUE(s.IsNotFound());
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsNotFound());
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= 12; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("past the end"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> Doubled(Result<int> in) {
+  CQ_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_TRUE(Doubled(Status::Internal("boom")).status().code() ==
+              StatusCode::kInternal);
+}
+
+TEST(TimeIntervalTest, ContainsAndOverlap) {
+  TimeInterval a{10, 20};
+  EXPECT_TRUE(a.Contains(10));
+  EXPECT_TRUE(a.Contains(19));
+  EXPECT_FALSE(a.Contains(20));  // end exclusive
+  EXPECT_FALSE(a.Contains(9));
+  EXPECT_EQ(a.Length(), 10);
+  EXPECT_EQ(a.MaxTimestamp(), 19);
+
+  EXPECT_TRUE(a.Overlaps({19, 25}));
+  EXPECT_FALSE(a.Overlaps({20, 25}));  // touching, half-open
+  EXPECT_TRUE(a.Overlaps({0, 11}));
+  EXPECT_FALSE(a.Overlaps({0, 10}));
+}
+
+TEST(TimeIntervalTest, IntersectAndOrdering) {
+  TimeInterval a{10, 20}, b{15, 30};
+  EXPECT_EQ(a.Intersect(b), (TimeInterval{15, 20}));
+  EXPECT_TRUE(a.Intersect({25, 30}).Empty());
+  EXPECT_TRUE(a < b);
+  EXPECT_EQ(a.ToString(), "[10, 20)");
+}
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 150);
+  clock.Set(10);
+  EXPECT_EQ(clock.Now(), 10);
+}
+
+TEST(ClockTest, SystemClockIsMonotonicEnough) {
+  SystemClock clock;
+  Timestamp a = clock.Now();
+  Timestamp b = clock.Now();
+  EXPECT_GE(b, a);
+  EXPECT_GT(a, 1600000000000LL);  // after Sep 2020: sanity on the epoch unit
+}
+
+TEST(HashTest, Fnv1aIsStableAcrossCalls) {
+  EXPECT_EQ(Fnv1a64("stream"), Fnv1a64("stream"));
+  EXPECT_NE(Fnv1a64("stream"), Fnv1a64("table"));
+  // Known FNV-1a vector: empty string hashes to the offset basis.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ULL);
+}
+
+TEST(HashTest, MixU64Scrambles) {
+  EXPECT_NE(MixU64(1), MixU64(2));
+  EXPECT_EQ(MixU64(7), MixU64(7));
+}
+
+TEST(LoggingTest, LevelFilteringAndStreaming) {
+  Logger& logger = Logger::Instance();
+  LogLevel original = logger.level();
+  logger.set_level(LogLevel::kError);
+  EXPECT_EQ(logger.level(), LogLevel::kError);
+  // Below-threshold logging is a no-op (no crash, no output assertions
+  // needed — the call path itself is what we exercise).
+  CQ_LOG(kDebug) << "suppressed " << 42;
+  CQ_LOG(kInfo) << "suppressed too";
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_EQ(logger.level(), LogLevel::kWarn);
+  logger.set_level(original);
+}
+
+TEST(TimeDomainTest, Names) {
+  EXPECT_STREQ(TimeDomainToString(TimeDomain::kEventTime), "event-time");
+  EXPECT_STREQ(TimeDomainToString(TimeDomain::kProcessingTime),
+               "processing-time");
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cql/continuous_query.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+Tuple T2(int64_t a, int64_t b) { return Tuple({Value(a), Value(b)}); }
+
+SchemaPtr KV() {
+  return Schema::Make({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+}
+
+/// The Listing 1 query shape: count of joined person/observation rows over a
+/// 15-tick window.
+ContinuousQuery ListingOneQuery(const RoomWorkload& w) {
+  ContinuousQuery q;
+  q.input_windows = {S2RSpec::Unbounded(), S2RSpec::Range(15)};
+  auto persons = RelOp::Scan(0, w.person_schema->Qualified("P"));
+  auto obs = RelOp::Scan(1, w.observation_schema->Qualified("O"));
+  auto join = *RelOp::Join(persons, obs, {0}, {0});
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggregateKind::kCount, Col(0), "COUNT(P.id)"});
+  q.plan = *RelOp::Aggregate(join, {}, aggs);
+  q.output = R2SKind::kRStream;
+  return q;
+}
+
+TEST(ReferenceExecutorTest, ResultAtMatchesManualEvaluation) {
+  RoomWorkload w = MakeRoomWorkload(5, 30, 3, 0.5, 0, 42);
+  ContinuousQuery q = ListingOneQuery(w);
+  std::vector<const BoundedStream*> inputs{&w.persons, &w.observations};
+
+  Timestamp tau = 20;
+  MultisetRelation result = *ReferenceExecutor::ResultAt(q, inputs, tau);
+  // Manual: count observations with ts in (5, 20] whose id joins a person
+  // (all ids join by construction).
+  int64_t expected = 0;
+  for (const auto& e : w.observations) {
+    if (e.is_record() && e.timestamp > 5 && e.timestamp <= 20) ++expected;
+  }
+  ASSERT_EQ(result.NumDistinct(), 1u);
+  EXPECT_EQ(result.entries().begin()->first, Tuple({Value(expected)}));
+}
+
+TEST(ReferenceExecutorTest, Definition23CumulativeResults) {
+  // A windowless (unbounded) selection: the continuous result at tau is
+  // exactly the one-shot query over the stream prefix up to tau.
+  BoundedStream s;
+  for (int i = 1; i <= 10; ++i) s.Append(T2(i, i * 10), i);
+  ContinuousQuery q;
+  q.input_windows = {S2RSpec::Unbounded()};
+  q.plan = *RelOp::Select(RelOp::Scan(0, KV()), Gt(Col(1), Lit(int64_t{40})));
+  q.output = R2SKind::kRelation;
+  std::vector<const BoundedStream*> inputs{&s};
+
+  for (Timestamp tau : {3, 5, 8, 10}) {
+    MultisetRelation continuous = *ReferenceExecutor::ResultAt(q, inputs, tau);
+    // One-shot query over prefix.
+    MultisetRelation prefix;
+    for (const auto& e : s.UpTo(tau)) {
+      if (e.is_record()) prefix.Add(e.tuple, 1);
+    }
+    MultisetRelation one_shot = *q.plan->Eval({prefix});
+    EXPECT_EQ(continuous, one_shot) << "tau=" << tau;
+  }
+}
+
+TEST(ReferenceExecutorTest, MaterializeRelationTracksChanges) {
+  BoundedStream s;
+  s.Append(T2(1, 100), 10);
+  s.Append(T2(2, 50), 20);
+  ContinuousQuery q;
+  q.input_windows = {S2RSpec::Range(15)};
+  q.plan = RelOp::Scan(0, KV());
+  q.output = R2SKind::kRelation;
+  std::vector<const BoundedStream*> inputs{&s};
+  std::vector<Timestamp> ticks = ReferenceExecutor::DefaultTicks(q, inputs);
+
+  TimeVaryingRelation tvr =
+      *ReferenceExecutor::MaterializeRelation(q, inputs, ticks);
+  EXPECT_EQ(tvr.At(10).Cardinality(), 1);
+  EXPECT_EQ(tvr.At(20).Cardinality(), 2);
+  // Tuple at ts 10 expires at 25; but DefaultTicks only includes instants up
+  // to the max record timestamp, so the expiry at 25 is beyond the horizon.
+  EXPECT_EQ(ticks.back(), 20);
+}
+
+TEST(ReferenceExecutorTest, ExecuteIStreamEmitsWindowEntries) {
+  BoundedStream s;
+  s.Append(T2(1, 1), 10);
+  s.Append(T2(2, 2), 12);
+  ContinuousQuery q;
+  q.input_windows = {S2RSpec::Range(5)};
+  q.plan = RelOp::Scan(0, KV());
+  q.output = R2SKind::kIStream;
+  std::vector<const BoundedStream*> inputs{&s};
+  BoundedStream out =
+      *ReferenceExecutor::Execute(q, inputs, {10, 11, 12, 15, 16, 17});
+  // Insertions at 10 and 12 only.
+  ASSERT_EQ(out.num_records(), 2u);
+  EXPECT_EQ(out.at(0).timestamp, 10);
+  EXPECT_EQ(out.at(1).timestamp, 12);
+
+  q.output = R2SKind::kDStream;
+  BoundedStream deletions =
+      *ReferenceExecutor::Execute(q, inputs, {10, 11, 12, 15, 16, 17});
+  // Expiries: ts10 leaves at 15, ts12 at 17 (validity [ts, ts+5)).
+  ASSERT_EQ(deletions.num_records(), 2u);
+  EXPECT_EQ(deletions.at(0).timestamp, 15);
+  EXPECT_EQ(deletions.at(1).timestamp, 17);
+}
+
+TEST(BabcockSellisTest, EqualsCqlForMonotonicQueries) {
+  // Barbara et al.: the union interpretation coincides with re-execution
+  // exactly for monotonic queries over append-only streams.
+  BoundedStream s;
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<int64_t> val(0, 9);
+  for (int i = 1; i <= 20; ++i) s.Append(T2(val(rng), val(rng)), i);
+  std::vector<const BoundedStream*> inputs{&s};
+  std::vector<Timestamp> ticks;
+  for (Timestamp t = 1; t <= 20; ++t) ticks.push_back(t);
+
+  auto monotonic = *RelOp::Select(RelOp::Scan(0, KV()),
+                                  Gt(Col(1), Lit(int64_t{4})));
+  MultisetRelation union_result =
+      *BabcockSellisResult(monotonic, inputs, ticks, 20);
+  MultisetRelation prefix;
+  for (const auto& e : s) {
+    if (e.is_record()) prefix.Add(e.tuple, 1);
+  }
+  MultisetRelation reexec = monotonic->Eval({prefix})->Distinct();
+  EXPECT_EQ(union_result, reexec);
+}
+
+TEST(BabcockSellisTest, DivergesForNonMonotonicQueries) {
+  // MAX over a growing stream: the union semantics accumulates stale maxima
+  // that re-execution does not report.
+  BoundedStream s;
+  s.Append(T2(1, 5), 1);
+  s.Append(T2(1, 9), 2);
+  std::vector<const BoundedStream*> inputs{&s};
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggregateKind::kMax, Col(1), "m"});
+  auto plan = *RelOp::Aggregate(RelOp::Scan(0, KV()), {}, aggs);
+  ASSERT_FALSE(plan->IsMonotonic());
+
+  MultisetRelation union_result =
+      *BabcockSellisResult(plan, inputs, {1, 2}, 2);
+  EXPECT_EQ(union_result.NumDistinct(), 2u);  // stale max 5 retained
+
+  MultisetRelation prefix;
+  prefix.Add(T2(1, 5), 1);
+  prefix.Add(T2(1, 9), 1);
+  MultisetRelation reexec = *plan->Eval({prefix});
+  EXPECT_EQ(reexec.NumDistinct(), 1u);
+  EXPECT_NE(union_result, reexec);
+}
+
+// Property: the incremental executor tracks full re-evaluation for every
+// plan shape, over random insert/delete sequences.
+struct IncCase {
+  const char* name;
+  bool deletions;
+};
+
+class IncrementalExecutorTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalExecutorTest, MatchesRecomputeOnRandomUpdates) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> val(0, 4);
+
+  // Plans covering linear, bilinear and fallback operators.
+  std::vector<RelOpPtr> plans;
+  auto scan0 = RelOp::Scan(0, KV());
+  auto scan1 = RelOp::Scan(1, KV());
+  plans.push_back(*RelOp::Select(scan0, Gt(Col(1), Lit(int64_t{1}))));
+  plans.push_back(*RelOp::Project(scan0, {Col(1)},
+                                  {{"v", ValueType::kInt64}}));
+  plans.push_back(*RelOp::Join(scan0, scan1, {0}, {0}));
+  plans.push_back(*RelOp::Union(scan0, scan1));
+  plans.push_back(*RelOp::Distinct(scan0));
+  plans.push_back(*RelOp::Except(scan0, scan1));
+  plans.push_back(*RelOp::Intersect(scan0, scan1));
+  {
+    std::vector<AggSpec> aggs;
+    aggs.push_back({AggregateKind::kSum, Col(1), "s"});
+    aggs.push_back({AggregateKind::kCount, nullptr, "c"});
+    plans.push_back(*RelOp::Aggregate(scan0, {0}, aggs));
+  }
+  {
+    auto join = *RelOp::Join(scan0, scan1, {0}, {0});
+    auto sel = *RelOp::Select(join, Gt(Col(3), Lit(int64_t{0})));
+    std::vector<AggSpec> aggs;
+    aggs.push_back({AggregateKind::kCount, nullptr, "c"});
+    plans.push_back(*RelOp::Aggregate(sel, {0}, aggs));
+  }
+  // Theta join (inequality predicate): exercises the non-indexed bilinear
+  // path.
+  plans.push_back(*RelOp::ThetaJoin(scan0, scan1, Lt(Col(1), Col(3))));
+  // Equi-join with residual predicate.
+  plans.push_back(
+      *RelOp::Join(scan0, scan1, {0}, {0}, Gt(Col(1), Col(3))));
+  // MIN/MAX maintenance under deletions (ordered-multiset retraction).
+  {
+    std::vector<AggSpec> aggs;
+    aggs.push_back({AggregateKind::kMin, Col(1), "lo"});
+    aggs.push_back({AggregateKind::kMax, Col(1), "hi"});
+    aggs.push_back({AggregateKind::kAvg, Col(1), "mean"});
+    plans.push_back(*RelOp::Aggregate(scan0, {0}, aggs));
+  }
+  // Global (scalar) aggregate: the always-present identity row.
+  {
+    std::vector<AggSpec> aggs;
+    aggs.push_back({AggregateKind::kCount, nullptr, "c"});
+    aggs.push_back({AggregateKind::kSum, Col(1), "s"});
+    plans.push_back(*RelOp::Aggregate(scan0, {}, aggs));
+  }
+  // Distinct over a union over a join (stacked non-linear operators).
+  {
+    auto join = *RelOp::Join(scan0, scan1, {0}, {0});
+    auto proj = *RelOp::Project(join, {Col(0), Col(3)},
+                                {{"k", ValueType::kInt64},
+                                 {"v", ValueType::kInt64}});
+    plans.push_back(*RelOp::Distinct(*RelOp::Union(proj, scan0)));
+  }
+
+  for (const auto& plan : plans) {
+    IncrementalPlanExecutor inc(plan, 2);
+    std::vector<MultisetRelation> tables(2);
+    for (int step = 0; step < 30; ++step) {
+      std::vector<MultisetRelation> deltas(2);
+      std::uniform_int_distribution<int> which(0, 1);
+      int slot = which(rng);
+      Tuple t = T2(val(rng), val(rng));
+      // Mostly inserts; deletes only of present tuples (append-mostly).
+      if (step % 5 == 4 && tables[slot].Count(t) > 0) {
+        deltas[slot].Add(t, -1);
+      } else {
+        deltas[slot].Add(t, 1);
+      }
+      tables[0] = tables[0].Plus(deltas[0]);
+      tables[1] = tables[1].Plus(deltas[1]);
+      ASSERT_TRUE(inc.ApplyDeltas(deltas).ok());
+      MultisetRelation expected = *plan->Eval(tables);
+      ASSERT_EQ(inc.current_output(), expected)
+          << "step " << step << "\n"
+          << plan->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalExecutorTest,
+                         ::testing::Values(1, 7, 99, 1234));
+
+TEST(ContinuousQueryTest, ToStringDescribesQuery) {
+  RoomWorkload w = MakeRoomWorkload(2, 5, 2, 0.0, 0, 1);
+  ContinuousQuery q = ListingOneQuery(w);
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("[Range 15]"), std::string::npos);
+  EXPECT_NE(s.find("RStream"), std::string::npos);
+  EXPECT_NE(s.find("Aggregate"), std::string::npos);
+}
+
+TEST(ContinuousQueryTest, InputArityMismatchIsError) {
+  ContinuousQuery q;
+  q.input_windows = {S2RSpec::Unbounded(), S2RSpec::Unbounded()};
+  q.plan = RelOp::Scan(0, KV());
+  BoundedStream s;
+  std::vector<const BoundedStream*> inputs{&s};
+  EXPECT_FALSE(ReferenceExecutor::ResultAt(q, inputs, 0).ok());
+}
+
+}  // namespace
+}  // namespace cq

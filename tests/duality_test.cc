@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "duality/kstream.h"
+
+namespace cq {
+namespace {
+
+Tuple T1(int64_t a) { return Tuple({Value(a)}); }
+Tuple T2(int64_t a, int64_t b) { return Tuple({Value(a), Value(b)}); }
+
+BoundedStream Transactions() {
+  // (account, amount) records, Listing 2 shape.
+  BoundedStream s;
+  s.Append(T2(1, 50), 1);
+  s.Append(T2(2, 150), 2);
+  s.Append(T2(1, 200), 3);
+  s.Append(T2(2, 30), 4);
+  s.Append(T2(3, 500), 5);
+  return s;
+}
+
+TEST(KStreamTest, FilterMapChainListing2Style) {
+  // transactions.filter(amount > 100).map(amount * 2) — Listing 2's shape.
+  KStream s = KStream::From(Transactions());
+  KStream filtered = s.Filter(Gt(Col(1), Lit(int64_t{100})));
+  EXPECT_EQ(filtered.size(), 3u);
+  KStream mapped = *filtered.Map([](const Tuple& t) -> Result<Tuple> {
+    return Tuple({t[0], *Value::Multiply(t[1], Value(int64_t{2}))});
+  });
+  EXPECT_EQ(mapped.stream().at(0).tuple, T2(2, 300));
+  EXPECT_EQ(mapped.stream().at(1).tuple, T2(1, 400));
+  EXPECT_EQ(mapped.stream().at(2).tuple, T2(3, 1000));
+}
+
+TEST(KStreamTest, FlatMapAndMerge) {
+  KStream s = KStream::From(Transactions());
+  KStream doubled = *s.FlatMap([](const Tuple& t) {
+    return Result<std::vector<Tuple>>(std::vector<Tuple>{t, t});
+  });
+  EXPECT_EQ(doubled.size(), 10u);
+  KStream merged = s.Merge(s);
+  EXPECT_EQ(merged.size(), 10u);
+  EXPECT_TRUE(merged.stream().IsOrdered());
+}
+
+TEST(KGroupedStreamTest, CountPerKey) {
+  KTable counts = *KStream::From(Transactions()).GroupBy({0}).Count();
+  const auto& m = counts.Materialized();
+  EXPECT_EQ(m.at(T1(1)), T1(2));
+  EXPECT_EQ(m.at(T1(2)), T1(2));
+  EXPECT_EQ(m.at(T1(3)), T1(1));
+  // Changelog has one entry per input record (continuous refinement).
+  EXPECT_EQ(counts.Changelog().size(), 5u);
+}
+
+TEST(KGroupedStreamTest, SumAggregate) {
+  KTable sums = *KStream::From(Transactions())
+                     .GroupBy({0})
+                     .Aggregate(AggregateKind::kSum, Col(1));
+  EXPECT_EQ(sums.Materialized().at(T1(1)), Tuple({Value(250.0)}));
+  EXPECT_EQ(sums.Materialized().at(T1(2)), Tuple({Value(180.0)}));
+}
+
+TEST(KGroupedStreamTest, ReduceKeepsLatestShape) {
+  // Reduce: keep the transaction with the larger amount per account.
+  KTable maxes = *KStream::From(Transactions())
+                      .GroupBy({0})
+                      .Reduce([](const Tuple& a, const Tuple& b) {
+                        return Result<Tuple>(a[1] >= b[1] ? a : b);
+                      });
+  EXPECT_EQ(maxes.Materialized().at(T1(1)), T2(1, 200));
+  EXPECT_EQ(maxes.Materialized().at(T1(2)), T2(2, 150));
+}
+
+TEST(KGroupedStreamTest, WindowedAggregate) {
+  TumblingWindowAssigner win(2);  // windows [0,2) [2,4) [4,6)
+  KTable t = *KStream::From(Transactions())
+                  .GroupBy({0})
+                  .WindowedAggregate(win, AggregateKind::kCount, nullptr);
+  // Key layout: (account, win_start, win_end).
+  const auto& m = t.Materialized();
+  EXPECT_EQ(m.at(Tuple({Value(int64_t{1}), Value(int64_t{0}),
+                        Value(int64_t{2})})),
+            T1(1));
+  EXPECT_EQ(m.at(Tuple({Value(int64_t{1}), Value(int64_t{2}),
+                        Value(int64_t{4})})),
+            T1(1));
+  EXPECT_EQ(m.at(Tuple({Value(int64_t{2}), Value(int64_t{2}),
+                        Value(int64_t{4})})),
+            T1(1));
+}
+
+TEST(KTableTest, AsOfReplaysHistory) {
+  KTable counts = *KStream::From(Transactions()).GroupBy({0}).Count();
+  auto at2 = counts.AsOf(2);
+  EXPECT_EQ(at2.at(T1(1)), T1(1));
+  EXPECT_EQ(at2.at(T1(2)), T1(1));
+  EXPECT_EQ(at2.count(T1(3)), 0u);
+  auto at5 = counts.AsOf(5);
+  EXPECT_EQ(at5.at(T1(1)), T1(2));
+}
+
+TEST(KTableTest, FilterEmitsTombstonesOnExit) {
+  // Count table filtered to counts >= 2: key 1 enters the view at its second
+  // transaction; a key leaving the view must emit a tombstone.
+  KTable counts = *KStream::From(Transactions()).GroupBy({0}).Count();
+  KTable big = counts.Filter([](const Tuple&, const Tuple& v) {
+    return v[0] >= Value(int64_t{2});
+  });
+  EXPECT_EQ(big.Materialized().size(), 2u);  // keys 1 and 2
+
+  // Reverse filter: keys drop out as their counts grow — tombstones appear.
+  KTable small = counts.Filter([](const Tuple&, const Tuple& v) {
+    return v[0] < Value(int64_t{2});
+  });
+  EXPECT_EQ(small.Materialized().size(), 1u);  // only key 3
+  bool has_tombstone = false;
+  for (const auto& c : small.Changelog()) {
+    if (c.is_tombstone()) has_tombstone = true;
+  }
+  EXPECT_TRUE(has_tombstone);
+}
+
+TEST(KTableTest, MapValuesTransforms) {
+  KTable counts = *KStream::From(Transactions()).GroupBy({0}).Count();
+  KTable doubled = *counts.MapValues([](const Tuple& v) -> Result<Tuple> {
+    return Tuple({*Value::Multiply(v[0], Value(int64_t{10}))});
+  });
+  EXPECT_EQ(doubled.Materialized().at(T1(1)), T1(20));
+}
+
+TEST(KTableTest, ToStreamIsTheDuality) {
+  KTable counts = *KStream::From(Transactions()).GroupBy({0}).Count();
+  KStream changes = counts.ToStream();
+  // One record per upsert: key ++ value.
+  EXPECT_EQ(changes.size(), 5u);
+  EXPECT_EQ(changes.stream().at(0).tuple, T2(1, 1));
+  EXPECT_EQ(changes.stream().at(4).tuple, T2(3, 1));
+}
+
+TEST(KStreamTest, JoinTableSeesAsOfVersions) {
+  // Enrichment join: each transaction joins the running count *as of its
+  // own timestamp* (temporal correctness of the changelog cursor).
+  KStream txs = KStream::From(Transactions());
+  KTable counts = *txs.GroupBy({0}).Count();
+  KStream enriched = *txs.JoinTable(counts, {0});
+  ASSERT_EQ(enriched.size(), 5u);
+  // First transaction of account 1 sees count 1; the second sees 2.
+  EXPECT_EQ(enriched.stream().at(0).tuple,
+            Tuple({Value(int64_t{1}), Value(int64_t{50}), Value(int64_t{1})}));
+  EXPECT_EQ(enriched.stream().at(2).tuple,
+            Tuple({Value(int64_t{1}), Value(int64_t{200}),
+                   Value(int64_t{2})}));
+}
+
+TEST(KStreamTest, JoinTableDropsUnmatched) {
+  BoundedStream right;
+  right.Append(T2(1, 100), 0);
+  KTable table = KTable::FromChangelog({{T1(1), T1(100), 0}});
+  KStream left = KStream::From(Transactions());
+  KStream joined = *left.JoinTable(table, {0});
+  // Only account-1 records match.
+  EXPECT_EQ(joined.size(), 2u);
+}
+
+TEST(KTableTest, TombstoneRemovesFromMaterialization) {
+  std::vector<Change> log;
+  log.push_back({T1(1), T1(10), 1});
+  log.push_back({T1(1), std::nullopt, 2});  // delete
+  KTable t = KTable::FromChangelog(std::move(log));
+  EXPECT_TRUE(t.Materialized().empty());
+  EXPECT_EQ(t.AsOf(1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dataflow/executor.h"
+#include "dataflow/operators.h"
+#include "dataflow/parallel.h"
+
+namespace cq {
+namespace {
+
+Tuple T(int64_t v) { return Tuple({Value(v)}); }
+
+/// Operator that fails on a poisoned value — failure-injection fixture.
+class PoisonOperator : public Operator {
+ public:
+  explicit PoisonOperator(int64_t poison)
+      : Operator("poison"), poison_(poison) {}
+  Status ProcessElement(size_t, const StreamElement& element,
+                        const OperatorContext&, Collector* out) override {
+    if (element.tuple[0] == Value(poison_)) {
+      return Status::Internal("poisoned tuple reached the operator");
+    }
+    out->Emit(element);
+    return Status::OK();
+  }
+
+ private:
+  int64_t poison_;
+};
+
+TEST(ExecutorFailureTest, OperatorErrorSurfacesThroughPush) {
+  auto g = std::make_unique<DataflowGraph>();
+  NodeId src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+  NodeId poison = g->AddNode(std::make_unique<PoisonOperator>(13));
+  BoundedStream out;
+  NodeId sink = g->AddNode(std::make_unique<CollectSinkOperator>("sink", &out));
+  ASSERT_TRUE(g->Connect(src, poison).ok());
+  ASSERT_TRUE(g->Connect(poison, sink).ok());
+  PipelineExecutor exec(std::move(g));
+
+  EXPECT_TRUE(exec.PushRecord(src, T(1), 1).ok());
+  Status st = exec.PushRecord(src, T(13), 2);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  // The pipeline remains usable for subsequent good input.
+  EXPECT_TRUE(exec.PushRecord(src, T(2), 3).ok());
+  EXPECT_EQ(out.num_records(), 2u);
+}
+
+TEST(ExecutorFailureTest, DeepPipelineErrorFromMidOperator) {
+  // The error originates three hops downstream of the push site.
+  auto g = std::make_unique<DataflowGraph>();
+  NodeId src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+  NodeId m1 = g->AddNode(std::make_unique<MapOperator>(
+      "ok1", [](const Tuple& t) -> Result<Tuple> { return t; }));
+  NodeId bad = g->AddNode(std::make_unique<MapOperator>(
+      "bad", [](const Tuple& t) -> Result<Tuple> {
+        if (t[0] > Value(int64_t{5})) {
+          return Status::InvalidArgument("value too large");
+        }
+        return t;
+      }));
+  BoundedStream out;
+  NodeId sink = g->AddNode(std::make_unique<CollectSinkOperator>("sink", &out));
+  ASSERT_TRUE(g->Connect(src, m1).ok());
+  ASSERT_TRUE(g->Connect(m1, bad).ok());
+  ASSERT_TRUE(g->Connect(bad, sink).ok());
+  PipelineExecutor exec(std::move(g));
+  EXPECT_TRUE(exec.PushRecord(src, T(3), 1).ok());
+  EXPECT_TRUE(exec.PushRecord(src, T(9), 2).IsInvalidArgument());
+}
+
+TEST(ExecutorFailureTest, PushToUnknownNodeRejected) {
+  auto g = std::make_unique<DataflowGraph>();
+  g->AddNode(std::make_unique<PassThroughOperator>("src"));
+  PipelineExecutor exec(std::move(g));
+  EXPECT_TRUE(exec.PushRecord(99, T(1), 1).IsInvalidArgument());
+}
+
+TEST(ParallelFailureTest, WorkerErrorReportedAtFinish) {
+  ParallelPipeline pipeline(
+      2,
+      [](size_t) -> Result<WorkerPipeline> {
+        WorkerPipeline p;
+        p.output = std::make_unique<BoundedStream>();
+        auto g = std::make_unique<DataflowGraph>();
+        p.source = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+        NodeId poison = g->AddNode(std::make_unique<PoisonOperator>(7));
+        NodeId sink = g->AddNode(
+            std::make_unique<CollectSinkOperator>("sink", p.output.get()));
+        CQ_RETURN_NOT_OK(g->Connect(p.source, poison));
+        CQ_RETURN_NOT_OK(g->Connect(poison, sink));
+        p.executor = std::make_unique<PipelineExecutor>(std::move(g));
+        return p;
+      },
+      ProjectKeyFn({0}));
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pipeline.Send(T(i), i).ok());  // includes the poisoned 7
+  }
+  Result<BoundedStream> result = pipeline.Finish();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ParallelFailureTest, FactoryErrorFailsStart) {
+  ParallelPipeline pipeline(
+      3,
+      [](size_t i) -> Result<WorkerPipeline> {
+        if (i == 2) return Status::IOError("worker 2 cannot start");
+        WorkerPipeline p;
+        p.output = std::make_unique<BoundedStream>();
+        auto g = std::make_unique<DataflowGraph>();
+        p.source = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+        NodeId sink = g->AddNode(
+            std::make_unique<CollectSinkOperator>("sink", p.output.get()));
+        CQ_RETURN_NOT_OK(g->Connect(p.source, sink));
+        p.executor = std::make_unique<PipelineExecutor>(std::move(g));
+        return p;
+      },
+      ProjectKeyFn({0}));
+  EXPECT_TRUE(pipeline.Start().code() == StatusCode::kIOError);
+}
+
+TEST(MailboxFailureTest, BoundedCapacityBlocksAndDrains) {
+  Mailbox box(4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(box.Push(StreamElement::Record(T(i), i)).ok());
+  }
+  EXPECT_EQ(box.size(), 4u);
+  // A fifth push blocks until a consumer drains; do it from another thread.
+  std::thread producer([&box] {
+    Status st = box.Push(StreamElement::Record(T(99), 99));
+    EXPECT_TRUE(st.ok());
+  });
+  StreamElement e;
+  ASSERT_TRUE(box.Pop(&e));
+  producer.join();
+  EXPECT_EQ(box.size(), 4u);
+  box.Close();
+  size_t drained = 0;
+  while (box.Pop(&e)) ++drained;
+  EXPECT_EQ(drained, 4u);
+}
+
+}  // namespace
+}  // namespace cq

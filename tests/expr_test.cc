@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "cql/expr.h"
+
+namespace cq {
+namespace {
+
+Tuple Row() {
+  return Tuple({Value(int64_t{10}), Value("alice"), Value(2.5), Value(),
+                Value(true)});
+}
+
+TEST(ExprTest, ColumnRefEvaluates) {
+  EXPECT_EQ(*Col(0)->Eval(Row()), Value(int64_t{10}));
+  EXPECT_EQ(*Col(1)->Eval(Row()), Value("alice"));
+  EXPECT_TRUE(Col(99)->Eval(Row()).status().IsOutOfRange());
+}
+
+TEST(ExprTest, LiteralEvaluates) {
+  EXPECT_EQ(*Lit(int64_t{7})->Eval(Row()), Value(int64_t{7}));
+  EXPECT_EQ(*Lit("x")->Eval(Row()), Value("x"));
+}
+
+TEST(ExprTest, ComparisonOperators) {
+  Tuple r = Row();
+  EXPECT_EQ(*Eq(Col(0), Lit(int64_t{10}))->Eval(r), Value(true));
+  EXPECT_EQ(*Lt(Col(0), Lit(int64_t{5}))->Eval(r), Value(false));
+  EXPECT_EQ(*Gt(Col(2), Lit(2.0))->Eval(r), Value(true));
+  EXPECT_EQ(*Bin(BinaryOp::kNe, Col(1), Lit("bob"))->Eval(r), Value(true));
+  EXPECT_EQ(*Bin(BinaryOp::kLe, Col(0), Lit(int64_t{10}))->Eval(r),
+            Value(true));
+  EXPECT_EQ(*Bin(BinaryOp::kGe, Col(0), Lit(int64_t{11}))->Eval(r),
+            Value(false));
+}
+
+TEST(ExprTest, NullComparisonYieldsNull) {
+  // SQL three-valued logic: NULL = anything is NULL.
+  EXPECT_TRUE(Eq(Col(3), Lit(int64_t{1}))->Eval(Row())->is_null());
+  EXPECT_FALSE(Eq(Col(3), Lit(int64_t{1}))->Matches(Row()));
+}
+
+TEST(ExprTest, ArithmeticNesting) {
+  // (c0 + 5) * 2 = 30.
+  auto e = Bin(BinaryOp::kMul, Bin(BinaryOp::kAdd, Col(0), Lit(int64_t{5})),
+               Lit(int64_t{2}));
+  EXPECT_EQ(*e->Eval(Row()), Value(int64_t{30}));
+}
+
+TEST(ExprTest, AndOrShortCircuit) {
+  Tuple r = Row();
+  // false AND <error> -> false without evaluating the error side.
+  auto error_side = Bin(BinaryOp::kAdd, Col(1), Col(4));  // string + bool
+  EXPECT_EQ(*And(Lit(Value(false)), error_side)->Eval(r), Value(false));
+  EXPECT_EQ(*Or(Lit(Value(true)), error_side)->Eval(r), Value(true));
+  // true AND <error> propagates the error.
+  EXPECT_FALSE(And(Lit(Value(true)), error_side)->Eval(r).ok());
+}
+
+TEST(ExprTest, NotAndIsNull) {
+  Tuple r = Row();
+  EXPECT_EQ(*Not(Lit(Value(false)))->Eval(r), Value(true));
+  EXPECT_TRUE(Not(Lit(Value()))->Eval(r)->is_null());
+  IsNullExpr isnull(Col(3), false);
+  EXPECT_EQ(*isnull.Eval(r), Value(true));
+  IsNullExpr isnotnull(Col(3), true);
+  EXPECT_EQ(*isnotnull.Eval(r), Value(false));
+  IsNullExpr notnull_col(Col(0), false);
+  EXPECT_EQ(*notnull_col.Eval(r), Value(false));
+}
+
+TEST(ExprTest, TypeErrorsSurface) {
+  Tuple r = Row();
+  EXPECT_TRUE(And(Lit(int64_t{1}), Lit(Value(true)))->Eval(r)
+                  .status()
+                  .IsTypeError());
+  EXPECT_TRUE(Not(Lit(int64_t{1}))->Eval(r).status().IsTypeError());
+}
+
+TEST(ExprTest, MatchesCollapsesToBool) {
+  Tuple r = Row();
+  EXPECT_TRUE(Eq(Col(0), Lit(int64_t{10}))->Matches(r));
+  EXPECT_FALSE(Eq(Col(0), Lit(int64_t{11}))->Matches(r));
+  EXPECT_FALSE(Lit(int64_t{1})->Matches(r));  // non-bool: no match
+}
+
+TEST(ExprTest, CollectColumns) {
+  auto e = And(Eq(Col(0), Lit(int64_t{1})), Gt(Col(2), Col(4)));
+  std::vector<size_t> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<size_t>{0, 2, 4}));
+}
+
+TEST(ExprTest, ToStringReadable) {
+  auto e = And(Eq(Col(0, "P.id"), Col(1, "O.id")),
+               Gt(Col(2, "amount"), Lit(int64_t{100})));
+  EXPECT_EQ(e->ToString(), "((P.id = O.id) AND (amount > 100))");
+}
+
+TEST(ExprTest, NegExprNegatesNumerics) {
+  NegExpr neg(Col(0));
+  EXPECT_EQ(*neg.Eval(Row()), Value(int64_t{-10}));
+  NegExpr neg_str(Col(1));
+  EXPECT_TRUE(neg_str.Eval(Row()).status().IsTypeError());
+}
+
+}  // namespace
+}  // namespace cq

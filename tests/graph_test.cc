@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/streaming_rpq.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+StreamingEdge E(VertexId s, VertexId d, LabelId l, Timestamp ts = 0) {
+  StreamingEdge e;
+  e.src = s;
+  e.dst = d;
+  e.label = l;
+  e.ts = ts;
+  return e;
+}
+
+TEST(LabelRegistryTest, InternAndLookup) {
+  LabelRegistry reg;
+  LabelId follows = reg.Intern("follows");
+  EXPECT_EQ(reg.Intern("follows"), follows);
+  LabelId posts = reg.Intern("posts");
+  EXPECT_NE(follows, posts);
+  EXPECT_EQ(*reg.Lookup("posts"), posts);
+  EXPECT_TRUE(reg.Lookup("missing").status().IsNotFound());
+  EXPECT_EQ(reg.Name(follows), "follows");
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(PropertyGraphTest, AdjacencyAndExpiry) {
+  PropertyGraph g;
+  g.AddEdge(E(1, 2, 0, 10));
+  g.AddEdge(E(1, 3, 1, 20));
+  g.AddEdge(E(2, 3, 0, 30));
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.Out(1).size(), 2u);
+  EXPECT_TRUE(g.Out(99).empty());
+  EXPECT_EQ(g.SourceVertices(), (std::vector<VertexId>{1, 2}));
+
+  EXPECT_EQ(g.ExpireBefore(25), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.Out(1).empty());
+}
+
+TEST(PropertyGraphTest, VertexProperties) {
+  PropertyGraph g;
+  g.SetVertexProperty(1, "name", Value("alice"));
+  EXPECT_EQ(*g.GetVertexProperty(1, "name"), Value("alice"));
+  EXPECT_TRUE(g.GetVertexProperty(1, "age").status().IsNotFound());
+}
+
+TEST(RpqAutomatonTest, CompileAndAccept) {
+  LabelRegistry reg;
+  auto dfa = *RpqAutomaton::Compile("a/b", &reg);
+  LabelId a = *reg.Lookup("a"), b = *reg.Lookup("b");
+  EXPECT_TRUE(dfa.Accepts({a, b}));
+  EXPECT_FALSE(dfa.Accepts({a}));
+  EXPECT_FALSE(dfa.Accepts({b, a}));
+  EXPECT_FALSE(dfa.Accepts({}));
+  EXPECT_FALSE(dfa.AcceptsEmpty());
+}
+
+TEST(RpqAutomatonTest, AlternationAndClosure) {
+  LabelRegistry reg;
+  auto dfa = *RpqAutomaton::Compile("(a|b)*/c", &reg);
+  LabelId a = *reg.Lookup("a"), b = *reg.Lookup("b"), c = *reg.Lookup("c");
+  EXPECT_TRUE(dfa.Accepts({c}));
+  EXPECT_TRUE(dfa.Accepts({a, c}));
+  EXPECT_TRUE(dfa.Accepts({b, a, b, c}));
+  EXPECT_FALSE(dfa.Accepts({a, b}));
+  EXPECT_FALSE(dfa.Accepts({c, c}));
+}
+
+TEST(RpqAutomatonTest, PlusAndOptional) {
+  LabelRegistry reg;
+  auto plus = *RpqAutomaton::Compile("a+", &reg);
+  LabelId a = *reg.Lookup("a");
+  EXPECT_FALSE(plus.Accepts({}));
+  EXPECT_TRUE(plus.Accepts({a}));
+  EXPECT_TRUE(plus.Accepts({a, a, a}));
+
+  auto opt = *RpqAutomaton::Compile("a?/b", &reg);
+  LabelId b = *reg.Lookup("b");
+  EXPECT_TRUE(opt.Accepts({b}));
+  EXPECT_TRUE(opt.Accepts({a, b}));
+  EXPECT_FALSE(opt.Accepts({a, a, b}));
+}
+
+TEST(RpqAutomatonTest, ParseErrors) {
+  LabelRegistry reg;
+  EXPECT_TRUE(RpqAutomaton::Compile("a/(b", &reg).status().IsParseError());
+  EXPECT_TRUE(RpqAutomaton::Compile("", &reg).status().IsParseError());
+  EXPECT_TRUE(RpqAutomaton::Compile("a |", &reg).status().IsParseError());
+  EXPECT_TRUE(RpqAutomaton::Compile("a b", &reg).status().IsParseError());
+}
+
+TEST(RpqAutomatonTest, StarLanguageContainsEmpty) {
+  LabelRegistry reg;
+  auto dfa = *RpqAutomaton::Compile("a*", &reg);
+  EXPECT_TRUE(dfa.AcceptsEmpty());
+}
+
+TEST(IncrementalRpqTest, DerivesTransitivePaths) {
+  LabelRegistry reg;
+  auto dfa = *RpqAutomaton::Compile("follows+", &reg);
+  LabelId f = reg.Intern("follows");
+  IncrementalRpq rpq(&dfa);
+
+  auto r1 = rpq.AddEdge(E(1, 2, f, 10));
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_EQ(r1[0].src, 1);
+  EXPECT_EQ(r1[0].dst, 2);
+
+  // Edge 2->3 derives both (2,3) and the transitive (1,3).
+  auto r2 = rpq.AddEdge(E(2, 3, f, 20));
+  EXPECT_EQ(r2.size(), 2u);
+  EXPECT_EQ(rpq.Results().size(), 3u);
+  EXPECT_TRUE(rpq.Results().count({1, 3}));
+}
+
+TEST(IncrementalRpqTest, OutOfOrderEdgeInsertionStillDerives) {
+  LabelRegistry reg;
+  auto dfa = *RpqAutomaton::Compile("a/b", &reg);
+  LabelId a = reg.Intern("a"), b = reg.Intern("b");
+  IncrementalRpq rpq(&dfa);
+  // The b edge arrives before the a edge that precedes it on the path.
+  EXPECT_TRUE(rpq.AddEdge(E(2, 3, b, 1)).empty());
+  auto derived = rpq.AddEdge(E(1, 2, a, 2));
+  ASSERT_EQ(derived.size(), 1u);
+  EXPECT_EQ(derived[0].src, 1);
+  EXPECT_EQ(derived[0].dst, 3);
+}
+
+TEST(IncrementalRpqTest, CyclesDoNotDiverge) {
+  LabelRegistry reg;
+  auto dfa = *RpqAutomaton::Compile("a+", &reg);
+  LabelId a = reg.Intern("a");
+  IncrementalRpq rpq(&dfa);
+  rpq.AddEdge(E(1, 2, a, 1));
+  rpq.AddEdge(E(2, 1, a, 2));
+  // (1,2), (2,1), (1,1), (2,2): cyclic matches reported, then fixpoint.
+  EXPECT_EQ(rpq.Results().size(), 4u);
+  size_t state = rpq.StateSize();
+  // Re-deriving is idempotent through another lap of the cycle.
+  rpq.AddEdge(E(2, 2, a, 3));
+  EXPECT_EQ(rpq.Results().size(), 4u);
+  EXPECT_GE(rpq.StateSize(), state);
+}
+
+TEST(SnapshotRpqTest, EvaluateMatchesManual) {
+  LabelRegistry reg;
+  auto dfa = *RpqAutomaton::Compile("a/b", &reg);
+  LabelId a = reg.Intern("a"), b = reg.Intern("b");
+  SnapshotRpq rpq(&dfa);
+  rpq.AddEdge(E(1, 2, a));
+  rpq.AddEdge(E(2, 3, b));
+  rpq.AddEdge(E(2, 4, a));
+  auto results = rpq.Evaluate();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results.count({1, 3}));
+  EXPECT_EQ(rpq.EvaluateFrom(1), (std::set<VertexId>{3}));
+}
+
+TEST(SnapshotRpqTest, WindowedExpiryRemovesResults) {
+  LabelRegistry reg;
+  auto dfa = *RpqAutomaton::Compile("a+", &reg);
+  LabelId a = reg.Intern("a");
+  SnapshotRpq rpq(&dfa);
+  rpq.AddEdge(E(1, 2, a, 10));
+  rpq.AddEdge(E(2, 3, a, 100));
+  EXPECT_EQ(rpq.Evaluate().size(), 3u);
+  rpq.ExpireBefore(50);  // first edge leaves the window
+  auto results = rpq.Evaluate();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results.count({2, 3}));
+}
+
+// Property: incremental == snapshot on random streams and patterns.
+class RpqEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<const char*, uint64_t>> {};
+
+TEST_P(RpqEquivalenceTest, IncrementalMatchesSnapshot) {
+  auto [pattern, seed] = GetParam();
+  LabelRegistry reg;
+  std::vector<LabelId> labels{reg.Intern("a"), reg.Intern("b"),
+                              reg.Intern("c")};
+  auto dfa = *RpqAutomaton::Compile(pattern, &reg);
+
+  IncrementalRpq inc(&dfa);
+  SnapshotRpq snap(&dfa);
+  auto edges = MakeGraphStream(60, 12, labels, 1, seed);
+  for (const auto& e : edges) {
+    inc.AddEdge(e);
+    snap.AddEdge(e);
+  }
+  EXPECT_EQ(inc.Results(), snap.Evaluate()) << pattern << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsAndSeeds, RpqEquivalenceTest,
+    ::testing::Combine(::testing::Values("a+", "a/b", "(a|b)+/c", "a/b*",
+                                         "a?/b/c?"),
+                       ::testing::Values(1u, 42u, 300u)));
+
+TEST(SimplePathRpqTest, ExcludesRepeatedVertices) {
+  LabelRegistry reg;
+  auto dfa = *RpqAutomaton::Compile("a+", &reg);
+  LabelId a = reg.Intern("a");
+  SimplePathRpq simple(&dfa, 10);
+  SnapshotRpq arbitrary(&dfa);
+  // Triangle 1->2->3->1 plus a tail 3->4.
+  for (const auto& e :
+       {E(1, 2, a), E(2, 3, a), E(3, 1, a), E(3, 4, a)}) {
+    simple.AddEdge(e);
+    arbitrary.AddEdge(e);
+  }
+  auto sp = simple.Evaluate();
+  auto ap = arbitrary.Evaluate();
+  // Arbitrary semantics includes cyclic matches like (1,1); simple does not.
+  EXPECT_TRUE(ap.count({1, 1}));
+  EXPECT_FALSE(sp.count({1, 1}));
+  // Both find the plain reachability pairs.
+  EXPECT_TRUE(sp.count({1, 4}));
+  EXPECT_TRUE(ap.count({1, 4}));
+  EXPECT_LT(sp.size(), ap.size());
+  EXPECT_GT(simple.last_expansions(), 0u);
+}
+
+TEST(SimplePathRpqTest, DepthBoundTruncates) {
+  LabelRegistry reg;
+  auto dfa = *RpqAutomaton::Compile("a+", &reg);
+  LabelId a = reg.Intern("a");
+  SimplePathRpq shallow(&dfa, 2);
+  for (VertexId v = 0; v < 5; ++v) shallow.AddEdge(E(v, v + 1, a));
+  auto results = shallow.Evaluate();
+  // Paths of length <= 2 only: (0,1),(0,2),(1,2),(1,3),...
+  EXPECT_TRUE(results.count({0, 2}));
+  EXPECT_FALSE(results.count({0, 3}));
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/operators.h"
+#include "dataflow/source.h"
+#include "dataflow/window_operator.h"
+#include "duality/kstream.h"
+#include "ivm/view.h"
+#include "sql/optimizer.h"
+#include "sql/planner.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+/// End-to-end: SQL text -> plan -> optimiser -> reference execution over the
+/// Listing 1 workload, optimised and unoptimised plans agreeing tick by tick.
+TEST(IntegrationTest, SqlToExecutionWithOptimizer) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .RegisterStream("Person",
+                                  Schema::Make({{"id", ValueType::kInt64},
+                                                {"name", ValueType::kString}}))
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .RegisterStream(
+                      "RoomObservation",
+                      Schema::Make({{"id", ValueType::kInt64},
+                                    {"room", ValueType::kString}}))
+                  .ok());
+
+  auto planned = *PlanSql(
+      "Select count(P.id) From Person P, RoomObservation O [Range 15] "
+      "Where P.id = O.id EMIT RSTREAM",
+      catalog);
+  auto optimized_plan = *OptimizePlan(planned.query.plan, OptimizerOptions{});
+  ContinuousQuery optimized = planned.query;
+  optimized.plan = optimized_plan;
+
+  RoomWorkload w = MakeRoomWorkload(6, 60, 3, 0.7, 2, 11);
+  std::vector<const BoundedStream*> inputs{&w.persons, &w.observations};
+  std::vector<Timestamp> ticks =
+      ReferenceExecutor::DefaultTicks(planned.query, inputs);
+  ASSERT_FALSE(ticks.empty());
+
+  BoundedStream base = *ReferenceExecutor::Execute(planned.query, inputs, ticks);
+  BoundedStream opt = *ReferenceExecutor::Execute(optimized, inputs, ticks);
+  ASSERT_EQ(base.size(), opt.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base.at(i).tuple, opt.at(i).tuple);
+    EXPECT_EQ(base.at(i).timestamp, opt.at(i).timestamp);
+  }
+}
+
+/// The Fig. 4 stack claim: the same windowed count computed at three levels
+/// — CQL reference semantics, the duality DSL, and the dataflow runtime —
+/// produces the same per-(key, window) values.
+TEST(IntegrationTest, ThreeAbstractionLevelsAgree) {
+  TransactionWorkload w = MakeTransactionWorkload(300, 10, 0.6, 500, 0, 31);
+  const Duration kWindow = 16;
+
+  // Level 1 (declarative/CQL): per-window count via reference semantics,
+  // evaluated at window boundaries with a slide-aligned Range window.
+  std::map<std::pair<int64_t, Timestamp>, int64_t> cql_counts;
+  {
+    ContinuousQuery q;
+    q.input_windows = {S2RSpec::Range(kWindow, kWindow)};
+    std::vector<AggSpec> aggs;
+    aggs.push_back({AggregateKind::kCount, nullptr, "c"});
+    q.plan = *RelOp::Aggregate(RelOp::Scan(0, w.schema), {1}, aggs);
+    q.output = R2SKind::kRelation;
+    std::vector<const BoundedStream*> inputs{&w.transactions};
+    Timestamp max_ts = w.transactions.MaxTimestamp();
+    for (Timestamp end = kWindow; end <= max_ts + kWindow; end += kWindow) {
+      // Evaluate at the aligned boundary: window (end-16, end].
+      MultisetRelation r = *ReferenceExecutor::ResultAt(q, inputs, end);
+      for (const auto& [t, c] : r.entries()) {
+        cql_counts[{t[0].int64_value(), end}] = t[1].int64_value();
+      }
+    }
+  }
+
+  // Level 2 (functional DSL): stream-table duality windowed aggregation.
+  std::map<std::pair<int64_t, Timestamp>, int64_t> dsl_counts;
+  {
+    // Tumbling windows [k*16+1, (k+1)*16+1) align with CQL's (end-16, end]
+    // half-open-left windows via an offset of 1.
+    TumblingWindowAssigner assigner(kWindow, 1);
+    KTable t = *KStream::From(w.transactions)
+                    .GroupBy({1})
+                    .WindowedAggregate(assigner, AggregateKind::kCount,
+                                       nullptr);
+    for (const auto& [key, value] : t.Materialized()) {
+      // Key = (account, win_start, win_end); CQL labels the window by end.
+      dsl_counts[{key[0].int64_value(), key[2].int64_value() - 1}] =
+          value[0].int64_value();
+    }
+  }
+
+  // Level 3 (dataflow runtime): windowed aggregate operator with watermarks.
+  std::map<std::pair<int64_t, Timestamp>, int64_t> dataflow_counts;
+  {
+    WindowedAggregateConfig cfg;
+    cfg.assigner = std::make_shared<TumblingWindowAssigner>(kWindow, 1);
+    cfg.key_indexes = {1};
+    cfg.aggs.push_back({AggregateKind::kCount, nullptr, "c"});
+    auto g = std::make_unique<DataflowGraph>();
+    NodeId src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+    NodeId win = g->AddNode(
+        std::make_unique<WindowedAggregateOperator>("win", std::move(cfg)));
+    BoundedStream out;
+    NodeId sink =
+        g->AddNode(std::make_unique<CollectSinkOperator>("sink", &out));
+    ASSERT_TRUE(g->Connect(src, win).ok());
+    ASSERT_TRUE(g->Connect(win, sink).ok());
+    PipelineExecutor exec(std::move(g));
+    for (const auto& e : w.transactions) {
+      if (e.is_record()) {
+        ASSERT_TRUE(exec.PushRecord(src, e.tuple, e.timestamp).ok());
+      }
+    }
+    ASSERT_TRUE(
+        exec.PushWatermark(src, w.transactions.MaxTimestamp() + kWindow + 2)
+            .ok());
+    for (const auto& e : out) {
+      dataflow_counts[{e.tuple[0].int64_value(),
+                       e.tuple[2].int64_value() - 1}] =
+          e.tuple[3].int64_value();
+    }
+  }
+
+  ASSERT_FALSE(cql_counts.empty());
+  EXPECT_EQ(cql_counts, dsl_counts);
+  EXPECT_EQ(cql_counts, dataflow_counts);
+}
+
+/// The Fig. 5 architecture end to end: broker -> source with watermarks ->
+/// filter -> keyed windowed aggregation backed by the embedded KV store ->
+/// sink; with a checkpoint/restore cycle mid-stream (source offsets + state).
+TEST(IntegrationTest, BrokerToDataflowWithKvStateAndRecovery) {
+  TransactionWorkload w = MakeTransactionWorkload(200, 8, 0.5, 400, 3, 77);
+
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("tx", 2).ok());
+  for (const auto& e : w.transactions) {
+    if (!e.is_record()) continue;
+    ASSERT_TRUE(broker
+                    .Produce("tx", e.tuple[1].ToString(), e.tuple,
+                             e.timestamp)
+                    .ok());
+  }
+
+  auto build = [](KVStore* store, BoundedStream* out, NodeId* src) {
+    WindowedAggregateConfig cfg;
+    cfg.assigner = std::make_shared<TumblingWindowAssigner>(25);
+    cfg.key_indexes = {1};
+    cfg.aggs.push_back({AggregateKind::kSum, Col(2), "total"});
+    static std::vector<std::unique_ptr<KVStoreStateBackend>> backends;
+    backends.push_back(std::make_unique<KVStoreStateBackend>(store));
+    cfg.state = backends.back().get();
+    auto g = std::make_unique<DataflowGraph>();
+    *src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+    NodeId filter = g->AddNode(std::make_unique<FilterOperator>(
+        "big", Gt(Col(2), Lit(50.0))));
+    NodeId win = g->AddNode(
+        std::make_unique<WindowedAggregateOperator>("win", std::move(cfg)));
+    NodeId sink =
+        g->AddNode(std::make_unique<CollectSinkOperator>("sink", out));
+    EXPECT_TRUE(g->Connect(*src, filter).ok());
+    EXPECT_TRUE(g->Connect(filter, win).ok());
+    EXPECT_TRUE(g->Connect(win, sink).ok());
+    return std::make_unique<PipelineExecutor>(std::move(g));
+  };
+
+  // Reference run: uninterrupted.
+  auto store_a = std::move(KVStore::Open(KVStoreOptions{})).value();
+  BoundedStream out_a;
+  NodeId src_a;
+  auto exec_a = build(store_a.get(), &out_a, &src_a);
+  {
+    BrokerSource source(&broker, "tx", "group-a", 5);
+    ASSERT_TRUE(source.Drain(exec_a.get(), src_a).ok());
+  }
+  ASSERT_GT(out_a.num_records(), 0u);
+
+  // Recovery run: pump a prefix, checkpoint, crash, restore, resume.
+  auto store_b = std::move(KVStore::Open(KVStoreOptions{})).value();
+  BoundedStream out_b;
+  NodeId src_b;
+  auto exec_b = build(store_b.get(), &out_b, &src_b);
+  std::string image;
+  {
+    BrokerSource source(&broker, "tx", "group-b", 5);
+    ASSERT_TRUE(source.PumpOnce(exec_b.get(), src_b, 40).ok());
+    image = *exec_b->Checkpoint(*source.Offsets());
+  }
+  // "Crash": discard the executor; rebuild on a fresh store and restore.
+  auto store_c = std::move(KVStore::Open(KVStoreOptions{})).value();
+  BoundedStream out_c;
+  NodeId src_c;
+  auto exec_c = build(store_c.get(), &out_c, &src_c);
+  {
+    BrokerSource source(&broker, "tx", "group-b", 5);
+    auto offsets = *exec_c->Restore(image);
+    ASSERT_TRUE(source.SeekTo(offsets).ok());
+    ASSERT_TRUE(source.Drain(exec_c.get(), src_c).ok());
+  }
+
+  // Post-restore output (windows firing after the checkpoint) must match the
+  // tail of the uninterrupted run. Compare as multisets of result tuples.
+  MultisetRelation results_a, results_bc;
+  for (const auto& e : out_a) {
+    if (e.is_record()) results_a.Add(e.tuple, 1);
+  }
+  for (const auto& e : out_b) {
+    if (e.is_record()) results_bc.Add(e.tuple, 1);
+  }
+  for (const auto& e : out_c) {
+    if (e.is_record()) results_bc.Add(e.tuple, 1);
+  }
+  EXPECT_EQ(results_a, results_bc);
+}
+
+/// Streaming-database path: a PushView subscription over a SQL-planned query
+/// receives exactly the result changes (InvaliDB-style, §5.1).
+TEST(IntegrationTest, SqlPlanDrivesPushSubscription) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .RegisterStream("tx",
+                                  Schema::Make({{"tid", ValueType::kInt64},
+                                                {"account", ValueType::kInt64},
+                                                {"amount", ValueType::kDouble}}))
+                  .ok());
+  auto planned = *PlanSql(
+      "SELECT account, SUM(amount) AS total FROM tx GROUP BY account "
+      "HAVING SUM(amount) > 100",
+      catalog);
+
+  PushView view(planned.query.plan, 1);
+  std::vector<MultisetRelation> deltas;
+  view.Subscribe(
+      [&deltas](const MultisetRelation& d) { deltas.push_back(d); });
+
+  auto tx = [](int64_t tid, int64_t acct, double amt) {
+    return Tuple({Value(tid), Value(acct), Value(amt)});
+  };
+  ASSERT_TRUE(view.Insert(0, tx(1, 7, 60)).ok());
+  EXPECT_TRUE(deltas.empty());  // below the HAVING threshold: no change
+  ASSERT_TRUE(view.Insert(0, tx(2, 7, 70)).ok());
+  ASSERT_EQ(deltas.size(), 1u);  // 130 > 100: row appears
+  EXPECT_EQ(deltas[0].Count(Tuple({Value(int64_t{7}), Value(130.0)})), 1);
+  ASSERT_TRUE(view.Insert(0, tx(3, 7, 10)).ok());
+  ASSERT_EQ(deltas.size(), 2u);  // refinement: 130 -> 140
+  EXPECT_EQ(deltas[1].Count(Tuple({Value(int64_t{7}), Value(130.0)})), -1);
+  EXPECT_EQ(deltas[1].Count(Tuple({Value(int64_t{7}), Value(140.0)})), 1);
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ivm/view.h"
+
+namespace cq {
+namespace {
+
+Tuple T2(int64_t a, int64_t b) { return Tuple({Value(a), Value(b)}); }
+
+SchemaPtr KV() {
+  return Schema::Make({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+}
+
+/// A two-table join-aggregate view: SELECT l.k, COUNT(*) FROM l JOIN r ON
+/// l.k = r.k WHERE r.v > 2 GROUP BY l.k.
+RelOpPtr JoinCountPlan() {
+  auto l = RelOp::Scan(0, KV()->Qualified("l"));
+  auto r = RelOp::Scan(1, KV()->Qualified("r"));
+  auto rsel = *RelOp::Select(r, Gt(Col(1), Lit(int64_t{2})));
+  auto join = *RelOp::Join(l, rsel, {0}, {0});
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggregateKind::kCount, nullptr, "c"});
+  return *RelOp::Aggregate(join, {0}, aggs);
+}
+
+TEST(EagerViewTest, MaintainsJoinCount) {
+  EagerView view(JoinCountPlan(), 2);
+  ASSERT_TRUE(view.Insert(0, T2(1, 100)).ok());
+  ASSERT_TRUE(view.Insert(1, T2(1, 5)).ok());
+  MultisetRelation result = *view.Query();
+  EXPECT_EQ(result.Count(T2(1, 1)), 1);
+  // Filtered-out right row changes nothing.
+  ASSERT_TRUE(view.Insert(1, T2(1, 1)).ok());
+  EXPECT_EQ(*view.Query(), result);
+  // Second matching right row bumps the count.
+  ASSERT_TRUE(view.Insert(1, T2(1, 9)).ok());
+  EXPECT_EQ(view.Query()->Count(T2(1, 2)), 1);
+}
+
+TEST(LazyViewTest, RecomputesOnQuery) {
+  LazyView view(JoinCountPlan(), 2);
+  ASSERT_TRUE(view.Insert(0, T2(1, 100)).ok());
+  ASSERT_TRUE(view.Insert(1, T2(1, 5)).ok());
+  EXPECT_EQ(view.Query()->Count(T2(1, 1)), 1);
+  EXPECT_EQ(view.StateSize(), 2u);  // just the base tables
+}
+
+TEST(SplitViewTest, DefersDeltasUntilQuery) {
+  SplitView view(JoinCountPlan(), 2);
+  ASSERT_TRUE(view.Insert(0, T2(1, 100)).ok());
+  ASSERT_TRUE(view.Insert(1, T2(1, 5)).ok());
+  EXPECT_EQ(view.PendingDeltas(), 2u);
+  EXPECT_EQ(view.Query()->Count(T2(1, 1)), 1);
+  EXPECT_EQ(view.PendingDeltas(), 0u);  // folded
+  // Repeated query without new data reuses the cache.
+  EXPECT_EQ(view.Query()->Count(T2(1, 1)), 1);
+}
+
+TEST(ViewTest, InvalidTableIndexRejected) {
+  EagerView eager(JoinCountPlan(), 2);
+  LazyView lazy(JoinCountPlan(), 2);
+  SplitView split(JoinCountPlan(), 2);
+  MultisetRelation delta;
+  delta.Add(T2(1, 1), 1);
+  EXPECT_TRUE(eager.ApplyDelta(5, delta).IsInvalidArgument());
+  EXPECT_TRUE(lazy.ApplyDelta(5, delta).IsInvalidArgument());
+  EXPECT_TRUE(split.ApplyDelta(5, delta).IsInvalidArgument());
+}
+
+// Property: the three strategies agree on random interleavings of updates
+// and queries.
+class ViewEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ViewEquivalenceTest, StrategiesAgree) {
+  EagerView eager(JoinCountPlan(), 2);
+  LazyView lazy(JoinCountPlan(), 2);
+  SplitView split(JoinCountPlan(), 2);
+  std::vector<MaterializedView*> views{&eager, &lazy, &split};
+
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> key(0, 4), val(0, 9);
+  std::uniform_int_distribution<int> table(0, 1), action(0, 9);
+  std::vector<std::vector<Tuple>> inserted(2);
+
+  for (int step = 0; step < 120; ++step) {
+    int a = action(rng);
+    if (a == 0) {
+      // Query checkpoint: all strategies agree.
+      MultisetRelation expected = *views[0]->Query();
+      for (size_t i = 1; i < views.size(); ++i) {
+        ASSERT_EQ(*views[i]->Query(), expected)
+            << views[i]->strategy() << " diverged at step " << step;
+      }
+    } else if (a <= 7 || inserted[0].empty() + inserted[1].empty() == 2) {
+      int t = table(rng);
+      Tuple row = T2(key(rng), val(rng));
+      inserted[t].push_back(row);
+      for (auto* v : views) ASSERT_TRUE(v->Insert(t, row).ok());
+    } else {
+      // Deletion of a previously inserted row.
+      int t = inserted[0].empty() ? 1 : (inserted[1].empty() ? 0 : table(rng));
+      if (inserted[t].empty()) continue;
+      std::uniform_int_distribution<size_t> pick(0, inserted[t].size() - 1);
+      size_t idx = pick(rng);
+      Tuple row = inserted[t][idx];
+      inserted[t].erase(inserted[t].begin() + idx);
+      for (auto* v : views) ASSERT_TRUE(v->Delete(t, row).ok());
+    }
+  }
+  MultisetRelation expected = *views[0]->Query();
+  for (size_t i = 1; i < views.size(); ++i) {
+    ASSERT_EQ(*views[i]->Query(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewEquivalenceTest,
+                         ::testing::Values(1, 2, 77, 2024));
+
+TEST(PushViewTest, NotifiesExactResultDeltas) {
+  PushView view(JoinCountPlan(), 2);
+  std::vector<MultisetRelation> notifications;
+  view.Subscribe([&notifications](const MultisetRelation& delta) {
+    notifications.push_back(delta);
+  });
+
+  ASSERT_TRUE(view.Insert(0, T2(1, 100)).ok());
+  EXPECT_TRUE(notifications.empty());  // no join partner yet: no change
+
+  ASSERT_TRUE(view.Insert(1, T2(1, 5)).ok());
+  ASSERT_EQ(notifications.size(), 1u);
+  EXPECT_EQ(notifications[0].Count(T2(1, 1)), 1);
+
+  // Count moves 1 -> 2: delta contains the invalidation and the new row.
+  ASSERT_TRUE(view.Insert(1, T2(1, 7)).ok());
+  ASSERT_EQ(notifications.size(), 2u);
+  EXPECT_EQ(notifications[1].Count(T2(1, 1)), -1);
+  EXPECT_EQ(notifications[1].Count(T2(1, 2)), 1);
+}
+
+TEST(PushViewTest, UnsubscribeStopsNotifications) {
+  PushView view(JoinCountPlan(), 2);
+  int calls = 0;
+  size_t id = view.Subscribe([&calls](const MultisetRelation&) { ++calls; });
+  ASSERT_TRUE(view.Insert(0, T2(1, 1)).ok());
+  ASSERT_TRUE(view.Insert(1, T2(1, 9)).ok());
+  EXPECT_EQ(calls, 1);
+  view.Unsubscribe(id);
+  ASSERT_TRUE(view.Insert(1, T2(1, 8)).ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(PushViewTest, MultipleSubscribers) {
+  PushView view(JoinCountPlan(), 2);
+  int a = 0, b = 0;
+  view.Subscribe([&a](const MultisetRelation&) { ++a; });
+  view.Subscribe([&b](const MultisetRelation&) { ++b; });
+  ASSERT_TRUE(view.Insert(0, T2(1, 1)).ok());
+  ASSERT_TRUE(view.Insert(1, T2(1, 9)).ok());
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(view.Current().Count(T2(1, 1)), 1);
+}
+
+}  // namespace
+}  // namespace cq

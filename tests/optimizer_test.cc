@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sql/optimizer.h"
+#include "sql/planner.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+Catalog TwoStreamCatalog() {
+  Catalog catalog;
+  EXPECT_TRUE(catalog
+                  .RegisterStream("L", Schema::Make({{"k", ValueType::kInt64},
+                                                     {"a", ValueType::kInt64}}))
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .RegisterStream("R", Schema::Make({{"k", ValueType::kInt64},
+                                                     {"b", ValueType::kInt64}}))
+                  .ok());
+  return catalog;
+}
+
+size_t CountKind(const RelOpPtr& plan, RelOpKind kind) {
+  size_t n = plan->kind() == kind ? 1 : 0;
+  for (const auto& c : plan->children()) n += CountKind(c, kind);
+  return n;
+}
+
+TEST(OptimizerTest, ExtractsEquiJoinFromCrossProduct) {
+  Catalog catalog = TwoStreamCatalog();
+  auto planned = *PlanSql(
+      "SELECT L.a FROM L, R WHERE L.k = R.k AND L.a > 5", catalog);
+  ASSERT_EQ(CountKind(planned.query.plan, RelOpKind::kThetaJoin), 1u);
+  ASSERT_EQ(CountKind(planned.query.plan, RelOpKind::kJoin), 0u);
+
+  OptimizerStats stats;
+  auto optimized = *OptimizePlan(planned.query.plan, OptimizerOptions{},
+                                 &stats);
+  EXPECT_EQ(CountKind(optimized, RelOpKind::kThetaJoin), 0u);
+  EXPECT_EQ(CountKind(optimized, RelOpKind::kJoin), 1u);
+  EXPECT_EQ(stats.equi_joins_extracted, 1u);
+  EXPECT_GE(stats.selections_pushed, 1u);  // L.a > 5 pushed below the join
+}
+
+TEST(OptimizerTest, ExtractsFromThetaJoinOwnPredicate) {
+  // Case A: the equality lives in the ThetaJoin's own predicate (as built
+  // by hand or by the RSP compiler for cartesian patterns).
+  auto l = RelOp::Scan(0, Schema::Make({{"k", ValueType::kInt64},
+                                        {"a", ValueType::kInt64}}));
+  auto r = RelOp::Scan(1, Schema::Make({{"k", ValueType::kInt64},
+                                        {"b", ValueType::kInt64}}));
+  auto theta = *RelOp::ThetaJoin(
+      l, r, And(Eq(Col(0), Col(2)), Gt(Col(1), Lit(int64_t{5}))));
+  OptimizerStats stats;
+  auto optimized = *OptimizePlan(theta, OptimizerOptions{}, &stats);
+  EXPECT_EQ(stats.equi_joins_extracted, 1u);
+  EXPECT_EQ(CountKind(optimized, RelOpKind::kJoin), 1u);
+  EXPECT_EQ(CountKind(optimized, RelOpKind::kThetaJoin), 0u);
+
+  // Equivalence on data.
+  MultisetRelation dl, dr;
+  for (int64_t i = 0; i < 20; ++i) {
+    dl.Add(Tuple({Value(i % 5), Value(i)}), 1);
+    dr.Add(Tuple({Value(i % 5), Value(i * 2)}), 1);
+  }
+  EXPECT_EQ(*theta->Eval({dl, dr}), *optimized->Eval({dl, dr}));
+}
+
+TEST(OptimizerTest, ChainWithBuriedEqualityStillExtracts) {
+  // Pushdown disabled: the equality sits mid-chain; extraction must look
+  // through the whole selection chain.
+  Catalog catalog = TwoStreamCatalog();
+  auto planned = *PlanSql(
+      "SELECT L.a FROM L, R WHERE L.a > 1 AND L.k = R.k AND R.b < 9",
+      catalog);
+  OptimizerOptions opts;
+  opts.push_down_selections = false;
+  opts.reorder_selections = false;
+  opts.fuse_selections = false;
+  opts.eliminate_redundancy = false;
+  OptimizerStats stats;
+  auto optimized = *OptimizePlan(planned.query.plan, opts, &stats);
+  EXPECT_EQ(stats.equi_joins_extracted, 1u);
+  EXPECT_EQ(CountKind(optimized, RelOpKind::kJoin), 1u);
+}
+
+TEST(OptimizerTest, PushesSelectionBelowJoinSides) {
+  Catalog catalog = TwoStreamCatalog();
+  auto planned = *PlanSql(
+      "SELECT L.a FROM L, R WHERE L.k = R.k AND L.a > 5 AND R.b < 3",
+      catalog);
+  auto optimized = *OptimizePlan(planned.query.plan, OptimizerOptions{});
+  // Both single-side predicates pushed below the join: the join's children
+  // are selections over scans.
+  std::vector<const RelOp*> joins;
+  std::function<void(const RelOp*)> find = [&](const RelOp* op) {
+    if (op->kind() == RelOpKind::kJoin) joins.push_back(op);
+    for (const auto& c : op->children()) find(c.get());
+  };
+  find(optimized.get());
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0]->children()[0]->kind(), RelOpKind::kSelect);
+  EXPECT_EQ(joins[0]->children()[1]->kind(), RelOpKind::kSelect);
+}
+
+TEST(OptimizerTest, FusionMergesSelectionChains) {
+  Catalog catalog = TwoStreamCatalog();
+  auto planned = *PlanSql(
+      "SELECT L.a FROM L WHERE L.a > 1 AND L.a < 9 AND L.k = 2", catalog);
+  OptimizerOptions opts;
+  opts.extract_equi_joins = false;
+  OptimizerStats stats;
+  auto optimized = *OptimizePlan(planned.query.plan, opts, &stats);
+  // Separated, reordered, then fused back into a single Select.
+  EXPECT_EQ(CountKind(optimized, RelOpKind::kSelect), 1u);
+  EXPECT_GT(stats.selections_fused, 0u);
+}
+
+TEST(OptimizerTest, RedundantPredicateEliminated) {
+  Catalog catalog = TwoStreamCatalog();
+  auto planned = *PlanSql(
+      "SELECT L.a FROM L WHERE L.a > 5 AND L.a > 5", catalog);
+  OptimizerOptions opts;
+  opts.fuse_selections = false;  // keep the chain visible
+  OptimizerStats stats;
+  auto optimized = *OptimizePlan(planned.query.plan, opts, &stats);
+  EXPECT_EQ(CountKind(optimized, RelOpKind::kSelect), 1u);
+  EXPECT_EQ(stats.predicates_deduped, 1u);
+}
+
+TEST(OptimizerTest, SelectivityEstimates) {
+  auto eq_lit = Eq(Col(0), Lit(int64_t{5}));
+  auto eq_col = Eq(Col(0), Col(1));
+  auto range = Gt(Col(0), Lit(int64_t{5}));
+  EXPECT_LT(EstimateSelectivity(*eq_lit), EstimateSelectivity(*eq_col));
+  EXPECT_LT(EstimateSelectivity(*eq_col), EstimateSelectivity(*range));
+  auto conj = And(eq_lit, range);
+  EXPECT_LT(EstimateSelectivity(*conj), EstimateSelectivity(*eq_lit));
+  auto disj = Or(eq_lit, range);
+  EXPECT_GT(EstimateSelectivity(*disj), EstimateSelectivity(*range));
+  EXPECT_GT(EstimateSelectivity(*Not(eq_lit)), 0.9);
+}
+
+TEST(OptimizerTest, ReordersMostSelectiveFirst) {
+  Catalog catalog = TwoStreamCatalog();
+  // Range predicate written first, equality second: reordering must put the
+  // equality innermost (evaluated first).
+  auto planned = *PlanSql(
+      "SELECT L.a FROM L WHERE L.a > 1 AND L.k = 2", catalog);
+  OptimizerOptions opts;
+  opts.fuse_selections = false;
+  OptimizerStats stats;
+  auto optimized = *OptimizePlan(planned.query.plan, opts, &stats);
+  EXPECT_EQ(stats.selections_reordered, 1u);
+  // Walk down: outer select should be the range predicate.
+  const RelOp* cursor = optimized.get();
+  while (cursor->kind() != RelOpKind::kSelect) {
+    cursor = cursor->children()[0].get();
+  }
+  EXPECT_NE(cursor->predicate()->ToString().find(">"), std::string::npos);
+}
+
+// Property: the optimised plan computes identical results on random data,
+// for a spread of query shapes and rule subsets.
+struct OptCase {
+  const char* sql;
+  OptimizerOptions opts;
+};
+
+class OptimizerEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerEquivalenceTest, OptimisedPlanIsEquivalent) {
+  Catalog catalog = TwoStreamCatalog();
+  std::vector<std::string> queries = {
+      "SELECT L.a FROM L WHERE L.a > 3 AND L.k = 1",
+      "SELECT L.a, R.b FROM L, R WHERE L.k = R.k",
+      "SELECT L.a, R.b FROM L, R WHERE L.k = R.k AND L.a > 2 AND R.b < 8",
+      "SELECT L.k, COUNT(*) FROM L, R WHERE L.k = R.k AND L.a > 1 "
+      "GROUP BY L.k",
+      "SELECT DISTINCT L.a FROM L, R WHERE L.k = R.k AND L.a = R.b",
+  };
+  std::vector<OptimizerOptions> variants;
+  variants.push_back(OptimizerOptions{});  // everything on
+  {
+    OptimizerOptions o;
+    o.fuse_selections = false;
+    variants.push_back(o);
+  }
+  {
+    OptimizerOptions o;
+    o.extract_equi_joins = false;
+    variants.push_back(o);
+  }
+  {
+    OptimizerOptions o;
+    o.push_down_selections = false;
+    o.reorder_selections = false;
+    variants.push_back(o);
+  }
+
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> val(0, 6);
+  MultisetRelation l, r;
+  for (int i = 0; i < 40; ++i) {
+    l.Add(Tuple({Value(val(rng)), Value(val(rng))}), 1);
+    r.Add(Tuple({Value(val(rng)), Value(val(rng))}), 1);
+  }
+
+  for (const auto& sql : queries) {
+    auto planned = PlanSql(sql, catalog);
+    ASSERT_TRUE(planned.ok()) << sql << ": " << planned.status().ToString();
+    MultisetRelation baseline = *planned->query.plan->Eval({l, r});
+    for (const auto& opts : variants) {
+      auto optimized = OptimizePlan(planned->query.plan, opts);
+      ASSERT_TRUE(optimized.ok()) << sql;
+      MultisetRelation result = *(*optimized)->Eval({l, r});
+      ASSERT_EQ(result, baseline) << sql;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerEquivalenceTest,
+                         ::testing::Values(1, 5, 23, 404));
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/operators.h"
+#include "dataflow/parallel.h"
+#include "dataflow/window_operator.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+Tuple T2(int64_t k, int64_t v) { return Tuple({Value(k), Value(v)}); }
+
+TEST(MailboxTest, FifoDelivery) {
+  Mailbox box(10);
+  ASSERT_TRUE(box.Push(StreamElement::Record(T2(1, 1), 1)).ok());
+  ASSERT_TRUE(box.Push(StreamElement::Watermark(5)).ok());
+  StreamElement e;
+  ASSERT_TRUE(box.Pop(&e));
+  EXPECT_TRUE(e.is_record());
+  ASSERT_TRUE(box.Pop(&e));
+  EXPECT_TRUE(e.is_watermark());
+  box.Close();
+  EXPECT_FALSE(box.Pop(&e));
+  EXPECT_TRUE(box.Push(StreamElement::Watermark(6)).IsClosed());
+}
+
+/// Builds a per-worker pipeline: keyed windowed SUM into a collect sink.
+ParallelPipeline::Factory SumPipelineFactory() {
+  return [](size_t) -> Result<WorkerPipeline> {
+    WindowedAggregateConfig cfg;
+    cfg.assigner = std::make_shared<TumblingWindowAssigner>(10);
+    cfg.key_indexes = {0};
+    cfg.aggs.push_back({AggregateKind::kSum, Col(1), "sum"});
+    WorkerPipeline p;
+    p.output = std::make_unique<BoundedStream>();
+    auto g = std::make_unique<DataflowGraph>();
+    p.source = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+    NodeId win = g->AddNode(
+        std::make_unique<WindowedAggregateOperator>("win", std::move(cfg)));
+    NodeId sink = g->AddNode(
+        std::make_unique<CollectSinkOperator>("sink", p.output.get()));
+    CQ_RETURN_NOT_OK(g->Connect(p.source, win));
+    CQ_RETURN_NOT_OK(g->Connect(win, sink));
+    p.executor = std::make_unique<PipelineExecutor>(std::move(g));
+    return p;
+  };
+}
+
+BoundedStream RunWithParallelism(size_t parallelism,
+                                 const TransactionWorkload& w) {
+  ParallelPipeline pipeline(parallelism, SumPipelineFactory(),
+                            ProjectKeyFn({0}));
+  EXPECT_TRUE(pipeline.Start().ok());
+  for (const auto& e : w.transactions) {
+    if (!e.is_record()) continue;
+    // Re-key: use the account column as both key and value.
+    Tuple t({e.tuple[1], e.tuple[1]});
+    EXPECT_TRUE(pipeline.Send(std::move(t), e.timestamp).ok());
+  }
+  EXPECT_TRUE(
+      pipeline.BroadcastWatermark(w.transactions.MaxTimestamp() + 100).ok());
+  return std::move(*pipeline.Finish());
+}
+
+TEST(ParallelPipelineTest, ResultsIndependentOfParallelism) {
+  TransactionWorkload w = MakeTransactionWorkload(500, 20, 0.8, 100, 0, 99);
+  BoundedStream p1 = RunWithParallelism(1, w);
+  BoundedStream p4 = RunWithParallelism(4, w);
+  ASSERT_GT(p1.num_records(), 0u);
+  ASSERT_EQ(p1.num_records(), p4.num_records());
+  for (size_t i = 0; i < p1.num_records(); ++i) {
+    EXPECT_EQ(p1.at(i).tuple, p4.at(i).tuple) << i;
+    EXPECT_EQ(p1.at(i).timestamp, p4.at(i).timestamp) << i;
+  }
+}
+
+TEST(ParallelPipelineTest, KeysRouteConsistently) {
+  // Same key always lands on the same worker: per-key results appear once.
+  ParallelPipeline pipeline(3, SumPipelineFactory(), ProjectKeyFn({0}));
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(pipeline.Send(T2(i % 3, 1), 5).ok());
+  }
+  ASSERT_TRUE(pipeline.BroadcastWatermark(100).ok());
+  BoundedStream out = *pipeline.Finish();
+  // 3 keys x 1 window each.
+  EXPECT_EQ(out.num_records(), 3u);
+  for (const auto& e : out) {
+    EXPECT_EQ(e.tuple[3], Value(10.0));
+  }
+}
+
+TEST(ParallelPipelineTest, LifecycleErrors) {
+  ParallelPipeline pipeline(2, SumPipelineFactory(), ProjectKeyFn({0}));
+  EXPECT_FALSE(pipeline.Send(T2(1, 1), 1).ok());  // not started
+  ASSERT_TRUE(pipeline.Start().ok());
+  EXPECT_FALSE(pipeline.Start().ok());  // double start
+  ASSERT_TRUE(pipeline.Finish().ok());
+}
+
+TEST(ParallelPipelineTest, ZeroParallelismClampsToOne) {
+  ParallelPipeline pipeline(0, SumPipelineFactory(), ProjectKeyFn({0}));
+  EXPECT_EQ(pipeline.parallelism(), 1u);
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sql/optimizer.h"
+#include "sql/plan_serde.h"
+#include "sql/planner.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+SchemaPtr KV() {
+  return Schema::Make({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+}
+
+TEST(PlanSerdeTest, ExprRoundTrip) {
+  auto exprs = {
+      SerializeExpr(*Col(3, "P.id")),
+      SerializeExpr(*Lit(Value(int64_t{-42}))),
+      SerializeExpr(*Lit(Value(2.5))),
+      SerializeExpr(*Lit(Value("quo\"te\\d"))),
+      SerializeExpr(*Lit(Value(true))),
+      SerializeExpr(*Lit(Value::Null())),
+      SerializeExpr(*And(Eq(Col(0), Lit(int64_t{1})),
+                         Or(Gt(Col(1), Lit(0.5)), Not(Lt(Col(2), Col(3)))))),
+      SerializeExpr(IsNullExpr(Col(1), true)),
+  };
+  Tuple probe({Value(int64_t{1}), Value(int64_t{2}), Value(int64_t{3}),
+               Value(int64_t{4})});
+  for (const std::string& text : exprs) {
+    // Parse the IR as part of a trivial plan and compare evaluation.
+    std::string plan_text = "(select (= (col 0 \"k\") (col 0 \"k\")) "
+                            "(scan 0 (schema (\"k\" INT64))))";
+    (void)plan_text;
+    SCOPED_TRACE(text);
+    // Round-trip through the full plan parser via a Select wrapper.
+    std::string wrapped =
+        "(project ((\"out\" INT64 " + text + ")) (scan 0 (schema "
+        "(\"a\" INT64) (\"b\" INT64) (\"c\" INT64) (\"d\" INT64))))";
+    Result<RelOpPtr> plan = ParsePlanIr(wrapped);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    // Re-serialising is stable (fixed point after one round).
+    EXPECT_EQ(SerializePlan(**plan), SerializePlan(**ParsePlanIr(
+                                         SerializePlan(**plan))));
+  }
+}
+
+TEST(PlanSerdeTest, PlanRoundTripPreservesSemantics) {
+  // A representative plan with every operator kind.
+  auto l = RelOp::Scan(0, KV()->Qualified("L"));
+  auto r = RelOp::Scan(1, KV()->Qualified("R"));
+  auto sel = *RelOp::Select(r, Gt(Col(1), Lit(int64_t{2})));
+  auto join = *RelOp::Join(l, sel, {0}, {0}, Lt(Col(1), Col(3)));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggregateKind::kCount, nullptr, "c"});
+  aggs.push_back({AggregateKind::kSum, Col(1), "s"});
+  auto agg = *RelOp::Aggregate(join, {0}, aggs);
+  auto proj = *RelOp::Project(
+      agg, {Col(0), Bin(BinaryOp::kAdd, Col(1), Lit(int64_t{0}))},
+      {{"key", ValueType::kInt64}, {"count", ValueType::kInt64}});
+  auto plan = *RelOp::Distinct(proj);
+
+  std::string ir = SerializePlan(*plan);
+  Result<RelOpPtr> back = ParsePlanIr(ir);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << ir;
+
+  std::mt19937_64 rng(17);
+  std::uniform_int_distribution<int64_t> val(0, 5);
+  for (int trial = 0; trial < 5; ++trial) {
+    MultisetRelation a, b;
+    for (int i = 0; i < 25; ++i) {
+      a.Add(Tuple({Value(val(rng)), Value(val(rng))}), 1);
+      b.Add(Tuple({Value(val(rng)), Value(val(rng))}), 1);
+    }
+    EXPECT_EQ(*plan->Eval({a, b}), *(*back)->Eval({a, b}));
+  }
+  // Output schemas survive the trip.
+  EXPECT_TRUE(plan->schema()->Equals(*(*back)->schema()));
+}
+
+TEST(PlanSerdeTest, FullQueryRoundTrip) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .RegisterStream("Person",
+                                  Schema::Make({{"id", ValueType::kInt64},
+                                                {"name", ValueType::kString}}))
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .RegisterStream(
+                      "RoomObservation",
+                      Schema::Make({{"id", ValueType::kInt64},
+                                    {"room", ValueType::kString}}))
+                  .ok());
+  auto planned = *PlanSql(
+      "Select count(P.id) From Person P, RoomObservation O [Range 15] "
+      "Where P.id = O.id EMIT RSTREAM",
+      catalog);
+  planned.query.plan = *OptimizePlan(planned.query.plan, OptimizerOptions{});
+
+  std::string ir = SerializeQuery(planned.query);
+  Result<ContinuousQuery> back = ParseQueryIr(ir);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << ir;
+  EXPECT_EQ(back->output, R2SKind::kRStream);
+  ASSERT_EQ(back->input_windows.size(), 2u);
+  EXPECT_EQ(back->input_windows[0].kind, S2RKind::kUnbounded);
+  EXPECT_EQ(back->input_windows[1].kind, S2RKind::kRange);
+  EXPECT_EQ(back->input_windows[1].range, 15);
+
+  // Execute both on the same workload: identical output streams.
+  RoomWorkload w = MakeRoomWorkload(5, 40, 3, 0.5, 0, 3);
+  std::vector<const BoundedStream*> inputs{&w.persons, &w.observations};
+  std::vector<Timestamp> ticks =
+      ReferenceExecutor::DefaultTicks(planned.query, inputs);
+  BoundedStream original =
+      *ReferenceExecutor::Execute(planned.query, inputs, ticks);
+  BoundedStream restored = *ReferenceExecutor::Execute(*back, inputs, ticks);
+  ASSERT_EQ(original.size(), restored.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original.at(i).tuple, restored.at(i).tuple);
+    EXPECT_EQ(original.at(i).timestamp, restored.at(i).timestamp);
+  }
+}
+
+TEST(PlanSerdeTest, WindowVariantsRoundTrip) {
+  ContinuousQuery q;
+  q.input_windows = {S2RSpec::Range(100, 10), S2RSpec::Now(),
+                     S2RSpec::Unbounded(), S2RSpec::Rows(7),
+                     S2RSpec::PartitionedRows({0, 2}, 3)};
+  q.plan = RelOp::Scan(0, KV());
+  q.output = R2SKind::kDStream;
+  Result<ContinuousQuery> back = ParseQueryIr(SerializeQuery(q));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->input_windows.size(), 5u);
+  EXPECT_EQ(back->input_windows[0].range, 100);
+  EXPECT_EQ(back->input_windows[0].slide, 10);
+  EXPECT_EQ(back->input_windows[1].kind, S2RKind::kNow);
+  EXPECT_EQ(back->input_windows[3].rows, 7u);
+  EXPECT_EQ(back->input_windows[4].partition_keys,
+            (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(back->output, R2SKind::kDStream);
+}
+
+TEST(PlanSerdeTest, ParseErrors) {
+  EXPECT_TRUE(ParsePlanIr("").status().IsParseError());
+  EXPECT_TRUE(ParsePlanIr("(scan").status().IsParseError());
+  EXPECT_TRUE(ParsePlanIr("(bogus 1)").status().IsParseError());
+  EXPECT_TRUE(ParsePlanIr("(scan x (schema))").status().IsParseError());
+  EXPECT_TRUE(ParseQueryIr("(query)").status().IsParseError());
+  EXPECT_TRUE(ParseQueryIr("(scan 0 (schema))").status().IsParseError());
+  EXPECT_TRUE(
+      ParsePlanIr("(scan 0 (schema)) extra").status().IsParseError());
+  // Unterminated string.
+  EXPECT_TRUE(ParsePlanIr("(scan 0 (schema (\"k INT64)))")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(PlanSerdeTest, IrIsHumanReadable) {
+  auto plan = *RelOp::Select(RelOp::Scan(0, KV()),
+                             Gt(Col(1, "v"), Lit(int64_t{5})));
+  std::string ir = SerializePlan(*plan);
+  EXPECT_EQ(ir,
+            "(select (> (col 1 \"v\") (lit i 5)) "
+            "(scan 0 (schema (\"k\" INT64) (\"v\" INT64))))");
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "cql/plan.h"
+
+namespace cq {
+namespace {
+
+SchemaPtr TwoColSchema() {
+  return Schema::Make({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+}
+
+MultisetRelation Rel(std::initializer_list<std::pair<Tuple, int64_t>> items) {
+  MultisetRelation r;
+  for (const auto& [t, c] : items) r.Add(t, c);
+  return r;
+}
+
+Tuple T2(int64_t a, int64_t b) { return Tuple({Value(a), Value(b)}); }
+
+TEST(PlanTest, ScanReadsInputSlot) {
+  auto plan = RelOp::Scan(1, TwoColSchema());
+  MultisetRelation a = Rel({{T2(1, 1), 1}});
+  MultisetRelation b = Rel({{T2(2, 2), 1}});
+  EXPECT_EQ(*plan->Eval({a, b}), b);
+  EXPECT_TRUE(plan->Eval({a}).status().code() == StatusCode::kPlanError);
+}
+
+TEST(PlanTest, SelectProjectPipeline) {
+  auto scan = RelOp::Scan(0, TwoColSchema());
+  auto select = *RelOp::Select(scan, Gt(Col(1), Lit(int64_t{5})));
+  auto project = *RelOp::Project(
+      select, {Col(0)}, {{"k", ValueType::kInt64}});
+  MultisetRelation in = Rel({{T2(1, 10), 1}, {T2(2, 3), 1}});
+  MultisetRelation out = *project->Eval({in});
+  EXPECT_EQ(out.Count(Tuple({Value(int64_t{1})})), 1);
+  EXPECT_EQ(out.NumDistinct(), 1u);
+  EXPECT_EQ(project->schema()->num_fields(), 1u);
+}
+
+TEST(PlanTest, JoinSchemaIsConcat) {
+  auto l = RelOp::Scan(0, TwoColSchema()->Qualified("L"));
+  auto r = RelOp::Scan(1, TwoColSchema()->Qualified("R"));
+  auto join = *RelOp::Join(l, r, {0}, {0});
+  EXPECT_EQ(join->schema()->num_fields(), 4u);
+  EXPECT_EQ(join->schema()->field(2).name, "R.k");
+
+  MultisetRelation a = Rel({{T2(1, 10), 1}});
+  MultisetRelation b = Rel({{T2(1, 20), 1}, {T2(2, 9), 1}});
+  MultisetRelation out = *join->Eval({a, b});
+  EXPECT_EQ(out.Count(Tuple::Concat(T2(1, 10), T2(1, 20))), 1);
+  EXPECT_EQ(out.Cardinality(), 1);
+}
+
+TEST(PlanTest, FactoryValidation) {
+  auto scan = RelOp::Scan(0, TwoColSchema());
+  EXPECT_FALSE(RelOp::Select(nullptr, Lit(Value(true))).ok());
+  EXPECT_FALSE(RelOp::Select(scan, nullptr).ok());
+  EXPECT_FALSE(RelOp::Join(scan, scan, {0, 1}, {0}).ok());
+  EXPECT_FALSE(RelOp::Join(scan, scan, {7}, {0}).ok());
+  EXPECT_FALSE(RelOp::Aggregate(scan, {9}, {}).ok());
+  EXPECT_FALSE(RelOp::Project(scan, {Col(0)}, {}).ok());
+  auto one_col = RelOp::Scan(1, Schema::Make({{"x", ValueType::kInt64}}));
+  EXPECT_FALSE(RelOp::Union(scan, one_col).ok());
+}
+
+TEST(PlanTest, MonotonicityAnalysis) {
+  auto scan = RelOp::Scan(0, TwoColSchema());
+  EXPECT_TRUE(scan->IsMonotonic());
+  auto select = *RelOp::Select(scan, Gt(Col(1), Lit(int64_t{0})));
+  EXPECT_TRUE(select->IsMonotonic());
+  auto join = *RelOp::Join(select, RelOp::Scan(1, TwoColSchema()), {0}, {0});
+  EXPECT_TRUE(join->IsMonotonic());
+  EXPECT_TRUE((*RelOp::Distinct(scan))->IsMonotonic());
+  EXPECT_TRUE((*RelOp::Union(scan, scan))->IsMonotonic());
+  EXPECT_TRUE((*RelOp::Intersect(scan, scan))->IsMonotonic());
+
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggregateKind::kCount, nullptr, "c"});
+  auto agg = *RelOp::Aggregate(scan, {0}, aggs);
+  EXPECT_FALSE(agg->IsMonotonic());
+  EXPECT_FALSE((*RelOp::Except(scan, scan))->IsMonotonic());
+  // Non-monotonicity poisons the whole tree.
+  auto sel_over_agg = *RelOp::Select(agg, Gt(Col(1), Lit(int64_t{1})));
+  EXPECT_FALSE(sel_over_agg->IsMonotonic());
+}
+
+TEST(PlanTest, DeltaComputabilityAnalysis) {
+  auto scan = RelOp::Scan(0, TwoColSchema());
+  auto select = *RelOp::Select(scan, Gt(Col(1), Lit(int64_t{0})));
+  EXPECT_TRUE(select->IsDeltaComputable());
+  EXPECT_FALSE((*RelOp::Distinct(scan))->IsDeltaComputable());
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggregateKind::kSum, Col(1), "s"});
+  EXPECT_FALSE((*RelOp::Aggregate(scan, {0}, aggs))->IsDeltaComputable());
+}
+
+TEST(PlanTest, TreeSizeAndInputs) {
+  auto l = RelOp::Scan(0, TwoColSchema());
+  auto r = RelOp::Scan(2, TwoColSchema());
+  auto join = *RelOp::Join(l, r, {0}, {0});
+  auto select = *RelOp::Select(join, Gt(Col(1), Lit(int64_t{0})));
+  EXPECT_EQ(select->TreeSize(), 4u);
+  std::vector<size_t> inputs;
+  select->CollectInputs(&inputs);
+  EXPECT_EQ(inputs, (std::vector<size_t>{0, 2}));
+}
+
+TEST(PlanTest, WithChildrenPreservesPayload) {
+  auto scan = RelOp::Scan(0, TwoColSchema());
+  auto select = *RelOp::Select(scan, Gt(Col(1), Lit(int64_t{5})));
+  auto other = RelOp::Scan(1, TwoColSchema());
+  auto rewired = select->WithChildren({other});
+  EXPECT_EQ(rewired->kind(), RelOpKind::kSelect);
+  EXPECT_EQ(rewired->children()[0]->input_index(), 1u);
+  EXPECT_EQ(rewired->predicate()->ToString(), select->predicate()->ToString());
+}
+
+TEST(PlanTest, ToStringShowsStructure) {
+  auto scan = RelOp::Scan(0, TwoColSchema());
+  auto select = *RelOp::Select(scan, Gt(Col(1, "v"), Lit(int64_t{5})));
+  std::string s = select->ToString();
+  EXPECT_NE(s.find("Select"), std::string::npos);
+  EXPECT_NE(s.find("Scan(#0)"), std::string::npos);
+}
+
+TEST(PlanTest, UnionExceptIntersectEval) {
+  auto a = RelOp::Scan(0, TwoColSchema());
+  auto b = RelOp::Scan(1, TwoColSchema());
+  MultisetRelation ra = Rel({{T2(1, 1), 2}});
+  MultisetRelation rb = Rel({{T2(1, 1), 1}, {T2(2, 2), 1}});
+  EXPECT_EQ((*(*RelOp::Union(a, b))->Eval({ra, rb})).Count(T2(1, 1)), 3);
+  EXPECT_EQ((*(*RelOp::Except(a, b))->Eval({ra, rb})).Count(T2(1, 1)), 1);
+  EXPECT_EQ((*(*RelOp::Intersect(a, b))->Eval({ra, rb})).Count(T2(1, 1)), 1);
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cql/provenance.h"
+
+namespace cq {
+namespace {
+
+Tuple T2(int64_t a, int64_t b) { return Tuple({Value(a), Value(b)}); }
+
+SchemaPtr KV() {
+  return Schema::Make({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+}
+
+MultisetRelation Rel(std::initializer_list<Tuple> items) {
+  MultisetRelation r;
+  for (const auto& t : items) r.Add(t, 1);
+  return r;
+}
+
+TEST(ProvenanceTest, BaseAnnotationAssignsIds) {
+  ProvenanceRelation base =
+      BaseProvenance(3, Rel({T2(1, 10), T2(2, 20)}));
+  ASSERT_EQ(base.size(), 2u);
+  const WhyProvenance* p = base.Find(T2(1, 10));
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->size(), 1u);
+  EXPECT_EQ(*p->begin(), (Witness{BaseTupleId{3, 0}}));
+}
+
+TEST(ProvenanceTest, SelectPreservesWitnesses) {
+  auto plan = *RelOp::Select(RelOp::Scan(0, KV()), Gt(Col(1), Lit(int64_t{15})));
+  std::vector<ProvenanceRelation> inputs{
+      BaseProvenance(0, Rel({T2(1, 10), T2(2, 20)}))};
+  ProvenanceRelation out = *EvalWithProvenance(*plan, inputs);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(*out.Find(T2(2, 20))->begin(), (Witness{BaseTupleId{0, 1}}));
+}
+
+TEST(ProvenanceTest, JoinUnionsWitnessPairs) {
+  auto plan = *RelOp::Join(RelOp::Scan(0, KV()), RelOp::Scan(1, KV()),
+                           {0}, {0});
+  std::vector<ProvenanceRelation> inputs{
+      BaseProvenance(0, Rel({T2(1, 10)})),
+      BaseProvenance(1, Rel({T2(1, 99)}))};
+  ProvenanceRelation out = *EvalWithProvenance(*plan, inputs);
+  ASSERT_EQ(out.size(), 1u);
+  Tuple joined = Tuple::Concat(T2(1, 10), T2(1, 99));
+  const WhyProvenance* p = out.Find(joined);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p->begin(), (Witness{BaseTupleId{0, 0}, BaseTupleId{1, 0}}));
+}
+
+TEST(ProvenanceTest, ProjectionMergesAlternatives) {
+  // Two distinct rows project to the same output: two alternative witnesses.
+  auto plan = *RelOp::Project(RelOp::Scan(0, KV()), {Col(0)},
+                              {{"k", ValueType::kInt64}});
+  std::vector<ProvenanceRelation> inputs{
+      BaseProvenance(0, Rel({T2(7, 1), T2(7, 2)}))};
+  ProvenanceRelation out = *EvalWithProvenance(*plan, inputs);
+  ASSERT_EQ(out.size(), 1u);
+  const WhyProvenance* p = out.Find(Tuple({Value(int64_t{7})}));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->size(), 2u);
+  // With two independent alternatives, the must-have core is empty.
+  EXPECT_TRUE(WitnessCore(*p).empty());
+}
+
+TEST(ProvenanceTest, AggregateCollectsWholeGroup) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggregateKind::kCount, nullptr, "c"});
+  auto plan = *RelOp::Aggregate(RelOp::Scan(0, KV()), {0}, aggs);
+  std::vector<ProvenanceRelation> inputs{
+      BaseProvenance(0, Rel({T2(1, 10), T2(1, 20), T2(2, 5)}))};
+  ProvenanceRelation out = *EvalWithProvenance(*plan, inputs);
+  ASSERT_EQ(out.size(), 2u);
+  const WhyProvenance* p =
+      out.Find(Tuple({Value(int64_t{1}), Value(int64_t{2})}));
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->size(), 1u);
+  EXPECT_EQ(*p->begin(), (Witness{BaseTupleId{0, 0}, BaseTupleId{0, 1}}));
+}
+
+TEST(ProvenanceTest, ExceptKeepsLeftWitnesses) {
+  auto plan = *RelOp::Except(RelOp::Scan(0, KV()), RelOp::Scan(1, KV()));
+  std::vector<ProvenanceRelation> inputs{
+      BaseProvenance(0, Rel({T2(1, 1), T2(2, 2)})),
+      BaseProvenance(1, Rel({T2(2, 2)}))};
+  ProvenanceRelation out = *EvalWithProvenance(*plan, inputs);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(T2(1, 1)));
+}
+
+TEST(ProvenanceTest, PlainProjectionMatchesSetSemantics) {
+  // Property: dropping annotations equals Distinct of the plain evaluation.
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<int64_t> val(0, 4);
+  auto join = *RelOp::Join(RelOp::Scan(0, KV()), RelOp::Scan(1, KV()),
+                           {0}, {0});
+  auto plan = *RelOp::Select(join, Gt(Col(1), Lit(int64_t{1})));
+  for (int trial = 0; trial < 10; ++trial) {
+    MultisetRelation a, b;
+    for (int i = 0; i < 15; ++i) {
+      a.Add(T2(val(rng), val(rng)), 1);
+      b.Add(T2(val(rng), val(rng)), 1);
+    }
+    std::vector<ProvenanceRelation> inputs{BaseProvenance(0, a),
+                                           BaseProvenance(1, b)};
+    ProvenanceRelation annotated = *EvalWithProvenance(*plan, inputs);
+    MultisetRelation plain =
+        plan->Eval({a.Distinct(), b.Distinct()})->Distinct();
+    EXPECT_EQ(annotated.ToRelation(), plain) << "trial " << trial;
+  }
+}
+
+TEST(ProvenanceTest, WitnessesAreSufficient) {
+  // Property: keeping ONLY the base tuples of one witness still derives the
+  // output tuple (sufficiency of why-provenance).
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<int64_t> val(0, 3);
+  auto plan = *RelOp::Join(RelOp::Scan(0, KV()), RelOp::Scan(1, KV()),
+                           {0}, {0});
+  MultisetRelation a, b;
+  for (int i = 0; i < 10; ++i) {
+    a.Add(T2(val(rng), val(rng)), 1);
+    b.Add(T2(val(rng), val(rng)), 1);
+  }
+  std::vector<ProvenanceRelation> inputs{BaseProvenance(0, a),
+                                         BaseProvenance(1, b)};
+  ProvenanceRelation out = *EvalWithProvenance(*plan, inputs);
+
+  // Index base tuples by id.
+  std::map<BaseTupleId, Tuple> by_id;
+  for (const auto& rel : inputs) {
+    for (const auto& [t, prov] : rel.entries()) {
+      for (const auto& w : prov) {
+        for (const auto& id : w) by_id[id] = t;
+      }
+    }
+  }
+  for (const auto& [t, prov] : out.entries()) {
+    const Witness& w = *prov.begin();
+    MultisetRelation ra, rb;
+    for (const auto& id : w) {
+      (id.slot == 0 ? ra : rb).Add(by_id.at(id), 1);
+    }
+    MultisetRelation derived = *plan->Eval({ra, rb});
+    EXPECT_GT(derived.Count(t), 0)
+        << t.ToString() << " not derivable from its witness";
+  }
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "queue/broker.h"
+
+namespace cq {
+namespace {
+
+Tuple T(int64_t v) { return Tuple({Value(v)}); }
+
+TEST(PartitionTest, AppendAssignsOffsets) {
+  Partition p;
+  EXPECT_EQ(p.Append("k", T(1), 10), 0);
+  EXPECT_EQ(p.Append("k", T(2), 20), 1);
+  EXPECT_EQ(p.EndOffset(), 2);
+  EXPECT_EQ(p.MaxTimestamp(), 20);
+}
+
+TEST(PartitionTest, ReadBatches) {
+  Partition p;
+  for (int i = 0; i < 10; ++i) p.Append("", T(i), i);
+  auto batch = *p.Read(3, 4);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0].offset, 3);
+  EXPECT_EQ(batch[3].offset, 6);
+  // Reading at the end yields an empty batch (poll semantics).
+  EXPECT_TRUE(p.Read(10, 5)->empty());
+  // Past the end is an error.
+  EXPECT_TRUE(p.Read(11, 1).status().IsOutOfRange());
+  EXPECT_TRUE(p.Read(-1, 1).status().IsOutOfRange());
+}
+
+TEST(TopicTest, KeyHashPartitioningIsStable) {
+  Topic t("orders", 4);
+  size_t p1 = t.PartitionFor("account-1");
+  EXPECT_EQ(t.PartitionFor("account-1"), p1);
+  EXPECT_LT(p1, 4u);
+}
+
+TEST(TopicTest, EmptyKeysRoundRobin) {
+  Topic t("events", 3);
+  std::set<size_t> seen;
+  for (int i = 0; i < 3; ++i) seen.insert(t.PartitionFor(""));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(BrokerTest, TopicLifecycle) {
+  Broker b;
+  ASSERT_TRUE(b.CreateTopic("t", 2).ok());
+  EXPECT_TRUE(b.CreateTopic("t", 2).code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_TRUE(b.CreateTopic("empty", 0).IsInvalidArgument());
+  EXPECT_TRUE(b.GetTopic("t").ok());
+  EXPECT_TRUE(b.GetTopic("missing").status().IsNotFound());
+}
+
+TEST(BrokerTest, ProduceConsumeCommit) {
+  Broker b;
+  ASSERT_TRUE(b.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(b.Produce("t", "k1", T(1), 10).ok());
+  ASSERT_TRUE(b.Produce("t", "k2", T(2), 20).ok());
+
+  auto batch = *b.Poll("g", "t", 0, 100);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].value, T(1));
+  EXPECT_EQ(batch[0].timestamp, 10);
+
+  // Without a commit, polling re-delivers.
+  EXPECT_EQ(b.Poll("g", "t", 0, 100)->size(), 2u);
+  ASSERT_TRUE(b.Commit("g", "t", 0, batch.back().offset + 1).ok());
+  EXPECT_TRUE(b.Poll("g", "t", 0, 100)->empty());
+  EXPECT_EQ(b.CommittedOffset("g", "t", 0), 2);
+
+  // Independent group starts from zero.
+  EXPECT_EQ(b.Poll("g2", "t", 0, 100)->size(), 2u);
+}
+
+TEST(BrokerTest, KeyedMessagesLandInOnePartition) {
+  Broker b;
+  ASSERT_TRUE(b.CreateTopic("t", 4).ok());
+  std::set<size_t> partitions;
+  for (int i = 0; i < 10; ++i) {
+    auto [p, offset] = *b.Produce("t", "same-key", T(i), i);
+    partitions.insert(p);
+  }
+  EXPECT_EQ(partitions.size(), 1u);
+}
+
+TEST(BrokerTest, PartitionAssignmentRoundRobin) {
+  Broker b;
+  ASSERT_TRUE(b.CreateTopic("t", 5).ok());
+  EXPECT_EQ(*b.AssignPartitions("t", 2, 0), (std::vector<size_t>{0, 2, 4}));
+  EXPECT_EQ(*b.AssignPartitions("t", 2, 1), (std::vector<size_t>{1, 3}));
+  EXPECT_TRUE(b.AssignPartitions("t", 0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(b.AssignPartitions("t", 2, 2).status().IsInvalidArgument());
+}
+
+TEST(BrokerTest, ConcurrentProducersAreSafe) {
+  Broker b;
+  ASSERT_TRUE(b.CreateTopic("t", 2).ok());
+  constexpr int kPerThread = 500;
+  auto produce = [&b](int base) {
+    for (int i = 0; i < kPerThread; ++i) {
+      ASSERT_TRUE(
+          b.Produce("t", std::to_string(base + i), T(base + i), i).ok());
+    }
+  };
+  std::thread t1(produce, 0), t2(produce, 100000);
+  t1.join();
+  t2.join();
+  Topic* t = *b.GetTopic("t");
+  EXPECT_EQ(t->partition(0).EndOffset() + t->partition(1).EndOffset(),
+            2 * kPerThread);
+}
+
+}  // namespace
+}  // namespace cq

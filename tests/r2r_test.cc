@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cql/r2r.h"
+
+namespace cq {
+namespace {
+
+Tuple T(int64_t a) { return Tuple({Value(a)}); }
+Tuple T2(int64_t a, int64_t b) { return Tuple({Value(a), Value(b)}); }
+
+MultisetRelation Rel(std::initializer_list<std::pair<Tuple, int64_t>> items) {
+  MultisetRelation r;
+  for (const auto& [t, c] : items) r.Add(t, c);
+  return r;
+}
+
+MultisetRelation RandomRel(std::mt19937_64* rng, bool allow_negative) {
+  std::uniform_int_distribution<int64_t> val(0, 5), mult(1, 3);
+  std::uniform_int_distribution<int64_t> smult(-3, 3);
+  MultisetRelation r;
+  for (int i = 0; i < 12; ++i) {
+    r.Add(T2(val(*rng), val(*rng)),
+          allow_negative ? smult(*rng) : mult(*rng));
+  }
+  return r;
+}
+
+TEST(SelectOpTest, FiltersByPredicate) {
+  auto rel = Rel({{T2(1, 10), 2}, {T2(2, 20), 1}, {T2(3, 5), 1}});
+  auto pred = Gt(Col(1), Lit(int64_t{9}));
+  MultisetRelation out = *SelectOp(rel, *pred);
+  EXPECT_EQ(out.Count(T2(1, 10)), 2);
+  EXPECT_EQ(out.Count(T2(2, 20)), 1);
+  EXPECT_EQ(out.Count(T2(3, 5)), 0);
+}
+
+TEST(SelectOpTest, IsLinear) {
+  std::mt19937_64 rng(42);
+  auto pred = Eq(Col(0), Lit(int64_t{2}));
+  for (int trial = 0; trial < 10; ++trial) {
+    MultisetRelation a = RandomRel(&rng, true);
+    MultisetRelation b = RandomRel(&rng, true);
+    EXPECT_EQ(*SelectOp(a.Plus(b), *pred),
+              SelectOp(a, *pred)->Plus(*SelectOp(b, *pred)));
+  }
+}
+
+TEST(ProjectOpTest, EvaluatesExpressions) {
+  auto rel = Rel({{T2(1, 10), 1}, {T2(2, 20), 3}});
+  std::vector<ExprPtr> exprs = {Bin(BinaryOp::kAdd, Col(0), Col(1))};
+  MultisetRelation out = *ProjectOp(rel, exprs);
+  EXPECT_EQ(out.Count(T(11)), 1);
+  EXPECT_EQ(out.Count(T(22)), 3);
+}
+
+TEST(ProjectOpTest, MergesCollidingOutputs) {
+  // Projection is bag-preserving: tuples mapping to the same output add up.
+  auto rel = Rel({{T2(1, 7), 1}, {T2(2, 7), 2}});
+  std::vector<ExprPtr> exprs = {Col(1)};
+  MultisetRelation out = *ProjectOp(rel, exprs);
+  EXPECT_EQ(out.Count(T(7)), 3);
+}
+
+TEST(JoinOpTest, ThetaJoinMultiplicityProduct) {
+  auto left = Rel({{T(1), 2}});
+  auto right = Rel({{T(1), 3}});
+  auto pred = Eq(Col(0), Col(1));
+  MultisetRelation out = *ThetaJoinOp(left, right, pred.get());
+  EXPECT_EQ(out.Count(T2(1, 1)), 6);
+}
+
+TEST(JoinOpTest, HashJoinMatchesThetaJoin) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    MultisetRelation l = RandomRel(&rng, trial % 2 == 0);
+    MultisetRelation r = RandomRel(&rng, trial % 2 == 0);
+    auto pred = Eq(Col(0), Col(2));  // l.col0 == r.col0 (arity 2 each)
+    MultisetRelation theta = *ThetaJoinOp(l, r, pred.get());
+    MultisetRelation hash = *HashJoinOp(l, r, {0}, {0}, nullptr);
+    EXPECT_EQ(theta, hash) << "trial " << trial;
+  }
+}
+
+TEST(JoinOpTest, HashJoinResidualPredicate) {
+  auto l = Rel({{T2(1, 5), 1}, {T2(1, 50), 1}});
+  auto r = Rel({{T2(1, 9), 1}});
+  // join on col0; residual: left.col1 < right.col1 (index 3 in concat).
+  auto residual = Lt(Col(1), Col(3));
+  MultisetRelation out = *HashJoinOp(l, r, {0}, {0}, residual.get());
+  EXPECT_EQ(out.NumDistinct(), 1u);
+  EXPECT_EQ(out.Count(Tuple::Concat(T2(1, 5), T2(1, 9))), 1);
+}
+
+TEST(JoinOpTest, CrossProductWithNullPredicate) {
+  auto l = Rel({{T(1), 1}, {T(2), 1}});
+  auto r = Rel({{T(3), 1}});
+  MultisetRelation out = *ThetaJoinOp(l, r, nullptr);
+  EXPECT_EQ(out.Cardinality(), 2);
+}
+
+TEST(JoinOpTest, IsBilinear) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    MultisetRelation l1 = RandomRel(&rng, true);
+    MultisetRelation l2 = RandomRel(&rng, true);
+    MultisetRelation r = RandomRel(&rng, true);
+    MultisetRelation lhs = *HashJoinOp(l1.Plus(l2), r, {0}, {0}, nullptr);
+    MultisetRelation rhs = HashJoinOp(l1, r, {0}, {0}, nullptr)
+                               ->Plus(*HashJoinOp(l2, r, {0}, {0}, nullptr));
+    EXPECT_EQ(lhs, rhs) << "trial " << trial;
+  }
+}
+
+TEST(SetOpsTest, UnionExceptIntersect) {
+  auto a = Rel({{T(1), 2}, {T(2), 1}});
+  auto b = Rel({{T(1), 1}, {T(3), 1}});
+  EXPECT_EQ(UnionOp(a, b).Count(T(1)), 3);
+  MultisetRelation except = ExceptOp(a, b);
+  EXPECT_EQ(except.Count(T(1)), 1);  // 2 - 1
+  EXPECT_EQ(except.Count(T(2)), 1);
+  EXPECT_EQ(except.Count(T(3)), 0);
+  MultisetRelation inter = IntersectOp(a, b);
+  EXPECT_EQ(inter.Count(T(1)), 1);  // min(2, 1)
+  EXPECT_EQ(inter.Count(T(2)), 0);
+}
+
+TEST(SetOpsTest, ExceptFloorsAtZero) {
+  auto a = Rel({{T(1), 1}});
+  auto b = Rel({{T(1), 5}});
+  EXPECT_TRUE(ExceptOp(a, b).Empty());
+}
+
+TEST(AggregateOpTest, GroupedAggregates) {
+  auto rel = Rel({{T2(1, 10), 1}, {T2(1, 20), 2}, {T2(2, 5), 1}});
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggregateKind::kCount, nullptr, "cnt"});
+  aggs.push_back({AggregateKind::kSum, Col(1), "total"});
+  MultisetRelation out = *AggregateOp(rel, {0}, aggs);
+  // Group 1: count 3 (bag!), sum 10 + 20 + 20 = 50.
+  EXPECT_EQ(out.Count(Tuple({Value(int64_t{1}), Value(int64_t{3}),
+                             Value(50.0)})),
+            1);
+  EXPECT_EQ(out.Count(Tuple({Value(int64_t{2}), Value(int64_t{1}),
+                             Value(5.0)})),
+            1);
+}
+
+TEST(AggregateOpTest, GlobalAggregateOnEmptyInput) {
+  MultisetRelation empty;
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggregateKind::kCount, nullptr, "cnt"});
+  MultisetRelation out = *AggregateOp(empty, {}, aggs);
+  EXPECT_EQ(out.Count(Tuple({Value(int64_t{0})})), 1);
+}
+
+TEST(AggregateOpTest, GroupedAggregateOnEmptyInputIsEmpty) {
+  MultisetRelation empty;
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggregateKind::kCount, nullptr, "cnt"});
+  EXPECT_TRUE(AggregateOp(empty, {0}, aggs)->Empty());
+}
+
+TEST(AggregateOpTest, RejectsNegativeMultiplicities) {
+  auto delta = Rel({{T2(1, 10), -1}});
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggregateKind::kCount, nullptr, "cnt"});
+  EXPECT_TRUE(AggregateOp(delta, {0}, aggs).status().IsInvalidArgument());
+}
+
+TEST(AggregateOpTest, MinMaxOverGroups) {
+  auto rel = Rel({{T2(1, 10), 1}, {T2(1, 3), 1}, {T2(1, 7), 1}});
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggregateKind::kMin, Col(1), "lo"});
+  aggs.push_back({AggregateKind::kMax, Col(1), "hi"});
+  aggs.push_back({AggregateKind::kAvg, Col(1), "mean"});
+  MultisetRelation out = *AggregateOp(rel, {0}, aggs);
+  Tuple expected({Value(int64_t{1}), Value(int64_t{3}), Value(int64_t{10}),
+                  Value(20.0 / 3.0)});
+  EXPECT_EQ(out.Count(expected), 1);
+}
+
+TEST(DistinctOpTest, CollapsesToSet) {
+  auto rel = Rel({{T(1), 5}, {T(2), 1}});
+  MultisetRelation out = DistinctOp(rel);
+  EXPECT_EQ(out.Count(T(1)), 1);
+  EXPECT_EQ(out.Count(T(2)), 1);
+}
+
+}  // namespace
+}  // namespace cq

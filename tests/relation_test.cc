@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "relation/relation.h"
+
+namespace cq {
+namespace {
+
+Tuple T(int64_t v) { return Tuple({Value(v)}); }
+
+TEST(MultisetTest, AddAndCount) {
+  MultisetRelation r;
+  r.Add(T(1), 2);
+  r.Add(T(2), 1);
+  EXPECT_EQ(r.Count(T(1)), 2);
+  EXPECT_EQ(r.Count(T(3)), 0);
+  EXPECT_EQ(r.NumDistinct(), 2u);
+  EXPECT_EQ(r.Cardinality(), 3);
+}
+
+TEST(MultisetTest, ZeroMultiplicityEntriesVanish) {
+  MultisetRelation r;
+  r.Add(T(1), 2);
+  r.Add(T(1), -2);
+  EXPECT_TRUE(r.Empty());
+  r.Add(T(1), 0);
+  EXPECT_TRUE(r.Empty());
+}
+
+TEST(MultisetTest, NegativeMultiplicitiesAreDeltas) {
+  MultisetRelation r;
+  r.Add(T(1), -3);
+  EXPECT_EQ(r.Count(T(1)), -3);
+  EXPECT_EQ(r.Cardinality(), 0);  // only positive part counted
+  EXPECT_EQ(r.NegativePartAbs().Count(T(1)), 3);
+  EXPECT_TRUE(r.PositivePart().Empty());
+}
+
+TEST(MultisetTest, PlusMinusNegateLaws) {
+  MultisetRelation a, b;
+  a.Add(T(1), 2);
+  a.Add(T(2), 1);
+  b.Add(T(2), 4);
+  b.Add(T(3), -1);
+
+  // a + b - b == a.
+  EXPECT_EQ(a.Plus(b).Minus(b), a);
+  // a + (-a) == 0.
+  EXPECT_TRUE(a.Plus(a.Negate()).Empty());
+  // Commutativity.
+  EXPECT_EQ(a.Plus(b), b.Plus(a));
+}
+
+TEST(MultisetTest, DistinctTakesPositiveSupport) {
+  MultisetRelation r;
+  r.Add(T(1), 5);
+  r.Add(T(2), -2);
+  MultisetRelation d = r.Distinct();
+  EXPECT_EQ(d.Count(T(1)), 1);
+  EXPECT_EQ(d.Count(T(2)), 0);
+}
+
+TEST(MultisetTest, ToBagExpandsMultiplicities) {
+  MultisetRelation r;
+  r.Add(T(7), 3);
+  auto bag = r.ToBag();
+  EXPECT_EQ(bag.size(), 3u);
+  EXPECT_EQ(bag[0], T(7));
+}
+
+TEST(MultisetTest, ToStringDeterministic) {
+  MultisetRelation r;
+  r.Add(T(2), 1);
+  r.Add(T(1), 2);
+  EXPECT_EQ(r.ToString(), "{(1) x2, (2)}");
+}
+
+// Property: Z-set addition is associative on random inputs.
+class ZSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZSetPropertyTest, AdditionAssociative) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> val(0, 9), mult(-3, 3);
+  MultisetRelation a, b, c;
+  for (int i = 0; i < 20; ++i) {
+    a.Add(T(val(rng)), mult(rng));
+    b.Add(T(val(rng)), mult(rng));
+    c.Add(T(val(rng)), mult(rng));
+  }
+  EXPECT_EQ(a.Plus(b).Plus(c), a.Plus(b.Plus(c)));
+  EXPECT_EQ(a.Minus(b), a.Plus(b.Negate()));
+  // Positive + negative parts reassemble the original.
+  EXPECT_EQ(a.PositivePart().Plus(a.NegativePartAbs().Negate()), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZSetPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+TEST(TimeVaryingRelationTest, AtReconstructsHistory) {
+  TimeVaryingRelation r;
+  r.Insert(10, T(1));
+  r.Insert(20, T(2));
+  r.Delete(30, T(1));
+
+  EXPECT_TRUE(r.At(5).Empty());
+  EXPECT_EQ(r.At(10).Count(T(1)), 1);
+  EXPECT_EQ(r.At(25).Count(T(2)), 1);
+  EXPECT_EQ(r.At(25).Count(T(1)), 1);
+  EXPECT_EQ(r.At(30).Count(T(1)), 0);
+  EXPECT_EQ(r.At(1000).Count(T(2)), 1);
+}
+
+TEST(TimeVaryingRelationTest, DeltaAtAndChangeInstants) {
+  TimeVaryingRelation r;
+  r.Insert(10, T(1));
+  r.Insert(10, T(2));
+  r.Delete(20, T(1));
+  EXPECT_EQ(r.DeltaAt(10).Cardinality(), 2);
+  EXPECT_EQ(r.DeltaAt(20).Count(T(1)), -1);
+  EXPECT_TRUE(r.DeltaAt(15).Empty());
+  EXPECT_EQ(r.ChangeInstants(), (std::vector<Timestamp>{10, 20}));
+}
+
+TEST(TimeVaryingRelationTest, CancellingDeltaDisappears) {
+  TimeVaryingRelation r;
+  r.Insert(10, T(1));
+  r.Delete(10, T(1));
+  EXPECT_TRUE(r.Empty());
+  EXPECT_TRUE(r.ChangeInstants().empty());
+}
+
+}  // namespace
+}  // namespace cq

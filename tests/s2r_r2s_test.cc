@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "cql/r2s.h"
+#include "cql/s2r.h"
+
+namespace cq {
+namespace {
+
+Tuple T(int64_t v) { return Tuple({Value(v)}); }
+Tuple T2(int64_t a, int64_t b) { return Tuple({Value(a), Value(b)}); }
+
+BoundedStream MakeStream() {
+  BoundedStream s;
+  s.Append(T(1), 10);
+  s.Append(T(2), 20);
+  s.Append(T(3), 30);
+  s.Append(T(4), 40);
+  return s;
+}
+
+TEST(S2RTest, RangeWindowContents) {
+  BoundedStream s = MakeStream();
+  // [Range 15] at tau=30: (15, 30] -> elements at 20, 30.
+  S2RSpec spec = S2RSpec::Range(15);
+  MultisetRelation r = *ApplyS2R(s, spec, 30);
+  EXPECT_EQ(r.Count(T(2)), 1);
+  EXPECT_EQ(r.Count(T(3)), 1);
+  EXPECT_EQ(r.Count(T(1)), 0);
+  EXPECT_EQ(r.Count(T(4)), 0);
+}
+
+TEST(S2RTest, RangeZeroIsEmptyExceptExact) {
+  BoundedStream s = MakeStream();
+  // Range 0: (tau, tau] is empty.
+  MultisetRelation r = *ApplyS2R(s, S2RSpec::Range(0), 20);
+  EXPECT_TRUE(r.Empty());
+}
+
+TEST(S2RTest, NowWindow) {
+  BoundedStream s = MakeStream();
+  EXPECT_EQ(ApplyS2R(s, S2RSpec::Now(), 20)->Count(T(2)), 1);
+  EXPECT_TRUE(ApplyS2R(s, S2RSpec::Now(), 21)->Empty());
+}
+
+TEST(S2RTest, UnboundedWindowAccumulates) {
+  BoundedStream s = MakeStream();
+  EXPECT_EQ(ApplyS2R(s, S2RSpec::Unbounded(), 25)->Cardinality(), 2);
+  EXPECT_EQ(ApplyS2R(s, S2RSpec::Unbounded(), 100)->Cardinality(), 4);
+}
+
+TEST(S2RTest, RowsWindowKeepsLastN) {
+  BoundedStream s = MakeStream();
+  MultisetRelation r = *ApplyS2R(s, S2RSpec::Rows(2), 35);
+  EXPECT_EQ(r.Count(T(2)), 1);
+  EXPECT_EQ(r.Count(T(3)), 1);
+  EXPECT_EQ(r.Cardinality(), 2);
+  // Fewer than N available: all kept.
+  EXPECT_EQ(ApplyS2R(s, S2RSpec::Rows(10), 15)->Cardinality(), 1);
+}
+
+TEST(S2RTest, PartitionedRowsPerKey) {
+  BoundedStream s;
+  s.Append(T2(1, 100), 1);
+  s.Append(T2(1, 101), 2);
+  s.Append(T2(2, 200), 3);
+  s.Append(T2(1, 102), 4);
+  S2RSpec spec = S2RSpec::PartitionedRows({0}, 2);
+  MultisetRelation r = *ApplyS2R(s, spec, 10);
+  // Key 1: last two = 101, 102. Key 2: 200.
+  EXPECT_EQ(r.Count(T2(1, 101)), 1);
+  EXPECT_EQ(r.Count(T2(1, 102)), 1);
+  EXPECT_EQ(r.Count(T2(1, 100)), 0);
+  EXPECT_EQ(r.Count(T2(2, 200)), 1);
+}
+
+TEST(S2RTest, SlideAlignsEvaluation) {
+  BoundedStream s = MakeStream();
+  // Range 20 Slide 20: at tau=35, aligned tau' = 20 -> (0, 20].
+  S2RSpec spec = S2RSpec::Range(20, 20);
+  MultisetRelation r = *ApplyS2R(s, spec, 35);
+  EXPECT_EQ(r.Count(T(1)), 1);
+  EXPECT_EQ(r.Count(T(2)), 1);
+  EXPECT_EQ(r.Count(T(3)), 0);  // ts 30 > aligned tau' 20
+}
+
+TEST(S2RTest, TupleValidityMatchesMembership) {
+  S2RSpec spec = S2RSpec::Range(15);
+  TimeInterval validity = *TupleValidity(spec, 20);
+  EXPECT_EQ(validity, (TimeInterval{20, 35}));
+  BoundedStream s;
+  s.Append(T(1), 20);
+  for (Timestamp tau = 15; tau < 40; ++tau) {
+    bool member = !ApplyS2R(s, spec, tau)->Empty();
+    EXPECT_EQ(member, validity.Contains(tau)) << "tau=" << tau;
+  }
+}
+
+TEST(S2RTest, ValidityUndefinedForRowsWindows) {
+  EXPECT_FALSE(TupleValidity(S2RSpec::Rows(5), 10).ok());
+}
+
+TEST(S2RTest, ChangeInstantsCoverArrivalsAndExpiries) {
+  BoundedStream s;
+  s.Append(T(1), 10);
+  s.Append(T(2), 12);
+  auto instants = ChangeInstants(s, S2RSpec::Range(5), 100);
+  // Arrivals 10, 12; expiries 15, 17.
+  EXPECT_EQ(instants, (std::vector<Timestamp>{10, 12, 15, 17}));
+}
+
+TEST(R2STest, IStreamEmitsInsertions) {
+  TimeVaryingRelation rel;
+  rel.Insert(10, T(1));
+  rel.Insert(20, T(2));
+  rel.Delete(30, T(1));
+  BoundedStream out = ApplyR2S(rel, R2SKind::kIStream, {10, 20, 30});
+  ASSERT_EQ(out.num_records(), 2u);
+  EXPECT_EQ(out.at(0).tuple, T(1));
+  EXPECT_EQ(out.at(0).timestamp, 10);
+  EXPECT_EQ(out.at(1).tuple, T(2));
+}
+
+TEST(R2STest, DStreamEmitsDeletions) {
+  TimeVaryingRelation rel;
+  rel.Insert(10, T(1));
+  rel.Delete(30, T(1));
+  BoundedStream out = ApplyR2S(rel, R2SKind::kDStream, {10, 30});
+  ASSERT_EQ(out.num_records(), 1u);
+  EXPECT_EQ(out.at(0).tuple, T(1));
+  EXPECT_EQ(out.at(0).timestamp, 30);
+}
+
+TEST(R2STest, RStreamEmitsFullRelationEachTick) {
+  TimeVaryingRelation rel;
+  rel.Insert(10, T(1));
+  rel.Insert(20, T(2));
+  BoundedStream out = ApplyR2S(rel, R2SKind::kRStream, {10, 20});
+  // tick 10: {1}; tick 20: {1, 2} -> 3 records total.
+  EXPECT_EQ(out.num_records(), 3u);
+}
+
+TEST(R2STest, IStreamDStreamDuality) {
+  // IStream records minus DStream records reconstruct the final relation.
+  TimeVaryingRelation rel;
+  rel.Insert(1, T(1));
+  rel.Insert(2, T(2));
+  rel.Delete(3, T(1));
+  rel.Insert(4, T(3));
+  rel.Delete(5, T(3));
+  std::vector<Timestamp> ticks{1, 2, 3, 4, 5};
+  BoundedStream istream = ApplyR2S(rel, R2SKind::kIStream, ticks);
+  BoundedStream dstream = ApplyR2S(rel, R2SKind::kDStream, ticks);
+  MultisetRelation reconstructed;
+  for (const auto& e : istream) reconstructed.Add(e.tuple, 1);
+  for (const auto& e : dstream) reconstructed.Add(e.tuple, -1);
+  EXPECT_EQ(reconstructed, rel.At(5));
+}
+
+TEST(R2STest, MultiplicityEmitsDuplicates) {
+  TimeVaryingRelation rel;
+  MultisetRelation delta;
+  delta.Add(T(1), 3);
+  rel.ApplyDelta(10, delta);
+  BoundedStream out = ApplyR2S(rel, R2SKind::kIStream, {10});
+  EXPECT_EQ(out.num_records(), 3u);
+}
+
+TEST(R2STest, RelationKindEmitsNothing) {
+  TimeVaryingRelation rel;
+  rel.Insert(10, T(1));
+  EXPECT_EQ(ApplyR2S(rel, R2SKind::kRelation, {10}).num_records(), 0u);
+}
+
+TEST(R2STest, StepFormMatchesBatchForm) {
+  MultisetRelation prev, cur;
+  prev.Add(T(1), 1);
+  cur.Add(T(1), 1);
+  cur.Add(T(2), 2);
+  auto istep = R2SStep(prev, cur, R2SKind::kIStream, 7);
+  ASSERT_EQ(istep.size(), 2u);
+  EXPECT_EQ(istep[0].tuple, T(2));
+  EXPECT_EQ(istep[0].timestamp, 7);
+}
+
+}  // namespace
+}  // namespace cq

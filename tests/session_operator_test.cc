@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/executor.h"
+#include "dataflow/operators.h"
+#include "dataflow/session_operator.h"
+
+namespace cq {
+namespace {
+
+Tuple T2(int64_t k, int64_t v) { return Tuple({Value(k), Value(v)}); }
+
+struct Fixture {
+  std::unique_ptr<PipelineExecutor> exec;
+  NodeId src = 0;
+  BoundedStream out;
+  SessionWindowOperator* op = nullptr;
+
+  explicit Fixture(Duration gap) {
+    SessionAggregateConfig cfg;
+    cfg.gap = gap;
+    cfg.key_indexes = {0};
+    cfg.aggs.push_back({AggregateKind::kCount, nullptr, "n"});
+    cfg.aggs.push_back({AggregateKind::kSum, Col(1), "sum"});
+    auto g = std::make_unique<DataflowGraph>();
+    src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+    auto session = std::make_unique<SessionWindowOperator>("session", cfg);
+    op = session.get();
+    NodeId win = g->AddNode(std::move(session));
+    NodeId sink =
+        g->AddNode(std::make_unique<CollectSinkOperator>("sink", &out));
+    EXPECT_TRUE(g->Connect(src, win).ok());
+    EXPECT_TRUE(g->Connect(win, sink).ok());
+    exec = std::make_unique<PipelineExecutor>(std::move(g));
+  }
+};
+
+TEST(SessionOperatorTest, EmitsOnSessionClose) {
+  Fixture f(10);
+  ASSERT_TRUE(f.exec->PushRecord(f.src, T2(1, 5), 0).ok());
+  ASSERT_TRUE(f.exec->PushRecord(f.src, T2(1, 7), 4).ok());
+  // Session is open [0, 14): watermark 13 does not close it.
+  ASSERT_TRUE(f.exec->PushWatermark(f.src, 13).ok());
+  EXPECT_EQ(f.out.num_records(), 0u);
+  ASSERT_TRUE(f.exec->PushWatermark(f.src, 14).ok());
+  ASSERT_EQ(f.out.num_records(), 1u);
+  // (key, start, end, count, sum) @ end-1.
+  EXPECT_EQ(f.out.at(0).tuple,
+            Tuple({Value(int64_t{1}), Value(int64_t{0}), Value(int64_t{14}),
+                   Value(int64_t{2}), Value(12.0)}));
+  EXPECT_EQ(f.out.at(0).timestamp, 13);
+  EXPECT_EQ(f.op->sessions_emitted(), 1u);
+  EXPECT_EQ(f.op->open_sessions(), 0u);
+}
+
+TEST(SessionOperatorTest, GapSplitsSessions) {
+  Fixture f(5);
+  ASSERT_TRUE(f.exec->PushRecord(f.src, T2(1, 1), 0).ok());
+  ASSERT_TRUE(f.exec->PushRecord(f.src, T2(1, 2), 20).ok());  // > gap apart
+  ASSERT_TRUE(f.exec->PushWatermark(f.src, 100).ok());
+  ASSERT_EQ(f.out.num_records(), 2u);
+  EXPECT_EQ(f.out.at(0).tuple[1], Value(int64_t{0}));
+  EXPECT_EQ(f.out.at(0).tuple[2], Value(int64_t{5}));
+  EXPECT_EQ(f.out.at(1).tuple[1], Value(int64_t{20}));
+  EXPECT_EQ(f.out.at(1).tuple[2], Value(int64_t{25}));
+}
+
+TEST(SessionOperatorTest, BridgingElementMergesStateAcrossSessions) {
+  Fixture f(10);
+  ASSERT_TRUE(f.exec->PushRecord(f.src, T2(1, 100), 0).ok());
+  ASSERT_TRUE(f.exec->PushRecord(f.src, T2(1, 200), 18).ok());
+  EXPECT_EQ(f.op->open_sessions(), 2u);
+  // Element at 9 bridges [0,10) and [18,28) into [0,28).
+  ASSERT_TRUE(f.exec->PushRecord(f.src, T2(1, 1), 9).ok());
+  EXPECT_EQ(f.op->open_sessions(), 1u);
+  ASSERT_TRUE(f.exec->PushWatermark(f.src, 50).ok());
+  ASSERT_EQ(f.out.num_records(), 1u);
+  EXPECT_EQ(f.out.at(0).tuple[3], Value(int64_t{3}));   // merged count
+  EXPECT_EQ(f.out.at(0).tuple[4], Value(301.0));        // merged sum
+}
+
+TEST(SessionOperatorTest, KeysHaveIndependentSessions) {
+  Fixture f(10);
+  ASSERT_TRUE(f.exec->PushRecord(f.src, T2(1, 1), 0).ok());
+  ASSERT_TRUE(f.exec->PushRecord(f.src, T2(2, 2), 5).ok());
+  EXPECT_EQ(f.op->open_sessions(), 2u);
+  ASSERT_TRUE(f.exec->PushWatermark(f.src, 100).ok());
+  EXPECT_EQ(f.out.num_records(), 2u);
+}
+
+TEST(SessionOperatorTest, LateElementsDropped) {
+  Fixture f(10);
+  ASSERT_TRUE(f.exec->PushRecord(f.src, T2(1, 1), 0).ok());
+  ASSERT_TRUE(f.exec->PushWatermark(f.src, 50).ok());
+  ASSERT_TRUE(f.exec->PushRecord(f.src, T2(1, 2), 20).ok());  // behind wm
+  EXPECT_EQ(f.op->dropped_late(), 1u);
+  EXPECT_EQ(f.out.num_records(), 1u);
+}
+
+TEST(SessionOperatorTest, SnapshotRestoreRoundTrip) {
+  SessionAggregateConfig cfg;
+  cfg.gap = 10;
+  cfg.key_indexes = {0};
+  cfg.aggs.push_back({AggregateKind::kSum, Col(1), "sum"});
+
+  SessionWindowOperator a("a", cfg);
+  OperatorContext ctx;
+  class NullCollector : public Collector {
+   public:
+    void Emit(StreamElement) override {}
+  } null_sink;
+  ASSERT_TRUE(a.ProcessElement(0, StreamElement::Record(T2(1, 5), 0), ctx,
+                               &null_sink)
+                  .ok());
+  ASSERT_TRUE(a.ProcessElement(0, StreamElement::Record(T2(1, 7), 8), ctx,
+                               &null_sink)
+                  .ok());
+  ASSERT_TRUE(a.ProcessElement(0, StreamElement::Record(T2(2, 9), 3), ctx,
+                               &null_sink)
+                  .ok());
+  std::string image = *a.SnapshotState();
+
+  SessionWindowOperator b("b", cfg);
+  ASSERT_TRUE(b.RestoreState(image).ok());
+  EXPECT_EQ(b.StateSize(), a.StateSize());
+
+  // Both emit identical sessions on the closing watermark.
+  BoundedStream out_a, out_b;
+  CollectingWriter wa(&out_a), wb(&out_b);
+  class WriterCollector : public Collector {
+   public:
+    explicit WriterCollector(BoundedStream* out) : out_(out) {}
+    void Emit(StreamElement e) override { out_->Append(std::move(e)); }
+
+   private:
+    BoundedStream* out_;
+  } ca(&out_a), cb(&out_b);
+  ASSERT_TRUE(a.OnWatermark(100, ctx, &ca).ok());
+  ASSERT_TRUE(b.OnWatermark(100, ctx, &cb).ok());
+  ASSERT_EQ(out_a.num_records(), out_b.num_records());
+  for (size_t i = 0; i < out_a.num_records(); ++i) {
+    EXPECT_EQ(out_a.at(i).tuple, out_b.at(i).tuple);
+  }
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cql/snapshot.h"
+
+namespace cq {
+namespace {
+
+Tuple T(int64_t v) { return Tuple({Value(v)}); }
+Tuple T2(int64_t a, int64_t b) { return Tuple({Value(a), Value(b)}); }
+
+LogicalStream RandomStream(uint64_t seed, int n) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> val(0, 5);
+  std::uniform_int_distribution<Timestamp> start(0, 50);
+  std::uniform_int_distribution<Duration> len(1, 20);
+  LogicalStream s;
+  for (int i = 0; i < n; ++i) {
+    Timestamp st = start(rng);
+    s.Add(T2(val(rng), val(rng)), {st, st + len(rng)});
+  }
+  return s;
+}
+
+TEST(LogicalStreamTest, SnapshotAtRespectsValidity) {
+  LogicalStream s;
+  s.Add(T(1), {10, 20});
+  s.Add(T(2), {15, 25});
+  EXPECT_EQ(s.SnapshotAt(12).Cardinality(), 1);
+  EXPECT_EQ(s.SnapshotAt(17).Cardinality(), 2);
+  EXPECT_EQ(s.SnapshotAt(22).Cardinality(), 1);
+  EXPECT_TRUE(s.SnapshotAt(30).Empty());
+  // Empty validity intervals are dropped.
+  s.Add(T(3), {5, 5});
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(LogicalStreamTest, EndpointsSortedUnique) {
+  LogicalStream s;
+  s.Add(T(1), {10, 20});
+  s.Add(T(2), {10, 15});
+  EXPECT_EQ(s.Endpoints(), (std::vector<Timestamp>{10, 15, 20}));
+}
+
+// Definition 3.2 certification per operator, on random logical streams.
+class SnapshotReducibilityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnapshotReducibilityTest, SelectIsSnapshotReducible) {
+  LogicalStream s = RandomStream(GetParam(), 25);
+  auto pred = Gt(Col(1), Lit(int64_t{2}));
+  Status st = CheckSnapshotReducibleUnary(
+      s,
+      [&](const LogicalStream& in) { return SelectLS(in, *pred); },
+      [&](const MultisetRelation& in) { return SelectOp(in, *pred); },
+      s.Endpoints());
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(SnapshotReducibilityTest, ProjectIsSnapshotReducible) {
+  LogicalStream s = RandomStream(GetParam() + 100, 25);
+  std::vector<ExprPtr> exprs = {Bin(BinaryOp::kAdd, Col(0), Col(1))};
+  Status st = CheckSnapshotReducibleUnary(
+      s, [&](const LogicalStream& in) { return ProjectLS(in, exprs); },
+      [&](const MultisetRelation& in) { return ProjectOp(in, exprs); },
+      s.Endpoints());
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(SnapshotReducibilityTest, JoinIsSnapshotReducible) {
+  LogicalStream a = RandomStream(GetParam() + 200, 15);
+  LogicalStream b = RandomStream(GetParam() + 300, 15);
+  auto pred = Eq(Col(0), Col(2));
+  std::vector<Timestamp> instants = a.Endpoints();
+  for (Timestamp t : b.Endpoints()) instants.push_back(t);
+  Status st = CheckSnapshotReducibleBinary(
+      a, b,
+      [&](const LogicalStream& x, const LogicalStream& y) {
+        return JoinLS(x, y, pred.get());
+      },
+      [&](const MultisetRelation& x, const MultisetRelation& y) {
+        return ThetaJoinOp(x, y, pred.get());
+      },
+      instants);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(SnapshotReducibilityTest, UnionIsSnapshotReducible) {
+  LogicalStream a = RandomStream(GetParam() + 400, 15);
+  LogicalStream b = RandomStream(GetParam() + 500, 15);
+  std::vector<Timestamp> instants = a.Endpoints();
+  for (Timestamp t : b.Endpoints()) instants.push_back(t);
+  Status st = CheckSnapshotReducibleBinary(
+      a, b,
+      [&](const LogicalStream& x, const LogicalStream& y) {
+        return Result<LogicalStream>(UnionLS(x, y));
+      },
+      [&](const MultisetRelation& x, const MultisetRelation& y) {
+        return Result<MultisetRelation>(UnionOp(x, y));
+      },
+      instants);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotReducibilityTest,
+                         ::testing::Values(1, 17, 23, 555));
+
+TEST(SnapshotTest, WindowAsValidityAssignment) {
+  // Kramer-Seeger express windows as validity: WindowLS replaces validity
+  // with [start, start + range) — a tuple arriving at t is visible during
+  // [t, t + range), matching the Range-window semantics of s2r.h.
+  LogicalStream s;
+  s.Add(T(1), {10, 11});  // point event at 10
+  LogicalStream windowed = WindowLS(s, 15);
+  EXPECT_EQ(windowed.elements()[0].validity, (TimeInterval{10, 25}));
+  EXPECT_FALSE(windowed.SnapshotAt(24).Empty());
+  EXPECT_TRUE(windowed.SnapshotAt(25).Empty());
+}
+
+TEST(SnapshotTest, CheckerDetectsNonReducibleOperator) {
+  // A deliberately broken "operator" that shifts validity: not reducible.
+  LogicalStream s;
+  s.Add(T(1), {0, 10});
+  Status st = CheckSnapshotReducibleUnary(
+      s,
+      [](const LogicalStream& in) {
+        LogicalStream out;
+        for (const auto& e : in.elements()) {
+          out.Add(e.tuple, {e.validity.start + 5, e.validity.end + 5});
+        }
+        return Result<LogicalStream>(out);
+      },
+      [](const MultisetRelation& in) { return Result<MultisetRelation>(in); },
+      {0, 12});
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("not snapshot-reducible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cq

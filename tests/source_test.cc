@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/operators.h"
+#include "dataflow/source.h"
+
+namespace cq {
+namespace {
+
+Tuple T(int64_t v) { return Tuple({Value(v)}); }
+
+TEST(WatermarkGeneratorTest, BoundedOutOfOrderness) {
+  BoundedOutOfOrdernessWatermark g(5);
+  EXPECT_EQ(g.Current(), kMinTimestamp);  // nothing observed
+  g.Observe(100);
+  EXPECT_EQ(g.Current(), 95);
+  g.Observe(90);  // out-of-order element does not regress the watermark
+  EXPECT_EQ(g.Current(), 95);
+  g.Observe(200);
+  EXPECT_EQ(g.Current(), 195);
+}
+
+struct SourceFixture {
+  Broker broker;
+  std::unique_ptr<PipelineExecutor> exec;
+  NodeId src = 0;
+  BoundedStream out;
+
+  SourceFixture(size_t partitions) {
+    EXPECT_TRUE(broker.CreateTopic("t", partitions).ok());
+    auto g = std::make_unique<DataflowGraph>();
+    src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+    NodeId sink =
+        g->AddNode(std::make_unique<CollectSinkOperator>("sink", &out));
+    EXPECT_TRUE(g->Connect(src, sink).ok());
+    exec = std::make_unique<PipelineExecutor>(std::move(g));
+  }
+};
+
+TEST(BrokerSourceTest, DrainDeliversAllAndFinalWatermark) {
+  SourceFixture f(2);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        f.broker.Produce("t", "k" + std::to_string(i % 4), T(i), 100 + i)
+            .ok());
+  }
+  BrokerSource source(&f.broker, "t", "g", 5);
+  ASSERT_TRUE(source.Drain(f.exec.get(), f.src).ok());
+  EXPECT_EQ(f.out.num_records(), 20u);
+  // Final watermark released everything: node watermark beyond max ts.
+  EXPECT_GE(f.exec->NodeWatermark(f.src), 119);
+}
+
+TEST(BrokerSourceTest, WatermarkIsMinAcrossPartitions) {
+  SourceFixture f(2);
+  // Feed only partition of key whose hash lands somewhere; force both
+  // partitions by appending directly.
+  Topic* t = *f.broker.GetTopic("t");
+  t->partition(0).Append("a", T(1), 1000);
+  t->partition(1).Append("b", T(2), 10);
+  BrokerSource source(&f.broker, "t", "g", 0);
+  ASSERT_TRUE(source.PumpOnce(f.exec.get(), f.src).ok());
+  // Watermark limited by the slow partition (10), not the fast one (1000).
+  EXPECT_EQ(f.exec->NodeWatermark(f.src), 10);
+}
+
+TEST(BrokerSourceTest, PumpOnceCommitsOffsets) {
+  SourceFixture f(1);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(f.broker.Produce("t", "", T(i), i).ok());
+  }
+  BrokerSource source(&f.broker, "t", "g", 0);
+  ASSERT_EQ(*source.PumpOnce(f.exec.get(), f.src), 5u);
+  ASSERT_EQ(*source.PumpOnce(f.exec.get(), f.src), 0u);  // caught up
+  auto offsets = *source.Offsets();
+  EXPECT_EQ(offsets.at("t/0"), 5);
+}
+
+TEST(BrokerSourceTest, SeekToReplaysSameBroker) {
+  SourceFixture f(1);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(f.broker.Produce("t", "", T(i), i).ok());
+  }
+  BrokerSource source(&f.broker, "t", "g", 0);
+  ASSERT_TRUE(source.Drain(f.exec.get(), f.src).ok());
+  ASSERT_EQ(f.out.num_records(), 6u);
+
+  ASSERT_TRUE(source.SeekTo({{"t/0", 3}}).ok());
+  ASSERT_TRUE(source.Drain(f.exec.get(), f.src).ok());
+  // Re-delivered the suffix [3, 6).
+  EXPECT_EQ(f.out.num_records(), 9u);
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+// ---- Lexer ----
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = *Tokenize("SELECT x, 42, 3.5, 'str' FROM s WHERE x <= 7");
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[3].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[5].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ(tokens[7].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[7].text, "str");
+  EXPECT_TRUE(tokens.back().type == TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = *Tokenize("select From wHeRe");
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[1].IsKeyword("FROM"));
+  EXPECT_TRUE(tokens[2].IsKeyword("WHERE"));
+}
+
+TEST(LexerTest, MultiCharSymbols) {
+  auto tokens = *Tokenize("a <= b >= c <> d != e");
+  EXPECT_TRUE(tokens[1].IsSymbol("<="));
+  EXPECT_TRUE(tokens[3].IsSymbol(">="));
+  EXPECT_TRUE(tokens[5].IsSymbol("<>"));
+  EXPECT_TRUE(tokens[7].IsSymbol("<>"));  // != normalised
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_TRUE(Tokenize("'unterminated").status().IsParseError());
+  EXPECT_TRUE(Tokenize("a @ b").status().IsParseError());
+}
+
+// ---- Parser ----
+
+TEST(ParserTest, ListingOneParses) {
+  auto ast = *ParseQuery(
+      "Select count(P.ID) "
+      "From Person P, RoomObservation O [Range 15 Minutes] "
+      "Where P.id = O.id");
+  ASSERT_EQ(ast.items.size(), 1u);
+  EXPECT_EQ(ast.items[0].expr->kind, AstExpr::Kind::kAggregate);
+  EXPECT_EQ(ast.items[0].expr->agg_kind, AggregateKind::kCount);
+  ASSERT_EQ(ast.from.size(), 2u);
+  EXPECT_EQ(ast.from[0].name, "Person");
+  EXPECT_EQ(ast.from[0].alias, "P");
+  EXPECT_EQ(ast.from[0].window.kind, AstWindow::Kind::kDefaultUnbounded);
+  EXPECT_EQ(ast.from[1].window.kind, AstWindow::Kind::kRange);
+  EXPECT_EQ(ast.from[1].window.range, 15 * 60 * 1000);
+  ASSERT_NE(ast.where, nullptr);
+  EXPECT_EQ(ast.where->ToString(), "(P.id = O.id)");
+}
+
+TEST(ParserTest, WindowVariants) {
+  auto rows = *ParseQuery("SELECT * FROM s [Rows 10]");
+  EXPECT_EQ(rows.from[0].window.kind, AstWindow::Kind::kRows);
+  EXPECT_EQ(rows.from[0].window.rows, 10);
+
+  auto now = *ParseQuery("SELECT * FROM s [Now]");
+  EXPECT_EQ(now.from[0].window.kind, AstWindow::Kind::kNow);
+
+  auto unbounded = *ParseQuery("SELECT * FROM s [Range Unbounded]");
+  EXPECT_EQ(unbounded.from[0].window.kind, AstWindow::Kind::kUnbounded);
+
+  auto slide = *ParseQuery("SELECT * FROM s [Range 10 Seconds Slide 5 Seconds]");
+  EXPECT_EQ(slide.from[0].window.range, 10000);
+  EXPECT_EQ(slide.from[0].window.slide, 5000);
+
+  auto part = *ParseQuery("SELECT * FROM s [Partition By k Rows 3]");
+  EXPECT_EQ(part.from[0].window.kind, AstWindow::Kind::kPartitionedRows);
+  EXPECT_EQ(part.from[0].window.partition_columns,
+            (std::vector<std::string>{"k"}));
+}
+
+TEST(ParserTest, GroupByHavingEmit) {
+  auto ast = *ParseQuery(
+      "SELECT account, SUM(amount) AS total FROM tx [Range 60 Seconds] "
+      "GROUP BY account HAVING SUM(amount) > 1000 EMIT RSTREAM");
+  EXPECT_EQ(ast.group_by.size(), 1u);
+  ASSERT_NE(ast.having, nullptr);
+  EXPECT_EQ(ast.emit, R2SKind::kRStream);
+  EXPECT_EQ(ast.items[1].alias, "total");
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto e = *ParseExpression("a + b * 2 > 10 AND NOT c = 3 OR d < 1");
+  // ((((a + (b * 2)) > 10) AND (NOT (c = 3))) OR (d < 1))
+  EXPECT_EQ(e->ToString(),
+            "((((a + (b * 2)) > 10) AND NOT (c = 3)) OR (d < 1))");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_TRUE(ParseQuery("FROM s").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("SELECT * FROM").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("SELECT * FROM s [Range]").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("SELECT * FROM s [Bogus 1]").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("SELECT * FROM s EMIT SIDEWAYS")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseQuery("SELECT * FROM s extra garbage ,")
+                  .status()
+                  .IsParseError());
+}
+
+// ---- Planner ----
+
+Catalog RoomCatalog() {
+  Catalog catalog;
+  EXPECT_TRUE(catalog
+                  .RegisterStream("Person",
+                                  Schema::Make({{"id", ValueType::kInt64},
+                                                {"name", ValueType::kString}}))
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .RegisterStream(
+                      "RoomObservation",
+                      Schema::Make({{"id", ValueType::kInt64},
+                                    {"room", ValueType::kString}}))
+                  .ok());
+  return catalog;
+}
+
+TEST(CatalogTest, RegistrationLifecycle) {
+  Catalog c = RoomCatalog();
+  EXPECT_TRUE(c.RegisterStream("Person", Schema::Make({}))
+                  .code() == StatusCode::kAlreadyExists);
+  EXPECT_EQ(c.StreamNames().size(), 2u);
+  EXPECT_TRUE(c.DropStream("Person").ok());
+  EXPECT_TRUE(c.GetStream("Person").status().IsNotFound());
+  EXPECT_TRUE(c.DropStream("Person").IsNotFound());
+}
+
+TEST(PlannerTest, ListingOnePlans) {
+  Catalog catalog = RoomCatalog();
+  auto planned = *PlanSql(
+      "Select count(P.id) From Person P, RoomObservation O [Range 15] "
+      "Where P.id = O.id",
+      catalog);
+  EXPECT_EQ(planned.query.input_windows.size(), 2u);
+  EXPECT_EQ(planned.query.input_windows[0].kind, S2RKind::kUnbounded);
+  EXPECT_EQ(planned.query.input_windows[1].kind, S2RKind::kRange);
+  EXPECT_EQ(planned.query.input_windows[1].range, 15);
+  EXPECT_EQ(planned.output_schema->num_fields(), 1u);
+  // Default emit is IStream.
+  EXPECT_EQ(planned.query.output, R2SKind::kIStream);
+}
+
+TEST(PlannerTest, PlannedQueryExecutes) {
+  Catalog catalog = RoomCatalog();
+  auto planned = *PlanSql(
+      "Select count(P.id) From Person P, RoomObservation O [Range 15] "
+      "Where P.id = O.id EMIT RSTREAM",
+      catalog);
+  RoomWorkload w = MakeRoomWorkload(4, 20, 2, 0.3, 0, 5);
+  std::vector<const BoundedStream*> inputs{&w.persons, &w.observations};
+  MultisetRelation result =
+      *ReferenceExecutor::ResultAt(planned.query, inputs, 18);
+  int64_t expected = 0;
+  for (const auto& e : w.observations) {
+    if (e.is_record() && e.timestamp > 3 && e.timestamp <= 18) ++expected;
+  }
+  ASSERT_EQ(result.NumDistinct(), 1u);
+  EXPECT_EQ(result.entries().begin()->first, Tuple({Value(expected)}));
+}
+
+TEST(PlannerTest, ProjectionQuery) {
+  Catalog catalog = RoomCatalog();
+  auto planned = *PlanSql(
+      "SELECT O.room AS r, O.id + 1 AS next FROM RoomObservation O", catalog);
+  EXPECT_EQ(planned.output_schema->field(0).name, "r");
+  EXPECT_EQ(planned.output_schema->field(0).type, ValueType::kString);
+  EXPECT_EQ(planned.output_schema->field(1).name, "next");
+  EXPECT_EQ(planned.output_schema->field(1).type, ValueType::kInt64);
+}
+
+TEST(PlannerTest, GroupByWithHaving) {
+  Catalog catalog = RoomCatalog();
+  auto planned = *PlanSql(
+      "SELECT O.room, COUNT(*) AS c FROM RoomObservation O "
+      "GROUP BY O.room HAVING COUNT(*) > 2",
+      catalog);
+  BoundedStream obs;
+  for (int i = 0; i < 4; ++i) {
+    obs.Append(Tuple({Value(int64_t{i}), Value("busy")}), i);
+  }
+  obs.Append(Tuple({Value(int64_t{9}), Value("quiet")}), 5);
+  std::vector<const BoundedStream*> inputs{&obs};
+  MultisetRelation result =
+      *ReferenceExecutor::ResultAt(planned.query, inputs, 10);
+  ASSERT_EQ(result.NumDistinct(), 1u);
+  EXPECT_EQ(result.entries().begin()->first,
+            Tuple({Value("busy"), Value(int64_t{4})}));
+}
+
+TEST(PlannerTest, DistinctAndSelectStar) {
+  Catalog catalog = RoomCatalog();
+  auto planned =
+      *PlanSql("SELECT DISTINCT * FROM RoomObservation O", catalog);
+  BoundedStream obs;
+  obs.Append(Tuple({Value(int64_t{1}), Value("x")}), 1);
+  obs.Append(Tuple({Value(int64_t{1}), Value("x")}), 2);
+  std::vector<const BoundedStream*> inputs{&obs};
+  MultisetRelation r = *ReferenceExecutor::ResultAt(planned.query, inputs, 5);
+  EXPECT_EQ(r.Cardinality(), 1);
+}
+
+TEST(PlannerTest, SemanticErrors) {
+  Catalog catalog = RoomCatalog();
+  EXPECT_FALSE(PlanSql("SELECT x FROM Missing", catalog).ok());
+  EXPECT_FALSE(PlanSql("SELECT bogus FROM Person P", catalog).ok());
+  // Aggregate in WHERE.
+  EXPECT_FALSE(
+      PlanSql("SELECT P.id FROM Person P WHERE COUNT(*) > 1", catalog).ok());
+  // Non-grouped column with aggregate.
+  EXPECT_FALSE(
+      PlanSql("SELECT P.name, COUNT(*) FROM Person P GROUP BY P.id", catalog)
+          .ok());
+  // HAVING without aggregation.
+  EXPECT_FALSE(
+      PlanSql("SELECT P.id FROM Person P HAVING P.id > 1", catalog).ok());
+  // HAVING referencing an uncomputed aggregate.
+  EXPECT_FALSE(PlanSql("SELECT P.id, COUNT(*) FROM Person P GROUP BY P.id "
+                       "HAVING SUM(P.id) > 1",
+                       catalog)
+                   .ok());
+  // SELECT * + aggregate.
+  EXPECT_FALSE(
+      PlanSql("SELECT * FROM Person P GROUP BY P.id", catalog).ok());
+  // Ambiguous unqualified column across two streams with same field.
+  EXPECT_FALSE(
+      PlanSql("SELECT id FROM Person P, RoomObservation O", catalog).ok());
+}
+
+TEST(ParserTest, CompoundQueries) {
+  auto q = *ParseCompoundQuery(
+      "SELECT P.id FROM Person P UNION ALL SELECT O.id FROM RoomObservation O "
+      "EMIT RSTREAM");
+  EXPECT_EQ(q.op, AstQuery::SetOp::kUnion);
+  EXPECT_TRUE(q.all);
+  EXPECT_EQ(q.emit, R2SKind::kRStream);
+  ASSERT_NE(q.left, nullptr);
+  EXPECT_EQ(q.left->op, AstQuery::SetOp::kNone);
+
+  auto nested = *ParseCompoundQuery(
+      "SELECT x FROM a UNION SELECT x FROM b EXCEPT ALL SELECT x FROM c");
+  // Left-associative: (a UNION b) EXCEPT ALL c.
+  EXPECT_EQ(nested.op, AstQuery::SetOp::kExcept);
+  EXPECT_TRUE(nested.all);
+  EXPECT_EQ(nested.left->op, AstQuery::SetOp::kUnion);
+  EXPECT_FALSE(nested.left->all);
+}
+
+TEST(PlannerTest, UnionAllExecutes) {
+  Catalog catalog = RoomCatalog();
+  auto planned = *PlanSql(
+      "SELECT P.id FROM Person P UNION ALL SELECT O.id FROM RoomObservation O "
+      "EMIT RSTREAM",
+      catalog);
+  EXPECT_EQ(planned.query.input_windows.size(), 2u);
+
+  BoundedStream persons, obs;
+  persons.Append(Tuple({Value(int64_t{1}), Value("a")}), 0);
+  obs.Append(Tuple({Value(int64_t{1}), Value("r")}), 1);
+  obs.Append(Tuple({Value(int64_t{2}), Value("r")}), 2);
+  std::vector<const BoundedStream*> inputs{&persons, &obs};
+  MultisetRelation r = *ReferenceExecutor::ResultAt(planned.query, inputs, 5);
+  // Bag union: id 1 appears twice.
+  EXPECT_EQ(r.Count(Tuple({Value(int64_t{1})})), 2);
+  EXPECT_EQ(r.Count(Tuple({Value(int64_t{2})})), 1);
+}
+
+TEST(PlannerTest, UnionDistinctAndIntersect) {
+  Catalog catalog = RoomCatalog();
+  BoundedStream persons, obs;
+  persons.Append(Tuple({Value(int64_t{1}), Value("a")}), 0);
+  obs.Append(Tuple({Value(int64_t{1}), Value("r")}), 1);
+  obs.Append(Tuple({Value(int64_t{2}), Value("r")}), 2);
+  std::vector<const BoundedStream*> inputs{&persons, &obs};
+
+  auto union_distinct = *PlanSql(
+      "SELECT P.id FROM Person P UNION SELECT O.id FROM RoomObservation O",
+      catalog);
+  MultisetRelation u =
+      *ReferenceExecutor::ResultAt(union_distinct.query, inputs, 5);
+  EXPECT_EQ(u.Count(Tuple({Value(int64_t{1})})), 1);  // deduplicated
+
+  auto intersect = *PlanSql(
+      "SELECT P.id FROM Person P INTERSECT ALL "
+      "SELECT O.id FROM RoomObservation O",
+      catalog);
+  MultisetRelation i =
+      *ReferenceExecutor::ResultAt(intersect.query, inputs, 5);
+  EXPECT_EQ(i.Cardinality(), 1);
+  EXPECT_EQ(i.Count(Tuple({Value(int64_t{1})})), 1);
+
+  auto except = *PlanSql(
+      "SELECT O.id FROM RoomObservation O EXCEPT ALL "
+      "SELECT P.id FROM Person P",
+      catalog);
+  // Input slots follow branch order: RoomObservation is slot 0 here.
+  std::vector<const BoundedStream*> except_inputs{&obs, &persons};
+  MultisetRelation e =
+      *ReferenceExecutor::ResultAt(except.query, except_inputs, 5);
+  EXPECT_EQ(e.Count(Tuple({Value(int64_t{2})})), 1);
+  EXPECT_EQ(e.Count(Tuple({Value(int64_t{1})})), 0);
+}
+
+TEST(PlannerTest, CompoundArityMismatchRejected) {
+  Catalog catalog = RoomCatalog();
+  EXPECT_FALSE(PlanSql("SELECT P.id FROM Person P UNION ALL "
+                       "SELECT O.id, O.room FROM RoomObservation O",
+                       catalog)
+                   .ok());
+}
+
+TEST(PlannerTest, PartitionedWindowResolution) {
+  Catalog catalog = RoomCatalog();
+  auto planned = *PlanSql(
+      "SELECT * FROM RoomObservation O [Partition By O.id Rows 2]", catalog);
+  EXPECT_EQ(planned.query.input_windows[0].kind, S2RKind::kPartitionedRows);
+  EXPECT_EQ(planned.query.input_windows[0].partition_keys,
+            (std::vector<size_t>{0}));
+}
+
+}  // namespace
+}  // namespace cq

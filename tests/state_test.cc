@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/state.h"
+
+namespace cq {
+namespace {
+
+void ExerciseBackend(KeyedStateBackend* state) {
+  ASSERT_TRUE(state->Put("key1", "ns-a", "v1").ok());
+  ASSERT_TRUE(state->Put("key1", "ns-b", "v2").ok());
+  ASSERT_TRUE(state->Put("key2", "ns-a", "v3").ok());
+
+  EXPECT_EQ(*state->Get("key1", "ns-a"), "v1");
+  EXPECT_EQ(*state->Get("key1", "ns-b"), "v2");
+  EXPECT_TRUE(state->Get("key1", "ns-c").status().IsNotFound());
+  EXPECT_EQ(state->Size(), 3u);
+
+  // Overwrite.
+  ASSERT_TRUE(state->Put("key1", "ns-a", "v1b").ok());
+  EXPECT_EQ(*state->Get("key1", "ns-a"), "v1b");
+  EXPECT_EQ(state->Size(), 3u);
+
+  // Remove.
+  ASSERT_TRUE(state->Remove("key1", "ns-b").ok());
+  EXPECT_TRUE(state->Get("key1", "ns-b").status().IsNotFound());
+  EXPECT_EQ(state->Size(), 2u);
+
+  // ForEach visits all cells deterministically.
+  std::vector<std::string> seen;
+  ASSERT_TRUE(state
+                  ->ForEach([&seen](const std::string& k, const std::string& ns,
+                                    const std::string& v) {
+                    seen.push_back(k + "/" + ns + "=" + v);
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "key1/ns-a=v1b");
+  EXPECT_EQ(seen[1], "key2/ns-a=v3");
+}
+
+TEST(InMemoryStateTest, BasicOperations) {
+  InMemoryStateBackend state;
+  ExerciseBackend(&state);
+}
+
+TEST(KVStoreStateTest, BasicOperations) {
+  auto db = std::move(KVStore::Open(KVStoreOptions{})).value();
+  KVStoreStateBackend state(db.get());
+  ExerciseBackend(&state);
+}
+
+TEST(KVStoreStateTest, SurvivesFlushes) {
+  KVStoreOptions opts;
+  opts.memtable_max_entries = 4;
+  auto db = std::move(KVStore::Open(opts)).value();
+  KVStoreStateBackend state(db.get());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(state.Put("key" + std::to_string(i), "w", "v").ok());
+  }
+  EXPECT_GT(db->stats().flushes, 0u);
+  EXPECT_EQ(state.Size(), 20u);
+  EXPECT_EQ(*state.Get("key7", "w"), "v");
+}
+
+TEST(StateSnapshotTest, SnapshotRestoreRoundTrip) {
+  InMemoryStateBackend a;
+  ASSERT_TRUE(a.Put("k1", "n1", "v1").ok());
+  ASSERT_TRUE(a.Put("k2", "n2", std::string("bin\0ary", 7)).ok());
+  std::string image = *a.Snapshot();
+
+  InMemoryStateBackend b;
+  ASSERT_TRUE(b.Put("junk", "junk", "junk").ok());
+  ASSERT_TRUE(b.Restore(image).ok());
+  EXPECT_EQ(b.Size(), 2u);
+  EXPECT_EQ(*b.Get("k1", "n1"), "v1");
+  EXPECT_EQ(*b.Get("k2", "n2"), std::string("bin\0ary", 7));
+  EXPECT_TRUE(b.Get("junk", "junk").status().IsNotFound());
+}
+
+TEST(StateSnapshotTest, CrossBackendRestore) {
+  // A snapshot from the in-memory backend restores into the KV-backed one.
+  InMemoryStateBackend mem;
+  ASSERT_TRUE(mem.Put("k", "ns", "v").ok());
+  auto db = std::move(KVStore::Open(KVStoreOptions{})).value();
+  KVStoreStateBackend kv(db.get());
+  ASSERT_TRUE(kv.Restore(*mem.Snapshot()).ok());
+  EXPECT_EQ(*kv.Get("k", "ns"), "v");
+}
+
+TEST(StateSnapshotTest, EmptySnapshotClears) {
+  InMemoryStateBackend state;
+  ASSERT_TRUE(state.Put("k", "n", "v").ok());
+  ASSERT_TRUE(state.Restore("").ok());
+  EXPECT_EQ(state.Size(), 0u);
+}
+
+TEST(StateTest, KeysWithEmbeddedSeparators) {
+  // Composite key encoding must not confuse key/namespace boundaries.
+  InMemoryStateBackend mem;
+  auto db = std::move(KVStore::Open(KVStoreOptions{})).value();
+  KVStoreStateBackend kv(db.get());
+  for (KeyedStateBackend* s :
+       std::vector<KeyedStateBackend*>{&mem, &kv}) {
+    ASSERT_TRUE(s->Put("a/b", "c", "v1").ok());
+    ASSERT_TRUE(s->Put("a", "b/c", "v2").ok());
+    EXPECT_EQ(*s->Get("a/b", "c"), "v1");
+    EXPECT_EQ(*s->Get("a", "b/c"), "v2");
+    EXPECT_EQ(s->Size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "stream/stream.h"
+
+namespace cq {
+namespace {
+
+Tuple T(int64_t v) { return Tuple({Value(v)}); }
+
+TEST(StreamElementTest, Kinds) {
+  StreamElement r = StreamElement::Record(T(1), 10);
+  EXPECT_TRUE(r.is_record());
+  EXPECT_FALSE(r.is_watermark());
+  EXPECT_EQ(r.ToString(), "(1)@10");
+
+  StreamElement w = StreamElement::Watermark(99);
+  EXPECT_TRUE(w.is_watermark());
+  EXPECT_EQ(w.ToString(), "WM(99)");
+
+  EXPECT_TRUE(StreamElement::EndOfStream().is_end_of_stream());
+  EXPECT_EQ(StreamElement::EndOfStream().ToString(), "WM(+inf)");
+}
+
+TEST(BoundedStreamTest, AppendAndCount) {
+  BoundedStream s;
+  s.Append(T(1), 1);
+  s.AppendWatermark(1);
+  s.Append(T(2), 2);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.num_records(), 2u);
+  EXPECT_EQ(s.MaxTimestamp(), 2);
+}
+
+TEST(BoundedStreamTest, UpToIsDefinition23Prefix) {
+  BoundedStream s;
+  for (int i = 1; i <= 5; ++i) s.Append(T(i), i * 10);
+  BoundedStream prefix = s.UpTo(30);
+  EXPECT_EQ(prefix.num_records(), 3u);
+  EXPECT_EQ(prefix.MaxTimestamp(), 30);
+}
+
+TEST(BoundedStreamTest, OrderingDetection) {
+  BoundedStream ordered;
+  ordered.Append(T(1), 1);
+  ordered.Append(T(2), 2);
+  ordered.Append(T(3), 2);  // ties allowed
+  EXPECT_TRUE(ordered.IsOrdered());
+
+  BoundedStream disordered;
+  disordered.Append(T(1), 5);
+  disordered.Append(T(2), 3);
+  EXPECT_FALSE(disordered.IsOrdered());
+
+  BoundedStream sorted = disordered.Sorted();
+  EXPECT_TRUE(sorted.IsOrdered());
+  EXPECT_EQ(sorted.num_records(), 2u);
+  EXPECT_EQ(sorted.at(0).timestamp, 3);
+}
+
+TEST(BoundedStreamTest, SortIsStableForEqualTimestamps) {
+  BoundedStream s;
+  s.Append(T(1), 7);
+  s.Append(T(2), 7);
+  s.Append(T(3), 7);
+  BoundedStream sorted = s.Sorted();
+  EXPECT_EQ(sorted.at(0).tuple, T(1));
+  EXPECT_EQ(sorted.at(1).tuple, T(2));
+  EXPECT_EQ(sorted.at(2).tuple, T(3));
+}
+
+TEST(ReaderWriterTest, BoundedReaderDrains) {
+  BoundedStream s;
+  s.Append(T(1), 1);
+  s.AppendWatermark(2);
+  BoundedStreamReader reader(&s);
+  EXPECT_TRUE(reader.Next()->is_record());
+  EXPECT_TRUE(reader.Next()->is_watermark());
+  EXPECT_TRUE(reader.Next().status().IsClosed());
+}
+
+TEST(ReaderWriterTest, CollectingWriterAppends) {
+  BoundedStream out;
+  CollectingWriter writer(&out);
+  ASSERT_TRUE(writer.Write(StreamElement::Record(T(9), 3)).ok());
+  EXPECT_EQ(out.num_records(), 1u);
+}
+
+TEST(ReaderWriterTest, CallbackWriterForwardsStatus) {
+  int calls = 0;
+  CallbackWriter writer([&calls](const StreamElement&) {
+    ++calls;
+    return calls < 2 ? Status::OK() : Status::Closed("full");
+  });
+  EXPECT_TRUE(writer.Write(StreamElement::Record(T(1), 1)).ok());
+  EXPECT_TRUE(writer.Write(StreamElement::Record(T(2), 2)).IsClosed());
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(BoundedStreamTest, EmptyStreamProperties) {
+  BoundedStream s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.IsOrdered());
+  EXPECT_EQ(s.MaxTimestamp(), kMinTimestamp);
+  EXPECT_EQ(s.UpTo(100).num_records(), 0u);
+}
+
+}  // namespace
+}  // namespace cq

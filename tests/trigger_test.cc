@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/trigger.h"
+
+namespace cq {
+namespace {
+
+TEST(AfterWatermarkTest, FiresOnceAtWindowEnd) {
+  auto factory = TriggerFactory::AfterWatermark();
+  auto t = factory->Create({0, 10});
+  EXPECT_EQ(t->OnElement(5, 100), TriggerAction::kContinue);
+  EXPECT_EQ(t->OnWatermark(9), TriggerAction::kContinue);
+  EXPECT_EQ(t->OnWatermark(10), TriggerAction::kFire);
+  // No refire on further watermarks.
+  EXPECT_EQ(t->OnWatermark(20), TriggerAction::kContinue);
+  // Late element after the on-time firing refines.
+  EXPECT_EQ(t->OnElement(8, 200), TriggerAction::kFire);
+  EXPECT_EQ(t->OnProcessingTime(300), TriggerAction::kContinue);
+}
+
+TEST(AfterCountTest, FiresEveryN) {
+  auto factory = TriggerFactory::AfterCount(3);
+  auto t = factory->Create({0, 10});
+  EXPECT_EQ(t->OnElement(1, 0), TriggerAction::kContinue);
+  EXPECT_EQ(t->OnElement(2, 0), TriggerAction::kContinue);
+  EXPECT_EQ(t->OnElement(3, 0), TriggerAction::kFire);
+  // Re-arms.
+  EXPECT_EQ(t->OnElement(4, 0), TriggerAction::kContinue);
+  EXPECT_EQ(t->OnElement(5, 0), TriggerAction::kContinue);
+  EXPECT_EQ(t->OnElement(6, 0), TriggerAction::kFire);
+  EXPECT_EQ(t->OnWatermark(100), TriggerAction::kContinue);
+}
+
+TEST(AfterProcessingTimeTest, FiresAfterInterval) {
+  auto factory = TriggerFactory::AfterProcessingTime(50);
+  auto t = factory->Create({0, 10});
+  EXPECT_EQ(t->OnProcessingTime(100), TriggerAction::kContinue);  // unarmed
+  EXPECT_EQ(t->OnElement(1, 100), TriggerAction::kContinue);      // arms @150
+  EXPECT_EQ(t->OnProcessingTime(149), TriggerAction::kContinue);
+  EXPECT_EQ(t->OnProcessingTime(150), TriggerAction::kFire);
+  // Disarmed until the next element.
+  EXPECT_EQ(t->OnProcessingTime(500), TriggerAction::kContinue);
+  EXPECT_EQ(t->OnElement(2, 500), TriggerAction::kContinue);  // re-arms @550
+  EXPECT_EQ(t->OnProcessingTime(551), TriggerAction::kFire);
+}
+
+TEST(EarlyAndLateTest, EarlyOnTimeAndLateFirings) {
+  auto factory = TriggerFactory::EarlyAndLate(10);
+  auto t = factory->Create({0, 100});
+  // Early firing path.
+  EXPECT_EQ(t->OnElement(5, 1000), TriggerAction::kContinue);
+  EXPECT_EQ(t->OnProcessingTime(1010), TriggerAction::kFire);  // early pane
+  EXPECT_EQ(t->OnElement(7, 1011), TriggerAction::kContinue);  // re-arms
+  EXPECT_EQ(t->OnProcessingTime(1021), TriggerAction::kFire);  // early again
+  // On-time firing.
+  EXPECT_EQ(t->OnWatermark(99), TriggerAction::kContinue);
+  EXPECT_EQ(t->OnWatermark(100), TriggerAction::kFire);
+  // Early firings stop after on-time; late elements refine.
+  EXPECT_EQ(t->OnProcessingTime(5000), TriggerAction::kContinue);
+  EXPECT_EQ(t->OnElement(50, 5001), TriggerAction::kFire);
+}
+
+TEST(TriggerFactoryTest, ToStringNames) {
+  EXPECT_EQ(TriggerFactory::AfterWatermark()->ToString(), "AfterWatermark");
+  EXPECT_EQ(TriggerFactory::AfterCount(5)->ToString(), "AfterCount(5)");
+  EXPECT_EQ(TriggerFactory::AfterProcessingTime(9)->ToString(),
+            "AfterProcessingTime(9)");
+  EXPECT_EQ(TriggerFactory::EarlyAndLate(3)->ToString(),
+            "EarlyAndLate(early=3)");
+}
+
+TEST(TriggerFactoryTest, InstancesAreIndependent) {
+  auto factory = TriggerFactory::AfterCount(2);
+  auto t1 = factory->Create({0, 10});
+  auto t2 = factory->Create({10, 20});
+  EXPECT_EQ(t1->OnElement(1, 0), TriggerAction::kContinue);
+  // t2 unaffected by t1's count.
+  EXPECT_EQ(t2->OnElement(11, 0), TriggerAction::kContinue);
+  EXPECT_EQ(t1->OnElement(2, 0), TriggerAction::kFire);
+  EXPECT_EQ(t2->OnElement(12, 0), TriggerAction::kFire);
+}
+
+}  // namespace
+}  // namespace cq

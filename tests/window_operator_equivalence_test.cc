@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dataflow/executor.h"
+#include "dataflow/operators.h"
+#include "dataflow/window_operator.h"
+#include "window/sliding.h"
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+/// Cross-module property: the dataflow WindowedAggregateOperator (keyed,
+/// watermark-driven, trigger-based) must agree, per (key, window), with the
+/// window module's aggregators fed per key — two independent
+/// implementations of §4.1.3 window semantics checking each other.
+struct Case {
+  Duration window;
+  AggregateKind kind;
+  Duration disorder;
+  uint64_t seed;
+};
+
+class WindowOperatorEquivalenceTest : public ::testing::TestWithParam<Case> {
+};
+
+TEST_P(WindowOperatorEquivalenceTest, OperatorMatchesPerKeyAggregators) {
+  const Case& c = GetParam();
+  TransactionWorkload w =
+      MakeTransactionWorkload(2000, 12, 0.8, 300.0, c.disorder, c.seed);
+
+  // Engine A: the dataflow operator.
+  std::map<std::tuple<int64_t, Timestamp, Timestamp>, Value> dataflow_results;
+  {
+    WindowedAggregateConfig cfg;
+    cfg.assigner = std::make_shared<TumblingWindowAssigner>(c.window);
+    cfg.key_indexes = {1};
+    cfg.aggs.push_back({c.kind, Col(2), "agg"});
+    auto g = std::make_unique<DataflowGraph>();
+    NodeId src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+    NodeId win = g->AddNode(
+        std::make_unique<WindowedAggregateOperator>("win", std::move(cfg)));
+    BoundedStream out;
+    NodeId sink =
+        g->AddNode(std::make_unique<CollectSinkOperator>("sink", &out));
+    ASSERT_TRUE(g->Connect(src, win).ok());
+    ASSERT_TRUE(g->Connect(win, sink).ok());
+    PipelineExecutor exec(std::move(g));
+    for (const auto& e : w.transactions) {
+      if (e.is_record()) {
+        ASSERT_TRUE(exec.PushRecord(src, e.tuple, e.timestamp).ok());
+      }
+    }
+    ASSERT_TRUE(
+        exec.PushWatermark(src, w.transactions.MaxTimestamp() + c.window + 1)
+            .ok());
+    for (const auto& e : out) {
+      dataflow_results[{e.tuple[0].int64_value(), e.tuple[1].int64_value(),
+                        e.tuple[2].int64_value()}] = e.tuple[3];
+    }
+  }
+
+  // Engine B: one NaiveWindowAggregator per key (window-module reference).
+  std::map<std::tuple<int64_t, Timestamp, Timestamp>, Value> module_results;
+  {
+    std::map<int64_t, std::unique_ptr<NaiveWindowAggregator>> per_key;
+    auto func = std::shared_ptr<AggregateFunction>(
+        AggregateFunction::Make(c.kind));
+    auto assigner = std::make_shared<TumblingWindowAssigner>(c.window);
+    for (const auto& e : w.transactions) {
+      if (!e.is_record()) continue;
+      int64_t key = e.tuple[1].int64_value();
+      auto it = per_key.find(key);
+      if (it == per_key.end()) {
+        it = per_key
+                 .emplace(key, std::make_unique<NaiveWindowAggregator>(
+                                   assigner, func))
+                 .first;
+      }
+      ASSERT_TRUE(it->second->Add(e.timestamp, e.tuple[2]).ok());
+    }
+    for (auto& [key, agg] : per_key) {
+      for (const WindowResult& r : agg->AdvanceWatermark(
+               w.transactions.MaxTimestamp() + c.window + 1)) {
+        module_results[{key, r.window.start, r.window.end}] = r.value;
+      }
+    }
+  }
+
+  ASSERT_FALSE(dataflow_results.empty());
+  EXPECT_EQ(dataflow_results.size(), module_results.size());
+  for (const auto& [key, value] : module_results) {
+    auto it = dataflow_results.find(key);
+    ASSERT_NE(it, dataflow_results.end())
+        << "missing (key, window) in dataflow results";
+    EXPECT_EQ(it->second, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WindowOperatorEquivalenceTest,
+    ::testing::Values(Case{32, AggregateKind::kCount, 0, 1},
+                      Case{32, AggregateKind::kSum, 0, 2},
+                      Case{64, AggregateKind::kMax, 0, 3},
+                      Case{16, AggregateKind::kMin, 0, 4},
+                      Case{50, AggregateKind::kAvg, 0, 5}));
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "window/window.h"
+
+namespace cq {
+namespace {
+
+TEST(TumblingTest, AlignsToGrid) {
+  TumblingWindowAssigner a(10);
+  auto ws = a.AssignWindows(25);
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(ws[0], (TimeInterval{20, 30}));
+  EXPECT_EQ(a.AssignWindows(20)[0], (TimeInterval{20, 30}));
+  EXPECT_EQ(a.AssignWindows(29)[0], (TimeInterval{20, 30}));
+  EXPECT_EQ(a.MaxWindowsPerElement(), 1u);
+}
+
+TEST(TumblingTest, NegativeTimestamps) {
+  TumblingWindowAssigner a(10);
+  EXPECT_EQ(a.AssignWindows(-1)[0], (TimeInterval{-10, 0}));
+  EXPECT_EQ(a.AssignWindows(-10)[0], (TimeInterval{-10, 0}));
+}
+
+TEST(TumblingTest, Offset) {
+  TumblingWindowAssigner a(10, 3);
+  EXPECT_EQ(a.AssignWindows(12)[0], (TimeInterval{3, 13}));
+  EXPECT_EQ(a.AssignWindows(13)[0], (TimeInterval{13, 23}));
+}
+
+TEST(SlidingTest, OverlappingAssignment) {
+  SlidingWindowAssigner a(10, 5);
+  auto ws = a.AssignWindows(12);
+  ASSERT_EQ(ws.size(), 2u);
+  EXPECT_EQ(ws[0], (TimeInterval{5, 15}));
+  EXPECT_EQ(ws[1], (TimeInterval{10, 20}));
+  EXPECT_EQ(a.MaxWindowsPerElement(), 2u);
+}
+
+TEST(SlidingTest, SlideEqualsizeIsTumbling) {
+  SlidingWindowAssigner a(10, 10);
+  auto ws = a.AssignWindows(25);
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(ws[0], (TimeInterval{20, 30}));
+}
+
+// Property: every assigned window contains the element, and the element
+// belongs to exactly ceil(size/slide) windows when slide divides positions.
+class SlidingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<Duration, Duration>> {};
+
+TEST_P(SlidingPropertyTest, AssignmentInvariants) {
+  auto [size, slide] = GetParam();
+  SlidingWindowAssigner a(size, slide);
+  std::mt19937_64 rng(size * 1000 + slide);
+  std::uniform_int_distribution<Timestamp> ts_dist(-1000, 1000);
+  for (int i = 0; i < 200; ++i) {
+    Timestamp ts = ts_dist(rng);
+    auto ws = a.AssignWindows(ts);
+    EXPECT_FALSE(ws.empty());
+    EXPECT_LE(ws.size(), a.MaxWindowsPerElement());
+    for (const auto& w : ws) {
+      EXPECT_TRUE(w.Contains(ts)) << "ts=" << ts << " w=" << w.ToString();
+      EXPECT_EQ(w.Length(), size);
+      // Window starts are slide-aligned.
+      Timestamp rem = w.start % slide;
+      if (rem < 0) rem += slide;
+      EXPECT_EQ(rem, 0);
+    }
+    // Windows are distinct and sorted.
+    for (size_t k = 1; k < ws.size(); ++k) {
+      EXPECT_LT(ws[k - 1].start, ws[k].start);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SlidingPropertyTest,
+    ::testing::Values(std::make_tuple(10, 5), std::make_tuple(10, 3),
+                      std::make_tuple(10, 10), std::make_tuple(100, 7),
+                      std::make_tuple(60, 15), std::make_tuple(1, 1)));
+
+TEST(SessionMergerTest, MergesOverlappingSessions) {
+  SessionWindowMerger m(10);
+  EXPECT_EQ(m.AddElement(0), (TimeInterval{0, 10}));
+  EXPECT_EQ(m.AddElement(5), (TimeInterval{0, 15}));
+  EXPECT_EQ(m.AddElement(30), (TimeInterval{30, 40}));
+  EXPECT_EQ(m.ActiveSessions().size(), 2u);
+}
+
+TEST(SessionMergerTest, BridgingElementMergesTwoSessions) {
+  SessionWindowMerger m(10);
+  m.AddElement(0);    // [0, 10)
+  m.AddElement(20);   // [20, 30)
+  // [10, 20) touches both neighbours (inclusive touch, as in Flink's
+  // session merging where elements exactly `gap` apart share a session).
+  TimeInterval merged = m.AddElement(10);
+  EXPECT_EQ(merged, (TimeInterval{0, 30}));
+  EXPECT_EQ(m.ActiveSessions().size(), 1u);
+}
+
+TEST(SessionMergerTest, ElementsFurtherThanGapStaySeparate) {
+  SessionWindowMerger m(10);
+  m.AddElement(0);   // [0, 10)
+  m.AddElement(20);  // [20, 30)
+  m.AddElement(9);   // [9, 19): merges with the first only
+  auto sessions = m.ActiveSessions();
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0], (TimeInterval{0, 19}));
+  EXPECT_EQ(sessions[1], (TimeInterval{20, 30}));
+}
+
+TEST(SessionMergerTest, CloseUpToEmitsFinishedSessions) {
+  SessionWindowMerger m(10);
+  m.AddElement(0);
+  m.AddElement(100);
+  auto closed = m.CloseUpTo(50);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0], (TimeInterval{0, 10}));
+  EXPECT_EQ(m.ActiveSessions().size(), 1u);
+  EXPECT_TRUE(m.CloseUpTo(50).empty());  // idempotent
+}
+
+TEST(SessionAssignerTest, ProtoWindow) {
+  SessionWindowAssigner a(7);
+  EXPECT_EQ(a.AssignWindows(3)[0], (TimeInterval{3, 10}));
+  EXPECT_EQ(a.gap(), 7);
+}
+
+TEST(RowsWindowTest, EvictsOldest) {
+  RowsWindow w(3);
+  Tuple t1({Value(int64_t{1})}), t2({Value(int64_t{2})}),
+      t3({Value(int64_t{3})}), t4({Value(int64_t{4})});
+  EXPECT_FALSE(w.Add(t1).has_value());
+  EXPECT_FALSE(w.Add(t2).has_value());
+  EXPECT_FALSE(w.Add(t3).has_value());
+  auto evicted = w.Add(t4);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, t1);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.contents().front(), t2);
+}
+
+TEST(PartitionedRowsTest, IndependentPerKey) {
+  // Key = column 0; window of 2 per key.
+  PartitionedRowsWindow w(2, {0});
+  auto mk = [](int64_t k, int64_t v) {
+    return Tuple({Value(k), Value(v)});
+  };
+  EXPECT_FALSE(w.Add(mk(1, 10)).has_value());
+  EXPECT_FALSE(w.Add(mk(1, 11)).has_value());
+  EXPECT_FALSE(w.Add(mk(2, 20)).has_value());
+  auto evicted = w.Add(mk(1, 12));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, mk(1, 10));
+  EXPECT_EQ(w.num_partitions(), 2u);
+  auto contents = w.Contents();
+  EXPECT_EQ(contents.size(), 3u);  // two for key 1, one for key 2
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace cq {
+namespace {
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  ZipfGenerator skewed(100, 1.2, 1);
+  ZipfGenerator uniform(100, 0.0, 1);
+  size_t skewed_top = 0, uniform_top = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (skewed.Next() < 5) ++skewed_top;
+    if (uniform.Next() < 5) ++uniform_top;
+  }
+  // Top-5 of 100 keys: ~5% mass when uniform, far more when skewed.
+  EXPECT_GT(skewed_top, 1500u);
+  EXPECT_LT(uniform_top, 500u);
+}
+
+TEST(ZipfTest, DeterministicUnderSeed) {
+  ZipfGenerator a(50, 0.9, 7), b(50, 0.9, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(TimestampGeneratorTest, DisorderIsBounded) {
+  TimestampGenerator gen(0, 2, 10, 3);
+  Timestamp high_water = kMinTimestamp;
+  for (int i = 0; i < 1000; ++i) {
+    Timestamp ts = gen.Next();
+    if (ts > high_water) high_water = ts;
+    EXPECT_GE(ts, high_water - 10);
+  }
+  EXPECT_EQ(gen.MaxEmitted(), high_water);
+}
+
+TEST(TimestampGeneratorTest, ZeroDisorderIsOrdered) {
+  TimestampGenerator gen(100, 5, 0, 3);
+  Timestamp prev = kMinTimestamp;
+  for (int i = 0; i < 100; ++i) {
+    Timestamp ts = gen.Next();
+    EXPECT_GT(ts, prev);
+    prev = ts;
+  }
+}
+
+TEST(RoomWorkloadTest, ShapeAndJoinability) {
+  RoomWorkload w = MakeRoomWorkload(10, 200, 4, 0.5, 3, 99);
+  EXPECT_EQ(w.persons.num_records(), 10u);
+  EXPECT_EQ(w.observations.num_records(), 200u);
+  EXPECT_EQ(w.person_schema->num_fields(), 2u);
+  // Every observation id joins some person.
+  for (const auto& e : w.observations) {
+    if (!e.is_record()) continue;
+    int64_t id = e.tuple[0].int64_value();
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 10);
+  }
+}
+
+TEST(TransactionWorkloadTest, AmountsInRange) {
+  TransactionWorkload w = MakeTransactionWorkload(500, 20, 0.8, 250.0, 0, 5);
+  EXPECT_EQ(w.transactions.num_records(), 500u);
+  for (const auto& e : w.transactions) {
+    if (!e.is_record()) continue;
+    double amount = e.tuple[2].double_value();
+    EXPECT_GT(amount, 0.0);
+    EXPECT_LE(amount, 250.0);
+  }
+  EXPECT_TRUE(w.transactions.IsOrdered());  // zero disorder
+}
+
+TEST(GraphStreamTest, NoSelfLoopsAndValidLabels) {
+  std::vector<LabelId> labels{0, 1, 2};
+  auto edges = MakeGraphStream(300, 20, labels, 2, 8);
+  EXPECT_EQ(edges.size(), 300u);
+  Timestamp prev = 0;
+  for (const auto& e : edges) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_LT(e.src, 20);
+    EXPECT_LE(e.label, 2u);
+    EXPECT_GT(e.ts, prev);
+    prev = e.ts;
+  }
+}
+
+TEST(KvWorkloadTest, KeysAndValuesShaped) {
+  auto kvs = MakeKvWorkload(100, 1000, 16, 2);
+  EXPECT_EQ(kvs.size(), 100u);
+  for (const auto& [k, v] : kvs) {
+    EXPECT_EQ(k.substr(0, 3), "key");
+    EXPECT_EQ(v.size(), 16u);
+  }
+  // Deterministic under seed.
+  auto again = MakeKvWorkload(100, 1000, 16, 2);
+  EXPECT_EQ(kvs, again);
+}
+
+}  // namespace
+}  // namespace cq
