@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_extensions.dir/bench_e10_extensions.cc.o"
+  "CMakeFiles/bench_e10_extensions.dir/bench_e10_extensions.cc.o.d"
+  "bench_e10_extensions"
+  "bench_e10_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

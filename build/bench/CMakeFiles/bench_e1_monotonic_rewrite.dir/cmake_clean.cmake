@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_monotonic_rewrite.dir/bench_e1_monotonic_rewrite.cc.o"
+  "CMakeFiles/bench_e1_monotonic_rewrite.dir/bench_e1_monotonic_rewrite.cc.o.d"
+  "bench_e1_monotonic_rewrite"
+  "bench_e1_monotonic_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_monotonic_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

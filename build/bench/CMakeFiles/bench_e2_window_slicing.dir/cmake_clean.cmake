@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_window_slicing.dir/bench_e2_window_slicing.cc.o"
+  "CMakeFiles/bench_e2_window_slicing.dir/bench_e2_window_slicing.cc.o.d"
+  "bench_e2_window_slicing"
+  "bench_e2_window_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_window_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_delta_join.dir/bench_e5_delta_join.cc.o"
+  "CMakeFiles/bench_e5_delta_join.dir/bench_e5_delta_join.cc.o.d"
+  "bench_e5_delta_join"
+  "bench_e5_delta_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_delta_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

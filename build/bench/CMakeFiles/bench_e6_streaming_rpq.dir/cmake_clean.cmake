@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_streaming_rpq.dir/bench_e6_streaming_rpq.cc.o"
+  "CMakeFiles/bench_e6_streaming_rpq.dir/bench_e6_streaming_rpq.cc.o.d"
+  "bench_e6_streaming_rpq"
+  "bench_e6_streaming_rpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_streaming_rpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_plan_optimisations.dir/bench_e7_plan_optimisations.cc.o"
+  "CMakeFiles/bench_e7_plan_optimisations.dir/bench_e7_plan_optimisations.cc.o.d"
+  "bench_e7_plan_optimisations"
+  "bench_e7_plan_optimisations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_plan_optimisations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

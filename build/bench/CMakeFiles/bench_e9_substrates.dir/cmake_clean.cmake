@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_substrates.dir/bench_e9_substrates.cc.o"
+  "CMakeFiles/bench_e9_substrates.dir/bench_e9_substrates.cc.o.d"
+  "bench_e9_substrates"
+  "bench_e9_substrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_continuous_semantics.dir/bench_f1_continuous_semantics.cc.o"
+  "CMakeFiles/bench_f1_continuous_semantics.dir/bench_f1_continuous_semantics.cc.o.d"
+  "bench_f1_continuous_semantics"
+  "bench_f1_continuous_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_continuous_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_dsms_memory.dir/bench_f3_dsms_memory.cc.o"
+  "CMakeFiles/bench_f3_dsms_memory.dir/bench_f3_dsms_memory.cc.o.d"
+  "bench_f3_dsms_memory"
+  "bench_f3_dsms_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_dsms_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_stack_levels.dir/bench_f4_stack_levels.cc.o"
+  "CMakeFiles/bench_f4_stack_levels.dir/bench_f4_stack_levels.cc.o.d"
+  "bench_f4_stack_levels"
+  "bench_f4_stack_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_stack_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

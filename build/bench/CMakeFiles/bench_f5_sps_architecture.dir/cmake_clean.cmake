@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_sps_architecture.dir/bench_f5_sps_architecture.cc.o"
+  "CMakeFiles/bench_f5_sps_architecture.dir/bench_f5_sps_architecture.cc.o.d"
+  "bench_f5_sps_architecture"
+  "bench_f5_sps_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_sps_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraud_monitor.dir/fraud_monitor.cpp.o"
+  "CMakeFiles/fraud_monitor.dir/fraud_monitor.cpp.o.d"
+  "fraud_monitor"
+  "fraud_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraud_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

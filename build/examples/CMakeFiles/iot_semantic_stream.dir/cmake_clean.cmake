@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_semantic_stream.dir/iot_semantic_stream.cpp.o"
+  "CMakeFiles/iot_semantic_stream.dir/iot_semantic_stream.cpp.o.d"
+  "iot_semantic_stream"
+  "iot_semantic_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_semantic_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

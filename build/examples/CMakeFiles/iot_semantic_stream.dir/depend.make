@@ -1,0 +1,2 @@
+# Empty dependencies file for iot_semantic_stream.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_security_rpq.dir/network_security_rpq.cpp.o"
+  "CMakeFiles/network_security_rpq.dir/network_security_rpq.cpp.o.d"
+  "network_security_rpq"
+  "network_security_rpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_security_rpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

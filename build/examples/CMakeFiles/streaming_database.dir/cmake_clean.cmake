@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_database.dir/streaming_database.cpp.o"
+  "CMakeFiles/streaming_database.dir/streaming_database.cpp.o.d"
+  "streaming_database"
+  "streaming_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

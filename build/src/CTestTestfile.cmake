@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("types")
+subdirs("stream")
+subdirs("relation")
+subdirs("window")
+subdirs("cql")
+subdirs("queue")
+subdirs("kvstore")
+subdirs("dataflow")
+subdirs("duality")
+subdirs("ivm")
+subdirs("graph")
+subdirs("rdf")
+subdirs("cep")
+subdirs("sql")
+subdirs("workload")

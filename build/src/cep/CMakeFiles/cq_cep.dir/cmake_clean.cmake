@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_cep.dir/pattern.cc.o"
+  "CMakeFiles/cq_cep.dir/pattern.cc.o.d"
+  "libcq_cep.a"
+  "libcq_cep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_cep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_common.dir/status.cc.o"
+  "CMakeFiles/cq_common.dir/status.cc.o.d"
+  "CMakeFiles/cq_common.dir/time.cc.o"
+  "CMakeFiles/cq_common.dir/time.cc.o.d"
+  "libcq_common.a"
+  "libcq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cql/continuous_query.cc" "src/cql/CMakeFiles/cq_cql.dir/continuous_query.cc.o" "gcc" "src/cql/CMakeFiles/cq_cql.dir/continuous_query.cc.o.d"
+  "/root/repo/src/cql/expr.cc" "src/cql/CMakeFiles/cq_cql.dir/expr.cc.o" "gcc" "src/cql/CMakeFiles/cq_cql.dir/expr.cc.o.d"
+  "/root/repo/src/cql/plan.cc" "src/cql/CMakeFiles/cq_cql.dir/plan.cc.o" "gcc" "src/cql/CMakeFiles/cq_cql.dir/plan.cc.o.d"
+  "/root/repo/src/cql/provenance.cc" "src/cql/CMakeFiles/cq_cql.dir/provenance.cc.o" "gcc" "src/cql/CMakeFiles/cq_cql.dir/provenance.cc.o.d"
+  "/root/repo/src/cql/r2r.cc" "src/cql/CMakeFiles/cq_cql.dir/r2r.cc.o" "gcc" "src/cql/CMakeFiles/cq_cql.dir/r2r.cc.o.d"
+  "/root/repo/src/cql/r2s.cc" "src/cql/CMakeFiles/cq_cql.dir/r2s.cc.o" "gcc" "src/cql/CMakeFiles/cq_cql.dir/r2s.cc.o.d"
+  "/root/repo/src/cql/s2r.cc" "src/cql/CMakeFiles/cq_cql.dir/s2r.cc.o" "gcc" "src/cql/CMakeFiles/cq_cql.dir/s2r.cc.o.d"
+  "/root/repo/src/cql/snapshot.cc" "src/cql/CMakeFiles/cq_cql.dir/snapshot.cc.o" "gcc" "src/cql/CMakeFiles/cq_cql.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/cq_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/cq_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/cq_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/cq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

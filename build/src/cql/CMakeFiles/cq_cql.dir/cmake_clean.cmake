@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_cql.dir/continuous_query.cc.o"
+  "CMakeFiles/cq_cql.dir/continuous_query.cc.o.d"
+  "CMakeFiles/cq_cql.dir/expr.cc.o"
+  "CMakeFiles/cq_cql.dir/expr.cc.o.d"
+  "CMakeFiles/cq_cql.dir/plan.cc.o"
+  "CMakeFiles/cq_cql.dir/plan.cc.o.d"
+  "CMakeFiles/cq_cql.dir/provenance.cc.o"
+  "CMakeFiles/cq_cql.dir/provenance.cc.o.d"
+  "CMakeFiles/cq_cql.dir/r2r.cc.o"
+  "CMakeFiles/cq_cql.dir/r2r.cc.o.d"
+  "CMakeFiles/cq_cql.dir/r2s.cc.o"
+  "CMakeFiles/cq_cql.dir/r2s.cc.o.d"
+  "CMakeFiles/cq_cql.dir/s2r.cc.o"
+  "CMakeFiles/cq_cql.dir/s2r.cc.o.d"
+  "CMakeFiles/cq_cql.dir/snapshot.cc.o"
+  "CMakeFiles/cq_cql.dir/snapshot.cc.o.d"
+  "libcq_cql.a"
+  "libcq_cql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_cql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

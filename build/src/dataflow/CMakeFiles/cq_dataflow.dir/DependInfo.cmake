@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/chaining.cc" "src/dataflow/CMakeFiles/cq_dataflow.dir/chaining.cc.o" "gcc" "src/dataflow/CMakeFiles/cq_dataflow.dir/chaining.cc.o.d"
+  "/root/repo/src/dataflow/executor.cc" "src/dataflow/CMakeFiles/cq_dataflow.dir/executor.cc.o" "gcc" "src/dataflow/CMakeFiles/cq_dataflow.dir/executor.cc.o.d"
+  "/root/repo/src/dataflow/graph.cc" "src/dataflow/CMakeFiles/cq_dataflow.dir/graph.cc.o" "gcc" "src/dataflow/CMakeFiles/cq_dataflow.dir/graph.cc.o.d"
+  "/root/repo/src/dataflow/join_operator.cc" "src/dataflow/CMakeFiles/cq_dataflow.dir/join_operator.cc.o" "gcc" "src/dataflow/CMakeFiles/cq_dataflow.dir/join_operator.cc.o.d"
+  "/root/repo/src/dataflow/parallel.cc" "src/dataflow/CMakeFiles/cq_dataflow.dir/parallel.cc.o" "gcc" "src/dataflow/CMakeFiles/cq_dataflow.dir/parallel.cc.o.d"
+  "/root/repo/src/dataflow/session_operator.cc" "src/dataflow/CMakeFiles/cq_dataflow.dir/session_operator.cc.o" "gcc" "src/dataflow/CMakeFiles/cq_dataflow.dir/session_operator.cc.o.d"
+  "/root/repo/src/dataflow/source.cc" "src/dataflow/CMakeFiles/cq_dataflow.dir/source.cc.o" "gcc" "src/dataflow/CMakeFiles/cq_dataflow.dir/source.cc.o.d"
+  "/root/repo/src/dataflow/state.cc" "src/dataflow/CMakeFiles/cq_dataflow.dir/state.cc.o" "gcc" "src/dataflow/CMakeFiles/cq_dataflow.dir/state.cc.o.d"
+  "/root/repo/src/dataflow/trigger.cc" "src/dataflow/CMakeFiles/cq_dataflow.dir/trigger.cc.o" "gcc" "src/dataflow/CMakeFiles/cq_dataflow.dir/trigger.cc.o.d"
+  "/root/repo/src/dataflow/window_operator.cc" "src/dataflow/CMakeFiles/cq_dataflow.dir/window_operator.cc.o" "gcc" "src/dataflow/CMakeFiles/cq_dataflow.dir/window_operator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cql/CMakeFiles/cq_cql.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/cq_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/cq_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/cq_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/cq_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/cq_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/cq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_dataflow.dir/chaining.cc.o"
+  "CMakeFiles/cq_dataflow.dir/chaining.cc.o.d"
+  "CMakeFiles/cq_dataflow.dir/executor.cc.o"
+  "CMakeFiles/cq_dataflow.dir/executor.cc.o.d"
+  "CMakeFiles/cq_dataflow.dir/graph.cc.o"
+  "CMakeFiles/cq_dataflow.dir/graph.cc.o.d"
+  "CMakeFiles/cq_dataflow.dir/join_operator.cc.o"
+  "CMakeFiles/cq_dataflow.dir/join_operator.cc.o.d"
+  "CMakeFiles/cq_dataflow.dir/parallel.cc.o"
+  "CMakeFiles/cq_dataflow.dir/parallel.cc.o.d"
+  "CMakeFiles/cq_dataflow.dir/session_operator.cc.o"
+  "CMakeFiles/cq_dataflow.dir/session_operator.cc.o.d"
+  "CMakeFiles/cq_dataflow.dir/source.cc.o"
+  "CMakeFiles/cq_dataflow.dir/source.cc.o.d"
+  "CMakeFiles/cq_dataflow.dir/state.cc.o"
+  "CMakeFiles/cq_dataflow.dir/state.cc.o.d"
+  "CMakeFiles/cq_dataflow.dir/trigger.cc.o"
+  "CMakeFiles/cq_dataflow.dir/trigger.cc.o.d"
+  "CMakeFiles/cq_dataflow.dir/window_operator.cc.o"
+  "CMakeFiles/cq_dataflow.dir/window_operator.cc.o.d"
+  "libcq_dataflow.a"
+  "libcq_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

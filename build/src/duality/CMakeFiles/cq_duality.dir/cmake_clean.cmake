@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_duality.dir/kstream.cc.o"
+  "CMakeFiles/cq_duality.dir/kstream.cc.o.d"
+  "libcq_duality.a"
+  "libcq_duality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_duality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

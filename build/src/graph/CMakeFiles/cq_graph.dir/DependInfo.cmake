@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/property_graph.cc" "src/graph/CMakeFiles/cq_graph.dir/property_graph.cc.o" "gcc" "src/graph/CMakeFiles/cq_graph.dir/property_graph.cc.o.d"
+  "/root/repo/src/graph/rpq_automaton.cc" "src/graph/CMakeFiles/cq_graph.dir/rpq_automaton.cc.o" "gcc" "src/graph/CMakeFiles/cq_graph.dir/rpq_automaton.cc.o.d"
+  "/root/repo/src/graph/streaming_rpq.cc" "src/graph/CMakeFiles/cq_graph.dir/streaming_rpq.cc.o" "gcc" "src/graph/CMakeFiles/cq_graph.dir/streaming_rpq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/cq_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_graph.dir/property_graph.cc.o"
+  "CMakeFiles/cq_graph.dir/property_graph.cc.o.d"
+  "CMakeFiles/cq_graph.dir/rpq_automaton.cc.o"
+  "CMakeFiles/cq_graph.dir/rpq_automaton.cc.o.d"
+  "CMakeFiles/cq_graph.dir/streaming_rpq.cc.o"
+  "CMakeFiles/cq_graph.dir/streaming_rpq.cc.o.d"
+  "libcq_graph.a"
+  "libcq_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

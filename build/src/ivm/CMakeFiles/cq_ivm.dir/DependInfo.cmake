@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ivm/view.cc" "src/ivm/CMakeFiles/cq_ivm.dir/view.cc.o" "gcc" "src/ivm/CMakeFiles/cq_ivm.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cql/CMakeFiles/cq_cql.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/cq_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/cq_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/cq_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/cq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

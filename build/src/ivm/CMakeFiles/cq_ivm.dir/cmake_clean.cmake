@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_ivm.dir/view.cc.o"
+  "CMakeFiles/cq_ivm.dir/view.cc.o.d"
+  "libcq_ivm.a"
+  "libcq_ivm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_ivm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_kvstore.dir/kvstore.cc.o"
+  "CMakeFiles/cq_kvstore.dir/kvstore.cc.o.d"
+  "CMakeFiles/cq_kvstore.dir/wal.cc.o"
+  "CMakeFiles/cq_kvstore.dir/wal.cc.o.d"
+  "libcq_kvstore.a"
+  "libcq_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_queue.dir/broker.cc.o"
+  "CMakeFiles/cq_queue.dir/broker.cc.o.d"
+  "libcq_queue.a"
+  "libcq_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

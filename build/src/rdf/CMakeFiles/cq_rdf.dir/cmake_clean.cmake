@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_rdf.dir/rdf.cc.o"
+  "CMakeFiles/cq_rdf.dir/rdf.cc.o.d"
+  "libcq_rdf.a"
+  "libcq_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_relation.dir/relation.cc.o"
+  "CMakeFiles/cq_relation.dir/relation.cc.o.d"
+  "libcq_relation.a"
+  "libcq_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_sql.dir/ast.cc.o"
+  "CMakeFiles/cq_sql.dir/ast.cc.o.d"
+  "CMakeFiles/cq_sql.dir/lexer.cc.o"
+  "CMakeFiles/cq_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/cq_sql.dir/optimizer.cc.o"
+  "CMakeFiles/cq_sql.dir/optimizer.cc.o.d"
+  "CMakeFiles/cq_sql.dir/parser.cc.o"
+  "CMakeFiles/cq_sql.dir/parser.cc.o.d"
+  "CMakeFiles/cq_sql.dir/plan_serde.cc.o"
+  "CMakeFiles/cq_sql.dir/plan_serde.cc.o.d"
+  "CMakeFiles/cq_sql.dir/planner.cc.o"
+  "CMakeFiles/cq_sql.dir/planner.cc.o.d"
+  "libcq_sql.a"
+  "libcq_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

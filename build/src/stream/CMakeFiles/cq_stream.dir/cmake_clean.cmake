@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_stream.dir/stream.cc.o"
+  "CMakeFiles/cq_stream.dir/stream.cc.o.d"
+  "libcq_stream.a"
+  "libcq_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_types.dir/schema.cc.o"
+  "CMakeFiles/cq_types.dir/schema.cc.o.d"
+  "CMakeFiles/cq_types.dir/serde.cc.o"
+  "CMakeFiles/cq_types.dir/serde.cc.o.d"
+  "CMakeFiles/cq_types.dir/value.cc.o"
+  "CMakeFiles/cq_types.dir/value.cc.o.d"
+  "libcq_types.a"
+  "libcq_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

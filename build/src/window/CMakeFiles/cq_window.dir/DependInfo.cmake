@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/window/aggregate.cc" "src/window/CMakeFiles/cq_window.dir/aggregate.cc.o" "gcc" "src/window/CMakeFiles/cq_window.dir/aggregate.cc.o.d"
+  "/root/repo/src/window/sliding.cc" "src/window/CMakeFiles/cq_window.dir/sliding.cc.o" "gcc" "src/window/CMakeFiles/cq_window.dir/sliding.cc.o.d"
+  "/root/repo/src/window/window.cc" "src/window/CMakeFiles/cq_window.dir/window.cc.o" "gcc" "src/window/CMakeFiles/cq_window.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/cq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

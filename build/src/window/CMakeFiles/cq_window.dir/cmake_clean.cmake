@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_window.dir/aggregate.cc.o"
+  "CMakeFiles/cq_window.dir/aggregate.cc.o.d"
+  "CMakeFiles/cq_window.dir/sliding.cc.o"
+  "CMakeFiles/cq_window.dir/sliding.cc.o.d"
+  "CMakeFiles/cq_window.dir/window.cc.o"
+  "CMakeFiles/cq_window.dir/window.cc.o.d"
+  "libcq_window.a"
+  "libcq_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

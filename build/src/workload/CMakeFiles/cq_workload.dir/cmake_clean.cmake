@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_workload.dir/generators.cc.o"
+  "CMakeFiles/cq_workload.dir/generators.cc.o.d"
+  "libcq_workload.a"
+  "libcq_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_failure_test.dir/executor_failure_test.cc.o"
+  "CMakeFiles/executor_failure_test.dir/executor_failure_test.cc.o.d"
+  "executor_failure_test"
+  "executor_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

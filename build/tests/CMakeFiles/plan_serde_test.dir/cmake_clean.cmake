@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_serde_test.dir/plan_serde_test.cc.o"
+  "CMakeFiles/plan_serde_test.dir/plan_serde_test.cc.o.d"
+  "plan_serde_test"
+  "plan_serde_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_serde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2r_test.dir/r2r_test.cc.o"
+  "CMakeFiles/r2r_test.dir/r2r_test.cc.o.d"
+  "r2r_test"
+  "r2r_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2r_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2r_r2s_test.dir/s2r_r2s_test.cc.o"
+  "CMakeFiles/s2r_r2s_test.dir/s2r_r2s_test.cc.o.d"
+  "s2r_r2s_test"
+  "s2r_r2s_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2r_r2s_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_operator_test.dir/session_operator_test.cc.o"
+  "CMakeFiles/session_operator_test.dir/session_operator_test.cc.o.d"
+  "session_operator_test"
+  "session_operator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/source_test.cc" "tests/CMakeFiles/source_test.dir/source_test.cc.o" "gcc" "tests/CMakeFiles/source_test.dir/source_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/cq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/cq_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/cq_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/cq_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/cql/CMakeFiles/cq_cql.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/cq_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/cq_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/cq_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/duality/CMakeFiles/cq_duality.dir/DependInfo.cmake"
+  "/root/repo/build/src/ivm/CMakeFiles/cq_ivm.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/cq_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cep/CMakeFiles/cq_cep.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/cq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cq_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
