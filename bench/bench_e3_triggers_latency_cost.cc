@@ -84,6 +84,13 @@ RunStats RunTriggerConfig(std::shared_ptr<TriggerFactory> trigger,
   probe->exec = &exec;
   probe->win_node = win;
 
+  // Opt-in pipeline metrics: CQ_BENCH_METRICS=1 attaches the global
+  // registry and prints a BENCH_METRICS JSON line after the series.
+  if (std::getenv("CQ_BENCH_METRICS") != nullptr) {
+    exec.AttachMetrics(&MetricsRegistry::Global());
+    EmitGlobalMetricsAtExit();
+  }
+
   BoundedOutOfOrdernessWatermark wm_gen(kDisorder / 2);  // deliberately tight
   Timestamp pt = 0;
   size_t i = 0;

@@ -6,6 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
 namespace cq {
 
 /// \brief Adds throughput counters: items/s and seconds-per-item (printed
@@ -18,6 +23,29 @@ inline void SetPerItemMicros(benchmark::State& state, double items_per_iter) {
       benchmark::Counter(items, benchmark::Counter::kIsRate);
   state.counters["sec_per_item"] = benchmark::Counter(
       items, benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+/// \brief Prints `registry` as a single machine-greppable JSON line
+/// ("BENCH_METRICS {...}"). Pair with MetricsRegistry::Global() to collect
+/// counters across benchmark cases.
+inline void DumpMetricsJson(const MetricsRegistry& registry,
+                            std::FILE* out = stdout) {
+  std::string json = registry.ToJson();
+  std::fprintf(out, "BENCH_METRICS %s\n", json.c_str());
+}
+
+/// \brief Emits the global registry as a final JSON metrics block after the
+/// benchmark series finishes (atexit, so it lands below the series table).
+/// Call once from any benchmark file; empty registries print nothing.
+inline void EmitGlobalMetricsAtExit() {
+  static const bool registered = [] {
+    std::atexit([] {
+      MetricsRegistry& global = MetricsRegistry::Global();
+      if (global.size() > 0) DumpMetricsJson(global);
+    });
+    return true;
+  }();
+  (void)registered;
 }
 
 }  // namespace cq

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build + full ctest suite + metrics smoke check.
+# Usage: scripts/check_tier1.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+echo "== metrics smoke check =="
+# metrics_demo prints a single "METRICS_JSON {...}" line; it must parse as
+# JSON and contain the per-node dataflow families.
+DEMO_OUT="$("$BUILD_DIR"/examples/metrics_demo)"
+JSON_LINE="$(printf '%s\n' "$DEMO_OUT" | sed -n 's/^METRICS_JSON //p')"
+if [[ -z "$JSON_LINE" ]]; then
+  echo "FAIL: metrics_demo printed no METRICS_JSON line" >&2
+  exit 1
+fi
+printf '%s' "$JSON_LINE" | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+assert set(d) == {"counters", "gauges", "histograms"}, sorted(d)
+names = " ".join(d["counters"]) + " ".join(d["gauges"]) + " ".join(d["histograms"])
+for family in ("cq_dataflow_records_in_total", "cq_dataflow_records_out_total",
+               "cq_dataflow_process_latency_us", "cq_dataflow_event_time_lag"):
+    assert family in names, f"missing {family}"
+print("metrics smoke check: JSON valid,",
+      len(d["counters"]), "counters,", len(d["gauges"]), "gauges,",
+      len(d["histograms"]), "histograms")
+'
+
+echo "== quickstart smoke =="
+"$BUILD_DIR"/examples/quickstart > /dev/null
+
+echo "tier-1 check: OK"

@@ -4,7 +4,14 @@
 /// \file logging.h
 /// \brief Minimal leveled logging for the library. Off by default at DEBUG;
 /// intended for diagnosing runtime behaviour, not for hot paths.
+///
+/// The initial level is read from the CQ_LOG_LEVEL environment variable:
+/// one of DEBUG/INFO/WARN/ERROR (case-insensitive) or the numeric levels
+/// 0-3. Unset or unrecognised values default to WARN. set_level() overrides
+/// the environment at runtime.
 
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -13,6 +20,19 @@
 namespace cq {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Parses a CQ_LOG_LEVEL-style spec; `fallback` on no/bad input.
+inline LogLevel ParseLogLevel(const char* spec,
+                              LogLevel fallback = LogLevel::kWarn) {
+  if (spec == nullptr) return fallback;
+  std::string s(spec);
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  if (s == "DEBUG" || s == "0") return LogLevel::kDebug;
+  if (s == "INFO" || s == "1") return LogLevel::kInfo;
+  if (s == "WARN" || s == "WARNING" || s == "2") return LogLevel::kWarn;
+  if (s == "ERROR" || s == "3") return LogLevel::kError;
+  return fallback;
+}
 
 /// \brief Process-wide logging configuration.
 class Logger {
@@ -24,6 +44,10 @@ class Logger {
 
   void set_level(LogLevel level) { level_ = level; }
   LogLevel level() const { return level_; }
+
+  /// \brief True when a message at `level` would be emitted; lets callers
+  /// skip building expensive messages.
+  bool Enabled(LogLevel level) const { return level >= level_; }
 
   void Log(LogLevel level, const std::string& msg) {
     if (level < level_) return;
@@ -46,7 +70,9 @@ class Logger {
     return "?";
   }
 
-  LogLevel level_ = LogLevel::kWarn;
+  Logger() : level_(ParseLogLevel(std::getenv("CQ_LOG_LEVEL"))) {}
+
+  LogLevel level_;
   std::mutex mu_;
 };
 

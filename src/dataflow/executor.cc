@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "types/serde.h"
 
 namespace cq {
@@ -14,10 +15,15 @@ class RoutingCollector : public Collector {
   using DeliverFn =
       std::function<Status(NodeId, size_t, const StreamElement&)>;
   RoutingCollector(const std::vector<DataflowGraph::Edge>* edges,
-                   DeliverFn deliver)
-      : edges_(edges), deliver_(std::move(deliver)) {}
+                   DeliverFn deliver, Counter* records_out = nullptr)
+      : edges_(edges),
+        deliver_(std::move(deliver)),
+        records_out_(records_out) {}
 
   void Emit(StreamElement element) override {
+    if (records_out_ != nullptr && element.is_record()) {
+      records_out_->Increment();
+    }
     for (const auto& e : *edges_) {
       Status s = deliver_(e.to, e.port, element);
       if (!s.ok() && status_.ok()) status_ = s;
@@ -29,6 +35,7 @@ class RoutingCollector : public Collector {
  private:
   const std::vector<DataflowGraph::Edge>* edges_;
   DeliverFn deliver_;
+  Counter* records_out_;
   Status status_;
 };
 
@@ -44,6 +51,48 @@ PipelineExecutor::PipelineExecutor(std::unique_ptr<DataflowGraph> graph,
     port_watermarks_[i].assign(graph_->node(i)->num_input_ports(),
                                kMinTimestamp);
   }
+}
+
+void PipelineExecutor::AttachMetrics(MetricsRegistry* registry) {
+  metrics_ = registry;
+  node_metrics_.clear();
+  child_time_ns_.clear();
+  if (registry == nullptr) return;
+  node_metrics_.resize(graph_->num_nodes());
+  for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
+    Operator* op = graph_->node(i);
+    LabelSet labels{{"node", op->name()}, {"id", std::to_string(i)}};
+    NodeMetrics& m = node_metrics_[i];
+    m.records_in =
+        registry->GetCounter("cq_dataflow_records_in_total", labels);
+    m.records_out =
+        registry->GetCounter("cq_dataflow_records_out_total", labels);
+    m.watermarks_in =
+        registry->GetCounter("cq_dataflow_watermarks_in_total", labels);
+    m.process_latency_us =
+        registry->GetHistogram("cq_dataflow_process_latency_us", labels);
+    m.event_time_lag =
+        registry->GetGauge("cq_dataflow_event_time_lag", labels);
+    m.state_entries = registry->GetGauge("cq_dataflow_state_entries", labels);
+    m.state_bytes = registry->GetGauge("cq_dataflow_state_bytes", labels);
+    op->AttachMetrics(registry, labels);
+  }
+}
+
+void PipelineExecutor::RefreshStateMetrics() {
+  if (metrics_ == nullptr) return;
+  for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
+    const Operator* op = graph_->node(i);
+    node_metrics_[i].state_entries->Set(static_cast<int64_t>(op->StateSize()));
+    node_metrics_[i].state_bytes->Set(
+        static_cast<int64_t>(op->StateBytesApprox()));
+  }
+}
+
+std::string PipelineExecutor::DumpMetrics(MetricsFormat format) {
+  if (metrics_ == nullptr) return "";
+  RefreshStateMetrics();
+  return metrics_->Dump(format);
 }
 
 OperatorContext PipelineExecutor::ContextFor(NodeId node) const {
@@ -73,16 +122,36 @@ Status PipelineExecutor::Push(NodeId source, const StreamElement& element) {
 
 Status PipelineExecutor::Deliver(NodeId node, size_t port,
                                  const StreamElement& element) {
+  NodeMetrics* m = metrics_ != nullptr ? &node_metrics_[node] : nullptr;
   Operator* op = graph_->node(node);
   RoutingCollector collector(
       &graph_->outputs(node),
       [this](NodeId to, size_t to_port, const StreamElement& e) {
         return e.is_watermark() ? DeliverWatermark(to, to_port, e.timestamp)
                                 : Deliver(to, to_port, e);
-      });
-  CQ_RETURN_NOT_OK(
-      op->ProcessElement(port, element, ContextFor(node), &collector));
-  return collector.status();
+      },
+      m != nullptr ? m->records_out : nullptr);
+  int64_t t0 = 0;
+  if (m != nullptr) {
+    m->records_in->Increment();
+    if (element.timestamp > m->max_event_ts) {
+      m->max_event_ts = element.timestamp;
+    }
+    child_time_ns_.push_back(0);
+    t0 = MonotonicNanos();
+  }
+  Status st = op->ProcessElement(port, element, ContextFor(node), &collector);
+  if (st.ok()) st = collector.status();
+  if (m != nullptr) {
+    // Self time: downstream deliveries (which ran inside collector.Emit)
+    // accounted their own totals into this frame's child accumulator.
+    int64_t total = MonotonicNanos() - t0;
+    int64_t child = child_time_ns_.back();
+    child_time_ns_.pop_back();
+    m->process_latency_us->Observe(static_cast<double>(total - child) / 1e3);
+    if (!child_time_ns_.empty()) child_time_ns_.back() += total;
+  }
+  return st;
 }
 
 Status PipelineExecutor::DeliverWatermark(NodeId node, size_t port,
@@ -91,11 +160,17 @@ Status PipelineExecutor::DeliverWatermark(NodeId node, size_t port,
   if (port >= ports.size()) {
     return Status::InvalidArgument("watermark delivered to unknown port");
   }
+  NodeMetrics* m = metrics_ != nullptr ? &node_metrics_[node] : nullptr;
+  if (m != nullptr) m->watermarks_in->Increment();
   if (wm <= ports[port]) return Status::OK();  // watermarks are monotonic
   ports[port] = wm;
   Timestamp combined = *std::min_element(ports.begin(), ports.end());
   if (combined <= node_watermarks_[node]) return Status::OK();
   node_watermarks_[node] = combined;
+  if (m != nullptr && m->max_event_ts != kMinTimestamp) {
+    int64_t lag = m->max_event_ts - combined;
+    m->event_time_lag->Set(lag > 0 ? lag : 0);
+  }
 
   Operator* op = graph_->node(node);
   RoutingCollector collector(
@@ -103,29 +178,60 @@ Status PipelineExecutor::DeliverWatermark(NodeId node, size_t port,
       [this](NodeId to, size_t to_port, const StreamElement& e) {
         return e.is_watermark() ? DeliverWatermark(to, to_port, e.timestamp)
                                 : Deliver(to, to_port, e);
-      });
-  CQ_RETURN_NOT_OK(op->OnWatermark(combined, ContextFor(node), &collector));
-  CQ_RETURN_NOT_OK(collector.status());
-  // Forward the combined watermark downstream.
-  for (const auto& e : graph_->outputs(node)) {
-    CQ_RETURN_NOT_OK(DeliverWatermark(e.to, e.port, combined));
+      },
+      m != nullptr ? m->records_out : nullptr);
+  int64_t t0 = 0;
+  if (m != nullptr) {
+    child_time_ns_.push_back(0);
+    t0 = MonotonicNanos();
   }
-  return Status::OK();
+  Status st = op->OnWatermark(combined, ContextFor(node), &collector);
+  if (st.ok()) st = collector.status();
+  if (st.ok()) {
+    // Forward the combined watermark downstream.
+    for (const auto& e : graph_->outputs(node)) {
+      st = DeliverWatermark(e.to, e.port, combined);
+      if (!st.ok()) break;
+    }
+  }
+  if (m != nullptr) {
+    int64_t total = MonotonicNanos() - t0;
+    int64_t child = child_time_ns_.back();
+    child_time_ns_.pop_back();
+    m->process_latency_us->Observe(static_cast<double>(total - child) / 1e3);
+    if (!child_time_ns_.empty()) child_time_ns_.back() += total;
+  }
+  return st;
 }
 
 Status PipelineExecutor::AdvanceProcessingTime(Timestamp now) {
   if (clock_ == &manual_clock_) manual_clock_.Set(now);
   CQ_ASSIGN_OR_RETURN(std::vector<NodeId> order, graph_->TopologicalOrder());
   for (NodeId id : order) {
+    NodeMetrics* m = metrics_ != nullptr ? &node_metrics_[id] : nullptr;
     Operator* op = graph_->node(id);
     RoutingCollector collector(
         &graph_->outputs(id),
         [this](NodeId to, size_t to_port, const StreamElement& e) {
           return e.is_watermark() ? DeliverWatermark(to, to_port, e.timestamp)
                                   : Deliver(to, to_port, e);
-        });
-    CQ_RETURN_NOT_OK(op->OnProcessingTime(ContextFor(id), &collector));
-    CQ_RETURN_NOT_OK(collector.status());
+        },
+        m != nullptr ? m->records_out : nullptr);
+    int64_t t0 = 0;
+    if (m != nullptr) {
+      child_time_ns_.push_back(0);
+      t0 = MonotonicNanos();
+    }
+    Status st = op->OnProcessingTime(ContextFor(id), &collector);
+    if (st.ok()) st = collector.status();
+    if (m != nullptr) {
+      int64_t total = MonotonicNanos() - t0;
+      int64_t child = child_time_ns_.back();
+      child_time_ns_.pop_back();
+      m->process_latency_us->Observe(static_cast<double>(total - child) / 1e3);
+      if (!child_time_ns_.empty()) child_time_ns_.back() += total;
+    }
+    CQ_RETURN_NOT_OK(st);
   }
   return Status::OK();
 }

@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "common/time.h"
 #include "dataflow/graph.h"
+#include "obs/metrics.h"
 
 namespace cq {
 
@@ -62,7 +63,37 @@ class PipelineExecutor {
   /// \brief Current combined watermark of a node.
   Timestamp NodeWatermark(NodeId id) const;
 
+  /// \brief Attaches a metrics registry: creates per-node instruments
+  /// (`cq_dataflow_records_in_total{node=...,id=...}`, records_out,
+  /// watermarks_in, a process-latency histogram, and event-time-lag /
+  /// state gauges) and forwards the registry to every operator. With no
+  /// registry attached the execution hot path pays one pointer test.
+  void AttachMetrics(MetricsRegistry* registry);
+
+  MetricsRegistry* metrics() const { return metrics_; }
+
+  /// \brief Re-reads every node's StateSize()/StateBytesApprox() into the
+  /// state gauges. Walks operator state; call at dump cadence.
+  void RefreshStateMetrics();
+
+  /// \brief RefreshStateMetrics() + serialized registry contents. Empty
+  /// string when no registry is attached.
+  std::string DumpMetrics(MetricsFormat format = MetricsFormat::kJson);
+
  private:
+  /// Per-node cached instrument pointers; only populated (and only read)
+  /// when metrics_ != nullptr.
+  struct NodeMetrics {
+    Counter* records_in = nullptr;
+    Counter* records_out = nullptr;
+    Counter* watermarks_in = nullptr;
+    Histogram* process_latency_us = nullptr;  // self time, excludes downstream
+    Gauge* event_time_lag = nullptr;          // max event ts - node watermark
+    Gauge* state_entries = nullptr;
+    Gauge* state_bytes = nullptr;
+    Timestamp max_event_ts = kMinTimestamp;
+  };
+
   Status Deliver(NodeId node, size_t port, const StreamElement& element);
   Status DeliverWatermark(NodeId node, size_t port, Timestamp wm);
   OperatorContext ContextFor(NodeId node) const;
@@ -73,6 +104,13 @@ class PipelineExecutor {
   // Per node: per-port watermarks and the combined (min) watermark.
   std::vector<std::vector<Timestamp>> port_watermarks_;
   std::vector<Timestamp> node_watermarks_;
+
+  MetricsRegistry* metrics_ = nullptr;
+  std::vector<NodeMetrics> node_metrics_;
+  // Stack mirroring Deliver recursion: each frame accumulates nanoseconds
+  // spent in downstream (child) deliveries so a node's latency histogram
+  // records self time only. Unused when metrics_ == nullptr.
+  std::vector<int64_t> child_time_ns_;
 };
 
 }  // namespace cq

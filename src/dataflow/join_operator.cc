@@ -114,4 +114,22 @@ size_t StreamJoinOperator::StateSize() const {
   return n;
 }
 
+size_t StreamJoinOperator::StateBytesApprox() const {
+  // Shallow per-element footprint: key bytes plus the tuple's value slots
+  // and string payloads. Walks all buffers; metrics-dump cadence only.
+  size_t bytes = 0;
+  for (const SideBuffer* side : {&left_, &right_}) {
+    for (const auto& [key, buffer] : *side) {
+      bytes += key.size();
+      for (const auto& elem : buffer) {
+        bytes += sizeof(Timestamp) + elem.tuple.size() * sizeof(Value);
+        for (const Value& v : elem.tuple.values()) {
+          if (v.is_string()) bytes += v.string_value().size();
+        }
+      }
+    }
+  }
+  return bytes;
+}
+
 }  // namespace cq

@@ -44,6 +44,7 @@ class StreamJoinOperator : public Operator {
   Result<std::string> SnapshotState() const override;
   Status RestoreState(std::string_view snapshot) override;
   size_t StateSize() const override;
+  size_t StateBytesApprox() const override;
   bool IsStateless() const override { return false; }
 
  private:

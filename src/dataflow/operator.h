@@ -15,6 +15,7 @@
 
 #include "common/status.h"
 #include "common/time.h"
+#include "obs/metrics.h"
 #include "stream/stream.h"
 
 namespace cq {
@@ -80,6 +81,20 @@ class Operator {
 
   /// \brief Resident state cells (for memory-shape reporting).
   virtual size_t StateSize() const { return 0; }
+
+  /// \brief Approximate resident state bytes (keys + payloads). May walk the
+  /// state, so callers poll it at dump/checkpoint cadence, not per element.
+  virtual size_t StateBytesApprox() const { return 0; }
+
+  /// \brief Called by the executor when a metrics registry is attached to
+  /// the pipeline. `labels` identifies this node (node name + id).
+  /// Operators that maintain their own instruments (e.g. late-drop
+  /// counters) override this to create them; the default keeps none.
+  virtual void AttachMetrics(MetricsRegistry* registry,
+                             const LabelSet& labels) {
+    (void)registry;
+    (void)labels;
+  }
 
   /// \brief Whether the operator keeps no cross-element state. Stateless
   /// operators are eligible for chain fusion (chaining.h) and need no

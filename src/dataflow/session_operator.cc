@@ -1,5 +1,6 @@
 #include "dataflow/session_operator.h"
 
+#include "common/logging.h"
 #include "types/serde.h"
 
 namespace cq {
@@ -56,6 +57,14 @@ Status SessionWindowOperator::ProcessElement(size_t,
     // The session this element would belong to may already be closed; the
     // watermark contract makes it late.
     ++dropped_late_;
+    if (late_drop_counter_ != nullptr) late_drop_counter_->Increment();
+    LogLevel lvl = dropped_late_ == 1 ? LogLevel::kWarn : LogLevel::kDebug;
+    if (Logger::Instance().Enabled(lvl)) {
+      LogMessage(lvl) << "session operator '" << name()
+                      << "' dropped late record ts=" << ts
+                      << " behind watermark " << ctx.watermark
+                      << " (total dropped " << dropped_late_ << ")";
+    }
     return Status::OK();
   }
   std::string key =
@@ -171,5 +180,25 @@ size_t SessionWindowOperator::StateSize() const {
 }
 
 size_t SessionWindowOperator::open_sessions() const { return StateSize(); }
+
+size_t SessionWindowOperator::StateBytesApprox() const {
+  size_t bytes = 0;
+  for (const auto& [key, ks] : keys_) {
+    bytes += key.size();
+    for (const auto& [interval, states] : ks.cells) {
+      bytes += sizeof(TimeInterval) + states.size() * sizeof(AggState);
+    }
+  }
+  return bytes;
+}
+
+void SessionWindowOperator::AttachMetrics(MetricsRegistry* registry,
+                                          const LabelSet& labels) {
+  late_drop_counter_ =
+      registry == nullptr
+          ? nullptr
+          : registry->GetCounter("cq_dataflow_late_records_dropped_total",
+                                 labels);
+}
 
 }  // namespace cq

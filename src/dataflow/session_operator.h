@@ -45,7 +45,10 @@ class SessionWindowOperator : public Operator {
   Result<std::string> SnapshotState() const override;
   Status RestoreState(std::string_view snapshot) override;
   size_t StateSize() const override;
+  size_t StateBytesApprox() const override;
   bool IsStateless() const override { return false; }
+  void AttachMetrics(MetricsRegistry* registry,
+                     const LabelSet& labels) override;
 
   uint64_t dropped_late() const { return dropped_late_; }
   uint64_t sessions_emitted() const { return sessions_emitted_; }
@@ -68,6 +71,7 @@ class SessionWindowOperator : public Operator {
   std::map<std::string, KeyState> keys_;  // key bytes -> state
   uint64_t dropped_late_ = 0;
   uint64_t sessions_emitted_ = 0;
+  Counter* late_drop_counter_ = nullptr;  // set when metrics are attached
 };
 
 }  // namespace cq

@@ -17,6 +17,16 @@ Result<std::string> KeyedStateBackend::Snapshot() const {
   return out;
 }
 
+size_t KeyedStateBackend::ApproxBytes() const {
+  size_t bytes = 0;
+  Status st = ForEach([&bytes](const std::string& key, const std::string& ns,
+                               const std::string& value) {
+    bytes += key.size() + ns.size() + value.size();
+    return Status::OK();
+  });
+  return st.ok() ? bytes : 0;
+}
+
 Status KeyedStateBackend::Restore(std::string_view snapshot) {
   CQ_RETURN_NOT_OK(Clear());
   std::string_view in = snapshot;

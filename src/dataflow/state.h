@@ -42,6 +42,11 @@ class KeyedStateBackend {
   /// \brief Number of live cells.
   virtual size_t Size() const = 0;
 
+  /// \brief Approximate resident bytes (keys + namespaces + payloads). The
+  /// default walks every cell via ForEach, so poll it at metrics-dump
+  /// cadence, not per element.
+  virtual size_t ApproxBytes() const;
+
   /// \brief Serializes the entire state (checkpointing).
   virtual Result<std::string> Snapshot() const;
 

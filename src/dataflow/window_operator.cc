@@ -1,5 +1,6 @@
 #include "dataflow/window_operator.h"
 
+#include "common/logging.h"
 #include "types/serde.h"
 
 namespace cq {
@@ -159,6 +160,17 @@ Status WindowedAggregateOperator::ProcessElement(size_t,
   for (const TimeInterval& w : config_.assigner->AssignWindows(ts)) {
     if (w.end + config_.allowed_lateness <= ctx.watermark) {
       ++dropped_late_;
+      if (late_drop_counter_ != nullptr) late_drop_counter_->Increment();
+      // First drop at WARN so pipelines losing data are visible by default;
+      // the rest at DEBUG to keep heavy out-of-order workloads quiet.
+      LogLevel lvl = dropped_late_ == 1 ? LogLevel::kWarn : LogLevel::kDebug;
+      if (Logger::Instance().Enabled(lvl)) {
+        LogMessage(lvl) << "window operator '" << name()
+                        << "' dropped late record ts=" << ts << " for window ["
+                        << w.start << "," << w.end << ") behind watermark "
+                        << ctx.watermark << " (total dropped " << dropped_late_
+                        << ")";
+      }
       continue;
     }
     CQ_ASSIGN_OR_RETURN(Cell cell, LoadCell(key, w));
@@ -179,6 +191,15 @@ Status WindowedAggregateOperator::ProcessElement(size_t,
         trigger->OnElement(ts, ctx.processing_time), key, w, out));
   }
   return Status::OK();
+}
+
+void WindowedAggregateOperator::AttachMetrics(MetricsRegistry* registry,
+                                              const LabelSet& labels) {
+  late_drop_counter_ =
+      registry == nullptr
+          ? nullptr
+          : registry->GetCounter("cq_dataflow_late_records_dropped_total",
+                                 labels);
 }
 
 Status WindowedAggregateOperator::OnWatermark(Timestamp watermark,

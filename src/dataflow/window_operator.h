@@ -53,7 +53,10 @@ class WindowedAggregateOperator : public Operator {
   Result<std::string> SnapshotState() const override;
   Status RestoreState(std::string_view snapshot) override;
   size_t StateSize() const override { return state_->Size(); }
+  size_t StateBytesApprox() const override { return state_->ApproxBytes(); }
   bool IsStateless() const override { return false; }
+  void AttachMetrics(MetricsRegistry* registry,
+                     const LabelSet& labels) override;
 
   /// \brief Elements dropped because they arrived past the allowed lateness.
   uint64_t dropped_late() const { return dropped_late_; }
@@ -91,6 +94,7 @@ class WindowedAggregateOperator : public Operator {
 
   uint64_t dropped_late_ = 0;
   uint64_t panes_emitted_ = 0;
+  Counter* late_drop_counter_ = nullptr;  // set when metrics are attached
 };
 
 }  // namespace cq

@@ -13,6 +13,15 @@ std::vector<MultisetRelation> OneHotDeltas(size_t num_tables, size_t table,
 
 }  // namespace
 
+void MaterializedView::ExportMetrics(MetricsRegistry* registry,
+                                     const std::string& view_label) const {
+  if (registry == nullptr) return;
+  registry
+      ->GetGauge("cq_ivm_state_tuples",
+                 {{"view", view_label}, {"strategy", strategy()}})
+      ->Set(static_cast<int64_t>(StateSize()));
+}
+
 // ---- EagerView ----
 
 EagerView::EagerView(RelOpPtr plan, size_t num_tables)

@@ -30,6 +30,7 @@
 #include "common/status.h"
 #include "cql/continuous_query.h"
 #include "cql/plan.h"
+#include "obs/metrics.h"
 #include "relation/relation.h"
 
 namespace cq {
@@ -60,6 +61,12 @@ class MaterializedView {
   virtual size_t StateSize() const = 0;
 
   virtual const char* strategy() const = 0;
+
+  /// \brief Publishes the view's state-size gauge
+  /// (`cq_ivm_state_tuples{view=...,strategy=...}`) into `registry`.
+  /// Snapshot semantics: call at metrics-dump cadence.
+  void ExportMetrics(MetricsRegistry* registry,
+                     const std::string& view_label) const;
 };
 
 /// \brief Eager incremental maintenance (delta propagation on every update).

@@ -336,4 +336,23 @@ KVStoreStats KVStore::stats() const {
   return s;
 }
 
+void KVStore::ExportMetrics(MetricsRegistry* registry,
+                            const std::string& store_label) const {
+  if (registry == nullptr) return;
+  KVStoreStats s = stats();
+  LabelSet labels{{"store", store_label}};
+  registry->GetGauge("cq_kvstore_memtable_entries", labels)
+      ->Set(static_cast<int64_t>(s.memtable_entries));
+  registry->GetGauge("cq_kvstore_runs", labels)
+      ->Set(static_cast<int64_t>(s.num_runs));
+  registry->GetGauge("cq_kvstore_run_entries", labels)
+      ->Set(static_cast<int64_t>(s.run_entries));
+  registry->GetGauge("cq_kvstore_flushes", labels)
+      ->Set(static_cast<int64_t>(s.flushes));
+  registry->GetGauge("cq_kvstore_compactions", labels)
+      ->Set(static_cast<int64_t>(s.compactions));
+  registry->GetGauge("cq_kvstore_bloom_negative", labels)
+      ->Set(static_cast<int64_t>(s.bloom_negative));
+}
+
 }  // namespace cq

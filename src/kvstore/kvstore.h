@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "kvstore/bloom.h"
 #include "kvstore/wal.h"
+#include "obs/metrics.h"
 
 namespace cq {
 
@@ -102,6 +103,13 @@ class KVStore {
   Status Compact();
 
   KVStoreStats stats() const;
+
+  /// \brief Publishes stats() into `registry` as
+  /// `cq_kvstore_<stat>{store="<store_label>"}` gauges (memtable entries,
+  /// run count/entries, flushes, compactions, bloom negatives). Snapshot
+  /// semantics: call at metrics-dump cadence.
+  void ExportMetrics(MetricsRegistry* registry,
+                     const std::string& store_label) const;
 
  private:
   explicit KVStore(KVStoreOptions options) : options_(std::move(options)) {}

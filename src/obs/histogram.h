@@ -1,0 +1,109 @@
+#ifndef CQ_OBS_HISTOGRAM_H_
+#define CQ_OBS_HISTOGRAM_H_
+
+/// \file histogram.h
+/// \brief Fixed-bucket latency histogram with percentile summaries.
+///
+/// The measurement substrate of the observability layer (metrics.h): a
+/// cumulative-style histogram over a fixed, sorted set of upper bucket
+/// bounds plus an implicit +Inf overflow bucket. Observations and reads are
+/// lock-free (relaxed atomics): concurrent Observe() calls never block, and
+/// snapshots are approximate under concurrency in the same way Prometheus
+/// client histograms are. Percentiles are estimated by linear interpolation
+/// within the containing bucket, so their error is bounded by bucket width.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cq {
+
+class Histogram {
+ public:
+  /// \brief `bounds` are upper bucket limits, strictly increasing; a final
+  /// +Inf bucket is always appended. Empty bounds gives a single +Inf
+  /// bucket (count/sum only).
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)),
+        counts_(std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1)) {
+    for (size_t i = 0; i < bounds_.size() + 1; ++i) counts_[i].store(0);
+  }
+
+  /// \brief Default bounds for latency-in-microseconds histograms: a 1-2-5
+  /// ladder from 1us to 10s.
+  static std::vector<double> DefaultLatencyBoundsUs() {
+    return {1,     2,     5,      10,     20,     50,      100,    200,
+            500,   1000,  2000,   5000,   10000,  20000,   50000,  100000,
+            2e5,   5e5,   1e6,    2e6,    5e6,    1e7};
+  }
+
+  void Observe(double value) {
+    size_t i = std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+               bounds_.begin();
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // fetch_add on atomic<double> is a CAS loop pre-C++20 hardware support;
+    // this is a cold enough path (one add per observation) for that.
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// \brief Per-bucket (non-cumulative) counts; index bounds_.size() is the
+  /// +Inf overflow bucket.
+  std::vector<uint64_t> BucketCounts() const {
+    std::vector<uint64_t> out(bounds_.size() + 1);
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = counts_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  /// \brief Estimated quantile (q in [0,1]) by linear interpolation within
+  /// the containing bucket. Returns 0 when empty; observations landing in
+  /// the +Inf bucket clamp to the largest finite bound.
+  double Percentile(double q) const {
+    std::vector<uint64_t> buckets = BucketCounts();
+    uint64_t total = 0;
+    for (uint64_t c : buckets) total += c;
+    if (total == 0) return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    double rank = q * static_cast<double>(total);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      uint64_t next = cumulative + buckets[i];
+      if (static_cast<double>(next) >= rank && buckets[i] > 0) {
+        double lo = i == 0 ? 0.0 : bounds_[i - 1];
+        if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+        double hi = bounds_[i];
+        double within = (rank - static_cast<double>(cumulative)) /
+                        static_cast<double>(buckets[i]);
+        return lo + (hi - lo) * within;
+      }
+      cumulative = next;
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+}  // namespace cq
+
+#endif  // CQ_OBS_HISTOGRAM_H_

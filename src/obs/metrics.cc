@@ -1,0 +1,198 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace cq {
+
+namespace {
+
+/// Formats a double compactly: integers without a fraction, otherwise
+/// shortest round-trip-ish representation.
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// JSON string escaping for metric ids (they contain `{`, `"` and `=`).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string MetricsRegistry::RenderLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& family,
+                                     const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[family][RenderLabels(labels)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& family,
+                                 const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[family][RenderLabels(labels)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& family,
+                                         const LabelSet& labels,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[family][RenderLabels(labels)];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = Histogram::DefaultLatencyBoundsUs();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [name, series] : counters_) n += series.size();
+  for (const auto& [name, series] : gauges_) n += series.size();
+  for (const auto& [name, series] : histograms_) n += series.size();
+  return n;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [family, series] : counters_) {
+    out << "# TYPE " << family << " counter\n";
+    for (const auto& [labels, counter] : series) {
+      out << family << labels << " " << counter->value() << "\n";
+    }
+  }
+  for (const auto& [family, series] : gauges_) {
+    out << "# TYPE " << family << " gauge\n";
+    for (const auto& [labels, gauge] : series) {
+      out << family << labels << " " << gauge->value() << "\n";
+    }
+  }
+  for (const auto& [family, series] : histograms_) {
+    out << "# TYPE " << family << " histogram\n";
+    for (const auto& [labels, hist] : series) {
+      // Cumulative buckets with the `le` label, Prometheus style.
+      std::vector<uint64_t> buckets = hist->BucketCounts();
+      const std::vector<double>& bounds = hist->bounds();
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < buckets.size(); ++i) {
+        cumulative += buckets[i];
+        std::string le =
+            i == bounds.size() ? "+Inf" : FormatDouble(bounds[i]);
+        std::string bucket_labels = labels;
+        if (bucket_labels.empty()) {
+          bucket_labels = "{le=\"" + le + "\"}";
+        } else {
+          bucket_labels.back() = ',';  // replace '}' with ','
+          bucket_labels += "le=\"" + le + "\"}";
+        }
+        out << family << "_bucket" << bucket_labels << " " << cumulative
+            << "\n";
+      }
+      out << family << "_sum" << labels << " " << FormatDouble(hist->sum())
+          << "\n";
+      out << family << "_count" << labels << " " << hist->count() << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [family, series] : counters_) {
+    for (const auto& [labels, counter] : series) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << JsonEscape(family + labels) << "\":" << counter->value();
+    }
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [family, series] : gauges_) {
+    for (const auto& [labels, gauge] : series) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << JsonEscape(family + labels) << "\":" << gauge->value();
+    }
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [family, series] : histograms_) {
+    for (const auto& [labels, hist] : series) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << JsonEscape(family + labels) << "\":{"
+          << "\"count\":" << hist->count()
+          << ",\"sum\":" << FormatDouble(hist->sum())
+          << ",\"mean\":" << FormatDouble(hist->mean())
+          << ",\"p50\":" << FormatDouble(hist->Percentile(0.50))
+          << ",\"p95\":" << FormatDouble(hist->Percentile(0.95))
+          << ",\"p99\":" << FormatDouble(hist->Percentile(0.99)) << "}";
+    }
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace cq

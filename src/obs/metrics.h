@@ -1,0 +1,113 @@
+#ifndef CQ_OBS_METRICS_H_
+#define CQ_OBS_METRICS_H_
+
+/// \file metrics.h
+/// \brief Pipeline observability: the process-wide metrics registry.
+///
+/// The survey's Fig. 3/Fig. 5 systems live or die by per-operator
+/// throughput, state size, and event-time lag; this module is the
+/// measurement substrate that makes those visible. Three instrument kinds:
+///
+///  - Counter: monotonically increasing u64 (records processed, drops).
+///  - Gauge: signed point-in-time value (queue depth, state entries, lag).
+///  - Histogram: fixed-bucket distribution with p50/p95/p99 summaries
+///    (per-push processing latency).
+///
+/// Instruments are addressed by (family name, label set) following the
+/// Prometheus naming scheme `cq_<subsystem>_<name>{label="value",...}`.
+/// Registration (GetCounter/GetGauge/GetHistogram) takes a mutex and
+/// returns a stable pointer; callers cache that pointer once and then
+/// update it lock-free on hot paths. Exposition is available in
+/// Prometheus text format (ToText) and JSON (ToJson).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace cq {
+
+/// \brief Monotonic counter; lock-free updates.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// \brief Point-in-time signed value; lock-free updates.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief An ordered label set, e.g. {{"node", "window"}, {"id", "1"}}.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Exposition format selector.
+enum class MetricsFormat { kText, kJson };
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// \brief Process-wide default registry (benches, examples).
+  static MetricsRegistry& Global();
+
+  /// \brief Returns the instrument for (family, labels), creating it on
+  /// first use. Pointers remain valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& family, const LabelSet& labels = {});
+  Gauge* GetGauge(const std::string& family, const LabelSet& labels = {});
+  /// \brief `bounds` are only consulted when the instrument is created;
+  /// empty uses Histogram::DefaultLatencyBoundsUs().
+  Histogram* GetHistogram(const std::string& family,
+                          const LabelSet& labels = {},
+                          std::vector<double> bounds = {});
+
+  /// \brief Prometheus text exposition format (one # TYPE line per family).
+  std::string ToText() const;
+
+  /// \brief JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {"name{labels}": {"count","sum","p50","p95","p99"}, ...}}.
+  std::string ToJson() const;
+
+  std::string Dump(MetricsFormat format) const {
+    return format == MetricsFormat::kJson ? ToJson() : ToText();
+  }
+
+  /// \brief Number of registered instruments (tests).
+  size_t size() const;
+
+  /// \brief Renders `{k="v",...}` (empty string for no labels).
+  static std::string RenderLabels(const LabelSet& labels);
+
+ private:
+  // family -> rendered label string -> instrument. Grouping by family keeps
+  // ToText's one-TYPE-line-per-family invariant cheap.
+  template <typename T>
+  using FamilyMap = std::map<std::string, std::map<std::string, std::unique_ptr<T>>>;
+
+  mutable std::mutex mu_;
+  FamilyMap<Counter> counters_;
+  FamilyMap<Gauge> gauges_;
+  FamilyMap<Histogram> histograms_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_OBS_METRICS_H_

@@ -1,0 +1,148 @@
+#ifndef CQ_OBS_TRACE_H_
+#define CQ_OBS_TRACE_H_
+
+/// \file trace.h
+/// \brief Lightweight span tracing: ScopedTimer and a bounded span recorder.
+///
+/// Two levels of tracing cost:
+///  - ScopedTimer: RAII wall-clock measurement into a Histogram. Null-safe —
+///    constructed with a nullptr histogram it compiles down to two branch
+///    tests, which is what keeps instrumentation near-zero-cost when no
+///    registry is attached.
+///  - TraceRecorder: an optional bounded ring of completed spans
+///    (trace id, name, start, duration) for per-element flow debugging.
+///    Intended for tests and ad-hoc diagnosis, not production hot paths.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace cq {
+
+/// \brief Monotonic clock reading in nanoseconds.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// \brief RAII timer: observes elapsed microseconds into `histogram` on
+/// destruction. A nullptr histogram disables the timer entirely.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ns_ = MonotonicNanos();
+  }
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(
+          static_cast<double>(MonotonicNanos() - start_ns_) / 1e3);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  int64_t start_ns_ = 0;
+};
+
+/// \brief A completed trace span.
+struct Span {
+  uint64_t trace_id = 0;  // groups spans of one logical element / request
+  std::string name;
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+};
+
+/// \brief Process-unique trace-id source (per-element trace ids).
+inline uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// \brief Bounded ring buffer of completed spans. Thread-safe.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 1024) : capacity_(capacity) {}
+
+  void Record(Span span) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() < capacity_) {
+      spans_.push_back(std::move(span));
+    } else {
+      spans_[next_slot_] = std::move(span);
+    }
+    next_slot_ = (next_slot_ + 1) % capacity_;
+    ++total_;
+  }
+
+  /// \brief Snapshot of retained spans (oldest-first not guaranteed once
+  /// the ring wraps).
+  std::vector<Span> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+  }
+
+  /// \brief Total spans ever recorded (>= retained count once wrapped).
+  uint64_t total_recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+  std::string ToJson() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream out;
+    out << "[";
+    for (size_t i = 0; i < spans_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"trace_id\":" << spans_[i].trace_id << ",\"name\":\""
+          << spans_[i].name << "\",\"start_ns\":" << spans_[i].start_ns
+          << ",\"duration_ns\":" << spans_[i].duration_ns << "}";
+    }
+    out << "]";
+    return out.str();
+  }
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  size_t next_slot_ = 0;
+  uint64_t total_ = 0;
+};
+
+/// \brief RAII span: records into `recorder` on destruction. Null-safe.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, std::string name, uint64_t trace_id = 0)
+      : recorder_(recorder) {
+    if (recorder_ != nullptr) {
+      span_.trace_id = trace_id;
+      span_.name = std::move(name);
+      span_.start_ns = MonotonicNanos();
+    }
+  }
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) {
+      span_.duration_ns = MonotonicNanos() - span_.start_ns;
+      recorder_->Record(std::move(span_));
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  Span span_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_OBS_TRACE_H_

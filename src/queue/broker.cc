@@ -52,6 +52,22 @@ size_t Topic::PartitionFor(const std::string& key) {
   return Fnv1a64(key) % partitions_.size();
 }
 
+void Topic::AttachMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    produced_ = nullptr;
+    polled_ = nullptr;
+    depth_ = nullptr;
+    return;
+  }
+  LabelSet labels{{"topic", name_}};
+  produced_ = registry->GetCounter("cq_queue_produced_total", labels);
+  polled_ = registry->GetCounter("cq_queue_polled_total", labels);
+  depth_ = registry->GetGauge("cq_queue_depth", labels);
+  int64_t appended = 0;
+  for (const auto& p : partitions_) appended += p->EndOffset();
+  depth_->Set(appended);
+}
+
 Status Broker::CreateTopic(const std::string& name, size_t num_partitions) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("topic needs at least one partition");
@@ -60,8 +76,44 @@ Status Broker::CreateTopic(const std::string& name, size_t num_partitions) {
   if (topics_.count(name)) {
     return Status::AlreadyExists("topic '" + name + "' exists");
   }
-  topics_.emplace(name, std::make_unique<Topic>(name, num_partitions));
+  auto topic = std::make_unique<Topic>(name, num_partitions);
+  if (registry_ != nullptr) topic->AttachMetrics(registry_);
+  topics_.emplace(name, std::move(topic));
   return Status::OK();
+}
+
+void Broker::AttachMetrics(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_ = registry;
+  for (auto& [name, topic] : topics_) topic->AttachMetrics(registry);
+}
+
+void Broker::ExportBacklogMetrics() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry_ == nullptr) return;
+  // Appended totals per topic (also refreshes the depth gauges).
+  std::map<std::string, int64_t> appended;
+  for (auto& [name, topic] : topics_) {
+    int64_t total = 0;
+    for (size_t p = 0; p < topic->num_partitions(); ++p) {
+      total += topic->partition(p).EndOffset();
+    }
+    appended[name] = total;
+    registry_->GetGauge("cq_queue_depth", {{"topic", name}})->Set(total);
+  }
+  // Committed totals per (group, topic) -> backlog gauge.
+  std::map<std::pair<std::string, std::string>, int64_t> committed;
+  for (const auto& [key, offset] : offsets_) {
+    committed[{std::get<0>(key), std::get<1>(key)}] += offset;
+  }
+  for (const auto& [group_topic, committed_sum] : committed) {
+    auto it = appended.find(group_topic.second);
+    if (it == appended.end()) continue;
+    registry_
+        ->GetGauge("cq_queue_backlog", {{"group", group_topic.first},
+                                        {"topic", group_topic.second}})
+        ->Set(it->second - committed_sum);
+  }
 }
 
 Result<Topic*> Broker::GetTopic(const std::string& name) {
@@ -81,6 +133,7 @@ Result<std::pair<size_t, int64_t>> Broker::Produce(const std::string& topic,
   size_t p = t->PartitionFor(key);
   int64_t offset = t->partition(p).Append(std::move(key), std::move(value),
                                           timestamp);
+  t->OnProduced();
   return std::make_pair(p, offset);
 }
 
@@ -93,7 +146,10 @@ Result<std::vector<Message>> Broker::Poll(const std::string& group,
     return Status::OutOfRange("partition index out of range");
   }
   int64_t offset = CommittedOffset(group, topic, partition);
-  return t->partition(partition).Read(offset, max_messages);
+  Result<std::vector<Message>> batch =
+      t->partition(partition).Read(offset, max_messages);
+  if (batch.ok()) t->OnPolled(batch->size());
+  return batch;
 }
 
 Status Broker::Commit(const std::string& group, const std::string& topic,

@@ -24,6 +24,7 @@
 #include "common/hash.h"
 #include "common/status.h"
 #include "common/time.h"
+#include "obs/metrics.h"
 #include "types/tuple.h"
 
 namespace cq {
@@ -74,10 +75,28 @@ class Topic {
   /// \brief Stable key-hash partitioner; empty keys round-robin.
   size_t PartitionFor(const std::string& key);
 
+  /// \brief Creates this topic's enqueue/dequeue counters and depth gauge
+  /// (`cq_queue_*{topic=...}`) in `registry`; nullptr detaches.
+  void AttachMetrics(MetricsRegistry* registry);
+
+  /// \brief Hot-path hooks, no-ops until AttachMetrics.
+  void OnProduced() {
+    if (produced_ != nullptr) {
+      produced_->Increment();
+      depth_->Add(1);
+    }
+  }
+  void OnPolled(size_t n) {
+    if (polled_ != nullptr) polled_->Increment(n);
+  }
+
  private:
   std::string name_;
   std::vector<std::unique_ptr<Partition>> partitions_;
   std::atomic<size_t> round_robin_{0};
+  Counter* produced_ = nullptr;
+  Counter* polled_ = nullptr;
+  Gauge* depth_ = nullptr;  // total messages appended across partitions
 };
 
 /// \brief The broker: topic registry plus consumer-group offset tracking.
@@ -113,8 +132,18 @@ class Broker {
                                                size_t num_members,
                                                size_t member_index);
 
+  /// \brief Attaches a metrics registry: per-topic produce/poll counters and
+  /// depth gauges update inline from then on (existing and future topics).
+  void AttachMetrics(MetricsRegistry* registry);
+
+  /// \brief Recomputes per-(group, topic) backlog gauges
+  /// (`cq_queue_backlog{group=...,topic=...}` = appended - committed) from
+  /// current offsets. Call at metrics-dump cadence.
+  void ExportBacklogMetrics();
+
  private:
   mutable std::mutex mu_;
+  MetricsRegistry* registry_ = nullptr;
   std::map<std::string, std::unique_ptr<Topic>> topics_;
   // (group, topic, partition) -> committed offset
   std::map<std::tuple<std::string, std::string, size_t>, int64_t> offsets_;

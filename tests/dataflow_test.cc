@@ -387,6 +387,117 @@ TEST(CheckpointTest, GraphShapeMismatchRejected) {
   EXPECT_FALSE(e2.Restore(image).ok());
 }
 
+TEST(MetricsTest, PipelineReportsExactCountsAndLag) {
+  BoundedStream out;
+  NodeId src;
+  WindowedAggregateOperator* op;
+  auto g = WindowedCountGraph(&out, CountPerKeyConfig(), &src, &op);
+  PipelineExecutor exec(std::move(g));
+  MetricsRegistry reg;
+  exec.AttachMetrics(&reg);
+
+  // Three records into the tumbling-10 count window, max event ts 9.
+  ASSERT_TRUE(exec.PushRecord(src, T2(1, 0), 1).ok());
+  ASSERT_TRUE(exec.PushRecord(src, T2(1, 0), 5).ok());
+  ASSERT_TRUE(exec.PushRecord(src, T2(2, 0), 9).ok());
+  // Watermark 6 trails the max element timestamp: lag must be 9 - 6 = 3.
+  ASSERT_TRUE(exec.PushWatermark(src, 6).ok());
+
+  LabelSet src_labels{{"node", "src"}, {"id", "0"}};
+  LabelSet win_labels{{"node", "window"}, {"id", "1"}};
+  LabelSet sink_labels{{"node", "sink"}, {"id", "2"}};
+  EXPECT_EQ(reg.GetCounter("cq_dataflow_records_in_total", src_labels)->value(),
+            3u);
+  EXPECT_EQ(
+      reg.GetCounter("cq_dataflow_records_out_total", src_labels)->value(),
+      3u);
+  EXPECT_EQ(reg.GetCounter("cq_dataflow_records_in_total", win_labels)->value(),
+            3u);
+  EXPECT_EQ(
+      reg.GetCounter("cq_dataflow_watermarks_in_total", win_labels)->value(),
+      1u);
+  // Nothing fired yet: window emitted no records downstream.
+  EXPECT_EQ(
+      reg.GetCounter("cq_dataflow_records_out_total", win_labels)->value(),
+      0u);
+  EXPECT_EQ(reg.GetGauge("cq_dataflow_event_time_lag", src_labels)->value(),
+            3);
+  EXPECT_EQ(reg.GetGauge("cq_dataflow_event_time_lag", win_labels)->value(),
+            3);
+  // Three latency observations (one per push) on the source node.
+  EXPECT_EQ(
+      reg.GetHistogram("cq_dataflow_process_latency_us", src_labels)->count(),
+      4u);  // 3 records + 1 watermark
+
+  // Window fires on watermark 10: both key panes flow to the sink.
+  ASSERT_TRUE(exec.PushWatermark(src, 10).ok());
+  ASSERT_EQ(out.num_records(), 2u);
+  EXPECT_EQ(
+      reg.GetCounter("cq_dataflow_records_out_total", win_labels)->value(),
+      2u);
+  EXPECT_EQ(
+      reg.GetCounter("cq_dataflow_records_in_total", sink_labels)->value(),
+      2u);
+
+  // DumpMetrics refreshes state gauges and renders; state is empty after
+  // the fire+purge, and the JSON mentions every family.
+  std::string json = exec.DumpMetrics(MetricsFormat::kJson);
+  EXPECT_NE(json.find("cq_dataflow_records_in_total"), std::string::npos);
+  EXPECT_NE(json.find("cq_dataflow_state_entries"), std::string::npos);
+  EXPECT_EQ(reg.GetGauge("cq_dataflow_state_entries", win_labels)->value(), 0);
+}
+
+TEST(MetricsTest, LateDropsAreCounted) {
+  BoundedStream out;
+  NodeId src;
+  WindowedAggregateOperator* op;
+  auto g = WindowedCountGraph(&out, CountPerKeyConfig(), &src, &op);
+  PipelineExecutor exec(std::move(g));
+  MetricsRegistry reg;
+  exec.AttachMetrics(&reg);
+  ASSERT_TRUE(exec.PushRecord(src, T2(1, 0), 5).ok());
+  ASSERT_TRUE(exec.PushWatermark(src, 15).ok());
+  ASSERT_TRUE(exec.PushRecord(src, T2(1, 0), 6).ok());  // late for [0,10)
+  EXPECT_EQ(op->dropped_late(), 1u);
+  LabelSet win_labels{{"node", "window"}, {"id", "1"}};
+  EXPECT_EQ(
+      reg.GetCounter("cq_dataflow_late_records_dropped_total", win_labels)
+          ->value(),
+      1u);
+}
+
+TEST(MetricsTest, StateGaugesTrackResidentState) {
+  WindowedAggregateConfig cfg = CountPerKeyConfig();
+  BoundedStream out;
+  NodeId src;
+  WindowedAggregateOperator* op;
+  auto g = WindowedCountGraph(&out, cfg, &src, &op);
+  PipelineExecutor exec(std::move(g));
+  MetricsRegistry reg;
+  exec.AttachMetrics(&reg);
+  // Two keys in one open window: two live state cells with payload bytes.
+  ASSERT_TRUE(exec.PushRecord(src, T2(1, 0), 1).ok());
+  ASSERT_TRUE(exec.PushRecord(src, T2(2, 0), 2).ok());
+  exec.RefreshStateMetrics();
+  LabelSet win_labels{{"node", "window"}, {"id", "1"}};
+  EXPECT_EQ(reg.GetGauge("cq_dataflow_state_entries", win_labels)->value(), 2);
+  EXPECT_GT(reg.GetGauge("cq_dataflow_state_bytes", win_labels)->value(), 0);
+}
+
+TEST(MetricsTest, NoRegistryPathStillWorks) {
+  // Without AttachMetrics the pipeline must behave identically (the
+  // fast-path pointer test) and DumpMetrics returns empty.
+  BoundedStream out;
+  NodeId src;
+  WindowedAggregateOperator* op;
+  auto g = WindowedCountGraph(&out, CountPerKeyConfig(), &src, &op);
+  PipelineExecutor exec(std::move(g));
+  ASSERT_TRUE(exec.PushRecord(src, T2(1, 0), 1).ok());
+  ASSERT_TRUE(exec.PushWatermark(src, 10).ok());
+  EXPECT_EQ(out.num_records(), 1u);
+  EXPECT_EQ(exec.DumpMetrics(), "");
+}
+
 TEST(ProcessingTimeTest, TimersFireViaAdvance) {
   WindowedAggregateConfig cfg = CountPerKeyConfig();
   cfg.trigger = TriggerFactory::AfterProcessingTime(100);

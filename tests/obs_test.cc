@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "ivm/view.h"
+#include "kvstore/kvstore.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "queue/broker.h"
+
+namespace cq {
+namespace {
+
+TEST(CounterTest, MonotonicIncrements) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.Set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(HistogramTest, CountSumMean) {
+  Histogram h({1.0, 10.0, 100.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+  h.Observe(500.0);  // +Inf bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 555.5 / 4);
+  std::vector<uint64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);  // overflow
+}
+
+TEST(HistogramTest, PercentilesOnKnownUniformDistribution) {
+  // Buckets of width 10 over [0, 100]; observe 1..100 uniformly. With
+  // linear interpolation inside the containing bucket, the estimate must
+  // sit within one bucket width of the exact percentile.
+  Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int i = 1; i <= 100; ++i) h.Observe(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.Percentile(0.50), 50.0, 10.0);
+  EXPECT_NEAR(h.Percentile(0.95), 95.0, 10.0);
+  EXPECT_NEAR(h.Percentile(0.99), 99.0, 10.0);
+  // Degenerate quantiles stay within the value domain.
+  EXPECT_GE(h.Percentile(0.0), 0.0);
+  EXPECT_LE(h.Percentile(1.0), 100.0);
+  // Monotone in q.
+  EXPECT_LE(h.Percentile(0.25), h.Percentile(0.75));
+}
+
+TEST(HistogramTest, AllMassInOneBucketInterpolates) {
+  Histogram h({10, 20, 30});
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);
+  // All observations are in (10, 20]; any percentile lands there.
+  EXPECT_GE(h.Percentile(0.5), 10.0);
+  EXPECT_LE(h.Percentile(0.5), 20.0);
+}
+
+TEST(RegistryTest, InstrumentIdentityByNameAndLabels) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("cq_test_total", {{"node", "a"}});
+  Counter* a2 = reg.GetCounter("cq_test_total", {{"node", "a"}});
+  Counter* b = reg.GetCounter("cq_test_total", {{"node", "b"}});
+  EXPECT_EQ(a, a2);  // same (family, labels) -> same instrument
+  EXPECT_NE(a, b);
+  a->Increment(3);
+  EXPECT_EQ(a2->value(), 3u);
+  EXPECT_EQ(b->value(), 0u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsFromFourThreads) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("cq_test_concurrent_total");
+  Gauge* g = reg.GetGauge("cq_test_concurrent_gauge");
+  Histogram* h = reg.GetHistogram("cq_test_concurrent_us");
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        g->Add(1);
+        h->Observe(static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), 4u * kPerThread);
+  EXPECT_EQ(g->value(), 4 * kPerThread);
+  EXPECT_EQ(h->count(), 4u * kPerThread);
+}
+
+TEST(RegistryTest, TextExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("cq_demo_records_total", {{"node", "src"}})->Increment(7);
+  reg.GetGauge("cq_demo_depth")->Set(-2);
+  Histogram* h = reg.GetHistogram("cq_demo_latency_us", {}, {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  std::string text = reg.ToText();
+  EXPECT_NE(text.find("# TYPE cq_demo_records_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("cq_demo_records_total{node=\"src\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cq_demo_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("cq_demo_depth -2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cq_demo_latency_us histogram"),
+            std::string::npos);
+  // Cumulative buckets with le labels, then sum and count.
+  EXPECT_NE(text.find("cq_demo_latency_us_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("cq_demo_latency_us_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("cq_demo_latency_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("cq_demo_latency_us_count 2"), std::string::npos);
+}
+
+TEST(RegistryTest, HistogramBucketLabelsMergeWithExistingLabels) {
+  MetricsRegistry reg;
+  Histogram* h =
+      reg.GetHistogram("cq_demo_lat_us", {{"node", "w"}}, {5.0});
+  h->Observe(1.0);
+  std::string text = reg.ToText();
+  EXPECT_NE(text.find("cq_demo_lat_us_bucket{node=\"w\",le=\"5\"} 1"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, JsonExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("cq_demo_total", {{"node", "a"}})->Increment(5);
+  reg.GetGauge("cq_demo_gauge")->Set(9);
+  Histogram* h = reg.GetHistogram("cq_demo_us", {}, {10.0, 100.0});
+  for (int i = 1; i <= 10; ++i) h->Observe(i * 10.0);
+  std::string json = reg.ToJson();
+  // Quotes inside the metric id must be escaped for valid JSON.
+  EXPECT_NE(json.find("\"cq_demo_total{node=\\\"a\\\"}\":5"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cq_demo_gauge\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  // Balanced braces (cheap well-formedness proxy without a JSON parser).
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+    } else if (ch == '"') {
+      in_string = true;
+    } else if (ch == '{') {
+      ++depth;
+    } else if (ch == '}') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(RegistryTest, EmptyRegistrySerializes) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.ToJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+  EXPECT_EQ(reg.ToText(), "");
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(ScopedTimerTest, ObservesElapsedMicros) {
+  Histogram h({1e9});
+  {
+    ScopedTimer timer(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+  // Null histogram: no crash, no observation.
+  { ScopedTimer timer(nullptr); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(TraceTest, RecorderKeepsBoundedSpans) {
+  TraceRecorder rec(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    uint64_t id = NextTraceId();
+    ScopedSpan span(&rec, "op" + std::to_string(i), id);
+  }
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  EXPECT_EQ(rec.Snapshot().size(), 4u);  // ring bounded
+  std::string json = rec.ToJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"trace_id\":"), std::string::npos);
+}
+
+TEST(TraceTest, TraceIdsAreUnique) {
+  uint64_t a = NextTraceId();
+  uint64_t b = NextTraceId();
+  EXPECT_NE(a, b);
+}
+
+TEST(BrokerMetricsTest, DepthAndBacklogGauges) {
+  Broker b;
+  MetricsRegistry reg;
+  b.AttachMetrics(&reg);
+  ASSERT_TRUE(b.CreateTopic("t", 1).ok());
+  Tuple one({Value(int64_t{1})});
+  ASSERT_TRUE(b.Produce("t", "k", one, 10).ok());
+  ASSERT_TRUE(b.Produce("t", "k", one, 20).ok());
+  ASSERT_TRUE(b.Produce("t", "k", one, 30).ok());
+  LabelSet topic{{"topic", "t"}};
+  EXPECT_EQ(reg.GetCounter("cq_queue_produced_total", topic)->value(), 3u);
+  EXPECT_EQ(reg.GetGauge("cq_queue_depth", topic)->value(), 3);
+
+  auto batch = *b.Poll("g", "t", 0, 2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(reg.GetCounter("cq_queue_polled_total", topic)->value(), 2u);
+  ASSERT_TRUE(b.Commit("g", "t", 0, 2).ok());
+
+  b.ExportBacklogMetrics();
+  LabelSet group_topic{{"group", "g"}, {"topic", "t"}};
+  EXPECT_EQ(reg.GetGauge("cq_queue_backlog", group_topic)->value(), 1);
+}
+
+TEST(KVStoreMetricsTest, ExportsStatsAsGauges) {
+  KVStoreOptions opts;
+  opts.memtable_max_entries = 4;
+  auto store = std::move(KVStore::Open(std::move(opts))).value();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store->Put("k" + std::to_string(i), "v").ok());
+  }
+  MetricsRegistry reg;
+  store->ExportMetrics(&reg, "main");
+  LabelSet labels{{"store", "main"}};
+  // Six puts with a 4-entry memtable force at least one flush to a run.
+  EXPECT_GE(reg.GetGauge("cq_kvstore_flushes", labels)->value(), 1);
+  KVStoreStats stats = store->stats();
+  EXPECT_EQ(reg.GetGauge("cq_kvstore_memtable_entries", labels)->value(),
+            static_cast<int64_t>(stats.memtable_entries));
+  EXPECT_EQ(reg.GetGauge("cq_kvstore_runs", labels)->value(),
+            static_cast<int64_t>(stats.num_runs));
+}
+
+TEST(ViewMetricsTest, ExportsStateTuplesGauge) {
+  SchemaPtr kv = Schema::Make(
+      {{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+  RelOpPtr plan = RelOp::Scan(0, kv);
+  LazyView view(plan, 1);
+  ASSERT_TRUE(view.Insert(0, Tuple({Value(int64_t{1}), Value(int64_t{2})}))
+                  .ok());
+  MetricsRegistry reg;
+  view.ExportMetrics(&reg, "v1");
+  LabelSet labels{{"view", "v1"}, {"strategy", "lazy"}};
+  EXPECT_EQ(reg.GetGauge("cq_ivm_state_tuples", labels)->value(),
+            static_cast<int64_t>(view.StateSize()));
+}
+
+}  // namespace
+}  // namespace cq
