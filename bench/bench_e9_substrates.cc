@@ -4,13 +4,24 @@
 /// Series: (a) queue produce/consume throughput by partition count;
 /// (b) KV-store point writes, reads from memtable vs. flushed runs (bloom
 /// filters on the miss path), and ordered scans through the merging
-/// iterator.
+/// iterator; (c) the unified runtime core — batched vs per-element pipeline
+/// delivery, and queue-depth-over-time for a slow consumer behind a
+/// credit-bounded vs unbounded channel.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
 #include "bench_util.h"
+#include "dataflow/executor.h"
+#include "dataflow/operators.h"
 #include "kvstore/kvstore.h"
 #include "queue/broker.h"
+#include "runtime/channel.h"
+#include "runtime/driver.h"
 #include "workload/generators.h"
 
 namespace cq {
@@ -164,6 +175,123 @@ void BM_KvScanAfterCompaction(benchmark::State& state) {
   SetPerItemMicros(state, static_cast<double>(scanned));
 }
 BENCHMARK(BM_KvScanAfterCompaction);
+
+/// (c1) Batched vs per-element delivery through a three-operator pipeline.
+/// range(0) = records per batch; 0 = per-element Push. The gap between the
+/// two is the dispatch/routing overhead the batch path amortises.
+void BM_PipelineDelivery(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  auto g = std::make_unique<DataflowGraph>();
+  NodeId src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+  NodeId filt = g->AddNode(std::make_unique<FilterOperator>(
+      "filt", [](const Tuple& t) { return t[0].int64_value() % 10 != 0; }));
+  NodeId map = g->AddNode(std::make_unique<MapOperator>(
+      "map", [](const Tuple& t) -> Result<Tuple> {
+        return Tuple({Value(t[0].int64_value() + 1)});
+      }));
+  NodeId sink = g->AddNode(std::make_unique<CountingSinkOperator>("sink"));
+  (void)g->Connect(src, filt);
+  (void)g->Connect(filt, map);
+  (void)g->Connect(map, sink);
+  PipelineExecutor exec(std::move(g));
+
+  constexpr size_t kRecords = 4096;
+  int64_t ts = 0;
+  for (auto _ : state) {
+    if (batch_size == 0) {
+      for (size_t i = 0; i < kRecords; ++i) {
+        benchmark::DoNotOptimize(
+            exec.PushRecord(src, T(static_cast<int64_t>(i)), ts++));
+      }
+    } else {
+      for (size_t i = 0; i < kRecords; i += batch_size) {
+        StreamBatch batch;
+        batch.reserve(batch_size);
+        for (size_t j = i; j < i + batch_size && j < kRecords; ++j) {
+          batch.AddRecord(T(static_cast<int64_t>(j)), ts++);
+        }
+        benchmark::DoNotOptimize(exec.PushBatch(src, batch));
+      }
+    }
+  }
+  state.SetLabel(batch_size == 0 ? "per-element"
+                                 : "batch=" + std::to_string(batch_size));
+  SetPerItemMicros(state, static_cast<double>(kRecords));
+}
+BENCHMARK(BM_PipelineDelivery)->Arg(0)->Arg(8)->Arg(64)->Arg(256);
+
+/// (c2) Slow consumer behind the broker driver: queue-depth-over-time with
+/// a credit-bounded channel (depth plateaus at the cap while the driver
+/// pauses polling) vs unbounded (depth tracks the producer/consumer rate
+/// gap). range(0) = channel credits; 0 = unbounded. The depth series is
+/// printed once per configuration as a machine-greppable line.
+void BM_SlowConsumerQueueDepth(benchmark::State& state) {
+  const size_t credits = static_cast<size_t>(state.range(0));
+  constexpr size_t kMessages = 4096;
+  constexpr size_t kPollRecords = 32;
+  constexpr int kPumpsPerPop = 8;  // producer is 8x faster than the consumer
+
+  size_t max_depth = 0;
+  uint64_t pauses = 0;
+  std::vector<size_t> depth_series;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Broker broker;
+    (void)broker.CreateTopic("t", 1);
+    for (size_t i = 0; i < kMessages; ++i) {
+      (void)broker.Produce("t", "", T(static_cast<int64_t>(i)),
+                           static_cast<Timestamp>(i));
+    }
+    BrokerSourceDriver driver(&broker, "t", "g",
+                              {kPollRecords, /*max_out_of_orderness=*/0});
+    Channel ch(credits);
+    max_depth = 0;
+    pauses = 0;
+    depth_series.clear();
+    state.ResumeTiming();
+
+    size_t consumed = 0;
+    bool paused = false;
+    while (consumed < kMessages) {
+      for (int burst = 0; burst < kPumpsPerPop; ++burst) {
+        (void)*driver.PumpInto(&ch, &paused);
+        if (paused) ++pauses;
+      }
+      size_t depth = ch.depth();
+      depth_series.push_back(depth);
+      if (depth > max_depth) max_depth = depth;
+      StreamBatch got;
+      if (depth > 0 && ch.Pop(&got)) {
+        consumed += got.num_records();
+        ch.Acknowledge();
+      }
+    }
+  }
+  // Print the depth-over-time series once per configuration (the harness
+  // re-runs the body while calibrating iteration counts).
+  static std::set<size_t> printed;
+  if (printed.insert(credits).second) {
+    if (printed.size() == 1) {
+      std::printf("BENCH_SERIES case=slow_consumer_depth "
+                  "x=pop_round y=queue_depth\n");
+    }
+    std::string series;
+    for (size_t i = 0; i < depth_series.size(); i += 8) {
+      if (!series.empty()) series += ",";
+      series += std::to_string(depth_series[i]);
+    }
+    std::printf("BENCH_SERIES case=slow_consumer_depth credits=%zu "
+                "max_depth=%zu pauses=%llu depths=%s\n",
+                credits, max_depth, static_cast<unsigned long long>(pauses),
+                series.c_str());
+  }
+  state.SetLabel(credits == 0 ? "unbounded" : "credits=" +
+                                                  std::to_string(credits));
+  state.counters["max_depth"] = static_cast<double>(max_depth);
+  state.counters["pauses"] = static_cast<double>(pauses);
+  SetPerItemMicros(state, static_cast<double>(kMessages));
+}
+BENCHMARK(BM_SlowConsumerQueueDepth)->Arg(4)->Arg(16)->Arg(0);
 
 }  // namespace
 }  // namespace cq

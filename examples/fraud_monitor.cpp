@@ -86,30 +86,40 @@ int main() {
     return 1;
   }
 
-  PipelineExecutor exec(std::move(graph));
-  BoundedOutOfOrdernessWatermark watermark(/*max_out_of_orderness=*/4);
-  size_t pushed = 0;
-  for (const auto& e : w.transactions) {
-    if (!e.is_record()) continue;
-    watermark.Observe(e.timestamp);
-    st = exec.PushRecord(src, e.tuple, e.timestamp);
-    if (!st.ok()) {
-      std::fprintf(stderr, "%s\n", st.ToString().c_str());
-      return 1;
-    }
-    if (++pushed % 200 == 0) {
-      st = exec.PushWatermark(src, watermark.Current());
-      if (!st.ok()) {
-        std::fprintf(stderr, "%s\n", st.ToString().c_str());
-        return 1;
-      }
-    }
-  }
-  st = exec.PushWatermark(src, w.transactions.MaxTimestamp() + 200);
+  // Publish the transaction log to a broker topic keyed by account, then
+  // drive the pipeline through the runtime's broker source: batched polls,
+  // committed offsets, and per-partition watermark derivation replace the
+  // hand-rolled per-element push + watermark loop.
+  Broker broker;
+  st = broker.CreateTopic("txns", /*partitions=*/2);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("%zu alerts over %zu transactions\n", alerts, pushed);
+  size_t produced = 0;
+  for (const auto& e : w.transactions) {
+    if (!e.is_record()) continue;
+    auto produce = broker.Produce("txns", e.tuple[1].ToString(), e.tuple,
+                                  e.timestamp);
+    if (!produce.ok()) {
+      std::fprintf(stderr, "%s\n", produce.status().ToString().c_str());
+      return 1;
+    }
+    ++produced;
+  }
+
+  PipelineExecutor exec(std::move(graph));
+  BrokerSource source(&broker, "txns", "fraud-monitor",
+                      /*max_out_of_orderness=*/4);
+  st = source.Drain(&exec, src);
+  // Close the final partial window past its allowed lateness.
+  if (st.ok()) {
+    st = exec.PushWatermark(src, w.transactions.MaxTimestamp() + 200);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu alerts over %zu transactions\n", alerts, produced);
   return 0;
 }

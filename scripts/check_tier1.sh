@@ -1,9 +1,42 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + full ctest suite + metrics smoke check.
-# Usage: scripts/check_tier1.sh [build-dir]   (default: build)
+# Usage: scripts/check_tier1.sh [build-dir]     (default: build)
+#        scripts/check_tier1.sh --tsan [build-dir]
+#
+# --tsan builds with ThreadSanitizer (default build dir: build-tsan) and
+# runs only the concurrent-runtime test binaries (channel, parallel
+# pipeline, broker driver) — the threaded core the unified runtime added.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+TSAN=0
+if [[ "${1:-}" == "--tsan" ]]; then
+  TSAN=1
+  shift
+fi
+
+if [[ "$TSAN" == 1 ]]; then
+  BUILD_DIR="${1:-build-tsan}"
+
+  echo "== configure (tsan) =="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+
+  echo "== build (tsan) =="
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
+    runtime_test parallel_test broker_driver_test executor_failure_test \
+    batch_equivalence_test
+
+  echo "== ctest (tsan: runtime/parallel/broker) =="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
+    -R 'runtime_test|parallel_test|broker_driver_test|executor_failure_test|batch_equivalence_test'
+
+  echo "tier-1 tsan check: OK"
+  exit 0
+fi
+
 BUILD_DIR="${1:-build}"
 
 echo "== configure =="

@@ -58,6 +58,23 @@ Status ChainedOperator::ProcessElement(size_t, const StreamElement& element,
   return RunFrom(0, element, ctx, out);
 }
 
+Status ChainedOperator::ProcessBatch(size_t, const StreamElement* elements,
+                                     size_t count, const OperatorContext& ctx,
+                                     Collector* out) {
+  std::vector<StreamElement> current(elements, elements + count);
+  std::vector<StreamElement> next;
+  for (auto& stage : stages_) {
+    if (current.empty()) return Status::OK();
+    VectorCollector collector(&next);
+    CQ_RETURN_NOT_OK(stage->ProcessBatch(0, current.data(), current.size(),
+                                         ctx, &collector));
+    current.swap(next);
+    next.clear();
+  }
+  for (auto& e : current) out->Emit(std::move(e));
+  return Status::OK();
+}
+
 Status ChainedOperator::OnWatermark(Timestamp watermark,
                                     const OperatorContext& ctx,
                                     Collector* out) {

@@ -28,6 +28,11 @@ class ChainedOperator : public Operator {
 
   Status ProcessElement(size_t port, const StreamElement& element,
                         const OperatorContext& ctx, Collector* out) override;
+  /// \brief Vectorised fusion: runs the whole batch through each stage in
+  /// turn, buffering intermediate emissions. Stages are stateless and
+  /// order-preserving, so stage-at-a-time output equals element-at-a-time.
+  Status ProcessBatch(size_t port, const StreamElement* elements, size_t count,
+                      const OperatorContext& ctx, Collector* out) override;
   Status OnWatermark(Timestamp watermark, const OperatorContext& ctx,
                      Collector* out) override;
   Status OnProcessingTime(const OperatorContext& ctx, Collector* out) override;

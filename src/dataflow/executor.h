@@ -11,6 +11,14 @@
 /// a restored pipeline replayed from those positions reproduces exactly the
 /// post-checkpoint outputs — the aligned-snapshot fault-tolerance model of
 /// the systems the survey describes (Flink's consistent checkpoints).
+///
+/// Delivery comes in two granularities. Push delivers one element at a
+/// time, depth-first. PushBatch delivers batch-at-a-time: maximal record
+/// runs flow through Operator::ProcessBatch (watermarks split runs), each
+/// node's emissions are buffered and forwarded downstream as a batch. For
+/// linear pipelines the two are output-identical; on fan-out a batch is
+/// delivered whole to each downstream edge in edge order, whereas
+/// per-element delivery interleaves elements across edges.
 
 #include <map>
 #include <memory>
@@ -21,6 +29,7 @@
 #include "common/time.h"
 #include "dataflow/graph.h"
 #include "obs/metrics.h"
+#include "runtime/batch.h"
 
 namespace cq {
 
@@ -43,6 +52,11 @@ class PipelineExecutor {
 
   /// \brief Injects a pre-built element.
   Status Push(NodeId source, const StreamElement& element);
+
+  /// \brief Injects a batch at `source` and runs it through the DAG
+  /// batch-at-a-time: maximal record runs are delivered through
+  /// Operator::ProcessBatch, watermarks through the watermark path.
+  Status PushBatch(NodeId source, const StreamBatch& batch);
 
   /// \brief Advances the internal manual clock (if no external clock) and
   /// sweeps processing-time timers on every node in topological order.
@@ -96,6 +110,13 @@ class PipelineExecutor {
 
   Status Deliver(NodeId node, size_t port, const StreamElement& element);
   Status DeliverWatermark(NodeId node, size_t port, Timestamp wm);
+  /// Splits a mixed element sequence into record runs and watermarks.
+  Status DeliverSequence(NodeId node, size_t port, const StreamElement* data,
+                         size_t count);
+  /// Delivers one record run through ProcessBatch and routes the buffered
+  /// emissions downstream, batch-at-a-time.
+  Status DeliverBatch(NodeId node, size_t port, const StreamElement* data,
+                      size_t count);
   OperatorContext ContextFor(NodeId node) const;
 
   std::unique_ptr<DataflowGraph> graph_;

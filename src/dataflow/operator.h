@@ -12,6 +12,8 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "common/time.h"
@@ -25,6 +27,19 @@ class Collector {
  public:
   virtual ~Collector() = default;
   virtual void Emit(StreamElement element) = 0;
+};
+
+/// \brief Collector that buffers emissions into a vector — the building
+/// block of batch-at-a-time delivery (executor routing, chain fusion).
+class VectorCollector : public Collector {
+ public:
+  explicit VectorCollector(std::vector<StreamElement>* out) : out_(out) {}
+  void Emit(StreamElement element) override {
+    out_->push_back(std::move(element));
+  }
+
+ private:
+  std::vector<StreamElement>* out_;
 };
 
 /// \brief Per-invocation context.
@@ -48,6 +63,23 @@ class Operator {
   /// \brief Handles one data record arriving on `port`.
   virtual Status ProcessElement(size_t port, const StreamElement& element,
                                 const OperatorContext& ctx, Collector* out) = 0;
+
+  /// \brief Handles a run of `count` data records arriving on `port` — the
+  /// batched-exchange hook of the unified runtime. The executor delivers
+  /// maximal record runs (watermarks split runs, so `ctx.watermark` is
+  /// constant across the run) through this hook. The default loops over
+  /// ProcessElement, so every operator keeps working unchanged; hot
+  /// operators (filter/map/window, fused chains) override it to amortise
+  /// dispatch and state access over the batch. Overrides MUST emit exactly
+  /// what per-element processing would emit, in the same order.
+  virtual Status ProcessBatch(size_t port, const StreamElement* elements,
+                              size_t count, const OperatorContext& ctx,
+                              Collector* out) {
+    for (size_t i = 0; i < count; ++i) {
+      CQ_RETURN_NOT_OK(ProcessElement(port, elements[i], ctx, out));
+    }
+    return Status::OK();
+  }
 
   /// \brief The operator's combined input watermark advanced to
   /// `watermark`. The executor forwards the watermark downstream after this

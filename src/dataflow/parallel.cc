@@ -1,40 +1,19 @@
 #include "dataflow/parallel.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace cq {
 
-Status Mailbox::Push(StreamElement element) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock, [this] { return queue_.size() < capacity_ || closed_; });
-  if (closed_) return Status::Closed("mailbox closed");
-  queue_.push_back(std::move(element));
-  not_empty_.notify_one();
-  return Status::OK();
-}
-
-bool Mailbox::Pop(StreamElement* element) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
-  if (queue_.empty()) return false;  // closed and drained
-  *element = std::move(queue_.front());
-  queue_.pop_front();
-  not_full_.notify_one();
-  return true;
-}
-
-void Mailbox::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
-  closed_ = true;
-  not_empty_.notify_all();
-  not_full_.notify_all();
-}
-
 ParallelPipeline::ParallelPipeline(size_t parallelism, Factory factory,
-                                   KeyFn key_fn)
+                                   KeyFn key_fn,
+                                   ParallelPipelineOptions options)
     : parallelism_(parallelism == 0 ? 1 : parallelism),
       factory_(std::move(factory)),
-      key_fn_(std::move(key_fn)) {}
+      key_fn_(std::move(key_fn)),
+      options_(options) {
+  if (options_.batch_size == 0) options_.batch_size = 1;
+}
 
 ParallelPipeline::~ParallelPipeline() {
   if (started_ && !finished_) {
@@ -51,7 +30,7 @@ Status ParallelPipeline::Start() {
     if (p.executor == nullptr || p.output == nullptr) {
       return Status::InvalidArgument("factory returned incomplete pipeline");
     }
-    auto w = std::make_unique<Worker>();
+    auto w = std::make_unique<Worker>(options_.channel_credits);
     w->pipeline = std::move(p);
     workers_.push_back(std::move(w));
   }
@@ -64,25 +43,55 @@ Status ParallelPipeline::Start() {
 
 void ParallelPipeline::WorkerLoop(size_t index) {
   Worker& w = *workers_[index];
-  StreamElement element;
-  while (w.mailbox.Pop(&element)) {
-    Status st = w.pipeline.executor->Push(w.pipeline.source, element);
-    if (!st.ok() && w.status.ok()) w.status = st;
+  StreamBatch batch;
+  while (w.channel.Pop(&batch)) {
+    Status st = w.pipeline.executor->PushBatch(w.pipeline.source, batch);
+    w.channel.Acknowledge();
+    if (!st.ok()) {
+      // Stop consuming on the first error: record it (status before the
+      // release store so producers reading failed-then-status see it), close
+      // the channel so blocked producers wake with Closed, and exit without
+      // draining — the remaining queued batches are poisoned anyway.
+      w.status = st;
+      w.failed.store(true, std::memory_order_release);
+      w.channel.Close();
+      return;
+    }
   }
+}
+
+Status ParallelPipeline::FlushWorker(Worker& w) {
+  if (w.pending.empty()) return Status::OK();
+  StreamBatch batch = std::move(w.pending);
+  w.pending.clear();
+  Status st = w.channel.Push(std::move(batch));
+  if (!st.ok() && w.failed.load(std::memory_order_acquire)) return w.status;
+  return st;
 }
 
 Status ParallelPipeline::Send(Tuple tuple, Timestamp ts) {
   if (!started_) return Status::Internal("pipeline not started");
   std::string key = key_fn_(tuple);
-  size_t target = Fnv1a64(key) % parallelism_;
-  return workers_[target]->mailbox.Push(
-      StreamElement::Record(std::move(tuple), ts));
+  Worker& w = *workers_[Fnv1a64(key) % parallelism_];
+  if (w.failed.load(std::memory_order_acquire)) return w.status;
+  w.pending.AddRecord(std::move(tuple), ts);
+  if (w.pending.size() >= options_.batch_size) return FlushWorker(w);
+  return Status::OK();
+}
+
+Status ParallelPipeline::Flush() {
+  if (!started_) return Status::Internal("pipeline not started");
+  for (auto& w : workers_) {
+    CQ_RETURN_NOT_OK(FlushWorker(*w));
+  }
+  return Status::OK();
 }
 
 Status ParallelPipeline::BroadcastWatermark(Timestamp watermark) {
   if (!started_) return Status::Internal("pipeline not started");
   for (auto& w : workers_) {
-    CQ_RETURN_NOT_OK(w->mailbox.Push(StreamElement::Watermark(watermark)));
+    w->pending.AddWatermark(watermark);
+    CQ_RETURN_NOT_OK(FlushWorker(*w));
   }
   return Status::OK();
 }
@@ -91,7 +100,13 @@ Result<BoundedStream> ParallelPipeline::Finish() {
   if (!started_) return Status::Internal("pipeline not started");
   if (finished_) return Status::Internal("pipeline already finished");
   finished_ = true;
-  for (auto& w : workers_) w->mailbox.Close();
+  // Best-effort flush: a failed worker's Closed channel is surfaced through
+  // its recorded status below.
+  for (auto& w : workers_) {
+    Status st = FlushWorker(*w);
+    (void)st;
+  }
+  for (auto& w : workers_) w->channel.Close();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
@@ -115,6 +130,73 @@ Result<BoundedStream> ParallelPipeline::Finish() {
   BoundedStream out;
   for (auto& e : all) out.Append(std::move(e));
   return out;
+}
+
+Result<std::string> ParallelPipeline::Checkpoint(
+    const std::map<std::string, int64_t>& source_offsets) {
+  if (!started_) return Status::Internal("pipeline not started");
+  if (finished_) return Status::Internal("pipeline already finished");
+  CQ_RETURN_NOT_OK(Flush());
+  // Quiesce: every shipped batch drained and acknowledged. Acknowledge and
+  // WaitUntilIdle share the channel mutex, so worker state mutations made
+  // before the acknowledge happen-before the snapshot reads below.
+  for (auto& w : workers_) w->channel.WaitUntilIdle();
+  for (auto& w : workers_) {
+    if (w->failed.load(std::memory_order_acquire)) return w->status;
+  }
+  std::string image;
+  EncodeU32(static_cast<uint32_t>(parallelism_), &image);
+  EncodeU32(static_cast<uint32_t>(source_offsets.size()), &image);
+  for (const auto& [key, off] : source_offsets) {
+    EncodeString(key, &image);
+    EncodeI64(off, &image);
+  }
+  for (auto& w : workers_) {
+    CQ_ASSIGN_OR_RETURN(std::string worker_image,
+                        w->pipeline.executor->Checkpoint({}));
+    EncodeString(worker_image, &image);
+  }
+  return image;
+}
+
+Result<std::map<std::string, int64_t>> ParallelPipeline::Restore(
+    std::string_view image) {
+  if (!started_) return Status::Internal("pipeline not started");
+  if (finished_) return Status::Internal("pipeline already finished");
+  CQ_RETURN_NOT_OK(Flush());
+  for (auto& w : workers_) w->channel.WaitUntilIdle();
+  for (auto& w : workers_) {
+    if (w->failed.load(std::memory_order_acquire)) return w->status;
+  }
+  std::string_view in = image;
+  CQ_ASSIGN_OR_RETURN(uint32_t parallelism, DecodeU32(&in));
+  if (parallelism != parallelism_) {
+    return Status::InvalidArgument(
+        "checkpoint parallelism " + std::to_string(parallelism) +
+        " != pipeline parallelism " + std::to_string(parallelism_));
+  }
+  CQ_ASSIGN_OR_RETURN(uint32_t num_offsets, DecodeU32(&in));
+  std::map<std::string, int64_t> offsets;
+  for (uint32_t i = 0; i < num_offsets; ++i) {
+    CQ_ASSIGN_OR_RETURN(std::string key, DecodeString(&in));
+    CQ_ASSIGN_OR_RETURN(int64_t off, DecodeI64(&in));
+    offsets[std::move(key)] = off;
+  }
+  // Worker threads are parked in Pop; the channel mutex orders these writes
+  // before whatever they process next.
+  for (auto& w : workers_) {
+    CQ_ASSIGN_OR_RETURN(std::string worker_image, DecodeString(&in));
+    CQ_RETURN_NOT_OK(w->pipeline.executor->Restore(worker_image).status());
+  }
+  return offsets;
+}
+
+void ParallelPipeline::AttachMetrics(MetricsRegistry* registry) {
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->pipeline.executor->AttachMetrics(registry);
+    workers_[i]->channel.AttachMetrics(
+        registry, {{"channel", "worker-" + std::to_string(i)}});
+  }
 }
 
 ParallelPipeline::KeyFn ProjectKeyFn(std::vector<size_t> key_indexes) {

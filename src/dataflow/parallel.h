@@ -7,51 +7,29 @@
 /// At the base of every streaming system's stack sits a variation of the
 /// actor model: workers own state, communicate exclusively by message
 /// passing, and the runtime routes records to workers by key so that keyed
-/// state is single-writer. This module implements that layer: each worker
-/// thread runs its own synchronous PipelineExecutor instance and drains a
-/// mailbox; a router hashes keys to mailboxes; watermarks are broadcast.
+/// state is single-writer. This module implements that layer on the unified
+/// runtime core: each worker thread runs its own synchronous
+/// PipelineExecutor instance and drains a credit-bounded Channel of
+/// StreamBatch units; the router buffers records per worker and ships them
+/// as batches; watermarks are broadcast. A slow worker exhausts its
+/// channel's credits and Send blocks — backpressure propagates to the
+/// caller instead of queue growth.
 
-#include <condition_variable>
-#include <deque>
+#include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
-#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/hash.h"
 #include "common/status.h"
 #include "dataflow/executor.h"
+#include "runtime/channel.h"
 #include "types/serde.h"
 
 namespace cq {
-
-/// \brief Bounded MPSC blocking queue of stream elements.
-class Mailbox {
- public:
-  explicit Mailbox(size_t capacity = 1024) : capacity_(capacity) {}
-
-  /// \brief Blocks while full; fails once closed.
-  Status Push(StreamElement element);
-
-  /// \brief Blocks while empty; returns false once closed and drained.
-  bool Pop(StreamElement* element);
-
-  void Close();
-
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return queue_.size();
-  }
-
- private:
-  size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<StreamElement> queue_;
-  bool closed_ = false;
-};
 
 /// \brief A fully built worker pipeline returned by the factory.
 struct WorkerPipeline {
@@ -61,45 +39,91 @@ struct WorkerPipeline {
   std::unique_ptr<BoundedStream> output;
 };
 
+/// \brief Tuning knobs for ParallelPipeline's runtime substrate.
+struct ParallelPipelineOptions {
+  /// Credits (queued-batch bound) per worker channel; 0 = unbounded.
+  size_t channel_credits = 64;
+  /// Records buffered per worker before a batch is shipped.
+  size_t batch_size = 64;
+};
+
 /// \brief Data-parallel keyed pipeline: P workers, each a full pipeline
 /// copy over its hash shard of the key space.
+///
+/// Send/Flush/BroadcastWatermark/Checkpoint must be called from one
+/// producer thread (the per-worker batch buffers are unsynchronised).
 class ParallelPipeline {
  public:
   using Factory = std::function<Result<WorkerPipeline>(size_t worker_index)>;
   /// Extracts the partitioning key bytes from a record.
   using KeyFn = std::function<std::string(const Tuple&)>;
 
-  ParallelPipeline(size_t parallelism, Factory factory, KeyFn key_fn);
+  ParallelPipeline(size_t parallelism, Factory factory, KeyFn key_fn,
+                   ParallelPipelineOptions options = {});
   ~ParallelPipeline();
 
   /// \brief Builds the workers and starts their threads.
   Status Start();
 
-  /// \brief Routes a record to the worker owning its key.
+  /// \brief Routes a record to the worker owning its key; ships the
+  /// worker's buffer once it reaches options.batch_size (blocking while the
+  /// worker's channel has no credits). If the worker has failed, returns
+  /// its error.
   Status Send(Tuple tuple, Timestamp ts);
 
-  /// \brief Broadcasts a watermark to every worker.
+  /// \brief Ships every worker's buffered records now.
+  Status Flush();
+
+  /// \brief Broadcasts a watermark to every worker (flushes buffers so the
+  /// watermark keeps its position in each worker's stream).
   Status BroadcastWatermark(Timestamp watermark);
 
-  /// \brief Closes mailboxes, joins workers, returns all sink outputs
-  /// merged and sorted by timestamp.
+  /// \brief Flushes, closes channels, joins workers, returns all sink
+  /// outputs merged and sorted by timestamp.
   Result<BoundedStream> Finish();
+
+  /// \brief Aligned checkpoint of the whole parallel pipeline: flushes,
+  /// quiesces every worker channel (queue drained + last batch
+  /// acknowledged), then snapshots every worker executor plus the
+  /// caller-provided source offsets into one image.
+  Result<std::string> Checkpoint(
+      const std::map<std::string, int64_t>& source_offsets);
+
+  /// \brief Restores every worker executor from `image` (parallelism must
+  /// match); returns the recorded source offsets for replay. Call on a
+  /// quiescent pipeline — typically right after Start().
+  Result<std::map<std::string, int64_t>> Restore(std::string_view image);
+
+  /// \brief Attaches `registry` to every worker executor (instruments are
+  /// lock-free; workers share per-node instruments) and to every worker
+  /// channel under label {"channel", "worker-<i>"}. Call after Start();
+  /// nullptr detaches channels.
+  void AttachMetrics(MetricsRegistry* registry);
 
   size_t parallelism() const { return parallelism_; }
 
+  /// \brief The channel feeding worker `index` (observability/tests).
+  Channel* channel(size_t index) { return &workers_[index]->channel; }
+
  private:
+  struct Worker {
+    explicit Worker(size_t credits) : channel(credits) {}
+    WorkerPipeline pipeline;
+    Channel channel;
+    StreamBatch pending;  // producer-side buffer, producer thread only
+    std::thread thread;
+    Status status;  // first error observed by the worker; set before failed
+    std::atomic<bool> failed{false};
+  };
+
   void WorkerLoop(size_t index);
+  Status FlushWorker(Worker& w);
 
   size_t parallelism_;
   Factory factory_;
   KeyFn key_fn_;
+  ParallelPipelineOptions options_;
 
-  struct Worker {
-    WorkerPipeline pipeline;
-    Mailbox mailbox;
-    std::thread thread;
-    Status status;  // first error observed by the worker
-  };
   std::vector<std::unique_ptr<Worker>> workers_;
   bool started_ = false;
   bool finished_ = false;

@@ -1,53 +1,18 @@
 #include "dataflow/source.h"
 
-#include <algorithm>
-
 namespace cq {
 
 BrokerSource::BrokerSource(Broker* broker, std::string topic,
                            std::string group, Duration max_out_of_orderness)
-    : broker_(broker),
-      topic_(std::move(topic)),
-      group_(std::move(group)),
-      max_ooo_(max_out_of_orderness) {}
-
-Status BrokerSource::EnsureInitialized() {
-  if (initialized_) return Status::OK();
-  CQ_ASSIGN_OR_RETURN(Topic * t, broker_->GetTopic(topic_));
-  partition_watermarks_.assign(t->num_partitions(),
-                               BoundedOutOfOrdernessWatermark(max_ooo_));
-  initialized_ = true;
-  return Status::OK();
-}
+    : driver_(broker, std::move(topic), std::move(group),
+              BrokerSourceDriverOptions{/*max_poll_records=*/256,
+                                        max_out_of_orderness}) {}
 
 Result<size_t> BrokerSource::PumpOnce(PipelineExecutor* executor, NodeId node,
                                       size_t batch_size) {
-  CQ_RETURN_NOT_OK(EnsureInitialized());
-  CQ_ASSIGN_OR_RETURN(Topic * t, broker_->GetTopic(topic_));
-  size_t pushed = 0;
-  for (size_t p = 0; p < t->num_partitions(); ++p) {
-    CQ_ASSIGN_OR_RETURN(std::vector<Message> batch,
-                        broker_->Poll(group_, topic_, p, batch_size));
-    for (const auto& msg : batch) {
-      partition_watermarks_[p].Observe(msg.timestamp);
-      CQ_RETURN_NOT_OK(executor->PushRecord(node, msg.value, msg.timestamp));
-    }
-    if (!batch.empty()) {
-      CQ_RETURN_NOT_OK(
-          broker_->Commit(group_, topic_, p, batch.back().offset + 1));
-      pushed += batch.size();
-    }
-  }
-  // Source watermark = min across partitions (a stalled partition holds the
-  // watermark back, exactly as in production systems).
-  Timestamp wm = kMaxTimestamp;
-  for (const auto& g : partition_watermarks_) {
-    wm = std::min(wm, g.Current());
-  }
-  if (wm != kMaxTimestamp && wm != kMinTimestamp) {
-    CQ_RETURN_NOT_OK(executor->PushWatermark(node, wm));
-  }
-  return pushed;
+  CQ_ASSIGN_OR_RETURN(StreamBatch batch, driver_.PollBatch(batch_size));
+  CQ_RETURN_NOT_OK(executor->PushBatch(node, batch));
+  return batch.num_records();
 }
 
 Status BrokerSource::Drain(PipelineExecutor* executor, NodeId node) {
@@ -57,38 +22,19 @@ Status BrokerSource::Drain(PipelineExecutor* executor, NodeId node) {
   }
   // End of bounded input: release everything buffered behind the disorder
   // bound.
-  CQ_ASSIGN_OR_RETURN(Topic * t, broker_->GetTopic(topic_));
-  Timestamp max_ts = kMinTimestamp;
-  for (size_t p = 0; p < t->num_partitions(); ++p) {
-    max_ts = std::max(max_ts, t->partition(p).MaxTimestamp());
-  }
-  if (max_ts != kMinTimestamp) {
-    CQ_RETURN_NOT_OK(executor->PushWatermark(node, max_ts + 1));
+  CQ_ASSIGN_OR_RETURN(Timestamp final_wm, driver_.FinalWatermark());
+  if (final_wm != kMinTimestamp) {
+    CQ_RETURN_NOT_OK(executor->PushWatermark(node, final_wm));
   }
   return Status::OK();
 }
 
 Result<std::map<std::string, int64_t>> BrokerSource::Offsets() const {
-  CQ_ASSIGN_OR_RETURN(Topic * t, broker_->GetTopic(topic_));
-  std::map<std::string, int64_t> out;
-  for (size_t p = 0; p < t->num_partitions(); ++p) {
-    out[topic_ + "/" + std::to_string(p)] =
-        broker_->CommittedOffset(group_, topic_, p);
-  }
-  return out;
+  return driver_.Offsets();
 }
 
 Status BrokerSource::SeekTo(const std::map<std::string, int64_t>& offsets) {
-  for (const auto& [key, offset] : offsets) {
-    auto slash = key.rfind('/');
-    if (slash == std::string::npos || key.substr(0, slash) != topic_) continue;
-    size_t p = std::stoul(key.substr(slash + 1));
-    CQ_RETURN_NOT_OK(broker_->Commit(group_, topic_, p, offset));
-  }
-  // Watermark generators restart conservatively; replayed elements will
-  // re-advance them.
-  initialized_ = false;
-  return Status::OK();
+  return driver_.SeekTo(offsets);
 }
 
 }  // namespace cq

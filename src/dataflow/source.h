@@ -5,43 +5,22 @@
 /// \brief Sources: feeding a pipeline from the queue substrate, with
 /// event-time watermark generation (§4, Fig. 5).
 ///
-/// A BrokerSource reads one topic's partitions at committed offsets, stamps
-/// progress with a bounded-out-of-orderness watermark, and pushes into the
-/// executor. Offsets are surfaced so checkpoints can record exactly where to
-/// resume.
+/// A BrokerSource adapts the runtime's BrokerSourceDriver (the single
+/// poll/commit/watermark implementation) to a synchronous PipelineExecutor:
+/// each pump polls one StreamBatch from the driver and pushes it into the
+/// executor batch-at-a-time. Offsets are surfaced so checkpoints can record
+/// exactly where to resume. BoundedOutOfOrdernessWatermark lives with the
+/// driver in runtime/driver.h and is re-exported here.
 
-#include <memory>
+#include <map>
 #include <string>
-#include <vector>
 
 #include "common/status.h"
 #include "dataflow/executor.h"
 #include "queue/broker.h"
+#include "runtime/driver.h"
 
 namespace cq {
-
-/// \brief Event-time watermark generator: assumes elements are at most
-/// `max_out_of_orderness` behind the maximum timestamp seen.
-class BoundedOutOfOrdernessWatermark {
- public:
-  explicit BoundedOutOfOrdernessWatermark(Duration max_out_of_orderness)
-      : max_ooo_(max_out_of_orderness) {}
-
-  /// \brief Observes an element timestamp.
-  void Observe(Timestamp ts) {
-    if (ts > max_ts_) max_ts_ = ts;
-  }
-
-  /// \brief Current watermark: max seen minus the disorder bound.
-  Timestamp Current() const {
-    if (max_ts_ == kMinTimestamp) return kMinTimestamp;
-    return max_ts_ - max_ooo_;
-  }
-
- private:
-  Duration max_ooo_;
-  Timestamp max_ts_ = kMinTimestamp;
-};
 
 /// \brief Drives a pipeline from a broker topic.
 class BrokerSource {
@@ -69,15 +48,11 @@ class BrokerSource {
   /// \brief Rewinds committed offsets (checkpoint restore).
   Status SeekTo(const std::map<std::string, int64_t>& offsets);
 
- private:
-  Broker* broker_;
-  std::string topic_;
-  std::string group_;
-  Duration max_ooo_;
-  std::vector<BoundedOutOfOrdernessWatermark> partition_watermarks_;
-  bool initialized_ = false;
+  /// \brief The underlying runtime driver (channel-based consumers).
+  BrokerSourceDriver* driver() { return &driver_; }
 
-  Status EnsureInitialized();
+ private:
+  BrokerSourceDriver driver_;
 };
 
 }  // namespace cq

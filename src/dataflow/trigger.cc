@@ -41,6 +41,9 @@ class AfterWatermarkFactory : public TriggerFactory {
     return std::make_unique<AfterWatermarkTrigger>(window);
   }
   std::string ToString() const override { return "AfterWatermark"; }
+  // OnElement only fires refinements after the on-time firing; before it,
+  // element arrival is a pure no-op, enabling vectorised accumulation.
+  bool PassiveOnElement() const override { return true; }
 };
 
 /// Repeating count trigger.

@@ -56,6 +56,13 @@ class TriggerFactory {
   virtual std::unique_ptr<Trigger> Create(const TimeInterval& window) const = 0;
   virtual std::string ToString() const = 0;
 
+  /// \brief True when OnElement can neither fire nor change trigger state
+  /// before the window's on-time (watermark) firing — e.g. AfterWatermark.
+  /// Lets the window operator's batch path accumulate a whole batch into
+  /// each (key, window) cell with one state round-trip instead of one per
+  /// element, without changing emitted output.
+  virtual bool PassiveOnElement() const { return false; }
+
   // Built-in factories:
 
   /// \brief The default trigger: fire-and-purge once when the watermark

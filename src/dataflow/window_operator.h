@@ -46,6 +46,15 @@ class WindowedAggregateOperator : public Operator {
 
   Status ProcessElement(size_t port, const StreamElement& element,
                         const OperatorContext& ctx, Collector* out) override;
+  /// \brief Vectorised accumulation: when the trigger is passive on element
+  /// arrival (the default AfterWatermark) and no element in the run can be
+  /// late, the whole batch is folded into each touched (key, window) cell
+  /// with one state load/store per cell instead of one per element. Any
+  /// potentially-late element or already-fired window falls back to the
+  /// per-element path, so output is always identical to per-element
+  /// delivery.
+  Status ProcessBatch(size_t port, const StreamElement* elements, size_t count,
+                      const OperatorContext& ctx, Collector* out) override;
   Status OnWatermark(Timestamp watermark, const OperatorContext& ctx,
                      Collector* out) override;
   Status OnProcessingTime(const OperatorContext& ctx, Collector* out) override;

@@ -1,0 +1,77 @@
+#ifndef CQ_RUNTIME_BATCH_H_
+#define CQ_RUNTIME_BATCH_H_
+
+/// \file batch.h
+/// \brief StreamBatch: the unit of exchange in the unified runtime core.
+///
+/// Modern engines moved from element-at-a-time shipping to batched exchange
+/// (Fragkoulis et al.): a producer accumulates elements into a batch and the
+/// batch travels as one unit through channels and operator hooks, amortising
+/// queue synchronisation and virtual dispatch over many elements. A
+/// StreamBatch is an ordered run of stream elements — records interleaved
+/// with the watermarks that were current when they were produced — so
+/// delivering a batch element-by-element and delivering it as a batch are
+/// observably equivalent for linear pipelines.
+
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+#include "stream/stream.h"
+
+namespace cq {
+
+/// \brief An ordered run of stream elements exchanged as one unit.
+class StreamBatch {
+ public:
+  StreamBatch() = default;
+  explicit StreamBatch(std::vector<StreamElement> elements)
+      : elements_(std::move(elements)) {}
+
+  void AddRecord(Tuple tuple, Timestamp ts) {
+    elements_.push_back(StreamElement::Record(std::move(tuple), ts));
+  }
+  void AddWatermark(Timestamp ts) {
+    elements_.push_back(StreamElement::Watermark(ts));
+  }
+  void Add(StreamElement element) { elements_.push_back(std::move(element)); }
+
+  size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+  void clear() { elements_.clear(); }
+  void reserve(size_t n) { elements_.reserve(n); }
+
+  const StreamElement& at(size_t i) const { return elements_[i]; }
+  const StreamElement& operator[](size_t i) const { return elements_[i]; }
+
+  auto begin() const { return elements_.begin(); }
+  auto end() const { return elements_.end(); }
+
+  const std::vector<StreamElement>& elements() const { return elements_; }
+  std::vector<StreamElement>& mutable_elements() { return elements_; }
+
+  /// \brief Number of data records (excludes watermarks).
+  size_t num_records() const {
+    size_t n = 0;
+    for (const auto& e : elements_) {
+      if (e.is_record()) ++n;
+    }
+    return n;
+  }
+
+  /// \brief Largest record timestamp in the batch (kMinTimestamp if none).
+  Timestamp MaxTimestamp() const {
+    Timestamp m = kMinTimestamp;
+    for (const auto& e : elements_) {
+      if (e.is_record() && e.timestamp > m) m = e.timestamp;
+    }
+    return m;
+  }
+
+ private:
+  std::vector<StreamElement> elements_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_RUNTIME_BATCH_H_

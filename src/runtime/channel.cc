@@ -1,0 +1,127 @@
+#include "runtime/channel.h"
+
+namespace cq {
+
+void Channel::PushLocked(StreamBatch&& batch) {
+  if (pushes_total_ != nullptr) {
+    pushes_total_->Increment();
+    records_total_->Increment(batch.num_records());
+  }
+  queue_.push_back(std::move(batch));
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    if (credits_ != 0) {
+      credits_gauge_->Set(static_cast<int64_t>(credits_ - queue_.size()));
+    }
+  }
+  not_empty_.notify_one();
+}
+
+Status Channel::Push(StreamBatch batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!HasCreditLocked() && !closed_) {
+    ++blocked_pushes_;
+    if (blocked_total_ != nullptr) blocked_total_->Increment();
+    not_full_.wait(lock, [this] { return HasCreditLocked() || closed_; });
+  }
+  if (closed_) return Status::Closed("channel closed");
+  PushLocked(std::move(batch));
+  return Status::OK();
+}
+
+bool Channel::TryPush(StreamBatch* batch, Status* status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    if (status != nullptr) *status = Status::Closed("channel closed");
+    return false;
+  }
+  if (status != nullptr) *status = Status::OK();
+  if (!HasCreditLocked()) {
+    ++blocked_pushes_;
+    if (blocked_total_ != nullptr) blocked_total_->Increment();
+    return false;
+  }
+  PushLocked(std::move(*batch));
+  return true;
+}
+
+bool Channel::Pop(StreamBatch* batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return false;  // closed and drained
+  *batch = std::move(queue_.front());
+  queue_.pop_front();
+  ++in_flight_;
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    if (credits_ != 0) {
+      credits_gauge_->Set(static_cast<int64_t>(credits_ - queue_.size()));
+    }
+  }
+  not_full_.notify_one();
+  return true;
+}
+
+void Channel::Acknowledge() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+  if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+}
+
+void Channel::WaitUntilIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // A closed channel counts as idle: a failed consumer closes its channel
+  // and stops popping, so waiting for queue drain would never return.
+  // Callers re-check consumer health after waking.
+  idle_.wait(lock,
+             [this] { return (queue_.empty() && in_flight_ == 0) || closed_; });
+}
+
+void Channel::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  idle_.notify_all();
+}
+
+size_t Channel::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t Channel::credits_available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (credits_ == 0) return SIZE_MAX;
+  return credits_ - queue_.size();
+}
+
+bool Channel::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+uint64_t Channel::blocked_pushes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocked_pushes_;
+}
+
+void Channel::AttachMetrics(MetricsRegistry* registry, const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    depth_gauge_ = credits_gauge_ = nullptr;
+    pushes_total_ = records_total_ = blocked_total_ = nullptr;
+    return;
+  }
+  depth_gauge_ = registry->GetGauge("cq_channel_depth", labels);
+  credits_gauge_ = registry->GetGauge("cq_channel_credits", labels);
+  pushes_total_ = registry->GetCounter("cq_channel_pushes_total", labels);
+  records_total_ = registry->GetCounter("cq_channel_records_total", labels);
+  blocked_total_ = registry->GetCounter("cq_channel_blocked_total", labels);
+  depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+  if (credits_ != 0) {
+    credits_gauge_->Set(static_cast<int64_t>(credits_ - queue_.size()));
+  }
+}
+
+}  // namespace cq

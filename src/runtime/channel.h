@@ -1,0 +1,110 @@
+#ifndef CQ_RUNTIME_CHANNEL_H_
+#define CQ_RUNTIME_CHANNEL_H_
+
+/// \file channel.h
+/// \brief Bounded inter-thread channel with credit-based backpressure.
+///
+/// The unified runtime's only inter-thread queue. A Channel carries
+/// StreamBatch units from producers to one consumer and enforces flow
+/// control the way modern engines do (Fragkoulis et al., §"network flow
+/// control"): the consumer side extends a fixed number of *credits* (queue
+/// slots); a producer spends one credit per pushed batch and blocks — or,
+/// via TryPush, backs off — once credits are exhausted. Credits return as
+/// the consumer pops batches, so a slow consumer throttles its producers
+/// instead of letting backlog grow without bound.
+///
+/// Consumers acknowledge each popped batch after processing it
+/// (Acknowledge), which lets WaitUntilIdle detect full quiescence (queue
+/// empty and nothing in flight) — the hook checkpoint alignment uses.
+///
+/// When a metrics registry is attached the channel exports
+/// `cq_channel_depth`, `cq_channel_credits`, `cq_channel_pushes_total`,
+/// `cq_channel_records_total`, and `cq_channel_blocked_total`.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "runtime/batch.h"
+
+namespace cq {
+
+class Channel {
+ public:
+  /// \brief `credits` bounds the number of queued batches; 0 means
+  /// unbounded (no backpressure — measurement/testing only).
+  explicit Channel(size_t credits = 64) : credits_(credits) {}
+
+  /// \brief Pushes a batch, blocking while no credits are available.
+  /// Returns Closed once the channel is closed.
+  Status Push(StreamBatch batch);
+
+  /// \brief Non-blocking push: returns false (and leaves `batch` intact)
+  /// when no credits are available. `status` (optional) receives Closed when
+  /// the channel is closed.
+  bool TryPush(StreamBatch* batch, Status* status = nullptr);
+
+  /// \brief Pops the next batch, blocking while empty; returns false once
+  /// closed and drained. Each successful Pop must be matched by an
+  /// Acknowledge after the batch has been processed.
+  bool Pop(StreamBatch* batch);
+
+  /// \brief Marks the most recently popped batch as fully processed.
+  void Acknowledge();
+
+  /// \brief Blocks until the queue is empty and every popped batch has been
+  /// acknowledged — or the channel is closed (a failed consumer closes its
+  /// channel; callers re-check consumer health after waking). Producers must
+  /// be quiescent for this to be meaningful.
+  void WaitUntilIdle();
+
+  /// \brief Closes the channel: wakes blocked producers (Closed) and lets
+  /// the consumer drain what is queued.
+  void Close();
+
+  /// \brief Queued batches.
+  size_t depth() const;
+
+  /// \brief Credits currently available to producers (SIZE_MAX when
+  /// unbounded).
+  size_t credits_available() const;
+
+  bool closed() const;
+
+  /// \brief Total pushes that had to wait (or were refused) for a credit.
+  uint64_t blocked_pushes() const;
+
+  /// \brief Creates this channel's gauges/counters in `registry` under
+  /// `labels` (e.g. {{"channel", "worker-0"}}); nullptr detaches.
+  void AttachMetrics(MetricsRegistry* registry, const LabelSet& labels);
+
+ private:
+  bool HasCreditLocked() const {
+    return credits_ == 0 || queue_.size() < credits_;
+  }
+  void PushLocked(StreamBatch&& batch);
+
+  size_t credits_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::condition_variable idle_;
+  std::deque<StreamBatch> queue_;
+  size_t in_flight_ = 0;  // popped but not yet acknowledged
+  bool closed_ = false;
+  uint64_t blocked_pushes_ = 0;
+
+  // Metrics (nullptr until AttachMetrics); updated under mu_.
+  Gauge* depth_gauge_ = nullptr;
+  Gauge* credits_gauge_ = nullptr;
+  Counter* pushes_total_ = nullptr;
+  Counter* records_total_ = nullptr;
+  Counter* blocked_total_ = nullptr;
+};
+
+}  // namespace cq
+
+#endif  // CQ_RUNTIME_CHANNEL_H_

@@ -1,0 +1,128 @@
+#include "runtime/driver.h"
+
+#include <algorithm>
+
+namespace cq {
+
+BrokerSourceDriver::BrokerSourceDriver(Broker* broker, std::string topic,
+                                       std::string group,
+                                       BrokerSourceDriverOptions options)
+    : broker_(broker),
+      topic_(std::move(topic)),
+      group_(std::move(group)),
+      options_(options) {}
+
+Status BrokerSourceDriver::EnsureInitialized() {
+  if (initialized_) return Status::OK();
+  CQ_ASSIGN_OR_RETURN(Topic * t, broker_->GetTopic(topic_));
+  partition_watermarks_.assign(
+      t->num_partitions(),
+      BoundedOutOfOrdernessWatermark(options_.max_out_of_orderness));
+  last_emitted_wm_ = kMinTimestamp;
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<StreamBatch> BrokerSourceDriver::PollBatch(size_t max_per_partition) {
+  CQ_RETURN_NOT_OK(EnsureInitialized());
+  CQ_ASSIGN_OR_RETURN(Topic * t, broker_->GetTopic(topic_));
+  const size_t limit =
+      max_per_partition == 0 ? options_.max_poll_records : max_per_partition;
+  StreamBatch batch;
+  for (size_t p = 0; p < t->num_partitions(); ++p) {
+    CQ_ASSIGN_OR_RETURN(std::vector<Message> msgs,
+                        broker_->Poll(group_, topic_, p, limit));
+    if (msgs.empty()) continue;
+    for (auto& msg : msgs) {
+      partition_watermarks_[p].Observe(msg.timestamp);
+      batch.AddRecord(std::move(msg.value), msg.timestamp);
+    }
+    CQ_RETURN_NOT_OK(
+        broker_->Commit(group_, topic_, p, msgs.back().offset + 1));
+  }
+  // Source watermark = min across partitions (a stalled partition holds the
+  // watermark back, exactly as in production systems). Appended only when it
+  // advanced, so batches stay watermark-monotonic.
+  Timestamp wm = CurrentWatermark();
+  if (wm != kMinTimestamp && wm > last_emitted_wm_) {
+    last_emitted_wm_ = wm;
+    batch.AddWatermark(wm);
+  }
+  return batch;
+}
+
+Result<size_t> BrokerSourceDriver::PumpInto(Channel* out, bool* paused) {
+  if (paused != nullptr) *paused = false;
+  if (out->credits_available() == 0) {
+    // Downstream is out of credits: pause polling so in-process queue depth
+    // stays bounded; the backlog accumulates in the broker instead.
+    if (paused != nullptr) *paused = true;
+    return 0;
+  }
+  CQ_ASSIGN_OR_RETURN(StreamBatch batch, PollBatch());
+  if (batch.empty()) return 0;
+  size_t records = batch.num_records();
+  CQ_RETURN_NOT_OK(out->Push(std::move(batch)));
+  return records;
+}
+
+Status BrokerSourceDriver::DrainInto(Channel* out) {
+  while (true) {
+    CQ_ASSIGN_OR_RETURN(StreamBatch batch, PollBatch());
+    if (batch.num_records() == 0) break;
+    CQ_RETURN_NOT_OK(out->Push(std::move(batch)));
+  }
+  CQ_ASSIGN_OR_RETURN(Timestamp final_wm, FinalWatermark());
+  if (final_wm != kMinTimestamp) {
+    StreamBatch eos;
+    eos.AddWatermark(final_wm);
+    last_emitted_wm_ = std::max(last_emitted_wm_, final_wm);
+    CQ_RETURN_NOT_OK(out->Push(std::move(eos)));
+  }
+  return Status::OK();
+}
+
+Timestamp BrokerSourceDriver::CurrentWatermark() const {
+  if (partition_watermarks_.empty()) return kMinTimestamp;
+  Timestamp wm = kMaxTimestamp;
+  for (const auto& g : partition_watermarks_) {
+    wm = std::min(wm, g.Current());
+  }
+  return wm == kMaxTimestamp ? kMinTimestamp : wm;
+}
+
+Result<Timestamp> BrokerSourceDriver::FinalWatermark() const {
+  CQ_ASSIGN_OR_RETURN(Topic * t, broker_->GetTopic(topic_));
+  Timestamp max_ts = kMinTimestamp;
+  for (size_t p = 0; p < t->num_partitions(); ++p) {
+    max_ts = std::max(max_ts, t->partition(p).MaxTimestamp());
+  }
+  if (max_ts == kMinTimestamp) return kMinTimestamp;
+  return max_ts + 1;
+}
+
+Result<std::map<std::string, int64_t>> BrokerSourceDriver::Offsets() const {
+  CQ_ASSIGN_OR_RETURN(Topic * t, broker_->GetTopic(topic_));
+  std::map<std::string, int64_t> out;
+  for (size_t p = 0; p < t->num_partitions(); ++p) {
+    out[topic_ + "/" + std::to_string(p)] =
+        broker_->CommittedOffset(group_, topic_, p);
+  }
+  return out;
+}
+
+Status BrokerSourceDriver::SeekTo(
+    const std::map<std::string, int64_t>& offsets) {
+  for (const auto& [key, offset] : offsets) {
+    auto slash = key.rfind('/');
+    if (slash == std::string::npos || key.substr(0, slash) != topic_) continue;
+    size_t p = std::stoul(key.substr(slash + 1));
+    CQ_RETURN_NOT_OK(broker_->Commit(group_, topic_, p, offset));
+  }
+  // Watermark generators restart conservatively; replayed elements will
+  // re-advance them.
+  initialized_ = false;
+  return Status::OK();
+}
+
+}  // namespace cq

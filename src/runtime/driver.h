@@ -1,0 +1,121 @@
+#ifndef CQ_RUNTIME_DRIVER_H_
+#define CQ_RUNTIME_DRIVER_H_
+
+/// \file driver.h
+/// \brief BrokerSourceDriver: the single ingestion path from broker topics.
+///
+/// The survey's Fig. 5 architecture is a distributed queue feeding a DAG of
+/// computational nodes. This driver is the queue-facing half of that
+/// substrate: it polls a topic's partitions in batches at the consumer
+/// group's committed offsets, derives a per-partition bounded-out-of-
+/// orderness watermark (min-combined across partitions, as production
+/// systems do), commits offsets, and hands the result over as one
+/// StreamBatch. Everything that consumes broker data — synchronous drains,
+/// parallel pipelines, benches — sits on this one poll/commit/watermark
+/// implementation instead of hand-rolling its own loop.
+///
+/// Credit-aware pumping: PumpInto refuses to poll while the downstream
+/// Channel has no credits, so a slow consumer pauses ingestion and the
+/// in-flight queue depth stays bounded by the credit cap — backlog stays in
+/// the broker (where it is durable and observable via `cq_queue_backlog`)
+/// instead of accumulating in process memory.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "queue/broker.h"
+#include "runtime/batch.h"
+#include "runtime/channel.h"
+
+namespace cq {
+
+/// \brief Event-time watermark generator: assumes elements are at most
+/// `max_out_of_orderness` behind the maximum timestamp seen.
+class BoundedOutOfOrdernessWatermark {
+ public:
+  explicit BoundedOutOfOrdernessWatermark(Duration max_out_of_orderness)
+      : max_ooo_(max_out_of_orderness) {}
+
+  /// \brief Observes an element timestamp.
+  void Observe(Timestamp ts) {
+    if (ts > max_ts_) max_ts_ = ts;
+  }
+
+  /// \brief Current watermark: max seen minus the disorder bound.
+  Timestamp Current() const {
+    if (max_ts_ == kMinTimestamp) return kMinTimestamp;
+    return max_ts_ - max_ooo_;
+  }
+
+ private:
+  Duration max_ooo_;
+  Timestamp max_ts_ = kMinTimestamp;
+};
+
+struct BrokerSourceDriverOptions {
+  /// Max records polled per partition per round.
+  size_t max_poll_records = 256;
+  /// Disorder bound for the derived watermark.
+  Duration max_out_of_orderness = 0;
+};
+
+/// \brief Drives pipelines from a broker topic: batched polls, committed
+/// offsets, per-partition watermark derivation, credit-aware pumping.
+class BrokerSourceDriver {
+ public:
+  BrokerSourceDriver(Broker* broker, std::string topic, std::string group,
+                     BrokerSourceDriverOptions options = {});
+
+  /// \brief Polls every partition once (up to `max_per_partition` messages
+  /// each, 0 = the configured default), commits offsets, and returns the
+  /// records followed by the updated source watermark (appended only when it
+  /// advanced). An empty batch means the group is caught up.
+  Result<StreamBatch> PollBatch(size_t max_per_partition = 0);
+
+  /// \brief Credit-aware pump: polls only when `out` has a credit available,
+  /// pushing the polled batch into the channel. When credits are exhausted
+  /// the poll is skipped entirely (offsets stay uncommitted, backlog stays
+  /// in the broker) and `*paused` is set. Returns records moved.
+  Result<size_t> PumpInto(Channel* out, bool* paused = nullptr);
+
+  /// \brief Pumps until the topic is drained (blocking on channel credits),
+  /// then pushes a final watermark past the topic's max timestamp
+  /// (end-of-input for bounded replays). Does not close the channel.
+  Status DrainInto(Channel* out);
+
+  /// \brief Current min-across-partitions source watermark.
+  Timestamp CurrentWatermark() const;
+
+  /// \brief One past the topic's max event timestamp (end-of-input
+  /// watermark), or kMinTimestamp when the topic is empty.
+  Result<Timestamp> FinalWatermark() const;
+
+  /// \brief Committed offsets per partition ("topic/partition" -> offset),
+  /// for inclusion in checkpoints.
+  Result<std::map<std::string, int64_t>> Offsets() const;
+
+  /// \brief Rewinds committed offsets (checkpoint restore). Watermark
+  /// derivation restarts conservatively; replayed elements re-advance it.
+  Status SeekTo(const std::map<std::string, int64_t>& offsets);
+
+  const std::string& topic() const { return topic_; }
+  const std::string& group() const { return group_; }
+
+ private:
+  Status EnsureInitialized();
+
+  Broker* broker_;
+  std::string topic_;
+  std::string group_;
+  BrokerSourceDriverOptions options_;
+  std::vector<BoundedOutOfOrdernessWatermark> partition_watermarks_;
+  Timestamp last_emitted_wm_ = kMinTimestamp;
+  bool initialized_ = false;
+};
+
+}  // namespace cq
+
+#endif  // CQ_RUNTIME_DRIVER_H_

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dataflow/chaining.h"
+#include "dataflow/executor.h"
+#include "dataflow/join_operator.h"
+#include "dataflow/operators.h"
+#include "dataflow/session_operator.h"
+#include "dataflow/window_operator.h"
+#include "runtime/batch.h"
+
+namespace cq {
+namespace {
+
+Tuple T2(int64_t k, int64_t v) { return Tuple({Value(k), Value(v)}); }
+
+/// A built single-source pipeline ready to be driven either way.
+struct Built {
+  std::unique_ptr<PipelineExecutor> exec;
+  NodeId source = 0;
+  std::unique_ptr<BoundedStream> out;
+};
+using Builder = std::function<Built()>;
+
+BoundedStream RunPerElement(const Builder& build,
+                            const std::vector<StreamElement>& input) {
+  Built p = build();
+  for (const auto& e : input) {
+    EXPECT_TRUE(p.exec->Push(p.source, e).ok());
+  }
+  return std::move(*p.out);
+}
+
+BoundedStream RunBatched(const Builder& build,
+                         const std::vector<StreamElement>& input,
+                         size_t chunk) {
+  Built p = build();
+  for (size_t i = 0; i < input.size(); i += chunk) {
+    StreamBatch batch;
+    for (size_t j = i; j < std::min(input.size(), i + chunk); ++j) {
+      batch.Add(input[j]);
+    }
+    EXPECT_TRUE(p.exec->PushBatch(p.source, batch).ok());
+  }
+  return std::move(*p.out);
+}
+
+void ExpectStreamsEqual(const BoundedStream& a, const BoundedStream& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i).tuple, b.at(i).tuple) << what << " element " << i;
+    EXPECT_EQ(a.at(i).timestamp, b.at(i).timestamp) << what << " element " << i;
+  }
+}
+
+/// Batched delivery must be output-identical to per-element delivery for
+/// every chunking of the same input.
+void ExpectBatchEquivalence(const Builder& build,
+                            const std::vector<StreamElement>& input) {
+  BoundedStream reference = RunPerElement(build, input);
+  ASSERT_GT(reference.num_records(), 0u);
+  for (size_t chunk : std::vector<size_t>{1, 3, 7, 64, input.size()}) {
+    BoundedStream batched = RunBatched(build, input, chunk);
+    ExpectStreamsEqual(reference, batched,
+                       "chunk=" + std::to_string(chunk));
+  }
+}
+
+/// Out-of-order keyed input with interleaved watermarks and a late-but-
+/// admissible element (arrives behind the watermark, within lateness).
+std::vector<StreamElement> WindowInput() {
+  std::vector<StreamElement> in;
+  for (int i = 0; i < 40; ++i) {
+    // Timestamps jump around within a disorder bound of ~7.
+    Timestamp ts = (i * 3) % 50 + (i % 2 == 0 ? 0 : 5);
+    in.push_back(StreamElement::Record(T2(i % 4, i), ts));
+    if (i % 10 == 9) {
+      in.push_back(StreamElement::Watermark((i * 3) % 50));
+    }
+  }
+  in.push_back(StreamElement::Watermark(30));
+  // Late for windows ending <= 30, admissible under lateness 25: triggers
+  // the per-element fallback (refinement firing).
+  in.push_back(StreamElement::Record(T2(1, 100), 12));
+  in.push_back(StreamElement::Record(T2(2, 101), 35));
+  in.push_back(StreamElement::Watermark(90));
+  return in;
+}
+
+Builder TumblingSumBuilder(std::shared_ptr<TriggerFactory> trigger) {
+  return [trigger]() {
+    Built p;
+    p.out = std::make_unique<BoundedStream>();
+    WindowedAggregateConfig cfg;
+    cfg.assigner = std::make_shared<TumblingWindowAssigner>(10);
+    cfg.key_indexes = {0};
+    cfg.aggs.push_back({AggregateKind::kSum, Col(1), "sum"});
+    cfg.aggs.push_back({AggregateKind::kCount, nullptr, "n"});
+    cfg.trigger = trigger;
+    cfg.allowed_lateness = 25;
+    auto g = std::make_unique<DataflowGraph>();
+    p.source = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+    NodeId win = g->AddNode(
+        std::make_unique<WindowedAggregateOperator>("win", cfg));
+    NodeId sink = g->AddNode(
+        std::make_unique<CollectSinkOperator>("sink", p.out.get()));
+    EXPECT_TRUE(g->Connect(p.source, win).ok());
+    EXPECT_TRUE(g->Connect(win, sink).ok());
+    p.exec = std::make_unique<PipelineExecutor>(std::move(g));
+    return p;
+  };
+}
+
+TEST(BatchEquivalenceTest, TumblingWindowAfterWatermark) {
+  // Exercises the window operator's vectorised fast path plus its late
+  // fallback.
+  ExpectBatchEquivalence(TumblingSumBuilder(TriggerFactory::AfterWatermark()),
+                         WindowInput());
+}
+
+TEST(BatchEquivalenceTest, TumblingWindowAfterCountFallsBack) {
+  // AfterCount is not passive on element arrival, so every batch must take
+  // the per-element path — output still identical.
+  ExpectBatchEquivalence(TumblingSumBuilder(TriggerFactory::AfterCount(3)),
+                         WindowInput());
+}
+
+TEST(BatchEquivalenceTest, SessionWindows) {
+  Builder build = []() {
+    Built p;
+    p.out = std::make_unique<BoundedStream>();
+    SessionAggregateConfig cfg;
+    cfg.gap = 5;
+    cfg.key_indexes = {0};
+    cfg.aggs.push_back({AggregateKind::kSum, Col(1), "sum"});
+    auto g = std::make_unique<DataflowGraph>();
+    p.source = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+    NodeId sess = g->AddNode(
+        std::make_unique<SessionWindowOperator>("sess", cfg));
+    NodeId sink = g->AddNode(
+        std::make_unique<CollectSinkOperator>("sink", p.out.get()));
+    EXPECT_TRUE(g->Connect(p.source, sess).ok());
+    EXPECT_TRUE(g->Connect(sess, sink).ok());
+    p.exec = std::make_unique<PipelineExecutor>(std::move(g));
+    return p;
+  };
+  ExpectBatchEquivalence(build, WindowInput());
+}
+
+TEST(BatchEquivalenceTest, FusedChainIntoWindow) {
+  Builder build = []() {
+    Built p;
+    p.out = std::make_unique<BoundedStream>();
+    auto g = std::make_unique<DataflowGraph>();
+    NodeId src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+    NodeId filt = g->AddNode(std::make_unique<FilterOperator>(
+        "filt", [](const Tuple& t) { return t[1] < Value(int64_t{90}); }));
+    NodeId map = g->AddNode(std::make_unique<MapOperator>(
+        "map", [](const Tuple& t) -> Result<Tuple> {
+          return Tuple({t[0], Value(t[1].int64_value() * 2)});
+        }));
+    WindowedAggregateConfig cfg;
+    cfg.assigner = std::make_shared<TumblingWindowAssigner>(10);
+    cfg.key_indexes = {0};
+    cfg.aggs.push_back({AggregateKind::kMax, Col(1), "max"});
+    NodeId win = g->AddNode(
+        std::make_unique<WindowedAggregateOperator>("win", cfg));
+    NodeId sink = g->AddNode(
+        std::make_unique<CollectSinkOperator>("sink", p.out.get()));
+    EXPECT_TRUE(g->Connect(src, filt).ok());
+    EXPECT_TRUE(g->Connect(filt, map).ok());
+    EXPECT_TRUE(g->Connect(map, win).ok());
+    EXPECT_TRUE(g->Connect(win, sink).ok());
+    std::vector<NodeId> mapping;
+    size_t fused = 0;
+    auto fused_graph =
+        std::move(FuseChains(std::move(g), &mapping, &fused)).value();
+    EXPECT_GT(fused, 0u);
+    p.source = mapping[src];
+    p.exec = std::make_unique<PipelineExecutor>(std::move(fused_graph));
+    return p;
+  };
+  ExpectBatchEquivalence(build, WindowInput());
+}
+
+TEST(BatchEquivalenceTest, IntervalJoinTwoInputs) {
+  // Two-input pipeline: drive each source with per-element pushes vs
+  // batches and compare join output.
+  struct JoinBuilt {
+    std::unique_ptr<PipelineExecutor> exec;
+    NodeId left = 0;
+    NodeId right = 0;
+    std::unique_ptr<BoundedStream> out;
+  };
+  auto build = []() {
+    JoinBuilt p;
+    p.out = std::make_unique<BoundedStream>();
+    auto g = std::make_unique<DataflowGraph>();
+    p.left = g->AddNode(std::make_unique<PassThroughOperator>("l"));
+    p.right = g->AddNode(std::make_unique<PassThroughOperator>("r"));
+    StreamJoinConfig cfg;
+    cfg.left_keys = {0};
+    cfg.right_keys = {0};
+    cfg.time_bound = 5;
+    NodeId join = g->AddNode(std::make_unique<StreamJoinOperator>("join", cfg));
+    NodeId sink = g->AddNode(
+        std::make_unique<CollectSinkOperator>("sink", p.out.get()));
+    EXPECT_TRUE(g->Connect(p.left, join, 0).ok());
+    EXPECT_TRUE(g->Connect(p.right, join, 1).ok());
+    EXPECT_TRUE(g->Connect(join, sink).ok());
+    p.exec = std::make_unique<PipelineExecutor>(std::move(g));
+    return p;
+  };
+  std::vector<StreamElement> left, right;
+  for (int i = 0; i < 25; ++i) {
+    left.push_back(StreamElement::Record(T2(i % 3, i), i));
+    right.push_back(StreamElement::Record(T2(i % 3, 100 + i), i + (i % 4)));
+    if (i % 8 == 7) {
+      left.push_back(StreamElement::Watermark(i - 6));
+      right.push_back(StreamElement::Watermark(i - 6));
+    }
+  }
+  JoinBuilt ref = build();
+  for (const auto& e : left) ASSERT_TRUE(ref.exec->Push(ref.left, e).ok());
+  for (const auto& e : right) ASSERT_TRUE(ref.exec->Push(ref.right, e).ok());
+  BoundedStream reference = std::move(*ref.out);
+  ASSERT_GT(reference.num_records(), 0u);
+
+  for (size_t chunk : std::vector<size_t>{1, 4, 64}) {
+    JoinBuilt b = build();
+    auto push_batched = [&](NodeId node, const std::vector<StreamElement>& in) {
+      for (size_t i = 0; i < in.size(); i += chunk) {
+        StreamBatch batch;
+        for (size_t j = i; j < std::min(in.size(), i + chunk); ++j) {
+          batch.Add(in[j]);
+        }
+        ASSERT_TRUE(b.exec->PushBatch(node, batch).ok());
+      }
+    };
+    push_batched(b.left, left);
+    push_batched(b.right, right);
+    ExpectStreamsEqual(reference, *b.out, "chunk=" + std::to_string(chunk));
+  }
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "queue/broker.h"
+#include "runtime/batch.h"
+#include "runtime/channel.h"
+#include "runtime/driver.h"
+
+namespace cq {
+namespace {
+
+Tuple T(int64_t v) { return Tuple({Value(v)}); }
+
+constexpr size_t kMessages = 400;
+constexpr size_t kCredits = 4;
+
+/// Produces kMessages records into a fresh single-partition topic.
+void LoadBroker(Broker* broker) {
+  ASSERT_TRUE(broker->CreateTopic("t", 1).ok());
+  for (size_t i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(
+        broker->Produce("t", "", T(static_cast<int64_t>(i)), 1000 + i).ok());
+  }
+}
+
+/// Acceptance: a slow consumer behind a credit-bounded channel keeps the
+/// in-process queue depth at or below the credit cap — the driver pauses
+/// polling (backlog stays in the broker) instead of letting depth grow.
+TEST(BrokerDriverBackpressureTest, SlowConsumerDepthBoundedByCredits) {
+  Broker broker;
+  LoadBroker(&broker);
+  BrokerSourceDriver driver(&broker, "t", "slow",
+                            {/*max_poll_records=*/8,
+                             /*max_out_of_orderness=*/0});
+  Channel ch(kCredits);
+
+  size_t max_depth = 0;
+  size_t consumed = 0;
+  uint64_t pauses = 0;
+  bool paused = false;
+  // Fast producer, slow consumer: pump eagerly, pop one batch per ten pump
+  // attempts. Every pump observes the depth bound.
+  size_t rounds = 0;
+  while (consumed < kMessages) {
+    for (int burst = 0; burst < 10; ++burst) {
+      Result<size_t> moved = driver.PumpInto(&ch, &paused);
+      ASSERT_TRUE(moved.ok());
+      if (paused) ++pauses;
+      max_depth = std::max(max_depth, ch.depth());
+    }
+    StreamBatch got;
+    if (ch.depth() > 0 && ch.Pop(&got)) {
+      consumed += got.num_records();
+      ch.Acknowledge();
+    }
+    ASSERT_LT(++rounds, 10000u) << "drain did not make progress";
+  }
+  EXPECT_EQ(consumed, kMessages);
+  EXPECT_LE(max_depth, kCredits);
+  // The producer out-ran the consumer, so polling must actually have paused.
+  EXPECT_GT(pauses, 0u);
+  // Paused polls do not advance committed offsets beyond what was shipped.
+  EXPECT_EQ((*driver.Offsets()).at("t/0"), static_cast<int64_t>(kMessages));
+}
+
+/// The control: with an unbounded channel (credits = 0) and no consumer,
+/// depth grows monotonically past any cap — the failure mode credits exist
+/// to prevent.
+TEST(BrokerDriverBackpressureTest, UnboundedChannelGrowsWithoutConsumer) {
+  Broker broker;
+  LoadBroker(&broker);
+  BrokerSourceDriver driver(&broker, "t", "unbounded",
+                            {/*max_poll_records=*/8,
+                             /*max_out_of_orderness=*/0});
+  Channel ch(0);
+
+  size_t prev_depth = 0;
+  bool paused = false;
+  while (true) {
+    Result<size_t> moved = driver.PumpInto(&ch, &paused);
+    ASSERT_TRUE(moved.ok());
+    EXPECT_FALSE(paused);  // nothing ever pushes back
+    if (*moved == 0) break;
+    EXPECT_GE(ch.depth(), prev_depth);  // monotonic growth, no consumer
+    prev_depth = ch.depth();
+  }
+  EXPECT_EQ(prev_depth, kMessages / 8);  // every batch still queued
+  EXPECT_GT(prev_depth, kCredits);       // far past the bounded cap
+}
+
+/// While paused, the committed offset freezes: the unpolled backlog stays in
+/// the broker, not in process memory.
+TEST(BrokerDriverBackpressureTest, PausedPollLeavesBacklogInBroker) {
+  Broker broker;
+  LoadBroker(&broker);
+  BrokerSourceDriver driver(&broker, "t", "g",
+                            {/*max_poll_records=*/8,
+                             /*max_out_of_orderness=*/0});
+  Channel ch(1);
+  bool paused = false;
+  ASSERT_EQ(*driver.PumpInto(&ch, &paused), 8u);
+  ASSERT_FALSE(paused);
+  int64_t committed = (*driver.Offsets()).at("t/0");
+  EXPECT_EQ(committed, 8);
+  // Channel full: repeated pumps are pure no-ops.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(*driver.PumpInto(&ch, &paused), 0u);
+    EXPECT_TRUE(paused);
+  }
+  EXPECT_EQ((*driver.Offsets()).at("t/0"), committed);
+  EXPECT_EQ(ch.depth(), 1u);
+}
+
+}  // namespace
+}  // namespace cq

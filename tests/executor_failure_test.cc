@@ -123,25 +123,74 @@ TEST(ParallelFailureTest, FactoryErrorFailsStart) {
   EXPECT_TRUE(pipeline.Start().code() == StatusCode::kIOError);
 }
 
-TEST(MailboxFailureTest, BoundedCapacityBlocksAndDrains) {
-  Mailbox box(4);
+TEST(ChannelFailureTest, ExhaustedCreditsBlockAndDrain) {
+  Channel ch(4);
   for (int i = 0; i < 4; ++i) {
-    ASSERT_TRUE(box.Push(StreamElement::Record(T(i), i)).ok());
+    StreamBatch b;
+    b.AddRecord(T(i), i);
+    ASSERT_TRUE(ch.Push(std::move(b)).ok());
   }
-  EXPECT_EQ(box.size(), 4u);
-  // A fifth push blocks until a consumer drains; do it from another thread.
-  std::thread producer([&box] {
-    Status st = box.Push(StreamElement::Record(T(99), 99));
+  EXPECT_EQ(ch.depth(), 4u);
+  EXPECT_EQ(ch.credits_available(), 0u);
+  // A fifth push blocks until a credit returns; do it from another thread
+  // and wait until it is actually parked before freeing a credit.
+  std::thread producer([&ch] {
+    StreamBatch b;
+    b.AddRecord(T(99), 99);
+    Status st = ch.Push(std::move(b));
     EXPECT_TRUE(st.ok());
   });
-  StreamElement e;
-  ASSERT_TRUE(box.Pop(&e));
+  while (ch.blocked_pushes() == 0) std::this_thread::yield();
+  StreamBatch got;
+  ASSERT_TRUE(ch.Pop(&got));
+  ch.Acknowledge();
   producer.join();
-  EXPECT_EQ(box.size(), 4u);
-  box.Close();
+  EXPECT_EQ(ch.depth(), 4u);
+  EXPECT_GE(ch.blocked_pushes(), 1u);
+  ch.Close();
   size_t drained = 0;
-  while (box.Pop(&e)) ++drained;
+  while (ch.Pop(&got)) {
+    ++drained;
+    ch.Acknowledge();
+  }
   EXPECT_EQ(drained, 4u);
+}
+
+TEST(ParallelFailureTest, WorkerStopsConsumingAfterError) {
+  ParallelPipelineOptions opts;
+  opts.batch_size = 1;
+  opts.channel_credits = 2;
+  ParallelPipeline pipeline(
+      1,
+      [](size_t) -> Result<WorkerPipeline> {
+        WorkerPipeline p;
+        p.output = std::make_unique<BoundedStream>();
+        auto g = std::make_unique<DataflowGraph>();
+        p.source = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+        NodeId poison = g->AddNode(std::make_unique<PoisonOperator>(7));
+        NodeId sink = g->AddNode(
+            std::make_unique<CollectSinkOperator>("sink", p.output.get()));
+        CQ_RETURN_NOT_OK(g->Connect(p.source, poison));
+        CQ_RETURN_NOT_OK(g->Connect(poison, sink));
+        p.executor = std::make_unique<PipelineExecutor>(std::move(g));
+        return p;
+      },
+      ProjectKeyFn({0}), opts);
+  ASSERT_TRUE(pipeline.Start().ok());
+  ASSERT_TRUE(pipeline.Send(T(7), 1).ok());  // poisons the only worker
+  // The failed worker stops consuming and closes its channel, so subsequent
+  // sends surface its error instead of queueing behind a dead consumer
+  // (with 2 credits an unhealthy channel would block the 3rd send forever).
+  Status st;
+  for (int i = 0; i < 1000; ++i) {
+    st = pipeline.Send(T(1), 2);
+    if (!st.ok()) break;
+  }
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  Result<BoundedStream> result = pipeline.Finish();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
 }
 
 }  // namespace

@@ -10,18 +10,23 @@ namespace {
 
 Tuple T2(int64_t k, int64_t v) { return Tuple({Value(k), Value(v)}); }
 
-TEST(MailboxTest, FifoDelivery) {
-  Mailbox box(10);
-  ASSERT_TRUE(box.Push(StreamElement::Record(T2(1, 1), 1)).ok());
-  ASSERT_TRUE(box.Push(StreamElement::Watermark(5)).ok());
-  StreamElement e;
-  ASSERT_TRUE(box.Pop(&e));
-  EXPECT_TRUE(e.is_record());
-  ASSERT_TRUE(box.Pop(&e));
-  EXPECT_TRUE(e.is_watermark());
-  box.Close();
-  EXPECT_FALSE(box.Pop(&e));
-  EXPECT_TRUE(box.Push(StreamElement::Watermark(6)).IsClosed());
+TEST(ChannelTest, FifoBatchDelivery) {
+  Channel ch(10);
+  StreamBatch b1;
+  b1.AddRecord(T2(1, 1), 1);
+  b1.AddWatermark(5);
+  ASSERT_TRUE(ch.Push(std::move(b1)).ok());
+  StreamBatch got;
+  ASSERT_TRUE(ch.Pop(&got));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_TRUE(got[0].is_record());
+  EXPECT_TRUE(got[1].is_watermark());
+  ch.Acknowledge();
+  ch.Close();
+  EXPECT_FALSE(ch.Pop(&got));
+  StreamBatch b2;
+  b2.AddWatermark(6);
+  EXPECT_TRUE(ch.Push(std::move(b2)).IsClosed());
 }
 
 /// Builds a per-worker pipeline: keyed windowed SUM into a collect sink.
@@ -101,6 +106,71 @@ TEST(ParallelPipelineTest, LifecycleErrors) {
 TEST(ParallelPipelineTest, ZeroParallelismClampsToOne) {
   ParallelPipeline pipeline(0, SumPipelineFactory(), ProjectKeyFn({0}));
   EXPECT_EQ(pipeline.parallelism(), 1u);
+}
+
+TEST(ParallelPipelineTest, SmallBatchSizeDoesNotChangeResults) {
+  TransactionWorkload w = MakeTransactionWorkload(300, 10, 0.8, 100, 0, 99);
+  ParallelPipelineOptions tiny;
+  tiny.batch_size = 3;
+  tiny.channel_credits = 2;
+  ParallelPipeline pipeline(4, SumPipelineFactory(), ProjectKeyFn({0}), tiny);
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (const auto& e : w.transactions) {
+    if (!e.is_record()) continue;
+    Tuple t({e.tuple[1], e.tuple[1]});
+    ASSERT_TRUE(pipeline.Send(std::move(t), e.timestamp).ok());
+  }
+  ASSERT_TRUE(
+      pipeline.BroadcastWatermark(w.transactions.MaxTimestamp() + 100).ok());
+  BoundedStream tuned = *pipeline.Finish();
+
+  BoundedStream reference = RunWithParallelism(4, w);
+  ASSERT_EQ(tuned.num_records(), reference.num_records());
+  for (size_t i = 0; i < tuned.num_records(); ++i) {
+    EXPECT_EQ(tuned.at(i).tuple, reference.at(i).tuple) << i;
+  }
+}
+
+TEST(ParallelPipelineTest, CheckpointRestoreThroughRunningPipeline) {
+  // Run half the input, checkpoint mid-stream (with in-flight batches), run
+  // the rest for a reference output.
+  auto send_half = [](ParallelPipeline* p, int64_t ts) {
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(p->Send(T2(i % 3, 1), ts).ok());
+    }
+  };
+  ParallelPipeline a(2, SumPipelineFactory(), ProjectKeyFn({0}));
+  ASSERT_TRUE(a.Start().ok());
+  send_half(&a, 5);
+  Result<std::string> image = a.Checkpoint({{"txns/0", 30}});
+  ASSERT_TRUE(image.ok());
+  send_half(&a, 15);
+  ASSERT_TRUE(a.BroadcastWatermark(100).ok());
+  BoundedStream reference = *a.Finish();
+  ASSERT_GT(reference.num_records(), 0u);
+
+  // A fresh pipeline restored from the image replays only post-checkpoint
+  // input and must reproduce the reference exactly (window [0,10) state for
+  // ts=5 records came from the checkpoint).
+  ParallelPipeline b(2, SumPipelineFactory(), ProjectKeyFn({0}));
+  ASSERT_TRUE(b.Start().ok());
+  Result<std::map<std::string, int64_t>> offsets = b.Restore(*image);
+  ASSERT_TRUE(offsets.ok());
+  EXPECT_EQ((*offsets)["txns/0"], 30);
+  send_half(&b, 15);
+  ASSERT_TRUE(b.BroadcastWatermark(100).ok());
+  BoundedStream restored = *b.Finish();
+  ASSERT_EQ(restored.num_records(), reference.num_records());
+  for (size_t i = 0; i < restored.num_records(); ++i) {
+    EXPECT_EQ(restored.at(i).tuple, reference.at(i).tuple) << i;
+    EXPECT_EQ(restored.at(i).timestamp, reference.at(i).timestamp) << i;
+  }
+
+  // Parallelism mismatch is rejected.
+  ParallelPipeline c(3, SumPipelineFactory(), ProjectKeyFn({0}));
+  ASSERT_TRUE(c.Start().ok());
+  EXPECT_FALSE(c.Restore(*image).ok());
+  ASSERT_TRUE(c.Finish().ok());
 }
 
 }  // namespace
