@@ -2,18 +2,46 @@
 # Tier-1 gate: configure + build + full ctest suite + metrics smoke check.
 # Usage: scripts/check_tier1.sh [build-dir]     (default: build)
 #        scripts/check_tier1.sh --tsan [build-dir]
+#        scripts/check_tier1.sh --asan [build-dir]
 #
 # --tsan builds with ThreadSanitizer (default build dir: build-tsan) and
 # runs only the concurrent-runtime test binaries (channel, parallel
 # pipeline, broker driver) — the threaded core the unified runtime added.
+# --asan builds with AddressSanitizer (default build dir: build-asan) and
+# runs the state/durability test binaries (ft, kvstore, snapshot, queue)
+# — the buffers and file framing the fault-tolerance layer serializes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 TSAN=0
+ASAN=0
 if [[ "${1:-}" == "--tsan" ]]; then
   TSAN=1
   shift
+elif [[ "${1:-}" == "--asan" ]]; then
+  ASAN=1
+  shift
+fi
+
+if [[ "$ASAN" == 1 ]]; then
+  BUILD_DIR="${1:-build-asan}"
+
+  echo "== configure (asan) =="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
+
+  echo "== build (asan) =="
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
+    ft_test kvstore_test snapshot_test state_test queue_test parallel_test
+
+  echo "== ctest (asan: ft/state/durability) =="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
+    -R 'ft_test|kvstore_test|snapshot_test|state_test|queue_test|parallel_test'
+
+  echo "tier-1 asan check: OK"
+  exit 0
 fi
 
 if [[ "$TSAN" == 1 ]]; then

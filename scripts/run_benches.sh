@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs every bench binary and collects machine-readable results.
+#
+# Usage: scripts/run_benches.sh [build-dir] [out-dir]
+#   build-dir  where the bench binaries live (default: build)
+#   out-dir    where results land (default: bench-results)
+#
+# Environment:
+#   BENCH_FILTER    only run binaries whose name matches this grep pattern
+#   BENCH_MIN_TIME  passed to --benchmark_min_time (default 0.05 — CI-quick;
+#                   raise for stable numbers)
+#
+# Per bench binary <name> this emits:
+#   <out-dir>/BENCH_<name>.json     google-benchmark JSON (counters, timings)
+#   <out-dir>/BENCH_<name>.series   the BENCH_SERIES/BENCH_METRICS lines the
+#                                   binary printed (figure-ready data points)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-results}"
+MIN_TIME="${BENCH_MIN_TIME:-0.05}"
+FILTER="${BENCH_FILTER:-.}"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "no bench binaries in $BUILD_DIR/bench — build first" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR"
+
+ran=0
+for bin in "$BUILD_DIR"/bench/bench_*; do
+  [[ -x "$bin" && ! -d "$bin" ]] || continue
+  name="$(basename "$bin")"
+  grep -q "$FILTER" <<< "$name" || continue
+  echo "== $name =="
+  "$bin" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_out="$OUT_DIR/BENCH_${name}.json" \
+    --benchmark_out_format=json \
+    | tee "$OUT_DIR/${name}.console"
+  grep -E '^BENCH_(SERIES|METRICS) ' "$OUT_DIR/${name}.console" \
+    > "$OUT_DIR/BENCH_${name}.series" || true
+  rm -f "$OUT_DIR/${name}.console"
+  ran=$((ran + 1))
+done
+
+if [[ "$ran" == 0 ]]; then
+  echo "no bench binaries matched filter '$FILTER'" >&2
+  exit 1
+fi
+
+echo
+echo "ran $ran benches; results in $OUT_DIR/:"
+ls -l "$OUT_DIR"

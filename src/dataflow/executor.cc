@@ -114,6 +114,11 @@ Status PipelineExecutor::Push(NodeId source, const StreamElement& element) {
   if (source >= graph_->num_nodes()) {
     return Status::InvalidArgument("no such node");
   }
+  if (element.is_barrier()) {
+    // Barriers are a channel-level protocol; the runtime consumes them
+    // before delivery (ParallelPipeline worker loop, BarrierAligner).
+    return Status::Internal("checkpoint barrier leaked into the dataflow");
+  }
   if (element.is_watermark()) {
     return DeliverWatermark(source, 0, element.timestamp);
   }
@@ -132,6 +137,9 @@ Status PipelineExecutor::DeliverSequence(NodeId node, size_t port,
                                          size_t count) {
   size_t i = 0;
   while (i < count) {
+    if (data[i].is_barrier()) {
+      return Status::Internal("checkpoint barrier leaked into the dataflow");
+    }
     if (data[i].is_watermark()) {
       CQ_RETURN_NOT_OK(DeliverWatermark(node, port, data[i].timestamp));
       ++i;
@@ -304,43 +312,41 @@ Status PipelineExecutor::AdvanceProcessingTime(Timestamp now) {
   return Status::OK();
 }
 
-Result<std::string> PipelineExecutor::Checkpoint(
-    const std::map<std::string, int64_t>& source_offsets) const {
-  std::string out;
-  EncodeU32(static_cast<uint32_t>(graph_->num_nodes()), &out);
+Result<std::vector<std::string>> PipelineExecutor::SnapshotSlots() {
+  std::vector<std::string> slots;
+  slots.reserve(graph_->num_nodes());
   for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
     CQ_ASSIGN_OR_RETURN(std::string state, graph_->node(i)->SnapshotState());
-    EncodeString(state, &out);
+    slots.push_back(std::move(state));
   }
-  EncodeU32(static_cast<uint32_t>(source_offsets.size()), &out);
-  for (const auto& [name, offset] : source_offsets) {
-    EncodeString(name, &out);
-    EncodeI64(offset, &out);
+  return slots;
+}
+
+Status PipelineExecutor::RestoreSlots(const std::vector<std::string>& slots) {
+  if (slots.size() != graph_->num_nodes()) {
+    return Status::InvalidArgument(
+        "checkpoint image is for a graph with " +
+        std::to_string(slots.size()) + " nodes, this graph has " +
+        std::to_string(graph_->num_nodes()));
   }
-  return out;
+  for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
+    CQ_RETURN_NOT_OK(graph_->node(i)->RestoreState(slots[i]));
+  }
+  return Status::OK();
+}
+
+Result<std::string> PipelineExecutor::Checkpoint(
+    const std::map<std::string, int64_t>& source_offsets) {
+  CQ_ASSIGN_OR_RETURN(std::vector<std::string> slots, SnapshotSlots());
+  return ft::EncodeCheckpointImage(slots, source_offsets);
 }
 
 Result<std::map<std::string, int64_t>> PipelineExecutor::Restore(
     std::string_view image) {
-  std::string_view in = image;
-  CQ_ASSIGN_OR_RETURN(uint32_t n, DecodeU32(&in));
-  if (n != graph_->num_nodes()) {
-    return Status::InvalidArgument(
-        "checkpoint image is for a graph with " + std::to_string(n) +
-        " nodes, this graph has " + std::to_string(graph_->num_nodes()));
-  }
-  for (NodeId i = 0; i < n; ++i) {
-    CQ_ASSIGN_OR_RETURN(std::string state, DecodeString(&in));
-    CQ_RETURN_NOT_OK(graph_->node(i)->RestoreState(state));
-  }
-  std::map<std::string, int64_t> offsets;
-  CQ_ASSIGN_OR_RETURN(uint32_t m, DecodeU32(&in));
-  for (uint32_t i = 0; i < m; ++i) {
-    CQ_ASSIGN_OR_RETURN(std::string name, DecodeString(&in));
-    CQ_ASSIGN_OR_RETURN(int64_t offset, DecodeI64(&in));
-    offsets[name] = offset;
-  }
-  return offsets;
+  CQ_ASSIGN_OR_RETURN(ft::CheckpointImage decoded,
+                      ft::DecodeCheckpointImage(image));
+  CQ_RETURN_NOT_OK(RestoreSlots(decoded.slots));
+  return decoded.source_offsets;
 }
 
 size_t PipelineExecutor::TotalStateSize() const {

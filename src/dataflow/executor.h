@@ -28,12 +28,13 @@
 #include "common/status.h"
 #include "common/time.h"
 #include "dataflow/graph.h"
+#include "ft/checkpointable.h"
 #include "obs/metrics.h"
 #include "runtime/batch.h"
 
 namespace cq {
 
-class PipelineExecutor {
+class PipelineExecutor : public ft::Checkpointable {
  public:
   /// \brief Takes ownership of the graph. `clock` (optional) supplies
   /// processing time; defaults to a manual clock at 0 advanced by
@@ -62,10 +63,19 @@ class PipelineExecutor {
   /// sweeps processing-time timers on every node in topological order.
   Status AdvanceProcessingTime(Timestamp now);
 
+  /// \brief ft::Checkpointable traversal: one state slot per graph node.
+  /// A synchronous executor is always quiescent between pushes, so the
+  /// default QuiesceForSnapshot no-op applies.
+  Result<std::vector<std::string>> SnapshotSlots() override;
+
+  /// \brief Restores per-node state from a SnapshotSlots image (slot count
+  /// must equal the node count).
+  Status RestoreSlots(const std::vector<std::string>& slots) override;
+
   /// \brief Serializes all operator state + source offsets into a
-  /// checkpoint image.
+  /// checkpoint image (the shared ft codec over SnapshotSlots).
   Result<std::string> Checkpoint(
-      const std::map<std::string, int64_t>& source_offsets) const;
+      const std::map<std::string, int64_t>& source_offsets);
 
   /// \brief Restores operator state from a checkpoint image; returns the
   /// recorded source offsets for replay.

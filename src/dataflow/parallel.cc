@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "ft/fault.h"
+
 namespace cq {
 
 ParallelPipeline::ParallelPipeline(size_t parallelism, Factory factory,
@@ -45,7 +47,36 @@ void ParallelPipeline::WorkerLoop(size_t index) {
   Worker& w = *workers_[index];
   StreamBatch batch;
   while (w.channel.Pop(&batch)) {
-    Status st = w.pipeline.executor->PushBatch(w.pipeline.source, batch);
+    Status st = ft::FaultInjector::Global().Hit(ft::faultpoint::kWorkerProcess);
+    // Barriers are consumed here, at the channel/executor boundary: the
+    // prefix before a barrier is processed first, so the snapshot taken at
+    // the barrier reflects exactly the pre-barrier stream (aligned by
+    // construction — each worker has a single input channel).
+    const auto& elems = batch.elements();
+    bool has_barrier = std::any_of(elems.begin(), elems.end(),
+                                   [](const auto& e) { return e.is_barrier(); });
+    if (st.ok() && !has_barrier) {
+      st = w.pipeline.executor->PushBatch(w.pipeline.source, batch);
+    } else {
+      size_t i = 0;
+      while (st.ok() && i < elems.size()) {
+        size_t j = i;
+        while (j < elems.size() && !elems[j].is_barrier()) ++j;
+        if (j > i) {
+          StreamBatch run(std::vector<StreamElement>(elems.begin() + i,
+                                                     elems.begin() + j));
+          st = w.pipeline.executor->PushBatch(w.pipeline.source, run);
+        }
+        if (st.ok() && j < elems.size()) {
+          if (barrier_handler_) {
+            barrier_handler_(elems[j].barrier_epoch(), index,
+                             SnapshotWorkerSlot(index));
+          }
+          ++j;
+        }
+        i = j;
+      }
+    }
     w.channel.Acknowledge();
     if (!st.ok()) {
       // Stop consuming on the first error: record it (status before the
@@ -132,63 +163,83 @@ Result<BoundedStream> ParallelPipeline::Finish() {
   return out;
 }
 
-Result<std::string> ParallelPipeline::Checkpoint(
-    const std::map<std::string, int64_t>& source_offsets) {
+Status ParallelPipeline::QuiesceForSnapshot() {
   if (!started_) return Status::Internal("pipeline not started");
   if (finished_) return Status::Internal("pipeline already finished");
   CQ_RETURN_NOT_OK(Flush());
   // Quiesce: every shipped batch drained and acknowledged. Acknowledge and
   // WaitUntilIdle share the channel mutex, so worker state mutations made
-  // before the acknowledge happen-before the snapshot reads below.
+  // before the acknowledge happen-before the snapshot reads that follow.
   for (auto& w : workers_) w->channel.WaitUntilIdle();
   for (auto& w : workers_) {
     if (w->failed.load(std::memory_order_acquire)) return w->status;
   }
-  std::string image;
-  EncodeU32(static_cast<uint32_t>(parallelism_), &image);
-  EncodeU32(static_cast<uint32_t>(source_offsets.size()), &image);
-  for (const auto& [key, off] : source_offsets) {
-    EncodeString(key, &image);
-    EncodeI64(off, &image);
+  return Status::OK();
+}
+
+Result<std::string> ParallelPipeline::SnapshotWorkerSlot(size_t index) {
+  CQ_ASSIGN_OR_RETURN(std::vector<std::string> node_states,
+                      workers_[index]->pipeline.executor->SnapshotSlots());
+  std::string slot;
+  ft::EncodeBlobList(node_states, &slot);
+  return slot;
+}
+
+Result<std::vector<std::string>> ParallelPipeline::SnapshotSlots() {
+  std::vector<std::string> slots;
+  slots.reserve(parallelism_);
+  for (size_t i = 0; i < parallelism_; ++i) {
+    CQ_ASSIGN_OR_RETURN(std::string slot, SnapshotWorkerSlot(i));
+    slots.push_back(std::move(slot));
   }
-  for (auto& w : workers_) {
-    CQ_ASSIGN_OR_RETURN(std::string worker_image,
-                        w->pipeline.executor->Checkpoint({}));
-    EncodeString(worker_image, &image);
+  return slots;
+}
+
+Status ParallelPipeline::RestoreSlots(const std::vector<std::string>& slots) {
+  if (slots.size() != parallelism_) {
+    return Status::InvalidArgument(
+        "checkpoint parallelism " + std::to_string(slots.size()) +
+        " != pipeline parallelism " + std::to_string(parallelism_));
   }
-  return image;
+  // Worker threads are parked in Pop; the channel mutex orders these writes
+  // before whatever they process next.
+  for (size_t i = 0; i < parallelism_; ++i) {
+    std::string_view in = slots[i];
+    CQ_ASSIGN_OR_RETURN(std::vector<std::string> node_states,
+                        ft::DecodeBlobList(&in));
+    CQ_RETURN_NOT_OK(workers_[i]->pipeline.executor->RestoreSlots(node_states));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ParallelPipeline::Checkpoint(
+    const std::map<std::string, int64_t>& source_offsets) {
+  CQ_RETURN_NOT_OK(QuiesceForSnapshot());
+  CQ_ASSIGN_OR_RETURN(std::vector<std::string> slots, SnapshotSlots());
+  return ft::EncodeCheckpointImage(slots, source_offsets);
 }
 
 Result<std::map<std::string, int64_t>> ParallelPipeline::Restore(
     std::string_view image) {
+  CQ_RETURN_NOT_OK(QuiesceForSnapshot());
+  CQ_ASSIGN_OR_RETURN(ft::CheckpointImage decoded,
+                      ft::DecodeCheckpointImage(image));
+  CQ_RETURN_NOT_OK(RestoreSlots(decoded.slots));
+  return decoded.source_offsets;
+}
+
+void ParallelPipeline::SetBarrierHandler(
+    ft::BarrierInjectable::BarrierHandler handler) {
+  barrier_handler_ = std::move(handler);
+}
+
+Status ParallelPipeline::InjectBarrier(uint64_t epoch) {
   if (!started_) return Status::Internal("pipeline not started");
-  if (finished_) return Status::Internal("pipeline already finished");
-  CQ_RETURN_NOT_OK(Flush());
-  for (auto& w : workers_) w->channel.WaitUntilIdle();
   for (auto& w : workers_) {
-    if (w->failed.load(std::memory_order_acquire)) return w->status;
+    w->pending.Add(StreamElement::Barrier(epoch));
+    CQ_RETURN_NOT_OK(FlushWorker(*w));
   }
-  std::string_view in = image;
-  CQ_ASSIGN_OR_RETURN(uint32_t parallelism, DecodeU32(&in));
-  if (parallelism != parallelism_) {
-    return Status::InvalidArgument(
-        "checkpoint parallelism " + std::to_string(parallelism) +
-        " != pipeline parallelism " + std::to_string(parallelism_));
-  }
-  CQ_ASSIGN_OR_RETURN(uint32_t num_offsets, DecodeU32(&in));
-  std::map<std::string, int64_t> offsets;
-  for (uint32_t i = 0; i < num_offsets; ++i) {
-    CQ_ASSIGN_OR_RETURN(std::string key, DecodeString(&in));
-    CQ_ASSIGN_OR_RETURN(int64_t off, DecodeI64(&in));
-    offsets[std::move(key)] = off;
-  }
-  // Worker threads are parked in Pop; the channel mutex orders these writes
-  // before whatever they process next.
-  for (auto& w : workers_) {
-    CQ_ASSIGN_OR_RETURN(std::string worker_image, DecodeString(&in));
-    CQ_RETURN_NOT_OK(w->pipeline.executor->Restore(worker_image).status());
-  }
-  return offsets;
+  return Status::OK();
 }
 
 void ParallelPipeline::AttachMetrics(MetricsRegistry* registry) {

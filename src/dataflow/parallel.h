@@ -26,6 +26,7 @@
 #include "common/hash.h"
 #include "common/status.h"
 #include "dataflow/executor.h"
+#include "ft/checkpointable.h"
 #include "runtime/channel.h"
 #include "types/serde.h"
 
@@ -50,9 +51,11 @@ struct ParallelPipelineOptions {
 /// \brief Data-parallel keyed pipeline: P workers, each a full pipeline
 /// copy over its hash shard of the key space.
 ///
-/// Send/Flush/BroadcastWatermark/Checkpoint must be called from one
-/// producer thread (the per-worker batch buffers are unsynchronised).
-class ParallelPipeline {
+/// Send/Flush/BroadcastWatermark/Checkpoint/InjectBarrier must be called
+/// from one producer thread (the per-worker batch buffers are
+/// unsynchronised).
+class ParallelPipeline : public ft::Checkpointable,
+                         public ft::BarrierInjectable {
  public:
   using Factory = std::function<Result<WorkerPipeline>(size_t worker_index)>;
   /// Extracts the partitioning key bytes from a record.
@@ -82,10 +85,22 @@ class ParallelPipeline {
   /// outputs merged and sorted by timestamp.
   Result<BoundedStream> Finish();
 
-  /// \brief Aligned checkpoint of the whole parallel pipeline: flushes,
+  /// \brief ft::Checkpointable alignment: flushes producer buffers and
   /// quiesces every worker channel (queue drained + last batch
-  /// acknowledged), then snapshots every worker executor plus the
-  /// caller-provided source offsets into one image.
+  /// acknowledged). Surfaces the first failed worker's status.
+  Status QuiesceForSnapshot() override;
+
+  /// \brief ft::Checkpointable traversal: one slot per worker, each the
+  /// blob list of that worker's operator states. Call quiesced.
+  Result<std::vector<std::string>> SnapshotSlots() override;
+
+  /// \brief Restores every worker from a SnapshotSlots image (slot count
+  /// must equal parallelism). Call quiesced.
+  Status RestoreSlots(const std::vector<std::string>& slots) override;
+
+  /// \brief Aligned stop-the-world checkpoint: QuiesceForSnapshot, then
+  /// SnapshotSlots plus the caller-provided source offsets, encoded with
+  /// the shared ft image codec.
   Result<std::string> Checkpoint(
       const std::map<std::string, int64_t>& source_offsets);
 
@@ -93,6 +108,20 @@ class ParallelPipeline {
   /// match); returns the recorded source offsets for replay. Call on a
   /// quiescent pipeline — typically right after Start().
   Result<std::map<std::string, int64_t>> Restore(std::string_view image);
+
+  /// \brief ft::BarrierInjectable: registers the per-worker snapshot
+  /// callback. Must be called before Start().
+  void SetBarrierHandler(ft::BarrierInjectable::BarrierHandler handler) override;
+
+  /// \brief Injects an epoch barrier behind everything sent so far: each
+  /// worker's channel receives the barrier after its pending batch, the
+  /// worker snapshots its executor when the barrier reaches the front of
+  /// its stream, reports through the barrier handler, and keeps processing
+  /// — no stop-the-world. Epochs must be injected in increasing order.
+  Status InjectBarrier(uint64_t epoch) override;
+
+  /// \brief One snapshot per worker per epoch.
+  size_t BarrierFanIn() const override { return parallelism_; }
 
   /// \brief Attaches `registry` to every worker executor (instruments are
   /// lock-free; workers share per-node instruments) and to every worker
@@ -118,11 +147,15 @@ class ParallelPipeline {
 
   void WorkerLoop(size_t index);
   Status FlushWorker(Worker& w);
+  /// Snapshots worker `index`'s executor into one slot blob (worker thread
+  /// or quiesced producer thread).
+  Result<std::string> SnapshotWorkerSlot(size_t index);
 
   size_t parallelism_;
   Factory factory_;
   KeyFn key_fn_;
   ParallelPipelineOptions options_;
+  ft::BarrierInjectable::BarrierHandler barrier_handler_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   bool started_ = false;

@@ -29,8 +29,13 @@ Status BrokerSource::Drain(PipelineExecutor* executor, NodeId node) {
   return Status::OK();
 }
 
-Result<std::map<std::string, int64_t>> BrokerSource::Offsets() const {
+Result<std::map<std::string, int64_t>> BrokerSource::Offsets() {
   return driver_.Offsets();
+}
+
+Status BrokerSource::CommitThrough(
+    const std::map<std::string, int64_t>& offsets) {
+  return driver_.CommitThrough(offsets);
 }
 
 Status BrokerSource::SeekTo(const std::map<std::string, int64_t>& offsets) {

@@ -32,7 +32,8 @@ class BrokerSource {
                Duration max_out_of_orderness);
 
   /// \brief Polls every partition once (up to `batch_size` messages each),
-  /// pushes records followed by an updated watermark, and commits offsets.
+  /// pushes records followed by an updated watermark, and advances the
+  /// driver's read positions (broker offsets commit on checkpoint).
   /// Returns the number of records pushed (0 = caught up).
   Result<size_t> PumpOnce(PipelineExecutor* executor, NodeId node,
                           size_t batch_size = 256);
@@ -41,11 +42,16 @@ class BrokerSource {
   /// at the topic's max timestamp (end-of-input for bounded replays).
   Status Drain(PipelineExecutor* executor, NodeId node);
 
-  /// \brief Committed offsets per partition ("topic/partition" -> offset),
-  /// for inclusion in checkpoints.
-  Result<std::map<std::string, int64_t>> Offsets() const;
+  /// \brief Current read positions per partition ("topic/partition" ->
+  /// offset): what a checkpoint taken now should record.
+  Result<std::map<std::string, int64_t>> Offsets();
 
-  /// \brief Rewinds committed offsets (checkpoint restore).
+  /// \brief Commits broker offsets through `offsets` once the checkpoint
+  /// covering them is durable.
+  Status CommitThrough(const std::map<std::string, int64_t>& offsets);
+
+  /// \brief Rewinds read positions and committed offsets (checkpoint
+  /// restore).
   Status SeekTo(const std::map<std::string, int64_t>& offsets);
 
   /// \brief The underlying runtime driver (channel-based consumers).

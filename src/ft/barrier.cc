@@ -1,0 +1,59 @@
+#include "ft/barrier.h"
+
+#include <utility>
+
+namespace cq::ft {
+
+BarrierAligner::BarrierAligner(size_t fan_in, CompletionFn on_complete)
+    : fan_in_(fan_in == 0 ? 1 : fan_in), on_complete_(std::move(on_complete)) {}
+
+void BarrierAligner::Report(uint64_t epoch, size_t slot,
+                            Result<std::string> snapshot) {
+  uint64_t done_epoch = 0;
+  Result<std::vector<std::string>> done = std::vector<std::string>{};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Pending& p = pending_[epoch];
+    if (p.slots.empty()) {
+      p.slots.resize(fan_in_);
+      p.seen.resize(fan_in_, false);
+      p.error = Status::OK();
+    }
+    if (slot >= fan_in_) {
+      p.error = Status::Internal("barrier slot " + std::to_string(slot) +
+                                 " >= fan-in " + std::to_string(fan_in_));
+    } else if (p.seen[slot]) {
+      p.error = Status::Internal("duplicate barrier report for slot " +
+                                 std::to_string(slot));
+    } else {
+      p.seen[slot] = true;
+      if (snapshot.ok()) {
+        p.slots[slot] = std::move(*snapshot);
+      } else if (p.error.ok()) {
+        p.error = snapshot.status();
+      }
+    }
+    ++p.reported;
+    if (p.reported < fan_in_) return;
+    done_epoch = epoch;
+    done = p.error.ok() ? Result<std::vector<std::string>>(std::move(p.slots))
+                        : Result<std::vector<std::string>>(p.error);
+    pending_.erase(epoch);
+  }
+  // Completion runs outside the lock: it persists to disk and may take a
+  // while; new epochs can align concurrently.
+  if (on_complete_) on_complete_(done_epoch, std::move(done));
+}
+
+BarrierInjectable::BarrierHandler BarrierAligner::AsHandler() {
+  return [this](uint64_t epoch, size_t slot, Result<std::string> snapshot) {
+    Report(epoch, slot, std::move(snapshot));
+  };
+}
+
+size_t BarrierAligner::pending_epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace cq::ft

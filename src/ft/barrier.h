@@ -1,0 +1,64 @@
+#ifndef CQ_FT_BARRIER_H_
+#define CQ_FT_BARRIER_H_
+
+/// \file barrier.h
+/// \brief BarrierAligner: collects per-slot barrier snapshots into complete
+/// epochs.
+///
+/// In a barrier checkpoint each worker reports its slot's snapshot when the
+/// epoch barrier reaches the front of its input stream — from its own
+/// thread, in no particular order. The aligner is the meeting point: it
+/// buffers reports per epoch and fires the completion callback exactly once
+/// when all `fan_in` slots have reported (or with the first error). The
+/// CheckpointCoordinator installs it as the pipeline's BarrierHandler and
+/// persists the assembled epoch from the completion callback.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ft/checkpointable.h"
+
+namespace cq::ft {
+
+/// \brief Thread-safe fan-in collector for barrier snapshots.
+class BarrierAligner {
+ public:
+  /// Invoked once per epoch, from the thread reporting the last slot.
+  using CompletionFn =
+      std::function<void(uint64_t epoch, Result<std::vector<std::string>>)>;
+
+  BarrierAligner(size_t fan_in, CompletionFn on_complete);
+
+  /// \brief Records slot `slot`'s snapshot for `epoch`; fires the
+  /// completion callback when the epoch is complete. Duplicate or
+  /// out-of-range reports turn the epoch into an error.
+  void Report(uint64_t epoch, size_t slot, Result<std::string> snapshot);
+
+  /// \brief Adapter matching BarrierInjectable::BarrierHandler.
+  BarrierInjectable::BarrierHandler AsHandler();
+
+  /// \brief Epochs currently mid-alignment (diagnostics).
+  size_t pending_epochs() const;
+
+ private:
+  struct Pending {
+    std::vector<std::string> slots;
+    std::vector<bool> seen;
+    size_t reported = 0;
+    Status error;  // first failure, surfaced at completion
+  };
+
+  const size_t fan_in_;
+  CompletionFn on_complete_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, Pending> pending_;
+};
+
+}  // namespace cq::ft
+
+#endif  // CQ_FT_BARRIER_H_

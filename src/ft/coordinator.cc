@@ -1,0 +1,129 @@
+#include "ft/coordinator.h"
+
+#include <utility>
+
+namespace cq::ft {
+
+CheckpointCoordinator::CheckpointCoordinator(Checkpointable* pipeline,
+                                             SnapshotStore* store)
+    : pipeline_(pipeline), store_(store) {}
+
+void CheckpointCoordinator::ResumeFromEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_epoch_ = epoch + 1;
+  last_completed_ = epoch;
+}
+
+uint64_t CheckpointCoordinator::last_completed_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_completed_;
+}
+
+Status CheckpointCoordinator::PersistEpoch(
+    uint64_t epoch, const std::vector<std::string>& slots,
+    const std::map<std::string, int64_t>& offsets, Timestamp watermark) {
+  CQ_RETURN_NOT_OK(store_->Persist(epoch, slots, offsets, watermark));
+  // The snapshot is durable from here: committing the source offsets and
+  // publishing fenced output are both safe to redo after a crash (commit is
+  // idempotent, publish is fenced by epoch), so their order is free.
+  if (commit_fn_) CQ_RETURN_NOT_OK(commit_fn_(offsets));
+  if (publish_fn_) CQ_RETURN_NOT_OK(publish_fn_(epoch));
+  return Status::OK();
+}
+
+Result<uint64_t> CheckpointCoordinator::TriggerCheckpoint() {
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = next_epoch_++;
+  }
+  // Quiesce first: every record accepted so far is fully processed, so the
+  // offsets captured next describe exactly the snapshotted prefix.
+  CQ_RETURN_NOT_OK(pipeline_->QuiesceForSnapshot());
+  std::map<std::string, int64_t> offsets;
+  if (offsets_fn_) {
+    CQ_ASSIGN_OR_RETURN(offsets, offsets_fn_());
+  }
+  Timestamp wm = watermark_fn_ ? watermark_fn_() : kMinTimestamp;
+  CQ_ASSIGN_OR_RETURN(std::vector<std::string> slots,
+                      pipeline_->SnapshotSlots());
+  CQ_RETURN_NOT_OK(PersistEpoch(epoch, slots, offsets, wm));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_completed_ = epoch;
+  }
+  return epoch;
+}
+
+BarrierInjectable::BarrierHandler CheckpointCoordinator::Handler(
+    size_t fan_in) {
+  aligner_ = std::make_unique<BarrierAligner>(
+      fan_in, [this](uint64_t epoch, Result<std::vector<std::string>> slots) {
+        CompleteBarrierEpoch(epoch, std::move(slots));
+      });
+  return aligner_->AsHandler();
+}
+
+Result<uint64_t> CheckpointCoordinator::TriggerBarrierCheckpoint(
+    BarrierInjectable* pipeline) {
+  if (aligner_ == nullptr) {
+    return Status::Internal(
+        "barrier handler not installed (call Handler() before Start)");
+  }
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = next_epoch_++;
+  }
+  // Capture offsets and watermark NOW: the barrier is injected behind every
+  // record sent so far, which is exactly the data those positions cover.
+  std::map<std::string, int64_t> offsets;
+  if (offsets_fn_) {
+    CQ_ASSIGN_OR_RETURN(offsets, offsets_fn_());
+  }
+  Timestamp wm = watermark_fn_ ? watermark_fn_() : kMinTimestamp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_[epoch] = {std::move(offsets), wm};
+  }
+  Status st = pipeline->InjectBarrier(epoch);
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_.erase(epoch);
+    return st;
+  }
+  return epoch;
+}
+
+void CheckpointCoordinator::CompleteBarrierEpoch(
+    uint64_t epoch, Result<std::vector<std::string>> slots) {
+  std::map<std::string, int64_t> offsets;
+  Timestamp wm = kMinTimestamp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = in_flight_.find(epoch);
+    if (it != in_flight_.end()) {
+      offsets = std::move(it->second.first);
+      wm = it->second.second;
+      in_flight_.erase(it);
+    }
+  }
+  Status st = slots.ok() ? PersistEpoch(epoch, *slots, offsets, wm)
+                         : slots.status();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (st.ok() && epoch > last_completed_) last_completed_ = epoch;
+    results_[epoch] = st;
+  }
+  epoch_done_.notify_all();
+}
+
+Status CheckpointCoordinator::WaitForEpoch(uint64_t epoch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  epoch_done_.wait(lock, [&] { return results_.count(epoch) > 0; });
+  Status st = results_[epoch];
+  results_.erase(epoch);
+  return st;
+}
+
+}  // namespace cq::ft

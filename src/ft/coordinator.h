@@ -1,0 +1,122 @@
+#ifndef CQ_FT_COORDINATOR_H_
+#define CQ_FT_COORDINATOR_H_
+
+/// \file coordinator.h
+/// \brief CheckpointCoordinator: drives epoch checkpoints end to end.
+///
+/// One checkpoint = one epoch: capture the source read positions, snapshot
+/// every pipeline state slot aligned with those positions, persist both
+/// durably through the SnapshotStore, and only then commit the source
+/// offsets to the broker (commit-on-checkpoint) and publish any fenced sink
+/// output for the epoch. Two alignment strategies share that spine:
+///
+///  - Stop-the-world (TriggerCheckpoint): QuiesceForSnapshot drains the
+///    pipeline, then slots are snapshotted synchronously. Simple, higher
+///    latency — the whole pipeline pauses.
+///  - In-band barriers (TriggerBarrierCheckpoint): an epoch barrier is
+///    injected behind the records sent so far; each worker snapshots its
+///    slot when the barrier reaches it and keeps processing. The
+///    BarrierAligner assembles the epoch and the coordinator persists it
+///    from the last reporting worker's thread. Chandy-Lamport, aligned by
+///    construction because each worker has a single input channel.
+///
+/// The coordinator talks to the source through injected closures (offsets /
+/// commit / watermark) so the ft library stays independent of the runtime
+/// and queue layers.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "ft/barrier.h"
+#include "ft/checkpointable.h"
+#include "ft/snapshot_store.h"
+
+namespace cq::ft {
+
+class CheckpointCoordinator {
+ public:
+  /// Source read positions the next checkpoint should record.
+  using OffsetsFn = std::function<Result<std::map<std::string, int64_t>>()>;
+  /// Commits broker offsets once the covering snapshot is durable.
+  using CommitFn = std::function<Status(const std::map<std::string, int64_t>&)>;
+  /// Source watermark recorded into the manifest.
+  using WatermarkFn = std::function<Timestamp()>;
+  /// Post-commit hook: publish fenced sink output for the durable epoch.
+  using PublishFn = std::function<Status(uint64_t epoch)>;
+
+  /// \brief Neither pointer is owned; both must outlive the coordinator.
+  CheckpointCoordinator(Checkpointable* pipeline, SnapshotStore* store);
+
+  void SetOffsetsProvider(OffsetsFn fn) { offsets_fn_ = std::move(fn); }
+  void SetCommitFn(CommitFn fn) { commit_fn_ = std::move(fn); }
+  void SetWatermarkFn(WatermarkFn fn) { watermark_fn_ = std::move(fn); }
+  void SetPublishFn(PublishFn fn) { publish_fn_ = std::move(fn); }
+
+  /// \brief Resumes epoch numbering after `epoch` (recovery: the next
+  /// checkpoint becomes `epoch`+1).
+  void ResumeFromEpoch(uint64_t epoch);
+
+  /// \brief Stop-the-world aligned checkpoint: quiesce, capture offsets,
+  /// snapshot slots, persist, commit offsets, publish. Returns the epoch.
+  Result<uint64_t> TriggerCheckpoint();
+
+  /// \brief Injects an epoch barrier into `pipeline` (which must be the
+  /// BarrierInjectable side of the same pipeline, with Handler() installed
+  /// before it started). Source offsets are captured at injection — they
+  /// describe exactly the pre-barrier prefix. Returns the epoch; completion
+  /// is asynchronous (WaitForEpoch).
+  Result<uint64_t> TriggerBarrierCheckpoint(BarrierInjectable* pipeline);
+
+  /// \brief The handler to install via SetBarrierHandler before the
+  /// pipeline starts (barrier mode only). `fan_in` must match the
+  /// pipeline's BarrierFanIn().
+  BarrierInjectable::BarrierHandler Handler(size_t fan_in);
+
+  /// \brief Blocks until `epoch` has been durably persisted (returns its
+  /// completion status) — barrier mode's rendezvous.
+  Status WaitForEpoch(uint64_t epoch);
+
+  /// \brief Last epoch persisted and committed (0 = none yet).
+  uint64_t last_completed_epoch() const;
+
+ private:
+  /// The shared persistence spine: store->Persist, then offset commit, then
+  /// sink publish.
+  Status PersistEpoch(uint64_t epoch,
+                      const std::vector<std::string>& slots,
+                      const std::map<std::string, int64_t>& offsets,
+                      Timestamp watermark);
+  void CompleteBarrierEpoch(uint64_t epoch,
+                            Result<std::vector<std::string>> slots);
+
+  Checkpointable* pipeline_;
+  SnapshotStore* store_;
+  OffsetsFn offsets_fn_;
+  CommitFn commit_fn_;
+  WatermarkFn watermark_fn_;
+  PublishFn publish_fn_;
+
+  std::unique_ptr<BarrierAligner> aligner_;
+
+  mutable std::mutex mu_;
+  std::condition_variable epoch_done_;
+  uint64_t next_epoch_ = 1;
+  uint64_t last_completed_ = 0;
+  /// Offsets/watermark captured at barrier injection, keyed by epoch.
+  std::map<uint64_t, std::pair<std::map<std::string, int64_t>, Timestamp>>
+      in_flight_;
+  /// Completion status per finished epoch (consumed by WaitForEpoch).
+  std::map<uint64_t, Status> results_;
+};
+
+}  // namespace cq::ft
+
+#endif  // CQ_FT_COORDINATOR_H_

@@ -1,0 +1,170 @@
+#ifndef CQ_FT_FAULT_H_
+#define CQ_FT_FAULT_H_
+
+/// \file fault.h
+/// \brief FaultInjector: deterministic failure injection for recovery tests.
+///
+/// Fault-tolerance code is only trustworthy if every failure path has been
+/// executed. The injector exposes named *fault points* compiled into the
+/// runtime (channel push, worker processing, snapshot write/commit, offset
+/// commit); tests — and the CQ_FAULT environment variable — arm a point so
+/// that its N-th hit either returns an error Status (kFail: exercises clean
+/// error propagation) or terminates the process immediately (kExit:
+/// exercises crash recovery from durable state; _exit skips destructors the
+/// way a real crash would).
+///
+/// Header-only so that low layers (runtime, queue) can place fault points
+/// without linking against the ft library. A disarmed injector costs one
+/// relaxed atomic load per hit.
+///
+/// Environment syntax: CQ_FAULT="<point>:<after>:<kind>", e.g.
+/// "snapshot.pre_manifest_rename:2:exit" fires on the 3rd hit (after=2)
+/// of that point with a process exit. Kinds: "fail" | "exit".
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cq::ft {
+
+/// \brief What an armed fault point does when it fires.
+enum class FaultKind {
+  kFail,  // return Status::Internal from the fault point
+  kExit,  // _exit(kFaultExitCode): simulated process crash
+};
+
+/// \brief Exit code used by kExit so harnesses can assert the death was the
+/// injected one and not an accident.
+inline constexpr int kFaultExitCode = 42;
+
+/// \brief Canonical fault-point names (the compiled-in injection sites).
+namespace faultpoint {
+inline constexpr const char* kChannelPush = "channel.push";
+inline constexpr const char* kWorkerProcess = "worker.process";
+inline constexpr const char* kSnapshotPreStateRename =
+    "snapshot.pre_state_rename";
+inline constexpr const char* kSnapshotPreManifestRename =
+    "snapshot.pre_manifest_rename";
+inline constexpr const char* kSnapshotPostCommit = "snapshot.post_commit";
+inline constexpr const char* kCommitOffsets = "source.commit_offsets";
+inline constexpr const char* kSinkPublish = "sink.publish";
+
+/// \brief Every compiled-in point (tests iterate this to prove recovery
+/// works no matter where the failure lands).
+inline const std::vector<std::string>& All() {
+  static const std::vector<std::string> kAll = {
+      kChannelPush,           kWorkerProcess, kSnapshotPreStateRename,
+      kSnapshotPreManifestRename, kSnapshotPostCommit, kCommitOffsets,
+      kSinkPublish};
+  return kAll;
+}
+}  // namespace faultpoint
+
+class FaultInjector {
+ public:
+  /// \brief Process-wide injector. All fault points route through it.
+  static FaultInjector& Global() {
+    static FaultInjector g;
+    return g;
+  }
+
+  /// \brief Arms `point`: its (`after`+1)-th Hit fires `kind`. Only one
+  /// point is armed at a time (matching how a single failure is injected per
+  /// scenario); re-arming replaces the previous arm.
+  void Arm(std::string point, uint64_t after, FaultKind kind) {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_point_ = std::move(point);
+    remaining_ = after;
+    kind_ = kind;
+    fired_ = false;
+    enabled_.store(true, std::memory_order_release);
+  }
+
+  /// \brief Disarms everything and clears hit counters.
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    enabled_.store(false, std::memory_order_release);
+    armed_point_.clear();
+    fired_ = false;
+    hits_.clear();
+  }
+
+  /// \brief True once the armed fault has fired (kFail only; kExit never
+  /// returns).
+  bool fired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fired_;
+  }
+
+  /// \brief Hits observed at `point` since the last Reset (counted only
+  /// while the injector is enabled, keeping disarmed hot paths free).
+  uint64_t HitCount(const std::string& point) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = hits_.find(point);
+    return it == hits_.end() ? 0 : it->second;
+  }
+
+  /// \brief Arms from the CQ_FAULT environment variable if present.
+  /// Malformed values are ignored (the injector stays disarmed).
+  void ArmFromEnv() {
+    const char* env = std::getenv("CQ_FAULT");
+    if (env == nullptr || *env == '\0') return;
+    std::string spec(env);
+    size_t c1 = spec.find(':');
+    size_t c2 = c1 == std::string::npos ? std::string::npos
+                                        : spec.find(':', c1 + 1);
+    if (c2 == std::string::npos) return;
+    std::string point = spec.substr(0, c1);
+    uint64_t after = std::strtoull(spec.substr(c1 + 1, c2 - c1 - 1).c_str(),
+                                   nullptr, 10);
+    std::string kind = spec.substr(c2 + 1);
+    if (kind == "fail") {
+      Arm(std::move(point), after, FaultKind::kFail);
+    } else if (kind == "exit") {
+      Arm(std::move(point), after, FaultKind::kExit);
+    }
+  }
+
+  /// \brief The fault point hook. Returns OK unless this point is armed and
+  /// its countdown reached zero; then either returns Internal (kFail) or
+  /// exits the process (kExit).
+  Status Hit(const char* point) {
+    if (!enabled_.load(std::memory_order_acquire)) return Status::OK();
+    return HitSlow(point);
+  }
+
+ private:
+  Status HitSlow(const char* point) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hits_[point];
+    if (fired_ || armed_point_ != point) return Status::OK();
+    if (remaining_ > 0) {
+      --remaining_;
+      return Status::OK();
+    }
+    if (kind_ == FaultKind::kExit) {
+      // A crash, not a shutdown: no destructors, no flushes.
+      _exit(kFaultExitCode);
+    }
+    fired_ = true;
+    return Status::Internal("injected fault at '" + std::string(point) + "'");
+  }
+
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::string armed_point_;
+  uint64_t remaining_ = 0;
+  FaultKind kind_ = FaultKind::kFail;
+  bool fired_ = false;
+  std::map<std::string, uint64_t> hits_;
+};
+
+}  // namespace cq::ft
+
+#endif  // CQ_FT_FAULT_H_

@@ -1,0 +1,102 @@
+#ifndef CQ_FT_FENCE_H_
+#define CQ_FT_FENCE_H_
+
+/// \file fence.h
+/// \brief Effectively-once output: epoch-fenced sinks over a durable log.
+///
+/// Checkpoint + replay alone gives at-least-once at the pipeline edge: the
+/// replayed window re-fires the sink. The fence closes that gap the way
+/// transactional sinks do in production systems, with a two-part protocol:
+///
+///  - EpochSinkOperator buffers its output instead of emitting it. The
+///    pending buffer is part of the operator's checkpoint state, so a
+///    snapshot at epoch N carries exactly the output of the (N-1, N]
+///    window.
+///  - Once epoch N is durable, the coordinator's publish hook flushes each
+///    sink's buffer to the DurableOutputLog as file `out-<N>-<part>` —
+///    written atomically, and *idempotent by filename*: publishing an epoch
+///    that is already on disk is a no-op.
+///
+/// Every crash position is then safe: before the manifest commit, recovery
+/// rolls back to epoch N-1 and the window replays into a fresh buffer;
+/// after the commit but before the publish, the restored buffer re-publishes
+/// the missing file; after the publish, the re-publish hits the existing
+/// file and skips. Replayed batches can never double-fire the output.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/operator.h"
+
+namespace cq::ft {
+
+/// \brief Idempotent per-epoch output files under one directory.
+class DurableOutputLog {
+ public:
+  explicit DurableOutputLog(std::string dir);
+
+  /// \brief Creates the log directory (and parents) if missing.
+  Status Init();
+
+  /// \brief Durably writes `records` as epoch `epoch`, part `part`
+  /// (tmp + fsync + atomic rename). If the epoch/part file already exists
+  /// the call is a no-op — the publish fence.
+  Status Publish(uint64_t epoch, size_t part,
+                 const std::vector<std::string>& records);
+
+  /// \brief True when epoch/part has been published.
+  bool Published(uint64_t epoch, size_t part) const;
+
+  /// \brief All published records, ordered by (epoch, part) then record
+  /// order — the externally observable output of the pipeline.
+  Result<std::vector<std::string>> ReadAll() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string Path(uint64_t epoch, size_t part) const;
+  std::string dir_;
+};
+
+/// \brief Terminal sink operator that buffers output until its epoch is
+/// durable, then publishes through the DurableOutputLog.
+///
+/// `part` distinguishes parallel sink instances (worker index); each
+/// publishes its own per-epoch file.
+class EpochSinkOperator : public Operator {
+ public:
+  EpochSinkOperator(std::string name, DurableOutputLog* log, size_t part);
+
+  Status ProcessElement(size_t port, const StreamElement& element,
+                        const OperatorContext& ctx, Collector* out) override;
+
+  /// \brief Pending buffer travels inside the checkpoint image — that is
+  /// what makes the crash window between manifest commit and publish safe.
+  Result<std::string> SnapshotState() const override;
+  Status RestoreState(std::string_view snapshot) override;
+  size_t StateSize() const override { return pending_.size(); }
+  bool IsStateless() const override { return false; }
+
+  /// \brief Publishes the pending buffer as `epoch` and clears it. Always
+  /// clears on success, including when the file already existed (a restored
+  /// buffer whose epoch was already published must not leak into the next
+  /// epoch).
+  Status PublishEpoch(uint64_t epoch);
+
+  /// \brief Records buffered since the last publish (tests/diagnostics).
+  const std::vector<std::string>& pending() const { return pending_; }
+
+  /// \brief Encoding used for published records: [i64 ts][tuple bytes].
+  static std::string EncodeRecord(const StreamElement& element);
+
+ private:
+  DurableOutputLog* log_;
+  size_t part_;
+  std::vector<std::string> pending_;
+};
+
+}  // namespace cq::ft
+
+#endif  // CQ_FT_FENCE_H_

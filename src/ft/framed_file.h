@@ -1,0 +1,83 @@
+#ifndef CQ_FT_FRAMED_FILE_H_
+#define CQ_FT_FRAMED_FILE_H_
+
+/// \file framed_file.h
+/// \brief CRC-framed atomic file I/O shared by the ft durability layers.
+///
+/// File layout: [u64 crc][payload], crc = Fnv1a64(payload) — the same
+/// torn-write detection discipline as the KV store's WAL. Writers go
+/// through a tmp file, flush + fsync, then rename: the rename is the
+/// atomic commit point, and the caller can place a fault-injection hit
+/// right before it.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <unistd.h>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "ft/fault.h"
+
+namespace cq::ft {
+
+/// \brief Durably writes `payload` to `path` via tmp + fsync + rename,
+/// hitting `pre_rename_fault` just before the rename commit point.
+inline Status WriteFramedAtomic(const std::string& path,
+                                const std::string& payload,
+                                const char* pre_rename_fault) {
+  const std::string tmp = path + ".tmp";
+  {
+    FILE* f = fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::IOError("cannot create '" + tmp +
+                             "': " + std::strerror(errno));
+    }
+    std::unique_ptr<FILE, int (*)(FILE*)> closer(f, fclose);
+    uint64_t crc = Fnv1a64(payload);
+    if (fwrite(&crc, sizeof(crc), 1, f) != 1 ||
+        (!payload.empty() &&
+         fwrite(payload.data(), 1, payload.size(), f) != payload.size())) {
+      return Status::IOError("short write to '" + tmp + "'");
+    }
+    if (fflush(f) != 0 || fsync(fileno(f)) != 0) {
+      return Status::IOError("cannot flush '" + tmp + "'");
+    }
+  }
+  CQ_RETURN_NOT_OK(FaultInjector::Global().Hit(pre_rename_fault));
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("cannot rename '" + tmp + "' -> '" + path +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+/// \brief Reads a framed file back; NotFound when absent, IOError on a
+/// torn or corrupt frame.
+inline Result<std::string> ReadFramed(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("no file at '" + path + "'");
+  std::unique_ptr<FILE, int (*)(FILE*)> closer(f, fclose);
+  uint64_t crc = 0;
+  if (fread(&crc, sizeof(crc), 1, f) != 1) {
+    return Status::IOError("truncated frame header in '" + path + "'");
+  }
+  std::string payload;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) payload.append(buf, n);
+  if (Fnv1a64(payload) != crc) {
+    return Status::IOError("checksum mismatch in '" + path +
+                           "' (torn or corrupt write)");
+  }
+  return payload;
+}
+
+}  // namespace cq::ft
+
+#endif  // CQ_FT_FRAMED_FILE_H_

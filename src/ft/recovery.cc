@@ -1,0 +1,41 @@
+#include "ft/recovery.h"
+
+#include <utility>
+#include <vector>
+
+namespace cq::ft {
+
+Result<RecoveryReport> RecoveryManager::Recover(Checkpointable* pipeline,
+                                                SeekFn seek,
+                                                EndOffsetsFn end_offsets) {
+  RecoveryReport report;
+  Result<SnapshotManifest> manifest = store_->LatestManifest();
+  if (!manifest.ok()) {
+    if (manifest.status().code() == StatusCode::kNotFound) {
+      return report;  // fresh start
+    }
+    return manifest.status();
+  }
+  CQ_ASSIGN_OR_RETURN(std::vector<std::string> slots,
+                      store_->LoadSlots(*manifest));
+  CQ_RETURN_NOT_OK(pipeline->QuiesceForSnapshot());
+  CQ_RETURN_NOT_OK(pipeline->RestoreSlots(slots));
+  if (seek) CQ_RETURN_NOT_OK(seek(manifest->source_offsets));
+
+  report.restored = true;
+  report.epoch = manifest->epoch;
+  report.resume_offsets = manifest->source_offsets;
+  report.watermark = manifest->watermark;
+  if (end_offsets) {
+    Result<std::map<std::string, int64_t>> ends = end_offsets();
+    CQ_RETURN_NOT_OK(ends.status());
+    for (const auto& [partition, end] : *ends) {
+      auto it = report.resume_offsets.find(partition);
+      int64_t from = it == report.resume_offsets.end() ? 0 : it->second;
+      if (end > from) report.records_to_replay += end - from;
+    }
+  }
+  return report;
+}
+
+}  // namespace cq::ft

@@ -1,0 +1,75 @@
+#ifndef CQ_FT_RECOVERY_H_
+#define CQ_FT_RECOVERY_H_
+
+/// \file recovery.h
+/// \brief RecoveryManager: rebuilds a pipeline from the last durable epoch.
+///
+/// The recovery sequence after a crash:
+///   1. pick the newest complete manifest from the SnapshotStore (torn
+///      writes automatically fall back one epoch),
+///   2. reconstruct the slot list (full snapshot + delta chain) and restore
+///      it into the freshly constructed pipeline,
+///   3. rewind the source to the manifest's offsets (broker commit +
+///      in-memory positions),
+///   4. replay: everything between the manifest offsets and the log end
+///      flows through the pipeline again. The EpochSinkOperator fence makes
+///      the replayed window effectively-once at the output.
+///
+/// The report tells the caller what happened — restored epoch, resume
+/// offsets, and the replay volume (end offsets minus resume offsets), which
+/// is exactly the quantity bench_e11_recovery plots against checkpoint
+/// interval.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "ft/checkpointable.h"
+#include "ft/snapshot_store.h"
+
+namespace cq::ft {
+
+/// \brief What a recovery attempt did.
+struct RecoveryReport {
+  /// True when a durable snapshot was found and restored; false means a
+  /// fresh start (empty store is not an error).
+  bool restored = false;
+  /// Epoch restored (0 when !restored). Feed into
+  /// CheckpointCoordinator::ResumeFromEpoch.
+  uint64_t epoch = 0;
+  /// Offsets the source was rewound to ("topic/partition" -> offset).
+  std::map<std::string, int64_t> resume_offsets;
+  /// Records between resume_offsets and the log end: the replay volume.
+  int64_t records_to_replay = 0;
+  /// Source watermark recorded at snapshot time.
+  Timestamp watermark = kMinTimestamp;
+};
+
+class RecoveryManager {
+ public:
+  /// Rewinds the source to the given offsets (e.g. BrokerSourceDriver::
+  /// SeekTo).
+  using SeekFn = std::function<Status(const std::map<std::string, int64_t>&)>;
+  /// End offsets per partition, for the replay-volume computation
+  /// (optional).
+  using EndOffsetsFn =
+      std::function<Result<std::map<std::string, int64_t>>()>;
+
+  explicit RecoveryManager(SnapshotStore* store) : store_(store) {}
+
+  /// \brief Runs the recovery sequence into `pipeline` (freshly
+  /// constructed, quiescent). With no usable snapshot on disk, returns a
+  /// report with restored=false and leaves the pipeline untouched.
+  Result<RecoveryReport> Recover(Checkpointable* pipeline, SeekFn seek,
+                                 EndOffsetsFn end_offsets = nullptr);
+
+ private:
+  SnapshotStore* store_;
+};
+
+}  // namespace cq::ft
+
+#endif  // CQ_FT_RECOVERY_H_

@@ -1,0 +1,269 @@
+#include "ft/snapshot_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "ft/checkpointable.h"
+#include "ft/fault.h"
+#include "ft/framed_file.h"
+#include "kvstore/wal.h"
+
+namespace cq::ft {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kDeltaCommitKey = "__commit__";
+
+Result<uint64_t> EpochFromName(const std::string& name,
+                               const std::string& prefix) {
+  std::string digits = name.substr(prefix.size());
+  // Strip a ".full"/".delta" suffix if present.
+  size_t dot = digits.find('.');
+  if (dot != std::string::npos) digits = digits.substr(0, dot);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::ParseError("unparseable epoch in '" + name + "'");
+  }
+  return static_cast<uint64_t>(std::stoull(digits));
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::string dir, SnapshotStoreOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.retain == 0) options_.retain = 1;
+  if (options_.full_every == 0) options_.full_every = 1;
+}
+
+Status SnapshotStore::Init() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IOError("cannot create snapshot dir '" + dir_ +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+std::string SnapshotStore::StatePath(uint64_t epoch, bool delta) const {
+  return dir_ + "/epoch-" + std::to_string(epoch) +
+         (delta ? ".delta" : ".full");
+}
+
+std::string SnapshotStore::ManifestPath(uint64_t epoch) const {
+  return dir_ + "/manifest-" + std::to_string(epoch);
+}
+
+Status SnapshotStore::Persist(
+    uint64_t epoch, const std::vector<std::string>& slots,
+    const std::map<std::string, int64_t>& source_offsets,
+    Timestamp watermark) {
+  if (has_last_ && epoch <= last_epoch_) {
+    return Status::InvalidArgument(
+        "epoch " + std::to_string(epoch) + " not after last persisted " +
+        std::to_string(last_epoch_));
+  }
+  // Delta only when the previous epoch is in memory, the shape matches, and
+  // the cadence says so; everything else falls back to a full snapshot.
+  bool delta = has_last_ && slots.size() == last_slots_.size() &&
+               options_.full_every > 1 &&
+               (persist_count_ % options_.full_every) != 0;
+
+  if (delta) {
+    const std::string path = StatePath(epoch, /*delta=*/true);
+    const std::string tmp = path + ".tmp";
+    {
+      CQ_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> wal, WalWriter::Open(tmp));
+      for (size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i] == last_slots_[i]) continue;
+        CQ_RETURN_NOT_OK(wal->Append(
+            {WalRecord::Op::kPut, std::to_string(i), slots[i]}));
+      }
+      // Terminal commit record: its presence is what distinguishes a
+      // complete delta from one torn mid-write.
+      CQ_RETURN_NOT_OK(wal->Append({WalRecord::Op::kPut, kDeltaCommitKey, ""}));
+      CQ_RETURN_NOT_OK(wal->Flush());
+    }
+    CQ_RETURN_NOT_OK(
+        FaultInjector::Global().Hit(faultpoint::kSnapshotPreStateRename));
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+      return Status::IOError("cannot rename delta '" + tmp +
+                             "': " + ec.message());
+    }
+  } else {
+    std::string payload;
+    EncodeBlobList(slots, &payload);
+    CQ_RETURN_NOT_OK(WriteFramedAtomic(StatePath(epoch, /*delta=*/false),
+                                       payload,
+                                       faultpoint::kSnapshotPreStateRename));
+  }
+
+  // Manifest commit point.
+  std::string manifest;
+  EncodeU64(epoch, &manifest);
+  EncodeU32(delta ? 1 : 0, &manifest);
+  EncodeU64(delta ? last_epoch_ : 0, &manifest);
+  EncodeOffsetMap(source_offsets, &manifest);
+  EncodeI64(watermark, &manifest);
+  CQ_RETURN_NOT_OK(WriteFramedAtomic(ManifestPath(epoch), manifest,
+                                     faultpoint::kSnapshotPreManifestRename));
+  CQ_RETURN_NOT_OK(
+      FaultInjector::Global().Hit(faultpoint::kSnapshotPostCommit));
+
+  last_slots_ = slots;
+  last_epoch_ = epoch;
+  has_last_ = true;
+  ++persist_count_;
+  return RetentionSweep();
+}
+
+Result<SnapshotManifest> SnapshotStore::ReadManifest(uint64_t epoch) const {
+  CQ_ASSIGN_OR_RETURN(std::string payload, ReadFramed(ManifestPath(epoch)));
+  std::string_view in = payload;
+  SnapshotManifest m;
+  CQ_ASSIGN_OR_RETURN(m.epoch, DecodeU64(&in));
+  CQ_ASSIGN_OR_RETURN(uint32_t delta_flag, DecodeU32(&in));
+  m.delta = delta_flag != 0;
+  CQ_ASSIGN_OR_RETURN(m.base, DecodeU64(&in));
+  CQ_ASSIGN_OR_RETURN(m.source_offsets, DecodeOffsetMap(&in));
+  CQ_ASSIGN_OR_RETURN(m.watermark, DecodeI64(&in));
+  if (m.epoch != epoch) {
+    return Status::IOError("manifest for epoch " + std::to_string(epoch) +
+                           " claims epoch " + std::to_string(m.epoch));
+  }
+  return m;
+}
+
+Result<std::vector<SnapshotManifest>> SnapshotStore::ResolveChain(
+    const SnapshotManifest& manifest) const {
+  std::vector<SnapshotManifest> chain;
+  SnapshotManifest m = manifest;
+  while (true) {
+    if (m.delta) {
+      // Complete deltas end in the commit record; ReadWal already truncated
+      // any torn tail, so a missing commit means the write never finished.
+      CQ_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                          ReadWal(StatePath(m.epoch, /*delta=*/true)));
+      if (records.empty() || records.back().key != kDeltaCommitKey) {
+        return Status::IOError("delta for epoch " + std::to_string(m.epoch) +
+                               " is incomplete");
+      }
+      chain.push_back(m);
+      if (chain.size() > 1024) {
+        return Status::Internal("delta chain too long (cycle?)");
+      }
+      CQ_ASSIGN_OR_RETURN(m, ReadManifest(m.base));
+    } else {
+      // Validate the full file's frame (existence + checksum).
+      CQ_RETURN_NOT_OK(
+          ReadFramed(StatePath(m.epoch, /*delta=*/false)).status());
+      chain.push_back(m);
+      break;
+    }
+  }
+  std::reverse(chain.begin(), chain.end());  // full snapshot first
+  return chain;
+}
+
+Result<std::vector<uint64_t>> SnapshotStore::ManifestEpochs() const {
+  std::vector<uint64_t> epochs;
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec) {
+    return Status::IOError("cannot list snapshot dir '" + dir_ +
+                           "': " + ec.message());
+  }
+  for (const auto& entry : it) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("manifest-", 0) != 0) continue;
+    Result<uint64_t> epoch = EpochFromName(name, "manifest-");
+    if (epoch.ok()) epochs.push_back(*epoch);
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+Result<SnapshotManifest> SnapshotStore::LatestManifest() const {
+  CQ_ASSIGN_OR_RETURN(std::vector<uint64_t> epochs, ManifestEpochs());
+  // Newest epoch whose manifest parses and whose state chain is complete;
+  // torn writes push recovery back one epoch, never corrupt it.
+  for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+    Result<SnapshotManifest> m = ReadManifest(*it);
+    if (!m.ok()) continue;
+    if (ResolveChain(*m).ok()) return *m;
+  }
+  return Status::NotFound("no complete snapshot in '" + dir_ + "'");
+}
+
+Result<std::vector<std::string>> SnapshotStore::LoadSlots(
+    const SnapshotManifest& manifest) const {
+  CQ_ASSIGN_OR_RETURN(std::vector<SnapshotManifest> chain,
+                      ResolveChain(manifest));
+  CQ_ASSIGN_OR_RETURN(
+      std::string payload,
+      ReadFramed(StatePath(chain.front().epoch, /*delta=*/false)));
+  std::string_view in = payload;
+  CQ_ASSIGN_OR_RETURN(std::vector<std::string> slots, DecodeBlobList(&in));
+  for (size_t c = 1; c < chain.size(); ++c) {
+    CQ_ASSIGN_OR_RETURN(
+        std::vector<WalRecord> records,
+        ReadWal(StatePath(chain[c].epoch, /*delta=*/true)));
+    for (const auto& rec : records) {
+      if (rec.key == kDeltaCommitKey) continue;
+      size_t idx = static_cast<size_t>(std::stoull(rec.key));
+      if (idx >= slots.size()) {
+        return Status::IOError("delta slot index " + rec.key +
+                               " out of range for epoch " +
+                               std::to_string(chain[c].epoch));
+      }
+      slots[idx] = rec.value;
+    }
+  }
+  return slots;
+}
+
+Status SnapshotStore::RetentionSweep() {
+  CQ_ASSIGN_OR_RETURN(std::vector<uint64_t> epochs, ManifestEpochs());
+  // Keep the newest `retain` complete epochs plus every file their delta
+  // chains still reference.
+  std::set<uint64_t> needed;
+  size_t kept = 0;
+  for (auto it = epochs.rbegin(); it != epochs.rend() && kept < options_.retain;
+       ++it) {
+    Result<SnapshotManifest> m = ReadManifest(*it);
+    if (!m.ok()) continue;
+    Result<std::vector<SnapshotManifest>> chain = ResolveChain(*m);
+    if (!chain.ok()) continue;
+    for (const auto& link : *chain) needed.insert(link.epoch);
+    ++kept;
+  }
+  if (kept == 0) return Status::OK();  // nothing usable: delete nothing
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    uint64_t epoch = 0;
+    if (name.rfind("manifest-", 0) == 0) {
+      Result<uint64_t> e = EpochFromName(name, "manifest-");
+      if (!e.ok()) continue;
+      epoch = *e;
+    } else if (name.rfind("epoch-", 0) == 0 &&
+               name.find(".tmp") == std::string::npos) {
+      Result<uint64_t> e = EpochFromName(name, "epoch-");
+      if (!e.ok()) continue;
+      epoch = *e;
+    } else {
+      continue;
+    }
+    if (needed.count(epoch)) continue;
+    std::error_code rm_ec;
+    fs::remove(entry.path(), rm_ec);
+  }
+  return Status::OK();
+}
+
+}  // namespace cq::ft

@@ -1,0 +1,120 @@
+#ifndef CQ_FT_SNAPSHOT_STORE_H_
+#define CQ_FT_SNAPSHOT_STORE_H_
+
+/// \file snapshot_store.h
+/// \brief Durable checkpoint storage: per-epoch state files plus an
+/// atomically committed manifest.
+///
+/// Layout inside the store directory:
+///
+///   epoch-<N>.full   blob list of every state slot (CRC-framed)
+///   epoch-<N>.delta  WAL of changed slots vs. the previous epoch, ending
+///                    in a commit record (torn tails are detected exactly
+///                    as in the KV store's WAL)
+///   manifest-<N>     epoch metadata: state-file kind, delta base, source
+///                    offsets, watermark (CRC-framed, written tmp+rename)
+///
+/// The manifest rename IS the commit point: a crash before it leaves the
+/// previous epoch authoritative; a crash after it makes epoch N
+/// authoritative. Readers pick the largest epoch whose manifest parses AND
+/// whose state chain (delta files back to the nearest full) is complete,
+/// falling back to older epochs otherwise — so a torn write can delay
+/// recovery by one epoch but never corrupt it.
+///
+/// Deltas reuse the KV store's WalRecord framing (key = slot index, value =
+/// slot blob) so the torn-tail handling is the battle-tested one; a
+/// terminal commit record distinguishes "complete delta" from "crashed
+/// mid-write".
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace cq::ft {
+
+struct SnapshotStoreOptions {
+  /// Complete epochs kept on disk (older ones are swept, except files an
+  /// alive delta chain still needs).
+  size_t retain = 2;
+  /// Every k-th persisted epoch is written as a full snapshot; the epochs
+  /// between are deltas against their predecessor. 1 = always full.
+  size_t full_every = 4;
+};
+
+/// \brief Metadata committed per epoch (the manifest file's contents).
+struct SnapshotManifest {
+  uint64_t epoch = 0;
+  /// True when the state file is a delta against `base`.
+  bool delta = false;
+  /// Previous epoch in the delta chain (meaningful only when `delta`).
+  uint64_t base = 0;
+  /// Broker read positions the snapshot covers ("topic/partition" ->
+  /// offset): where replay resumes after restore.
+  std::map<std::string, int64_t> source_offsets;
+  /// Source watermark at snapshot time (kMinTimestamp when unknown).
+  Timestamp watermark = kMinTimestamp;
+};
+
+/// \brief Writes and reads durable snapshots for one pipeline.
+///
+/// Not thread-safe; the CheckpointCoordinator serialises access.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::string dir, SnapshotStoreOptions options = {});
+
+  /// \brief Creates the store directory (and parents) if missing.
+  Status Init();
+
+  /// \brief Durably persists `epoch`: writes the state file (full or delta
+  /// against the previously persisted epoch), then commits the manifest via
+  /// atomic rename, then sweeps retention. Epochs must increase.
+  Status Persist(uint64_t epoch, const std::vector<std::string>& slots,
+                 const std::map<std::string, int64_t>& source_offsets,
+                 Timestamp watermark);
+
+  /// \brief The newest epoch that is complete on disk (manifest parses,
+  /// state chain intact); NotFound when no usable snapshot exists.
+  Result<SnapshotManifest> LatestManifest() const;
+
+  /// \brief Reconstructs the slot list for `manifest`'s epoch, applying the
+  /// delta chain on top of its full base.
+  Result<std::vector<std::string>> LoadSlots(
+      const SnapshotManifest& manifest) const;
+
+  /// \brief Epochs with a manifest on disk, ascending (diagnostics/tests;
+  /// includes epochs whose state chain may be incomplete).
+  Result<std::vector<uint64_t>> ManifestEpochs() const;
+
+  /// \brief Deletes manifests and state files older than the retention
+  /// window, keeping every file a retained delta chain still references.
+  Status RetentionSweep();
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string StatePath(uint64_t epoch, bool delta) const;
+  std::string ManifestPath(uint64_t epoch) const;
+  Result<SnapshotManifest> ReadManifest(uint64_t epoch) const;
+  /// Checks the state chain for `manifest` exists and is complete, walking
+  /// delta bases down to a full snapshot. Returns the chain (full first).
+  Result<std::vector<SnapshotManifest>> ResolveChain(
+      const SnapshotManifest& manifest) const;
+
+  std::string dir_;
+  SnapshotStoreOptions options_;
+  /// Last successfully persisted epoch's slots, for delta computation.
+  /// Empty after a fresh open (first Persist is then a full snapshot).
+  std::vector<std::string> last_slots_;
+  uint64_t last_epoch_ = 0;
+  bool has_last_ = false;
+  /// Snapshots persisted by this instance (drives the full/delta cadence).
+  uint64_t persist_count_ = 0;
+};
+
+}  // namespace cq::ft
+
+#endif  // CQ_FT_SNAPSHOT_STORE_H_

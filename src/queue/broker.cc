@@ -141,11 +141,17 @@ Result<std::vector<Message>> Broker::Poll(const std::string& group,
                                           const std::string& topic,
                                           size_t partition,
                                           size_t max_messages) {
+  return PollAt(topic, partition, CommittedOffset(group, topic, partition),
+                max_messages);
+}
+
+Result<std::vector<Message>> Broker::PollAt(const std::string& topic,
+                                            size_t partition, int64_t offset,
+                                            size_t max_messages) {
   CQ_ASSIGN_OR_RETURN(Topic * t, GetTopic(topic));
   if (partition >= t->num_partitions()) {
     return Status::OutOfRange("partition index out of range");
   }
-  int64_t offset = CommittedOffset(group, topic, partition);
   Result<std::vector<Message>> batch =
       t->partition(partition).Read(offset, max_messages);
   if (batch.ok()) t->OnPolled(batch->size());

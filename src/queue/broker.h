@@ -118,6 +118,12 @@ class Broker {
                                     const std::string& topic,
                                     size_t partition, size_t max_messages);
 
+  /// \brief Reads a batch from one partition at an explicit offset (consumer
+  /// that tracks its own positions, e.g. a checkpointing source driver).
+  Result<std::vector<Message>> PollAt(const std::string& topic,
+                                      size_t partition, int64_t offset,
+                                      size_t max_messages);
+
   /// \brief Commits the group's offset for a partition.
   Status Commit(const std::string& group, const std::string& topic,
                 size_t partition, int64_t offset);

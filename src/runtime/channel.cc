@@ -1,5 +1,7 @@
 #include "runtime/channel.h"
 
+#include "ft/fault.h"
+
 namespace cq {
 
 void Channel::PushLocked(StreamBatch&& batch) {
@@ -18,6 +20,8 @@ void Channel::PushLocked(StreamBatch&& batch) {
 }
 
 Status Channel::Push(StreamBatch batch) {
+  CQ_RETURN_NOT_OK(
+      ft::FaultInjector::Global().Hit(ft::faultpoint::kChannelPush));
   std::unique_lock<std::mutex> lock(mu_);
   if (!HasCreditLocked() && !closed_) {
     ++blocked_pushes_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ft/fault.h"
+
 namespace cq {
 
 BrokerSourceDriver::BrokerSourceDriver(Broker* broker, std::string topic,
@@ -18,6 +20,12 @@ Status BrokerSourceDriver::EnsureInitialized() {
   partition_watermarks_.assign(
       t->num_partitions(),
       BoundedOutOfOrdernessWatermark(options_.max_out_of_orderness));
+  // Read positions resume from the broker's committed offsets — everything
+  // past them was not covered by a durable checkpoint and gets replayed.
+  positions_.resize(t->num_partitions());
+  for (size_t p = 0; p < t->num_partitions(); ++p) {
+    positions_[p] = broker_->CommittedOffset(group_, topic_, p);
+  }
   last_emitted_wm_ = kMinTimestamp;
   initialized_ = true;
   return Status::OK();
@@ -31,14 +39,15 @@ Result<StreamBatch> BrokerSourceDriver::PollBatch(size_t max_per_partition) {
   StreamBatch batch;
   for (size_t p = 0; p < t->num_partitions(); ++p) {
     CQ_ASSIGN_OR_RETURN(std::vector<Message> msgs,
-                        broker_->Poll(group_, topic_, p, limit));
+                        broker_->PollAt(topic_, p, positions_[p], limit));
     if (msgs.empty()) continue;
     for (auto& msg : msgs) {
       partition_watermarks_[p].Observe(msg.timestamp);
       batch.AddRecord(std::move(msg.value), msg.timestamp);
     }
-    CQ_RETURN_NOT_OK(
-        broker_->Commit(group_, topic_, p, msgs.back().offset + 1));
+    // Advance the in-memory position only; the broker offset is committed
+    // by CommitThrough once a checkpoint covering this window is durable.
+    positions_[p] = msgs.back().offset + 1;
   }
   // Source watermark = min across partitions (a stalled partition holds the
   // watermark back, exactly as in production systems). Appended only when it
@@ -101,12 +110,33 @@ Result<Timestamp> BrokerSourceDriver::FinalWatermark() const {
   return max_ts + 1;
 }
 
-Result<std::map<std::string, int64_t>> BrokerSourceDriver::Offsets() const {
+Result<std::map<std::string, int64_t>> BrokerSourceDriver::Offsets() {
+  CQ_RETURN_NOT_OK(EnsureInitialized());
+  std::map<std::string, int64_t> out;
+  for (size_t p = 0; p < positions_.size(); ++p) {
+    out[topic_ + "/" + std::to_string(p)] = positions_[p];
+  }
+  return out;
+}
+
+Status BrokerSourceDriver::CommitThrough(
+    const std::map<std::string, int64_t>& offsets) {
+  CQ_RETURN_NOT_OK(
+      ft::FaultInjector::Global().Hit(ft::faultpoint::kCommitOffsets));
+  for (const auto& [key, offset] : offsets) {
+    auto slash = key.rfind('/');
+    if (slash == std::string::npos || key.substr(0, slash) != topic_) continue;
+    size_t p = std::stoul(key.substr(slash + 1));
+    CQ_RETURN_NOT_OK(broker_->Commit(group_, topic_, p, offset));
+  }
+  return Status::OK();
+}
+
+Result<std::map<std::string, int64_t>> BrokerSourceDriver::EndOffsets() const {
   CQ_ASSIGN_OR_RETURN(Topic * t, broker_->GetTopic(topic_));
   std::map<std::string, int64_t> out;
   for (size_t p = 0; p < t->num_partitions(); ++p) {
-    out[topic_ + "/" + std::to_string(p)] =
-        broker_->CommittedOffset(group_, topic_, p);
+    out[topic_ + "/" + std::to_string(p)] = t->partition(p).EndOffset();
   }
   return out;
 }
@@ -119,8 +149,8 @@ Status BrokerSourceDriver::SeekTo(
     size_t p = std::stoul(key.substr(slash + 1));
     CQ_RETURN_NOT_OK(broker_->Commit(group_, topic_, p, offset));
   }
-  // Watermark generators restart conservatively; replayed elements will
-  // re-advance them.
+  // Watermark generators and read positions restart from the committed
+  // offsets just written; replayed elements re-advance the watermark.
   initialized_ = false;
   return Status::OK();
 }

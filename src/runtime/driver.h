@@ -14,6 +14,13 @@
 /// parallel pipelines, benches — sits on this one poll/commit/watermark
 /// implementation instead of hand-rolling its own loop.
 ///
+/// Commit-on-checkpoint: the driver reads at in-memory per-partition
+/// *positions* and only commits to the broker when told the data up to a
+/// position is durable (CommitThrough, called by the checkpoint machinery
+/// after a snapshot reaches disk). A crash between polls therefore replays
+/// from the last durable epoch instead of losing the uncommitted window —
+/// the at-least-once half of effectively-once delivery.
+///
 /// Credit-aware pumping: PumpInto refuses to poll while the downstream
 /// Channel has no credits, so a slow consumer pauses ingestion and the
 /// in-flight queue depth stays bounded by the credit cap — backlog stays in
@@ -70,15 +77,16 @@ class BrokerSourceDriver {
                      BrokerSourceDriverOptions options = {});
 
   /// \brief Polls every partition once (up to `max_per_partition` messages
-  /// each, 0 = the configured default), commits offsets, and returns the
-  /// records followed by the updated source watermark (appended only when it
-  /// advanced). An empty batch means the group is caught up.
+  /// each, 0 = the configured default), advances the in-memory read
+  /// positions (broker offsets are NOT committed — see CommitThrough), and
+  /// returns the records followed by the updated source watermark (appended
+  /// only when it advanced). An empty batch means the group is caught up.
   Result<StreamBatch> PollBatch(size_t max_per_partition = 0);
 
   /// \brief Credit-aware pump: polls only when `out` has a credit available,
   /// pushing the polled batch into the channel. When credits are exhausted
-  /// the poll is skipped entirely (offsets stay uncommitted, backlog stays
-  /// in the broker) and `*paused` is set. Returns records moved.
+  /// the poll is skipped entirely (positions stay put, backlog stays in the
+  /// broker) and `*paused` is set. Returns records moved.
   Result<size_t> PumpInto(Channel* out, bool* paused = nullptr);
 
   /// \brief Pumps until the topic is drained (blocking on channel credits),
@@ -93,12 +101,24 @@ class BrokerSourceDriver {
   /// watermark), or kMinTimestamp when the topic is empty.
   Result<Timestamp> FinalWatermark() const;
 
-  /// \brief Committed offsets per partition ("topic/partition" -> offset),
-  /// for inclusion in checkpoints.
-  Result<std::map<std::string, int64_t>> Offsets() const;
+  /// \brief Current read positions per partition ("topic/partition" ->
+  /// offset): what a checkpoint taken now should record. These run ahead of
+  /// the broker's committed offsets until CommitThrough.
+  Result<std::map<std::string, int64_t>> Offsets();
 
-  /// \brief Rewinds committed offsets (checkpoint restore). Watermark
-  /// derivation restarts conservatively; replayed elements re-advance it.
+  /// \brief Commits the broker's consumer-group offsets through `offsets`
+  /// (same "topic/partition" keys as Offsets). Called after the checkpoint
+  /// covering those positions is durable; a crash before this replays the
+  /// window, a crash after it does not.
+  Status CommitThrough(const std::map<std::string, int64_t>& offsets);
+
+  /// \brief End offsets per partition ("topic/partition" -> one past the
+  /// last message) — with Offsets, the replay volume a crash would incur.
+  Result<std::map<std::string, int64_t>> EndOffsets() const;
+
+  /// \brief Rewinds read positions AND committed offsets (checkpoint
+  /// restore). Watermark derivation restarts conservatively; replayed
+  /// elements re-advance it.
   Status SeekTo(const std::map<std::string, int64_t>& offsets);
 
   const std::string& topic() const { return topic_; }
@@ -112,6 +132,9 @@ class BrokerSourceDriver {
   std::string group_;
   BrokerSourceDriverOptions options_;
   std::vector<BoundedOutOfOrdernessWatermark> partition_watermarks_;
+  // In-memory read position per partition; runs ahead of the broker's
+  // committed offset between checkpoints.
+  std::vector<int64_t> positions_;
   Timestamp last_emitted_wm_ = kMinTimestamp;
   bool initialized_ = false;
 };

@@ -7,6 +7,7 @@ std::string StreamElement::ToString() const {
     if (is_end_of_stream()) return "WM(+inf)";
     return "WM(" + std::to_string(timestamp) + ")";
   }
+  if (is_barrier()) return "BARRIER(" + std::to_string(barrier_epoch()) + ")";
   return tuple.ToString() + "@" + std::to_string(timestamp);
 }
 

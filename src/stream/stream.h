@@ -29,6 +29,11 @@ enum class ElementKind : uint8_t {
   kRecord,
   /// A low watermark: no further record will carry timestamp < `timestamp`.
   kWatermark,
+  /// An epoch barrier (checkpoint alignment marker). Barriers travel
+  /// in-band through channels so a snapshot taken at a barrier reflects
+  /// exactly the pre-barrier prefix of the stream; they are consumed by the
+  /// runtime (worker loops / barrier aligners) and never reach operators.
+  kBarrier,
 };
 
 /// \brief One element of a data stream: a timestamped record or a watermark.
@@ -43,11 +48,18 @@ struct StreamElement {
   static StreamElement Watermark(Timestamp ts) {
     return {ElementKind::kWatermark, ts, Tuple()};
   }
+  /// \brief Checkpoint barrier for `epoch` (epoch rides in `timestamp`).
+  static StreamElement Barrier(uint64_t epoch) {
+    return {ElementKind::kBarrier, static_cast<Timestamp>(epoch), Tuple()};
+  }
   /// \brief End-of-stream punctuation: a watermark at +infinity.
   static StreamElement EndOfStream() { return Watermark(kMaxTimestamp); }
 
   bool is_record() const { return kind == ElementKind::kRecord; }
   bool is_watermark() const { return kind == ElementKind::kWatermark; }
+  bool is_barrier() const { return kind == ElementKind::kBarrier; }
+  /// \brief The barrier's checkpoint epoch. Precondition: is_barrier().
+  uint64_t barrier_epoch() const { return static_cast<uint64_t>(timestamp); }
   bool is_end_of_stream() const {
     return is_watermark() && timestamp == kMaxTimestamp;
   }

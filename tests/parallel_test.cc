@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <mutex>
+
 #include "dataflow/operators.h"
 #include "dataflow/parallel.h"
 #include "dataflow/window_operator.h"
@@ -171,6 +174,41 @@ TEST(ParallelPipelineTest, CheckpointRestoreThroughRunningPipeline) {
   ASSERT_TRUE(c.Start().ok());
   EXPECT_FALSE(c.Restore(*image).ok());
   ASSERT_TRUE(c.Finish().ok());
+}
+
+TEST(ParallelPipelineTest, BarrierSnapshotsReportFromWorkerThreads) {
+  // In-band barrier checkpoints: each worker snapshots from its own thread
+  // when the barrier reaches it, while the producer keeps sending. The
+  // handler runs on worker threads — this test exists chiefly for the TSan
+  // build, racing two barrier epochs against live traffic.
+  constexpr size_t kParallelism = 3;
+  std::mutex mu;
+  std::map<uint64_t, size_t> reports;  // epoch -> slots reported
+  std::map<uint64_t, size_t> failures;
+  ParallelPipeline pipeline(kParallelism, SumPipelineFactory(),
+                            ProjectKeyFn({0}));
+  pipeline.SetBarrierHandler(
+      [&](uint64_t epoch, size_t slot, Result<std::string> snapshot) {
+        EXPECT_LT(slot, kParallelism);
+        std::lock_guard<std::mutex> lock(mu);
+        ++reports[epoch];
+        if (!snapshot.ok()) ++failures[epoch];
+      });
+  ASSERT_TRUE(pipeline.Start().ok());
+  EXPECT_EQ(pipeline.BarrierFanIn(), kParallelism);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(pipeline.Send(T2(i % 5, 1), 5).ok());
+  }
+  ASSERT_TRUE(pipeline.InjectBarrier(1).ok());
+  for (int i = 0; i < 40; ++i) {  // concurrent with epoch 1's snapshots
+    ASSERT_TRUE(pipeline.Send(T2(i % 5, 1), 15).ok());
+  }
+  ASSERT_TRUE(pipeline.InjectBarrier(2).ok());
+  ASSERT_TRUE(pipeline.BroadcastWatermark(100).ok());
+  ASSERT_TRUE(pipeline.Finish().ok());
+  EXPECT_EQ(reports[1], kParallelism);
+  EXPECT_EQ(reports[2], kParallelism);
+  EXPECT_TRUE(failures.empty());
 }
 
 }  // namespace
