@@ -1,0 +1,164 @@
+/// \file bench_e12_service.cc
+/// \brief E12 — multi-query sharing in the continuous-query service:
+/// operator-count scaling and subscription fan-out throughput.
+///
+/// The NiagaraCQ claim behind src/service: K registered queries over a
+/// common source / filter / window prefix should instantiate far fewer
+/// than K copies of that prefix. This bench registers N queries that share
+/// a `trades [Range 100] WHERE price > 10` prefix but diverge in their
+/// residual plans, with the shared-subplan index on and off (the off mode
+/// is the ablation: every query gets a private chain). The BENCH_SERIES
+/// lines plot live operator count against N for both modes — sublinear
+/// with sharing, exactly 5N without — plus steady-state push throughput
+/// with one subscriber per query.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/service.h"
+
+namespace cq {
+namespace {
+
+Catalog TradesCatalog() {
+  Catalog catalog;
+  Status st = catalog.RegisterStream(
+      "trades", Schema::Make({{"sym", ValueType::kString},
+                              {"price", ValueType::kInt64},
+                              {"qty", ValueType::kInt64}}));
+  if (!st.ok()) std::abort();
+  return catalog;
+}
+
+/// N distinct residual plans over one shared prefix: the projection list
+/// cycles, so queries past the table repeat (and then share their plan
+/// stage too — identical queries cost only an extra sink).
+std::string QuerySql(size_t i) {
+  static const char* kProjections[] = {
+      "sym",        "price",      "qty",        "sym, price",
+      "sym, qty",   "price, qty", "price, sym", "qty, sym",
+      "qty, price", "sym, price, qty", "sym, qty, price", "price, sym, qty",
+      "price, qty, sym", "qty, sym, price", "qty, price, sym",
+  };
+  constexpr size_t kNumProjections =
+      sizeof(kProjections) / sizeof(kProjections[0]);
+  return std::string("SELECT ") + kProjections[i % kNumProjections] +
+         " FROM trades [Range 100] WHERE price > 10";
+}
+
+std::unique_ptr<QueryService> MakeService(size_t num_queries, bool share,
+                                          std::vector<QueryId>* ids) {
+  ServiceConfig config;
+  config.share_subplans = share;
+  config.max_queries = 1024;
+  auto svc = std::make_unique<QueryService>(TradesCatalog(), config);
+  for (size_t i = 0; i < num_queries; ++i) {
+    auto id = svc->RegisterQuery(QuerySql(i));
+    if (!id.ok()) std::abort();
+    if (ids != nullptr) ids->push_back(*id);
+  }
+  return svc;
+}
+
+/// Arg(0): number of registered queries. Arg(1): shared-subplan index on.
+/// Times registration; the series line carries the operator-count curve.
+void BM_RegisterQueries(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool share = state.range(1) != 0;
+  size_t operators = 0;
+  size_t reused = 0;
+  for (auto _ : state) {
+    std::vector<QueryId> ids;
+    auto svc = MakeService(n, share, &ids);
+    operators = svc->NumOperators();
+    reused = 0;
+    for (QueryId id : ids) reused += (*svc->GetQuery(id)).nodes_reused;
+    benchmark::DoNotOptimize(operators);
+  }
+  static std::set<std::pair<size_t, bool>> printed;
+  if (printed.insert({n, share}).second) {
+    if (printed.size() == 1) {
+      std::printf(
+          "BENCH_SERIES case=service_operator_count "
+          "x=num_queries y=operators series=share\n");
+    }
+    std::printf(
+        "BENCH_SERIES case=service_operator_count num_queries=%zu share=%d "
+        "operators=%zu nodes_reused=%zu\n",
+        n, share ? 1 : 0, operators, reused);
+  }
+  state.counters["operators"] = static_cast<double>(operators);
+  state.counters["nodes_reused"] = static_cast<double>(reused);
+  SetPerItemMicros(state, static_cast<double>(n));
+}
+BENCHMARK(BM_RegisterQueries)
+    ->ArgsProduct({{1, 2, 4, 8, 16}, {0, 1}})
+    ->ArgNames({"queries", "share"})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Steady-state ingest with one subscriber per query, drained every round.
+/// items = input records; "amplification" counts delivered output records
+/// per input record (the fan-out factor).
+void BM_PushFanout(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool share = state.range(1) != 0;
+  std::vector<QueryId> ids;
+  auto svc = MakeService(n, share, &ids);
+  std::vector<SubscriptionPtr> subs;
+  subs.reserve(ids.size());
+  for (QueryId id : ids) subs.push_back(*svc->Subscribe(id));
+
+  constexpr int64_t kRecordsPerIter = 256;
+  int64_t ts = 0;
+  uint64_t pushed = 0;
+  uint64_t delivered = 0;
+  StreamBatch batch;
+  for (auto _ : state) {
+    for (int64_t i = 0; i < kRecordsPerIter; ++i) {
+      ++ts;
+      (void)svc->PushRecord(
+          "trades", Tuple{Value("s"), Value(ts % 50), Value(int64_t(1))}, ts);
+    }
+    (void)svc->PushWatermark("trades", ts);
+    pushed += kRecordsPerIter;
+    for (auto& sub : subs) {
+      while (sub->TryPoll(&batch)) {
+        delivered += batch.num_records();
+        benchmark::DoNotOptimize(batch);
+      }
+    }
+  }
+  const double amplification =
+      pushed == 0 ? 0.0
+                  : static_cast<double>(delivered) / static_cast<double>(pushed);
+  static std::set<std::pair<size_t, bool>> printed;
+  if (printed.insert({n, share}).second) {
+    if (printed.size() == 1) {
+      std::printf(
+          "BENCH_SERIES case=service_push_fanout "
+          "x=num_queries y=amplification series=share\n");
+    }
+    std::printf(
+        "BENCH_SERIES case=service_push_fanout num_queries=%zu share=%d "
+        "operators=%zu amplification=%.3f\n",
+        n, share ? 1 : 0, svc->NumOperators(), amplification);
+  }
+  state.counters["operators"] = static_cast<double>(svc->NumOperators());
+  state.counters["amplification"] = amplification;
+  SetPerItemMicros(state, static_cast<double>(kRecordsPerIter));
+}
+BENCHMARK(BM_PushFanout)
+    ->ArgsProduct({{1, 4, 16}, {0, 1}})
+    ->ArgNames({"queries", "share"})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,410 @@
+/// \file query_server.cpp
+/// \brief The survey's Fig. 1 as a process: a long-running continuous-query
+/// server that accepts SQL registrations at runtime and pushes results back.
+///
+/// Two modes:
+///
+///   query_server                 in-process demo: registers two queries that
+///                                share a prefix, streams trades through the
+///                                shared graph, prints pushed results and the
+///                                sharing metrics.
+///
+///   query_server --serve PORT    TCP server speaking a length-prefixed text
+///                                protocol (uint32 big-endian frame length +
+///                                payload). One command per frame:
+///
+///     STREAM <name> <col:type,...>   register an input stream
+///                                    (types: int64, double, string, bool)
+///     REGISTER <sql>                 -> OK id=<qid>
+///     DROP <qid>                     -> OK
+///     SUBSCRIBE <qid>                -> OK sub=<sid>
+///     POLL <sid>                     -> one DATA frame per queued record,
+///                                       then OK n=<count>
+///     PUSH <name> <ts> <v1,v2,...>   -> OK      (CSV row per stream schema)
+///     WATERMARK <name> <ts>          -> OK
+///     STATS                          -> OK + service counters
+///     QUIT                           -> OK, closes the connection
+///
+///   Errors come back as a single "ERR <status>" frame; the connection
+///   survives them. Try it with a few lines of Python:
+///
+///     import socket, struct
+///     def send(s, m): s.sendall(struct.pack(">I", len(m)) + m.encode())
+///     def recv(s):
+///         n = struct.unpack(">I", s.recv(4))[0]; return s.recv(n).decode()
+///     s = socket.create_connection(("127.0.0.1", 7878))
+///     send(s, "STREAM trades sym:string,price:int64,qty:int64"); print(recv(s))
+///     send(s, "REGISTER SELECT sym FROM trades [Range 100] WHERE price > 10")
+///     print(recv(s))
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+
+namespace cq {
+namespace {
+
+// --- Shared: building the service -----------------------------------------
+
+std::unique_ptr<QueryService> MakeService(MetricsRegistry* registry) {
+  ServiceConfig config;
+  config.metrics = registry;
+  return std::make_unique<QueryService>(Catalog{}, config);
+}
+
+// --- Demo mode -------------------------------------------------------------
+
+int RunDemo() {
+  MetricsRegistry registry;
+  auto svc = MakeService(&registry);
+
+  Status st = svc->RegisterStream(
+      "trades", Schema::Make({{"sym", ValueType::kString},
+                              {"price", ValueType::kInt64},
+                              {"qty", ValueType::kInt64}}));
+  if (!st.ok()) {
+    std::fprintf(stderr, "RegisterStream: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Both queries share the source -> filter -> window prefix; they diverge
+  // only in their residual plans, so the graph holds one copy of the prefix.
+  auto big = svc->RegisterQuery(
+      "SELECT sym, price FROM trades [Range 100] WHERE price > 10");
+  auto volume = svc->RegisterQuery(
+      "SELECT sym, SUM(qty) AS total FROM trades [Range 100] "
+      "WHERE price > 10 GROUP BY sym");
+  if (!big.ok() || !volume.ok()) {
+    std::fprintf(stderr, "RegisterQuery failed\n");
+    return 1;
+  }
+  auto sub_big = *svc->Subscribe(*big);
+  auto sub_volume = *svc->Subscribe(*volume);
+
+  std::printf("registered 2 queries, %zu live operators ", svc->NumOperators());
+  std::printf("(unshared would need %zu)\n", size_t{10});
+  for (const auto& info : svc->ListQueries()) {
+    std::printf("  query %llu: %zu nodes, %zu reused — %s\n",
+                static_cast<unsigned long long>(info.id), info.nodes_total,
+                info.nodes_reused, info.sql.c_str());
+  }
+
+  struct Row {
+    const char* sym;
+    int64_t price, qty;
+  };
+  const Row rows[] = {{"ACME", 12, 100}, {"ACME", 8, 50},  {"GLOBEX", 40, 10},
+                      {"ACME", 15, 30},  {"GLOBEX", 9, 99}, {"GLOBEX", 41, 5}};
+  Timestamp ts = 0;
+  for (const Row& r : rows) {
+    ++ts;
+    (void)svc->PushRecord("trades",
+                          Tuple{Value(r.sym), Value(r.price), Value(r.qty)}, ts);
+    (void)svc->PushWatermark("trades", ts);
+  }
+
+  auto drain = [](const char* label, const SubscriptionPtr& sub) {
+    std::printf("%s:\n", label);
+    StreamBatch batch;
+    while (sub->TryPoll(&batch)) {
+      for (const auto& e : batch) {
+        if (e.is_record()) {
+          std::printf("  t=%lld %s\n", static_cast<long long>(e.timestamp),
+                      e.tuple.ToString().c_str());
+        }
+      }
+    }
+  };
+  drain("big trades (price > 10)", sub_big);
+  drain("volume by symbol (price > 10)", sub_volume);
+
+  std::printf("METRICS_JSON %s\n",
+              svc->DumpMetrics(MetricsFormat::kJson).c_str());
+  return 0;
+}
+
+// --- Serve mode ------------------------------------------------------------
+
+/// Reads exactly `len` bytes; false on EOF / error.
+bool ReadFull(int fd, void* buf, size_t len) {
+  auto* p = static_cast<char*>(buf);
+  while (len > 0) {
+    ssize_t n = read(fd, p, len);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadFrame(int fd, std::string* out) {
+  uint32_t be = 0;
+  if (!ReadFull(fd, &be, sizeof(be))) return false;
+  uint32_t len = ntohl(be);
+  if (len > (1u << 20)) return false;  // 1 MiB frame cap
+  out->resize(len);
+  return len == 0 || ReadFull(fd, out->data(), len);
+}
+
+bool WriteFrame(int fd, const std::string& payload) {
+  uint32_t be = htonl(static_cast<uint32_t>(payload.size()));
+  std::string wire(reinterpret_cast<const char*>(&be), sizeof(be));
+  wire += payload;
+  const char* p = wire.data();
+  size_t len = wire.size();
+  while (len > 0) {
+    ssize_t n = write(fd, p, len);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+Result<SchemaPtr> ParseSchema(const std::string& spec) {
+  std::vector<Field> fields;
+  for (const std::string& part : SplitCsv(spec)) {
+    size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("bad column spec '" + part +
+                                     "' (want name:type)");
+    }
+    std::string name = part.substr(0, colon);
+    std::string type = part.substr(colon + 1);
+    if (type == "int64") {
+      fields.push_back({name, ValueType::kInt64});
+    } else if (type == "double") {
+      fields.push_back({name, ValueType::kDouble});
+    } else if (type == "string") {
+      fields.push_back({name, ValueType::kString});
+    } else if (type == "bool") {
+      fields.push_back({name, ValueType::kBool});
+    } else {
+      return Status::InvalidArgument("unknown type '" + type + "'");
+    }
+  }
+  return Schema::Make(std::move(fields));
+}
+
+Result<Tuple> ParseRow(const std::string& csv, const Schema& schema) {
+  std::vector<std::string> fields = SplitCsv(csv);
+  if (fields.size() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(fields.size()) + " fields, schema wants " +
+        std::to_string(schema.num_fields()));
+  }
+  std::vector<Value> values;
+  values.reserve(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    switch (schema.field(i).type) {
+      case ValueType::kInt64:
+        values.emplace_back(static_cast<int64_t>(std::stoll(f)));
+        break;
+      case ValueType::kDouble:
+        values.emplace_back(std::stod(f));
+        break;
+      case ValueType::kBool:
+        values.emplace_back(f == "true" || f == "1");
+        break;
+      default:
+        values.emplace_back(f);
+        break;
+    }
+  }
+  return Tuple(std::move(values));
+}
+
+/// One connected client's view of the service.
+class ClientSession {
+ public:
+  explicit ClientSession(QueryService* svc) : svc_(svc) {}
+
+  /// Handles one command frame; responses go out through `reply`. Returns
+  /// false when the client asked to quit.
+  bool Handle(const std::string& line, int fd) {
+    size_t space = line.find(' ');
+    std::string cmd = line.substr(0, space);
+    std::string rest =
+        space == std::string::npos ? "" : line.substr(space + 1);
+    if (cmd == "QUIT") {
+      (void)WriteFrame(fd, "OK bye");
+      return false;
+    }
+    std::string reply = Dispatch(cmd, rest, fd);
+    (void)WriteFrame(fd, reply);
+    return true;
+  }
+
+ private:
+  std::string Dispatch(const std::string& cmd, const std::string& rest,
+                       int fd) {
+    if (cmd == "STREAM") {
+      size_t space = rest.find(' ');
+      if (space == std::string::npos) return "ERR want: STREAM name cols";
+      auto schema = ParseSchema(rest.substr(space + 1));
+      if (!schema.ok()) return "ERR " + schema.status().ToString();
+      Status st = svc_->RegisterStream(rest.substr(0, space), *schema);
+      return st.ok() ? "OK" : "ERR " + st.ToString();
+    }
+    if (cmd == "REGISTER") {
+      auto id = svc_->RegisterQuery(rest);
+      if (!id.ok()) return "ERR " + id.status().ToString();
+      return "OK id=" + std::to_string(*id);
+    }
+    if (cmd == "DROP") {
+      Status st = svc_->DropQuery(std::stoull(rest));
+      return st.ok() ? "OK" : "ERR " + st.ToString();
+    }
+    if (cmd == "SUBSCRIBE") {
+      auto sub = svc_->Subscribe(std::stoull(rest));
+      if (!sub.ok()) return "ERR " + sub.status().ToString();
+      uint64_t sid = next_sub_handle_++;
+      subs_[sid] = *sub;
+      return "OK sub=" + std::to_string(sid);
+    }
+    if (cmd == "POLL") {
+      auto it = subs_.find(std::stoull(rest));
+      if (it == subs_.end()) return "ERR no such subscription";
+      size_t n = 0;
+      StreamBatch batch;
+      while (it->second->TryPoll(&batch)) {
+        for (const auto& e : batch) {
+          if (!e.is_record()) continue;
+          (void)WriteFrame(fd, "DATA t=" +
+                                   std::to_string(e.timestamp) + " " +
+                                   e.tuple.ToString());
+          ++n;
+        }
+      }
+      std::string tail = "OK n=" + std::to_string(n);
+      if (it->second->closed() && it->second->depth() == 0) {
+        tail += " closed";
+        subs_.erase(it);
+      }
+      return tail;
+    }
+    if (cmd == "PUSH") {
+      size_t s1 = rest.find(' ');
+      size_t s2 = rest.find(' ', s1 + 1);
+      if (s1 == std::string::npos || s2 == std::string::npos) {
+        return "ERR want: PUSH stream ts v1,v2,...";
+      }
+      std::string stream = rest.substr(0, s1);
+      Timestamp ts = std::stoll(rest.substr(s1 + 1, s2 - s1 - 1));
+      auto schema = svc_->catalog().GetStream(stream);
+      if (!schema.ok()) return "ERR " + schema.status().ToString();
+      auto tuple = ParseRow(rest.substr(s2 + 1), **schema);
+      if (!tuple.ok()) return "ERR " + tuple.status().ToString();
+      Status st = svc_->PushRecord(stream, *tuple, ts);
+      return st.ok() ? "OK" : "ERR " + st.ToString();
+    }
+    if (cmd == "WATERMARK") {
+      size_t s1 = rest.find(' ');
+      if (s1 == std::string::npos) return "ERR want: WATERMARK stream ts";
+      Status st = svc_->PushWatermark(rest.substr(0, s1),
+                                      std::stoll(rest.substr(s1 + 1)));
+      return st.ok() ? "OK" : "ERR " + st.ToString();
+    }
+    if (cmd == "STATS") {
+      std::string out = "OK operators=" + std::to_string(svc_->NumOperators()) +
+                        " active_queries=" +
+                        std::to_string(svc_->NumActiveQueries());
+      for (const auto& info : svc_->ListQueries()) {
+        out += "\nquery " + std::to_string(info.id) + " state=" +
+               QueryStateToString(info.state) + " nodes=" +
+               std::to_string(info.nodes_total) + " reused=" +
+               std::to_string(info.nodes_reused) + " sql=" + info.sql;
+      }
+      return out;
+    }
+    return "ERR unknown command '" + cmd + "'";
+  }
+
+  QueryService* svc_;
+  std::map<uint64_t, SubscriptionPtr> subs_;
+  uint64_t next_sub_handle_ = 1;
+};
+
+int RunServer(uint16_t port) {
+  MetricsRegistry registry;
+  auto svc = MakeService(&registry);
+
+  int listener = socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  int one = 1;
+  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(listener, 8) < 0) {
+    std::perror("bind/listen");
+    close(listener);
+    return 1;
+  }
+  std::printf("query_server listening on 127.0.0.1:%u\n", port);
+
+  // Clients are served one at a time; the service itself outlives every
+  // connection, so queries registered by one client keep running (and stay
+  // shareable) after it disconnects.
+  while (true) {
+    int fd = accept(listener, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::printf("client connected\n");
+    ClientSession session(svc.get());
+    std::string line;
+    while (ReadFrame(fd, &line)) {
+      if (!session.Handle(line, fd)) break;
+    }
+    close(fd);
+    std::printf("client disconnected (%zu operators stay live)\n",
+                svc->NumOperators());
+  }
+}
+
+}  // namespace
+}  // namespace cq
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--serve") == 0) {
+    uint16_t port = argc >= 3
+                        ? static_cast<uint16_t>(std::stoi(argv[2]))
+                        : 7878;
+    return cq::RunServer(port);
+  }
+  if (argc >= 2) {
+    std::fprintf(stderr, "usage: %s [--serve [port]]\n", argv[0]);
+    return 2;
+  }
+  return cq::RunDemo();
+}

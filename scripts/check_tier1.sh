@@ -1,36 +1,59 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + full ctest suite + metrics smoke check.
-# Usage: scripts/check_tier1.sh [build-dir]     (default: build)
-#        scripts/check_tier1.sh --tsan [build-dir]
-#        scripts/check_tier1.sh --asan [build-dir]
-#
-# --tsan builds with ThreadSanitizer (default build dir: build-tsan) and
-# runs only the concurrent-runtime test binaries (channel, parallel
-# pipeline, broker driver) — the threaded core the unified runtime added.
-# --asan builds with AddressSanitizer (default build dir: build-asan) and
-# runs the state/durability test binaries (ft, kvstore, snapshot, queue)
-# — the buffers and file framing the fault-tolerance layer serializes.
 set -euo pipefail
+
+usage() {
+  cat <<'EOF'
+Usage: scripts/check_tier1.sh [build-dir]     (default: build)
+       scripts/check_tier1.sh --tsan [build-dir]
+       scripts/check_tier1.sh --asan [build-dir]
+       scripts/check_tier1.sh --help
+
+Default mode configures + builds everything, runs the full ctest suite,
+then smoke-checks the metrics_demo JSON output and the quickstart /
+query_server examples.
+
+--tsan builds with ThreadSanitizer (default build dir: build-tsan) and
+runs only the concurrent-runtime test binaries (channel, parallel
+pipeline, broker driver) — the threaded core the unified runtime added.
+--asan builds with AddressSanitizer (default build dir: build-asan) and
+runs the state/durability test binaries (ft, kvstore, snapshot, queue)
+— the buffers and file framing the fault-tolerance layer serializes.
+
+Every failure — including a failed cmake configure — exits nonzero, so
+the script is safe as a CI gate.
+EOF
+}
 
 cd "$(dirname "$0")/.."
 
 TSAN=0
 ASAN=0
-if [[ "${1:-}" == "--tsan" ]]; then
+if [[ "${1:-}" == "--help" || "${1:-}" == "-h" ]]; then
+  usage
+  exit 0
+elif [[ "${1:-}" == "--tsan" ]]; then
   TSAN=1
   shift
 elif [[ "${1:-}" == "--asan" ]]; then
   ASAN=1
   shift
+elif [[ "${1:-}" == --* ]]; then
+  echo "unknown option: $1" >&2
+  usage >&2
+  exit 2
 fi
 
 if [[ "$ASAN" == 1 ]]; then
   BUILD_DIR="${1:-build-asan}"
 
   echo "== configure (asan) =="
-  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  if ! cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
-    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"; then
+    echo "FAIL: cmake configure (asan) failed" >&2
+    exit 1
+  fi
 
   echo "== build (asan) =="
   cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
@@ -48,9 +71,12 @@ if [[ "$TSAN" == 1 ]]; then
   BUILD_DIR="${1:-build-tsan}"
 
   echo "== configure (tsan) =="
-  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  if ! cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
-    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"; then
+    echo "FAIL: cmake configure (tsan) failed" >&2
+    exit 1
+  fi
 
   echo "== build (tsan) =="
   cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
@@ -68,7 +94,10 @@ fi
 BUILD_DIR="${1:-build}"
 
 echo "== configure =="
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+if ! cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release; then
+  echo "FAIL: cmake configure failed" >&2
+  exit 1
+fi
 
 echo "== build =="
 cmake --build "$BUILD_DIR" -j"$(nproc)"
@@ -100,5 +129,12 @@ print("metrics smoke check: JSON valid,",
 
 echo "== quickstart smoke =="
 "$BUILD_DIR"/examples/quickstart > /dev/null
+
+echo "== query_server smoke (in-process demo) =="
+QS_OUT="$("$BUILD_DIR"/examples/query_server)"
+if ! grep -q "registered 2 queries" <<< "$QS_OUT"; then
+  echo "FAIL: query_server demo did not register its queries" >&2
+  exit 1
+fi
 
 echo "tier-1 check: OK"

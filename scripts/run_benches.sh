@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Runs every bench binary and collects machine-readable results.
 #
-# Usage: scripts/run_benches.sh [build-dir] [out-dir]
+# Usage: scripts/run_benches.sh [--quick] [build-dir] [out-dir]
+#   --quick    smoke mode: minimum per-case measurement time (0.01s) — fast
+#              enough for CI; numbers are indicative only
 #   build-dir  where the bench binaries live (default: build)
 #   out-dir    where results land (default: bench-results)
 #
 # Environment:
 #   BENCH_FILTER    only run binaries whose name matches this grep pattern
 #   BENCH_MIN_TIME  passed to --benchmark_min_time (default 0.05 — CI-quick;
-#                   raise for stable numbers)
+#                   raise for stable numbers; --quick overrides to 0.01)
 #
 # Per bench binary <name> this emits:
 #   <out-dir>/BENCH_<name>.json     google-benchmark JSON (counters, timings)
@@ -18,9 +20,18 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+  shift
+fi
+
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
 MIN_TIME="${BENCH_MIN_TIME:-0.05}"
+if [[ "$QUICK" == 1 ]]; then
+  MIN_TIME=0.01
+fi
 FILTER="${BENCH_FILTER:-.}"
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then

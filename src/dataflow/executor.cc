@@ -48,9 +48,46 @@ PipelineExecutor::PipelineExecutor(std::unique_ptr<DataflowGraph> graph,
   port_watermarks_.resize(graph_->num_nodes());
   node_watermarks_.assign(graph_->num_nodes(), kMinTimestamp);
   for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
+    if (!graph_->is_live(i)) continue;
     port_watermarks_[i].assign(graph_->node(i)->num_input_ports(),
                                kMinTimestamp);
   }
+}
+
+void PipelineExecutor::SyncWithGraph() {
+  size_t n = graph_->num_nodes();
+  size_t old = port_watermarks_.size();
+  if (n <= old) return;  // removal keeps tombstoned slots; only growth syncs
+  port_watermarks_.resize(n);
+  node_watermarks_.resize(n, kMinTimestamp);
+  for (NodeId i = old; i < n; ++i) {
+    if (!graph_->is_live(i)) continue;
+    port_watermarks_[i].assign(graph_->node(i)->num_input_ports(),
+                               kMinTimestamp);
+  }
+  if (metrics_ != nullptr) {
+    node_metrics_.resize(n);
+    for (NodeId i = old; i < n; ++i) {
+      if (graph_->is_live(i)) InitNodeMetrics(i);
+    }
+  }
+}
+
+void PipelineExecutor::InitNodeMetrics(NodeId id) {
+  Operator* op = graph_->node(id);
+  LabelSet labels{{"node", op->name()}, {"id", std::to_string(id)}};
+  NodeMetrics& m = node_metrics_[id];
+  m.records_in = metrics_->GetCounter("cq_dataflow_records_in_total", labels);
+  m.records_out =
+      metrics_->GetCounter("cq_dataflow_records_out_total", labels);
+  m.watermarks_in =
+      metrics_->GetCounter("cq_dataflow_watermarks_in_total", labels);
+  m.process_latency_us =
+      metrics_->GetHistogram("cq_dataflow_process_latency_us", labels);
+  m.event_time_lag = metrics_->GetGauge("cq_dataflow_event_time_lag", labels);
+  m.state_entries = metrics_->GetGauge("cq_dataflow_state_entries", labels);
+  m.state_bytes = metrics_->GetGauge("cq_dataflow_state_bytes", labels);
+  op->AttachMetrics(metrics_, labels);
 }
 
 void PipelineExecutor::AttachMetrics(MetricsRegistry* registry) {
@@ -60,28 +97,14 @@ void PipelineExecutor::AttachMetrics(MetricsRegistry* registry) {
   if (registry == nullptr) return;
   node_metrics_.resize(graph_->num_nodes());
   for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
-    Operator* op = graph_->node(i);
-    LabelSet labels{{"node", op->name()}, {"id", std::to_string(i)}};
-    NodeMetrics& m = node_metrics_[i];
-    m.records_in =
-        registry->GetCounter("cq_dataflow_records_in_total", labels);
-    m.records_out =
-        registry->GetCounter("cq_dataflow_records_out_total", labels);
-    m.watermarks_in =
-        registry->GetCounter("cq_dataflow_watermarks_in_total", labels);
-    m.process_latency_us =
-        registry->GetHistogram("cq_dataflow_process_latency_us", labels);
-    m.event_time_lag =
-        registry->GetGauge("cq_dataflow_event_time_lag", labels);
-    m.state_entries = registry->GetGauge("cq_dataflow_state_entries", labels);
-    m.state_bytes = registry->GetGauge("cq_dataflow_state_bytes", labels);
-    op->AttachMetrics(registry, labels);
+    if (graph_->is_live(i)) InitNodeMetrics(i);
   }
 }
 
 void PipelineExecutor::RefreshStateMetrics() {
   if (metrics_ == nullptr) return;
   for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
+    if (!graph_->is_live(i) || i >= node_metrics_.size()) continue;
     const Operator* op = graph_->node(i);
     node_metrics_[i].state_entries->Set(static_cast<int64_t>(op->StateSize()));
     node_metrics_[i].state_bytes->Set(
@@ -111,7 +134,7 @@ Status PipelineExecutor::PushWatermark(NodeId source, Timestamp watermark) {
 }
 
 Status PipelineExecutor::Push(NodeId source, const StreamElement& element) {
-  if (source >= graph_->num_nodes()) {
+  if (!graph_->is_live(source)) {
     return Status::InvalidArgument("no such node");
   }
   if (element.is_barrier()) {
@@ -126,7 +149,7 @@ Status PipelineExecutor::Push(NodeId source, const StreamElement& element) {
 }
 
 Status PipelineExecutor::PushBatch(NodeId source, const StreamBatch& batch) {
-  if (source >= graph_->num_nodes()) {
+  if (!graph_->is_live(source)) {
     return Status::InvalidArgument("no such node");
   }
   return DeliverSequence(source, 0, batch.elements().data(), batch.size());
@@ -316,6 +339,10 @@ Result<std::vector<std::string>> PipelineExecutor::SnapshotSlots() {
   std::vector<std::string> slots;
   slots.reserve(graph_->num_nodes());
   for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
+    if (!graph_->is_live(i)) {
+      slots.emplace_back();  // tombstoned slot: keep ids aligned
+      continue;
+    }
     CQ_ASSIGN_OR_RETURN(std::string state, graph_->node(i)->SnapshotState());
     slots.push_back(std::move(state));
   }
@@ -330,6 +357,14 @@ Status PipelineExecutor::RestoreSlots(const std::vector<std::string>& slots) {
         std::to_string(graph_->num_nodes()));
   }
   for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
+    if (!graph_->is_live(i)) {
+      if (!slots[i].empty()) {
+        return Status::InvalidArgument(
+            "checkpoint image carries state for removed node " +
+            std::to_string(i));
+      }
+      continue;
+    }
     CQ_RETURN_NOT_OK(graph_->node(i)->RestoreState(slots[i]));
   }
   return Status::OK();
@@ -352,7 +387,7 @@ Result<std::map<std::string, int64_t>> PipelineExecutor::Restore(
 size_t PipelineExecutor::TotalStateSize() const {
   size_t n = 0;
   for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
-    n += graph_->node(i)->StateSize();
+    if (graph_->is_live(i)) n += graph_->node(i)->StateSize();
   }
   return n;
 }

@@ -44,6 +44,13 @@ class PipelineExecutor : public ft::Checkpointable {
 
   DataflowGraph* graph() { return graph_.get(); }
 
+  /// \brief Re-syncs executor-side per-node state (watermark arrays, metric
+  /// instruments) after the graph was mutated (nodes added or removed).
+  /// Newly added nodes start at the minimum watermark and catch up on the
+  /// next watermark delivery; removed nodes keep tombstoned slots because
+  /// node ids are never reused. Call after every splice into a live graph.
+  void SyncWithGraph();
+
   /// \brief Injects a data record into `source` (must be a node, normally a
   /// source node) on port 0 and runs it through the DAG to completion.
   Status PushRecord(NodeId source, Tuple tuple, Timestamp ts);
@@ -105,6 +112,9 @@ class PipelineExecutor : public ft::Checkpointable {
   std::string DumpMetrics(MetricsFormat format = MetricsFormat::kJson);
 
  private:
+  /// Creates the per-node instruments for one (live) node.
+  void InitNodeMetrics(NodeId id);
+
   /// Per-node cached instrument pointers; only populated (and only read)
   /// when metrics_ != nullptr.
   struct NodeMetrics {

@@ -66,6 +66,22 @@ bool Channel::Pop(StreamBatch* batch) {
   return true;
 }
 
+bool Channel::TryPop(StreamBatch* batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  *batch = std::move(queue_.front());
+  queue_.pop_front();
+  ++in_flight_;
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    if (credits_ != 0) {
+      credits_gauge_->Set(static_cast<int64_t>(credits_ - queue_.size()));
+    }
+  }
+  not_full_.notify_one();
+  return true;
+}
+
 void Channel::Acknowledge() {
   std::lock_guard<std::mutex> lock(mu_);
   if (in_flight_ > 0) --in_flight_;

@@ -52,6 +52,12 @@ class Channel {
   /// Acknowledge after the batch has been processed.
   bool Pop(StreamBatch* batch);
 
+  /// \brief Non-blocking pop: returns false when the queue is currently
+  /// empty (open or closed). A successful TryPop must be matched by an
+  /// Acknowledge, exactly like Pop. Subscription consumers use this to drain
+  /// whatever the pipeline has pushed without parking a thread.
+  bool TryPop(StreamBatch* batch);
+
   /// \brief Marks the most recently popped batch as fully processed.
   void Acknowledge();
 

@@ -1,0 +1,472 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <set>
+
+#include "dataflow/operators.h"
+#include "sql/fingerprint.h"
+#include "sql/planner.h"
+
+namespace cq {
+
+const char* QueryStateToString(QueryState state) {
+  switch (state) {
+    case QueryState::kRegistering:
+      return "registering";
+    case QueryState::kRunning:
+      return "running";
+    case QueryState::kDraining:
+      return "draining";
+    case QueryState::kDropped:
+      return "dropped";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// True when the window commutes with per-tuple filters: a tuple's presence
+/// in a time-based window depends only on its own timestamp, so
+/// window(filter(S)) == filter(window(S)) and the filter may run before the
+/// (shared) window. Tuple-count windows do NOT commute — the last n of the
+/// filtered stream is not the filtered last n.
+bool WindowCommutesWithFilter(const S2RSpec& spec) {
+  switch (spec.kind) {
+    case S2RKind::kRange:
+    case S2RKind::kNow:
+    case S2RKind::kUnbounded:
+      return true;
+    case S2RKind::kRows:
+    case S2RKind::kPartitionedRows:
+      return false;
+  }
+  return false;
+}
+
+/// Rewrites the plan by stripping Select chains that sit directly on a Scan
+/// of a liftable slot, collecting the predicates per slot (innermost
+/// first). The lifted predicates become pre-window FilterOperators in the
+/// shared chain; the residual plan scans the already-filtered slot.
+RelOpPtr StripLiftableFilters(const RelOpPtr& op,
+                              const std::set<size_t>& liftable,
+                              std::map<size_t, std::vector<ExprPtr>>* lifted) {
+  if (op->kind() == RelOpKind::kSelect) {
+    std::vector<ExprPtr> preds;
+    RelOpPtr cur = op;
+    while (cur->kind() == RelOpKind::kSelect) {
+      preds.push_back(cur->predicate());
+      cur = cur->children()[0];
+    }
+    if (cur->kind() == RelOpKind::kScan &&
+        liftable.count(cur->input_index()) > 0) {
+      auto& out = (*lifted)[cur->input_index()];
+      // Collected top-down; the innermost filter (closest to the scan) runs
+      // first in the lifted chain.
+      out.insert(out.end(), preds.rbegin(), preds.rend());
+      return cur;
+    }
+  }
+  if (op->children().empty()) return op;
+  std::vector<RelOpPtr> kids;
+  kids.reserve(op->children().size());
+  bool changed = false;
+  for (const RelOpPtr& c : op->children()) {
+    RelOpPtr nc = StripLiftableFilters(c, liftable, lifted);
+    changed = changed || nc != c;
+    kids.push_back(std::move(nc));
+  }
+  return changed ? op->WithChildren(std::move(kids)) : op;
+}
+
+}  // namespace
+
+QueryService::QueryService(Catalog catalog, ServiceConfig config)
+    : catalog_(std::move(catalog)), config_(config) {
+  auto graph = std::make_unique<DataflowGraph>();
+  graph_ = graph.get();
+  executor_ = std::make_unique<PipelineExecutor>(std::move(graph));
+  if (config_.metrics != nullptr) {
+    executor_->AttachMetrics(config_.metrics);
+    MetricsRegistry* m = config_.metrics;
+    registered_total_ = m->GetCounter("cq_service_queries_registered_total");
+    dropped_total_ = m->GetCounter("cq_service_queries_dropped_total");
+    rejected_total_ = m->GetCounter("cq_service_queries_rejected_total");
+    nodes_created_total_ = m->GetCounter("cq_service_nodes_created_total");
+    nodes_reused_total_ = m->GetCounter("cq_service_nodes_reused_total");
+    active_gauge_ = m->GetGauge("cq_service_queries_active");
+    live_nodes_gauge_ = m->GetGauge("cq_service_nodes_live");
+    subscriptions_gauge_ = m->GetGauge("cq_service_subscriptions_active");
+  }
+}
+
+Status QueryService::RegisterStream(const std::string& name,
+                                    SchemaPtr schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.RegisterStream(name, std::move(schema));
+}
+
+Result<NodeId> QueryService::AcquireNode(
+    const std::string& fp,
+    const std::function<std::unique_ptr<Operator>()>& factory, NodeId parent,
+    size_t port, QueryRecord* rec) {
+  ++rec->nodes_total;
+  auto it = shared_.find(fp);
+  if (it != shared_.end()) {
+    ++it->second.refs;
+    ++rec->nodes_reused;
+    rec->ref_order.push_back(fp);
+    if (nodes_reused_total_ != nullptr) nodes_reused_total_->Increment();
+    return it->second.node;
+  }
+  NodeId id = graph_->AddNode(factory());
+  if (parent != kNoParent) {
+    CQ_RETURN_NOT_OK(graph_->Connect(parent, id, port));
+  }
+  shared_.emplace(fp, SharedNode{id, 1});
+  rec->ref_order.push_back(fp);
+  if (nodes_created_total_ != nullptr) nodes_created_total_->Increment();
+  return id;
+}
+
+Status QueryService::ReleaseNode(const std::string& fp) {
+  auto it = shared_.find(fp);
+  if (it == shared_.end()) {
+    return Status::Internal("shared-node index lost fingerprint '" + fp + "'");
+  }
+  if (--it->second.refs > 0) return Status::OK();
+  NodeId id = it->second.node;
+  shared_.erase(it);
+  // Sources are also listed in the per-stream routing table.
+  for (auto& [stream, nodes] : sources_) {
+    nodes.erase(std::remove(nodes.begin(), nodes.end(), id), nodes.end());
+  }
+  return graph_->RemoveNode(id).status();
+}
+
+void QueryService::ReleaseAll(const std::vector<std::string>& ref_order) {
+  for (auto it = ref_order.rbegin(); it != ref_order.rend(); ++it) {
+    // Internal-inconsistency errors only; teardown continues regardless.
+    (void)ReleaseNode(*it);
+  }
+}
+
+Result<QueryId> QueryService::RegisterQuery(const std::string& sql) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // --- Admission control ---
+  if (NumActiveQueriesLocked() >= config_.max_queries) {
+    if (rejected_total_ != nullptr) rejected_total_->Increment();
+    return Status::OutOfRange(
+        "query admission rejected: " + std::to_string(config_.max_queries) +
+        " queries already registered");
+  }
+  if (config_.max_state_bytes != 0 &&
+      ApproxStateBytes() >= config_.max_state_bytes) {
+    if (rejected_total_ != nullptr) rejected_total_->Increment();
+    return Status::OutOfRange(
+        "query admission rejected: service state is " +
+        std::to_string(ApproxStateBytes()) + " bytes, cap is " +
+        std::to_string(config_.max_state_bytes));
+  }
+
+  // --- Plan + optimise through the existing SQL frontend ---
+  CQ_ASSIGN_OR_RETURN(PlannedQuery planned, PlanSql(sql, catalog_));
+  CQ_ASSIGN_OR_RETURN(
+      RelOpPtr plan, OptimizePlan(planned.query.plan, config_.optimizer));
+  const std::vector<S2RSpec>& windows = planned.query.input_windows;
+  const size_t num_slots = windows.size();
+  if (planned.input_streams.size() != num_slots) {
+    return Status::Internal("planner slot/stream binding mismatch");
+  }
+
+  // --- Filter lifting: move scan-local predicates below the window so
+  // they join the shared prefix. Only when the window commutes with
+  // filtering and the slot is scanned exactly once (a second scan of the
+  // same slot must not observe the first scan's filters). ---
+  std::vector<size_t> scan_slots;
+  plan->CollectInputs(&scan_slots);
+  std::set<size_t> liftable;
+  for (size_t i = 0; i < num_slots; ++i) {
+    if (WindowCommutesWithFilter(windows[i]) &&
+        std::count(scan_slots.begin(), scan_slots.end(), i) == 1) {
+      liftable.insert(i);
+    }
+  }
+  std::map<size_t, std::vector<ExprPtr>> lifted;
+  RelOpPtr residual = StripLiftableFilters(plan, liftable, &lifted);
+
+  QueryId qid = next_query_id_++;
+  QueryRecord rec;
+  rec.id = qid;
+  rec.state = QueryState::kRegistering;
+  rec.sql = sql;
+  rec.output_schema = planned.output_schema;
+
+  // With sharing disabled every fingerprint is salted with the query id, so
+  // the index never matches and each query gets a private chain (the bench
+  // ablation baseline).
+  const std::string salt =
+      config_.share_subplans ? "" : "#q" + std::to_string(qid);
+
+  // --- Per-slot prefix chains: source -> lifted filters -> window ---
+  auto splice = [&]() -> Status {
+    std::vector<std::string> slot_chains(num_slots);
+    std::vector<NodeId> slot_nodes(num_slots);
+    for (size_t i = 0; i < num_slots; ++i) {
+      const std::string& stream = planned.input_streams[i];
+      std::string fp = ComposeSourceStage(stream) + salt;
+      bool source_created = shared_.find(fp) == shared_.end();
+      CQ_ASSIGN_OR_RETURN(
+          NodeId node,
+          AcquireNode(
+              fp,
+              [&] {
+                return std::make_unique<PassThroughOperator>("src:" + stream);
+              },
+              kNoParent, 0, &rec));
+      if (source_created) sources_[stream].push_back(node);
+      auto lit = lifted.find(i);
+      if (lit != lifted.end()) {
+        for (const ExprPtr& pred : lit->second) {
+          fp = ComposeFilterStage(fp, *pred);
+          CQ_ASSIGN_OR_RETURN(
+              node, AcquireNode(
+                        fp,
+                        [&] {
+                          return std::make_unique<FilterOperator>(
+                              "flt:" + std::to_string(FingerprintHash(fp) &
+                                                      0xffffff),
+                              pred);
+                        },
+                        node, 0, &rec));
+        }
+      }
+      fp = ComposeWindowStage(fp, windows[i]);
+      CQ_ASSIGN_OR_RETURN(
+          node, AcquireNode(
+                    fp,
+                    [&] {
+                      return std::make_unique<WindowDeltaOperator>(
+                          "win:" + windows[i].ToString(), windows[i]);
+                    },
+                    node, 0, &rec));
+      slot_chains[i] = fp;
+      slot_nodes[i] = node;
+    }
+
+    // --- Shared residual plan stage ---
+    std::string plan_fp =
+        ComposePlanStage(slot_chains, *residual, planned.query.output);
+    bool plan_created = shared_.find(plan_fp) == shared_.end();
+    CQ_ASSIGN_OR_RETURN(
+        NodeId plan_node,
+        AcquireNode(
+            plan_fp,
+            [&] {
+              return std::make_unique<PlanDeltaOperator>(
+                  "plan:q" + std::to_string(qid), residual, num_slots,
+                  planned.query.output);
+            },
+            kNoParent, 0, &rec));
+    if (plan_created) {
+      for (size_t i = 0; i < num_slots; ++i) {
+        CQ_RETURN_NOT_OK(graph_->Connect(slot_nodes[i], plan_node, i));
+      }
+    }
+
+    // --- Per-query subscription sink (never shared) ---
+    auto sink = std::make_unique<SubscriptionSinkOperator>(
+        "sink:q" + std::to_string(qid));
+    rec.sink = sink.get();
+    rec.sink_node = graph_->AddNode(std::move(sink));
+    ++rec.nodes_total;
+    CQ_RETURN_NOT_OK(graph_->Connect(plan_node, rec.sink_node, 0));
+
+    CQ_RETURN_NOT_OK(graph_->Validate());
+    executor_->SyncWithGraph();
+    return Status::OK();
+  };
+
+  Status st = splice();
+  if (!st.ok()) {
+    // Roll back: drop the sink (if it made it into the graph) and unref
+    // every acquired fingerprint so the graph is exactly as before.
+    if (rec.sink != nullptr && graph_->is_live(rec.sink_node)) {
+      (void)graph_->RemoveNode(rec.sink_node);
+    }
+    ReleaseAll(rec.ref_order);
+    if (rejected_total_ != nullptr) rejected_total_->Increment();
+    return st;
+  }
+
+  rec.state = QueryState::kRunning;
+  queries_.emplace(qid, std::move(rec));
+  if (registered_total_ != nullptr) registered_total_->Increment();
+  if (active_gauge_ != nullptr) {
+    active_gauge_->Set(static_cast<int64_t>(NumActiveQueriesLocked()));
+  }
+  if (live_nodes_gauge_ != nullptr) {
+    live_nodes_gauge_->Set(static_cast<int64_t>(graph_->num_live_nodes()));
+  }
+  return qid;
+}
+
+Status QueryService::DropQuery(QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(id) +
+                            " is not registered");
+  }
+  QueryRecord& rec = it->second;
+  if (rec.state != QueryState::kRunning) {
+    return Status::Closed("query " + std::to_string(id) + " is " +
+                          QueryStateToString(rec.state));
+  }
+  rec.state = QueryState::kDraining;
+
+  // Subscribers see the channel close once queued batches drain.
+  rec.sink->CloseAll();
+  CQ_RETURN_NOT_OK(graph_->RemoveNode(rec.sink_node).status());
+  rec.sink = nullptr;
+
+  // Downstream-first: the plan stage (last acquired) unrefs before the
+  // windows, filters, and sources feeding it.
+  ReleaseAll(rec.ref_order);
+  rec.ref_order.clear();
+  CQ_RETURN_NOT_OK(graph_->Validate());
+
+  rec.state = QueryState::kDropped;
+  if (dropped_total_ != nullptr) dropped_total_->Increment();
+  if (active_gauge_ != nullptr) {
+    active_gauge_->Set(static_cast<int64_t>(NumActiveQueriesLocked()));
+  }
+  if (live_nodes_gauge_ != nullptr) {
+    live_nodes_gauge_->Set(static_cast<int64_t>(graph_->num_live_nodes()));
+  }
+  return Status::OK();
+}
+
+Result<SubscriptionPtr> QueryService::Subscribe(QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(id) +
+                            " is not registered");
+  }
+  QueryRecord& rec = it->second;
+  if (rec.state != QueryState::kRunning) {
+    return Status::Closed("query " + std::to_string(id) + " is " +
+                          QueryStateToString(rec.state));
+  }
+  uint64_t sub_id = next_sub_id_++;
+  auto sub = std::make_shared<Subscription>(id, sub_id,
+                                            config_.subscription_credits);
+  if (config_.metrics != nullptr) {
+    LabelSet labels = {{"query", std::to_string(id)},
+                       {"subscription", std::to_string(sub_id)}};
+    sub->drops_counter_ =
+        config_.metrics->GetCounter("cq_service_subscription_drops_total",
+                                    labels);
+  }
+  rec.sink->AddSubscription(sub);
+  if (subscriptions_gauge_ != nullptr) subscriptions_gauge_->Add(1);
+  return sub;
+}
+
+Status QueryService::PushRecord(const std::string& stream, Tuple tuple,
+                                Timestamp ts) {
+  return Push(stream, StreamElement::Record(std::move(tuple), ts));
+}
+
+Status QueryService::PushWatermark(const std::string& stream,
+                                   Timestamp watermark) {
+  return Push(stream, StreamElement::Watermark(watermark));
+}
+
+Status QueryService::Push(const std::string& stream,
+                          const StreamElement& element) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CQ_RETURN_NOT_OK(catalog_.GetStream(stream).status());
+  auto it = sources_.find(stream);
+  if (it == sources_.end()) return Status::OK();  // no interested query
+  for (NodeId source : it->second) {
+    CQ_RETURN_NOT_OK(executor_->Push(source, element));
+  }
+  return Status::OK();
+}
+
+Status QueryService::PushBatch(const std::string& stream,
+                               const StreamBatch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CQ_RETURN_NOT_OK(catalog_.GetStream(stream).status());
+  auto it = sources_.find(stream);
+  if (it == sources_.end()) return Status::OK();
+  for (NodeId source : it->second) {
+    CQ_RETURN_NOT_OK(executor_->PushBatch(source, batch));
+  }
+  return Status::OK();
+}
+
+Result<QueryInfo> QueryService::GetQuery(QueryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(id) +
+                            " is not registered");
+  }
+  return InfoLocked(it->second);
+}
+
+std::vector<QueryInfo> QueryService::ListQueries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryInfo> out;
+  out.reserve(queries_.size());
+  for (const auto& [id, rec] : queries_) out.push_back(InfoLocked(rec));
+  return out;
+}
+
+QueryInfo QueryService::InfoLocked(const QueryRecord& rec) {
+  QueryInfo info;
+  info.id = rec.id;
+  info.state = rec.state;
+  info.sql = rec.sql;
+  info.nodes_total = rec.nodes_total;
+  info.nodes_reused = rec.nodes_reused;
+  info.num_subscriptions =
+      rec.sink != nullptr ? rec.sink->num_subscriptions() : 0;
+  return info;
+}
+
+size_t QueryService::NumOperators() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_->num_live_nodes();
+}
+
+size_t QueryService::NumActiveQueries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return NumActiveQueriesLocked();
+}
+
+size_t QueryService::NumActiveQueriesLocked() const {
+  size_t n = 0;
+  for (const auto& [id, rec] : queries_) {
+    if (rec.state != QueryState::kDropped) ++n;
+  }
+  return n;
+}
+
+size_t QueryService::ApproxStateBytes() const {
+  size_t total = 0;
+  for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
+    if (graph_->is_live(i)) total += graph_->node(i)->StateBytesApprox();
+  }
+  return total;
+}
+
+std::string QueryService::DumpMetrics(MetricsFormat format) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executor_->DumpMetrics(format);
+}
+
+}  // namespace cq

@@ -1,0 +1,207 @@
+#ifndef CQ_SERVICE_SERVICE_H_
+#define CQ_SERVICE_SERVICE_H_
+
+/// \file service.h
+/// \brief The multi-query continuous-query service (survey Fig. 1).
+///
+/// The figure's loop — users register continuous queries against a DSMS,
+/// data streams in, results are *pushed* to the registrants — is this
+/// class. A QueryService owns one shared dataflow graph plus its executor
+/// and accepts CQL text at runtime: RegisterQuery plans the SQL through the
+/// existing frontend (parser -> planner -> optimiser), compiles the result
+/// into dataflow operators, and splices them into the *running* graph;
+/// DropQuery tears a query's operators back out without disturbing the
+/// rest.
+///
+/// Multi-query sharing (NiagaraCQ lineage): every spliced node is named by
+/// a fingerprint of the whole upstream prefix it terminates
+/// (sql/fingerprint.h). Before creating a node the service consults its
+/// shared-node index; a hit reuses the running node — state included — and
+/// bumps a refcount, so K queries over the same source / filter / window
+/// prefix run one copy of that prefix and fan out at the first divergence.
+/// DropQuery unrefs in downstream-first order and removes only nodes whose
+/// refcount reaches zero, so surviving queries keep producing byte-identical
+/// output. Note the documented consequence of shared state: a query that
+/// registers *later* against an already-warm prefix observes the prefix's
+/// current window content, exactly like a new NiagaraCQ subscriber joining
+/// a shared plan.
+///
+/// Results are pushed per query through bounded subscription channels
+/// (credit-based); a slow subscriber exhausts only its own credits and
+/// drops batches while co-subscribers and the shared pipeline keep
+/// advancing. Admission control caps the number of registered queries and
+/// the service's resident state bytes.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dataflow/executor.h"
+#include "service/operators.h"
+#include "sql/catalog.h"
+#include "sql/optimizer.h"
+
+namespace cq {
+
+using QueryId = uint64_t;
+
+/// \brief Lifecycle of a registered query.
+enum class QueryState {
+  kRegistering,  // being planned / spliced (transient, under the lock)
+  kRunning,      // live in the shared graph
+  kDraining,     // DropQuery in progress (transient, under the lock)
+  kDropped,      // torn down; id remains valid for inspection
+};
+
+const char* QueryStateToString(QueryState state);
+
+struct ServiceConfig {
+  /// Admission cap on concurrently registered (non-dropped) queries.
+  size_t max_queries = 64;
+  /// Admission cap on resident operator state bytes (approximate; checked
+  /// at registration). 0 = unlimited.
+  size_t max_state_bytes = 0;
+  /// Credits (queued batches) per subscription channel.
+  size_t subscription_credits = 64;
+  /// Multi-query sharing. Off gives each query a private operator chain —
+  /// the ablation baseline for bench E12.
+  bool share_subplans = true;
+  /// Optimiser configuration applied to every registered plan.
+  OptimizerOptions optimizer;
+  /// Optional registry for cq_service_* (and per-node cq_dataflow_*)
+  /// instruments; must outlive the service.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// \brief Inspection snapshot of one registered query.
+struct QueryInfo {
+  QueryId id = 0;
+  QueryState state = QueryState::kRegistering;
+  std::string sql;
+  /// Operator nodes this query references (prefix chains + plan + sink).
+  size_t nodes_total = 0;
+  /// Of those, nodes that already existed when the query registered
+  /// (shared-prefix hits).
+  size_t nodes_reused = 0;
+  size_t num_subscriptions = 0;
+};
+
+/// \brief A long-running continuous-query service over one shared dataflow.
+///
+/// Thread model: registration, teardown, subscription management and data
+/// pushes serialise on one internal mutex (the executor is synchronous);
+/// subscribers drain their channels concurrently without that lock.
+class QueryService {
+ public:
+  explicit QueryService(Catalog catalog, ServiceConfig config = {});
+
+  /// \brief Registers a named input stream (must precede queries over it).
+  Status RegisterStream(const std::string& name, SchemaPtr schema);
+
+  /// \brief Plans `sql` and splices it into the running graph. Errors leave
+  /// the graph exactly as it was.
+  Result<QueryId> RegisterQuery(const std::string& sql);
+
+  /// \brief Tears the query out of the graph: closes its subscriptions,
+  /// removes its sink, and unrefs its shared nodes downstream-first; nodes
+  /// still referenced by other queries stay untouched.
+  Status DropQuery(QueryId id);
+
+  /// \brief Opens a push subscription on a running query's output.
+  Result<SubscriptionPtr> Subscribe(QueryId id);
+
+  // --- Ingest (routed by stream name to the shared per-stream sources) ---
+
+  Status PushRecord(const std::string& stream, Tuple tuple, Timestamp ts);
+  Status PushWatermark(const std::string& stream, Timestamp watermark);
+  Status Push(const std::string& stream, const StreamElement& element);
+  Status PushBatch(const std::string& stream, const StreamBatch& batch);
+
+  // --- Inspection ---
+
+  Result<QueryInfo> GetQuery(QueryId id) const;
+  std::vector<QueryInfo> ListQueries() const;
+
+  /// \brief Live operator nodes in the shared graph (the sharing metric:
+  /// K same-prefix queries need far fewer than K private chains' worth).
+  size_t NumOperators() const;
+
+  /// \brief Registered queries not yet dropped.
+  size_t NumActiveQueries() const;
+
+  /// \brief Serialized metrics registry contents ("" without a registry).
+  std::string DumpMetrics(MetricsFormat format = MetricsFormat::kJson);
+
+  const Catalog& catalog() const { return catalog_; }
+
+ private:
+  /// One fingerprint-named node in the shared graph.
+  struct SharedNode {
+    NodeId node = 0;
+    size_t refs = 0;
+  };
+
+  /// Bookkeeping for one registered query.
+  struct QueryRecord {
+    QueryId id = 0;
+    QueryState state = QueryState::kRegistering;
+    std::string sql;
+    SchemaPtr output_schema;
+    /// Referenced shared fingerprints, upstream -> downstream (per-slot
+    /// chains first, the plan stage last). Torn down in reverse.
+    std::vector<std::string> ref_order;
+    NodeId sink_node = 0;
+    SubscriptionSinkOperator* sink = nullptr;  // borrowed from the graph
+    size_t nodes_total = 0;
+    size_t nodes_reused = 0;
+  };
+
+  /// Takes (or creates) the node named `fp`; on creation invokes `factory`
+  /// and wires `parent -> node:port` (parent == kNoParent for sources).
+  /// Appends `fp` to `rec->ref_order` and updates reuse accounting.
+  static constexpr NodeId kNoParent = static_cast<NodeId>(-1);
+  Result<NodeId> AcquireNode(
+      const std::string& fp,
+      const std::function<std::unique_ptr<Operator>()>& factory, NodeId parent,
+      size_t port, QueryRecord* rec);
+
+  /// Drops one reference to `fp`; removes the node at refcount zero.
+  Status ReleaseNode(const std::string& fp);
+
+  /// Reverse-order release of everything in `ref_order` (teardown and
+  /// registration rollback share this path).
+  void ReleaseAll(const std::vector<std::string>& ref_order);
+
+  size_t ApproxStateBytes() const;
+  size_t NumActiveQueriesLocked() const;
+  static QueryInfo InfoLocked(const QueryRecord& rec);
+
+  mutable std::mutex mu_;
+  Catalog catalog_;
+  ServiceConfig config_;
+  std::unique_ptr<PipelineExecutor> executor_;
+  DataflowGraph* graph_ = nullptr;  // owned by executor_
+
+  std::map<std::string, SharedNode> shared_;          // fingerprint -> node
+  std::map<std::string, std::vector<NodeId>> sources_;  // stream -> sources
+  std::map<QueryId, QueryRecord> queries_;
+  QueryId next_query_id_ = 1;
+  uint64_t next_sub_id_ = 1;
+
+  // cq_service_* instruments (null without a registry).
+  Counter* registered_total_ = nullptr;
+  Counter* dropped_total_ = nullptr;
+  Counter* rejected_total_ = nullptr;
+  Counter* nodes_created_total_ = nullptr;
+  Counter* nodes_reused_total_ = nullptr;
+  Gauge* active_gauge_ = nullptr;
+  Gauge* live_nodes_gauge_ = nullptr;
+  Gauge* subscriptions_gauge_ = nullptr;
+};
+
+}  // namespace cq
+
+#endif  // CQ_SERVICE_SERVICE_H_

@@ -1,0 +1,47 @@
+#include "sql/fingerprint.h"
+
+#include "sql/plan_serde.h"
+
+namespace cq {
+
+std::string ExprFingerprint(const Expr& expr) { return SerializeExpr(expr); }
+
+std::string PlanFingerprint(const RelOp& plan) { return SerializePlan(plan); }
+
+std::string WindowFingerprint(const S2RSpec& spec) { return spec.ToString(); }
+
+std::string ComposeSourceStage(const std::string& stream) {
+  return "src:" + stream;
+}
+
+std::string ComposeFilterStage(const std::string& parent, const Expr& pred) {
+  return parent + "|flt:" + ExprFingerprint(pred);
+}
+
+std::string ComposeWindowStage(const std::string& parent,
+                               const S2RSpec& spec) {
+  return parent + "|win:" + WindowFingerprint(spec);
+}
+
+std::string ComposePlanStage(const std::vector<std::string>& slot_chains,
+                             const RelOp& residual, R2SKind output) {
+  std::string fp = "plan:";
+  for (size_t i = 0; i < slot_chains.size(); ++i) {
+    fp += "[" + std::to_string(i) + "<-" + slot_chains[i] + "]";
+  }
+  fp += "|rel:" + PlanFingerprint(residual);
+  fp += "|emit:";
+  fp += R2SKindToString(output);
+  return fp;
+}
+
+uint64_t FingerprintHash(const std::string& fingerprint) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char c : fingerprint) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace cq

@@ -1,0 +1,74 @@
+#ifndef CQ_SQL_FINGERPRINT_H_
+#define CQ_SQL_FINGERPRINT_H_
+
+/// \file fingerprint.h
+/// \brief Canonical plan fingerprints for multi-query sharing.
+///
+/// The DSMS lineage the survey draws on (NiagaraCQ-style multi-query
+/// optimisation) scales by recognising that thousands of registered queries
+/// repeat the same source / filter / window prefixes and executing each
+/// distinct prefix once. Recognition needs a canonical name for a plan
+/// fragment: two fragments share iff their fingerprints are equal.
+///
+/// Fingerprints are built on the portable IR (plan_serde.h): the IR text is
+/// a complete, deterministic rendering of an expression / plan / window, so
+/// equal text <=> equal fragment (up to slot numbering, which callers fold
+/// in themselves via the per-slot chain construction below). The service
+/// composes fingerprints as chains:
+///
+///   src:<stream>                                 the per-stream source
+///   <parent>|flt:<expr-ir>                       a pre-window filter stage
+///   <parent>|win:<s2r-spec>                      the S2R window stage
+///   plan:<slot-chains>|rel:<plan-ir>|emit:<r2s>  the residual R2R + R2S
+///
+/// so a fingerprint names not just a node but the whole upstream prefix it
+/// terminates — exactly the sharing unit ("fan out at the first
+/// divergence").
+
+#include <string>
+#include <vector>
+
+#include "cql/continuous_query.h"
+#include "cql/expr.h"
+#include "cql/plan.h"
+#include "cql/r2s.h"
+#include "cql/s2r.h"
+
+namespace cq {
+
+/// \brief Canonical fingerprint of a scalar expression (IR text).
+std::string ExprFingerprint(const Expr& expr);
+
+/// \brief Canonical fingerprint of an R2R plan fragment (IR text). Scan
+/// slot numbers appear literally: callers comparing plans across queries
+/// must compose with per-slot upstream fingerprints (see ComposePlanStage).
+std::string PlanFingerprint(const RelOp& plan);
+
+/// \brief Canonical fingerprint of an S2R window spec.
+std::string WindowFingerprint(const S2RSpec& spec);
+
+// --- Chain composition (prefix fingerprints) ---
+
+/// \brief Fingerprint of a per-stream source stage.
+std::string ComposeSourceStage(const std::string& stream);
+
+/// \brief Fingerprint of a filter stage applied on top of `parent`.
+std::string ComposeFilterStage(const std::string& parent, const Expr& pred);
+
+/// \brief Fingerprint of a window (S2R) stage applied on top of `parent`.
+std::string ComposeWindowStage(const std::string& parent, const S2RSpec& spec);
+
+/// \brief Fingerprint of the residual R2R plan + R2S stage. `slot_chains`
+/// holds, per input slot, the fingerprint of the upstream chain feeding that
+/// slot — folding them in makes the name independent of slot numbering
+/// collisions across queries.
+std::string ComposePlanStage(const std::vector<std::string>& slot_chains,
+                             const RelOp& residual, R2SKind output);
+
+/// \brief 64-bit FNV-1a of a fingerprint string — for metric labels and
+/// compact display; the full string stays the authoritative key.
+uint64_t FingerprintHash(const std::string& fingerprint);
+
+}  // namespace cq
+
+#endif  // CQ_SQL_FINGERPRINT_H_

@@ -191,6 +191,7 @@ Result<PlannedQuery> PlanQuery(const AstSelect& ast, const Catalog& catalog) {
     SchemaPtr q = base->Qualified(ref.alias.empty() ? ref.name : ref.alias);
     CQ_ASSIGN_OR_RETURN(S2RSpec spec, TranslateWindow(ref.window, *q));
     out.query.input_windows.push_back(spec);
+    out.input_streams.push_back(ref.name);
     qualified.push_back(q);
     combined = (i == 0) ? q : Schema::Concat(*combined, *q);
   }
@@ -400,6 +401,10 @@ Result<PlannedQuery> PlanCompoundQuery(const AstQuery& ast,
   out.query.input_windows.insert(out.query.input_windows.end(),
                                  right.query.input_windows.begin(),
                                  right.query.input_windows.end());
+  out.input_streams = left.input_streams;
+  out.input_streams.insert(out.input_streams.end(),
+                           right.input_streams.begin(),
+                           right.input_streams.end());
   out.query.output = ast.emit;
   out.output_schema = combined->schema();
   return out;

@@ -21,6 +21,10 @@ namespace cq {
 struct PlannedQuery {
   ContinuousQuery query;
   SchemaPtr output_schema;
+  /// Catalog stream name bound to each input slot (index-aligned with the
+  /// query's input_windows / Scan slots). The continuous-query service uses
+  /// this binding to splice the plan onto the shared per-stream sources.
+  std::vector<std::string> input_streams;
 };
 
 /// \brief Plans the AST against the catalog (no optimisation).
