@@ -48,19 +48,17 @@ void FillBroker(Broker* broker) {
   }
 }
 
-/// Per-worker pipeline: pass-through into a fenced epoch sink. The raw sink
-/// pointers feed the coordinator's publish hook.
-ParallelPipeline::Factory MakeFactory(
-    ft::DurableOutputLog* log, std::vector<ft::EpochSinkOperator*>* sinks) {
-  sinks->assign(kParallelism, nullptr);
-  return [log, sinks](size_t index) -> Result<WorkerPipeline> {
+/// Per-worker pipeline: pass-through into a fenced epoch sink. The sinks
+/// stage their buffers into the checkpoint image; the coordinator publishes
+/// from the durable image, so nobody needs the raw sink pointers.
+ParallelPipeline::Factory MakeFactory(ft::DurableOutputLog* log) {
+  return [log](size_t index) -> Result<WorkerPipeline> {
     WorkerPipeline p;
     p.output = std::make_unique<BoundedStream>();
     auto g = std::make_unique<DataflowGraph>();
     p.source = g->AddNode(std::make_unique<PassThroughOperator>("src"));
-    auto sink = std::make_unique<ft::EpochSinkOperator>("sink", log, index);
-    (*sinks)[index] = sink.get();
-    NodeId sink_id = g->AddNode(std::move(sink));
+    NodeId sink_id = g->AddNode(
+        std::make_unique<ft::EpochSinkOperator>("sink", log, index));
     CQ_RETURN_NOT_OK(g->Connect(p.source, sink_id));
     p.executor = std::make_unique<PipelineExecutor>(std::move(g));
     return p;
@@ -77,8 +75,7 @@ Status RunOnce(Broker* broker, const std::string& snap_dir,
   ft::SnapshotStore store(snap_dir);
   CQ_RETURN_NOT_OK(store.Init());
 
-  std::vector<ft::EpochSinkOperator*> sinks;
-  ParallelPipeline pipeline(kParallelism, MakeFactory(&log, &sinks),
+  ParallelPipeline pipeline(kParallelism, MakeFactory(&log),
                             ProjectKeyFn({0}));
   BrokerSourceDriver driver(broker, "tx", "demo");
 
@@ -88,18 +85,15 @@ Status RunOnce(Broker* broker, const std::string& snap_dir,
     return driver.CommitThrough(o);
   });
   coord.SetWatermarkFn([&driver] { return driver.CurrentWatermark(); });
-  auto publish = [&sinks](uint64_t epoch) -> Status {
-    for (auto* sink : sinks) CQ_RETURN_NOT_OK(sink->PublishEpoch(epoch));
-    return Status::OK();
-  };
-  coord.SetPublishFn(publish);
+  coord.SetOutputLog(&log);
 
   CQ_RETURN_NOT_OK(pipeline.Start());
 
   // Recovery (a no-op when the store is empty): restore the newest durable
-  // epoch, rewind the source, re-publish the restored epoch's pending
-  // output — the fence makes that idempotent.
+  // epoch, rewind the source, and republish the restored epoch's staged
+  // output from the same image — the fence makes that idempotent.
   ft::RecoveryManager recovery(&store);
+  recovery.SetOutputLog(&log);
   Result<ft::RecoveryReport> report = recovery.Recover(
       &pipeline,
       [&driver](const std::map<std::string, int64_t>& o) {
@@ -114,7 +108,6 @@ Status RunOnce(Broker* broker, const std::string& snap_dir,
                 static_cast<long long>(report->watermark),
                 static_cast<long long>(report->records_to_replay));
     coord.ResumeFromEpoch(report->epoch);
-    CQ_RETURN_NOT_OK(publish(report->epoch));
   }
 
   int polls = 0;

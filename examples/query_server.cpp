@@ -9,6 +9,19 @@
 ///                                shared graph, prints pushed results and the
 ///                                sharing metrics.
 ///
+///     --checkpoint-dir DIR       make the demo durable: fence each query's
+///                                output through an idempotent output log in
+///                                DIR/out and take a barrier checkpoint of
+///                                the whole service (query registry + window
+///                                and plan state) into DIR/snap before exit.
+///     --recover                  with --checkpoint-dir: instead of
+///                                registering queries, restore the service
+///                                from the latest checkpoint in DIR — the
+///                                registry replays through the SQL frontend,
+///                                node state comes back by fingerprint — then
+///                                stream a second batch of trades whose
+///                                results prove the windows survived.
+///
 ///   query_server --serve PORT    TCP server speaking a length-prefixed text
 ///                                protocol (uint32 big-endian frame length +
 ///                                payload). One command per frame:
@@ -49,6 +62,10 @@
 #include <string>
 #include <vector>
 
+#include "ft/coordinator.h"
+#include "ft/fence.h"
+#include "ft/recovery.h"
+#include "ft/snapshot_store.h"
 #include "service/service.h"
 
 namespace cq {
@@ -64,35 +81,91 @@ std::unique_ptr<QueryService> MakeService(MetricsRegistry* registry) {
 
 // --- Demo mode -------------------------------------------------------------
 
-int RunDemo() {
+int RunDemo(const std::string& checkpoint_dir, bool recover) {
   MetricsRegistry registry;
   auto svc = MakeService(&registry);
+  Timestamp ts = 0;
 
-  Status st = svc->RegisterStream(
-      "trades", Schema::Make({{"sym", ValueType::kString},
-                              {"price", ValueType::kInt64},
-                              {"qty", ValueType::kInt64}}));
-  if (!st.ok()) {
-    std::fprintf(stderr, "RegisterStream: %s\n", st.ToString().c_str());
-    return 1;
+  // Durability rig (only with --checkpoint-dir): fenced output log + snapshot
+  // store + barrier-checkpoint coordinator around the same service object.
+  std::unique_ptr<ft::DurableOutputLog> log;
+  std::unique_ptr<ft::SnapshotStore> store;
+  std::unique_ptr<ft::CheckpointCoordinator> coord;
+  if (!checkpoint_dir.empty()) {
+    log = std::make_unique<ft::DurableOutputLog>(checkpoint_dir + "/out");
+    store = std::make_unique<ft::SnapshotStore>(checkpoint_dir + "/snap");
+    Status st = log->Init();
+    if (st.ok()) st = store->Init();
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint dir: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    svc->SetDurableOutputLog(log.get());
+    coord = std::make_unique<ft::CheckpointCoordinator>(svc.get(), store.get());
+    coord->SetOutputLog(log.get());
+    coord->SetWatermarkFn([&ts] { return ts; });
+    svc->SetBarrierHandler(coord->Handler(svc->BarrierFanIn()));
   }
 
-  // Both queries share the source -> filter -> window prefix; they diverge
-  // only in their residual plans, so the graph holds one copy of the prefix.
-  auto big = svc->RegisterQuery(
-      "SELECT sym, price FROM trades [Range 100] WHERE price > 10");
-  auto volume = svc->RegisterQuery(
-      "SELECT sym, SUM(qty) AS total FROM trades [Range 100] "
-      "WHERE price > 10 GROUP BY sym");
-  if (!big.ok() || !volume.ok()) {
-    std::fprintf(stderr, "RegisterQuery failed\n");
-    return 1;
-  }
-  auto sub_big = *svc->Subscribe(*big);
-  auto sub_volume = *svc->Subscribe(*volume);
+  if (recover) {
+    if (store == nullptr) {
+      std::fprintf(stderr, "--recover requires --checkpoint-dir\n");
+      return 2;
+    }
+    // Restore the whole service — registered queries, shared graph, window
+    // and aggregation state — from the newest durable epoch, republishing
+    // any staged output the dead process never got to publish.
+    ft::RecoveryManager recovery(store.get());
+    recovery.SetOutputLog(log.get());
+    auto report = recovery.Recover(svc.get(), nullptr);
+    if (!report.ok()) {
+      std::fprintf(stderr, "recover: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    if (!report->restored) {
+      std::fprintf(stderr, "recover: no checkpoint found in %s\n",
+                   checkpoint_dir.c_str());
+      return 1;
+    }
+    coord->ResumeFromEpoch(report->epoch);
+    ts = report->watermark > 0 ? report->watermark : 0;
+    std::printf("recovered %zu queries at epoch %llu (watermark %lld)\n",
+                svc->NumActiveQueries(),
+                static_cast<unsigned long long>(report->epoch),
+                static_cast<long long>(report->watermark));
+  } else {
+    Status st = svc->RegisterStream(
+        "trades", Schema::Make({{"sym", ValueType::kString},
+                                {"price", ValueType::kInt64},
+                                {"qty", ValueType::kInt64}}));
+    if (!st.ok()) {
+      std::fprintf(stderr, "RegisterStream: %s\n", st.ToString().c_str());
+      return 1;
+    }
 
-  std::printf("registered 2 queries, %zu live operators ", svc->NumOperators());
-  std::printf("(unshared would need %zu)\n", size_t{10});
+    // Both queries share the source -> filter -> window prefix; they diverge
+    // only in their residual plans, so the graph holds one copy of the
+    // prefix.
+    auto big = svc->RegisterQuery(
+        "SELECT sym, price FROM trades [Range 100] WHERE price > 10");
+    auto volume = svc->RegisterQuery(
+        "SELECT sym, SUM(qty) AS total FROM trades [Range 100] "
+        "WHERE price > 10 GROUP BY sym");
+    if (!big.ok() || !volume.ok()) {
+      std::fprintf(stderr, "RegisterQuery failed\n");
+      return 1;
+    }
+  }
+
+  std::vector<std::pair<QueryId, SubscriptionPtr>> subs;
+  for (const auto& info : svc->ListQueries()) {
+    auto sub = svc->Subscribe(info.id);
+    if (sub.ok()) subs.emplace_back(info.id, *sub);
+  }
+
+  std::printf("%s 2 queries, %zu live operators (unshared would need %zu)\n",
+              recover ? "recovered" : "registered", svc->NumOperators(),
+              size_t{10});
   for (const auto& info : svc->ListQueries()) {
     std::printf("  query %llu: %zu nodes, %zu reused — %s\n",
                 static_cast<unsigned long long>(info.id), info.nodes_total,
@@ -103,18 +176,25 @@ int RunDemo() {
     const char* sym;
     int64_t price, qty;
   };
-  const Row rows[] = {{"ACME", 12, 100}, {"ACME", 8, 50},  {"GLOBEX", 40, 10},
-                      {"ACME", 15, 30},  {"GLOBEX", 9, 99}, {"GLOBEX", 41, 5}};
-  Timestamp ts = 0;
-  for (const Row& r : rows) {
+  // The recovered run streams a second act: its aggregate totals include the
+  // first act's rows, still resident in the restored [Range 100] windows.
+  const Row first_act[] = {{"ACME", 12, 100}, {"ACME", 8, 50},
+                           {"GLOBEX", 40, 10}, {"ACME", 15, 30},
+                           {"GLOBEX", 9, 99},  {"GLOBEX", 41, 5}};
+  const Row second_act[] = {{"ACME", 20, 7}, {"GLOBEX", 44, 3},
+                            {"ACME", 13, 11}};
+  for (const Row& r : recover ? std::vector<Row>(std::begin(second_act),
+                                                 std::end(second_act))
+                              : std::vector<Row>(std::begin(first_act),
+                                                 std::end(first_act))) {
     ++ts;
     (void)svc->PushRecord("trades",
                           Tuple{Value(r.sym), Value(r.price), Value(r.qty)}, ts);
     (void)svc->PushWatermark("trades", ts);
   }
 
-  auto drain = [](const char* label, const SubscriptionPtr& sub) {
-    std::printf("%s:\n", label);
+  for (const auto& [qid, sub] : subs) {
+    std::printf("query %llu output:\n", static_cast<unsigned long long>(qid));
     StreamBatch batch;
     while (sub->TryPoll(&batch)) {
       for (const auto& e : batch) {
@@ -124,9 +204,23 @@ int RunDemo() {
         }
       }
     }
-  };
-  drain("big trades (price > 10)", sub_big);
-  drain("volume by symbol (price > 10)", sub_volume);
+  }
+
+  if (coord != nullptr) {
+    auto epoch = coord->TriggerBarrierCheckpoint(svc.get());
+    Status st = epoch.ok() ? coord->WaitForEpoch(*epoch) : epoch.status();
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    ft::DurableOutputLog reader(checkpoint_dir + "/out");
+    auto published = reader.ReadAll();
+    std::printf(
+        "checkpointed epoch %llu; %zu fenced records published to %s/out\n",
+        static_cast<unsigned long long>(*epoch),
+        published.ok() ? published->size() : size_t{0},
+        checkpoint_dir.c_str());
+  }
 
   std::printf("METRICS_JSON %s\n",
               svc->DumpMetrics(MetricsFormat::kJson).c_str());
@@ -402,9 +496,20 @@ int main(int argc, char** argv) {
                         : 7878;
     return cq::RunServer(port);
   }
-  if (argc >= 2) {
-    std::fprintf(stderr, "usage: %s [--serve [port]]\n", argv[0]);
-    return 2;
+  std::string checkpoint_dir;
+  bool recover = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      recover = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--serve [port]] "
+                   "[--checkpoint-dir DIR [--recover]]\n",
+                   argv[0]);
+      return 2;
+    }
   }
-  return cq::RunDemo();
+  return cq::RunDemo(checkpoint_dir, recover);
 }

@@ -15,7 +15,8 @@ query_server examples.
 
 --tsan builds with ThreadSanitizer (default build dir: build-tsan) and
 runs only the concurrent-runtime test binaries (channel, parallel
-pipeline, broker driver) — the threaded core the unified runtime added.
+pipeline, broker driver, and the multi-query service whose subscribers
+drain concurrently) — the threaded core the unified runtime added.
 --asan builds with AddressSanitizer (default build dir: build-asan) and
 runs the state/durability test binaries (ft, kvstore, snapshot, queue)
 — the buffers and file framing the fault-tolerance layer serializes.
@@ -81,11 +82,11 @@ if [[ "$TSAN" == 1 ]]; then
   echo "== build (tsan) =="
   cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
     runtime_test parallel_test broker_driver_test executor_failure_test \
-    batch_equivalence_test
+    batch_equivalence_test service_test graph_mutation_test
 
-  echo "== ctest (tsan: runtime/parallel/broker) =="
+  echo "== ctest (tsan: runtime/parallel/broker/service) =="
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
-    -R 'runtime_test|parallel_test|broker_driver_test|executor_failure_test|batch_equivalence_test'
+    -R 'runtime_test|parallel_test|broker_driver_test|executor_failure_test|batch_equivalence_test|service_test|graph_mutation_test'
 
   echo "tier-1 tsan check: OK"
   exit 0
@@ -134,6 +135,23 @@ echo "== query_server smoke (in-process demo) =="
 QS_OUT="$("$BUILD_DIR"/examples/query_server)"
 if ! grep -q "registered 2 queries" <<< "$QS_OUT"; then
   echo "FAIL: query_server demo did not register its queries" >&2
+  exit 1
+fi
+
+echo "== query_server smoke (checkpoint + recover) =="
+QS_CKPT_DIR="$(mktemp -d)"
+trap 'rm -rf "$QS_CKPT_DIR"' EXIT
+"$BUILD_DIR"/examples/query_server --checkpoint-dir "$QS_CKPT_DIR" > /dev/null
+QS_REC_OUT="$("$BUILD_DIR"/examples/query_server \
+  --checkpoint-dir "$QS_CKPT_DIR" --recover)"
+if ! grep -q "recovered 2 queries" <<< "$QS_REC_OUT"; then
+  echo "FAIL: query_server --recover did not restore its queries" >&2
+  exit 1
+fi
+# The recovered aggregate must count pre-crash rows still resident in the
+# restored [Range 100] window: ACME totals 100+30 before + 7 after = 137.
+if ! grep -q "'ACME', 137" <<< "$QS_REC_OUT"; then
+  echo "FAIL: recovered aggregate lost pre-checkpoint window state" >&2
   exit 1
 fi
 

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Compare google-benchmark JSON results against committed baselines.
+
+Usage:
+  scripts/compare_bench.py --baseline bench/baselines --current bench-results \
+      [--threshold 0.30] [--report report.md] [--warn-only]
+
+Matches BENCH_*.json files by name across the two directories, then matches
+individual benchmark cases by their full name. Two regression classes:
+
+  throughput  items_per_second (or bytes_per_second) dropping more than
+              `threshold` below the baseline FAILS the check — this is the
+              gate against silently shipping a slow pipeline.
+  latency     cpu_time rising more than `threshold` above the baseline is
+              reported as a WARNING only: quick-mode (0.01s) timings are too
+              noisy to block on, but the report makes the drift visible.
+
+Cases or files present on only one side are reported but never fail the
+check — benches come and go as the repo grows. Exits 1 when any throughput
+regression exceeds the threshold (unless --warn-only).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_cases(path):
+    """BENCH_*.json -> {case name: benchmark dict}."""
+    with open(path) as f:
+        data = json.load(f)
+    cases = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        cases[bench["name"]] = bench
+    return cases
+
+
+def throughput_of(case):
+    """Preferred throughput counter, or None when the case reports none."""
+    # bench_util.h reports `items_per_sec`; the stock google-benchmark
+    # names are accepted too so off-the-shelf benches compare unchanged.
+    for key in ("items_per_sec", "items_per_second", "bytes_per_second"):
+        value = case.get(key)
+        if isinstance(value, (int, float)) and value > 0:
+            return key, float(value)
+    return None, None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, type=Path)
+    ap.add_argument("--current", required=True, type=Path)
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="fractional regression that fails (default 0.30)")
+    ap.add_argument("--report", type=Path, default=None,
+                    help="write a markdown comparison report here")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="never exit nonzero (report regressions only)")
+    args = ap.parse_args()
+
+    baseline_files = {p.name: p for p in sorted(args.baseline.glob("BENCH_*.json"))}
+    current_files = {p.name: p for p in sorted(args.current.glob("BENCH_*.json"))}
+    if not baseline_files:
+        print(f"no BENCH_*.json baselines in {args.baseline}", file=sys.stderr)
+        return 2
+    if not current_files:
+        print(f"no BENCH_*.json results in {args.current}", file=sys.stderr)
+        return 2
+
+    failures = []   # (file, case, counter, baseline, current, ratio)
+    warnings = []   # latency drifts and structural mismatches
+    rows = []       # (file, case, metric, baseline, current, delta_pct, verdict)
+
+    for name in sorted(set(baseline_files) | set(current_files)):
+        if name not in current_files:
+            warnings.append(f"{name}: present in baseline only (bench removed?)")
+            continue
+        if name not in baseline_files:
+            warnings.append(f"{name}: present in current only (new bench, "
+                            "no baseline yet)")
+            continue
+        base_cases = load_cases(baseline_files[name])
+        cur_cases = load_cases(current_files[name])
+        for case in sorted(set(base_cases) | set(cur_cases)):
+            if case not in cur_cases:
+                warnings.append(f"{name}/{case}: case vanished")
+                continue
+            if case not in base_cases:
+                warnings.append(f"{name}/{case}: new case, no baseline")
+                continue
+            base, cur = base_cases[case], cur_cases[case]
+
+            counter, base_tp = throughput_of(base)
+            _, cur_tp = throughput_of(cur)
+            if base_tp and cur_tp:
+                delta = cur_tp / base_tp - 1.0
+                verdict = "ok"
+                if delta < -args.threshold:
+                    verdict = "FAIL"
+                    failures.append((name, case, counter, base_tp, cur_tp, delta))
+                rows.append((name, case, counter, base_tp, cur_tp, delta, verdict))
+
+            base_cpu = base.get("cpu_time")
+            cur_cpu = cur.get("cpu_time")
+            if isinstance(base_cpu, (int, float)) and base_cpu > 0 and \
+               isinstance(cur_cpu, (int, float)):
+                delta = cur_cpu / base_cpu - 1.0
+                verdict = "ok"
+                if delta > args.threshold:
+                    verdict = "warn"
+                    warnings.append(
+                        f"{name}/{case}: cpu_time +{delta * 100:.1f}% "
+                        f"({base_cpu:.3g} -> {cur_cpu:.3g} "
+                        f"{cur.get('time_unit', '')}) — latency drift, "
+                        "warn-only")
+                rows.append((name, case, "cpu_time", base_cpu, cur_cpu, delta,
+                             verdict))
+
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write("# Bench comparison\n\n")
+            f.write(f"threshold: {args.threshold * 100:.0f}% | "
+                    f"compared files: "
+                    f"{len(set(baseline_files) & set(current_files))} | "
+                    f"throughput failures: {len(failures)} | "
+                    f"warnings: {len(warnings)}\n\n")
+            f.write("| file | case | metric | baseline | current | delta | "
+                    "verdict |\n")
+            f.write("|---|---|---|---|---|---|---|\n")
+            for name, case, metric, b, c, d, verdict in rows:
+                f.write(f"| {name} | {case} | {metric} | {b:.4g} | {c:.4g} | "
+                        f"{d * 100:+.1f}% | {verdict} |\n")
+            if warnings:
+                f.write("\n## Warnings (non-fatal)\n\n")
+                for w in warnings:
+                    f.write(f"- {w}\n")
+
+    for w in warnings:
+        print(f"WARN: {w}")
+    for name, case, counter, b, c, d in failures:
+        print(f"FAIL: {name}/{case}: {counter} {b:.4g} -> {c:.4g} "
+              f"({d * 100:+.1f}%, threshold -{args.threshold * 100:.0f}%)")
+    compared = sum(1 for r in rows if r[2] != "cpu_time")
+    print(f"compared {compared} throughput series; "
+          f"{len(failures)} regression(s) beyond "
+          f"{args.threshold * 100:.0f}%")
+
+    if failures and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "types/serde.h"
+
 namespace cq {
 
 std::string ContinuousQuery::ToString() const {
@@ -424,6 +426,219 @@ Result<MultisetRelation> IncrementalPlanExecutor::DeltaEval(
     cache_[op].PlusInPlace(delta);
   }
   return delta;
+}
+
+namespace {
+
+/// Preorder walk of the plan tree: the node-numbering contract between
+/// SnapshotState and RestoreState. Structurally identical plans (same SQL
+/// replanned after a restart) produce the same numbering even though the
+/// RelOp pointers differ.
+void CollectPreorder(const RelOp* op, std::vector<const RelOp*>* out) {
+  if (op == nullptr) return;
+  out->push_back(op);
+  for (const auto& c : op->children()) CollectPreorder(c.get(), out);
+}
+
+void EncodeRelationState(const MultisetRelation& rel, std::string* out) {
+  EncodeU32(static_cast<uint32_t>(rel.entries().size()), out);
+  for (const auto& [t, c] : rel.entries()) {
+    EncodeTuple(t, out);
+    EncodeI64(c, out);
+  }
+}
+
+Result<MultisetRelation> DecodeRelationState(std::string_view* in) {
+  CQ_ASSIGN_OR_RETURN(uint32_t n, DecodeU32(in));
+  MultisetRelation rel;
+  for (uint32_t i = 0; i < n; ++i) {
+    CQ_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(in));
+    CQ_ASSIGN_OR_RETURN(int64_t c, DecodeI64(in));
+    rel.Add(t, c);
+  }
+  return rel;
+}
+
+void EncodeJoinSide(
+    const std::unordered_map<Tuple, std::map<Tuple, int64_t>>& side,
+    std::string* out) {
+  // Re-sort the hash keys so the bytes are deterministic.
+  std::map<Tuple, const std::map<Tuple, int64_t>*> ordered;
+  for (const auto& [key, bucket] : side) ordered.emplace(key, &bucket);
+  EncodeU32(static_cast<uint32_t>(ordered.size()), out);
+  for (const auto& [key, bucket] : ordered) {
+    EncodeTuple(key, out);
+    EncodeU32(static_cast<uint32_t>(bucket->size()), out);
+    for (const auto& [t, c] : *bucket) {
+      EncodeTuple(t, out);
+      EncodeI64(c, out);
+    }
+  }
+}
+
+Status DecodeJoinSide(
+    std::string_view* in,
+    std::unordered_map<Tuple, std::map<Tuple, int64_t>>* side) {
+  CQ_ASSIGN_OR_RETURN(uint32_t nkeys, DecodeU32(in));
+  for (uint32_t i = 0; i < nkeys; ++i) {
+    CQ_ASSIGN_OR_RETURN(Tuple key, DecodeTuple(in));
+    CQ_ASSIGN_OR_RETURN(uint32_t nentries, DecodeU32(in));
+    std::map<Tuple, int64_t>& bucket = (*side)[key];
+    for (uint32_t j = 0; j < nentries; ++j) {
+      CQ_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(in));
+      CQ_ASSIGN_OR_RETURN(int64_t c, DecodeI64(in));
+      bucket[t] = c;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> IncrementalPlanExecutor::SnapshotState() const {
+  std::vector<const RelOp*> nodes;
+  CollectPreorder(plan_.get(), &nodes);
+  std::map<const RelOp*, uint32_t> index;
+  for (uint32_t i = 0; i < nodes.size(); ++i) index[nodes[i]] = i;
+  auto index_of = [&](const RelOp* op) -> Result<uint32_t> {
+    auto it = index.find(op);
+    if (it == index.end()) {
+      return Status::Internal("plan state keyed by a node outside the tree");
+    }
+    return it->second;
+  };
+
+  std::string out;
+  EncodeU32(static_cast<uint32_t>(nodes.size()), &out);
+  EncodeRelationState(output_, &out);
+
+  EncodeU32(static_cast<uint32_t>(cache_.size()), &out);
+  for (const auto& [op, rel] : cache_) {  // std::map: pointer-ordered but
+    CQ_ASSIGN_OR_RETURN(uint32_t idx, index_of(op));
+    EncodeU32(idx, &out);  // ...the preorder index makes the KEY stable;
+    EncodeRelationState(rel, &out);
+  }
+
+  EncodeU32(static_cast<uint32_t>(join_indexes_.size()), &out);
+  for (const auto& [op, ji] : join_indexes_) {
+    CQ_ASSIGN_OR_RETURN(uint32_t idx, index_of(op));
+    EncodeU32(idx, &out);
+    EncodeJoinSide(ji.left, &out);
+    EncodeJoinSide(ji.right, &out);
+  }
+
+  EncodeU32(static_cast<uint32_t>(agg_indexes_.size()), &out);
+  for (const auto& [op, ai] : agg_indexes_) {
+    CQ_ASSIGN_OR_RETURN(uint32_t idx, index_of(op));
+    EncodeU32(idx, &out);
+    EncodeU32(static_cast<uint32_t>(ai.groups.size()), &out);
+    for (const auto& [key, g] : ai.groups) {
+      EncodeTuple(key, &out);
+      EncodeI64(g.rows, &out);
+      EncodeU32(static_cast<uint32_t>(g.running.size()), &out);
+      for (const AggState& a : g.running) {
+        EncodeI64(a.count, &out);
+        EncodeF64(a.sum, &out);
+        EncodeValue(a.min, &out);
+        EncodeValue(a.max, &out);
+      }
+      EncodeU32(static_cast<uint32_t>(g.ordered.size()), &out);
+      for (const auto& multiset : g.ordered) {
+        EncodeU32(static_cast<uint32_t>(multiset.size()), &out);
+        for (const auto& [v, c] : multiset) {
+          EncodeValue(v, &out);
+          EncodeI64(c, &out);
+        }
+      }
+      out.push_back(g.has_row ? 1 : 0);
+      if (g.has_row) EncodeTuple(g.row, &out);
+    }
+  }
+  return out;
+}
+
+Status IncrementalPlanExecutor::RestoreState(std::string_view snapshot) {
+  std::vector<const RelOp*> nodes;
+  CollectPreorder(plan_.get(), &nodes);
+
+  std::string_view in = snapshot;
+  CQ_ASSIGN_OR_RETURN(uint32_t num_nodes, DecodeU32(&in));
+  if (num_nodes != nodes.size()) {
+    return Status::InvalidArgument(
+        "plan snapshot covers " + std::to_string(num_nodes) +
+        " nodes but the live plan has " + std::to_string(nodes.size()) +
+        " — plans are not structurally identical");
+  }
+  auto node_at = [&](uint32_t idx) -> Result<const RelOp*> {
+    if (idx >= nodes.size()) {
+      return Status::IOError("plan snapshot node index out of range");
+    }
+    return nodes[idx];
+  };
+
+  output_ = MultisetRelation();
+  cache_.clear();
+  join_indexes_.clear();
+  agg_indexes_.clear();
+
+  CQ_ASSIGN_OR_RETURN(output_, DecodeRelationState(&in));
+
+  CQ_ASSIGN_OR_RETURN(uint32_t ncache, DecodeU32(&in));
+  for (uint32_t i = 0; i < ncache; ++i) {
+    CQ_ASSIGN_OR_RETURN(uint32_t idx, DecodeU32(&in));
+    CQ_ASSIGN_OR_RETURN(const RelOp* op, node_at(idx));
+    CQ_ASSIGN_OR_RETURN(cache_[op], DecodeRelationState(&in));
+  }
+
+  CQ_ASSIGN_OR_RETURN(uint32_t njoin, DecodeU32(&in));
+  for (uint32_t i = 0; i < njoin; ++i) {
+    CQ_ASSIGN_OR_RETURN(uint32_t idx, DecodeU32(&in));
+    CQ_ASSIGN_OR_RETURN(const RelOp* op, node_at(idx));
+    JoinIndex& ji = join_indexes_[op];
+    CQ_RETURN_NOT_OK(DecodeJoinSide(&in, &ji.left));
+    CQ_RETURN_NOT_OK(DecodeJoinSide(&in, &ji.right));
+  }
+
+  CQ_ASSIGN_OR_RETURN(uint32_t nagg, DecodeU32(&in));
+  for (uint32_t i = 0; i < nagg; ++i) {
+    CQ_ASSIGN_OR_RETURN(uint32_t idx, DecodeU32(&in));
+    CQ_ASSIGN_OR_RETURN(const RelOp* op, node_at(idx));
+    AggIndex& ai = agg_indexes_[op];
+    CQ_ASSIGN_OR_RETURN(uint32_t ngroups, DecodeU32(&in));
+    for (uint32_t gi = 0; gi < ngroups; ++gi) {
+      CQ_ASSIGN_OR_RETURN(Tuple key, DecodeTuple(&in));
+      GroupState& g = ai.groups[key];
+      CQ_ASSIGN_OR_RETURN(g.rows, DecodeI64(&in));
+      CQ_ASSIGN_OR_RETURN(uint32_t nrun, DecodeU32(&in));
+      g.running.resize(nrun);
+      for (AggState& a : g.running) {
+        CQ_ASSIGN_OR_RETURN(a.count, DecodeI64(&in));
+        CQ_ASSIGN_OR_RETURN(a.sum, DecodeF64(&in));
+        CQ_ASSIGN_OR_RETURN(a.min, DecodeValue(&in));
+        CQ_ASSIGN_OR_RETURN(a.max, DecodeValue(&in));
+      }
+      CQ_ASSIGN_OR_RETURN(uint32_t nord, DecodeU32(&in));
+      g.ordered.resize(nord);
+      for (auto& multiset : g.ordered) {
+        CQ_ASSIGN_OR_RETURN(uint32_t n, DecodeU32(&in));
+        for (uint32_t j = 0; j < n; ++j) {
+          CQ_ASSIGN_OR_RETURN(Value v, DecodeValue(&in));
+          CQ_ASSIGN_OR_RETURN(int64_t c, DecodeI64(&in));
+          multiset[v] = c;
+        }
+      }
+      if (in.empty()) return Status::IOError("plan snapshot truncated");
+      g.has_row = in.front() != 0;
+      in.remove_prefix(1);
+      if (g.has_row) {
+        CQ_ASSIGN_OR_RETURN(g.row, DecodeTuple(&in));
+      }
+    }
+  }
+  if (!in.empty()) {
+    return Status::IOError("trailing bytes after plan snapshot");
+  }
+  return Status::OK();
 }
 
 }  // namespace cq

@@ -116,6 +116,18 @@ class IncrementalPlanExecutor {
   /// \brief Total distinct tuples cached across plan nodes (state size).
   size_t StateSize() const;
 
+  /// \brief Serializes every piece of maintained state — accumulated
+  /// output, node caches, join indexes, aggregation groups — as
+  /// deterministic bytes. Node-keyed maps are keyed by the node's preorder
+  /// index in the plan tree, so a structurally identical plan (e.g. the
+  /// same SQL replanned after a restart) restores byte-for-byte.
+  Result<std::string> SnapshotState() const;
+
+  /// \brief Restores state captured by SnapshotState into this executor,
+  /// which must have been constructed over a plan with the same tree shape
+  /// (preorder node count is verified). Replaces all current state.
+  Status RestoreState(std::string_view snapshot);
+
  private:
   /// Per-side hash index for equi-join nodes: join key -> matching tuples.
   struct JoinIndex {

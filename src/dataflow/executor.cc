@@ -346,6 +346,15 @@ Result<std::vector<std::string>> PipelineExecutor::SnapshotSlots() {
     CQ_ASSIGN_OR_RETURN(std::string state, graph_->node(i)->SnapshotState());
     slots.push_back(std::move(state));
   }
+  // Second pass, only after every node captured cleanly: the image now owns
+  // the staged state, so staging sinks may drop their live copies. A failure
+  // here aborts the epoch — the caller must recover from the previous
+  // durable epoch, since part of the live state moved into the (discarded)
+  // image.
+  for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
+    if (!graph_->is_live(i)) continue;
+    CQ_RETURN_NOT_OK(graph_->node(i)->OnSnapshotStaged());
+  }
   return slots;
 }
 

@@ -102,6 +102,15 @@ class Operator {
   /// \brief Serializes operator state for a checkpoint (empty = stateless).
   virtual Result<std::string> SnapshotState() const { return std::string(); }
 
+  /// \brief Called by the executor after every node in the pipeline has
+  /// serialized its state for a checkpoint — i.e. the moment ownership of
+  /// the captured image passes from live operators to the checkpoint.
+  /// Operators whose SnapshotState *moves* state into the image (two-phase
+  /// staging, e.g. an epoch-fenced sink handing its pending buffer to the
+  /// snapshot) drop the live copy here so the next epoch starts clean. The
+  /// default keeps live state untouched.
+  virtual Status OnSnapshotStaged() { return Status::OK(); }
+
   /// \brief Restores from a SnapshotState payload.
   virtual Status RestoreState(std::string_view snapshot) {
     if (!snapshot.empty()) {

@@ -27,7 +27,22 @@ Status CheckpointCoordinator::PersistEpoch(
   // publishing fenced output are both safe to redo after a crash (commit is
   // idempotent, publish is fenced by epoch), so their order is free.
   if (commit_fn_) CQ_RETURN_NOT_OK(commit_fn_(offsets));
-  if (publish_fn_) CQ_RETURN_NOT_OK(publish_fn_(epoch));
+  if (output_log_ != nullptr) {
+    // Phase-2 commit of the publish fence: read the epoch's slots back from
+    // the STORE, not from live operators — in barrier mode the live sink
+    // buffers already hold post-barrier records, but the durable image
+    // carries exactly the staged pre-barrier output.
+    CQ_ASSIGN_OR_RETURN(SnapshotManifest manifest, store_->LatestManifest());
+    if (manifest.epoch != epoch) {
+      return Status::Internal(
+          "publish fence: persisted epoch " + std::to_string(epoch) +
+          " but the store's latest manifest is epoch " +
+          std::to_string(manifest.epoch));
+    }
+    CQ_ASSIGN_OR_RETURN(std::vector<std::string> durable_slots,
+                        store_->LoadSlots(manifest));
+    CQ_RETURN_NOT_OK(PublishStagedFrames(durable_slots, epoch, output_log_));
+  }
   return Status::OK();
 }
 

@@ -37,6 +37,7 @@
 #include "common/time.h"
 #include "ft/barrier.h"
 #include "ft/checkpointable.h"
+#include "ft/fence.h"
 #include "ft/snapshot_store.h"
 
 namespace cq::ft {
@@ -49,8 +50,6 @@ class CheckpointCoordinator {
   using CommitFn = std::function<Status(const std::map<std::string, int64_t>&)>;
   /// Source watermark recorded into the manifest.
   using WatermarkFn = std::function<Timestamp()>;
-  /// Post-commit hook: publish fenced sink output for the durable epoch.
-  using PublishFn = std::function<Status(uint64_t epoch)>;
 
   /// \brief Neither pointer is owned; both must outlive the coordinator.
   CheckpointCoordinator(Checkpointable* pipeline, SnapshotStore* store);
@@ -58,7 +57,13 @@ class CheckpointCoordinator {
   void SetOffsetsProvider(OffsetsFn fn) { offsets_fn_ = std::move(fn); }
   void SetCommitFn(CommitFn fn) { commit_fn_ = std::move(fn); }
   void SetWatermarkFn(WatermarkFn fn) { watermark_fn_ = std::move(fn); }
-  void SetPublishFn(PublishFn fn) { publish_fn_ = std::move(fn); }
+
+  /// \brief Enables the two-phase-commit publish fence: once an epoch's
+  /// manifest commits, the coordinator reads the slots back from the
+  /// SnapshotStore, extracts every staged sink frame, and publishes it to
+  /// `log` (idempotent by filename). Not owned; must outlive the
+  /// coordinator.
+  void SetOutputLog(DurableOutputLog* log) { output_log_ = log; }
 
   /// \brief Resumes epoch numbering after `epoch` (recovery: the next
   /// checkpoint becomes `epoch`+1).
@@ -102,7 +107,7 @@ class CheckpointCoordinator {
   OffsetsFn offsets_fn_;
   CommitFn commit_fn_;
   WatermarkFn watermark_fn_;
-  PublishFn publish_fn_;
+  DurableOutputLog* output_log_ = nullptr;
 
   std::unique_ptr<BarrierAligner> aligner_;
 

@@ -54,6 +54,7 @@ inline constexpr const char* kSnapshotPreManifestRename =
 inline constexpr const char* kSnapshotPostCommit = "snapshot.post_commit";
 inline constexpr const char* kCommitOffsets = "source.commit_offsets";
 inline constexpr const char* kSinkPublish = "sink.publish";
+inline constexpr const char* kFenceStage = "fence.stage";
 
 /// \brief Every compiled-in point (tests iterate this to prove recovery
 /// works no matter where the failure lands).
@@ -61,7 +62,7 @@ inline const std::vector<std::string>& All() {
   static const std::vector<std::string> kAll = {
       kChannelPush,           kWorkerProcess, kSnapshotPreStateRename,
       kSnapshotPreManifestRename, kSnapshotPostCommit, kCommitOffsets,
-      kSinkPublish};
+      kSinkPublish,           kFenceStage};
   return kAll;
 }
 }  // namespace faultpoint

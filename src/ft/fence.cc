@@ -13,6 +13,14 @@ namespace cq::ft {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+/// Magic tag prefixing a staged sink frame. A plain blob list starts with a
+/// u32 element count, so no realistic slot can alias this value.
+constexpr uint32_t kStagedFrameMagic = 0x46454E43;  // "FENC"
+
+}  // namespace
+
 DurableOutputLog::DurableOutputLog(std::string dir) : dir_(std::move(dir)) {}
 
 Status DurableOutputLog::Init() {
@@ -80,9 +88,59 @@ Result<std::vector<std::string>> DurableOutputLog::ReadAll() const {
   return out;
 }
 
+// --- Staged frame codec ---
+
+std::optional<StagedSinkFrame> TryDecodeStagedFrame(std::string_view slot) {
+  std::string_view in = slot;
+  Result<uint32_t> magic = DecodeU32(&in);
+  if (!magic.ok() || *magic != kStagedFrameMagic) return std::nullopt;
+  Result<uint64_t> part = DecodeU64(&in);
+  if (!part.ok()) return std::nullopt;
+  Result<std::vector<std::string>> records = DecodeBlobList(&in);
+  if (!records.ok() || !in.empty()) return std::nullopt;
+  StagedSinkFrame frame;
+  frame.part = static_cast<size_t>(*part);
+  frame.records = std::move(*records);
+  return frame;
+}
+
+std::vector<StagedSinkFrame> ExtractStagedFrames(
+    const std::vector<std::string>& slots) {
+  std::vector<StagedSinkFrame> frames;
+  for (const std::string& slot : slots) {
+    if (auto frame = TryDecodeStagedFrame(slot)) {
+      frames.push_back(std::move(*frame));
+      continue;
+    }
+    // Worker slots (parallel pipeline) and service images wrap their node
+    // states in a blob list; look one level deep.
+    std::string_view in = slot;
+    Result<std::vector<std::string>> nested = DecodeBlobList(&in);
+    if (!nested.ok() || !in.empty()) continue;
+    for (const std::string& inner : *nested) {
+      if (auto frame = TryDecodeStagedFrame(inner)) {
+        frames.push_back(std::move(*frame));
+      }
+    }
+  }
+  return frames;
+}
+
+Status PublishStagedFrames(const std::vector<std::string>& slots,
+                           uint64_t epoch, DurableOutputLog* log) {
+  for (const StagedSinkFrame& frame : ExtractStagedFrames(slots)) {
+    CQ_RETURN_NOT_OK(log->Publish(epoch, frame.part, frame.records));
+  }
+  return Status::OK();
+}
+
+// --- EpochSinkOperator ---
+
 EpochSinkOperator::EpochSinkOperator(std::string name, DurableOutputLog* log,
                                      size_t part)
-    : Operator(std::move(name)), log_(log), part_(part) {}
+    : Operator(std::move(name)), log_(log), part_(part) {
+  (void)log_;  // publishing moved to the coordinator; kept for diagnostics
+}
 
 std::string EpochSinkOperator::EncodeRecord(const StreamElement& element) {
   std::string out;
@@ -104,18 +162,32 @@ Status EpochSinkOperator::ProcessElement(size_t port,
 
 Result<std::string> EpochSinkOperator::SnapshotState() const {
   std::string out;
+  EncodeU32(kStagedFrameMagic, &out);
+  EncodeU64(static_cast<uint64_t>(part_), &out);
   EncodeBlobList(pending_, &out);
   return out;
 }
 
 Status EpochSinkOperator::RestoreState(std::string_view snapshot) {
-  std::string_view in = snapshot;
-  CQ_ASSIGN_OR_RETURN(pending_, DecodeBlobList(&in));
+  pending_.clear();
+  if (snapshot.empty()) return Status::OK();  // fresh sink
+  std::optional<StagedSinkFrame> frame = TryDecodeStagedFrame(snapshot);
+  if (!frame.has_value()) {
+    return Status::InvalidArgument("sink '" + name() +
+                                   "' received a non-staged-frame snapshot");
+  }
+  if (frame->part != part_) {
+    return Status::InvalidArgument(
+        "sink '" + name() + "' (part " + std::to_string(part_) +
+        ") received the staged frame of part " + std::to_string(frame->part));
+  }
+  // The staged records stay with the epoch image (recovery republishes them
+  // from there); the live buffer restarts empty for the next epoch.
   return Status::OK();
 }
 
-Status EpochSinkOperator::PublishEpoch(uint64_t epoch) {
-  CQ_RETURN_NOT_OK(log_->Publish(epoch, part_, pending_));
+Status EpochSinkOperator::OnSnapshotStaged() {
+  CQ_RETURN_NOT_OK(FaultInjector::Global().Hit(faultpoint::kFenceStage));
   pending_.clear();
   return Status::OK();
 }

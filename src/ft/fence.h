@@ -2,28 +2,39 @@
 #define CQ_FT_FENCE_H_
 
 /// \file fence.h
-/// \brief Effectively-once output: epoch-fenced sinks over a durable log.
+/// \brief Effectively-once output: epoch-fenced sinks over a durable log,
+/// two-phase-commit style.
 ///
 /// Checkpoint + replay alone gives at-least-once at the pipeline edge: the
 /// replayed window re-fires the sink. The fence closes that gap the way
-/// transactional sinks do in production systems, with a two-part protocol:
+/// transactional sinks do in production systems (Flink's 2PC sinks,
+/// MillWheel's idempotent production), with a staged two-phase protocol:
 ///
-///  - EpochSinkOperator buffers its output instead of emitting it. The
-///    pending buffer is part of the operator's checkpoint state, so a
-///    snapshot at epoch N carries exactly the output of the (N-1, N]
-///    window.
-///  - Once epoch N is durable, the coordinator's publish hook flushes each
-///    sink's buffer to the DurableOutputLog as file `out-<N>-<part>` —
-///    written atomically, and *idempotent by filename*: publishing an epoch
-///    that is already on disk is a no-op.
+///  - Phase 1 (prepare): EpochSinkOperator buffers its output instead of
+///    emitting it. At snapshot time the pending buffer is serialized *into
+///    the checkpoint image* as a self-identifying staged frame, and — once
+///    every node of the pipeline has captured — the live buffer is dropped
+///    (OnSnapshotStaged). From that moment the buffer belongs to the epoch
+///    image, not to operator memory, so post-barrier records accumulating
+///    concurrently can never leak into epoch N.
+///  - Phase 2 (commit): when the epoch's manifest commits, the coordinator
+///    reads the slots back from the durable SnapshotStore, extracts the
+///    staged frames, and publishes each to the DurableOutputLog as file
+///    `out-<N>-<part>` — written atomically, and *idempotent by filename*:
+///    publishing an epoch that is already on disk is a no-op.
 ///
 /// Every crash position is then safe: before the manifest commit, recovery
 /// rolls back to epoch N-1 and the window replays into a fresh buffer;
-/// after the commit but before the publish, the restored buffer re-publishes
-/// the missing file; after the publish, the re-publish hits the existing
-/// file and skips. Replayed batches can never double-fire the output.
+/// after the commit but before the publish, recovery re-reads the staged
+/// frames from the same durable image and publishes the missing files;
+/// after the publish, the re-publish hits the existing files and skips.
+/// Replayed batches can never double-fire the output. An epoch that fails
+/// *between* staging and manifest commit is aborted: the staged buffer died
+/// with the discarded image, so the caller must recover from the previous
+/// durable epoch (which replays those records).
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -60,8 +71,33 @@ class DurableOutputLog {
   std::string dir_;
 };
 
+/// \brief A staged sink buffer extracted from a checkpoint image.
+struct StagedSinkFrame {
+  size_t part = 0;
+  std::vector<std::string> records;
+};
+
+/// \brief Tries to parse one checkpoint slot as an EpochSinkOperator staged
+/// frame (magic-tagged, fully consumed); nullopt when the slot is anything
+/// else.
+std::optional<StagedSinkFrame> TryDecodeStagedFrame(std::string_view slot);
+
+/// \brief Scans a checkpoint image's slots for staged sink frames, looking
+/// one level deep into worker slots (blob lists of node states) so both the
+/// synchronous executor's per-node layout and the parallel pipeline's
+/// per-worker layout are covered.
+std::vector<StagedSinkFrame> ExtractStagedFrames(
+    const std::vector<std::string>& slots);
+
+/// \brief Publishes every staged frame found in `slots` as `epoch` through
+/// `log` — the phase-2 commit, run against slots read back from the durable
+/// SnapshotStore (or just restored by recovery).
+Status PublishStagedFrames(const std::vector<std::string>& slots,
+                           uint64_t epoch, DurableOutputLog* log);
+
 /// \brief Terminal sink operator that buffers output until its epoch is
-/// durable, then publishes through the DurableOutputLog.
+/// durable; the epoch's buffer travels inside the snapshot image and is
+/// published from there.
 ///
 /// `part` distinguishes parallel sink instances (worker index); each
 /// publishes its own per-epoch file.
@@ -72,20 +108,26 @@ class EpochSinkOperator : public Operator {
   Status ProcessElement(size_t port, const StreamElement& element,
                         const OperatorContext& ctx, Collector* out) override;
 
-  /// \brief Pending buffer travels inside the checkpoint image — that is
-  /// what makes the crash window between manifest commit and publish safe.
+  /// \brief Serializes the pending buffer as a magic-tagged staged frame —
+  /// self-identifying so the coordinator can find it among opaque slots.
   Result<std::string> SnapshotState() const override;
+
+  /// \brief Validates the staged frame and restarts with an EMPTY live
+  /// buffer: the staged records belong to the restored epoch's image and
+  /// are republished from it by recovery; restoring them live would leak
+  /// them into epoch N+1.
   Status RestoreState(std::string_view snapshot) override;
+
+  /// \brief Phase-1 handoff: once the whole pipeline has snapshotted, the
+  /// image owns the buffer; drop the live copy (fault point `fence.stage`).
+  Status OnSnapshotStaged() override;
+
   size_t StateSize() const override { return pending_.size(); }
   bool IsStateless() const override { return false; }
 
-  /// \brief Publishes the pending buffer as `epoch` and clears it. Always
-  /// clears on success, including when the file already existed (a restored
-  /// buffer whose epoch was already published must not leak into the next
-  /// epoch).
-  Status PublishEpoch(uint64_t epoch);
+  size_t part() const { return part_; }
 
-  /// \brief Records buffered since the last publish (tests/diagnostics).
+  /// \brief Records buffered since the last staging (tests/diagnostics).
   const std::vector<std::string>& pending() const { return pending_; }
 
   /// \brief Encoding used for published records: [i64 ts][tuple bytes].

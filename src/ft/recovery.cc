@@ -21,6 +21,14 @@ Result<RecoveryReport> RecoveryManager::Recover(Checkpointable* pipeline,
   CQ_RETURN_NOT_OK(pipeline->QuiesceForSnapshot());
   CQ_RETURN_NOT_OK(pipeline->RestoreSlots(slots));
   if (seek) CQ_RETURN_NOT_OK(seek(manifest->source_offsets));
+  if (output_log_ != nullptr) {
+    // The crash may have landed between the manifest commit and the fence
+    // publish: republish the restored epoch's staged output from the same
+    // durable image. Idempotent by filename — a crash after the original
+    // publish makes this a no-op.
+    CQ_RETURN_NOT_OK(
+        PublishStagedFrames(slots, manifest->epoch, output_log_));
+  }
 
   report.restored = true;
   report.epoch = manifest->epoch;

@@ -28,6 +28,7 @@
 #include "common/status.h"
 #include "common/time.h"
 #include "ft/checkpointable.h"
+#include "ft/fence.h"
 #include "ft/snapshot_store.h"
 
 namespace cq::ft {
@@ -60,6 +61,12 @@ class RecoveryManager {
 
   explicit RecoveryManager(SnapshotStore* store) : store_(store) {}
 
+  /// \brief Enables re-publication of the restored epoch's staged sink
+  /// frames through `log` — closes the crash window between manifest commit
+  /// and publish (idempotent: already-published epochs are skipped). Not
+  /// owned.
+  void SetOutputLog(DurableOutputLog* log) { output_log_ = log; }
+
   /// \brief Runs the recovery sequence into `pipeline` (freshly
   /// constructed, quiescent). With no usable snapshot on disk, returns a
   /// report with restored=false and leaves the pipeline untouched.
@@ -68,6 +75,7 @@ class RecoveryManager {
 
  private:
   SnapshotStore* store_;
+  DurableOutputLog* output_log_ = nullptr;
 };
 
 }  // namespace cq::ft

@@ -25,8 +25,26 @@ Status BrokerSourceDriver::EnsureInitialized() {
   positions_.resize(t->num_partitions());
   for (size_t p = 0; p < t->num_partitions(); ++p) {
     positions_[p] = broker_->CommittedOffset(group_, topic_, p);
+    // Re-derive the generator's state from the consumed prefix: watermark
+    // state is a pure function of (partition contents, position), so this
+    // restores it exactly. Without it a partition that was fully consumed
+    // before the commit would never observe another record after a seek and
+    // would hold the min-across-partitions watermark at kMinTimestamp
+    // forever — a recovered run could then never flush its windows.
+    if (positions_[p] > 0) {
+      CQ_ASSIGN_OR_RETURN(
+          std::vector<Message> prefix,
+          broker_->PollAt(topic_, p, 0,
+                          static_cast<size_t>(positions_[p])));
+      for (const auto& msg : prefix) {
+        partition_watermarks_[p].Observe(msg.timestamp);
+      }
+    }
   }
-  last_emitted_wm_ = kMinTimestamp;
+  // The run that committed these offsets had already emitted the watermark
+  // they imply; replay emits only genuine advances past it, keeping the
+  // watermark cadence identical to the uninterrupted run.
+  last_emitted_wm_ = CurrentWatermark();
   initialized_ = true;
   return Status::OK();
 }

@@ -212,6 +212,52 @@ Status PlanDeltaOperator::OnWatermark(Timestamp watermark,
   return Status::Internal("unknown R2S kind");
 }
 
+Result<std::string> PlanDeltaOperator::SnapshotState() const {
+  std::string out;
+  EncodeU32(static_cast<uint32_t>(num_slots_), &out);
+  for (const auto& p : pending_) {
+    EncodeU32(static_cast<uint32_t>(p.entries().size()), &out);
+    for (const auto& [t, c] : p.entries()) {
+      EncodeTuple(t, &out);
+      EncodeI64(c, &out);
+    }
+  }
+  out.push_back(has_pending_ ? 1 : 0);
+  CQ_ASSIGN_OR_RETURN(std::string exec_blob, exec_.SnapshotState());
+  EncodeString(exec_blob, &out);
+  return out;
+}
+
+Status PlanDeltaOperator::RestoreState(std::string_view snapshot) {
+  std::string_view in = snapshot;
+  CQ_ASSIGN_OR_RETURN(uint32_t slots, DecodeU32(&in));
+  if (slots != num_slots_) {
+    return Status::InvalidArgument(
+        "plan operator '" + name() + "' snapshot has " +
+        std::to_string(slots) + " slots, operator has " +
+        std::to_string(num_slots_));
+  }
+  for (auto& p : pending_) {
+    p = MultisetRelation();
+    CQ_ASSIGN_OR_RETURN(uint32_t n, DecodeU32(&in));
+    for (uint32_t i = 0; i < n; ++i) {
+      CQ_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(&in));
+      CQ_ASSIGN_OR_RETURN(int64_t c, DecodeI64(&in));
+      p.Add(t, c);
+    }
+  }
+  if (in.empty()) {
+    return Status::IOError("plan operator snapshot truncated");
+  }
+  has_pending_ = in.front() != 0;
+  in.remove_prefix(1);
+  CQ_ASSIGN_OR_RETURN(std::string exec_blob, DecodeString(&in));
+  if (!in.empty()) {
+    return Status::IOError("trailing bytes after plan operator snapshot");
+  }
+  return exec_.RestoreState(exec_blob);
+}
+
 size_t PlanDeltaOperator::StateSize() const {
   size_t n = exec_.StateSize();
   for (const auto& p : pending_) n += p.NumDistinct();

@@ -99,13 +99,13 @@ class PlanDeltaOperator : public Operator {
   Status OnWatermark(Timestamp watermark, const OperatorContext& ctx,
                      Collector* out) override;
 
-  /// Checkpointing the maintained join/aggregate indexes is future work
-  /// (ROADMAP); snapshotting a service graph fails loudly instead of
-  /// silently losing state.
-  Result<std::string> SnapshotState() const override {
-    return Status::Unimplemented(
-        "service plan operator '" + name() + "' is not checkpointable yet");
-  }
+  /// The full incremental state round-trips: per-slot pending delta
+  /// buffers plus the IncrementalPlanExecutor's accumulated output, node
+  /// caches, join indexes, and aggregation groups (keyed by plan preorder
+  /// index, so the restored operator may hold a different — but
+  /// structurally identical — plan tree).
+  Result<std::string> SnapshotState() const override;
+  Status RestoreState(std::string_view snapshot) override;
   size_t StateSize() const override;
   size_t StateBytesApprox() const override;
   bool IsStateless() const override { return false; }

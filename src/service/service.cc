@@ -152,7 +152,10 @@ void QueryService::ReleaseAll(const std::vector<std::string>& ref_order) {
 
 Result<QueryId> QueryService::RegisterQuery(const std::string& sql) {
   std::lock_guard<std::mutex> lock(mu_);
+  return RegisterQueryLocked(sql);
+}
 
+Result<QueryId> QueryService::RegisterQueryLocked(const std::string& sql) {
   // --- Admission control ---
   if (NumActiveQueriesLocked() >= config_.max_queries) {
     if (rejected_total_ != nullptr) rejected_total_->Increment();
@@ -282,6 +285,17 @@ Result<QueryId> QueryService::RegisterQuery(const std::string& sql) {
     ++rec.nodes_total;
     CQ_RETURN_NOT_OK(graph_->Connect(plan_node, rec.sink_node, 0));
 
+    // --- Per-query durable fence sink (only with an attached log) ---
+    if (output_log_ != nullptr) {
+      auto fence = std::make_unique<ft::EpochSinkOperator>(
+          "fence:q" + std::to_string(qid), output_log_,
+          /*part=*/static_cast<size_t>(qid));
+      rec.fence = fence.get();
+      rec.fence_node = graph_->AddNode(std::move(fence));
+      ++rec.nodes_total;
+      CQ_RETURN_NOT_OK(graph_->Connect(plan_node, rec.fence_node, 0));
+    }
+
     CQ_RETURN_NOT_OK(graph_->Validate());
     executor_->SyncWithGraph();
     return Status::OK();
@@ -289,10 +303,13 @@ Result<QueryId> QueryService::RegisterQuery(const std::string& sql) {
 
   Status st = splice();
   if (!st.ok()) {
-    // Roll back: drop the sink (if it made it into the graph) and unref
+    // Roll back: drop the sinks (if they made it into the graph) and unref
     // every acquired fingerprint so the graph is exactly as before.
     if (rec.sink != nullptr && graph_->is_live(rec.sink_node)) {
       (void)graph_->RemoveNode(rec.sink_node);
+    }
+    if (rec.fence != nullptr && graph_->is_live(rec.fence_node)) {
+      (void)graph_->RemoveNode(rec.fence_node);
     }
     ReleaseAll(rec.ref_order);
     if (rejected_total_ != nullptr) rejected_total_->Increment();
@@ -329,6 +346,12 @@ Status QueryService::DropQuery(QueryId id) {
   rec.sink->CloseAll();
   CQ_RETURN_NOT_OK(graph_->RemoveNode(rec.sink_node).status());
   rec.sink = nullptr;
+  if (rec.fence != nullptr) {
+    // Un-checkpointed fence output dies with the query — dropping a query
+    // ends its externally published stream at the last durable epoch.
+    CQ_RETURN_NOT_OK(graph_->RemoveNode(rec.fence_node).status());
+    rec.fence = nullptr;
+  }
 
   // Downstream-first: the plan stage (last acquired) unrefs before the
   // windows, filters, and sources feeding it.
@@ -467,6 +490,311 @@ size_t QueryService::ApproxStateBytes() const {
 std::string QueryService::DumpMetrics(MetricsFormat format) {
   std::lock_guard<std::mutex> lock(mu_);
   return executor_->DumpMetrics(format);
+}
+
+// --- Durability ---
+
+namespace {
+
+constexpr const char* kFenceKeyPrefix = "fence:q";
+
+/// One registered query as persisted in the service registry blob.
+struct PersistedQuery {
+  QueryId id = 0;
+  std::string sql;
+  std::vector<std::string> ref_order;
+  uint64_t nodes_total = 0;
+  uint64_t nodes_reused = 0;
+};
+
+struct PersistedRegistry {
+  uint64_t next_query_id = 1;
+  uint64_t next_sub_id = 1;
+  /// Catalog streams (name -> schema fields): queries replay through the
+  /// SQL frontend, so streams registered at runtime must come back first.
+  std::map<std::string, std::vector<Field>> streams;
+  std::vector<PersistedQuery> queries;              // id order
+  std::map<std::string, uint64_t> shared_refs;      // fingerprint -> refs
+  std::vector<std::string> state_keys;              // aligns inner[1..]
+};
+
+Result<PersistedRegistry> DecodeRegistry(std::string_view blob) {
+  std::string_view in = blob;
+  PersistedRegistry reg;
+  CQ_ASSIGN_OR_RETURN(reg.next_query_id, DecodeU64(&in));
+  CQ_ASSIGN_OR_RETURN(reg.next_sub_id, DecodeU64(&in));
+  CQ_ASSIGN_OR_RETURN(uint32_t nstreams, DecodeU32(&in));
+  for (uint32_t i = 0; i < nstreams; ++i) {
+    CQ_ASSIGN_OR_RETURN(std::string name, DecodeString(&in));
+    CQ_ASSIGN_OR_RETURN(uint32_t nfields, DecodeU32(&in));
+    std::vector<Field> fields(nfields);
+    for (Field& f : fields) {
+      CQ_ASSIGN_OR_RETURN(f.name, DecodeString(&in));
+      CQ_ASSIGN_OR_RETURN(uint32_t type, DecodeU32(&in));
+      if (type > static_cast<uint32_t>(ValueType::kString)) {
+        return Status::IOError("unknown value type in persisted stream '" +
+                               name + "'");
+      }
+      f.type = static_cast<ValueType>(type);
+    }
+    reg.streams[std::move(name)] = std::move(fields);
+  }
+  CQ_ASSIGN_OR_RETURN(uint32_t nq, DecodeU32(&in));
+  reg.queries.resize(nq);
+  for (PersistedQuery& q : reg.queries) {
+    CQ_ASSIGN_OR_RETURN(q.id, DecodeU64(&in));
+    CQ_ASSIGN_OR_RETURN(q.sql, DecodeString(&in));
+    CQ_ASSIGN_OR_RETURN(q.ref_order, ft::DecodeBlobList(&in));
+    CQ_ASSIGN_OR_RETURN(q.nodes_total, DecodeU64(&in));
+    CQ_ASSIGN_OR_RETURN(q.nodes_reused, DecodeU64(&in));
+  }
+  CQ_ASSIGN_OR_RETURN(uint32_t ns, DecodeU32(&in));
+  for (uint32_t i = 0; i < ns; ++i) {
+    CQ_ASSIGN_OR_RETURN(std::string fp, DecodeString(&in));
+    CQ_ASSIGN_OR_RETURN(reg.shared_refs[std::move(fp)], DecodeU64(&in));
+  }
+  CQ_ASSIGN_OR_RETURN(reg.state_keys, ft::DecodeBlobList(&in));
+  if (!in.empty()) {
+    return Status::IOError("trailing bytes after service registry");
+  }
+  return reg;
+}
+
+}  // namespace
+
+void QueryService::SetDurableOutputLog(ft::DurableOutputLog* log) {
+  std::lock_guard<std::mutex> lock(mu_);
+  output_log_ = log;
+}
+
+std::vector<std::string> QueryService::StateKeysLocked() const {
+  std::vector<std::string> keys;
+  for (const auto& [fp, sn] : shared_) keys.push_back(fp);
+  for (const auto& [id, rec] : queries_) {
+    if (rec.state == QueryState::kRunning && rec.fence != nullptr) {
+      keys.push_back(kFenceKeyPrefix + std::to_string(id));
+    }
+  }
+  return keys;
+}
+
+Result<std::vector<std::string>> QueryService::SnapshotSlots() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotSlotsLocked();
+}
+
+Result<std::vector<std::string>> QueryService::SnapshotSlotsLocked() {
+  const std::vector<std::string> keys = StateKeysLocked();
+
+  // Registry blob: everything needed to re-splice an equivalent graph.
+  std::string reg;
+  EncodeU64(next_query_id_, &reg);
+  EncodeU64(next_sub_id_, &reg);
+  const std::vector<std::string> stream_names = catalog_.StreamNames();
+  EncodeU32(static_cast<uint32_t>(stream_names.size()), &reg);
+  for (const std::string& name : stream_names) {
+    CQ_ASSIGN_OR_RETURN(SchemaPtr schema, catalog_.GetStream(name));
+    EncodeString(name, &reg);
+    EncodeU32(static_cast<uint32_t>(schema->num_fields()), &reg);
+    for (const Field& f : schema->fields()) {
+      EncodeString(f.name, &reg);
+      EncodeU32(static_cast<uint32_t>(f.type), &reg);
+    }
+  }
+  uint32_t nrunning = 0;
+  for (const auto& [id, rec] : queries_) {
+    if (rec.state == QueryState::kRunning) ++nrunning;
+  }
+  EncodeU32(nrunning, &reg);
+  for (const auto& [id, rec] : queries_) {
+    if (rec.state != QueryState::kRunning) continue;
+    EncodeU64(id, &reg);
+    EncodeString(rec.sql, &reg);
+    ft::EncodeBlobList(rec.ref_order, &reg);
+    EncodeU64(rec.nodes_total, &reg);
+    EncodeU64(rec.nodes_reused, &reg);
+  }
+  EncodeU32(static_cast<uint32_t>(shared_.size()), &reg);
+  for (const auto& [fp, sn] : shared_) {
+    EncodeString(fp, &reg);
+    EncodeU64(sn.refs, &reg);
+  }
+  ft::EncodeBlobList(keys, &reg);
+
+  std::vector<std::string> inner;
+  inner.reserve(keys.size() + 1);
+  inner.push_back(std::move(reg));
+  for (const std::string& key : keys) {
+    CQ_ASSIGN_OR_RETURN(Operator * node, NodeForKeyLocked(key));
+    CQ_ASSIGN_OR_RETURN(std::string state, node->SnapshotState());
+    inner.push_back(std::move(state));
+  }
+
+  // Staged handoff (phase 1 of the publish fence): only after every node
+  // captured cleanly do the fence sinks drop their live buffers — the image
+  // owns them now.
+  for (NodeId i = 0; i < graph_->num_nodes(); ++i) {
+    if (!graph_->is_live(i)) continue;
+    CQ_RETURN_NOT_OK(graph_->node(i)->OnSnapshotStaged());
+  }
+
+  std::string outer;
+  ft::EncodeBlobList(inner, &outer);
+  return std::vector<std::string>{std::move(outer)};
+}
+
+Result<Operator*> QueryService::NodeForKeyLocked(const std::string& key) {
+  if (key.rfind(kFenceKeyPrefix, 0) == 0) {
+    QueryId id = 0;
+    try {
+      id = std::stoull(key.substr(std::string(kFenceKeyPrefix).size()));
+    } catch (const std::exception&) {
+      return Status::IOError("malformed fence state key '" + key + "'");
+    }
+    auto it = queries_.find(id);
+    if (it == queries_.end() || it->second.fence == nullptr) {
+      return Status::Internal("state key '" + key +
+                              "' names no live fence sink — was the durable "
+                              "output log attached before restore?");
+    }
+    return static_cast<Operator*>(it->second.fence);
+  }
+  auto it = shared_.find(key);
+  if (it == shared_.end()) {
+    return Status::Internal("state key '" + key +
+                            "' is not in the shared-node index");
+  }
+  return graph_->node(it->second.node);
+}
+
+Status QueryService::RestoreSlots(const std::vector<std::string>& slots) {
+  if (slots.size() != 1) {
+    return Status::InvalidArgument(
+        "service image has " + std::to_string(slots.size()) +
+        " slots, expected 1");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!queries_.empty() || !shared_.empty()) {
+    return Status::InvalidArgument(
+        "service restore requires a freshly constructed service");
+  }
+  std::string_view in = slots[0];
+  CQ_ASSIGN_OR_RETURN(std::vector<std::string> inner, ft::DecodeBlobList(&in));
+  if (!in.empty()) {
+    return Status::IOError("trailing bytes after service image");
+  }
+  if (inner.empty()) {
+    return Status::IOError("service image is missing its registry");
+  }
+  CQ_ASSIGN_OR_RETURN(PersistedRegistry reg, DecodeRegistry(inner[0]));
+  if (inner.size() != reg.state_keys.size() + 1) {
+    return Status::IOError(
+        "service image has " + std::to_string(inner.size() - 1) +
+        " state blobs for " + std::to_string(reg.state_keys.size()) +
+        " keys");
+  }
+
+  // Streams first: replayed queries plan against the catalog, so every
+  // persisted stream must exist (and mean the same thing) before any SQL
+  // re-runs. Constructor-seeded streams are verified, runtime-registered
+  // ones are recreated.
+  for (const auto& [name, fields] : reg.streams) {
+    auto existing = catalog_.GetStream(name);
+    if (existing.ok()) {
+      if ((*existing)->fields() != fields) {
+        return Status::Internal("stream '" + name +
+                                "' has a different schema than the "
+                                "checkpoint — catalog drifted");
+      }
+      continue;
+    }
+    CQ_RETURN_NOT_OK(catalog_.RegisterStream(name, Schema::Make(fields)));
+  }
+
+  // Replay every persisted query through the normal frontend with its
+  // original id pinned. Identical SQL against an identical catalog yields
+  // identical fingerprints, so the shared graph re-splices into the same
+  // shape — verified below, not assumed.
+  for (const PersistedQuery& pq : reg.queries) {
+    next_query_id_ = pq.id;
+    CQ_ASSIGN_OR_RETURN(QueryId got, RegisterQueryLocked(pq.sql));
+    if (got != pq.id) {
+      return Status::Internal("restore replay assigned query id " +
+                              std::to_string(got) + ", expected " +
+                              std::to_string(pq.id));
+    }
+    const QueryRecord& rec = queries_.at(got);
+    if (rec.ref_order != pq.ref_order) {
+      return Status::Internal(
+          "restore replay of query " + std::to_string(pq.id) +
+          " produced different fingerprints than the checkpoint — catalog "
+          "or optimizer configuration drifted");
+    }
+  }
+  next_query_id_ = reg.next_query_id;
+  next_sub_id_ = reg.next_sub_id;
+
+  // The re-spliced graph must share exactly as the checkpointed one did.
+  std::map<std::string, uint64_t> refs_now;
+  for (const auto& [fp, sn] : shared_) refs_now[fp] = sn.refs;
+  if (refs_now != reg.shared_refs) {
+    return Status::Internal(
+        "restore replay produced different shared-subplan refcounts than "
+        "the checkpoint");
+  }
+  if (StateKeysLocked() != reg.state_keys) {
+    return Status::Internal(
+        "restore replay produced a different state-key layout than the "
+        "checkpoint");
+  }
+
+  // With the graph shape verified, load every node's state by key.
+  for (size_t i = 0; i < reg.state_keys.size(); ++i) {
+    CQ_ASSIGN_OR_RETURN(Operator * node,
+                        NodeForKeyLocked(reg.state_keys[i]));
+    CQ_RETURN_NOT_OK(node->RestoreState(inner[i + 1]));
+  }
+  return Status::OK();
+}
+
+void QueryService::SetBarrierHandler(BarrierHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  barrier_handler_ = std::move(handler);
+}
+
+Status QueryService::InjectBarrier(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!barrier_handler_) {
+    return Status::Internal(
+        "barrier handler not installed (call SetBarrierHandler first)");
+  }
+  // Pushes serialise on mu_, so holding it IS the alignment: the snapshot
+  // covers exactly the pushes that completed before this call.
+  Result<std::vector<std::string>> slots = SnapshotSlotsLocked();
+  if (slots.ok()) {
+    barrier_handler_(epoch, 0, std::move((*slots)[0]));
+  } else {
+    barrier_handler_(epoch, 0, slots.status());
+  }
+  return Status::OK();
+}
+
+std::map<std::string, size_t> QueryService::SharedRefCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, size_t> out;
+  for (const auto& [fp, sn] : shared_) out[fp] = sn.refs;
+  return out;
+}
+
+Result<std::vector<std::string>> QueryService::QueryFingerprints(
+    QueryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(id) +
+                            " is not registered");
+  }
+  return it->second.ref_order;
 }
 
 }  // namespace cq

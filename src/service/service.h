@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "dataflow/executor.h"
+#include "ft/checkpointable.h"
+#include "ft/fence.h"
 #include "service/operators.h"
 #include "sql/catalog.h"
 #include "sql/optimizer.h"
@@ -94,7 +96,19 @@ struct QueryInfo {
 /// Thread model: registration, teardown, subscription management and data
 /// pushes serialise on one internal mutex (the executor is synchronous);
 /// subscribers drain their channels concurrently without that lock.
-class QueryService {
+///
+/// Durability: the service is ft::Checkpointable — its image is ONE slot
+/// holding a registry blob (query texts, fingerprint ref-orders, shared
+/// refcounts, id counters) plus one state blob per fingerprint-named node,
+/// keyed by fingerprint rather than NodeId so the image survives graph
+/// renumbering. RestoreSlots re-registers every persisted query through the
+/// normal SQL frontend with its original id pinned, verifies the resulting
+/// fingerprints and refcounts byte-for-byte against the registry, then
+/// restores node state by fingerprint. It is also ft::BarrierInjectable
+/// (fan-in 1): pushes serialise on the service lock, so taking the lock IS
+/// the barrier alignment — the snapshot covers exactly the pushes that
+/// completed before it.
+class QueryService : public ft::Checkpointable, public ft::BarrierInjectable {
  public:
   explicit QueryService(Catalog catalog, ServiceConfig config = {});
 
@@ -137,6 +151,34 @@ class QueryService {
 
   const Catalog& catalog() const { return catalog_; }
 
+  // --- Durability (ft::Checkpointable / ft::BarrierInjectable) ---
+
+  /// \brief Attaches an idempotent output log: every subsequently registered
+  /// query gets an epoch-fenced sink ("fence:q<id>", part = query id) beside
+  /// its subscription sink, staging the query's output into checkpoint
+  /// images for the coordinator's two-phase publish. Must be called before
+  /// the first RegisterQuery (and before RestoreSlots on a recovering
+  /// service). Not owned.
+  void SetDurableOutputLog(ft::DurableOutputLog* log);
+
+  Result<std::vector<std::string>> SnapshotSlots() override;
+  Status RestoreSlots(const std::vector<std::string>& slots) override;
+
+  void SetBarrierHandler(BarrierHandler handler) override;
+  /// \brief Snapshots immediately under the service lock and reports slot 0
+  /// to the handler: with pushes serialised on that lock, lock acquisition
+  /// is the alignment point.
+  Status InjectBarrier(uint64_t epoch) override;
+  size_t BarrierFanIn() const override { return 1; }
+
+  /// \brief Live shared-node refcounts by fingerprint (restore-equivalence
+  /// checks and sharing diagnostics).
+  std::map<std::string, size_t> SharedRefCounts() const;
+
+  /// \brief The fingerprints a running query references, upstream to
+  /// downstream — byte-identical across a checkpoint/restore cycle.
+  Result<std::vector<std::string>> QueryFingerprints(QueryId id) const;
+
  private:
   /// One fingerprint-named node in the shared graph.
   struct SharedNode {
@@ -155,6 +197,10 @@ class QueryService {
     std::vector<std::string> ref_order;
     NodeId sink_node = 0;
     SubscriptionSinkOperator* sink = nullptr;  // borrowed from the graph
+    /// Epoch-fenced durable sink (only with SetDurableOutputLog; never
+    /// shared, part = query id).
+    NodeId fence_node = 0;
+    ft::EpochSinkOperator* fence = nullptr;  // borrowed from the graph
     size_t nodes_total = 0;
     size_t nodes_reused = 0;
   };
@@ -175,6 +221,23 @@ class QueryService {
   /// registration rollback share this path).
   void ReleaseAll(const std::vector<std::string>& ref_order);
 
+  /// RegisterQuery body; callers hold mu_. RestoreSlots replays through
+  /// this with next_query_id_ pinned to each persisted id.
+  Result<QueryId> RegisterQueryLocked(const std::string& sql);
+
+  /// The ordered state-key list the snapshot image is aligned with: every
+  /// shared fingerprint (map order), then "fence:q<id>" per running query.
+  std::vector<std::string> StateKeysLocked() const;
+
+  /// Resolves a state key to its live operator (shared fingerprint or
+  /// per-query fence sink).
+  Result<Operator*> NodeForKeyLocked(const std::string& key);
+
+  /// Snapshot body (callers hold mu_): registry + per-key node states as
+  /// one blob-list slot, then the staged-buffer handoff (OnSnapshotStaged)
+  /// across all live nodes.
+  Result<std::vector<std::string>> SnapshotSlotsLocked();
+
   size_t ApproxStateBytes() const;
   size_t NumActiveQueriesLocked() const;
   static QueryInfo InfoLocked(const QueryRecord& rec);
@@ -190,6 +253,9 @@ class QueryService {
   std::map<QueryId, QueryRecord> queries_;
   QueryId next_query_id_ = 1;
   uint64_t next_sub_id_ = 1;
+
+  ft::DurableOutputLog* output_log_ = nullptr;  // not owned
+  BarrierHandler barrier_handler_;
 
   // cq_service_* instruments (null without a registry).
   Counter* registered_total_ = nullptr;

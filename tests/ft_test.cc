@@ -300,20 +300,17 @@ std::multiset<std::string> ExpectedPublishedRecords() {
   return expected;
 }
 
-/// A fenced parallel pipeline: src -> EpochSinkOperator per worker, sink
-/// pointers captured for the coordinator's publish hook.
-ParallelPipeline::Factory FenceFactory(
-    ft::DurableOutputLog* log,
-    std::vector<ft::EpochSinkOperator*>* sinks) {
-  sinks->assign(kParallelism, nullptr);
-  return [log, sinks](size_t index) -> Result<WorkerPipeline> {
+/// A fenced parallel pipeline: src -> EpochSinkOperator per worker. The
+/// sinks never publish themselves — staged buffers travel inside the
+/// checkpoint image and the coordinator publishes them from the store.
+ParallelPipeline::Factory FenceFactory(ft::DurableOutputLog* log) {
+  return [log](size_t index) -> Result<WorkerPipeline> {
     WorkerPipeline p;
     p.output = std::make_unique<BoundedStream>();
     auto g = std::make_unique<DataflowGraph>();
     p.source = g->AddNode(std::make_unique<PassThroughOperator>("src"));
-    auto sink = std::make_unique<ft::EpochSinkOperator>("sink", log, index);
-    (*sinks)[index] = sink.get();
-    NodeId sink_id = g->AddNode(std::move(sink));
+    NodeId sink_id = g->AddNode(
+        std::make_unique<ft::EpochSinkOperator>("sink", log, index));
     CQ_RETURN_NOT_OK(g->Connect(p.source, sink_id));
     p.executor = std::make_unique<PipelineExecutor>(std::move(g));
     return p;
@@ -322,12 +319,14 @@ ParallelPipeline::Factory FenceFactory(
 
 /// One run attempt against shared durable state: recover (if anything is on
 /// disk), then stream the topic with a checkpoint every `checkpoint_every`
-/// polls. Any error (e.g. an injected fault) aborts the attempt — exactly
+/// polls — stop-the-world checkpoints by default, in-band barrier
+/// checkpoints when `barrier_mode` (a snapshot overlaps the next interval's
+/// sends). Any error (e.g. an injected fault) aborts the attempt — exactly
 /// like a crash, since all durable state lives in `snap_dir`/`out_dir` and
 /// the broker. Returns OK when the topic was fully drained and fenced.
 Status RunFencedPipelineOnce(Broker* broker, const std::string& snap_dir,
-                             const std::string& out_dir,
-                             int checkpoint_every) {
+                             const std::string& out_dir, int checkpoint_every,
+                             bool barrier_mode = false) {
   ft::DurableOutputLog log(out_dir);
   CQ_RETURN_NOT_OK(log.Init());
   ft::SnapshotStoreOptions store_opts;
@@ -336,10 +335,9 @@ Status RunFencedPipelineOnce(Broker* broker, const std::string& snap_dir,
   ft::SnapshotStore store(snap_dir, store_opts);
   CQ_RETURN_NOT_OK(store.Init());
 
-  std::vector<ft::EpochSinkOperator*> sinks;
   ParallelPipelineOptions popts;
   popts.batch_size = 8;
-  ParallelPipeline pipeline(kParallelism, FenceFactory(&log, &sinks),
+  ParallelPipeline pipeline(kParallelism, FenceFactory(&log),
                             ProjectKeyFn({0}), popts);
   BrokerSourceDriver driver(broker, "tx", "g");
 
@@ -349,20 +347,19 @@ Status RunFencedPipelineOnce(Broker* broker, const std::string& snap_dir,
     return driver.CommitThrough(o);
   });
   coord.SetWatermarkFn([&driver] { return driver.CurrentWatermark(); });
-  auto publish = [&sinks](uint64_t epoch) -> Status {
-    for (auto* sink : sinks) {
-      CQ_RETURN_NOT_OK(sink->PublishEpoch(epoch));
-    }
-    return Status::OK();
-  };
-  coord.SetPublishFn(publish);
+  coord.SetOutputLog(&log);
+  if (barrier_mode) {
+    pipeline.SetBarrierHandler(coord.Handler(pipeline.BarrierFanIn()));
+  }
 
   CQ_RETURN_NOT_OK(pipeline.Start());
 
   // Recovery: restore the newest durable epoch (no-op on first attempt),
-  // rewind the source, and re-publish the restored epoch's pending output —
-  // idempotent when the crash happened after the original publish.
+  // rewind the source, and republish the restored epoch's staged output
+  // from the same image — idempotent when the crash happened after the
+  // original publish.
   ft::RecoveryManager recovery(&store);
+  recovery.SetOutputLog(&log);
   CQ_ASSIGN_OR_RETURN(
       ft::RecoveryReport report,
       recovery.Recover(
@@ -371,10 +368,25 @@ Status RunFencedPipelineOnce(Broker* broker, const std::string& snap_dir,
             return driver.SeekTo(o);
           },
           [&driver] { return driver.EndOffsets(); }));
-  if (report.restored) {
-    coord.ResumeFromEpoch(report.epoch);
-    CQ_RETURN_NOT_OK(publish(report.epoch));
-  }
+  if (report.restored) coord.ResumeFromEpoch(report.epoch);
+
+  // In barrier mode the snapshot completes asynchronously; the previous
+  // epoch is awaited one interval later, overlapping alignment with the
+  // next interval's sends.
+  uint64_t inflight = 0;
+  bool has_inflight = false;
+  auto checkpoint = [&]() -> Status {
+    if (barrier_mode) {
+      if (has_inflight) {
+        CQ_RETURN_NOT_OK(coord.WaitForEpoch(inflight));
+        has_inflight = false;
+      }
+      CQ_ASSIGN_OR_RETURN(inflight, coord.TriggerBarrierCheckpoint(&pipeline));
+      has_inflight = true;
+      return Status::OK();
+    }
+    return coord.TriggerCheckpoint().status();
+  };
 
   int polls = 0;
   while (true) {
@@ -387,12 +399,11 @@ Status RunFencedPipelineOnce(Broker* broker, const std::string& snap_dir,
         CQ_RETURN_NOT_OK(pipeline.BroadcastWatermark(e.timestamp));
       }
     }
-    if (++polls % checkpoint_every == 0) {
-      CQ_RETURN_NOT_OK(coord.TriggerCheckpoint().status());
-    }
+    if (++polls % checkpoint_every == 0) CQ_RETURN_NOT_OK(checkpoint());
   }
   // Final checkpoint fences the tail of the stream into the output log.
-  CQ_RETURN_NOT_OK(coord.TriggerCheckpoint().status());
+  CQ_RETURN_NOT_OK(checkpoint());
+  if (has_inflight) CQ_RETURN_NOT_OK(coord.WaitForEpoch(inflight));
   return pipeline.Finish().status();
 }
 
@@ -400,9 +411,10 @@ Status RunFencedPipelineOnce(Broker* broker, const std::string& snap_dir,
 /// aborts in between (each attempt recovers from the durable state the
 /// previous one left behind). Returns the number of attempts used.
 int RunToCompletion(Broker* broker, const std::string& snap_dir,
-                    const std::string& out_dir) {
+                    const std::string& out_dir, bool barrier_mode = false) {
   for (int attempt = 1; attempt <= 10; ++attempt) {
-    Status st = RunFencedPipelineOnce(broker, snap_dir, out_dir, 2);
+    Status st =
+        RunFencedPipelineOnce(broker, snap_dir, out_dir, 2, barrier_mode);
     if (st.ok()) return attempt;
     // Injected faults surface as error statuses; disarm so the retry (the
     // "restarted process") runs clean.
@@ -490,6 +502,43 @@ TEST_F(FtTest, CrashRecoveryAfterRealProcessDeath) {
     int attempts = RunToCompletion(&broker, snap, out);
     EXPECT_GE(attempts, 1);
     EXPECT_EQ(PublishedRecords(out), ExpectedPublishedRecords()) << point;
+  }
+}
+
+/// The staged fence under in-band barriers: each sink's buffer is staged
+/// into the snapshot image at barrier arrival while post-barrier records
+/// keep flowing, and the coordinator publishes from the durable image on
+/// manifest commit. The published output must still match the
+/// uninterrupted run bit for bit.
+TEST_F(FtTest, BarrierFencedPipelineUninterruptedBaseline) {
+  Broker broker;
+  FillBroker(&broker);
+  std::string snap = ScratchDir("barrier_fence_snap");
+  std::string out = ScratchDir("barrier_fence_out");
+  EXPECT_EQ(RunToCompletion(&broker, snap, out, /*barrier_mode=*/true), 1);
+  EXPECT_EQ(PublishedRecords(out), ExpectedPublishedRecords());
+}
+
+/// Published-output equivalence in barrier mode under faults at both halves
+/// of the two-phase fence: `fence.stage` fails phase 1 (the live buffer is
+/// about to be dropped after staging into the image — the epoch must abort
+/// and replay from the previous durable epoch) and `sink.publish` fails
+/// phase 2 (the manifest is already committed — recovery must republish
+/// from the same staged image, idempotently).
+TEST_F(FtTest, BarrierFenceExactlyOnceUnderStageAndPublishFaults) {
+  const std::multiset<std::string> expected = ExpectedPublishedRecords();
+  for (const std::string& point :
+       {std::string(ft::faultpoint::kFenceStage),
+        std::string(ft::faultpoint::kSinkPublish)}) {
+    SCOPED_TRACE("barrier fence fault point: " + point);
+    Broker broker;
+    FillBroker(&broker);
+    std::string snap = ScratchDir("barrier_fp_snap_" + point);
+    std::string out = ScratchDir("barrier_fp_out_" + point);
+    ft::FaultInjector::Global().Arm(point, /*after=*/2, ft::FaultKind::kFail);
+    int attempts = RunToCompletion(&broker, snap, out, /*barrier_mode=*/true);
+    EXPECT_GE(attempts, 1) << point;
+    EXPECT_EQ(PublishedRecords(out), expected) << point;
   }
 }
 
