@@ -293,5 +293,60 @@ void BM_SlowConsumerQueueDepth(benchmark::State& state) {
 }
 BENCHMARK(BM_SlowConsumerQueueDepth)->Arg(4)->Arg(16)->Arg(0);
 
+/// (c3) Observability overhead: the batch-delivery workload of (c1) with the
+/// observability plane attached in increasing levels — range(0): 0 = bare,
+/// 1 = metrics registry (per-node counters/latency/selectivity), 2 = metrics
+/// plus per-push sampled span tracing. The acceptance bar for the plane is
+/// that level 2 stays within 5% of level 0 on per-record cost; compare the
+/// three labels in the committed baseline.
+void BM_ObservabilityOverhead(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  auto g = std::make_unique<DataflowGraph>();
+  NodeId src = g->AddNode(std::make_unique<PassThroughOperator>("src"));
+  NodeId filt = g->AddNode(std::make_unique<FilterOperator>(
+      "filt", [](const Tuple& t) { return t[0].int64_value() % 10 != 0; }));
+  NodeId map = g->AddNode(std::make_unique<MapOperator>(
+      "map", [](const Tuple& t) -> Result<Tuple> {
+        return Tuple({Value(t[0].int64_value() + 1)});
+      }));
+  NodeId sink = g->AddNode(std::make_unique<CountingSinkOperator>("sink"));
+  (void)g->Connect(src, filt);
+  (void)g->Connect(filt, map);
+  (void)g->Connect(map, sink);
+  PipelineExecutor exec(std::move(g));
+
+  MetricsRegistry registry;
+  TraceRecorder tracer(4096);
+  if (level >= 1) exec.AttachMetrics(&registry);
+  if (level >= 2) exec.AttachTracer(&tracer);
+
+  constexpr size_t kRecords = 4096;
+  constexpr size_t kBatch = 256;
+  int64_t ts = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < kRecords; i += kBatch) {
+      StreamBatch batch;
+      batch.reserve(kBatch);
+      for (size_t j = i; j < i + kBatch; ++j) {
+        batch.AddRecord(T(static_cast<int64_t>(j)), ts++);
+      }
+      if (level >= 2) {
+        // Every push sampled: the worst-case tracing cost.
+        TraceContext tc;
+        tc.trace_id = NextTraceId();
+        tc.parent_span = NextSpanId();
+        tc.ingest_ns = MonotonicNanos();
+        exec.SetActiveTrace(tc);
+      }
+      benchmark::DoNotOptimize(exec.PushBatch(src, batch));
+      if (level >= 2) exec.ClearActiveTrace();
+    }
+  }
+  state.SetLabel(level == 0 ? "off"
+                            : (level == 1 ? "metrics" : "metrics+tracing"));
+  SetPerItemMicros(state, static_cast<double>(kRecords));
+}
+BENCHMARK(BM_ObservabilityOverhead)->Arg(0)->Arg(1)->Arg(2);
+
 }  // namespace
 }  // namespace cq

@@ -38,6 +38,16 @@
 ///     STATS                          -> OK + service counters
 ///     QUIT                           -> OK, closes the connection
 ///
+///   Either mode accepts `--http PORT` (0 = ephemeral), which starts an
+///   embedded observability endpoint on 127.0.0.1:
+///
+///     GET /metrics          Prometheus text exposition of every counter,
+///                           gauge and histogram in the service registry
+///     GET /queries          JSON list of registered queries (id, state,
+///                           sql, node sharing, subscription count)
+///     GET /traces           JSON dump of recently sampled trace spans
+///     GET /flightrecorder   JSON dump of the global flight-recorder ring
+///
 ///   Errors come back as a single "ERR <status>" frame; the connection
 ///   survives them. Try it with a few lines of Python:
 ///
@@ -66,6 +76,9 @@
 #include "ft/fence.h"
 #include "ft/recovery.h"
 #include "ft/snapshot_store.h"
+#include "obs/flight_recorder.h"
+#include "obs/http.h"
+#include "obs/trace.h"
 #include "service/service.h"
 
 namespace cq {
@@ -73,17 +86,81 @@ namespace {
 
 // --- Shared: building the service -----------------------------------------
 
-std::unique_ptr<QueryService> MakeService(MetricsRegistry* registry) {
+std::unique_ptr<QueryService> MakeService(MetricsRegistry* registry,
+                                          TraceRecorder* tracer) {
   ServiceConfig config;
   config.metrics = registry;
+  config.tracer = tracer;
+  config.trace_sample_every = 1;
   return std::make_unique<QueryService>(Catalog{}, config);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string QueriesJson(QueryService* svc) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& info : svc->ListQueries()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":" + std::to_string(info.id) + ",\"state\":\"" +
+           QueryStateToString(info.state) + "\",\"sql\":\"" +
+           JsonEscape(info.sql) + "\",\"nodes_total\":" +
+           std::to_string(info.nodes_total) + ",\"nodes_reused\":" +
+           std::to_string(info.nodes_reused) + ",\"subscriptions\":" +
+           std::to_string(info.num_subscriptions) + "}";
+  }
+  return out + "]";
+}
+
+/// Registers the four observability routes and starts the listener.
+/// `http_port` < 0 means "no endpoint": returns OK without starting.
+Status StartHttp(HttpEndpoint* http, int http_port, MetricsRegistry* registry,
+                 TraceRecorder* tracer, QueryService* svc) {
+  if (http_port < 0) return Status::OK();
+  http->AddHandler("/metrics", "text/plain; version=0.0.4", [registry] {
+    return registry->Dump(MetricsFormat::kText);
+  });
+  http->AddHandler("/queries", "application/json",
+                   [svc] { return QueriesJson(svc); });
+  http->AddHandler("/traces", "application/json",
+                   [tracer] { return tracer->ToJson(); });
+  http->AddHandler("/flightrecorder", "application/json",
+                   [] { return FlightRecorder::Global().ToJson(); });
+  Status st = http->Start(static_cast<uint16_t>(http_port));
+  if (st.ok()) {
+    std::printf("observability endpoint on http://127.0.0.1:%u "
+                "(/metrics /queries /traces /flightrecorder)\n",
+                http->port());
+  }
+  return st;
 }
 
 // --- Demo mode -------------------------------------------------------------
 
-int RunDemo(const std::string& checkpoint_dir, bool recover) {
+int RunDemo(const std::string& checkpoint_dir, bool recover, int http_port) {
   MetricsRegistry registry;
-  auto svc = MakeService(&registry);
+  TraceRecorder tracer;
+  auto svc = MakeService(&registry, &tracer);
+  HttpEndpoint http;
+  Status http_st = StartHttp(&http, http_port, &registry, &tracer, svc.get());
+  if (!http_st.ok()) {
+    std::fprintf(stderr, "http: %s\n", http_st.ToString().c_str());
+    return 1;
+  }
   Timestamp ts = 0;
 
   // Durability rig (only with --checkpoint-dir): fenced output log + snapshot
@@ -445,9 +522,16 @@ class ClientSession {
   uint64_t next_sub_handle_ = 1;
 };
 
-int RunServer(uint16_t port) {
+int RunServer(uint16_t port, int http_port) {
   MetricsRegistry registry;
-  auto svc = MakeService(&registry);
+  TraceRecorder tracer;
+  auto svc = MakeService(&registry, &tracer);
+  HttpEndpoint http;
+  Status http_st = StartHttp(&http, http_port, &registry, &tracer, svc.get());
+  if (!http_st.ok()) {
+    std::fprintf(stderr, "http: %s\n", http_st.ToString().c_str());
+    return 1;
+  }
 
   int listener = socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
@@ -490,26 +574,31 @@ int RunServer(uint16_t port) {
 }  // namespace cq
 
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::strcmp(argv[1], "--serve") == 0) {
-    uint16_t port = argc >= 3
-                        ? static_cast<uint16_t>(std::stoi(argv[2]))
-                        : 7878;
-    return cq::RunServer(port);
-  }
+  bool serve = false;
+  uint16_t serve_port = 7878;
+  int http_port = -1;  // -1 = no observability endpoint
   std::string checkpoint_dir;
   bool recover = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        serve_port = static_cast<uint16_t>(std::stoi(argv[++i]));
+      }
+    } else if (std::strcmp(argv[i], "--http") == 0 && i + 1 < argc) {
+      http_port = std::stoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
       checkpoint_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--recover") == 0) {
       recover = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--serve [port]] "
+                   "usage: %s [--serve [port]] [--http PORT] "
                    "[--checkpoint-dir DIR [--recover]]\n",
                    argv[0]);
       return 2;
     }
   }
-  return cq::RunDemo(checkpoint_dir, recover);
+  if (serve) return cq::RunServer(serve_port, http_port);
+  return cq::RunDemo(checkpoint_dir, recover, http_port);
 }

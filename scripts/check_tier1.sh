@@ -155,4 +155,91 @@ if ! grep -q "'ACME', 137" <<< "$QS_REC_OUT"; then
   exit 1
 fi
 
+echo "== query_server smoke (observability endpoint) =="
+# Drive one query end to end over the TCP protocol, then scrape the embedded
+# HTTP endpoint: /metrics must be Prometheus text carrying the attribution
+# families and /queries must be valid JSON listing the live query.
+QS_BIN="$BUILD_DIR/examples/query_server" python3 - <<'EOF'
+import json, os, socket, struct, subprocess, sys, time, urllib.request
+
+def free_port():
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return port
+
+tcp_port, http_port = free_port(), free_port()
+proc = subprocess.Popen(
+    [os.environ["QS_BIN"], "--serve", str(tcp_port), "--http", str(http_port)],
+    stdout=subprocess.DEVNULL)
+try:
+    for _ in range(100):
+        try:
+            s = socket.create_connection(("127.0.0.1", tcp_port), timeout=0.2)
+            break
+        except OSError:
+            time.sleep(0.05)
+    else:
+        sys.exit("FAIL: query_server --serve never started listening")
+
+    def send(msg):
+        s.sendall(struct.pack(">I", len(msg)) + msg.encode())
+
+    def recv():
+        data = b""
+        while len(data) < 4:
+            chunk = s.recv(4 - len(data))
+            if not chunk:
+                sys.exit("FAIL: server closed connection")
+            data += chunk
+        n = struct.unpack(">I", data)[0]
+        body = b""
+        while len(body) < n:
+            chunk = s.recv(n - len(body))
+            if not chunk:
+                sys.exit("FAIL: short frame")
+            body += chunk
+        return body.decode()
+
+    def cmd(line):
+        send(line)
+        reply = recv()
+        if not reply.startswith("OK"):
+            sys.exit(f"FAIL: {line!r} -> {reply!r}")
+        return reply
+
+    cmd("STREAM trades sym:string,price:int64,qty:int64")
+    qid = cmd("REGISTER SELECT sym, price FROM trades [Range 100] "
+              "WHERE price > 10").split("id=")[1]
+    cmd(f"SUBSCRIBE {qid}")
+    cmd("PUSH trades 1 ACME,42,5")
+    cmd("PUSH trades 2 ACME,7,1")
+    cmd("WATERMARK trades 500")
+
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{http_port}/metrics", timeout=5) as resp:
+        assert resp.status == 200, resp.status
+        assert resp.headers["Content-Type"].startswith("text/plain"), \
+            resp.headers["Content-Type"]
+        text = resp.read().decode()
+    for family in ("cq_dataflow_selectivity", "cq_channel_queue_wait_us",
+                   "cq_query_latency_us", "cq_dataflow_records_in_total"):
+        assert family in text, f"/metrics missing {family}"
+
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{http_port}/queries", timeout=5) as resp:
+        queries = json.load(resp)
+    assert len(queries) == 1, queries
+    assert queries[0]["state"] == "running", queries
+    assert queries[0]["subscriptions"] == 1, queries
+
+    print("observability smoke: /metrics serves",
+          len(text.splitlines()), "lines; /queries lists", len(queries),
+          "running query")
+finally:
+    proc.kill()
+    proc.wait()
+EOF
+
 echo "tier-1 check: OK"

@@ -21,8 +21,9 @@ class RoutingCollector : public Collector {
         records_out_(records_out) {}
 
   void Emit(StreamElement element) override {
-    if (records_out_ != nullptr && element.is_record()) {
-      records_out_->Increment();
+    if (element.is_record()) {
+      if (records_out_ != nullptr) records_out_->Increment();
+      ++emitted_records_;
     }
     for (const auto& e : *edges_) {
       Status s = deliver_(e.to, e.port, element);
@@ -31,11 +32,13 @@ class RoutingCollector : public Collector {
   }
 
   const Status& status() const { return status_; }
+  size_t emitted_records() const { return emitted_records_; }
 
  private:
   const std::vector<DataflowGraph::Edge>* edges_;
   DeliverFn deliver_;
   Counter* records_out_;
+  size_t emitted_records_ = 0;
   Status status_;
 };
 
@@ -87,7 +90,36 @@ void PipelineExecutor::InitNodeMetrics(NodeId id) {
   m.event_time_lag = metrics_->GetGauge("cq_dataflow_event_time_lag", labels);
   m.state_entries = metrics_->GetGauge("cq_dataflow_state_entries", labels);
   m.state_bytes = metrics_->GetGauge("cq_dataflow_state_bytes", labels);
+  m.selectivity = metrics_->GetDoubleGauge("cq_dataflow_selectivity", labels);
   op->AttachMetrics(metrics_, labels);
+}
+
+void PipelineExecutor::AttachTracer(TraceRecorder* tracer) {
+  tracer_ = tracer;
+  trace_active_ = false;
+  active_trace_ = TraceContext{};
+}
+
+void PipelineExecutor::SetActiveTrace(const TraceContext& trace) {
+  active_trace_ = trace;
+  trace_active_ = true;
+}
+
+void PipelineExecutor::ClearActiveTrace() {
+  trace_active_ = false;
+  active_trace_ = TraceContext{};
+}
+
+void PipelineExecutor::ObserveSelectivity(NodeMetrics* m, size_t records_in,
+                                          size_t records_out) {
+  if (m == nullptr || m->selectivity == nullptr || records_in == 0) return;
+  // EWMA (alpha 0.1) of per-delivery out/in; first observation seeds it.
+  double ratio =
+      static_cast<double>(records_out) / static_cast<double>(records_in);
+  m->selectivity_ewma = m->selectivity_ewma < 0.0
+                            ? ratio
+                            : 0.1 * ratio + 0.9 * m->selectivity_ewma;
+  m->selectivity->Set(m->selectivity_ewma);
 }
 
 void PipelineExecutor::AttachMetrics(MetricsRegistry* registry) {
@@ -122,6 +154,10 @@ OperatorContext PipelineExecutor::ContextFor(NodeId node) const {
   OperatorContext ctx;
   ctx.processing_time = clock_->Now();
   ctx.watermark = node_watermarks_[node];
+  // active_trace_.parent_span tracks the delivering node's own span (set
+  // around each operator invocation below), so operator-recorded sub-spans
+  // nest under it.
+  ctx.trace = trace_active_ ? &active_trace_ : nullptr;
   return ctx;
 }
 
@@ -184,7 +220,19 @@ Status PipelineExecutor::DeliverBatch(NodeId node, size_t port,
   Operator* op = graph_->node(node);
   std::vector<StreamElement> emitted;
   VectorCollector collector(&emitted);
+  const bool tracing = TracingNow();
+  const bool timed = m != nullptr || tracing;
+  uint64_t span_id = 0;
+  uint64_t saved_parent = active_trace_.parent_span;
+  if (tracing) {
+    span_id = NextSpanId();
+    active_trace_.parent_span = span_id;
+  }
   int64_t t0 = 0;
+  if (timed) {
+    child_time_ns_.push_back(0);
+    t0 = MonotonicNanos();
+  }
   if (m != nullptr) {
     m->records_in->Increment(count);
     for (size_t i = 0; i < count; ++i) {
@@ -192,31 +240,56 @@ Status PipelineExecutor::DeliverBatch(NodeId node, size_t port,
         m->max_event_ts = data[i].timestamp;
       }
     }
-    t0 = MonotonicNanos();
   }
   Status st = op->ProcessBatch(port, data, count, ContextFor(node), &collector);
-  if (m != nullptr) {
-    // Batch path: downstream routing happens after the operator returns, so
-    // the observation is already self time (one observation per batch).
-    m->process_latency_us->Observe(
-        static_cast<double>(MonotonicNanos() - t0) / 1e3);
-  }
-  CQ_RETURN_NOT_OK(st);
-  if (emitted.empty()) return Status::OK();
-  if (m != nullptr) {
+  if (st.ok() && m != nullptr) {
     size_t records_out = 0;
     for (const auto& e : emitted) {
       if (e.is_record()) ++records_out;
     }
     m->records_out->Increment(records_out);
+    ObserveSelectivity(m, count, records_out);
   }
   // Route the buffered emissions downstream: each edge receives the full
-  // run, preserving per-element order along every path.
-  for (const auto& e : graph_->outputs(node)) {
-    CQ_RETURN_NOT_OK(DeliverSequence(e.to, e.port, emitted.data(),
-                                     emitted.size()));
+  // run, preserving per-element order along every path. Downstream spans
+  // parent to this node's span (active_trace_.parent_span still holds it).
+  if (st.ok() && !emitted.empty()) {
+    for (const auto& e : graph_->outputs(node)) {
+      st = DeliverSequence(e.to, e.port, emitted.data(), emitted.size());
+      if (!st.ok()) break;
+    }
   }
-  return Status::OK();
+  // Destroy the emitted run inside the timed window: with large batches the
+  // element destructors are a real cost, and it belongs to this node, not to
+  // whatever the caller does next (a trailing watermark would otherwise see
+  // the whole unwind as unattributed latency).
+  emitted.clear();
+  if (timed) {
+    // Self time = this frame minus everything downstream delivered from it,
+    // mirroring the per-element path; per-node metric bookkeeping (O(count)
+    // scans) and routing glue are attributed here rather than leaking out.
+    int64_t total = MonotonicNanos() - t0;
+    int64_t child = child_time_ns_.back();
+    child_time_ns_.pop_back();
+    int64_t self = total - child;
+    if (m != nullptr) {
+      m->process_latency_us->Observe(static_cast<double>(self) / 1e3);
+    }
+    if (tracing) {
+      Span span;
+      span.trace_id = active_trace_.trace_id;
+      span.span_id = span_id;
+      span.parent_id = saved_parent;
+      span.kind = SpanKind::kOp;
+      span.name = op->name();
+      span.start_ns = t0;
+      span.duration_ns = self;
+      tracer_->Record(std::move(span));
+    }
+    if (!child_time_ns_.empty()) child_time_ns_.back() += total;
+  }
+  active_trace_.parent_span = saved_parent;
+  return st;
 }
 
 Status PipelineExecutor::Deliver(NodeId node, size_t port,
@@ -230,26 +303,51 @@ Status PipelineExecutor::Deliver(NodeId node, size_t port,
                                 : Deliver(to, to_port, e);
       },
       m != nullptr ? m->records_out : nullptr);
+  const bool tracing = TracingNow();
+  const bool timed = m != nullptr || tracing;
+  uint64_t span_id = 0;
+  uint64_t saved_parent = active_trace_.parent_span;
+  if (tracing) {
+    span_id = NextSpanId();
+    active_trace_.parent_span = span_id;
+  }
   int64_t t0 = 0;
   if (m != nullptr) {
     m->records_in->Increment();
     if (element.timestamp > m->max_event_ts) {
       m->max_event_ts = element.timestamp;
     }
+  }
+  if (timed) {
     child_time_ns_.push_back(0);
     t0 = MonotonicNanos();
   }
   Status st = op->ProcessElement(port, element, ContextFor(node), &collector);
   if (st.ok()) st = collector.status();
-  if (m != nullptr) {
+  if (timed) {
     // Self time: downstream deliveries (which ran inside collector.Emit)
     // accounted their own totals into this frame's child accumulator.
     int64_t total = MonotonicNanos() - t0;
     int64_t child = child_time_ns_.back();
     child_time_ns_.pop_back();
-    m->process_latency_us->Observe(static_cast<double>(total - child) / 1e3);
+    if (m != nullptr) {
+      m->process_latency_us->Observe(static_cast<double>(total - child) / 1e3);
+    }
+    if (tracing) {
+      Span span;
+      span.trace_id = active_trace_.trace_id;
+      span.span_id = span_id;
+      span.parent_id = saved_parent;
+      span.kind = SpanKind::kOp;
+      span.name = op->name();
+      span.start_ns = t0;
+      span.duration_ns = total - child;
+      tracer_->Record(std::move(span));
+    }
     if (!child_time_ns_.empty()) child_time_ns_.back() += total;
   }
+  if (m != nullptr) ObserveSelectivity(m, 1, collector.emitted_records());
+  active_trace_.parent_span = saved_parent;
   return st;
 }
 
@@ -279,8 +377,16 @@ Status PipelineExecutor::DeliverWatermark(NodeId node, size_t port,
                                 : Deliver(to, to_port, e);
       },
       m != nullptr ? m->records_out : nullptr);
+  const bool tracing = TracingNow();
+  const bool timed = m != nullptr || tracing;
+  uint64_t span_id = 0;
+  uint64_t saved_parent = active_trace_.parent_span;
+  if (tracing) {
+    span_id = NextSpanId();
+    active_trace_.parent_span = span_id;
+  }
   int64_t t0 = 0;
-  if (m != nullptr) {
+  if (timed) {
     child_time_ns_.push_back(0);
     t0 = MonotonicNanos();
   }
@@ -293,13 +399,27 @@ Status PipelineExecutor::DeliverWatermark(NodeId node, size_t port,
       if (!st.ok()) break;
     }
   }
-  if (m != nullptr) {
+  if (timed) {
     int64_t total = MonotonicNanos() - t0;
     int64_t child = child_time_ns_.back();
     child_time_ns_.pop_back();
-    m->process_latency_us->Observe(static_cast<double>(total - child) / 1e3);
+    if (m != nullptr) {
+      m->process_latency_us->Observe(static_cast<double>(total - child) / 1e3);
+    }
+    if (tracing) {
+      Span span;
+      span.trace_id = active_trace_.trace_id;
+      span.span_id = span_id;
+      span.parent_id = saved_parent;
+      span.kind = SpanKind::kOp;
+      span.name = op->name() + ":wm";
+      span.start_ns = t0;
+      span.duration_ns = total - child;
+      tracer_->Record(std::move(span));
+    }
     if (!child_time_ns_.empty()) child_time_ns_.back() += total;
   }
+  active_trace_.parent_span = saved_parent;
   return st;
 }
 

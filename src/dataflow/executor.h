@@ -96,12 +96,29 @@ class PipelineExecutor : public ft::Checkpointable {
 
   /// \brief Attaches a metrics registry: creates per-node instruments
   /// (`cq_dataflow_records_in_total{node=...,id=...}`, records_out,
-  /// watermarks_in, a process-latency histogram, and event-time-lag /
-  /// state gauges) and forwards the registry to every operator. With no
-  /// registry attached the execution hot path pays one pointer test.
+  /// watermarks_in, a process-latency histogram, a selectivity EWMA gauge,
+  /// and event-time-lag / state gauges) and forwards the registry to every
+  /// operator. With no registry attached the execution hot path pays one
+  /// pointer test.
   void AttachMetrics(MetricsRegistry* registry);
 
   MetricsRegistry* metrics() const { return metrics_; }
+
+  /// \brief Attaches a span recorder: while an active trace is set, every
+  /// node delivery records an op-kind span of its *self* time (downstream
+  /// excluded) with parent/child links mirroring the delivery recursion.
+  /// nullptr detaches.
+  void AttachTracer(TraceRecorder* tracer);
+
+  TraceRecorder* tracer() const { return tracer_; }
+
+  /// \brief Sets the trace context for subsequent pushes (the executor is
+  /// synchronous, so the caller scopes this around Push/PushBatch). Span
+  /// recording happens only while the active context is sampled; an
+  /// unsampled context with a non-zero ingest_ns still flows to operators
+  /// for latency attribution.
+  void SetActiveTrace(const TraceContext& trace);
+  void ClearActiveTrace();
 
   /// \brief Re-reads every node's StateSize()/StateBytesApprox() into the
   /// state gauges. Walks operator state; call at dump cadence.
@@ -125,8 +142,15 @@ class PipelineExecutor : public ft::Checkpointable {
     Gauge* event_time_lag = nullptr;          // max event ts - node watermark
     Gauge* state_entries = nullptr;
     Gauge* state_bytes = nullptr;
+    DoubleGauge* selectivity = nullptr;  // records_out/records_in EWMA
     Timestamp max_event_ts = kMinTimestamp;
+    double selectivity_ewma = -1.0;  // <0 = no observation yet
   };
+
+  /// Updates a node's observed-selectivity EWMA with one delivery's
+  /// out/in ratio and publishes it to the gauge.
+  static void ObserveSelectivity(NodeMetrics* m, size_t records_in,
+                                 size_t records_out);
 
   Status Deliver(NodeId node, size_t port, const StreamElement& element);
   Status DeliverWatermark(NodeId node, size_t port, Timestamp wm);
@@ -150,8 +174,21 @@ class PipelineExecutor : public ft::Checkpointable {
   std::vector<NodeMetrics> node_metrics_;
   // Stack mirroring Deliver recursion: each frame accumulates nanoseconds
   // spent in downstream (child) deliveries so a node's latency histogram
-  // records self time only. Unused when metrics_ == nullptr.
+  // records self time only. Unused unless metrics or an active trace
+  // require per-delivery timing.
   std::vector<int64_t> child_time_ns_;
+
+  TraceRecorder* tracer_ = nullptr;
+  // Context handed to operators via OperatorContext::trace. parent_span
+  // tracks the span of the node currently delivering (span_stack_ top), so
+  // operator-recorded sub-spans and batches re-stamped at sinks nest under
+  // the right operator span.
+  TraceContext active_trace_;
+  bool trace_active_ = false;
+
+  bool TracingNow() const {
+    return tracer_ != nullptr && trace_active_ && active_trace_.sampled();
+  }
 };
 
 }  // namespace cq

@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "common/time.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/stream.h"
 
 namespace cq {
@@ -48,6 +49,12 @@ struct OperatorContext {
   Timestamp processing_time = 0;
   /// The operator's current (min-combined) input watermark.
   Timestamp watermark = kMinTimestamp;
+  /// Trace context of the element being delivered, or nullptr when the
+  /// executor has no active trace. `trace->parent_span` is the delivering
+  /// node's own span, so operator-recorded sub-spans (e.g. a sink's publish
+  /// fan-out) nest correctly; `trace->ingest_ns` drives end-to-end latency
+  /// attribution even for unsampled elements.
+  const TraceContext* trace = nullptr;
 };
 
 /// \brief Base class for dataflow operators.

@@ -47,6 +47,11 @@ void ParallelPipeline::WorkerLoop(size_t index) {
   Worker& w = *workers_[index];
   StreamBatch batch;
   while (w.channel.Pop(&batch)) {
+    // Execute under the batch's stamped trace context (if any) so
+    // worker-side operator spans parent into the producer's trace tree.
+    const TraceContext tc = batch.trace();
+    const bool traced = tc.sampled() || tc.ingest_ns != 0;
+    if (traced) w.pipeline.executor->SetActiveTrace(tc);
     Status st = ft::FaultInjector::Global().Hit(ft::faultpoint::kWorkerProcess);
     // Barriers are consumed here, at the channel/executor boundary: the
     // prefix before a barrier is processed first, so the snapshot taken at
@@ -77,6 +82,7 @@ void ParallelPipeline::WorkerLoop(size_t index) {
         i = j;
       }
     }
+    if (traced) w.pipeline.executor->ClearActiveTrace();
     w.channel.Acknowledge();
     if (!st.ok()) {
       // Stop consuming on the first error: record it (status before the
@@ -247,6 +253,14 @@ void ParallelPipeline::AttachMetrics(MetricsRegistry* registry) {
     workers_[i]->pipeline.executor->AttachMetrics(registry);
     workers_[i]->channel.AttachMetrics(
         registry, {{"channel", "worker-" + std::to_string(i)}});
+  }
+}
+
+void ParallelPipeline::AttachTracer(TraceRecorder* tracer) {
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->pipeline.executor->AttachTracer(tracer);
+    workers_[i]->channel.AttachTracer(tracer,
+                                      "worker-" + std::to_string(i));
   }
 }
 

@@ -129,6 +129,13 @@ class ParallelPipeline : public ft::Checkpointable,
   /// nullptr detaches channels.
   void AttachMetrics(MetricsRegistry* registry);
 
+  /// \brief Attaches `tracer` to every worker executor and worker channel
+  /// (queue-wait spans named "worker-<i>"). A popped batch whose stamped
+  /// TraceContext is sampled (or carries an ingest timestamp) is executed
+  /// under that context, so worker-side operator spans join the producer's
+  /// trace tree. Call after Start(); nullptr detaches executors.
+  void AttachTracer(TraceRecorder* tracer);
+
   size_t parallelism() const { return parallelism_; }
 
   /// \brief The channel feeding worker `index` (observability/tests).

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
+
 namespace cq::ft {
 
 BarrierAligner::BarrierAligner(size_t fan_in, CompletionFn on_complete)
@@ -35,6 +37,9 @@ void BarrierAligner::Report(uint64_t epoch, size_t slot,
     }
     ++p.reported;
     if (p.reported < fan_in_) return;
+    FlightRecorder::Global().Record("barrier", "align", "",
+                                    static_cast<int64_t>(epoch),
+                                    static_cast<int64_t>(fan_in_));
     done_epoch = epoch;
     done = p.error.ok() ? Result<std::vector<std::string>>(std::move(p.slots))
                         : Result<std::vector<std::string>>(p.error);

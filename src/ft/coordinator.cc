@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
+
 namespace cq::ft {
 
 CheckpointCoordinator::CheckpointCoordinator(Checkpointable* pipeline,
@@ -23,6 +25,9 @@ Status CheckpointCoordinator::PersistEpoch(
     uint64_t epoch, const std::vector<std::string>& slots,
     const std::map<std::string, int64_t>& offsets, Timestamp watermark) {
   CQ_RETURN_NOT_OK(store_->Persist(epoch, slots, offsets, watermark));
+  FlightRecorder::Global().Record("barrier", "persist", "",
+                                  static_cast<int64_t>(epoch),
+                                  static_cast<int64_t>(slots.size()));
   // The snapshot is durable from here: committing the source offsets and
   // publishing fenced output are both safe to redo after a crash (commit is
   // idempotent, publish is fenced by epoch), so their order is free.
@@ -42,6 +47,8 @@ Status CheckpointCoordinator::PersistEpoch(
     CQ_ASSIGN_OR_RETURN(std::vector<std::string> durable_slots,
                         store_->LoadSlots(manifest));
     CQ_RETURN_NOT_OK(PublishStagedFrames(durable_slots, epoch, output_log_));
+    FlightRecorder::Global().Record("barrier", "publish", "",
+                                    static_cast<int64_t>(epoch));
   }
   return Status::OK();
 }
@@ -52,6 +59,8 @@ Result<uint64_t> CheckpointCoordinator::TriggerCheckpoint() {
     std::lock_guard<std::mutex> lock(mu_);
     epoch = next_epoch_++;
   }
+  FlightRecorder::Global().Record("barrier", "begin", "quiesce",
+                                  static_cast<int64_t>(epoch));
   // Quiesce first: every record accepted so far is fully processed, so the
   // offsets captured next describe exactly the snapshotted prefix.
   CQ_RETURN_NOT_OK(pipeline_->QuiesceForSnapshot());
@@ -67,6 +76,8 @@ Result<uint64_t> CheckpointCoordinator::TriggerCheckpoint() {
     std::lock_guard<std::mutex> lock(mu_);
     last_completed_ = epoch;
   }
+  FlightRecorder::Global().Record("barrier", "commit", "",
+                                  static_cast<int64_t>(epoch));
   return epoch;
 }
 
@@ -101,6 +112,8 @@ Result<uint64_t> CheckpointCoordinator::TriggerBarrierCheckpoint(
     std::lock_guard<std::mutex> lock(mu_);
     in_flight_[epoch] = {std::move(offsets), wm};
   }
+  FlightRecorder::Global().Record("barrier", "begin", "inject",
+                                  static_cast<int64_t>(epoch));
   Status st = pipeline->InjectBarrier(epoch);
   if (!st.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -125,6 +138,9 @@ void CheckpointCoordinator::CompleteBarrierEpoch(
   }
   Status st = slots.ok() ? PersistEpoch(epoch, *slots, offsets, wm)
                          : slots.status();
+  FlightRecorder::Global().Record("barrier", st.ok() ? "commit" : "abort",
+                                  st.ok() ? "" : st.ToString(),
+                                  static_cast<int64_t>(epoch));
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (st.ok() && epoch > last_completed_) last_completed_ = epoch;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 
 namespace cq::ft {
 
@@ -150,10 +151,14 @@ class FaultInjector {
       return Status::OK();
     }
     if (kind_ == FaultKind::kExit) {
-      // A crash, not a shutdown: no destructors, no flushes.
+      // A crash, not a shutdown: no destructors, no flushes. The flight
+      // recorder's black box is the one thing dumped on the way down.
+      FlightRecorder::Global().Record("fault", "exit", point);
+      FlightRecorder::Global().DumpToStderr("injected-crash");
       _exit(kFaultExitCode);
     }
     fired_ = true;
+    FlightRecorder::Global().Record("fault", "fail", point);
     return Status::Internal("injected fault at '" + std::string(point) + "'");
   }
 

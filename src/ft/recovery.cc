@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+
 namespace cq::ft {
 
 Result<RecoveryReport> RecoveryManager::Recover(Checkpointable* pipeline,
@@ -12,10 +14,13 @@ Result<RecoveryReport> RecoveryManager::Recover(Checkpointable* pipeline,
   Result<SnapshotManifest> manifest = store_->LatestManifest();
   if (!manifest.ok()) {
     if (manifest.status().code() == StatusCode::kNotFound) {
+      FlightRecorder::Global().Record("recovery", "fresh_start");
       return report;  // fresh start
     }
     return manifest.status();
   }
+  FlightRecorder::Global().Record("recovery", "begin", "",
+                                  static_cast<int64_t>(manifest->epoch));
   CQ_ASSIGN_OR_RETURN(std::vector<std::string> slots,
                       store_->LoadSlots(*manifest));
   CQ_RETURN_NOT_OK(pipeline->QuiesceForSnapshot());
@@ -43,6 +48,9 @@ Result<RecoveryReport> RecoveryManager::Recover(Checkpointable* pipeline,
       if (end > from) report.records_to_replay += end - from;
     }
   }
+  FlightRecorder::Global().Record(
+      "recovery", "done", "", static_cast<int64_t>(report.epoch),
+      static_cast<int64_t>(report.records_to_replay));
   return report;
 }
 

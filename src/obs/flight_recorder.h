@@ -1,0 +1,172 @@
+#ifndef CQ_OBS_FLIGHT_RECORDER_H_
+#define CQ_OBS_FLIGHT_RECORDER_H_
+
+/// \file flight_recorder.h
+/// \brief FlightRecorder: a lock-light fixed-size ring of structured events.
+///
+/// Metrics answer "how much", traces answer "where did the time go"; the
+/// flight recorder answers "what happened just before things went wrong".
+/// Control-plane transitions — barrier begin/align/commit, recovery,
+/// query registration/teardown, fault injections, channel stalls — record
+/// one bounded event each into a preallocated ring. The ring is dumpable as
+/// JSON on demand (the /flightrecorder endpoint) and automatically on
+/// crash/abort paths in the ft layer (FaultInjector dumps it to stderr
+/// before _exit, so a post-mortem sees the last control-plane events the
+/// way a black box records the last minutes of a flight).
+///
+/// Header-only so low layers (runtime, queue, the header-only fault
+/// injector) can record without linking against the obs library. Recording
+/// takes one short mutex hold (copy a few small fields into a preallocated
+/// slot); these are control-plane events at checkpoint/registration
+/// cadence, not per-record hot-path events.
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cq {
+
+/// \brief One structured flight-recorder event.
+struct FlightEvent {
+  int64_t ns = 0;        // MonotonicNanos at record time
+  uint64_t seq = 0;      // process-wide record sequence number
+  std::string category;  // e.g. "barrier", "recovery", "service", "fault"
+  std::string label;     // e.g. "begin", "align", "commit", "register"
+  std::string detail;    // free-form context (query sql, point name, ...)
+  int64_t a = 0;         // category-specific (epoch, query id, ...)
+  int64_t b = 0;         // category-specific (worker index, status code, ...)
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 4096) : capacity_(capacity) {
+    events_.reserve(capacity_);
+  }
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// \brief Process-wide recorder: every subsystem records into it, the
+  /// crash path dumps it.
+  static FlightRecorder& Global() {
+    static FlightRecorder* g = new FlightRecorder();
+    return *g;
+  }
+
+  void Record(std::string category, std::string label, std::string detail = "",
+              int64_t a = 0, int64_t b = 0) {
+    FlightEvent ev;
+    ev.ns = MonotonicNanos();
+    ev.category = std::move(category);
+    ev.label = std::move(label);
+    ev.detail = std::move(detail);
+    ev.a = a;
+    ev.b = b;
+    std::lock_guard<std::mutex> lock(mu_);
+    ev.seq = ++total_;
+    if (events_.size() < capacity_) {
+      events_.push_back(std::move(ev));
+    } else {
+      events_[next_slot_] = std::move(ev);
+    }
+    next_slot_ = (next_slot_ + 1) % capacity_;
+  }
+
+  /// \brief Retained events in record order (oldest first).
+  std::vector<FlightEvent> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() < capacity_) return events_;
+    // Full ring: next_slot_ holds the oldest event.
+    std::vector<FlightEvent> out;
+    out.reserve(events_.size());
+    for (size_t i = next_slot_; i < events_.size(); ++i) out.push_back(events_[i]);
+    for (size_t i = 0; i < next_slot_; ++i) out.push_back(events_[i]);
+    return out;
+  }
+
+  /// \brief Total events ever recorded (>= retained once wrapped).
+  uint64_t total_recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+  /// \brief Drops every retained event (test isolation).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    next_slot_ = 0;
+  }
+
+  /// \brief Retained events as a JSON array, oldest first.
+  std::string ToJson() const {
+    std::vector<FlightEvent> events = Snapshot();
+    std::ostringstream out;
+    out << "[";
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (i > 0) out << ",";
+      const FlightEvent& ev = events[i];
+      out << "{\"seq\":" << ev.seq << ",\"ns\":" << ev.ns << ",\"category\":\""
+          << JsonEscape(ev.category) << "\",\"label\":\""
+          << JsonEscape(ev.label) << "\",\"detail\":\""
+          << JsonEscape(ev.detail) << "\",\"a\":" << ev.a << ",\"b\":" << ev.b
+          << "}";
+    }
+    out << "]";
+    return out.str();
+  }
+
+  /// \brief Crash-path dump: writes the ring to stderr framed by BEGIN/END
+  /// markers so a harness (or a human) can recover it from a dead process's
+  /// captured output. Uses stdio only — safe right before _exit.
+  void DumpToStderr(const char* reason) const {
+    std::string json = ToJson();
+    std::fprintf(stderr, "CQ_FLIGHT_RECORDER_BEGIN reason=%s\n%s\nCQ_FLIGHT_RECORDER_END\n",
+                 reason, json.c_str());
+    std::fflush(stderr);
+  }
+
+ private:
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<FlightEvent> events_;
+  size_t next_slot_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace cq
+
+#endif  // CQ_OBS_FLIGHT_RECORDER_H_

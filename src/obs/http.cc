@@ -1,0 +1,133 @@
+#include "obs/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace cq {
+
+HttpEndpoint::~HttpEndpoint() { Stop(); }
+
+void HttpEndpoint::AddHandler(std::string path, std::string content_type,
+                              Handler handler) {
+  routes_[std::move(path)] = Route{std::move(content_type),
+                                   std::move(handler)};
+}
+
+Status HttpEndpoint::Start(uint16_t port) {
+  if (listener_ >= 0) return Status::Internal("endpoint already started");
+  listener_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listener_ < 0) return Status::IOError("socket: " +
+                                            std::string(strerror(errno)));
+  int one = 1;
+  setsockopt(listener_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(listener_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(listener_, 8) < 0) {
+    Status st = Status::IOError("bind/listen: " +
+                                std::string(strerror(errno)));
+    close(listener_);
+    listener_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listener_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpEndpoint::Stop() {
+  if (listener_ < 0) return;
+  // shutdown() wakes the blocked accept(); close() alone does not on Linux.
+  shutdown(listener_, SHUT_RDWR);
+  close(listener_);
+  listener_ = -1;
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpEndpoint::AcceptLoop() {
+  while (true) {
+    int fd = accept(listener_, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed by Stop()
+    ServeOne(fd);
+    close(fd);
+  }
+}
+
+namespace {
+
+void WriteAll(int fd, const std::string& data) {
+  const char* p = data.data();
+  size_t len = data.size();
+  while (len > 0) {
+    ssize_t n = write(fd, p, len);
+    if (n <= 0) return;
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void WriteResponse(int fd, const char* status_line,
+                   const std::string& content_type, const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status_line;
+  out += "\r\nContent-Type: " + content_type +
+         "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n";
+  out += body;
+  WriteAll(fd, out);
+}
+
+}  // namespace
+
+void HttpEndpoint::ServeOne(int fd) {
+  // Read until the end of the request head (or 8 KiB, whichever first);
+  // only the request line matters.
+  std::string req;
+  char buf[1024];
+  while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192) {
+    ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    req.append(buf, static_cast<size_t>(n));
+    if (req.find("\r\n") != std::string::npos &&
+        req.find("GET ") != 0) {
+      break;  // non-GET: no body expected that we care about
+    }
+  }
+  size_t eol = req.find("\r\n");
+  if (eol == std::string::npos) eol = req.size();
+  std::string line = req.substr(0, eol);
+  if (line.rfind("GET ", 0) != 0) {
+    WriteResponse(fd, "405 Method Not Allowed", "text/plain",
+                  "GET only\n");
+    return;
+  }
+  size_t path_end = line.find(' ', 4);
+  std::string path = line.substr(4, path_end == std::string::npos
+                                        ? std::string::npos
+                                        : path_end - 4);
+  // Strip any query string: /traces?limit=5 routes as /traces.
+  size_t q = path.find('?');
+  if (q != std::string::npos) path.resize(q);
+  auto it = routes_.find(path);
+  if (it == routes_.end()) {
+    std::string known = "not found; known paths:\n";
+    for (const auto& [p, r] : routes_) known += "  " + p + "\n";
+    WriteResponse(fd, "404 Not Found", "text/plain", known);
+    return;
+  }
+  WriteResponse(fd, "200 OK", it->second.content_type, it->second.handler());
+}
+
+}  // namespace cq

@@ -1,0 +1,72 @@
+#ifndef CQ_OBS_HTTP_H_
+#define CQ_OBS_HTTP_H_
+
+/// \file http.h
+/// \brief HttpEndpoint: a minimal embedded HTTP/1.0 GET server for
+/// observability exposition.
+///
+/// Production streaming systems expose their observability plane over HTTP
+/// (Prometheus scrape endpoints, Flink's REST API). This is the smallest
+/// honest version of that: callers register path handlers — each a function
+/// producing a response body on demand — and Start() binds a loopback
+/// listener whose accept thread serves one GET at a time. Handlers run on
+/// the accept thread, so they must be internally synchronised (the metrics
+/// registry, trace recorder and flight recorder all are).
+///
+/// Deliberately NOT a web framework: GET only, no keep-alive, no TLS,
+/// loopback only. It exists so `curl localhost:PORT/metrics` works against
+/// a running query server and so CI can smoke-test the exposition surface.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace cq {
+
+class HttpEndpoint {
+ public:
+  /// Produces a response body at request time.
+  using Handler = std::function<std::string()>;
+
+  HttpEndpoint() = default;
+  ~HttpEndpoint();
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  /// \brief Registers `handler` for exact-match GET `path` (e.g.
+  /// "/metrics") with the given Content-Type. Call before Start().
+  void AddHandler(std::string path, std::string content_type, Handler handler);
+
+  /// \brief Binds 127.0.0.1:`port` (0 = kernel-assigned; see port()) and
+  /// starts the accept thread.
+  Status Start(uint16_t port);
+
+  /// \brief The bound port (after Start).
+  uint16_t port() const { return port_; }
+
+  /// \brief Closes the listener and joins the accept thread. Idempotent.
+  void Stop();
+
+  bool running() const { return listener_ >= 0; }
+
+ private:
+  void AcceptLoop();
+  void ServeOne(int fd);
+
+  struct Route {
+    std::string content_type;
+    Handler handler;
+  };
+
+  std::map<std::string, Route> routes_;
+  int listener_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace cq
+
+#endif  // CQ_OBS_HTTP_H_

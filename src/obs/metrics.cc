@@ -74,9 +74,19 @@ std::string MetricsRegistry::RenderLabels(const LabelSet& labels) {
   return out;
 }
 
+void MetricsRegistry::NoteLabelsLocked(const std::string& family,
+                                       const LabelSet& labels) {
+  std::vector<LabelSet>& seen = family_label_sets_[family];
+  for (const LabelSet& s : seen) {
+    if (s == labels) return;
+  }
+  seen.push_back(labels);
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& family,
                                      const LabelSet& labels) {
   std::lock_guard<std::mutex> lock(mu_);
+  NoteLabelsLocked(family, labels);
   auto& slot = counters_[family][RenderLabels(labels)];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
@@ -85,8 +95,18 @@ Counter* MetricsRegistry::GetCounter(const std::string& family,
 Gauge* MetricsRegistry::GetGauge(const std::string& family,
                                  const LabelSet& labels) {
   std::lock_guard<std::mutex> lock(mu_);
+  NoteLabelsLocked(family, labels);
   auto& slot = gauges_[family][RenderLabels(labels)];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+DoubleGauge* MetricsRegistry::GetDoubleGauge(const std::string& family,
+                                             const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NoteLabelsLocked(family, labels);
+  auto& slot = double_gauges_[family][RenderLabels(labels)];
+  if (slot == nullptr) slot = std::make_unique<DoubleGauge>();
   return slot.get();
 }
 
@@ -94,6 +114,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& family,
                                          const LabelSet& labels,
                                          std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(mu_);
+  NoteLabelsLocked(family, labels);
   auto& slot = histograms_[family][RenderLabels(labels)];
   if (slot == nullptr) {
     if (bounds.empty()) bounds = Histogram::DefaultLatencyBoundsUs();
@@ -107,8 +128,86 @@ size_t MetricsRegistry::size() const {
   size_t n = 0;
   for (const auto& [name, series] : counters_) n += series.size();
   for (const auto& [name, series] : gauges_) n += series.size();
+  for (const auto& [name, series] : double_gauges_) n += series.size();
   for (const auto& [name, series] : histograms_) n += series.size();
   return n;
+}
+
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (size_t i = 1; i < name.size(); ++i) {
+    char c = name[i];
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool ValidLabelKey(const std::string& key) {
+  if (key.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(key[0])) return false;
+  for (size_t i = 1; i < key.size(); ++i) {
+    char c = key[i];
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+std::string KeySignature(const LabelSet& labels) {
+  std::string sig;
+  for (const auto& [k, v] : labels) {
+    if (!sig.empty()) sig += ",";
+    sig += k;
+  }
+  return sig;
+}
+
+}  // namespace
+
+std::vector<std::string> MetricsRegistry::LintProblems() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> problems;
+  for (const auto& [family, label_sets] : family_label_sets_) {
+    if (!ValidMetricName(family)) {
+      problems.push_back("metric name '" + family +
+                         "' violates [a-zA-Z_:][a-zA-Z0-9_:]*");
+    }
+    std::string first_sig;
+    bool have_sig = false;
+    for (const LabelSet& labels : label_sets) {
+      for (const auto& [key, value] : labels) {
+        if (!ValidLabelKey(key)) {
+          problems.push_back("label key '" + key + "' of '" + family +
+                             "' violates [a-zA-Z_][a-zA-Z0-9_]*");
+        }
+        if (value.find('"') != std::string::npos ||
+            value.find('\\') != std::string::npos ||
+            value.find('\n') != std::string::npos) {
+          problems.push_back("label value '" + value + "' of '" + family +
+                             "' contains an unescapable character");
+        }
+      }
+      std::string sig = KeySignature(labels);
+      if (!have_sig) {
+        first_sig = sig;
+        have_sig = true;
+      } else if (sig != first_sig) {
+        problems.push_back("family '" + family +
+                           "' mixes label-key sets {" + first_sig + "} and {" +
+                           sig + "}");
+      }
+    }
+  }
+  return problems;
 }
 
 std::string MetricsRegistry::ToText() const {
@@ -124,6 +223,12 @@ std::string MetricsRegistry::ToText() const {
     out << "# TYPE " << family << " gauge\n";
     for (const auto& [labels, gauge] : series) {
       out << family << labels << " " << gauge->value() << "\n";
+    }
+  }
+  for (const auto& [family, series] : double_gauges_) {
+    out << "# TYPE " << family << " gauge\n";
+    for (const auto& [labels, gauge] : series) {
+      out << family << labels << " " << FormatDouble(gauge->value()) << "\n";
     }
   }
   for (const auto& [family, series] : histograms_) {
@@ -174,6 +279,14 @@ std::string MetricsRegistry::ToJson() const {
       if (!first) out << ",";
       first = false;
       out << "\"" << JsonEscape(family + labels) << "\":" << gauge->value();
+    }
+  }
+  for (const auto& [family, series] : double_gauges_) {
+    for (const auto& [labels, gauge] : series) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << JsonEscape(family + labels)
+          << "\":" << FormatDouble(gauge->value());
     }
   }
   out << "},\"histograms\":{";

@@ -54,6 +54,17 @@ class Gauge {
   std::atomic<int64_t> v_{0};
 };
 
+/// \brief Point-in-time fractional value (ratios such as observed
+/// selectivity); lock-free updates.
+class DoubleGauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
 /// \brief An ordered label set, e.g. {{"node", "window"}, {"id", "1"}}.
 using LabelSet = std::vector<std::pair<std::string, std::string>>;
 
@@ -73,6 +84,8 @@ class MetricsRegistry {
   /// first use. Pointers remain valid for the registry's lifetime.
   Counter* GetCounter(const std::string& family, const LabelSet& labels = {});
   Gauge* GetGauge(const std::string& family, const LabelSet& labels = {});
+  DoubleGauge* GetDoubleGauge(const std::string& family,
+                              const LabelSet& labels = {});
   /// \brief `bounds` are only consulted when the instrument is created;
   /// empty uses Histogram::DefaultLatencyBoundsUs().
   Histogram* GetHistogram(const std::string& family,
@@ -93,6 +106,14 @@ class MetricsRegistry {
   /// \brief Number of registered instruments (tests).
   size_t size() const;
 
+  /// \brief Exposition lint: validates every registered family and label
+  /// against Prometheus naming rules — metric names match
+  /// `[a-zA-Z_:][a-zA-Z0-9_:]*`, label keys match `[a-zA-Z_][a-zA-Z0-9_]*`,
+  /// label values carry no `"`, `\` or newline (RenderLabels does not
+  /// escape), and every series of one family uses the same label-key set.
+  /// Returns one human-readable problem per violation; empty = clean.
+  std::vector<std::string> LintProblems() const;
+
   /// \brief Renders `{k="v",...}` (empty string for no labels).
   static std::string RenderLabels(const LabelSet& labels);
 
@@ -102,10 +123,19 @@ class MetricsRegistry {
   template <typename T>
   using FamilyMap = std::map<std::string, std::map<std::string, std::unique_ptr<T>>>;
 
+  /// Records `labels` (keys, key signature, value lint) for `family` so
+  /// LintProblems can check naming without re-parsing rendered strings.
+  void NoteLabelsLocked(const std::string& family, const LabelSet& labels);
+
   mutable std::mutex mu_;
   FamilyMap<Counter> counters_;
   FamilyMap<Gauge> gauges_;
+  FamilyMap<DoubleGauge> double_gauges_;
   FamilyMap<Histogram> histograms_;
+
+  /// Lint bookkeeping: family -> set of label-key signatures seen, plus any
+  /// value-level problems captured at registration time.
+  std::map<std::string, std::vector<LabelSet>> family_label_sets_;
 };
 
 }  // namespace cq

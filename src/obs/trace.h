@@ -4,15 +4,21 @@
 /// \file trace.h
 /// \brief Lightweight span tracing: ScopedTimer and a bounded span recorder.
 ///
-/// Two levels of tracing cost:
+/// Three levels of tracing cost:
 ///  - ScopedTimer: RAII wall-clock measurement into a Histogram. Null-safe —
 ///    constructed with a nullptr histogram it compiles down to two branch
 ///    tests, which is what keeps instrumentation near-zero-cost when no
 ///    registry is attached.
-///  - TraceRecorder: an optional bounded ring of completed spans
-///    (trace id, name, start, duration) for per-element flow debugging.
-///    Intended for tests and ad-hoc diagnosis, not production hot paths.
+///  - TraceRecorder: an optional bounded ring of completed spans for
+///    per-element flow debugging and critical-path attribution.
+///  - TraceContext: a sampled per-batch context (trace id, parent span,
+///    ingest timestamp) stamped onto StreamBatch at the ingest edge and
+///    carried through channels, workers, and the service delta operators so
+///    spans recorded along the way form one parent/child tree per sampled
+///    element. An unsampled context (trace_id == 0) costs one branch at
+///    every instrumentation point.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -53,9 +59,41 @@ class ScopedTimer {
   int64_t start_ns_ = 0;
 };
 
+/// \brief What a span's duration attributes time to. The critical-path sum
+/// of a trace counts kIngest + kOp: those partition the synchronous path
+/// from ingest to publish. kPublish is a sub-segment of the sink's kOp self
+/// time and kQueue/kDeliver happen after publish (subscriber side), so they
+/// are reported in the breakdown but excluded from the sum.
+enum class SpanKind : uint8_t {
+  kIngest,   // source poll / service push dispatch overhead
+  kOp,       // one operator delivery's self time (downstream excluded)
+  kQueue,    // time a batch waited inside a channel
+  kPublish,  // fan-out of one output batch to subscriptions
+  kDeliver,  // subscriber-side consumption
+};
+
+inline const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kIngest:
+      return "ingest";
+    case SpanKind::kOp:
+      return "op";
+    case SpanKind::kQueue:
+      return "queue";
+    case SpanKind::kPublish:
+      return "publish";
+    case SpanKind::kDeliver:
+      return "deliver";
+  }
+  return "unknown";
+}
+
 /// \brief A completed trace span.
 struct Span {
   uint64_t trace_id = 0;  // groups spans of one logical element / request
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  SpanKind kind = SpanKind::kOp;
   std::string name;
   int64_t start_ns = 0;
   int64_t duration_ns = 0;
@@ -66,6 +104,40 @@ inline uint64_t NextTraceId() {
   static std::atomic<uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
 }
+
+/// \brief Process-unique span-id source.
+inline uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// \brief Sampled per-batch trace context, stamped at the ingest edge.
+///
+/// `trace_id == 0` means unsampled: span recording is skipped but
+/// `ingest_ns` (when non-zero) still drives end-to-end latency metrics.
+/// `parent_span` names the span a continuation should parent to — the
+/// ingest span at stamp time, then the enclosing operator span as the
+/// executor descends.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+  int64_t ingest_ns = 0;
+
+  bool sampled() const { return trace_id != 0; }
+};
+
+/// \brief Per-trace critical-path breakdown (nanoseconds by span kind).
+struct TraceBreakdown {
+  int64_t ingest_ns = 0;
+  int64_t op_ns = 0;
+  int64_t queue_ns = 0;
+  int64_t publish_ns = 0;
+  int64_t deliver_ns = 0;
+  size_t num_spans = 0;
+
+  /// The synchronous ingest-to-publish path (see SpanKind).
+  int64_t CriticalPathNs() const { return ingest_ns + op_ns; }
+};
 
 /// \brief Bounded ring buffer of completed spans. Thread-safe.
 class TraceRecorder {
@@ -90,27 +162,114 @@ class TraceRecorder {
     return spans_;
   }
 
+  /// \brief Retained spans of one trace, ordered by start time.
+  std::vector<Span> TraceSpans(uint64_t trace_id) const {
+    std::vector<Span> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const Span& s : spans_) {
+        if (s.trace_id == trace_id) out.push_back(s);
+      }
+    }
+    std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+      return a.start_ns < b.start_ns;
+    });
+    return out;
+  }
+
+  /// \brief Sums the retained spans of `trace_id` by kind.
+  TraceBreakdown Breakdown(uint64_t trace_id) const {
+    TraceBreakdown bd;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Span& s : spans_) {
+      if (s.trace_id != trace_id) continue;
+      ++bd.num_spans;
+      switch (s.kind) {
+        case SpanKind::kIngest:
+          bd.ingest_ns += s.duration_ns;
+          break;
+        case SpanKind::kOp:
+          bd.op_ns += s.duration_ns;
+          break;
+        case SpanKind::kQueue:
+          bd.queue_ns += s.duration_ns;
+          break;
+        case SpanKind::kPublish:
+          bd.publish_ns += s.duration_ns;
+          break;
+        case SpanKind::kDeliver:
+          bd.deliver_ns += s.duration_ns;
+          break;
+      }
+    }
+    return bd;
+  }
+
+  /// \brief Distinct trace ids currently retained, most recent span first.
+  std::vector<uint64_t> TraceIds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<uint64_t> ids;
+    for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+      if (it->trace_id == 0) continue;
+      bool seen = false;
+      for (uint64_t id : ids) {
+        if (id == it->trace_id) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) ids.push_back(it->trace_id);
+    }
+    return ids;
+  }
+
   /// \brief Total spans ever recorded (>= retained count once wrapped).
   uint64_t total_recorded() const {
     std::lock_guard<std::mutex> lock(mu_);
     return total_;
   }
 
+  /// \brief All retained spans as a JSON array.
   std::string ToJson() const {
     std::lock_guard<std::mutex> lock(mu_);
     std::ostringstream out;
     out << "[";
     for (size_t i = 0; i < spans_.size(); ++i) {
       if (i > 0) out << ",";
-      out << "{\"trace_id\":" << spans_[i].trace_id << ",\"name\":\""
-          << spans_[i].name << "\",\"start_ns\":" << spans_[i].start_ns
-          << ",\"duration_ns\":" << spans_[i].duration_ns << "}";
+      AppendSpanJson(spans_[i], &out);
     }
     out << "]";
     return out.str();
   }
 
+  /// \brief One trace as JSON: its spans (start-ordered) plus the
+  /// critical-path breakdown by span kind.
+  std::string TraceJson(uint64_t trace_id) const {
+    std::vector<Span> spans = TraceSpans(trace_id);
+    TraceBreakdown bd = Breakdown(trace_id);
+    std::ostringstream out;
+    out << "{\"trace_id\":" << trace_id << ",\"spans\":[";
+    for (size_t i = 0; i < spans.size(); ++i) {
+      if (i > 0) out << ",";
+      AppendSpanJson(spans[i], &out);
+    }
+    out << "],\"breakdown\":{\"ingest_ns\":" << bd.ingest_ns
+        << ",\"op_ns\":" << bd.op_ns << ",\"queue_ns\":" << bd.queue_ns
+        << ",\"publish_ns\":" << bd.publish_ns
+        << ",\"deliver_ns\":" << bd.deliver_ns
+        << ",\"critical_path_ns\":" << bd.CriticalPathNs() << "}}";
+    return out.str();
+  }
+
  private:
+  static void AppendSpanJson(const Span& s, std::ostringstream* out) {
+    *out << "{\"trace_id\":" << s.trace_id << ",\"span_id\":" << s.span_id
+         << ",\"parent_id\":" << s.parent_id << ",\"kind\":\""
+         << SpanKindName(s.kind) << "\",\"name\":\"" << s.name
+         << "\",\"start_ns\":" << s.start_ns
+         << ",\"duration_ns\":" << s.duration_ns << "}";
+  }
+
   size_t capacity_;
   mutable std::mutex mu_;
   std::vector<Span> spans_;
@@ -121,10 +280,14 @@ class TraceRecorder {
 /// \brief RAII span: records into `recorder` on destruction. Null-safe.
 class ScopedSpan {
  public:
-  ScopedSpan(TraceRecorder* recorder, std::string name, uint64_t trace_id = 0)
+  ScopedSpan(TraceRecorder* recorder, std::string name, uint64_t trace_id = 0,
+             uint64_t parent_id = 0, SpanKind kind = SpanKind::kOp)
       : recorder_(recorder) {
     if (recorder_ != nullptr) {
       span_.trace_id = trace_id;
+      span_.span_id = NextSpanId();
+      span_.parent_id = parent_id;
+      span_.kind = kind;
       span_.name = std::move(name);
       span_.start_ns = MonotonicNanos();
     }
@@ -137,6 +300,8 @@ class ScopedSpan {
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  uint64_t span_id() const { return span_.span_id; }
 
  private:
   TraceRecorder* recorder_;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/time.h"
+#include "obs/trace.h"
 #include "stream/stream.h"
 
 namespace cq {
@@ -38,7 +39,11 @@ class StreamBatch {
 
   size_t size() const { return elements_.size(); }
   bool empty() const { return elements_.empty(); }
-  void clear() { elements_.clear(); }
+  void clear() {
+    elements_.clear();
+    trace_ = TraceContext();
+    enqueue_ns_ = 0;
+  }
   void reserve(size_t n) { elements_.reserve(n); }
 
   const StreamElement& at(size_t i) const { return elements_[i]; }
@@ -68,8 +73,22 @@ class StreamBatch {
     return m;
   }
 
+  /// \brief Sampled trace context stamped at the ingest edge (default:
+  /// unsampled). Travels with the batch through channels and workers so
+  /// spans recorded downstream join the batch's trace tree.
+  const TraceContext& trace() const { return trace_; }
+  void set_trace(const TraceContext& trace) { trace_ = trace; }
+
+  /// \brief Channel bookkeeping: when the batch was enqueued (0 = never),
+  /// stamped by Channel on push and consumed for the queue-wait histogram
+  /// and queue spans on pop.
+  int64_t enqueue_ns() const { return enqueue_ns_; }
+  void set_enqueue_ns(int64_t ns) { enqueue_ns_ = ns; }
+
  private:
   std::vector<StreamElement> elements_;
+  TraceContext trace_;
+  int64_t enqueue_ns_ = 0;
 };
 
 }  // namespace cq

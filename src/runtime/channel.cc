@@ -1,6 +1,7 @@
 #include "runtime/channel.h"
 
 #include "ft/fault.h"
+#include "obs/flight_recorder.h"
 
 namespace cq {
 
@@ -8,6 +9,9 @@ void Channel::PushLocked(StreamBatch&& batch) {
   if (pushes_total_ != nullptr) {
     pushes_total_->Increment();
     records_total_->Increment(batch.num_records());
+  }
+  if (queue_wait_us_ != nullptr || tracer_ != nullptr) {
+    batch.set_enqueue_ns(MonotonicNanos());
   }
   queue_.push_back(std::move(batch));
   if (depth_gauge_ != nullptr) {
@@ -24,8 +28,7 @@ Status Channel::Push(StreamBatch batch) {
       ft::FaultInjector::Global().Hit(ft::faultpoint::kChannelPush));
   std::unique_lock<std::mutex> lock(mu_);
   if (!HasCreditLocked() && !closed_) {
-    ++blocked_pushes_;
-    if (blocked_total_ != nullptr) blocked_total_->Increment();
+    NoteStallLocked();
     not_full_.wait(lock, [this] { return HasCreditLocked() || closed_; });
   }
   if (closed_) return Status::Closed("channel closed");
@@ -41,8 +44,7 @@ bool Channel::TryPush(StreamBatch* batch, Status* status) {
   }
   if (status != nullptr) *status = Status::OK();
   if (!HasCreditLocked()) {
-    ++blocked_pushes_;
-    if (blocked_total_ != nullptr) blocked_total_->Increment();
+    NoteStallLocked();
     return false;
   }
   PushLocked(std::move(*batch));
@@ -56,6 +58,7 @@ bool Channel::Pop(StreamBatch* batch) {
   *batch = std::move(queue_.front());
   queue_.pop_front();
   ++in_flight_;
+  ObserveDequeueLocked(batch);
   if (depth_gauge_ != nullptr) {
     depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
     if (credits_ != 0) {
@@ -72,6 +75,7 @@ bool Channel::TryPop(StreamBatch* batch) {
   *batch = std::move(queue_.front());
   queue_.pop_front();
   ++in_flight_;
+  ObserveDequeueLocked(batch);
   if (depth_gauge_ != nullptr) {
     depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
     if (credits_ != 0) {
@@ -80,6 +84,37 @@ bool Channel::TryPop(StreamBatch* batch) {
   }
   not_full_.notify_one();
   return true;
+}
+
+void Channel::ObserveDequeueLocked(StreamBatch* batch) {
+  if (batch->enqueue_ns() == 0) return;
+  int64_t waited_ns = MonotonicNanos() - batch->enqueue_ns();
+  if (waited_ns < 0) waited_ns = 0;
+  if (queue_wait_us_ != nullptr) {
+    queue_wait_us_->Observe(static_cast<double>(waited_ns) / 1e3);
+  }
+  if (tracer_ != nullptr && batch->trace().sampled()) {
+    Span span;
+    span.trace_id = batch->trace().trace_id;
+    span.span_id = NextSpanId();
+    span.parent_id = batch->trace().parent_span;
+    span.kind = SpanKind::kQueue;
+    span.name = trace_name_;
+    span.start_ns = batch->enqueue_ns();
+    span.duration_ns = waited_ns;
+    tracer_->Record(std::move(span));
+  }
+  batch->set_enqueue_ns(0);
+}
+
+void Channel::NoteStallLocked() {
+  ++blocked_pushes_;
+  if (blocked_total_ != nullptr) blocked_total_->Increment();
+  if (tracer_ != nullptr) {
+    FlightRecorder::Global().Record(
+        "channel", "stall", trace_name_,
+        static_cast<int64_t>(queue_.size()), static_cast<int64_t>(credits_));
+  }
 }
 
 void Channel::Acknowledge() {
@@ -131,6 +166,7 @@ void Channel::AttachMetrics(MetricsRegistry* registry, const LabelSet& labels) {
   if (registry == nullptr) {
     depth_gauge_ = credits_gauge_ = nullptr;
     pushes_total_ = records_total_ = blocked_total_ = nullptr;
+    queue_wait_us_ = nullptr;
     return;
   }
   depth_gauge_ = registry->GetGauge("cq_channel_depth", labels);
@@ -138,10 +174,17 @@ void Channel::AttachMetrics(MetricsRegistry* registry, const LabelSet& labels) {
   pushes_total_ = registry->GetCounter("cq_channel_pushes_total", labels);
   records_total_ = registry->GetCounter("cq_channel_records_total", labels);
   blocked_total_ = registry->GetCounter("cq_channel_blocked_total", labels);
+  queue_wait_us_ = registry->GetHistogram("cq_channel_queue_wait_us", labels);
   depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
   if (credits_ != 0) {
     credits_gauge_->Set(static_cast<int64_t>(credits_ - queue_.size()));
   }
+}
+
+void Channel::AttachTracer(TraceRecorder* tracer, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracer_ = tracer;
+  trace_name_ = std::move(name);
 }
 
 }  // namespace cq

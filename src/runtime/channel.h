@@ -19,7 +19,12 @@
 ///
 /// When a metrics registry is attached the channel exports
 /// `cq_channel_depth`, `cq_channel_credits`, `cq_channel_pushes_total`,
-/// `cq_channel_records_total`, and `cq_channel_blocked_total`.
+/// `cq_channel_records_total`, `cq_channel_blocked_total` (the credit-stall
+/// counter), and `cq_channel_queue_wait_us` — a histogram of how long each
+/// popped batch sat queued, the channel half of latency attribution. With a
+/// tracer attached, popping a sampled batch additionally records a
+/// queue-kind span into its trace, and credit stalls record flight-recorder
+/// events.
 
 #include <condition_variable>
 #include <deque>
@@ -28,6 +33,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/batch.h"
 
 namespace cq {
@@ -87,11 +93,19 @@ class Channel {
   /// `labels` (e.g. {{"channel", "worker-0"}}); nullptr detaches.
   void AttachMetrics(MetricsRegistry* registry, const LabelSet& labels);
 
+  /// \brief Attaches a span recorder: popping a sampled batch records a
+  /// queue-kind span named `name` covering the batch's time in the queue,
+  /// parented to the batch's current trace position. nullptr detaches.
+  void AttachTracer(TraceRecorder* tracer, std::string name = "channel");
+
  private:
   bool HasCreditLocked() const {
     return credits_ == 0 || queue_.size() < credits_;
   }
   void PushLocked(StreamBatch&& batch);
+  /// Queue-wait observation for a just-popped batch; callers hold mu_.
+  void ObserveDequeueLocked(StreamBatch* batch);
+  void NoteStallLocked();
 
   size_t credits_;
   mutable std::mutex mu_;
@@ -109,6 +123,11 @@ class Channel {
   Counter* pushes_total_ = nullptr;
   Counter* records_total_ = nullptr;
   Counter* blocked_total_ = nullptr;
+  Histogram* queue_wait_us_ = nullptr;
+
+  // Tracing (nullptr until AttachTracer); read under mu_.
+  TraceRecorder* tracer_ = nullptr;
+  std::string trace_name_;
 };
 
 }  // namespace cq

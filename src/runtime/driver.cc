@@ -54,6 +54,10 @@ Result<StreamBatch> BrokerSourceDriver::PollBatch(size_t max_per_partition) {
   CQ_ASSIGN_OR_RETURN(Topic * t, broker_->GetTopic(topic_));
   const size_t limit =
       max_per_partition == 0 ? options_.max_poll_records : max_per_partition;
+  const bool sample =
+      options_.tracer != nullptr && options_.trace_sample_every != 0 &&
+      (polls_++ % options_.trace_sample_every) == 0;
+  const int64_t poll_start_ns = sample ? MonotonicNanos() : 0;
   StreamBatch batch;
   for (size_t p = 0; p < t->num_partitions(); ++p) {
     CQ_ASSIGN_OR_RETURN(std::vector<Message> msgs,
@@ -74,6 +78,24 @@ Result<StreamBatch> BrokerSourceDriver::PollBatch(size_t max_per_partition) {
   if (wm != kMinTimestamp && wm > last_emitted_wm_) {
     last_emitted_wm_ = wm;
     batch.AddWatermark(wm);
+  }
+  if (sample && !batch.empty()) {
+    // Root the batch's trace at this poll: the ingest span covers broker
+    // fetch + watermark derivation, and downstream spans (queue wait,
+    // operator self time) parent to it through the stamped context.
+    Span span;
+    span.trace_id = NextTraceId();
+    span.span_id = NextSpanId();
+    span.kind = SpanKind::kIngest;
+    span.name = "poll:" + topic_;
+    span.start_ns = poll_start_ns;
+    span.duration_ns = MonotonicNanos() - poll_start_ns;
+    TraceContext tc;
+    tc.trace_id = span.trace_id;
+    tc.parent_span = span.span_id;
+    tc.ingest_ns = poll_start_ns;
+    batch.set_trace(tc);
+    options_.tracer->Record(std::move(span));
   }
   return batch;
 }

@@ -67,6 +67,13 @@ struct BrokerSourceDriverOptions {
   size_t max_poll_records = 256;
   /// Disorder bound for the derived watermark.
   Duration max_out_of_orderness = 0;
+  /// Optional span recorder: every `trace_sample_every`-th non-empty poll
+  /// stamps its batch with a fresh TraceContext and records an ingest-kind
+  /// "poll:<topic>" span — the root of that element's trace tree. The
+  /// recorder must outlive the driver.
+  TraceRecorder* tracer = nullptr;
+  /// 0 disables sampling; 1 traces every poll.
+  size_t trace_sample_every = 0;
 };
 
 /// \brief Drives pipelines from a broker topic: batched polls, committed
@@ -137,6 +144,7 @@ class BrokerSourceDriver {
   std::vector<int64_t> positions_;
   Timestamp last_emitted_wm_ = kMinTimestamp;
   bool initialized_ = false;
+  uint64_t polls_ = 0;  // sampling counter for trace_sample_every
 };
 
 }  // namespace cq

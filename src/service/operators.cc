@@ -144,7 +144,7 @@ void WindowDeltaOperator::AttachMetrics(MetricsRegistry* registry,
     return;
   }
   late_drop_counter_ =
-      registry->GetCounter("cq_dataflow_late_dropped_total", labels);
+      registry->GetCounter("cq_dataflow_late_records_dropped_total", labels);
 }
 
 // --- PlanDeltaOperator ---
@@ -295,23 +295,56 @@ Status SubscriptionSinkOperator::ProcessElement(size_t,
 }
 
 Status SubscriptionSinkOperator::OnWatermark(Timestamp watermark,
-                                             const OperatorContext&,
+                                             const OperatorContext& ctx,
                                              Collector*) {
+  if (output_records_ != nullptr && !pending_.empty()) {
+    output_records_->Increment(pending_.size());
+  }
   total_emitted_ += pending_.size();
   pending_.push_back(StreamElement::Watermark(watermark));
+  // Publish-kind span for the fan-out, nested under this sink's operator
+  // span; outgoing batches are re-stamped so subscription queue-wait spans
+  // parent under the publish.
+  const bool tracing = tracer_ != nullptr && ctx.trace != nullptr &&
+                       ctx.trace->sampled();
+  Span publish;
+  TraceContext out_tc;
+  if (tracing) {
+    publish.trace_id = ctx.trace->trace_id;
+    publish.span_id = NextSpanId();
+    publish.parent_id = ctx.trace->parent_span;
+    publish.kind = SpanKind::kPublish;
+    publish.name = "publish:" + name();
+    publish.start_ns = MonotonicNanos();
+    out_tc = *ctx.trace;
+    out_tc.parent_span = publish.span_id;
+  }
   bool any_closed = false;
   for (const SubscriptionPtr& sub : subs_) {
     StreamBatch batch(pending_);  // per-subscription copy
+    if (tracing) batch.set_trace(out_tc);
     Status st;
     if (!sub->channel_.TryPush(&batch, &st)) {
       if (st.ok()) {
         // Credits exhausted: this subscriber falls behind alone.
         sub->dropped_.fetch_add(1, std::memory_order_relaxed);
         if (sub->drops_counter_ != nullptr) sub->drops_counter_->Increment();
+        if (dropped_pushes_ != nullptr) dropped_pushes_->Increment();
       } else {
         any_closed = true;  // cancelled subscriber; collect below
       }
     }
+  }
+  if (tracing) {
+    publish.duration_ns = MonotonicNanos() - publish.start_ns;
+    tracer_->Record(std::move(publish));
+  }
+  // End-to-end latency: ingest stamp (service push / broker poll) to
+  // publish complete. Attributed even on unsampled pushes.
+  if (latency_us_ != nullptr && ctx.trace != nullptr &&
+      ctx.trace->ingest_ns != 0) {
+    latency_us_->Observe(
+        static_cast<double>(MonotonicNanos() - ctx.trace->ingest_ns) / 1e3);
   }
   if (any_closed) {
     subs_.erase(std::remove_if(subs_.begin(), subs_.end(),

@@ -187,6 +187,21 @@ class SubscriptionSinkOperator : public Operator {
   /// the sink itself checkpoints empty.
   bool IsStateless() const override { return true; }
 
+  /// \brief Wires the per-query instruments (any may be null). On each
+  /// watermark flush the sink observes end-to-end latency (now minus the
+  /// ingest timestamp the service stamped on the push), counts output
+  /// records, and counts fan-out pushes dropped on exhausted credits. With
+  /// a tracer, the fan-out is recorded as a publish-kind span nested under
+  /// the sink's operator span, and outgoing batches are re-stamped so
+  /// subscription queue-wait spans parent under it.
+  void AttachQueryInstruments(Histogram* latency_us, Counter* output_records,
+                              Counter* dropped_pushes, TraceRecorder* tracer) {
+    latency_us_ = latency_us;
+    output_records_ = output_records;
+    dropped_pushes_ = dropped_pushes;
+    tracer_ = tracer;
+  }
+
   /// Subscription list mutations happen under the service lock, the same
   /// lock every pipeline push holds — no extra synchronisation here.
   void AddSubscription(SubscriptionPtr sub) {
@@ -203,6 +218,10 @@ class SubscriptionSinkOperator : public Operator {
   std::vector<SubscriptionPtr> subs_;
   std::vector<StreamElement> pending_;
   uint64_t total_emitted_ = 0;
+  Histogram* latency_us_ = nullptr;
+  Counter* output_records_ = nullptr;
+  Counter* dropped_pushes_ = nullptr;
+  TraceRecorder* tracer_ = nullptr;
 };
 
 }  // namespace cq

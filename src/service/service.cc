@@ -1,9 +1,11 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 
 #include "dataflow/operators.h"
+#include "obs/flight_recorder.h"
 #include "sql/fingerprint.h"
 #include "sql/planner.h"
 
@@ -78,6 +80,14 @@ RelOpPtr StripLiftableFilters(const RelOpPtr& op,
   return changed ? op->WithChildren(std::move(kids)) : op;
 }
 
+/// Short hex rendering of a plan fingerprint for metric labels.
+std::string FingerprintLabel(const std::string& fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(FingerprintHash(fp)));
+  return buf;
+}
+
 }  // namespace
 
 QueryService::QueryService(Catalog catalog, ServiceConfig config)
@@ -85,6 +95,7 @@ QueryService::QueryService(Catalog catalog, ServiceConfig config)
   auto graph = std::make_unique<DataflowGraph>();
   graph_ = graph.get();
   executor_ = std::make_unique<PipelineExecutor>(std::move(graph));
+  if (config_.tracer != nullptr) executor_->AttachTracer(config_.tracer);
   if (config_.metrics != nullptr) {
     executor_->AttachMetrics(config_.metrics);
     MetricsRegistry* m = config_.metrics;
@@ -159,6 +170,9 @@ Result<QueryId> QueryService::RegisterQueryLocked(const std::string& sql) {
   // --- Admission control ---
   if (NumActiveQueriesLocked() >= config_.max_queries) {
     if (rejected_total_ != nullptr) rejected_total_->Increment();
+    FlightRecorder::Global().Record(
+        "service", "reject_query", "max_queries",
+        static_cast<int64_t>(config_.max_queries));
     return Status::OutOfRange(
         "query admission rejected: " + std::to_string(config_.max_queries) +
         " queries already registered");
@@ -166,6 +180,10 @@ Result<QueryId> QueryService::RegisterQueryLocked(const std::string& sql) {
   if (config_.max_state_bytes != 0 &&
       ApproxStateBytes() >= config_.max_state_bytes) {
     if (rejected_total_ != nullptr) rejected_total_->Increment();
+    FlightRecorder::Global().Record(
+        "service", "reject_query", "max_state_bytes",
+        static_cast<int64_t>(ApproxStateBytes()),
+        static_cast<int64_t>(config_.max_state_bytes));
     return Status::OutOfRange(
         "query admission rejected: service state is " +
         std::to_string(ApproxStateBytes()) + " bytes, cap is " +
@@ -313,10 +331,32 @@ Result<QueryId> QueryService::RegisterQueryLocked(const std::string& sql) {
     }
     ReleaseAll(rec.ref_order);
     if (rejected_total_ != nullptr) rejected_total_->Increment();
+    FlightRecorder::Global().Record("service", "reject_query", st.ToString(),
+                                    static_cast<int64_t>(qid));
     return st;
   }
 
+  // Per-query instruments, labeled by id and plan-stage fingerprint so a
+  // re-registered identical query aggregates under the same fingerprint.
+  {
+    Histogram* lat = nullptr;
+    Counter* outc = nullptr;
+    Counter* drops = nullptr;
+    if (config_.metrics != nullptr && !rec.ref_order.empty()) {
+      LabelSet qlabels{{"query", std::to_string(qid)},
+                       {"fingerprint", FingerprintLabel(rec.ref_order.back())}};
+      MetricsRegistry* m = config_.metrics;
+      lat = m->GetHistogram("cq_query_latency_us", qlabels);
+      outc = m->GetCounter("cq_query_output_records_total", qlabels);
+      drops = m->GetCounter("cq_query_dropped_pushes_total", qlabels);
+    }
+    rec.sink->AttachQueryInstruments(lat, outc, drops, config_.tracer);
+  }
+
   rec.state = QueryState::kRunning;
+  FlightRecorder::Global().Record("service", "register_query", rec.sql,
+                                  static_cast<int64_t>(qid),
+                                  static_cast<int64_t>(rec.nodes_reused));
   queries_.emplace(qid, std::move(rec));
   if (registered_total_ != nullptr) registered_total_->Increment();
   if (active_gauge_ != nullptr) {
@@ -360,6 +400,8 @@ Status QueryService::DropQuery(QueryId id) {
   CQ_RETURN_NOT_OK(graph_->Validate());
 
   rec.state = QueryState::kDropped;
+  FlightRecorder::Global().Record("service", "drop_query", "",
+                                  static_cast<int64_t>(id));
   if (dropped_total_ != nullptr) dropped_total_->Increment();
   if (active_gauge_ != nullptr) {
     active_gauge_->Set(static_cast<int64_t>(NumActiveQueriesLocked()));
@@ -391,6 +433,12 @@ Result<SubscriptionPtr> QueryService::Subscribe(QueryId id) {
     sub->drops_counter_ =
         config_.metrics->GetCounter("cq_service_subscription_drops_total",
                                     labels);
+    sub->channel_.AttachMetrics(
+        config_.metrics, {{"channel", "sub-" + std::to_string(sub_id)}});
+  }
+  if (config_.tracer != nullptr) {
+    sub->channel_.AttachTracer(config_.tracer,
+                               "sub-" + std::to_string(sub_id));
   }
   rec.sink->AddSubscription(sub);
   if (subscriptions_gauge_ != nullptr) subscriptions_gauge_->Add(1);
@@ -407,16 +455,56 @@ Status QueryService::PushWatermark(const std::string& stream,
   return Push(stream, StreamElement::Watermark(watermark));
 }
 
+TraceContext QueryService::BeginIngestLocked(const std::string& stream) {
+  (void)stream;
+  TraceContext tc;
+  // The ingest timestamp alone drives end-to-end latency attribution, so
+  // it is stamped whenever anything downstream can consume it.
+  if (config_.metrics != nullptr || config_.tracer != nullptr) {
+    tc.ingest_ns = MonotonicNanos();
+  }
+  if (config_.tracer != nullptr && config_.trace_sample_every != 0 &&
+      (pushes_++ % config_.trace_sample_every) == 0) {
+    tc.trace_id = NextTraceId();
+    tc.parent_span = NextSpanId();  // the ingest span's id (FinishIngest)
+  }
+  if (tc.ingest_ns != 0) executor_->SetActiveTrace(tc);
+  return tc;
+}
+
+void QueryService::FinishIngestLocked(const TraceContext& tc,
+                                      const std::string& stream,
+                                      int64_t dispatch_end_ns) {
+  if (tc.ingest_ns != 0) executor_->ClearActiveTrace();
+  if (!tc.sampled()) return;
+  // Ingest span = dispatch overhead only; operator spans nest under it and
+  // carry the execution time, so the critical-path sum does not double
+  // count.
+  Span span;
+  span.trace_id = tc.trace_id;
+  span.span_id = tc.parent_span;
+  span.kind = SpanKind::kIngest;
+  span.name = "push:" + stream;
+  span.start_ns = tc.ingest_ns;
+  span.duration_ns = dispatch_end_ns - tc.ingest_ns;
+  config_.tracer->Record(std::move(span));
+}
+
 Status QueryService::Push(const std::string& stream,
                           const StreamElement& element) {
   std::lock_guard<std::mutex> lock(mu_);
   CQ_RETURN_NOT_OK(catalog_.GetStream(stream).status());
   auto it = sources_.find(stream);
   if (it == sources_.end()) return Status::OK();  // no interested query
+  TraceContext tc = BeginIngestLocked(stream);
+  const int64_t dispatch_end_ns = tc.sampled() ? MonotonicNanos() : 0;
+  Status st;
   for (NodeId source : it->second) {
-    CQ_RETURN_NOT_OK(executor_->Push(source, element));
+    st = executor_->Push(source, element);
+    if (!st.ok()) break;
   }
-  return Status::OK();
+  FinishIngestLocked(tc, stream, dispatch_end_ns);
+  return st;
 }
 
 Status QueryService::PushBatch(const std::string& stream,
@@ -425,10 +513,26 @@ Status QueryService::PushBatch(const std::string& stream,
   CQ_RETURN_NOT_OK(catalog_.GetStream(stream).status());
   auto it = sources_.find(stream);
   if (it == sources_.end()) return Status::OK();
+  // A batch already stamped upstream (broker poll) keeps its trace; the
+  // poll's ingest span is the root. Unstamped batches root here.
+  const bool prestamped =
+      batch.trace().sampled() || batch.trace().ingest_ns != 0;
+  TraceContext tc =
+      prestamped ? batch.trace() : BeginIngestLocked(stream);
+  if (prestamped) executor_->SetActiveTrace(tc);
+  const int64_t dispatch_end_ns =
+      !prestamped && tc.sampled() ? MonotonicNanos() : 0;
+  Status st;
   for (NodeId source : it->second) {
-    CQ_RETURN_NOT_OK(executor_->PushBatch(source, batch));
+    st = executor_->PushBatch(source, batch);
+    if (!st.ok()) break;
   }
-  return Status::OK();
+  if (prestamped) {
+    executor_->ClearActiveTrace();
+  } else {
+    FinishIngestLocked(tc, stream, dispatch_end_ns);
+  }
+  return st;
 }
 
 Result<QueryInfo> QueryService::GetQuery(QueryId id) const {
@@ -770,6 +874,8 @@ Status QueryService::InjectBarrier(uint64_t epoch) {
   }
   // Pushes serialise on mu_, so holding it IS the alignment: the snapshot
   // covers exactly the pushes that completed before this call.
+  FlightRecorder::Global().Record("barrier", "service_align", "",
+                                  static_cast<int64_t>(epoch));
   Result<std::vector<std::string>> slots = SnapshotSlotsLocked();
   if (slots.ok()) {
     barrier_handler_(epoch, 0, std::move((*slots)[0]));

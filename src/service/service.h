@@ -76,6 +76,12 @@ struct ServiceConfig {
   /// Optional registry for cq_service_* (and per-node cq_dataflow_*)
   /// instruments; must outlive the service.
   MetricsRegistry* metrics = nullptr;
+  /// Optional span recorder: sampled pushes carry a TraceContext through
+  /// the shared graph (ingest span, per-operator self-time spans, publish
+  /// span, subscription queue-wait spans). Must outlive the service.
+  TraceRecorder* tracer = nullptr;
+  /// Every Nth push roots a new trace (0 disables, 1 traces every push).
+  size_t trace_sample_every = 1;
 };
 
 /// \brief Inspection snapshot of one registered query.
@@ -242,6 +248,15 @@ class QueryService : public ft::Checkpointable, public ft::BarrierInjectable {
   size_t NumActiveQueriesLocked() const;
   static QueryInfo InfoLocked(const QueryRecord& rec);
 
+  /// Stamps the ingest timestamp (when anything consumes it) and, on every
+  /// `trace_sample_every`-th push, roots a new trace whose ingest span is
+  /// recorded by FinishIngest. Scopes the executor's active trace.
+  TraceContext BeginIngestLocked(const std::string& stream);
+  /// Records the ingest span (dispatch overhead only; operator spans are
+  /// its siblings' children) and clears the executor's active trace.
+  void FinishIngestLocked(const TraceContext& tc, const std::string& stream,
+                          int64_t dispatch_end_ns);
+
   mutable std::mutex mu_;
   Catalog catalog_;
   ServiceConfig config_;
@@ -253,6 +268,7 @@ class QueryService : public ft::Checkpointable, public ft::BarrierInjectable {
   std::map<QueryId, QueryRecord> queries_;
   QueryId next_query_id_ = 1;
   uint64_t next_sub_id_ = 1;
+  uint64_t pushes_ = 0;  // trace-sampling counter
 
   ft::DurableOutputLog* output_log_ = nullptr;  // not owned
   BarrierHandler barrier_handler_;

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ft/fault.h"
+#include "obs/flight_recorder.h"
+#include "service/service.h"
+
+namespace cq {
+namespace {
+
+Catalog TradesCatalog() {
+  Catalog catalog;
+  EXPECT_TRUE(catalog
+                  .RegisterStream("trades",
+                                  Schema::Make({{"sym", ValueType::kString},
+                                                {"price", ValueType::kInt64},
+                                                {"qty", ValueType::kInt64}}))
+                  .ok());
+  return catalog;
+}
+
+/// The global ring is process-wide state; every test starts clean.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::Global().Clear();
+    ft::FaultInjector::Global().Reset();
+  }
+  void TearDown() override {
+    FlightRecorder::Global().Clear();
+    ft::FaultInjector::Global().Reset();
+  }
+};
+
+bool HasEvent(const std::vector<FlightEvent>& events,
+              const std::string& category, const std::string& label) {
+  for (const FlightEvent& ev : events) {
+    if (ev.category == category && ev.label == label) return true;
+  }
+  return false;
+}
+
+TEST_F(FlightRecorderTest, RingKeepsNewestEventsOldestFirst) {
+  FlightRecorder rec(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    rec.Record("test", "e" + std::to_string(i));
+  }
+  std::vector<FlightEvent> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  // Oldest retained first, newest last; sequence numbers strictly increase.
+  EXPECT_EQ(events.front().label, "e6");
+  EXPECT_EQ(events.back().label, "e9");
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].seq, events[i - 1].seq);
+  }
+}
+
+TEST_F(FlightRecorderTest, JsonDumpEscapesAndCarriesFields) {
+  FlightRecorder rec(8);
+  rec.Record("barrier", "commit", "quote\" and\nnewline", 7, -2);
+  std::string json = rec.ToJson();
+  EXPECT_NE(json.find("\"category\":\"barrier\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"commit\""), std::string::npos);
+  EXPECT_NE(json.find("quote\\\" and\\nnewline"), std::string::npos);
+  EXPECT_NE(json.find("\"a\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"b\":-2"), std::string::npos);
+}
+
+/// Registration, admission rejection, and teardown are control-plane
+/// transitions the service must leave in the ring.
+TEST_F(FlightRecorderTest, ServiceLifecycleLeavesEvents) {
+  ServiceConfig cfg;
+  cfg.max_queries = 1;
+  QueryService svc(TradesCatalog(), cfg);
+  auto id = svc.RegisterQuery("SELECT sym FROM trades [Range 10]");
+  ASSERT_TRUE(id.ok());
+  // Admission control: a second query exceeds max_queries.
+  EXPECT_FALSE(svc.RegisterQuery("SELECT qty FROM trades [Range 20]").ok());
+  ASSERT_TRUE(svc.DropQuery(*id).ok());
+
+  std::vector<FlightEvent> events = FlightRecorder::Global().Snapshot();
+  EXPECT_TRUE(HasEvent(events, "service", "register_query"));
+  EXPECT_TRUE(HasEvent(events, "service", "reject_query"));
+  EXPECT_TRUE(HasEvent(events, "service", "drop_query"));
+}
+
+/// The black-box property: when an injected fault kills the process, the
+/// ring is dumped to stderr between BEGIN/END markers so a post-mortem can
+/// recover the control-plane events leading up to the crash.
+TEST_F(FlightRecorderTest, CrashPathDumpsRingToStderr) {
+  std::string dump_path =
+      testing::TempDir() + "fr_crash_dump_" + std::to_string(getpid());
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: capture stderr, leave some control-plane history, then hit an
+    // armed crash fault exactly like a mid-checkpoint process death.
+    if (std::freopen(dump_path.c_str(), "w", stderr) == nullptr) _exit(3);
+    FlightRecorder::Global().Record("barrier", "begin", "quiesce", 12);
+    FlightRecorder::Global().Record("barrier", "commit", "", 12);
+    ft::FaultInjector::Global().Arm(ft::faultpoint::kSinkPublish,
+                                    /*after=*/0, ft::FaultKind::kExit);
+    (void)ft::FaultInjector::Global().Hit(ft::faultpoint::kSinkPublish);
+    _exit(0);  // unreachable: Hit must _exit(kFaultExitCode)
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  ASSERT_EQ(WEXITSTATUS(wstatus), ft::kFaultExitCode);
+
+  std::ifstream in(dump_path);
+  std::stringstream captured;
+  captured << in.rdbuf();
+  const std::string text = captured.str();
+  EXPECT_NE(text.find("CQ_FLIGHT_RECORDER_BEGIN reason=injected-crash"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("CQ_FLIGHT_RECORDER_END"), std::string::npos);
+  EXPECT_NE(text.find("\"category\":\"barrier\""), std::string::npos);
+  // The fault itself is the last recorded event.
+  EXPECT_NE(text.find("\"category\":\"fault\""), std::string::npos);
+  EXPECT_NE(text.find("sink.publish"), std::string::npos);
+  std::remove(dump_path.c_str());
+}
+
+}  // namespace
+}  // namespace cq

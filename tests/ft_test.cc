@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <sstream>
 
 #include "dataflow/operators.h"
 #include "dataflow/parallel.h"
@@ -19,6 +20,7 @@
 #include "ft/fence.h"
 #include "ft/recovery.h"
 #include "ft/snapshot_store.h"
+#include "obs/flight_recorder.h"
 #include "queue/broker.h"
 #include "runtime/driver.h"
 #include "types/serde.h"
@@ -482,12 +484,15 @@ TEST_F(FtTest, CrashRecoveryAfterRealProcessDeath) {
     FillBroker(&broker);
     std::string snap = ScratchDir(std::string("crash_snap_") + point);
     std::string out = ScratchDir(std::string("crash_out_") + point);
+    std::string dump = out + "/child_stderr";
 
     pid_t pid = fork();
     ASSERT_GE(pid, 0);
     if (pid == 0) {
-      // Child: arm a hard crash and run. If the fault never fires the run
-      // finishes cleanly; exit 0 so the parent can tell the difference.
+      // Child: capture stderr (the crash path dumps the flight recorder
+      // there), arm a hard crash, and run. If the fault never fires the
+      // run finishes cleanly; exit 0 so the parent can tell the difference.
+      if (std::freopen(dump.c_str(), "w", stderr) == nullptr) _exit(3);
       ft::FaultInjector::Global().Arm(point, after, ft::FaultKind::kExit);
       Status st = RunFencedPipelineOnce(&broker, snap, out, 2);
       _exit(st.ok() ? 0 : 1);
@@ -498,10 +503,28 @@ TEST_F(FtTest, CrashRecoveryAfterRealProcessDeath) {
     ASSERT_EQ(WEXITSTATUS(wstatus), ft::kFaultExitCode)
         << "child should have died at the injected crash";
 
-    // Parent: recover from what the dead process left on disk and finish.
+    // Black-box property: the dead process's stderr holds the flight
+    // recorder ring, ending with the fault that killed it.
+    std::stringstream captured;
+    captured << std::ifstream(dump).rdbuf();
+    EXPECT_NE(captured.str().find("CQ_FLIGHT_RECORDER_BEGIN"),
+              std::string::npos)
+        << point;
+    EXPECT_NE(captured.str().find("\"category\":\"fault\""),
+              std::string::npos)
+        << point;
+
+    // Parent: recover from what the dead process left on disk and finish;
+    // the recovery itself must leave events in this process's ring.
+    FlightRecorder::Global().Clear();
     int attempts = RunToCompletion(&broker, snap, out);
     EXPECT_GE(attempts, 1);
     EXPECT_EQ(PublishedRecords(out), ExpectedPublishedRecords()) << point;
+    bool recovery_seen = false;
+    for (const FlightEvent& ev : FlightRecorder::Global().Snapshot()) {
+      if (ev.category == "recovery") recovery_seen = true;
+    }
+    EXPECT_TRUE(recovery_seen) << point;
   }
 }
 

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/http.h"
+#include "obs/metrics.h"
+
+namespace cq {
+namespace {
+
+/// Minimal HTTP/1.0 GET client against 127.0.0.1:`port`; returns the whole
+/// response (status line, headers, body) or "" on connect failure.
+std::string Get(uint16_t port, const std::string& path,
+                const std::string& method = "GET") {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(fd);
+    return "";
+  }
+  std::string req = method + " " + path + " HTTP/1.0\r\n\r\n";
+  (void)!write(fd, req.data(), req.size());
+  std::string resp;
+  char buf[2048];
+  ssize_t n;
+  while ((n = read(fd, buf, sizeof(buf))) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return resp;
+}
+
+TEST(HttpEndpointTest, ServesRegisteredHandlers) {
+  MetricsRegistry registry;
+  registry.GetCounter("cq_test_requests_total")->Increment(3);
+
+  HttpEndpoint http;
+  http.AddHandler("/metrics", "text/plain; version=0.0.4",
+                  [&registry] { return registry.Dump(MetricsFormat::kText); });
+  http.AddHandler("/ping", "application/json", [] { return "{\"ok\":true}"; });
+  ASSERT_TRUE(http.Start(0).ok());  // ephemeral port
+  ASSERT_GT(http.port(), 0);
+
+  std::string metrics = Get(http.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("cq_test_requests_total 3"), std::string::npos);
+
+  // Handlers re-evaluate per request: the scrape sees fresh values.
+  registry.GetCounter("cq_test_requests_total")->Increment();
+  EXPECT_NE(Get(http.port(), "/metrics").find("cq_test_requests_total 4"),
+            std::string::npos);
+
+  // Query strings route to the bare path.
+  EXPECT_NE(Get(http.port(), "/ping?x=1").find("{\"ok\":true}"),
+            std::string::npos);
+
+  std::string missing = Get(http.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  EXPECT_NE(missing.find("/metrics"), std::string::npos);  // lists known paths
+
+  EXPECT_NE(Get(http.port(), "/metrics", "POST").find("405"),
+            std::string::npos);
+
+  http.Stop();
+  EXPECT_FALSE(http.running());
+  // After Stop the port no longer accepts connections.
+  EXPECT_EQ(Get(http.port(), "/metrics"), "");
+}
+
+TEST(HttpEndpointTest, StartOnBusyPortFails) {
+  HttpEndpoint a;
+  a.AddHandler("/x", "text/plain", [] { return "a"; });
+  ASSERT_TRUE(a.Start(0).ok());
+  HttpEndpoint b;
+  b.AddHandler("/x", "text/plain", [] { return "b"; });
+  EXPECT_FALSE(b.Start(a.port()).ok());
+}
+
+}  // namespace
+}  // namespace cq

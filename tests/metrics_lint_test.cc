@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "service/service.h"
+
+namespace cq {
+namespace {
+
+Catalog TradesCatalog() {
+  Catalog catalog;
+  EXPECT_TRUE(catalog
+                  .RegisterStream("trades",
+                                  Schema::Make({{"sym", ValueType::kString},
+                                                {"price", ValueType::kInt64},
+                                                {"qty", ValueType::kInt64}}))
+                  .ok());
+  return catalog;
+}
+
+Tuple Trade(const char* sym, int64_t price, int64_t qty) {
+  return Tuple{Value(sym), Value(price), Value(qty)};
+}
+
+// --- Lint rules -------------------------------------------------------------
+
+TEST(MetricsLintTest, CleanRegistryHasNoProblems) {
+  MetricsRegistry registry;
+  registry.GetCounter("cq_query_output_records_total",
+                      {{"query", "1"}, {"fingerprint", "00ab"}});
+  registry.GetGauge("cq_channel_depth", {{"channel", "worker-0"}});
+  registry.GetDoubleGauge("cq_dataflow_selectivity",
+                          {{"node", "flt:1"}, {"id", "2"}});
+  registry.GetHistogram("cq_channel_queue_wait_us", {{"channel", "worker-0"}});
+  EXPECT_TRUE(registry.LintProblems().empty());
+}
+
+TEST(MetricsLintTest, BadMetricNameIsFlagged) {
+  MetricsRegistry registry;
+  registry.GetCounter("9starts_with_digit");
+  registry.GetCounter("has-dash_total");
+  std::vector<std::string> problems = registry.LintProblems();
+  EXPECT_EQ(problems.size(), 2u);
+}
+
+TEST(MetricsLintTest, BadLabelKeyIsFlagged) {
+  MetricsRegistry registry;
+  registry.GetCounter("cq_ok_total", {{"bad-key", "v"}});
+  EXPECT_EQ(registry.LintProblems().size(), 1u);
+}
+
+TEST(MetricsLintTest, UnescapableLabelValueIsFlagged) {
+  MetricsRegistry registry;
+  registry.GetCounter("cq_ok_total", {{"k", "has\"quote"}});
+  EXPECT_EQ(registry.LintProblems().size(), 1u);
+}
+
+TEST(MetricsLintTest, MixedLabelKeySetsWithinFamilyAreFlagged) {
+  MetricsRegistry registry;
+  registry.GetCounter("cq_mixed_total", {{"node", "a"}});
+  registry.GetCounter("cq_mixed_total", {{"channel", "b"}});
+  EXPECT_EQ(registry.LintProblems().size(), 1u);
+}
+
+// --- The real exposition surface --------------------------------------------
+
+/// Runs a service with every instrument family live (per-node, per-query,
+/// per-channel, late drops) and asserts the whole registry survives the
+/// lint — this is what guards the /metrics endpoint against invalid series.
+TEST(MetricsLintTest, ServiceExpositionIsLintClean) {
+  MetricsRegistry registry;
+  TraceRecorder tracer;
+  ServiceConfig cfg;
+  cfg.metrics = &registry;
+  cfg.tracer = &tracer;
+  QueryService svc(TradesCatalog(), cfg);
+  ASSERT_TRUE(svc.RegisterQuery(
+                     "SELECT sym FROM trades [Range 100] WHERE price > 10")
+                  .ok());
+  auto agg = svc.RegisterQuery(
+      "SELECT sym, SUM(qty) AS total FROM trades [Range 100] "
+      "WHERE price > 10 GROUP BY sym");
+  ASSERT_TRUE(agg.ok());
+  auto sub = *svc.Subscribe(*agg);
+  ASSERT_TRUE(svc.PushRecord("trades", Trade("a", 20, 1), 5).ok());
+  ASSERT_TRUE(svc.PushWatermark("trades", 5).ok());
+  // A record behind the watermark exercises the late-drop counter.
+  ASSERT_TRUE(svc.PushRecord("trades", Trade("a", 30, 1), 1).ok());
+
+  EXPECT_TRUE(registry.LintProblems().empty())
+      << registry.LintProblems().front();
+
+  std::string text = svc.DumpMetrics(MetricsFormat::kText);
+  EXPECT_NE(text.find("cq_dataflow_selectivity"), std::string::npos);
+  EXPECT_NE(text.find("cq_query_latency_us"), std::string::npos);
+  // The renamed late-drop family (records, not windows, are dropped).
+  EXPECT_NE(text.find("cq_dataflow_late_records_dropped_total"),
+            std::string::npos);
+  EXPECT_EQ(text.find("cq_dataflow_late_dropped_total"), std::string::npos);
+  (void)sub;
+}
+
+/// Every sample line of the text exposition must match the Prometheus data
+/// model: `name{label="value",...} value` with a valid metric name.
+TEST(MetricsLintTest, TextExpositionMatchesPrometheusGrammar) {
+  MetricsRegistry registry;
+  ServiceConfig cfg;
+  cfg.metrics = &registry;
+  QueryService svc(TradesCatalog(), cfg);
+  ASSERT_TRUE(svc.RegisterQuery("SELECT sym FROM trades [Range 10]").ok());
+  ASSERT_TRUE(svc.PushRecord("trades", Trade("a", 1, 1), 1).ok());
+  ASSERT_TRUE(svc.PushWatermark("trades", 1).ok());
+
+  const std::regex sample_re(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9+].*$)");
+  const std::regex type_re(R"(^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* \w+$)");
+  std::istringstream in(registry.ToText());
+  std::string line;
+  size_t samples = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(std::regex_match(line, type_re)) << line;
+      continue;
+    }
+    EXPECT_TRUE(std::regex_match(line, sample_re)) << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 10u);
+}
+
+}  // namespace
+}  // namespace cq
