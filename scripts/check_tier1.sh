@@ -7,6 +7,7 @@ usage() {
 Usage: scripts/check_tier1.sh [build-dir]     (default: build)
        scripts/check_tier1.sh --tsan [build-dir]
        scripts/check_tier1.sh --asan [build-dir]
+       scripts/check_tier1.sh --ubsan [build-dir]
        scripts/check_tier1.sh --help
 
 Default mode configures + builds everything, runs the full ctest suite,
@@ -20,6 +21,11 @@ drain concurrently) — the threaded core the unified runtime added.
 --asan builds with AddressSanitizer (default build dir: build-asan) and
 runs the state/durability test binaries (ft, kvstore, snapshot, queue)
 — the buffers and file framing the fault-tolerance layer serializes.
+--ubsan builds with UndefinedBehaviorSanitizer (default build dir:
+build-ubsan) and runs the columnar/typed-kernel test binaries (types,
+columnar, expr, batch equivalence, window equivalence, aggregates) —
+the typed column loops and grid arithmetic where signed overflow,
+misaligned reads, and bad casts would hide.
 
 Every failure — including a failed cmake configure — exits nonzero, so
 the script is safe as a CI gate.
@@ -30,6 +36,7 @@ cd "$(dirname "$0")/.."
 
 TSAN=0
 ASAN=0
+UBSAN=0
 if [[ "${1:-}" == "--help" || "${1:-}" == "-h" ]]; then
   usage
   exit 0
@@ -38,6 +45,9 @@ elif [[ "${1:-}" == "--tsan" ]]; then
   shift
 elif [[ "${1:-}" == "--asan" ]]; then
   ASAN=1
+  shift
+elif [[ "${1:-}" == "--ubsan" ]]; then
+  UBSAN=1
   shift
 elif [[ "${1:-}" == --* ]]; then
   echo "unknown option: $1" >&2
@@ -65,6 +75,30 @@ if [[ "$ASAN" == 1 ]]; then
     -R 'ft_test|kvstore_test|snapshot_test|state_test|queue_test|parallel_test'
 
   echo "tier-1 asan check: OK"
+  exit 0
+fi
+
+if [[ "$UBSAN" == 1 ]]; then
+  BUILD_DIR="${1:-build-ubsan}"
+
+  echo "== configure (ubsan) =="
+  if ! cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"; then
+    echo "FAIL: cmake configure (ubsan) failed" >&2
+    exit 1
+  fi
+
+  echo "== build (ubsan) =="
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
+    types_test columnar_test expr_test aggregate_test \
+    batch_equivalence_test window_operator_equivalence_test dataflow_test
+
+  echo "== ctest (ubsan: columnar / typed kernels) =="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
+    -R 'types_test|columnar_test|expr_test|aggregate_test|batch_equivalence_test|window_operator_equivalence_test|dataflow_test'
+
+  echo "tier-1 ubsan check: OK"
   exit 0
 fi
 

@@ -18,10 +18,23 @@ individual benchmark cases by their full name. Two regression classes:
 Cases or files present on only one side are reported but never fail the
 check — benches come and go as the repo grows. Exits 1 when any throughput
 regression exceeds the threshold (unless --warn-only).
+
+Ratifying a performance step (--expect-improvement, repeatable):
+
+  scripts/compare_bench.py ... \
+      --expect-improvement 'BM_ColumnarPipeline/2>BM_ColumnarPipeline/0=5'
+
+Each spec is `FAST_RE>SLOW_RE=FACTOR`: within every *current* results file
+whose cases match both regexes, the mean throughput of the FAST cases must
+be at least FACTOR times the mean of the SLOW cases. This is how a claimed
+speedup (e.g. the columnar series vs the row series) is asserted once when
+the new baselines are committed; a spec that matches nothing FAILS, so a
+renamed bench cannot silently void the claim.
 """
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
@@ -59,7 +72,21 @@ def main():
                     help="write a markdown comparison report here")
     ap.add_argument("--warn-only", action="store_true",
                     help="never exit nonzero (report regressions only)")
+    ap.add_argument("--expect-improvement", action="append", default=[],
+                    metavar="FAST_RE>SLOW_RE=FACTOR",
+                    help="assert mean throughput of FAST cases >= FACTOR x "
+                         "mean of SLOW cases within each current results "
+                         "file (repeatable; always fatal)")
     args = ap.parse_args()
+
+    expectations = []
+    for spec in args.expect_improvement:
+        m = re.fullmatch(r"(.+)>(.+)=([0-9.]+)", spec)
+        if m is None:
+            print(f"bad --expect-improvement spec: {spec!r} "
+                  "(want FAST_RE>SLOW_RE=FACTOR)", file=sys.stderr)
+            return 2
+        expectations.append((m.group(1), m.group(2), float(m.group(3))))
 
     baseline_files = {p.name: p for p in sorted(args.baseline.glob("BENCH_*.json"))}
     current_files = {p.name: p for p in sorted(args.current.glob("BENCH_*.json"))}
@@ -138,8 +165,36 @@ def main():
                 for w in warnings:
                     f.write(f"- {w}\n")
 
+    improvement_failures = []
+    for fast_re, slow_re, factor in expectations:
+        matched_any = False
+        for name, path in sorted(current_files.items()):
+            cases = load_cases(path)
+            fast = [tp for case, bench in cases.items()
+                    if re.search(fast_re, case)
+                    and (tp := throughput_of(bench)[1])]
+            slow = [tp for case, bench in cases.items()
+                    if re.search(slow_re, case)
+                    and (tp := throughput_of(bench)[1])]
+            if not fast or not slow:
+                continue
+            matched_any = True
+            ratio = (sum(fast) / len(fast)) / (sum(slow) / len(slow))
+            if ratio >= factor:
+                print(f"IMPROVEMENT OK: {name}: {fast_re} is {ratio:.2f}x "
+                      f"{slow_re} (required {factor:g}x)")
+            else:
+                improvement_failures.append(
+                    f"{name}: {fast_re} only {ratio:.2f}x {slow_re} "
+                    f"(required {factor:g}x)")
+        if not matched_any:
+            improvement_failures.append(
+                f"no current file matched both {fast_re!r} and {slow_re!r}")
+
     for w in warnings:
         print(f"WARN: {w}")
+    for f_msg in improvement_failures:
+        print(f"FAIL: expected improvement not met: {f_msg}")
     for name, case, counter, b, c, d in failures:
         print(f"FAIL: {name}/{case}: {counter} {b:.4g} -> {c:.4g} "
               f"({d * 100:+.1f}%, threshold -{args.threshold * 100:.0f}%)")
@@ -148,6 +203,8 @@ def main():
           f"{len(failures)} regression(s) beyond "
           f"{args.threshold * 100:.0f}%")
 
+    if improvement_failures:
+        return 1  # an unmet ratified claim is fatal even under --warn-only
     if failures and not args.warn_only:
         return 1
     return 0

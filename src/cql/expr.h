@@ -169,6 +169,7 @@ class NegExpr : public Expr {
   void CollectColumns(std::vector<size_t>* out) const override {
     inner_->CollectColumns(out);
   }
+  const ExprPtr& inner() const { return inner_; }
 
  private:
   ExprPtr inner_;

@@ -1,0 +1,551 @@
+#include "cql/vector_eval.h"
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cq {
+
+std::vector<ValueType> ColumnTypes(const std::vector<Column>& cols) {
+  std::vector<ValueType> types;
+  types.reserve(cols.size());
+  for (const Column& c : cols) types.push_back(c.type());
+  return types;
+}
+
+namespace {
+
+bool IsNumericType(ValueType t) {
+  return t == ValueType::kInt64 || t == ValueType::kDouble;
+}
+
+bool CmpToBool(BinaryOp op, int c) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return c == 0;
+    case BinaryOp::kNe:
+      return c != 0;
+    case BinaryOp::kLt:
+      return c < 0;
+    case BinaryOp::kLe:
+      return c <= 0;
+    case BinaryOp::kGt:
+      return c > 0;
+    case BinaryOp::kGe:
+      return c >= 0;
+    default:
+      return false;  // unreachable: callers pass comparison ops only
+  }
+}
+
+// --- accessors ----------------------------------------------------------
+// Value getters and null testers the typed loops are instantiated over.
+// Getters are only invoked on rows the null tester said are non-NULL, so a
+// getter for an untyped (storage-less) column is never dereferenced.
+
+struct NullsNone {
+  bool operator()(size_t) const { return false; }
+};
+struct NullsAll {
+  bool operator()(size_t) const { return true; }
+};
+struct NullsCol {
+  const Column* c;
+  bool operator()(size_t i) const { return c->IsNull(i); }
+};
+
+template <typename T>
+struct GetConst {
+  T v;
+  T operator()(size_t) const { return v; }
+};
+struct GetI64 {
+  const int64_t* d;
+  int64_t operator()(size_t i) const { return d[i]; }
+};
+struct GetF64 {
+  const double* d;
+  double operator()(size_t i) const { return d[i]; }
+};
+struct GetI64AsF64 {
+  const int64_t* d;
+  double operator()(size_t i) const { return static_cast<double>(d[i]); }
+};
+struct GetBool {
+  const uint8_t* d;
+  bool operator()(size_t i) const { return d[i] != 0; }
+};
+struct GetStr {
+  const Column* c;
+  std::string_view operator()(size_t i) const { return c->string_at(i); }
+};
+
+// --- evaluator ----------------------------------------------------------
+
+struct Operand {
+  Column storage;               // owned result for computed sub-expressions
+  const Column* col = nullptr;  // borrowed input column or &storage
+  Value lit;                    // literal constant (when is_lit)
+  bool is_lit = false;
+  ValueType type = ValueType::kNull;
+};
+
+struct Evaluator {
+  const std::vector<Column>& cols;
+  size_t n;
+
+  Column Eval(const Expr& e);
+  Operand MakeOperand(const Expr& e);
+
+  Column AllNull() const {
+    Column out;
+    for (size_t i = 0; i < n; ++i) out.AppendNull();
+    return out;
+  }
+
+  // Continuation-style dispatch: picks the cheapest accessor pair for the
+  // operand (constant / dense column / column with nulls) and invokes `f`
+  // with it, so each loop body is compiled per accessor combination.
+  template <typename F>
+  void WithBool(const Operand& o, F&& f) const {
+    if (o.type == ValueType::kNull) {
+      f(GetConst<bool>{false}, NullsAll{});
+    } else if (o.is_lit) {
+      f(GetConst<bool>{o.lit.bool_value()}, NullsNone{});
+    } else if (o.col->has_nulls()) {
+      f(GetBool{o.col->bool_data()}, NullsCol{o.col});
+    } else {
+      f(GetBool{o.col->bool_data()}, NullsNone{});
+    }
+  }
+
+  template <typename F>
+  void WithI64(const Operand& o, F&& f) const {
+    if (o.is_lit) {
+      f(GetConst<int64_t>{o.lit.int64_value()}, NullsNone{});
+    } else if (o.col->has_nulls()) {
+      f(GetI64{o.col->int64_data()}, NullsCol{o.col});
+    } else {
+      f(GetI64{o.col->int64_data()}, NullsNone{});
+    }
+  }
+
+  // Numeric operand widened to double (mixed int64/double arithmetic and
+  // comparisons go through double, matching Value::AsDouble semantics).
+  template <typename F>
+  void WithF64(const Operand& o, F&& f) const {
+    if (o.is_lit) {
+      f(GetConst<double>{o.lit.AsDouble()}, NullsNone{});
+    } else if (o.type == ValueType::kInt64) {
+      if (o.col->has_nulls()) {
+        f(GetI64AsF64{o.col->int64_data()}, NullsCol{o.col});
+      } else {
+        f(GetI64AsF64{o.col->int64_data()}, NullsNone{});
+      }
+    } else if (o.col->has_nulls()) {
+      f(GetF64{o.col->double_data()}, NullsCol{o.col});
+    } else {
+      f(GetF64{o.col->double_data()}, NullsNone{});
+    }
+  }
+
+  template <typename F>
+  void WithStr(const Operand& o, F&& f) const {
+    if (o.is_lit) {
+      f(GetConst<std::string_view>{o.lit.string_value()}, NullsNone{});
+    } else if (o.col->has_nulls()) {
+      f(GetStr{o.col}, NullsCol{o.col});
+    } else {
+      f(GetStr{o.col}, NullsNone{});
+    }
+  }
+
+  Column EvalBinary(const BinaryExpr& b);
+  Column BoolLogic(const Operand& l, const Operand& r, bool is_and);
+  Column Arith(const Operand& l, const Operand& r, BinaryOp op);
+  Column Compare(const Operand& l, const Operand& r, BinaryOp op);
+};
+
+Operand Evaluator::MakeOperand(const Expr& e) {
+  Operand o;
+  switch (e.kind()) {
+    case Expr::Kind::kColumn:
+      o.col = &cols[static_cast<const ColumnRef&>(e).index()];
+      o.type = o.col->type();
+      return o;
+    case Expr::Kind::kLiteral:
+      o.lit = static_cast<const Literal&>(e).value();
+      o.is_lit = true;
+      o.type = o.lit.type();
+      return o;
+    default:
+      o.storage = Eval(e);
+      o.col = &o.storage;
+      o.type = o.storage.type();
+      return o;
+  }
+}
+
+Column Evaluator::Eval(const Expr& e) {
+  switch (e.kind()) {
+    case Expr::Kind::kColumn:
+      return cols[static_cast<const ColumnRef&>(e).index()];
+    case Expr::Kind::kLiteral: {
+      const Value& v = static_cast<const Literal&>(e).value();
+      if (v.is_null()) return AllNull();
+      Column out(v.type());
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        Status s = out.Append(v);
+        (void)s;  // cannot fail: column typed from v
+      }
+      return out;
+    }
+    case Expr::Kind::kBinary:
+      return EvalBinary(static_cast<const BinaryExpr&>(e));
+    case Expr::Kind::kNot: {
+      Operand o = MakeOperand(*static_cast<const NotExpr&>(e).inner());
+      if (o.type == ValueType::kNull) return AllNull();
+      Column out(ValueType::kBool);
+      out.Reserve(n);
+      WithBool(o, [&](auto g, auto isnull) {
+        for (size_t i = 0; i < n; ++i) {
+          if (isnull(i)) {
+            out.AppendNull();
+          } else {
+            out.AppendBool(!g(i));
+          }
+        }
+      });
+      return out;
+    }
+    case Expr::Kind::kNeg: {
+      Operand o = MakeOperand(*static_cast<const NegExpr&>(e).inner());
+      if (o.type == ValueType::kNull) return AllNull();
+      Column out(o.type);
+      out.Reserve(n);
+      if (o.type == ValueType::kInt64) {
+        WithI64(o, [&](auto g, auto isnull) {
+          for (size_t i = 0; i < n; ++i) {
+            if (isnull(i)) {
+              out.AppendNull();
+            } else {
+              out.AppendInt64(-g(i));
+            }
+          }
+        });
+      } else {
+        WithF64(o, [&](auto g, auto isnull) {
+          for (size_t i = 0; i < n; ++i) {
+            if (isnull(i)) {
+              out.AppendNull();
+            } else {
+              out.AppendDouble(-g(i));
+            }
+          }
+        });
+      }
+      return out;
+    }
+    case Expr::Kind::kIsNull: {
+      const auto& isnull_expr = static_cast<const IsNullExpr&>(e);
+      Operand o = MakeOperand(*isnull_expr.inner());
+      bool negated = isnull_expr.negated();
+      Column out(ValueType::kBool);
+      out.Reserve(n);
+      if (o.type == ValueType::kNull) {
+        for (size_t i = 0; i < n; ++i) out.AppendBool(!negated);
+      } else if (o.is_lit) {
+        for (size_t i = 0; i < n; ++i) out.AppendBool(negated);
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          out.AppendBool(o.col->IsNull(i) != negated);
+        }
+      }
+      return out;
+    }
+  }
+  return AllNull();  // unreachable
+}
+
+Column Evaluator::EvalBinary(const BinaryExpr& b) {
+  Operand l = MakeOperand(*b.left());
+  Operand r = MakeOperand(*b.right());
+  switch (b.op()) {
+    case BinaryOp::kAnd:
+      return BoolLogic(l, r, /*is_and=*/true);
+    case BinaryOp::kOr:
+      return BoolLogic(l, r, /*is_and=*/false);
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+      return Arith(l, r, b.op());
+    default:
+      return Compare(l, r, b.op());
+  }
+}
+
+Column Evaluator::BoolLogic(const Operand& l, const Operand& r, bool is_and) {
+  if (l.type == ValueType::kNull && r.type == ValueType::kNull) {
+    return AllNull();
+  }
+  Column out(ValueType::kBool);
+  out.Reserve(n);
+  WithBool(l, [&](auto lg, auto lnull) {
+    WithBool(r, [&](auto rg, auto rnull) {
+      for (size_t i = 0; i < n; ++i) {
+        // Getters are guarded by the null tests (short-circuit &&), so
+        // storage-less untyped operands are never dereferenced.
+        bool ln = lnull(i);
+        bool lv = !ln && lg(i);
+        bool rn = rnull(i);
+        bool rv = !rn && rg(i);
+        // Mirrors the row path's evaluation order: a NULL left operand is
+        // NULL even when the right operand would decide (`NULL AND false`
+        // is NULL here, not false).
+        bool null = is_and ? (ln || (lv && rn)) : (ln || (!lv && rn));
+        if (null) {
+          out.AppendNull();
+        } else {
+          out.AppendBool(is_and ? (lv && rv) : (lv || rv));
+        }
+      }
+    });
+  });
+  return out;
+}
+
+Column Evaluator::Arith(const Operand& l, const Operand& r, BinaryOp op) {
+  if (l.type == ValueType::kNull || r.type == ValueType::kNull) {
+    return AllNull();
+  }
+  if (op == BinaryOp::kAdd && l.type == ValueType::kString) {
+    Column out(ValueType::kString);
+    out.Reserve(n);
+    std::string tmp;
+    WithStr(l, [&](auto lg, auto lnull) {
+      WithStr(r, [&](auto rg, auto rnull) {
+        for (size_t i = 0; i < n; ++i) {
+          if (lnull(i) || rnull(i)) {
+            out.AppendNull();
+            continue;
+          }
+          std::string_view a = lg(i), b = rg(i);
+          tmp.assign(a.data(), a.size());
+          tmp.append(b.data(), b.size());
+          out.AppendString(tmp);
+        }
+      });
+    });
+    return out;
+  }
+  if (l.type == ValueType::kInt64 && r.type == ValueType::kInt64) {
+    Column out(ValueType::kInt64);
+    out.Reserve(n);
+    WithI64(l, [&](auto lg, auto lnull) {
+      WithI64(r, [&](auto rg, auto rnull) {
+        for (size_t i = 0; i < n; ++i) {
+          if (lnull(i) || rnull(i)) {
+            out.AppendNull();
+            continue;
+          }
+          int64_t a = lg(i), b = rg(i);
+          out.AppendInt64(op == BinaryOp::kAdd   ? a + b
+                          : op == BinaryOp::kSub ? a - b
+                                                 : a * b);
+        }
+      });
+    });
+    return out;
+  }
+  Column out(ValueType::kDouble);
+  out.Reserve(n);
+  WithF64(l, [&](auto lg, auto lnull) {
+    WithF64(r, [&](auto rg, auto rnull) {
+      for (size_t i = 0; i < n; ++i) {
+        if (lnull(i) || rnull(i)) {
+          out.AppendNull();
+          continue;
+        }
+        double a = lg(i), b = rg(i);
+        out.AppendDouble(op == BinaryOp::kAdd   ? a + b
+                         : op == BinaryOp::kSub ? a - b
+                                                : a * b);
+      }
+    });
+  });
+  return out;
+}
+
+Column Evaluator::Compare(const Operand& l, const Operand& r, BinaryOp op) {
+  if (l.type == ValueType::kNull || r.type == ValueType::kNull) {
+    return AllNull();
+  }
+  Column out(ValueType::kBool);
+  out.Reserve(n);
+  if (l.type == ValueType::kInt64 && r.type == ValueType::kInt64) {
+    WithI64(l, [&](auto lg, auto lnull) {
+      WithI64(r, [&](auto rg, auto rnull) {
+        for (size_t i = 0; i < n; ++i) {
+          if (lnull(i) || rnull(i)) {
+            out.AppendNull();
+            continue;
+          }
+          int64_t a = lg(i), b = rg(i);
+          int c = a < b ? -1 : (a > b ? 1 : 0);
+          out.AppendBool(CmpToBool(op, c));
+        }
+      });
+    });
+  } else if (IsNumericType(l.type) && IsNumericType(r.type)) {
+    WithF64(l, [&](auto lg, auto lnull) {
+      WithF64(r, [&](auto rg, auto rnull) {
+        for (size_t i = 0; i < n; ++i) {
+          if (lnull(i) || rnull(i)) {
+            out.AppendNull();
+            continue;
+          }
+          double a = lg(i), b = rg(i);
+          int c = a < b ? -1 : (a > b ? 1 : 0);
+          out.AppendBool(CmpToBool(op, c));
+        }
+      });
+    });
+  } else if (l.type == ValueType::kString) {
+    WithStr(l, [&](auto lg, auto lnull) {
+      WithStr(r, [&](auto rg, auto rnull) {
+        for (size_t i = 0; i < n; ++i) {
+          if (lnull(i) || rnull(i)) {
+            out.AppendNull();
+            continue;
+          }
+          int c = lg(i).compare(rg(i));
+          out.AppendBool(CmpToBool(op, c < 0 ? -1 : (c > 0 ? 1 : 0)));
+        }
+      });
+    });
+  } else {  // kBool vs kBool (CanVectorize admits no other combination)
+    WithBool(l, [&](auto lg, auto lnull) {
+      WithBool(r, [&](auto rg, auto rnull) {
+        for (size_t i = 0; i < n; ++i) {
+          if (lnull(i) || rnull(i)) {
+            out.AppendNull();
+            continue;
+          }
+          int c = static_cast<int>(lg(i)) - static_cast<int>(rg(i));
+          out.AppendBool(CmpToBool(op, c));
+        }
+      });
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
+bool CanVectorize(const Expr& expr, const std::vector<ValueType>& col_types,
+                  ValueType* out_type) {
+  switch (expr.kind()) {
+    case Expr::Kind::kColumn: {
+      const auto& c = static_cast<const ColumnRef&>(expr);
+      if (c.index() >= col_types.size()) return false;
+      *out_type = col_types[c.index()];
+      return true;
+    }
+    case Expr::Kind::kLiteral:
+      *out_type = static_cast<const Literal&>(expr).value().type();
+      return true;
+    case Expr::Kind::kNot: {
+      ValueType t;
+      if (!CanVectorize(*static_cast<const NotExpr&>(expr).inner(), col_types,
+                        &t)) {
+        return false;
+      }
+      if (t != ValueType::kBool && t != ValueType::kNull) return false;
+      *out_type = t;
+      return true;
+    }
+    case Expr::Kind::kNeg: {
+      ValueType t;
+      if (!CanVectorize(*static_cast<const NegExpr&>(expr).inner(), col_types,
+                        &t)) {
+        return false;
+      }
+      if (t != ValueType::kNull && !IsNumericType(t)) return false;
+      *out_type = t;
+      return true;
+    }
+    case Expr::Kind::kIsNull: {
+      ValueType t;
+      if (!CanVectorize(*static_cast<const IsNullExpr&>(expr).inner(),
+                        col_types, &t)) {
+        return false;
+      }
+      *out_type = ValueType::kBool;
+      return true;
+    }
+    case Expr::Kind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      ValueType lt, rt;
+      if (!CanVectorize(*b.left(), col_types, &lt) ||
+          !CanVectorize(*b.right(), col_types, &rt)) {
+        return false;
+      }
+      switch (b.op()) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr: {
+          bool l_ok = lt == ValueType::kBool || lt == ValueType::kNull;
+          bool r_ok = rt == ValueType::kBool || rt == ValueType::kNull;
+          if (!l_ok || !r_ok) return false;
+          *out_type = (lt == ValueType::kNull && rt == ValueType::kNull)
+                          ? ValueType::kNull
+                          : ValueType::kBool;
+          return true;
+        }
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul: {
+          if (lt == ValueType::kNull || rt == ValueType::kNull) {
+            *out_type = ValueType::kNull;
+            return true;
+          }
+          if (b.op() == BinaryOp::kAdd && lt == ValueType::kString &&
+              rt == ValueType::kString) {
+            *out_type = ValueType::kString;
+            return true;
+          }
+          if (!IsNumericType(lt) || !IsNumericType(rt)) return false;
+          *out_type = (lt == ValueType::kInt64 && rt == ValueType::kInt64)
+                          ? ValueType::kInt64
+                          : ValueType::kDouble;
+          return true;
+        }
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          // Division can error per row (divide by zero) — the row path owns
+          // those semantics.
+          return false;
+        default: {  // comparisons
+          if (lt == ValueType::kNull || rt == ValueType::kNull) {
+            *out_type = ValueType::kNull;
+            return true;
+          }
+          bool comparable =
+              (IsNumericType(lt) && IsNumericType(rt)) || lt == rt;
+          if (!comparable) return false;
+          *out_type = ValueType::kBool;
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+Column EvalVector(const Expr& expr, const std::vector<Column>& cols,
+                  size_t num_rows) {
+  Evaluator ev{cols, num_rows};
+  return ev.Eval(expr);
+}
+
+}  // namespace cq

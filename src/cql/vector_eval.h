@@ -1,0 +1,57 @@
+#ifndef CQ_CQL_VECTOR_EVAL_H_
+#define CQ_CQL_VECTOR_EVAL_H_
+
+/// \file vector_eval.h
+/// \brief Vectorized expression evaluation over columns (survey §5).
+///
+/// The row path evaluates an Expr per tuple: a virtual-call tree walk with
+/// std::variant dispatch and Result<Value> plumbing per record. The
+/// vectorized path evaluates the same tree once per *batch*: each node
+/// produces a whole Column with a typed loop, so the per-row cost collapses
+/// to a few arithmetic instructions.
+///
+/// The contract with the row path is exact equivalence, established in two
+/// steps:
+///  - CanVectorize() is a per-batch "compile": given the input column types
+///    it decides whether every node can run as a typed loop with semantics
+///    identical to Expr::Eval — and, crucially, whether Eval could *error*
+///    on any row (type mismatch, division). Expressions that could error
+///    (kDiv/kMod, non-numeric arithmetic, cross-type comparisons) are
+///    rejected so the operator stays on the row path; accepted expressions
+///    can never fail at runtime, which is what makes in-place columnar
+///    transforms safe without rollback.
+///  - EvalVector() then runs the typed loops. NULL handling mirrors
+///    Expr::Eval row by row (e.g. `NULL AND x` is NULL even when x is
+///    false, matching the engine's short-circuit order).
+///
+/// All-NULL results (e.g. arithmetic over an all-NULL column) may come back
+/// as *untyped* columns even when CanVectorize predicted a concrete type;
+/// consumers dispatch on the runtime column type, which degrades to kNull
+/// gracefully everywhere.
+
+#include <vector>
+
+#include "cql/expr.h"
+#include "types/column.h"
+
+namespace cq {
+
+/// \brief The column types of a batch, in position order.
+std::vector<ValueType> ColumnTypes(const std::vector<Column>& cols);
+
+/// \brief Whether `expr` can be evaluated vectorized over columns of
+/// `col_types` with semantics identical to (and no more error-prone than)
+/// the row path. On success `*out_type` is the result type — kNull means
+/// the result is provably all-NULL.
+bool CanVectorize(const Expr& expr, const std::vector<ValueType>& col_types,
+                  ValueType* out_type);
+
+/// \brief Evaluates `expr` over all `num_rows` rows of `cols` (including
+/// unselected rows — their outputs are never read downstream).
+/// Precondition: CanVectorize(expr, ColumnTypes(cols), ...) returned true.
+Column EvalVector(const Expr& expr, const std::vector<Column>& cols,
+                  size_t num_rows);
+
+}  // namespace cq
+
+#endif  // CQ_CQL_VECTOR_EVAL_H_

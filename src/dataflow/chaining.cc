@@ -75,6 +75,40 @@ Status ChainedOperator::ProcessBatch(size_t, const StreamElement* elements,
   return Status::OK();
 }
 
+ColumnarSupport ChainedOperator::columnar_support() const {
+  for (const auto& stage : stages_) {
+    ColumnarSupport s = stage->columnar_support();
+    if (s != ColumnarSupport::kPassthrough && s != ColumnarSupport::kTransform) {
+      return ColumnarSupport::kNone;
+    }
+  }
+  return ColumnarSupport::kTransform;
+}
+
+bool ChainedOperator::CanProcessColumnar(
+    const std::vector<ValueType>& in_types,
+    std::vector<ValueType>* out_types) const {
+  // Thread the column types through the stages: each transform's output
+  // schema is the next stage's input schema.
+  std::vector<ValueType> types = in_types;
+  for (const auto& stage : stages_) {
+    if (stage->columnar_support() == ColumnarSupport::kPassthrough) continue;
+    std::vector<ValueType> next;
+    if (!stage->CanProcessColumnar(types, &next)) return false;
+    types = std::move(next);
+  }
+  if (out_types) *out_types = std::move(types);
+  return true;
+}
+
+void ChainedOperator::ProcessColumnarTransform(ColumnarBatch* batch,
+                                               const OperatorContext& ctx) {
+  for (const auto& stage : stages_) {
+    if (stage->columnar_support() == ColumnarSupport::kPassthrough) continue;
+    stage->ProcessColumnarTransform(batch, ctx);
+  }
+}
+
 Status ChainedOperator::OnWatermark(Timestamp watermark,
                                     const OperatorContext& ctx,
                                     Collector* out) {

@@ -37,6 +37,17 @@ class ChainedOperator : public Operator {
                      Collector* out) override;
   Status OnProcessingTime(const OperatorContext& ctx, Collector* out) override;
 
+  /// \brief Columnar fusion: when every stage is a columnar chain operator
+  /// (kPassthrough/kTransform) the fused chain itself is a kTransform —
+  /// one ColumnarBatch runs through all stage kernels back to back, the
+  /// fully fused vectorized pipeline. Any row-only stage makes the whole
+  /// chain row-only (the executor materialises once, before the chain).
+  ColumnarSupport columnar_support() const override;
+  bool CanProcessColumnar(const std::vector<ValueType>& in_types,
+                          std::vector<ValueType>* out_types) const override;
+  void ProcessColumnarTransform(ColumnarBatch* batch,
+                                const OperatorContext& ctx) override;
+
   size_t num_stages() const { return stages_.size(); }
   const Operator* stage(size_t i) const { return stages_[i].get(); }
 

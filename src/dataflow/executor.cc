@@ -55,12 +55,16 @@ PipelineExecutor::PipelineExecutor(std::unique_ptr<DataflowGraph> graph,
     port_watermarks_[i].assign(graph_->node(i)->num_input_ports(),
                                kMinTimestamp);
   }
+  RecomputeColumnarReach();
 }
 
 void PipelineExecutor::SyncWithGraph() {
   size_t n = graph_->num_nodes();
   size_t old = port_watermarks_.size();
-  if (n <= old) return;  // removal keeps tombstoned slots; only growth syncs
+  if (n <= old) {
+    RecomputeColumnarReach();  // edge rewires can change reach without growth
+    return;  // removal keeps tombstoned slots; only growth syncs
+  }
   port_watermarks_.resize(n);
   node_watermarks_.resize(n, kMinTimestamp);
   for (NodeId i = old; i < n; ++i) {
@@ -74,6 +78,40 @@ void PipelineExecutor::SyncWithGraph() {
       if (graph_->is_live(i)) InitNodeMetrics(i);
     }
   }
+  RecomputeColumnarReach();
+}
+
+void PipelineExecutor::RecomputeColumnarReach() {
+  size_t n = graph_->num_nodes();
+  columnar_reach_.assign(n, 0);
+  Result<std::vector<NodeId>> order = graph_->TopologicalOrder();
+  if (!order.ok()) return;  // ill-formed graph: keep everything on rows
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    NodeId id = *it;
+    if (!graph_->is_live(id)) continue;
+    Operator* op = graph_->node(id);
+    switch (op->columnar_support()) {
+      case ColumnarSupport::kTransform:
+        // In-place transforms only make sense on single-input nodes: the
+        // batch carries this port's watermarks, and a second port would
+        // need cross-port ordering the chain path does not model.
+        columnar_reach_[id] = op->num_input_ports() == 1 ? 1 : 0;
+        break;
+      case ColumnarSupport::kConsume:
+        columnar_reach_[id] = 1;
+        break;
+      case ColumnarSupport::kPassthrough: {
+        bool any = false;
+        for (const auto& e : graph_->outputs(id)) {
+          any = any || (e.to < n && columnar_reach_[e.to] != 0);
+        }
+        columnar_reach_[id] = any ? 1 : 0;
+        break;
+      }
+      case ColumnarSupport::kNone:
+        break;
+    }
+  }
 }
 
 void PipelineExecutor::InitNodeMetrics(NodeId id) {
@@ -85,6 +123,10 @@ void PipelineExecutor::InitNodeMetrics(NodeId id) {
       metrics_->GetCounter("cq_dataflow_records_out_total", labels);
   m.watermarks_in =
       metrics_->GetCounter("cq_dataflow_watermarks_in_total", labels);
+  m.vectorized_batches =
+      metrics_->GetCounter("cq_dataflow_vectorized_batches_total", labels);
+  m.row_fallback_batches =
+      metrics_->GetCounter("cq_dataflow_row_fallback_batches_total", labels);
   m.process_latency_us =
       metrics_->GetHistogram("cq_dataflow_process_latency_us", labels);
   m.event_time_lag = metrics_->GetGauge("cq_dataflow_event_time_lag", labels);
@@ -188,7 +230,305 @@ Status PipelineExecutor::PushBatch(NodeId source, const StreamBatch& batch) {
   if (!graph_->is_live(source)) {
     return Status::InvalidArgument("no such node");
   }
+  if (columnar_enabled_ && ColumnarReach(source)) {
+    Result<ColumnarBatch> columnar = ColumnarBatch::FromRows(batch);
+    if (columnar.ok()) {
+      return DeliverColumnar(source, 0, std::move(*columnar));
+    }
+    // Ragged arity / mixed-type columns / in-band barrier: the converter
+    // refused, so this batch rides the row path unchanged.
+    if (metrics_ != nullptr) {
+      node_metrics_[source].row_fallback_batches->Increment();
+    }
+  }
   return DeliverSequence(source, 0, batch.elements().data(), batch.size());
+}
+
+Status PipelineExecutor::PushColumnar(NodeId source, ColumnarBatch batch) {
+  if (!graph_->is_live(source)) {
+    return Status::InvalidArgument("no such node");
+  }
+  if (!columnar_enabled_ || !ColumnarReach(source)) {
+    return FallbackToRows(source, 0, batch);
+  }
+  return DeliverColumnar(source, 0, std::move(batch));
+}
+
+Status PipelineExecutor::FallbackToRows(NodeId node, size_t port,
+                                        const ColumnarBatch& batch) {
+  if (metrics_ != nullptr) {
+    node_metrics_[node].row_fallback_batches->Increment();
+  }
+  StreamBatch rows = batch.ToRows();
+  return DeliverSequence(node, port, rows.elements().data(), rows.size());
+}
+
+Status PipelineExecutor::DeliverColumnar(NodeId node, size_t port,
+                                         ColumnarBatch batch) {
+  Operator* op = graph_->node(node);
+  switch (op->columnar_support()) {
+    case ColumnarSupport::kPassthrough:
+      return DeliverColumnarChain(node, port, std::move(batch),
+                                  /*is_transform=*/false);
+    case ColumnarSupport::kTransform: {
+      std::vector<ValueType> in_types;
+      in_types.reserve(batch.num_columns());
+      for (const Column& c : batch.columns()) in_types.push_back(c.type());
+      if (op->num_input_ports() == 1 &&
+          op->CanProcessColumnar(in_types, nullptr)) {
+        return DeliverColumnarChain(node, port, std::move(batch),
+                                    /*is_transform=*/true);
+      }
+      break;
+    }
+    case ColumnarSupport::kConsume: {
+      std::vector<ValueType> in_types;
+      in_types.reserve(batch.num_columns());
+      for (const Column& c : batch.columns()) in_types.push_back(c.type());
+      if (op->CanProcessColumnar(in_types, nullptr)) {
+        return DeliverColumnarConsume(node, port, batch);
+      }
+      break;
+    }
+    case ColumnarSupport::kNone:
+      break;
+  }
+  return FallbackToRows(node, port, batch);
+}
+
+Status PipelineExecutor::DeliverColumnarChain(NodeId node, size_t port,
+                                              ColumnarBatch batch,
+                                              bool is_transform) {
+  NodeMetrics* m = metrics_ != nullptr ? &node_metrics_[node] : nullptr;
+  Operator* op = graph_->node(node);
+  const bool tracing = TracingNow();
+  const bool timed = m != nullptr || tracing;
+  uint64_t span_id = 0;
+  uint64_t saved_parent = active_trace_.parent_span;
+  if (tracing) {
+    span_id = NextSpanId();
+    active_trace_.parent_span = span_id;
+  }
+  int64_t t0 = 0;
+  if (timed) {
+    child_time_ns_.push_back(0);
+    t0 = MonotonicNanos();
+  }
+
+  const auto& marks = batch.watermarks();
+  size_t input_selected = batch.SelectedCount();
+  // Input bookkeeping against the *pre-transform* selection: per-mark
+  // prefix maxima reproduce the row path's running max_event_ts, so the
+  // event-time-lag gauge sees the same values at each watermark.
+  std::vector<Timestamp> mark_prefix_max;
+  Timestamp input_max = kMinTimestamp;
+  if (m != nullptr) {
+    m->records_in->Increment(input_selected);
+    mark_prefix_max.reserve(marks.size());
+    size_t k = 0;
+    Timestamp run_max = kMinTimestamp;
+    size_t n = batch.num_rows();
+    for (size_t i = 0; i <= n; ++i) {
+      while (k < marks.size() && marks[k].pos == i) {
+        mark_prefix_max.push_back(run_max);
+        ++k;
+      }
+      if (i < n && batch.IsSelected(i) && batch.timestamp(i) > run_max) {
+        run_max = batch.timestamp(i);
+      }
+    }
+    input_max = run_max;
+  }
+
+  if (is_transform) {
+    // Cannot fail: CanProcessColumnar vetted the column types, and
+    // vectorizable expressions are rejected up front if any row could
+    // error — that guarantee is what makes in-place chains rollback-free.
+    op->ProcessColumnarTransform(&batch, ContextFor(node));
+  }
+  if (m != nullptr) {
+    m->vectorized_batches->Increment();
+    size_t out = batch.SelectedCount();
+    m->records_out->Increment(out);
+    ObserveSelectivity(m, input_selected, out);
+  }
+
+  // Apply the batch's watermarks to this node without forwarding them —
+  // the batch itself carries the marks to the children below. Chain
+  // operators are watermark-insensitive (stateless transforms), so
+  // applying marks after the whole-batch transform is unobservable.
+  Status st = Status::OK();
+  for (size_t j = 0; j < marks.size(); ++j) {
+    if (m != nullptr && mark_prefix_max[j] > m->max_event_ts) {
+      m->max_event_ts = mark_prefix_max[j];
+    }
+    st = DeliverWatermarkImpl(node, port, marks[j].ts, /*forward=*/false);
+    if (!st.ok()) break;
+  }
+  if (m != nullptr && input_max > m->max_event_ts) {
+    m->max_event_ts = input_max;
+  }
+
+  if (st.ok() && !(batch.SelectedCount() == 0 && marks.empty())) {
+    const auto& edges = graph_->outputs(node);
+    StreamBatch rows;
+    bool rows_built = false;
+    for (size_t ei = 0; ei < edges.size(); ++ei) {
+      const auto& e = edges[ei];
+      if (columnar_enabled_ && ColumnarReach(e.to)) {
+        if (ei + 1 == edges.size()) {
+          st = DeliverColumnar(e.to, e.port, std::move(batch));
+        } else {
+          st = DeliverColumnar(e.to, e.port, batch);
+        }
+      } else {
+        if (!rows_built) {
+          rows = batch.ToRows();
+          rows_built = true;
+          if (m != nullptr) m->row_fallback_batches->Increment();
+        }
+        st = DeliverSequence(e.to, e.port, rows.elements().data(),
+                             rows.size());
+      }
+      if (!st.ok()) break;
+    }
+  }
+
+  if (timed) {
+    int64_t total = MonotonicNanos() - t0;
+    int64_t child = child_time_ns_.back();
+    child_time_ns_.pop_back();
+    int64_t self = total - child;
+    if (m != nullptr) {
+      m->process_latency_us->Observe(static_cast<double>(self) / 1e3);
+    }
+    if (tracing) {
+      Span span;
+      span.trace_id = active_trace_.trace_id;
+      span.span_id = span_id;
+      span.parent_id = saved_parent;
+      span.kind = SpanKind::kOp;
+      span.name = op->name();
+      span.start_ns = t0;
+      span.duration_ns = self;
+      tracer_->Record(std::move(span));
+    }
+    if (!child_time_ns_.empty()) child_time_ns_.back() += total;
+  }
+  active_trace_.parent_span = saved_parent;
+  return st;
+}
+
+Status PipelineExecutor::DeliverColumnarConsume(NodeId node, size_t port,
+                                                const ColumnarBatch& batch) {
+  NodeMetrics* m = metrics_ != nullptr ? &node_metrics_[node] : nullptr;
+  Operator* op = graph_->node(node);
+  const bool tracing = TracingNow();
+  const bool timed = m != nullptr || tracing;
+  uint64_t span_id = 0;
+  uint64_t saved_parent = active_trace_.parent_span;
+  if (tracing) {
+    span_id = NextSpanId();
+    active_trace_.parent_span = span_id;
+  }
+  int64_t t0 = 0;
+  if (timed) {
+    child_time_ns_.push_back(0);
+    t0 = MonotonicNanos();
+  }
+
+  const auto& marks = batch.watermarks();
+  Status st = Status::OK();
+  bool all_handled = true;
+  std::vector<StreamElement> emitted;
+  size_t begin = 0;
+  size_t mark_idx = 0;
+  // Watermark-delimited segments through the kernel, full watermark
+  // delivery (min-combining + downstream forwarding) in between — the
+  // exact interleaving the row path produces.
+  while (st.ok() && (begin < batch.num_rows() || mark_idx < marks.size())) {
+    size_t end =
+        mark_idx < marks.size() ? marks[mark_idx].pos : batch.num_rows();
+    size_t seg_selected = 0;
+    Timestamp seg_max = kMinTimestamp;
+    for (size_t i = begin; i < end; ++i) {
+      if (!batch.IsSelected(i)) continue;
+      ++seg_selected;
+      if (batch.timestamp(i) > seg_max) seg_max = batch.timestamp(i);
+    }
+    if (seg_selected > 0) {
+      if (m != nullptr) {
+        m->records_in->Increment(seg_selected);
+        if (seg_max > m->max_event_ts) m->max_event_ts = seg_max;
+      }
+      emitted.clear();
+      VectorCollector collector(&emitted);
+      bool handled = false;
+      st = op->ProcessColumnarSegment(port, batch, begin, end,
+                                      ContextFor(node), &collector, &handled);
+      if (st.ok() && !handled) {
+        // Kernel declined this segment (unsupported configuration):
+        // re-materialise just the segment and run the row hook.
+        all_handled = false;
+        StreamBatch rows;
+        batch.AppendRowsTo(&rows, begin, end);
+        st = op->ProcessBatch(port, rows.elements().data(), rows.size(),
+                              ContextFor(node), &collector);
+      }
+      if (st.ok()) {
+        if (m != nullptr) {
+          size_t records_out = 0;
+          for (const auto& e : emitted) {
+            if (e.is_record()) ++records_out;
+          }
+          m->records_out->Increment(records_out);
+          ObserveSelectivity(m, seg_selected, records_out);
+        }
+        if (!emitted.empty()) {
+          for (const auto& e : graph_->outputs(node)) {
+            st = DeliverSequence(e.to, e.port, emitted.data(),
+                                 emitted.size());
+            if (!st.ok()) break;
+          }
+        }
+      }
+    }
+    if (st.ok() && mark_idx < marks.size()) {
+      st = DeliverWatermark(node, port, marks[mark_idx].ts);
+      ++mark_idx;
+    }
+    begin = end;
+    if (begin >= batch.num_rows() && mark_idx >= marks.size()) break;
+  }
+  emitted.clear();
+  if (m != nullptr) {
+    (all_handled ? m->vectorized_batches : m->row_fallback_batches)
+        ->Increment();
+  }
+
+  if (timed) {
+    int64_t total = MonotonicNanos() - t0;
+    int64_t child = child_time_ns_.back();
+    child_time_ns_.pop_back();
+    int64_t self = total - child;
+    if (m != nullptr) {
+      m->process_latency_us->Observe(static_cast<double>(self) / 1e3);
+    }
+    if (tracing) {
+      Span span;
+      span.trace_id = active_trace_.trace_id;
+      span.span_id = span_id;
+      span.parent_id = saved_parent;
+      span.kind = SpanKind::kOp;
+      span.name = op->name();
+      span.start_ns = t0;
+      span.duration_ns = self;
+      tracer_->Record(std::move(span));
+    }
+    if (!child_time_ns_.empty()) child_time_ns_.back() += total;
+  }
+  active_trace_.parent_span = saved_parent;
+  return st;
 }
 
 Status PipelineExecutor::DeliverSequence(NodeId node, size_t port,
@@ -353,6 +693,11 @@ Status PipelineExecutor::Deliver(NodeId node, size_t port,
 
 Status PipelineExecutor::DeliverWatermark(NodeId node, size_t port,
                                           Timestamp wm) {
+  return DeliverWatermarkImpl(node, port, wm, /*forward=*/true);
+}
+
+Status PipelineExecutor::DeliverWatermarkImpl(NodeId node, size_t port,
+                                              Timestamp wm, bool forward) {
   auto& ports = port_watermarks_[node];
   if (port >= ports.size()) {
     return Status::InvalidArgument("watermark delivered to unknown port");
@@ -392,7 +737,7 @@ Status PipelineExecutor::DeliverWatermark(NodeId node, size_t port,
   }
   Status st = op->OnWatermark(combined, ContextFor(node), &collector);
   if (st.ok()) st = collector.status();
-  if (st.ok()) {
+  if (st.ok() && forward) {
     // Forward the combined watermark downstream.
     for (const auto& e : graph_->outputs(node)) {
       st = DeliverWatermark(e.to, e.port, combined);

@@ -31,6 +31,7 @@
 #include "ft/checkpointable.h"
 #include "obs/metrics.h"
 #include "runtime/batch.h"
+#include "runtime/columnar_batch.h"
 
 namespace cq {
 
@@ -64,7 +65,33 @@ class PipelineExecutor : public ft::Checkpointable {
   /// \brief Injects a batch at `source` and runs it through the DAG
   /// batch-at-a-time: maximal record runs are delivered through
   /// Operator::ProcessBatch, watermarks through the watermark path.
+  ///
+  /// When columnar delivery is enabled (default) and the subgraph under
+  /// `source` has vectorized kernels, the batch is converted to columns
+  /// once at the edge and shipped columnar (the row-fallback shim): it
+  /// flows through kPassthrough/kTransform operators as a ColumnarBatch
+  /// and is re-materialised to rows at the first operator that cannot
+  /// consume it. Batches the converter rejects (ragged arity, mixed-type
+  /// columns, in-band barriers) stay on the row path unchanged.
   Status PushBatch(NodeId source, const StreamBatch& batch);
+
+  /// \brief Injects an already-columnar batch at `source` (the broker-edge
+  /// driver accumulates straight into columns). Falls back to row delivery
+  /// when columnar delivery is disabled or nothing under `source` can
+  /// consume columns.
+  Status PushColumnar(NodeId source, ColumnarBatch batch);
+
+  /// \brief Enables/disables columnar delivery (enabled by default).
+  /// Disabling forces every PushBatch/PushColumnar onto the row path —
+  /// the equivalence-testing and benchmarking knob.
+  void set_columnar_enabled(bool enabled) { columnar_enabled_ = enabled; }
+  bool columnar_enabled() const { return columnar_enabled_; }
+
+  /// \brief Whether a columnar batch delivered at `node` would be consumed
+  /// vectorized there or somewhere downstream (false -> immediate fallback).
+  bool ColumnarReach(NodeId node) const {
+    return node < columnar_reach_.size() && columnar_reach_[node] != 0;
+  }
 
   /// \brief Advances the internal manual clock (if no external clock) and
   /// sweeps processing-time timers on every node in topological order.
@@ -138,6 +165,10 @@ class PipelineExecutor : public ft::Checkpointable {
     Counter* records_in = nullptr;
     Counter* records_out = nullptr;
     Counter* watermarks_in = nullptr;
+    // Columnar coverage: batches this node handled vectorized vs batches
+    // that fell back to row materialisation at this node.
+    Counter* vectorized_batches = nullptr;
+    Counter* row_fallback_batches = nullptr;
     Histogram* process_latency_us = nullptr;  // self time, excludes downstream
     Gauge* event_time_lag = nullptr;          // max event ts - node watermark
     Gauge* state_entries = nullptr;
@@ -154,6 +185,11 @@ class PipelineExecutor : public ft::Checkpointable {
 
   Status Deliver(NodeId node, size_t port, const StreamElement& element);
   Status DeliverWatermark(NodeId node, size_t port, Timestamp wm);
+  /// DeliverWatermark with downstream forwarding optional: columnar chain
+  /// nodes apply watermark bookkeeping locally (the batch itself carries
+  /// the marks downstream), so they skip the forwarding recursion.
+  Status DeliverWatermarkImpl(NodeId node, size_t port, Timestamp wm,
+                              bool forward);
   /// Splits a mixed element sequence into record runs and watermarks.
   Status DeliverSequence(NodeId node, size_t port, const StreamElement* data,
                          size_t count);
@@ -161,6 +197,22 @@ class PipelineExecutor : public ft::Checkpointable {
   /// emissions downstream, batch-at-a-time.
   Status DeliverBatch(NodeId node, size_t port, const StreamElement* data,
                       size_t count);
+  /// Columnar delivery: dispatches on the node's ColumnarSupport, falling
+  /// back to row materialisation (ToRows + DeliverSequence) when the node
+  /// cannot consume the batch vectorized.
+  Status DeliverColumnar(NodeId node, size_t port, ColumnarBatch batch);
+  /// kPassthrough/kTransform nodes: in-place transform, local watermark
+  /// bookkeeping, whole-batch forwarding (columnar where reachable).
+  Status DeliverColumnarChain(NodeId node, size_t port, ColumnarBatch batch,
+                              bool is_transform);
+  /// kConsume nodes: watermark-delimited segments through the kernel,
+  /// emissions routed as rows, full watermark delivery in between.
+  Status DeliverColumnarConsume(NodeId node, size_t port,
+                                const ColumnarBatch& batch);
+  /// Materialises the batch to rows at `node` (counts a row fallback).
+  Status FallbackToRows(NodeId node, size_t port, const ColumnarBatch& batch);
+  /// Recomputes columnar_reach_ (reverse-topological pass over the graph).
+  void RecomputeColumnarReach();
   OperatorContext ContextFor(NodeId node) const;
 
   std::unique_ptr<DataflowGraph> graph_;
@@ -169,6 +221,11 @@ class PipelineExecutor : public ft::Checkpointable {
   // Per node: per-port watermarks and the combined (min) watermark.
   std::vector<std::vector<Timestamp>> port_watermarks_;
   std::vector<Timestamp> node_watermarks_;
+
+  // Columnar delivery: whether a batch arriving at node n would be consumed
+  // vectorized at n or downstream of it (recomputed on graph changes).
+  std::vector<char> columnar_reach_;
+  bool columnar_enabled_ = true;
 
   MetricsRegistry* metrics_ = nullptr;
   std::vector<NodeMetrics> node_metrics_;

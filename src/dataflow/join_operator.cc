@@ -1,5 +1,6 @@
 #include "dataflow/join_operator.h"
 
+#include "runtime/columnar_batch.h"
 #include "types/serde.h"
 
 namespace cq {
@@ -43,6 +44,55 @@ Status StreamJoinOperator::ProcessElement(size_t port,
   CQ_RETURN_NOT_OK(
       Probe(elem, key, from_left, from_left ? right_ : left_, out));
   (from_left ? left_ : right_)[key].push_back(std::move(elem));
+  return Status::OK();
+}
+
+Status StreamJoinOperator::ProcessColumnarSegment(
+    size_t port, const ColumnarBatch& batch, size_t begin, size_t end,
+    const OperatorContext&, Collector* out, bool* handled) {
+  *handled = false;
+  const bool from_left = (port == 0);
+  const std::vector<size_t>& keys =
+      from_left ? config_.left_keys : config_.right_keys;
+  for (size_t idx : keys) {
+    if (idx >= batch.num_columns()) return Status::OK();
+  }
+  *handled = true;
+  std::string key;
+  for (size_t i = begin; i < end; ++i) {
+    if (!batch.IsSelected(i)) continue;
+    key.clear();
+    EncodeU32(static_cast<uint32_t>(keys.size()), &key);
+    for (size_t idx : keys) batch.column(idx).EncodeValueAt(i, &key);
+    const Timestamp ts = batch.timestamp(i);
+    // Probe the other side; the row only becomes a Tuple if something
+    // passes the time bound (or when it gets buffered below).
+    Tuple tuple;
+    bool have_tuple = false;
+    const SideBuffer& other = from_left ? right_ : left_;
+    auto it = other.find(key);
+    if (it != other.end()) {
+      for (const auto& candidate : it->second) {
+        Duration diff = ts - candidate.ts;
+        if (diff < 0) diff = -diff;
+        if (diff > config_.time_bound) continue;
+        if (!have_tuple) {
+          tuple = batch.RowAt(i);
+          have_tuple = true;
+        }
+        Tuple joined = from_left ? Tuple::Concat(tuple, candidate.tuple)
+                                 : Tuple::Concat(candidate.tuple, tuple);
+        if (config_.residual != nullptr) {
+          CQ_ASSIGN_OR_RETURN(Value v, config_.residual->Eval(joined));
+          if (!(v.is_bool() && v.bool_value())) continue;
+        }
+        Timestamp out_ts = ts > candidate.ts ? ts : candidate.ts;
+        out->Emit(StreamElement::Record(std::move(joined), out_ts));
+      }
+    }
+    if (!have_tuple) tuple = batch.RowAt(i);
+    (from_left ? left_ : right_)[key].push_back({std::move(tuple), ts});
+  }
   return Status::OK();
 }
 

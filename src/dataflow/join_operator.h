@@ -41,6 +41,24 @@ class StreamJoinOperator : public Operator {
   Status OnWatermark(Timestamp watermark, const OperatorContext& ctx,
                      Collector* out) override;
 
+  /// \brief Columnar kernel: probe keys encode straight from column
+  /// storage; a row's tuple is materialised lazily, only once it actually
+  /// matches a buffered candidate within the time bound (plus once to
+  /// buffer it). Emission order matches per-element delivery exactly.
+  ColumnarSupport columnar_support() const override {
+    return ColumnarSupport::kConsume;
+  }
+  bool CanProcessColumnar(const std::vector<ValueType>&,
+                          std::vector<ValueType>*) const override {
+    // Key-index arity is port-specific; checked in the kernel (which can
+    // still decline via *handled = false).
+    return true;
+  }
+  Status ProcessColumnarSegment(size_t port, const ColumnarBatch& batch,
+                                size_t begin, size_t end,
+                                const OperatorContext& ctx, Collector* out,
+                                bool* handled) override;
+
   Result<std::string> SnapshotState() const override;
   Status RestoreState(std::string_view snapshot) override;
   size_t StateSize() const override;

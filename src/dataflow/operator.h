@@ -23,6 +23,27 @@
 
 namespace cq {
 
+class ColumnarBatch;
+
+/// \brief How an operator participates in columnar (vectorized) delivery.
+///
+/// The executor ships ColumnarBatches down the graph as long as operators
+/// can consume them; the first operator that cannot (kNone) receives the
+/// batch re-materialised as rows (the row-fallback shim), and everything
+/// downstream of it stays on the row path for that batch.
+enum class ColumnarSupport : uint8_t {
+  /// Row path only: the batch is converted to rows before this operator.
+  kNone,
+  /// Forwards batches untouched (identity / source injection points).
+  kPassthrough,
+  /// Mutates the columnar batch in place (filter narrows the selection,
+  /// projection swaps the column set). Single-input operators only.
+  kTransform,
+  /// Consumes columns and emits rows (aggregations, sinks, joins): the
+  /// executor feeds watermark-delimited segments to the kernel.
+  kConsume,
+};
+
 /// \brief Downstream emission interface handed to operators.
 class Collector {
  public:
@@ -148,6 +169,59 @@ class Operator {
   /// operators are eligible for chain fusion (chaining.h) and need no
   /// checkpoint. Stateful operators MUST override this to false.
   virtual bool IsStateless() const { return true; }
+
+  // --- Columnar (vectorized) delivery ---------------------------------
+
+  /// \brief Static columnar capability of this operator. kNone (the
+  /// default) keeps the operator on the row path; overrides MUST also
+  /// override the matching hook(s) below.
+  virtual ColumnarSupport columnar_support() const {
+    return ColumnarSupport::kNone;
+  }
+
+  /// \brief Per-batch capability check for kTransform/kConsume operators:
+  /// given the batch's column types, can the vectorized kernel handle it
+  /// with semantics identical to the row path? For kTransform, also
+  /// reports the post-transform column types (chaining pre-checks them).
+  /// Returning false routes the batch to the row fallback.
+  virtual bool CanProcessColumnar(const std::vector<ValueType>& in_types,
+                                  std::vector<ValueType>* out_types) const {
+    (void)in_types;
+    (void)out_types;
+    return false;
+  }
+
+  /// \brief kTransform hook: mutates `batch` in place (all rows, selected
+  /// or not; row indexes and watermark positions must stay stable).
+  /// Precondition: CanProcessColumnar accepted the batch's column types —
+  /// the transform cannot fail, which is what makes in-place chains safe.
+  virtual void ProcessColumnarTransform(ColumnarBatch* batch,
+                                        const OperatorContext& ctx) {
+    (void)batch;
+    (void)ctx;
+  }
+
+  /// \brief kConsume hook: consumes the selected rows of one
+  /// watermark-delimited segment [begin, end) of `batch` arriving on
+  /// `port` (ctx.watermark is constant across the segment, like
+  /// ProcessBatch runs). Emissions must match what per-element processing
+  /// would emit, in the same order. Setting *handled = false (before any
+  /// emission or state change) makes the executor re-materialise the
+  /// segment through the row path instead — the escape hatch for
+  /// configurations the kernel does not cover.
+  virtual Status ProcessColumnarSegment(size_t port, const ColumnarBatch& batch,
+                                        size_t begin, size_t end,
+                                        const OperatorContext& ctx,
+                                        Collector* out, bool* handled) {
+    (void)port;
+    (void)batch;
+    (void)begin;
+    (void)end;
+    (void)ctx;
+    (void)out;
+    *handled = false;
+    return Status::OK();
+  }
 
  private:
   std::string name_;

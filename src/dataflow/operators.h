@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "cql/expr.h"
+#include "cql/vector_eval.h"
 #include "dataflow/operator.h"
+#include "runtime/columnar_batch.h"
 
 namespace cq {
 
@@ -29,6 +31,9 @@ class PassThroughOperator : public Operator {
                       const OperatorContext&, Collector* out) override {
     for (size_t i = 0; i < count; ++i) out->Emit(elements[i]);
     return Status::OK();
+  }
+  ColumnarSupport columnar_support() const override {
+    return ColumnarSupport::kPassthrough;
   }
 };
 
@@ -66,7 +71,8 @@ class FilterOperator : public Operator {
       : Operator(std::move(name)), fn_(std::move(fn)) {}
   FilterOperator(std::string name, ExprPtr predicate)
       : Operator(std::move(name)),
-        fn_([predicate](const Tuple& t) { return predicate->Matches(t); }) {}
+        fn_([predicate](const Tuple& t) { return predicate->Matches(t); }),
+        expr_(std::move(predicate)) {}
 
   Status ProcessElement(size_t, const StreamElement& element,
                         const OperatorContext&, Collector* out) override {
@@ -81,8 +87,33 @@ class FilterOperator : public Operator {
     return Status::OK();
   }
 
+  // Vectorized path: predicates given as an Expr evaluate column-wise into
+  // the selection bitmap — no row materialisation. Arbitrary-function
+  // filters stay on the row path (kNone via CanProcessColumnar false).
+  ColumnarSupport columnar_support() const override {
+    return expr_ ? ColumnarSupport::kTransform : ColumnarSupport::kNone;
+  }
+  bool CanProcessColumnar(const std::vector<ValueType>& in_types,
+                          std::vector<ValueType>* out_types) const override {
+    if (!expr_) return false;
+    ValueType t;
+    if (!CanVectorize(*expr_, in_types, &t)) return false;
+    // Matches() collapses non-bool results to false row-wise; the
+    // vectorizer only ever yields kBool or all-NULL predicates, both of
+    // which FilterSelection maps to "no match" exactly like the row path.
+    if (t != ValueType::kBool && t != ValueType::kNull) return false;
+    if (out_types) *out_types = in_types;  // selection-only: schema unchanged
+    return true;
+  }
+  void ProcessColumnarTransform(ColumnarBatch* batch,
+                                const OperatorContext&) override {
+    Column keep = EvalVector(*expr_, batch->columns(), batch->num_rows());
+    batch->FilterSelection(keep);
+  }
+
  private:
   Fn fn_;
+  ExprPtr expr_;  // set when constructed from an Expr (vectorizable)
 };
 
 /// \brief ParDo with zero or more outputs per input (flat map).
@@ -122,6 +153,34 @@ class ProjectOperator : public Operator {
     }
     out->Emit(StreamElement::Record(Tuple(std::move(vals)), element.timestamp));
     return Status::OK();
+  }
+
+  // Vectorized path: every projection expression runs as a typed loop and
+  // the batch's column set is swapped in place (timestamps, selection, and
+  // watermark positions are untouched).
+  ColumnarSupport columnar_support() const override {
+    return ColumnarSupport::kTransform;
+  }
+  bool CanProcessColumnar(const std::vector<ValueType>& in_types,
+                          std::vector<ValueType>* out_types) const override {
+    std::vector<ValueType> types;
+    types.reserve(exprs_.size());
+    for (const auto& e : exprs_) {
+      ValueType t;
+      if (!CanVectorize(*e, in_types, &t)) return false;
+      types.push_back(t);
+    }
+    if (out_types) *out_types = std::move(types);
+    return true;
+  }
+  void ProcessColumnarTransform(ColumnarBatch* batch,
+                                const OperatorContext&) override {
+    std::vector<Column> cols;
+    cols.reserve(exprs_.size());
+    for (const auto& e : exprs_) {
+      cols.push_back(EvalVector(*e, batch->columns(), batch->num_rows()));
+    }
+    batch->ReplaceColumns(std::move(cols));
   }
 
  private:
@@ -170,6 +229,28 @@ class CountingSinkOperator : public Operator {
                         const OperatorContext&, Collector*) override {
     ++count_;
     if (element.timestamp > max_ts_) max_ts_ = element.timestamp;
+    return Status::OK();
+  }
+
+  // Vectorized path: counts selected rows straight off the batch — no
+  // tuple materialisation at all.
+  ColumnarSupport columnar_support() const override {
+    return ColumnarSupport::kConsume;
+  }
+  bool CanProcessColumnar(const std::vector<ValueType>&,
+                          std::vector<ValueType>*) const override {
+    return true;
+  }
+  Status ProcessColumnarSegment(size_t, const ColumnarBatch& batch,
+                                size_t begin, size_t end,
+                                const OperatorContext&, Collector*,
+                                bool* handled) override {
+    *handled = true;
+    for (size_t i = begin; i < end; ++i) {
+      if (!batch.IsSelected(i)) continue;
+      ++count_;
+      if (batch.timestamp(i) > max_ts_) max_ts_ = batch.timestamp(i);
+    }
     return Status::OK();
   }
 

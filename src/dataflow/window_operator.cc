@@ -1,6 +1,11 @@
 #include "dataflow/window_operator.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "common/logging.h"
+#include "cql/vector_eval.h"
+#include "runtime/columnar_batch.h"
 #include "types/serde.h"
 
 namespace cq {
@@ -257,6 +262,370 @@ Status WindowedAggregateOperator::ProcessBatch(size_t port,
     CQ_RETURN_NOT_OK(StoreCell(cell_key.second, w, cell));
     GetOrCreateTrigger(cell_key.second, w, /*primed_fired=*/false);
   }
+  return Status::OK();
+}
+
+bool WindowedAggregateOperator::CanProcessColumnar(
+    const std::vector<ValueType>& in_types, std::vector<ValueType>*) const {
+  for (size_t idx : config_.key_indexes) {
+    if (idx >= in_types.size()) return false;
+  }
+  for (const auto& a : config_.aggs) {
+    if (a.input == nullptr) continue;  // COUNT(*): no input column
+    ValueType t;
+    if (!CanVectorize(*a.input, in_types, &t)) return false;
+  }
+  return true;
+}
+
+Status WindowedAggregateOperator::ProcessColumnarSegment(
+    size_t, const ColumnarBatch& batch, size_t begin, size_t end,
+    const OperatorContext& ctx, Collector*, bool* handled) {
+  *handled = false;
+  if (!config_.trigger->PassiveOnElement()) return Status::OK();
+
+  // Tumbling/sliding assigners have grid structure: a window containing ts
+  // is [start, start + size) for grid starts in (ts - size, Align(ts)], so
+  // windows are arithmetic (no per-row vector allocation) and cells can live
+  // in dense per-key slot arrays (slot = (start - base) / slide) instead of
+  // an ordered map keyed by (window, key bytes).
+  Duration size = 0;
+  Duration slide = 0;
+  Timestamp offset = 0;
+  const WindowAssigner* assigner = config_.assigner.get();
+  if (const auto* t = dynamic_cast<const TumblingWindowAssigner*>(assigner)) {
+    size = t->size();
+    slide = t->size();
+    offset = t->offset();
+  } else if (const auto* s =
+                 dynamic_cast<const SlidingWindowAssigner*>(assigner)) {
+    size = s->size();
+    slide = s->slide();
+    offset = s->offset();
+  }
+  if (slide <= 0) {
+    return ProcessColumnarSegmentGeneric(batch, begin, end, ctx, handled);
+  }
+  // Floor of ts to the grid (same arithmetic as the assigners; robust to
+  // negative timestamps).
+  auto align = [slide, offset](Timestamp ts) {
+    Timestamp rem = (ts - offset) % slide;
+    if (rem < 0) rem += slide;
+    return ts - rem;
+  };
+
+  Timestamp min_ts = 0;
+  Timestamp max_ts = 0;
+  bool any = false;
+  for (size_t i = begin; i < end; ++i) {
+    if (!batch.IsSelected(i)) continue;
+    Timestamp ts = batch.timestamp(i);
+    if (!any) {
+      min_ts = max_ts = ts;
+      any = true;
+    } else {
+      min_ts = std::min(min_ts, ts);
+      max_ts = std::max(max_ts, ts);
+    }
+  }
+  if (!any) {
+    *handled = true;  // nothing selected: the row path would emit nothing too
+    return Status::OK();
+  }
+  // Minimal / maximal possible window starts across the segment bound the
+  // slot range. top < base only when slide > size leaves every row windowless.
+  const Timestamp base = align(min_ts - size) + slide;
+  const Timestamp top = align(max_ts);
+  const size_t num_slots =
+      top < base ? 0 : static_cast<size_t>((top - base) / slide) + 1;
+  if (num_slots > 4 * (end - begin) + 64) {
+    // Degenerate sparse span (huge timestamp spread): dense slots would
+    // allocate far more cells than rows — the map-based fold is cheaper.
+    return ProcessColumnarSegmentGeneric(batch, begin, end, ctx, handled);
+  }
+
+  // Aggregate inputs as typed column loops, one evaluation per segment, and
+  // a per-aggregate accumulation plan: the numeric kinds fold straight off
+  // the typed storage with arithmetic identical to Combine(a, Lift(v));
+  // anything else replays the generic Lift/Combine per row.
+  enum class Acc { kCountStar, kCount, kSum, kMin, kMax, kGeneric };
+  struct Plan {
+    Acc acc;
+    const Column* in;  // nullptr for COUNT(*) / generic constant input
+  };
+  std::vector<Column> inputs(config_.aggs.size());
+  std::vector<Plan> plans(config_.aggs.size());
+  for (size_t f = 0; f < config_.aggs.size(); ++f) {
+    if (config_.aggs[f].input == nullptr) {
+      plans[f] = {funcs_[f]->kind() == AggregateKind::kCount ? Acc::kCountStar
+                                                             : Acc::kGeneric,
+                  nullptr};
+      continue;
+    }
+    inputs[f] =
+        EvalVector(*config_.aggs[f].input, batch.columns(), batch.num_rows());
+    const Column* in = &inputs[f];
+    switch (funcs_[f]->kind()) {
+      case AggregateKind::kCount:
+        plans[f] = {Acc::kCount, in};
+        break;
+      case AggregateKind::kSum:
+      case AggregateKind::kAvg:
+        // Sum/avg partials are (count, double sum); only int64/double (or
+        // all-NULL) inputs accumulate typed — AsDouble on anything else is
+        // the row path's business.
+        plans[f] = {in->type() == ValueType::kInt64 ||
+                            in->type() == ValueType::kDouble ||
+                            in->type() == ValueType::kNull
+                        ? Acc::kSum
+                        : Acc::kGeneric,
+                    in};
+        break;
+      case AggregateKind::kMin:
+        plans[f] = {Acc::kMin, in};
+        break;
+      case AggregateKind::kMax:
+        plans[f] = {Acc::kMax, in};
+        break;
+      default:
+        plans[f] = {Acc::kGeneric, in};
+        break;
+    }
+  }
+
+  // Fold: intern the key bytes once per row (encoded straight from column
+  // storage), then accumulate into dense (key, slot) cells. Nothing is
+  // stored or emitted until the whole segment has folded, so bailing out
+  // (late row, already-fired restored window) can still replay per element.
+  struct LocalCell {
+    Cell cell;
+    int64_t touches = 0;
+    bool init = false;
+  };
+  std::unordered_map<std::string, uint32_t> key_ids;
+  std::vector<std::string> keys;
+  std::vector<std::vector<LocalCell>> cells;
+  std::string key;
+  // Single non-null int64 group key: intern by the raw value (one integer
+  // hash per row); the serde-encoded key bytes are built only when a new
+  // key id is minted.
+  const Column* int_key_col = nullptr;
+  if (config_.key_indexes.size() == 1) {
+    const Column& kc = batch.column(config_.key_indexes[0]);
+    if (kc.type() == ValueType::kInt64 && !kc.has_nulls()) int_key_col = &kc;
+  }
+  std::unordered_map<int64_t, uint32_t> int_key_ids;
+  // Per-row lifted increments, computed once per row and then applied to
+  // each containing window — adding the same increment to k cells is exactly
+  // what k Combine(a, Lift(v)) calls would do.
+  struct RowAcc {
+    int64_t count = 0;
+    double sum = 0;
+    Value v;        // min/max comparand
+    AggState lift;  // generic path partial
+  };
+  std::vector<RowAcc> row_accs(plans.size());
+  for (size_t i = begin; i < end; ++i) {
+    if (!batch.IsSelected(i)) continue;
+    const Timestamp ts = batch.timestamp(i);
+    const Timestamp last_start = align(ts);
+    if (last_start <= ts - size) continue;  // slide > size gap: no window
+    uint32_t id;
+    if (int_key_col != nullptr) {
+      auto [it, inserted] = int_key_ids.try_emplace(
+          int_key_col->int64_data()[i], static_cast<uint32_t>(keys.size()));
+      if (inserted) {
+        key.clear();
+        EncodeU32(1, &key);
+        int_key_col->EncodeValueAt(i, &key);
+        keys.push_back(key);
+        cells.emplace_back(num_slots);
+      }
+      id = it->second;
+    } else {
+      key.clear();
+      EncodeU32(static_cast<uint32_t>(config_.key_indexes.size()), &key);
+      for (size_t idx : config_.key_indexes) {
+        batch.column(idx).EncodeValueAt(i, &key);
+      }
+      auto it = key_ids.find(key);
+      if (it == key_ids.end()) {
+        id = static_cast<uint32_t>(keys.size());
+        key_ids.emplace(key, id);
+        keys.push_back(key);
+        cells.emplace_back(num_slots);
+      } else {
+        id = it->second;
+      }
+    }
+    std::vector<LocalCell>& row_cells = cells[id];
+    for (size_t f = 0; f < plans.size(); ++f) {
+      RowAcc& ra = row_accs[f];
+      const Plan& p = plans[f];
+      switch (p.acc) {
+        case Acc::kCountStar:
+          ra.count = 1;
+          break;
+        case Acc::kCount:
+          ra.count = p.in->IsNull(i) ? 0 : 1;
+          break;
+        case Acc::kSum:
+          // Combine(a, Lift(v)) adds (count, sum) fieldwise; NULL lifts to
+          // (0, 0.0), and sum is never -0.0, so adding zero is bit-identical.
+          if (p.in->IsNull(i)) {
+            ra.count = 0;
+            ra.sum = 0.0;
+          } else {
+            ra.count = 1;
+            ra.sum = p.in->type() == ValueType::kInt64
+                         ? static_cast<double>(p.in->int64_data()[i])
+                         : p.in->double_data()[i];
+          }
+          break;
+        case Acc::kMin:
+        case Acc::kMax:
+          ra.v = p.in->ValueAt(i);
+          break;
+        case Acc::kGeneric:
+          ra.lift = funcs_[f]->Lift(p.in == nullptr
+                                        ? Value(static_cast<int64_t>(1))
+                                        : p.in->ValueAt(i));
+          break;
+      }
+    }
+    size_t slot = static_cast<size_t>((last_start - base) / slide);
+    for (Timestamp start = last_start; start > ts - size;
+         start -= slide, --slot) {
+      if (start + size <= ctx.watermark) return Status::OK();  // late row
+      LocalCell& lc = row_cells[slot];
+      if (!lc.init) {
+        CQ_ASSIGN_OR_RETURN(Cell loaded,
+                            LoadCell(keys[id], {start, start + size}));
+        if (loaded.fired) {
+          // Already-fired restored window: refinement semantics are
+          // per-element; nothing stored yet, so the row path can replay.
+          return Status::OK();
+        }
+        lc.cell = std::move(loaded);
+        lc.init = true;
+      }
+      for (size_t f = 0; f < plans.size(); ++f) {
+        AggState& s = lc.cell.states[f];
+        const RowAcc& ra = row_accs[f];
+        switch (plans[f].acc) {
+          case Acc::kCountStar:
+          case Acc::kCount:
+            s.count += ra.count;
+            break;
+          case Acc::kSum:
+            s.count += ra.count;
+            s.sum += ra.sum;
+            break;
+          case Acc::kMin:
+            // Combine keeps a on ties, adopts v only when strictly smaller
+            // (or when the partial is still empty).
+            if (s.min.is_null()) {
+              s.min = ra.v;
+            } else if (!ra.v.is_null() && ra.v < s.min) {
+              s.min = ra.v;
+            }
+            break;
+          case Acc::kMax:
+            if (s.max.is_null()) {
+              s.max = ra.v;
+            } else if (!ra.v.is_null() && s.max < ra.v) {
+              s.max = ra.v;
+            }
+            break;
+          case Acc::kGeneric:
+            s = funcs_[f]->Combine(s, ra.lift);
+            break;
+        }
+      }
+      ++lc.touches;
+    }
+  }
+
+  // Commit: one StoreCell per touched cell, plus a live trigger awaiting the
+  // on-time firing (OnElement is passive, so not invoking it per element
+  // emits exactly what per-element delivery would).
+  for (size_t id = 0; id < keys.size(); ++id) {
+    for (size_t slot = 0; slot < num_slots; ++slot) {
+      LocalCell& lc = cells[id][slot];
+      if (!lc.init) continue;
+      Timestamp start = base + static_cast<Timestamp>(slot) * slide;
+      TimeInterval w{start, start + size};
+      lc.cell.since_fire += lc.touches;
+      CQ_RETURN_NOT_OK(StoreCell(keys[id], w, lc.cell));
+      GetOrCreateTrigger(keys[id], w, /*primed_fired=*/false);
+    }
+  }
+  *handled = true;
+  return Status::OK();
+}
+
+Status WindowedAggregateOperator::ProcessColumnarSegmentGeneric(
+    const ColumnarBatch& batch, size_t begin, size_t end,
+    const OperatorContext& ctx, bool* handled) {
+  // Same precondition as the ProcessBatch fast path: no selected row may
+  // assign to a window already behind the watermark (ctx.watermark is
+  // constant across the segment, so one scan decides).
+  for (size_t i = begin; i < end; ++i) {
+    if (!batch.IsSelected(i)) continue;
+    for (const TimeInterval& w :
+         config_.assigner->AssignWindows(batch.timestamp(i))) {
+      if (w.end <= ctx.watermark) return Status::OK();
+    }
+  }
+  // Aggregate inputs as typed column loops, one evaluation per segment.
+  std::vector<Column> inputs(config_.aggs.size());
+  for (size_t f = 0; f < config_.aggs.size(); ++f) {
+    if (config_.aggs[f].input == nullptr) continue;
+    inputs[f] =
+        EvalVector(*config_.aggs[f].input, batch.columns(), batch.num_rows());
+  }
+  // Fold into local cells; keys encode straight from column storage
+  // (EncodeValueAt is byte-identical to TupleToBytes of the projection).
+  std::map<std::pair<std::pair<Timestamp, Timestamp>, std::string>, Cell>
+      cells;
+  std::string key;
+  for (size_t i = begin; i < end; ++i) {
+    if (!batch.IsSelected(i)) continue;
+    key.clear();
+    EncodeU32(static_cast<uint32_t>(config_.key_indexes.size()), &key);
+    for (size_t idx : config_.key_indexes) {
+      batch.column(idx).EncodeValueAt(i, &key);
+    }
+    for (const TimeInterval& w :
+         config_.assigner->AssignWindows(batch.timestamp(i))) {
+      auto cell_key = std::make_pair(std::make_pair(w.end, w.start), key);
+      auto it = cells.find(cell_key);
+      if (it == cells.end()) {
+        CQ_ASSIGN_OR_RETURN(Cell loaded, LoadCell(key, w));
+        if (loaded.fired) {
+          // Already-fired restored window: refinement semantics are
+          // per-element; nothing stored yet, so the row path can replay.
+          return Status::OK();
+        }
+        it = cells.emplace(std::move(cell_key), std::move(loaded)).first;
+      }
+      Cell& cell = it->second;
+      for (size_t f = 0; f < funcs_.size(); ++f) {
+        Value in = config_.aggs[f].input == nullptr
+                       ? Value(static_cast<int64_t>(1))
+                       : inputs[f].ValueAt(i);
+        cell.states[f] =
+            funcs_[f]->Combine(cell.states[f], funcs_[f]->Lift(in));
+      }
+      cell.since_fire += 1;
+    }
+  }
+  for (const auto& [cell_key, cell] : cells) {
+    TimeInterval w{cell_key.first.second, cell_key.first.first};
+    CQ_RETURN_NOT_OK(StoreCell(cell_key.second, w, cell));
+    GetOrCreateTrigger(cell_key.second, w, /*primed_fired=*/false);
+  }
+  *handled = true;
   return Status::OK();
 }
 

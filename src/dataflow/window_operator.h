@@ -59,6 +59,23 @@ class WindowedAggregateOperator : public Operator {
                      Collector* out) override;
   Status OnProcessingTime(const OperatorContext& ctx, Collector* out) override;
 
+  /// \brief Columnar kernel: consumes the timestamp column and vectorized
+  /// aggregate-input columns directly — group keys are encoded straight
+  /// from column storage (no tuple materialisation), aggregate inputs are
+  /// evaluated once per batch as typed loops. Same preconditions as the
+  /// ProcessBatch fast path (passive trigger, no late rows, no
+  /// already-fired cells); anything else sets *handled = false and the
+  /// executor replays the segment through the row path.
+  ColumnarSupport columnar_support() const override {
+    return ColumnarSupport::kConsume;
+  }
+  bool CanProcessColumnar(const std::vector<ValueType>& in_types,
+                          std::vector<ValueType>* out_types) const override;
+  Status ProcessColumnarSegment(size_t port, const ColumnarBatch& batch,
+                                size_t begin, size_t end,
+                                const OperatorContext& ctx, Collector* out,
+                                bool* handled) override;
+
   Result<std::string> SnapshotState() const override;
   Status RestoreState(std::string_view snapshot) override;
   size_t StateSize() const override { return state_->Size(); }
@@ -78,6 +95,12 @@ class WindowedAggregateOperator : public Operator {
     int64_t since_fire = 0;  // elements accumulated since the last firing
     bool fired = false;      // has this window ever fired?
   };
+
+  /// Columnar fold for assigners without grid structure: per-row virtual
+  /// AssignWindows into an ordered (window, key) -> Cell map.
+  Status ProcessColumnarSegmentGeneric(const ColumnarBatch& batch, size_t begin,
+                                       size_t end, const OperatorContext& ctx,
+                                       bool* handled);
 
   std::string WindowNamespace(const TimeInterval& w) const;
   Result<Cell> LoadCell(const std::string& key, const TimeInterval& w) const;

@@ -27,15 +27,23 @@ class StreamBatch {
  public:
   StreamBatch() = default;
   explicit StreamBatch(std::vector<StreamElement> elements)
-      : elements_(std::move(elements)) {}
+      : elements_(std::move(elements)), cache_dirty_(true) {}
 
   void AddRecord(Tuple tuple, Timestamp ts) {
+    ++num_records_;
+    if (ts > max_ts_) max_ts_ = ts;
     elements_.push_back(StreamElement::Record(std::move(tuple), ts));
   }
   void AddWatermark(Timestamp ts) {
     elements_.push_back(StreamElement::Watermark(ts));
   }
-  void Add(StreamElement element) { elements_.push_back(std::move(element)); }
+  void Add(StreamElement element) {
+    if (element.is_record()) {
+      ++num_records_;
+      if (element.timestamp > max_ts_) max_ts_ = element.timestamp;
+    }
+    elements_.push_back(std::move(element));
+  }
 
   size_t size() const { return elements_.size(); }
   bool empty() const { return elements_.empty(); }
@@ -43,6 +51,9 @@ class StreamBatch {
     elements_.clear();
     trace_ = TraceContext();
     enqueue_ns_ = 0;
+    num_records_ = 0;
+    max_ts_ = kMinTimestamp;
+    cache_dirty_ = false;
   }
   void reserve(size_t n) { elements_.reserve(n); }
 
@@ -53,24 +64,25 @@ class StreamBatch {
   auto end() const { return elements_.end(); }
 
   const std::vector<StreamElement>& elements() const { return elements_; }
-  std::vector<StreamElement>& mutable_elements() { return elements_; }
+  /// \brief Mutable element access invalidates the cached record-count /
+  /// max-timestamp (they are lazily recomputed on next read).
+  std::vector<StreamElement>& mutable_elements() {
+    cache_dirty_ = true;
+    return elements_;
+  }
 
-  /// \brief Number of data records (excludes watermarks).
+  /// \brief Number of data records (excludes watermarks). O(1): maintained
+  /// on Add* and recomputed lazily only after mutable_elements() access.
   size_t num_records() const {
-    size_t n = 0;
-    for (const auto& e : elements_) {
-      if (e.is_record()) ++n;
-    }
-    return n;
+    if (cache_dirty_) RecomputeCache();
+    return num_records_;
   }
 
   /// \brief Largest record timestamp in the batch (kMinTimestamp if none).
+  /// O(1) like num_records().
   Timestamp MaxTimestamp() const {
-    Timestamp m = kMinTimestamp;
-    for (const auto& e : elements_) {
-      if (e.is_record() && e.timestamp > m) m = e.timestamp;
-    }
-    return m;
+    if (cache_dirty_) RecomputeCache();
+    return max_ts_;
   }
 
   /// \brief Sampled trace context stamped at the ingest edge (default:
@@ -86,9 +98,24 @@ class StreamBatch {
   void set_enqueue_ns(int64_t ns) { enqueue_ns_ = ns; }
 
  private:
+  void RecomputeCache() const {
+    num_records_ = 0;
+    max_ts_ = kMinTimestamp;
+    for (const auto& e : elements_) {
+      if (e.is_record()) {
+        ++num_records_;
+        if (e.timestamp > max_ts_) max_ts_ = e.timestamp;
+      }
+    }
+    cache_dirty_ = false;
+  }
+
   std::vector<StreamElement> elements_;
   TraceContext trace_;
   int64_t enqueue_ns_ = 0;
+  mutable size_t num_records_ = 0;
+  mutable Timestamp max_ts_ = kMinTimestamp;
+  mutable bool cache_dirty_ = false;
 };
 
 }  // namespace cq

@@ -1,0 +1,247 @@
+#include "runtime/columnar_batch.h"
+
+#include <algorithm>
+
+#include "types/serde.h"
+
+namespace cq {
+
+namespace {
+size_t PopCount(uint64_t w) {
+  return static_cast<size_t>(__builtin_popcountll(w));
+}
+}  // namespace
+
+void ColumnarBatch::ReplaceColumns(std::vector<Column> cols) {
+  columns_ = std::move(cols);
+}
+
+Status ColumnarBatch::AppendRow(const Tuple& tuple, Timestamp ts) {
+  if (num_rows_ == 0 && columns_.empty()) {
+    columns_.resize(tuple.size());
+  }
+  if (tuple.size() != columns_.size()) {
+    return Status::TypeError("columnar batch: ragged row arity");
+  }
+  // Pre-check types so the row appends below cannot fail midway (a partial
+  // row would break the equal-length column invariant).
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const Value& v = tuple[c];
+    if (!v.is_null() && columns_[c].type() != ValueType::kNull &&
+        columns_[c].type() != v.type()) {
+      return Status::TypeError("columnar batch: mixed-type column");
+    }
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    Status s = columns_[c].Append(tuple[c]);
+    (void)s;  // cannot fail: types pre-checked above
+  }
+  timestamps_.push_back(ts);
+  if (!selection_.empty()) {
+    if ((num_rows_ >> 6) == selection_.size()) selection_.push_back(0);
+    selection_[num_rows_ >> 6] |= uint64_t{1} << (num_rows_ & 63);
+    ++selected_count_;
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void ColumnarBatch::MaterialiseSelection() {
+  if (!selection_.empty() || num_rows_ == 0) return;
+  selection_.assign((num_rows_ + 63) / 64, ~uint64_t{0});
+  size_t tail = num_rows_ & 63;
+  if (tail != 0) selection_.back() = ~uint64_t{0} >> (64 - tail);
+  selected_count_ = num_rows_;
+}
+
+void ColumnarBatch::FilterSelection(const Column& keep) {
+  if (num_rows_ == 0) return;
+  if (keep.type() != ValueType::kBool) {
+    // Untyped (all-NULL) predicate column: NULL matches nothing.
+    ClearSelection();
+    return;
+  }
+  MaterialiseSelection();
+  const uint8_t* vals = keep.bool_data();
+  for (size_t w = 0; w < selection_.size(); ++w) {
+    if (selection_[w] == 0) continue;
+    size_t base = w << 6;
+    size_t n = std::min<size_t>(64, num_rows_ - base);
+    uint64_t mask = 0;
+    if (keep.has_nulls()) {
+      for (size_t b = 0; b < n; ++b) {
+        if (vals[base + b] != 0 && !keep.IsNull(base + b)) {
+          mask |= uint64_t{1} << b;
+        }
+      }
+    } else {
+      for (size_t b = 0; b < n; ++b) {
+        if (vals[base + b] != 0) mask |= uint64_t{1} << b;
+      }
+    }
+    selection_[w] &= mask;
+  }
+  selected_count_ = 0;
+  for (uint64_t w : selection_) selected_count_ += PopCount(w);
+}
+
+void ColumnarBatch::ClearSelection() {
+  selection_.assign((num_rows_ + 63) / 64, 0);
+  selected_count_ = 0;
+  if (selection_.empty()) {
+    // Zero rows: nothing to deselect; keep the "all selected" encoding.
+    selection_.clear();
+  }
+}
+
+Timestamp ColumnarBatch::MaxSelectedTimestamp() const {
+  Timestamp m = kMinTimestamp;
+  if (selection_.empty()) {
+    for (Timestamp ts : timestamps_) {
+      if (ts > m) m = ts;
+    }
+    return m;
+  }
+  for (size_t i = 0; i < num_rows_; ++i) {
+    if (IsSelected(i) && timestamps_[i] > m) m = timestamps_[i];
+  }
+  return m;
+}
+
+Result<ColumnarBatch> ColumnarBatch::FromRows(const StreamBatch& rows) {
+  ColumnarBatch out;
+  out.timestamps_.reserve(rows.num_records());
+  for (const StreamElement& e : rows) {
+    if (e.is_record()) {
+      CQ_RETURN_NOT_OK(out.AppendRow(e.tuple, e.timestamp));
+    } else if (e.is_watermark()) {
+      out.AppendWatermark(e.timestamp);
+    } else {
+      // Barriers are runtime punctuation consumed outside operators; batches
+      // carrying them stay on the row path.
+      return Status::InvalidArgument("columnar batch: in-band barrier");
+    }
+  }
+  out.trace_ = rows.trace();
+  out.enqueue_ns_ = rows.enqueue_ns();
+  return out;
+}
+
+StreamBatch ColumnarBatch::ToRows() const {
+  StreamBatch out;
+  out.reserve(SelectedCount() + watermarks_.size());
+  size_t k = 0;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    while (k < watermarks_.size() && watermarks_[k].pos <= i) {
+      out.AddWatermark(watermarks_[k].ts);
+      ++k;
+    }
+    if (IsSelected(i)) out.AddRecord(RowAt(i), timestamps_[i]);
+  }
+  while (k < watermarks_.size()) {
+    out.AddWatermark(watermarks_[k].ts);
+    ++k;
+  }
+  out.set_trace(trace_);
+  out.set_enqueue_ns(enqueue_ns_);
+  return out;
+}
+
+void ColumnarBatch::AppendRowsTo(StreamBatch* out, size_t begin,
+                                 size_t end) const {
+  for (size_t i = begin; i < end; ++i) {
+    if (IsSelected(i)) out->AddRecord(RowAt(i), timestamps_[i]);
+  }
+}
+
+Tuple ColumnarBatch::RowAt(size_t i) const {
+  std::vector<Value> vals;
+  vals.reserve(columns_.size());
+  for (const Column& col : columns_) vals.push_back(col.ValueAt(i));
+  return Tuple(std::move(vals));
+}
+
+size_t ColumnarBatch::ApproxBytes() const {
+  size_t bytes = timestamps_.size() * sizeof(Timestamp) +
+                 selection_.size() * sizeof(uint64_t) +
+                 watermarks_.size() * sizeof(WatermarkMark);
+  for (const Column& col : columns_) bytes += col.ApproxBytes();
+  return bytes;
+}
+
+void ColumnarBatch::Clear() {
+  columns_.clear();
+  timestamps_.clear();
+  selection_.clear();
+  selected_count_ = 0;
+  num_rows_ = 0;
+  watermarks_.clear();
+  trace_ = TraceContext();
+  enqueue_ns_ = 0;
+}
+
+void ColumnarBatch::EncodeTo(std::string* out) const {
+  EncodeU32(static_cast<uint32_t>(columns_.size()), out);
+  EncodeU64(num_rows_, out);
+  for (const Column& col : columns_) EncodeColumn(col, out);
+  for (Timestamp ts : timestamps_) EncodeI64(ts, out);
+  out->push_back(selection_.empty() ? 0 : 1);
+  if (!selection_.empty()) {
+    EncodeU32(static_cast<uint32_t>(selection_.size()), out);
+    for (uint64_t w : selection_) EncodeU64(w, out);
+  }
+  EncodeU32(static_cast<uint32_t>(watermarks_.size()), out);
+  for (const WatermarkMark& wm : watermarks_) {
+    EncodeU32(wm.pos, out);
+    EncodeI64(wm.ts, out);
+  }
+}
+
+Result<ColumnarBatch> ColumnarBatch::DecodeFrom(std::string_view* in) {
+  ColumnarBatch out;
+  CQ_ASSIGN_OR_RETURN(uint32_t ncols, DecodeU32(in));
+  CQ_ASSIGN_OR_RETURN(uint64_t nrows, DecodeU64(in));
+  out.num_rows_ = nrows;
+  out.columns_.reserve(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    CQ_ASSIGN_OR_RETURN(Column col, DecodeColumn(in));
+    if (col.size() != nrows) {
+      return Status::ParseError("columnar batch: column size mismatch");
+    }
+    out.columns_.push_back(std::move(col));
+  }
+  out.timestamps_.reserve(nrows);
+  for (uint64_t i = 0; i < nrows; ++i) {
+    CQ_ASSIGN_OR_RETURN(int64_t ts, DecodeI64(in));
+    out.timestamps_.push_back(ts);
+  }
+  if (in->empty()) return Status::ParseError("columnar batch: underflow");
+  bool has_sel = (*in)[0] != 0;
+  in->remove_prefix(1);
+  if (has_sel) {
+    CQ_ASSIGN_OR_RETURN(uint32_t words, DecodeU32(in));
+    if (words != (nrows + 63) / 64) {
+      return Status::ParseError("columnar batch: selection bitmap size");
+    }
+    out.selection_.reserve(words);
+    for (uint32_t i = 0; i < words; ++i) {
+      CQ_ASSIGN_OR_RETURN(uint64_t w, DecodeU64(in));
+      out.selection_.push_back(w);
+    }
+    for (uint64_t w : out.selection_) out.selected_count_ += PopCount(w);
+  }
+  CQ_ASSIGN_OR_RETURN(uint32_t nwms, DecodeU32(in));
+  out.watermarks_.reserve(nwms);
+  for (uint32_t i = 0; i < nwms; ++i) {
+    WatermarkMark wm;
+    CQ_ASSIGN_OR_RETURN(wm.pos, DecodeU32(in));
+    CQ_ASSIGN_OR_RETURN(wm.ts, DecodeI64(in));
+    if (wm.pos > nrows) {
+      return Status::ParseError("columnar batch: watermark position");
+    }
+    out.watermarks_.push_back(wm);
+  }
+  return out;
+}
+
+}  // namespace cq

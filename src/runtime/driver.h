@@ -36,6 +36,7 @@
 #include "queue/broker.h"
 #include "runtime/batch.h"
 #include "runtime/channel.h"
+#include "runtime/columnar_batch.h"
 
 namespace cq {
 
@@ -89,6 +90,15 @@ class BrokerSourceDriver {
   /// returns the records followed by the updated source watermark (appended
   /// only when it advanced). An empty batch means the group is caught up.
   Result<StreamBatch> PollBatch(size_t max_per_partition = 0);
+
+  /// \brief PollBatch's columnar twin: accumulates the polled records
+  /// straight into typed column vectors (no row materialisation at the
+  /// ingestion edge) for PipelineExecutor::PushColumnar. Fetch-then-commit:
+  /// read positions and watermark state advance only after every record
+  /// appended cleanly, so a schema conflict (ragged arity, mixed-type
+  /// column) returns an error with positions untouched and the caller can
+  /// re-poll the same window through the row path.
+  Result<ColumnarBatch> PollColumnarBatch(size_t max_per_partition = 0);
 
   /// \brief Credit-aware pump: polls only when `out` has a credit available,
   /// pushing the polled batch into the channel. When credits are exhausted

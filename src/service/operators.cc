@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/columnar_batch.h"
 #include "types/serde.h"
 
 namespace cq {
@@ -67,6 +68,35 @@ Status WindowDeltaOperator::ProcessElement(size_t, const StreamElement& element,
     }
   }
   return Status::Internal("unknown S2R kind");
+}
+
+Status WindowDeltaOperator::ProcessColumnarSegment(
+    size_t, const ColumnarBatch& batch, size_t begin, size_t end,
+    const OperatorContext& ctx, Collector* out, bool* handled) {
+  *handled = false;
+  if (spec_.kind != S2RKind::kRange && spec_.kind != S2RKind::kNow &&
+      spec_.kind != S2RKind::kUnbounded) {
+    return Status::OK();  // row-based windows: per-partition FIFO, row path
+  }
+  *handled = true;
+  for (size_t i = begin; i < end; ++i) {
+    if (!batch.IsSelected(i)) continue;
+    const Timestamp ts = batch.timestamp(i);
+    if (spec_.kind == S2RKind::kUnbounded) {
+      out->Emit(StreamElement::Record(MakeDeltaTuple(batch.RowAt(i), 1), ts));
+      continue;
+    }
+    CQ_ASSIGN_OR_RETURN(TimeInterval validity, TupleValidity(spec_, ts));
+    if (validity.Empty() || validity.end <= ctx.watermark) {
+      ++dropped_late_;
+      if (late_drop_counter_ != nullptr) late_drop_counter_->Increment();
+      continue;
+    }
+    Tuple t = batch.RowAt(i);
+    out->Emit(StreamElement::Record(MakeDeltaTuple(t, 1), ts));
+    expiry_.emplace(validity.end, std::move(t));
+  }
+  return Status::OK();
 }
 
 Status WindowDeltaOperator::OnWatermark(Timestamp watermark,

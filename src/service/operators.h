@@ -58,6 +58,23 @@ class WindowDeltaOperator : public Operator {
   Status OnWatermark(Timestamp watermark, const OperatorContext& ctx,
                      Collector* out) override;
 
+  /// \brief Columnar kernel for time-based windows (Range/Now/Unbounded):
+  /// validity comes straight off the timestamp column, so late rows drop
+  /// without ever materialising a tuple; admitted rows materialise once.
+  /// Row-based windows (Rows/PartitionedRows) decline via *handled=false.
+  ColumnarSupport columnar_support() const override {
+    return ColumnarSupport::kConsume;
+  }
+  bool CanProcessColumnar(const std::vector<ValueType>&,
+                          std::vector<ValueType>*) const override {
+    return spec_.kind == S2RKind::kRange || spec_.kind == S2RKind::kNow ||
+           spec_.kind == S2RKind::kUnbounded;
+  }
+  Status ProcessColumnarSegment(size_t port, const ColumnarBatch& batch,
+                                size_t begin, size_t end,
+                                const OperatorContext& ctx, Collector* out,
+                                bool* handled) override;
+
   Result<std::string> SnapshotState() const override;
   Status RestoreState(std::string_view snapshot) override;
   size_t StateSize() const override;

@@ -1,0 +1,298 @@
+#include "types/column.h"
+
+#include "types/serde.h"
+
+namespace cq {
+
+void Column::Reserve(size_t n) {
+  switch (type_) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      b8_.reserve(n);
+      break;
+    case ValueType::kInt64:
+      i64_.reserve(n);
+      break;
+    case ValueType::kDouble:
+      f64_.reserve(n);
+      break;
+    case ValueType::kString:
+      offsets_.reserve(n + 1);
+      break;
+  }
+}
+
+void Column::Clear() {
+  size_ = 0;
+  has_nulls_ = false;
+  nulls_.clear();
+  i64_.clear();
+  f64_.clear();
+  b8_.clear();
+  offsets_.clear();
+  chars_.clear();
+  if (type_ == ValueType::kString) offsets_.push_back(0);
+}
+
+Status Column::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  if (type_ != ValueType::kNull && v.type() != type_) {
+    return Status::TypeError(std::string("column of ") +
+                             ValueTypeToString(type_) + " cannot hold " +
+                             ValueTypeToString(v.type()));
+  }
+  switch (v.type()) {
+    case ValueType::kBool:
+      AppendBool(v.bool_value());
+      break;
+    case ValueType::kInt64:
+      AppendInt64(v.int64_value());
+      break;
+    case ValueType::kDouble:
+      AppendDouble(v.double_value());
+      break;
+    case ValueType::kString:
+      AppendString(v.string_value());
+      break;
+    case ValueType::kNull:
+      break;  // unreachable: handled above
+  }
+  return Status::OK();
+}
+
+void Column::EnsureType(ValueType t) {
+  if (type_ == t) return;
+  type_ = t;
+  // Backfill placeholder storage for rows appended while untyped (all NULL).
+  switch (t) {
+    case ValueType::kBool:
+      b8_.assign(size_, 0);
+      break;
+    case ValueType::kInt64:
+      i64_.assign(size_, 0);
+      break;
+    case ValueType::kDouble:
+      f64_.assign(size_, 0.0);
+      break;
+    case ValueType::kString:
+      offsets_.assign(size_ + 1, 0);
+      break;
+    case ValueType::kNull:
+      break;
+  }
+}
+
+void Column::MarkNull(size_t i) {
+  if (!has_nulls_) {
+    has_nulls_ = true;
+    nulls_.assign((i >> 6) + 1, 0);
+  } else if ((i >> 6) >= nulls_.size()) {
+    nulls_.resize((i >> 6) + 1, 0);
+  }
+  nulls_[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+void Column::AppendPlaceholder() {
+  switch (type_) {
+    case ValueType::kNull:
+      break;  // untyped: no storage yet
+    case ValueType::kBool:
+      b8_.push_back(0);
+      break;
+    case ValueType::kInt64:
+      i64_.push_back(0);
+      break;
+    case ValueType::kDouble:
+      f64_.push_back(0.0);
+      break;
+    case ValueType::kString:
+      // String column starts with offsets_ == {0} (set by EnsureType /
+      // Clear); an empty slot repeats the current end offset.
+      offsets_.push_back(static_cast<uint32_t>(chars_.size()));
+      break;
+  }
+}
+
+Value Column::ValueAt(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool:
+      return Value(b8_[i] != 0);
+    case ValueType::kInt64:
+      return Value(i64_[i]);
+    case ValueType::kDouble:
+      return Value(f64_[i]);
+    case ValueType::kString:
+      return Value(std::string(string_at(i)));
+  }
+  return Value::Null();
+}
+
+void Column::EncodeValueAt(size_t i, std::string* out) const {
+  if (IsNull(i) || type_ == ValueType::kNull) {
+    out->push_back(static_cast<char>(ValueType::kNull));
+    return;
+  }
+  out->push_back(static_cast<char>(type_));
+  switch (type_) {
+    case ValueType::kBool:
+      out->push_back(b8_[i] != 0 ? 1 : 0);
+      break;
+    case ValueType::kInt64:
+      EncodeI64(i64_[i], out);
+      break;
+    case ValueType::kDouble:
+      EncodeF64(f64_[i], out);
+      break;
+    case ValueType::kString:
+      EncodeString(string_at(i), out);
+      break;
+    case ValueType::kNull:
+      break;  // unreachable
+  }
+}
+
+bool Column::operator==(const Column& other) const {
+  if (size_ != other.size_) return false;
+  for (size_t i = 0; i < size_; ++i) {
+    bool n = IsNull(i), on = other.IsNull(i);
+    if (n != on) return false;
+    if (n) continue;
+    if (type_ != other.type_) return false;
+    switch (type_) {
+      case ValueType::kBool:
+        if (b8_[i] != other.b8_[i]) return false;
+        break;
+      case ValueType::kInt64:
+        if (i64_[i] != other.i64_[i]) return false;
+        break;
+      case ValueType::kDouble:
+        if (f64_[i] != other.f64_[i]) return false;
+        break;
+      case ValueType::kString:
+        if (string_at(i) != other.string_at(i)) return false;
+        break;
+      case ValueType::kNull:
+        break;
+    }
+  }
+  return true;
+}
+
+size_t Column::ApproxBytes() const {
+  return nulls_.size() * sizeof(uint64_t) + i64_.size() * sizeof(int64_t) +
+         f64_.size() * sizeof(double) + b8_.size() +
+         offsets_.size() * sizeof(uint32_t) + chars_.size();
+}
+
+std::vector<Column> ColumnsForSchema(const Schema& schema) {
+  std::vector<Column> cols;
+  cols.reserve(schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    cols.emplace_back(f.type);
+  }
+  return cols;
+}
+
+void EncodeColumn(const Column& col, std::string* out) {
+  out->push_back(static_cast<char>(col.type_));
+  EncodeU64(col.size_, out);
+  out->push_back(col.has_nulls_ ? 1 : 0);
+  if (col.has_nulls_) {
+    EncodeU32(static_cast<uint32_t>(col.nulls_.size()), out);
+    for (uint64_t w : col.nulls_) EncodeU64(w, out);
+  }
+  switch (col.type_) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      out->append(reinterpret_cast<const char*>(col.b8_.data()),
+                  col.b8_.size());
+      break;
+    case ValueType::kInt64:
+      for (int64_t v : col.i64_) EncodeI64(v, out);
+      break;
+    case ValueType::kDouble:
+      for (double v : col.f64_) EncodeF64(v, out);
+      break;
+    case ValueType::kString:
+      for (uint32_t o : col.offsets_) EncodeU32(o, out);
+      EncodeString(col.chars_, out);
+      break;
+  }
+}
+
+Result<Column> DecodeColumn(std::string_view* in) {
+  if (in->empty()) return Status::ParseError("column: buffer underflow");
+  auto type = static_cast<ValueType>((*in)[0]);
+  in->remove_prefix(1);
+  if (type > ValueType::kString) {
+    return Status::ParseError("column: unknown type tag");
+  }
+  Column col;
+  col.type_ = type;  // storage vectors are filled directly below
+  CQ_ASSIGN_OR_RETURN(uint64_t size, DecodeU64(in));
+  col.size_ = size;
+  if (in->empty()) return Status::ParseError("column: buffer underflow");
+  col.has_nulls_ = (*in)[0] != 0;
+  in->remove_prefix(1);
+  if (col.has_nulls_) {
+    CQ_ASSIGN_OR_RETURN(uint32_t words, DecodeU32(in));
+    if (words < (size + 63) / 64) {
+      return Status::ParseError("column: null bitmap too short");
+    }
+    col.nulls_.reserve(words);
+    for (uint32_t i = 0; i < words; ++i) {
+      CQ_ASSIGN_OR_RETURN(uint64_t w, DecodeU64(in));
+      col.nulls_.push_back(w);
+    }
+  }
+  switch (type) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool: {
+      if (in->size() < size) {
+        return Status::ParseError("column: buffer underflow");
+      }
+      col.b8_.assign(reinterpret_cast<const uint8_t*>(in->data()),
+                     reinterpret_cast<const uint8_t*>(in->data()) + size);
+      in->remove_prefix(size);
+      break;
+    }
+    case ValueType::kInt64:
+      col.i64_.reserve(size);
+      for (uint64_t i = 0; i < size; ++i) {
+        CQ_ASSIGN_OR_RETURN(int64_t v, DecodeI64(in));
+        col.i64_.push_back(v);
+      }
+      break;
+    case ValueType::kDouble:
+      col.f64_.reserve(size);
+      for (uint64_t i = 0; i < size; ++i) {
+        CQ_ASSIGN_OR_RETURN(double v, DecodeF64(in));
+        col.f64_.push_back(v);
+      }
+      break;
+    case ValueType::kString: {
+      col.offsets_.reserve(size + 1);
+      for (uint64_t i = 0; i < size + 1; ++i) {
+        CQ_ASSIGN_OR_RETURN(uint32_t o, DecodeU32(in));
+        col.offsets_.push_back(o);
+      }
+      CQ_ASSIGN_OR_RETURN(col.chars_, DecodeString(in));
+      if (!col.offsets_.empty() && col.offsets_.back() != col.chars_.size()) {
+        return Status::ParseError("column: string offsets inconsistent");
+      }
+      break;
+    }
+  }
+  return col;
+}
+
+}  // namespace cq

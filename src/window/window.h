@@ -49,6 +49,7 @@ class TumblingWindowAssigner : public WindowAssigner {
   std::string ToString() const override;
 
   Duration size() const { return size_; }
+  Timestamp offset() const { return offset_; }
 
  private:
   Duration size_;
@@ -67,6 +68,7 @@ class SlidingWindowAssigner : public WindowAssigner {
 
   Duration size() const { return size_; }
   Duration slide() const { return slide_; }
+  Timestamp offset() const { return offset_; }
 
  private:
   Duration size_;

@@ -97,6 +97,12 @@ TEST(MetricsLintTest, ServiceExpositionIsLintClean) {
   std::string text = svc.DumpMetrics(MetricsFormat::kText);
   EXPECT_NE(text.find("cq_dataflow_selectivity"), std::string::npos);
   EXPECT_NE(text.find("cq_query_latency_us"), std::string::npos);
+  // Columnar coverage counters: both families exposed (and lint-clean, via
+  // the registry-wide check above).
+  EXPECT_NE(text.find("cq_dataflow_vectorized_batches_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("cq_dataflow_row_fallback_batches_total"),
+            std::string::npos);
   // The renamed late-drop family (records, not windows, are dropped).
   EXPECT_NE(text.find("cq_dataflow_late_records_dropped_total"),
             std::string::npos);
