@@ -24,6 +24,7 @@
 
 #include "bench_util.h"
 #include "service/service.h"
+#include "shard/sharded_service.h"
 
 namespace cq {
 namespace {
@@ -159,6 +160,73 @@ BENCHMARK(BM_PushFanout)
     ->ArgsProduct({{1, 4, 16}, {0, 1}})
     ->ArgNames({"queries", "share"})
     ->Unit(benchmark::kMicrosecond);
+
+/// Steady-state ingest through a ShardedQueryService: the service graph of
+/// BM_PushFanout scaled out by the stream's shard key (`sym`). Arg(0) is
+/// the shard count; every replica carries the same 4-query graph, records
+/// route by hash and one merged subscriber per query drains all replicas.
+void BM_ShardedServicePush(benchmark::State& state) {
+  const size_t nshards = static_cast<size_t>(state.range(0));
+  ServiceConfig config;
+  config.share_subplans = true;
+  config.max_queries = 1024;
+  shard::ShardedQueryService svc(nshards, config);
+  Status st = svc.RegisterStream(
+      "trades",
+      Schema::Make({{"sym", ValueType::kString},
+                    {"price", ValueType::kInt64},
+                    {"qty", ValueType::kInt64}}),
+      {0});
+  if (!st.ok()) std::abort();
+  constexpr size_t kQueries = 4;
+  std::vector<shard::ShardedSubscriptionPtr> subs;
+  for (size_t i = 0; i < kQueries; ++i) {
+    auto id = svc.RegisterQuery(QuerySql(i));
+    if (!id.ok()) std::abort();
+    subs.push_back(*svc.Subscribe(*id));
+  }
+
+  constexpr int64_t kRecordsPerIter = 256;
+  int64_t ts = 0;
+  uint64_t delivered = 0;
+  StreamBatch batch;
+  for (auto _ : state) {
+    for (int64_t i = 0; i < kRecordsPerIter; ++i) {
+      ++ts;
+      (void)svc.PushRecord(
+          "trades",
+          Tuple{Value("s" + std::to_string(ts % 32)), Value(ts % 50),
+                Value(int64_t(1))},
+          ts);
+    }
+    (void)svc.PushWatermark("trades", ts);
+    for (auto& sub : subs) {
+      while (sub->TryPoll(&batch)) benchmark::DoNotOptimize(batch);
+    }
+    delivered += kRecordsPerIter;
+  }
+  static std::set<size_t> printed;
+  if (printed.insert(nshards).second) {
+    if (printed.size() == 1) {
+      std::printf(
+          "BENCH_SERIES case=service_sharded_push x=nshards "
+          "y=items_per_sec\n");
+    }
+    uint64_t routed_total = 0;
+    for (size_t s = 0; s < nshards; ++s) routed_total += svc.records_routed(s);
+    std::printf(
+        "BENCH_SERIES case=service_sharded_push nshards=%zu "
+        "records_routed=%llu\n",
+        nshards, static_cast<unsigned long long>(routed_total));
+  }
+  benchmark::DoNotOptimize(delivered);
+  SetPerItemMicros(state, static_cast<double>(kRecordsPerIter));
+}
+BENCHMARK(BM_ShardedServicePush)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgNames({"shards"})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace cq

@@ -1,0 +1,179 @@
+/// \file bench_e13_sharding.cc
+/// \brief E13 — sharded scale-out execution: keyed-aggregation throughput
+/// vs shard count, exchange overhead, and the hash-split kernels.
+///
+/// The scale-out claim behind src/shard: a keyed windowed aggregation
+/// partitioned by key hash across N per-shard executors should scale
+/// near-linearly with N while producing bit-identical output. The
+/// BENCH_SERIES lines plot ingest throughput against shard count for a
+/// one-stage chain (ingest split only) and a two-stage rollup chain (one
+/// hash exchange in the middle); the gap between the two curves is the
+/// exchange tax. The split-kernel micro benches isolate the per-batch
+/// routing cost (row loop vs columnar bitmap/gather) from the threaded
+/// runtime. Scaling past the host's core count is memory-bound, so the
+/// >=3x-at-8-shards ratification (compare_bench.py --expect-improvement)
+/// only runs on hosts with 8+ cores — see the bench-smoke CI job.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "dataflow/window_operator.h"
+#include "runtime/columnar_batch.h"
+#include "shard/exchange.h"
+#include "shard/partitioner.h"
+#include "shard/sharded_pipeline.h"
+
+namespace cq::shard {
+namespace {
+
+constexpr int64_t kNumKeys = 64;
+constexpr size_t kBatchRecords = 256;
+
+Tuple T2(int64_t k, int64_t v) { return Tuple({Value(k), Value(v)}); }
+
+WindowedAggregateConfig SumConfig(std::vector<size_t> keys, size_t value_col,
+                                  const char* out_name) {
+  WindowedAggregateConfig cfg;
+  cfg.assigner = std::make_shared<TumblingWindowAssigner>(100);
+  cfg.key_indexes = std::move(keys);
+  cfg.aggs.push_back({AggregateKind::kSum, Col(value_col), out_name});
+  return cfg;
+}
+
+/// One stage: keyed windowed SUM(col 1) by col 0 — ingest split only.
+ShardedPipeline::ChainFactory SumChainFactory() {
+  return [](size_t) -> Result<std::vector<std::unique_ptr<Operator>>> {
+    std::vector<std::unique_ptr<Operator>> ops;
+    ops.push_back(std::make_unique<WindowedAggregateOperator>(
+        "win", SumConfig({0}, 1, "sum")));
+    return ops;
+  };
+}
+
+/// Two stages: per-key SUM, then a rollup keyed by window start. The
+/// rollup's key is not the per-key output key, so the planner places a
+/// hash exchange between the stages.
+ShardedPipeline::ChainFactory RollupChainFactory() {
+  return [](size_t) -> Result<std::vector<std::unique_ptr<Operator>>> {
+    std::vector<std::unique_ptr<Operator>> ops;
+    ops.push_back(std::make_unique<WindowedAggregateOperator>(
+        "per-key", SumConfig({0}, 1, "sum")));
+    ops.push_back(std::make_unique<WindowedAggregateOperator>(
+        "rollup", SumConfig({1}, 3, "total")));
+    return ops;
+  };
+}
+
+StreamBatch MakeBatch(int64_t first_ts) {
+  StreamBatch batch;
+  for (size_t i = 0; i < kBatchRecords; ++i) {
+    const int64_t ts = first_ts + static_cast<int64_t>(i);
+    batch.Add(StreamElement::Record(T2(ts % kNumKeys, 1), ts));
+  }
+  return batch;
+}
+
+/// Runs `batches_per_iter` ingest batches plus a final watermark through a
+/// fresh pipeline each iteration; items = records pushed.
+void RunScalingCase(benchmark::State& state, const char* series,
+                    const ShardedPipeline::ChainFactory& factory) {
+  const size_t nshards = static_cast<size_t>(state.range(0));
+  constexpr size_t kBatchesPerIter = 16;
+  uint64_t out_records = 0;
+  for (auto _ : state) {
+    ShardedPipeline pipeline(nshards, factory, {});
+    if (!pipeline.Start().ok()) std::abort();
+    int64_t ts = 0;
+    for (size_t b = 0; b < kBatchesPerIter; ++b) {
+      if (!pipeline.PushBatch(MakeBatch(ts)).ok()) std::abort();
+      ts += static_cast<int64_t>(kBatchRecords);
+    }
+    if (!pipeline.BroadcastWatermark(ts + 1000).ok()) std::abort();
+    auto out = pipeline.Finish();
+    if (!out.ok()) std::abort();
+    out_records = out->num_records();
+    benchmark::DoNotOptimize(out_records);
+  }
+  static std::set<std::pair<std::string, size_t>> printed;
+  if (printed.insert({series, nshards}).second) {
+    if (printed.size() == 1) {
+      std::printf(
+          "BENCH_SERIES case=shard_scaling x=nshards y=items_per_sec "
+          "series=chain\n");
+    }
+    std::printf(
+        "BENCH_SERIES case=shard_scaling chain=%s nshards=%zu "
+        "out_records=%llu\n",
+        series, nshards, static_cast<unsigned long long>(out_records));
+  }
+  state.counters["out_records"] = static_cast<double>(out_records);
+  SetPerItemMicros(state,
+                   static_cast<double>(kBatchesPerIter * kBatchRecords));
+}
+
+/// Arg(0): shard count. One-stage keyed aggregation — the scaling claim.
+void BM_ShardedKeyedAgg(benchmark::State& state) {
+  RunScalingCase(state, "one_stage", SumChainFactory());
+}
+BENCHMARK(BM_ShardedKeyedAgg)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgNames({"shards"})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+/// Arg(0): shard count. Two-stage chain with a hash exchange — same ingest,
+/// so (one_stage - two_stage) throughput is the exchange overhead.
+void BM_ShardedRollupExchange(benchmark::State& state) {
+  RunScalingCase(state, "two_stage_exchange", RollupChainFactory());
+}
+BENCHMARK(BM_ShardedRollupExchange)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgNames({"shards"})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+/// Arg(0): shard count. The row-loop split kernel alone (no threads).
+void BM_HashSplitRow(benchmark::State& state) {
+  const size_t nshards = static_cast<size_t>(state.range(0));
+  ShardPartitioner part(nshards, {0});
+  StreamBatch batch = MakeBatch(0);
+  for (auto _ : state) {
+    std::vector<StreamBatch> splits = SplitRowBatch(batch, part);
+    benchmark::DoNotOptimize(splits);
+  }
+  SetPerItemMicros(state, static_cast<double>(kBatchRecords));
+}
+BENCHMARK(BM_HashSplitRow)
+    ->Arg(1)->Arg(4)->Arg(16)
+    ->ArgNames({"shards"})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Arg(0): shard count. The columnar bitmap/gather split kernel.
+void BM_HashSplitColumnar(benchmark::State& state) {
+  const size_t nshards = static_cast<size_t>(state.range(0));
+  ShardPartitioner part(nshards, {0});
+  StreamBatch rows = MakeBatch(0);
+  auto columnar = ColumnarBatch::FromRows(rows);
+  if (!columnar.ok()) std::abort();
+  for (auto _ : state) {
+    auto splits = SplitColumnarBatch(*columnar, part);
+    if (!splits.ok()) std::abort();
+    benchmark::DoNotOptimize(*splits);
+  }
+  SetPerItemMicros(state, static_cast<double>(kBatchRecords));
+}
+BENCHMARK(BM_HashSplitColumnar)
+    ->Arg(1)->Arg(4)->Arg(16)
+    ->ArgNames({"shards"})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cq::shard

@@ -21,6 +21,12 @@
 ///                                node state comes back by fingerprint — then
 ///                                stream a second batch of trades whose
 ///                                results prove the windows survived.
+///     --shards N                 run the demo on a ShardedQueryService of N
+///                                replicas: `trades` partitions by `sym`,
+///                                records route by key hash, subscriptions
+///                                merge across replicas. Checkpoint/recover
+///                                work the same (the image gains a shard
+///                                dimension and must restore at the same N).
 ///
 ///   query_server --serve PORT    TCP server speaking a length-prefixed text
 ///                                protocol (uint32 big-endian frame length +
@@ -80,6 +86,7 @@
 #include "obs/http.h"
 #include "obs/trace.h"
 #include "service/service.h"
+#include "shard/sharded_service.h"
 
 namespace cq {
 namespace {
@@ -302,6 +309,157 @@ int RunDemo(const std::string& checkpoint_dir, bool recover, int http_port) {
   std::printf("METRICS_JSON %s\n",
               svc->DumpMetrics(MetricsFormat::kJson).c_str());
   return 0;
+}
+
+// --- Sharded demo mode -----------------------------------------------------
+
+/// The demo of RunDemo scaled out across `nshards` service replicas:
+/// `trades` partitions by `sym` (column 0), both queries decompose by that
+/// key, and each subscription merges every replica's feed. Durability uses
+/// the same snapshot store + barrier coordinator rig; the image carries the
+/// shard count and only restores at the same N (pipeline-level N->M
+/// re-shard is the re-scaling path).
+int RunShardedDemo(size_t nshards, const std::string& checkpoint_dir,
+                   bool recover, int http_port) {
+  MetricsRegistry registry;
+  TraceRecorder tracer;
+  ServiceConfig config;
+  config.metrics = &registry;
+  config.tracer = &tracer;
+  config.trace_sample_every = 1;
+  shard::ShardedQueryService svc(nshards, config);
+  HttpEndpoint http;
+  Status http_st =
+      StartHttp(&http, http_port, &registry, &tracer, svc.replica(0));
+  if (!http_st.ok()) {
+    std::fprintf(stderr, "http: %s\n", http_st.ToString().c_str());
+    return 1;
+  }
+  Timestamp ts = 0;
+
+  // Streams register on both the fresh and the recover path: restore
+  // validates the catalog's shard keys against the image's meta slot.
+  Status st = svc.RegisterStream(
+      "trades", Schema::Make({{"sym", ValueType::kString},
+                              {"price", ValueType::kInt64},
+                              {"qty", ValueType::kInt64}}),
+      {0});
+  if (!st.ok()) {
+    std::fprintf(stderr, "RegisterStream: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::unique_ptr<ft::SnapshotStore> store;
+  std::unique_ptr<ft::CheckpointCoordinator> coord;
+  if (!checkpoint_dir.empty()) {
+    store = std::make_unique<ft::SnapshotStore>(checkpoint_dir + "/snap");
+    Status init = store->Init();
+    if (!init.ok()) {
+      std::fprintf(stderr, "checkpoint dir: %s\n", init.ToString().c_str());
+      return 1;
+    }
+    coord = std::make_unique<ft::CheckpointCoordinator>(&svc, store.get());
+    coord->SetWatermarkFn([&ts] { return ts; });
+    svc.SetBarrierHandler(coord->Handler(svc.BarrierFanIn()));
+  }
+
+  if (recover) {
+    if (store == nullptr) {
+      std::fprintf(stderr, "--recover requires --checkpoint-dir\n");
+      return 2;
+    }
+    ft::RecoveryManager recovery(store.get());
+    auto report = recovery.Recover(&svc, nullptr);
+    if (!report.ok()) {
+      std::fprintf(stderr, "recover: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    if (!report->restored) {
+      std::fprintf(stderr, "recover: no checkpoint found in %s\n",
+                   checkpoint_dir.c_str());
+      return 1;
+    }
+    coord->ResumeFromEpoch(report->epoch);
+    ts = report->watermark > 0 ? report->watermark : 0;
+    std::printf("recovered %zu queries at epoch %llu (watermark %lld, "
+                "%zu shards)\n",
+                svc.NumActiveQueries(),
+                static_cast<unsigned long long>(report->epoch),
+                static_cast<long long>(report->watermark), nshards);
+  } else {
+    auto big = svc.RegisterQuery(
+        "SELECT sym, price FROM trades [Range 100] WHERE price > 10");
+    auto volume = svc.RegisterQuery(
+        "SELECT sym, SUM(qty) AS total FROM trades [Range 100] "
+        "WHERE price > 10 GROUP BY sym");
+    if (!big.ok() || !volume.ok()) {
+      std::fprintf(stderr, "RegisterQuery failed\n");
+      return 1;
+    }
+  }
+
+  std::vector<std::pair<QueryId, shard::ShardedSubscriptionPtr>> subs;
+  for (const auto& info : svc.replica(0)->ListQueries()) {
+    auto sub = svc.Subscribe(info.id);
+    if (sub.ok()) subs.emplace_back(info.id, *sub);
+  }
+
+  std::printf("%s 2 queries on %zu shards (%zu operators per replica)\n",
+              recover ? "recovered" : "registered", nshards,
+              svc.replica(0)->NumOperators());
+
+  struct Row {
+    const char* sym;
+    int64_t price, qty;
+  };
+  const Row first_act[] = {{"ACME", 12, 100}, {"ACME", 8, 50},
+                           {"GLOBEX", 40, 10}, {"ACME", 15, 30},
+                           {"GLOBEX", 9, 99},  {"GLOBEX", 41, 5}};
+  const Row second_act[] = {{"ACME", 20, 7}, {"GLOBEX", 44, 3},
+                            {"ACME", 13, 11}};
+  for (const Row& r : recover ? std::vector<Row>(std::begin(second_act),
+                                                 std::end(second_act))
+                              : std::vector<Row>(std::begin(first_act),
+                                                 std::end(first_act))) {
+    ++ts;
+    (void)svc.PushRecord("trades",
+                         Tuple{Value(r.sym), Value(r.price), Value(r.qty)}, ts);
+    (void)svc.PushWatermark("trades", ts);
+  }
+
+  for (const auto& [qid, sub] : subs) {
+    std::printf("query %llu output:\n", static_cast<unsigned long long>(qid));
+    StreamBatch batch;
+    while (sub->TryPoll(&batch)) {
+      for (const auto& e : batch) {
+        if (e.is_record()) {
+          std::printf("  t=%lld %s\n", static_cast<long long>(e.timestamp),
+                      e.tuple.ToString().c_str());
+        }
+      }
+    }
+  }
+
+  if (coord != nullptr) {
+    auto epoch = coord->TriggerBarrierCheckpoint(&svc);
+    Status ckpt = epoch.ok() ? coord->WaitForEpoch(*epoch) : epoch.status();
+    if (!ckpt.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", ckpt.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpointed epoch %llu (%zu shard slots)\n",
+                static_cast<unsigned long long>(*epoch), nshards);
+  }
+
+  uint64_t routed = 0;
+  for (size_t s = 0; s < nshards; ++s) {
+    std::printf("shard %zu routed %llu records\n", s,
+                static_cast<unsigned long long>(svc.records_routed(s)));
+    routed += svc.records_routed(s);
+  }
+  std::printf("METRICS_JSON %s\n",
+              registry.ToJson().c_str());
+  return routed > 0 || recover ? 0 : 1;
 }
 
 // --- Serve mode ------------------------------------------------------------
@@ -579,6 +737,7 @@ int main(int argc, char** argv) {
   int http_port = -1;  // -1 = no observability endpoint
   std::string checkpoint_dir;
   bool recover = false;
+  size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serve") == 0) {
       serve = true;
@@ -591,14 +750,28 @@ int main(int argc, char** argv) {
       checkpoint_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--recover") == 0) {
       recover = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      int n = std::stoi(argv[++i]);
+      if (n < 1) {
+        std::fprintf(stderr, "--shards wants a positive count\n");
+        return 2;
+      }
+      shards = static_cast<size_t>(n);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--serve [port]] [--http PORT] "
+                   "usage: %s [--serve [port]] [--http PORT] [--shards N] "
                    "[--checkpoint-dir DIR [--recover]]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (serve && shards > 1) {
+    std::fprintf(stderr, "--shards applies to the demo mode only\n");
+    return 2;
+  }
   if (serve) return cq::RunServer(serve_port, http_port);
+  if (shards > 1) {
+    return cq::RunShardedDemo(shards, checkpoint_dir, recover, http_port);
+  }
   return cq::RunDemo(checkpoint_dir, recover, http_port);
 }

@@ -16,8 +16,9 @@ query_server examples.
 
 --tsan builds with ThreadSanitizer (default build dir: build-tsan) and
 runs only the concurrent-runtime test binaries (channel, parallel
-pipeline, broker driver, and the multi-query service whose subscribers
-drain concurrently) — the threaded core the unified runtime added.
+pipeline, broker driver, the multi-query service whose subscribers
+drain concurrently, and the sharded pipeline whose exchanges fan
+batches and barriers across task threads) — the threaded core.
 --asan builds with AddressSanitizer (default build dir: build-asan) and
 runs the state/durability test binaries (ft, kvstore, snapshot, queue)
 — the buffers and file framing the fault-tolerance layer serializes.
@@ -116,11 +117,12 @@ if [[ "$TSAN" == 1 ]]; then
   echo "== build (tsan) =="
   cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
     runtime_test parallel_test broker_driver_test executor_failure_test \
-    batch_equivalence_test service_test graph_mutation_test
+    batch_equivalence_test service_test graph_mutation_test \
+    shard_test shard_recovery_test
 
-  echo "== ctest (tsan: runtime/parallel/broker/service) =="
+  echo "== ctest (tsan: runtime/parallel/broker/service/shard) =="
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
-    -R 'runtime_test|parallel_test|broker_driver_test|executor_failure_test|batch_equivalence_test|service_test|graph_mutation_test'
+    -R 'runtime_test|parallel_test|broker_driver_test|executor_failure_test|batch_equivalence_test|service_test|graph_mutation_test|shard_test|shard_recovery_test'
 
   echo "tier-1 tsan check: OK"
   exit 0
@@ -186,6 +188,25 @@ fi
 # restored [Range 100] window: ACME totals 100+30 before + 7 after = 137.
 if ! grep -q "'ACME', 137" <<< "$QS_REC_OUT"; then
   echo "FAIL: recovered aggregate lost pre-checkpoint window state" >&2
+  exit 1
+fi
+
+echo "== query_server smoke (sharded checkpoint + recover, --shards 4) =="
+# Same drill on a ShardedQueryService: records hash across 4 replicas, the
+# barrier checkpoint carries one slot per shard, and the recovered windows
+# must still produce the exact ACME total.
+QS_SHARD_DIR="$(mktemp -d)"
+"$BUILD_DIR"/examples/query_server --shards 4 \
+  --checkpoint-dir "$QS_SHARD_DIR" > /dev/null
+QS_SHARD_OUT="$("$BUILD_DIR"/examples/query_server --shards 4 \
+  --checkpoint-dir "$QS_SHARD_DIR" --recover)"
+rm -rf "$QS_SHARD_DIR"
+if ! grep -q "recovered 2 queries" <<< "$QS_SHARD_OUT"; then
+  echo "FAIL: sharded query_server --recover did not restore its queries" >&2
+  exit 1
+fi
+if ! grep -q "'ACME', 137" <<< "$QS_SHARD_OUT"; then
+  echo "FAIL: sharded recovery lost pre-checkpoint window state" >&2
   exit 1
 fi
 

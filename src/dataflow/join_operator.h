@@ -65,6 +65,13 @@ class StreamJoinOperator : public Operator {
   size_t StateBytesApprox() const override;
   bool IsStateless() const override { return false; }
 
+  /// Both inputs must be co-partitioned: matches exist only between rows
+  /// whose join-key bytes are equal, so hashing each side by its own key
+  /// columns lands every potential pair on the same shard.
+  std::vector<size_t> PartitionKeyColumns(size_t port) const override {
+    return port == 0 ? config_.left_keys : config_.right_keys;
+  }
+
  private:
   struct BufferedElement {
     Tuple tuple;

@@ -170,6 +170,35 @@ class Operator {
   /// checkpoint. Stateful operators MUST override this to false.
   virtual bool IsStateless() const { return true; }
 
+  // --- Partitioned (sharded) execution ---------------------------------
+
+  /// \brief Input-schema columns this operator's state is keyed by on
+  /// `port` (empty = no key requirement; the operator is safe on any
+  /// shard). The ShardPlanner places hash exchanges where a stream's
+  /// current partitioning does not satisfy this requirement.
+  virtual std::vector<size_t> PartitionKeyColumns(size_t port) const {
+    (void)port;
+    return {};
+  }
+
+  /// \brief Whether output rows keep the input partitioning: same columns,
+  /// same positions (record-wise operators that never reshape or reorder
+  /// key columns — filters, passthroughs). Conservative default: no.
+  virtual bool PreservesPartitioning() const { return false; }
+
+  /// \brief Output-schema columns the operator *guarantees* its emissions
+  /// are partitioned by, given inputs partitioned per PartitionKeyColumns
+  /// (e.g. keyed window aggregation emits key columns first). Empty =
+  /// unknown.
+  virtual std::vector<size_t> OutputPartitionColumns() const { return {}; }
+
+  /// \brief Whether SnapshotState() is exactly a KeyedStateBackend cell
+  /// image — (key, namespace, value) triples whose key bytes are the
+  /// serde-encoded partition-key projection — so a recovery can re-hash
+  /// the cells across a different shard count (N→M re-shard). Operators
+  /// with any other state layout must leave this false.
+  virtual bool KeyedStateReshardable() const { return false; }
+
   // --- Columnar (vectorized) delivery ---------------------------------
 
   /// \brief Static columnar capability of this operator. kNone (the

@@ -35,6 +35,7 @@ class PassThroughOperator : public Operator {
   ColumnarSupport columnar_support() const override {
     return ColumnarSupport::kPassthrough;
   }
+  bool PreservesPartitioning() const override { return true; }
 };
 
 /// \brief ParDo with exactly one output per input (map).
@@ -110,6 +111,9 @@ class FilterOperator : public Operator {
     Column keep = EvalVector(*expr_, batch->columns(), batch->num_rows());
     batch->FilterSelection(keep);
   }
+
+  // Record-wise and schema-preserving: survivors keep their key columns.
+  bool PreservesPartitioning() const override { return true; }
 
  private:
   Fn fn_;

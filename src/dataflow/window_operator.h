@@ -81,6 +81,24 @@ class WindowedAggregateOperator : public Operator {
   size_t StateSize() const override { return state_->Size(); }
   size_t StateBytesApprox() const override { return state_->ApproxBytes(); }
   bool IsStateless() const override { return false; }
+
+  /// State cells are keyed by TupleToBytes(tuple.Project(key_indexes)), so
+  /// the operator must see every record of a group key on one shard …
+  std::vector<size_t> PartitionKeyColumns(size_t port) const override {
+    (void)port;
+    return config_.key_indexes;
+  }
+  /// … and its output schema (key columns..., window bounds, aggregates)
+  /// leads with those keys, so emissions stay partitioned by them.
+  std::vector<size_t> OutputPartitionColumns() const override {
+    std::vector<size_t> cols(config_.key_indexes.size());
+    for (size_t i = 0; i < cols.size(); ++i) cols[i] = i;
+    return cols;
+  }
+  /// SnapshotState() is exactly state_->Snapshot(): cell images keyed by
+  /// the encoded partition-key projection — re-hashable across shard
+  /// counts (RestoreState rebuilds the trigger index from the cells).
+  bool KeyedStateReshardable() const override { return true; }
   void AttachMetrics(MetricsRegistry* registry,
                      const LabelSet& labels) override;
 

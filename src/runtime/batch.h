@@ -13,6 +13,7 @@
 /// delivering a batch element-by-element and delivering it as a batch are
 /// observably equivalent for linear pipelines.
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -21,6 +22,8 @@
 #include "stream/stream.h"
 
 namespace cq {
+
+class ColumnarBatch;
 
 /// \brief An ordered run of stream elements exchanged as one unit.
 class StreamBatch {
@@ -46,9 +49,10 @@ class StreamBatch {
   }
 
   size_t size() const { return elements_.size(); }
-  bool empty() const { return elements_.empty(); }
+  bool empty() const { return elements_.empty() && columnar_ == nullptr; }
   void clear() {
     elements_.clear();
+    columnar_.reset();
     trace_ = TraceContext();
     enqueue_ns_ = 0;
     num_records_ = 0;
@@ -97,6 +101,17 @@ class StreamBatch {
   int64_t enqueue_ns() const { return enqueue_ns_; }
   void set_enqueue_ns(int64_t ns) { enqueue_ns_ = ns; }
 
+  /// \brief Optional columnar payload: a batch that travels through a
+  /// Channel still in columnar layout (hash-exchange envelopes). A payload
+  /// batch carries no row elements — producers ship either rows or a
+  /// payload, never both — and the consumer hands the payload straight to
+  /// PushColumnar, so columns cross the exchange without re-materialising
+  /// rows. Channels treat the envelope as one opaque unit.
+  const std::shared_ptr<ColumnarBatch>& columnar() const { return columnar_; }
+  void set_columnar(std::shared_ptr<ColumnarBatch> payload) {
+    columnar_ = std::move(payload);
+  }
+
  private:
   void RecomputeCache() const {
     num_records_ = 0;
@@ -111,6 +126,7 @@ class StreamBatch {
   }
 
   std::vector<StreamElement> elements_;
+  std::shared_ptr<ColumnarBatch> columnar_;  // exchange envelope (or null)
   TraceContext trace_;
   int64_t enqueue_ns_ = 0;
   mutable size_t num_records_ = 0;

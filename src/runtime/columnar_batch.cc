@@ -154,6 +154,64 @@ void ColumnarBatch::AppendRowsTo(StreamBatch* out, size_t begin,
   }
 }
 
+Status ColumnarBatch::AppendGathered(const ColumnarBatch& src,
+                                     const std::vector<uint64_t>& take) {
+  if (num_rows_ == 0 && columns_.empty()) columns_.resize(src.num_columns());
+  if (src.num_columns() != columns_.size()) {
+    return Status::TypeError("columnar gather: arity mismatch");
+  }
+  // Pre-check types so the typed appends below cannot fail midway (same
+  // invariant-protection as AppendRow).
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const ValueType st = src.columns_[c].type();
+    const ValueType dt = columns_[c].type();
+    if (st != ValueType::kNull && dt != ValueType::kNull && st != dt) {
+      return Status::TypeError("columnar gather: mixed-type column");
+    }
+  }
+  for (size_t w = 0; w < take.size(); ++w) {
+    uint64_t bits = take[w];
+    while (bits != 0) {
+      const size_t i = (w << 6) + static_cast<size_t>(__builtin_ctzll(bits));
+      bits &= bits - 1;
+      if (i >= src.num_rows_) break;
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        const Column& s = src.columns_[c];
+        Column& d = columns_[c];
+        if (s.IsNull(i)) {
+          d.AppendNull();
+          continue;
+        }
+        switch (s.type()) {
+          case ValueType::kInt64:
+            d.AppendInt64(s.int64_data()[i]);
+            break;
+          case ValueType::kDouble:
+            d.AppendDouble(s.double_data()[i]);
+            break;
+          case ValueType::kBool:
+            d.AppendBool(s.bool_data()[i] != 0);
+            break;
+          case ValueType::kString:
+            d.AppendString(s.string_at(i));
+            break;
+          case ValueType::kNull:
+            d.AppendNull();
+            break;
+        }
+      }
+      timestamps_.push_back(src.timestamps_[i]);
+      if (!selection_.empty()) {
+        if ((num_rows_ >> 6) == selection_.size()) selection_.push_back(0);
+        selection_[num_rows_ >> 6] |= uint64_t{1} << (num_rows_ & 63);
+        ++selected_count_;
+      }
+      ++num_rows_;
+    }
+  }
+  return Status::OK();
+}
+
 Tuple ColumnarBatch::RowAt(size_t i) const {
   std::vector<Value> vals;
   vals.reserve(columns_.size());

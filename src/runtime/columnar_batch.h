@@ -77,6 +77,24 @@ class ColumnarBatch {
     watermarks_.push_back({static_cast<uint32_t>(num_rows_), ts});
   }
 
+  /// \brief Appends a watermark at an explicit row position (exchange
+  /// split: the producer computes each shard's mark position from prefix
+  /// counts). Preconditions: pos <= num_rows() and positions non-decreasing
+  /// across calls — the mark-ordering invariant above.
+  void AddWatermarkMark(uint32_t pos, Timestamp ts) {
+    watermarks_.push_back({pos, ts});
+  }
+
+  /// \brief Gathers rows of `src` whose bit is set in `take` (one bit per
+  /// src row, little-endian like the selection bitmap) onto the end of this
+  /// batch: typed column-to-column copies plus the timestamp column — no
+  /// Tuple is ever materialised. The destination must be empty or have
+  /// matching arity and column types; src watermarks and selection are NOT
+  /// carried over (the exchange broadcasts marks itself and `take` already
+  /// folds selection in). TypeError on arity/type mismatch.
+  Status AppendGathered(const ColumnarBatch& src,
+                        const std::vector<uint64_t>& take);
+
   const std::vector<WatermarkMark>& watermarks() const { return watermarks_; }
 
   // --- Selection bitmap -----------------------------------------------

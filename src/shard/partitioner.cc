@@ -1,0 +1,27 @@
+#include "shard/partitioner.h"
+
+namespace cq::shard {
+
+Result<std::vector<std::string>> ReshardKeyedStateBlobs(
+    const std::vector<std::string>& old_blobs, size_t new_shards) {
+  if (new_shards == 0) {
+    return Status::InvalidArgument("re-shard to zero shards");
+  }
+  std::vector<std::string> out(new_shards);
+  for (const std::string& blob : old_blobs) {
+    std::string_view in = blob;
+    while (!in.empty()) {
+      CQ_ASSIGN_OR_RETURN(std::string key, DecodeString(&in));
+      CQ_ASSIGN_OR_RETURN(std::string ns, DecodeString(&in));
+      CQ_ASSIGN_OR_RETURN(std::string value, DecodeString(&in));
+      std::string& dst =
+          out[ShardPartitioner::ShardOfKeyBytes(key, new_shards)];
+      EncodeString(key, &dst);
+      EncodeString(ns, &dst);
+      EncodeString(value, &dst);
+    }
+  }
+  return out;
+}
+
+}  // namespace cq::shard

@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "dataflow/window_operator.h"
 #include "obs/metrics.h"
 #include "service/service.h"
+#include "shard/sharded_pipeline.h"
+#include "shard/sharded_service.h"
 
 namespace cq {
 namespace {
@@ -108,6 +112,79 @@ TEST(MetricsLintTest, ServiceExpositionIsLintClean) {
             std::string::npos);
   EXPECT_EQ(text.find("cq_dataflow_late_dropped_total"), std::string::npos);
   (void)sub;
+}
+
+/// The sharded runtime's families (cq_shard_records_total{shard=...},
+/// exchange batch/byte counters, the skew gauge, per-channel instruments
+/// with shard-qualified names) must survive the same lint that guards the
+/// /metrics endpoint.
+TEST(MetricsLintTest, ShardedPipelineExpositionIsLintClean) {
+  MetricsRegistry registry;
+  shard::ShardedPipeline pipeline(
+      2,
+      [](size_t) -> Result<std::vector<std::unique_ptr<Operator>>> {
+        WindowedAggregateConfig per_key;
+        per_key.assigner = std::make_shared<TumblingWindowAssigner>(10);
+        per_key.key_indexes = {0};
+        per_key.aggs.push_back({AggregateKind::kSum, Col(1), "sum"});
+        WindowedAggregateConfig rollup;
+        rollup.assigner = std::make_shared<TumblingWindowAssigner>(10);
+        rollup.key_indexes = {1};
+        rollup.aggs.push_back({AggregateKind::kSum, Col(3), "total"});
+        std::vector<std::unique_ptr<Operator>> ops;
+        ops.push_back(
+            std::make_unique<WindowedAggregateOperator>("per-key", per_key));
+        ops.push_back(
+            std::make_unique<WindowedAggregateOperator>("rollup", rollup));
+        return ops;
+      },
+      {});
+  pipeline.AttachMetrics(&registry);
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (int64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        pipeline.Send(Tuple({Value(i % 4), Value(int64_t{1})}), i).ok());
+  }
+  ASSERT_TRUE(pipeline.BroadcastWatermark(100).ok());
+  ASSERT_TRUE(pipeline.Finish().ok());
+
+  EXPECT_TRUE(registry.LintProblems().empty())
+      << registry.LintProblems().front();
+  std::string text = registry.ToText();
+  EXPECT_NE(text.find("cq_shard_records_total"), std::string::npos);
+  EXPECT_NE(text.find("cq_shard_exchange_batches_total"), std::string::npos);
+  EXPECT_NE(text.find("cq_shard_exchange_bytes_total"), std::string::npos);
+  EXPECT_NE(text.find("cq_shard_skew_ratio"), std::string::npos);
+}
+
+/// Same rule for the sharded service graph: replicas share one registry, so
+/// per-node families must merge without mixed label sets and the routing
+/// counter must expose one series per shard.
+TEST(MetricsLintTest, ShardedServiceExpositionIsLintClean) {
+  MetricsRegistry registry;
+  ServiceConfig cfg;
+  cfg.metrics = &registry;
+  shard::ShardedQueryService svc(2, cfg);
+  ASSERT_TRUE(svc.RegisterStream("trades",
+                                 Schema::Make({{"sym", ValueType::kString},
+                                               {"price", ValueType::kInt64},
+                                               {"qty", ValueType::kInt64}}),
+                                 {0})
+                  .ok());
+  auto id = svc.RegisterQuery(
+      "SELECT sym, SUM(qty) AS total FROM trades [Range 100] GROUP BY sym");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(svc.PushRecord("trades", Trade("a", 20, 1), 5).ok());
+  ASSERT_TRUE(svc.PushRecord("trades", Trade("b", 30, 2), 6).ok());
+  ASSERT_TRUE(svc.PushWatermark("trades", 200).ok());
+
+  EXPECT_TRUE(registry.LintProblems().empty())
+      << registry.LintProblems().front();
+  std::string text = registry.ToText();
+  EXPECT_NE(text.find("cq_shard_records_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("cq_shard_records_total{shard=\"1\"}"),
+            std::string::npos);
 }
 
 /// Every sample line of the text exposition must match the Prometheus data
