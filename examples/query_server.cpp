@@ -21,38 +21,62 @@
 ///                                node state comes back by fingerprint — then
 ///                                stream a second batch of trades whose
 ///                                results prove the windows survived.
-///     --shards N                 run the demo on a ShardedQueryService of N
-///                                replicas: `trades` partitions by `sym`,
-///                                records route by key hash, subscriptions
-///                                merge across replicas. Checkpoint/recover
-///                                work the same (the image gains a shard
-///                                dimension and must restore at the same N).
+///     --shards N                 run on a ShardedQueryService of N replicas:
+///                                `trades` partitions by `sym`, records route
+///                                by key hash, subscriptions merge across
+///                                replicas.
 ///
-///   query_server --serve PORT    TCP server speaking a length-prefixed text
-///                                protocol (uint32 big-endian frame length +
-///                                payload). One command per frame:
+///   query_server --serve PORT    async TCP server on one epoll loop
+///                                (net::Server): every client, subscriber
+///                                feed and observability scrape multiplexes
+///                                through the same thread. The protocol is
+///                                length-prefixed text (uint32 big-endian
+///                                frame length + payload), one command per
+///                                frame:
 ///
-///     STREAM <name> <col:type,...>   register an input stream
-///                                    (types: int64, double, string, bool)
-///     REGISTER <sql>                 -> OK id=<qid>
+///     TENANT <name>                  bind the connection to a tenant
+///     STREAM <name> <col:type,...> [key=<col,...>]
+///                                    register an input stream (types:
+///                                    int64, double, string, bool); the key
+///                                    names shard columns (--shards only)
+///     REGISTER <sql>                 -> OK id=<qid>  (tenant quota applies)
 ///     DROP <qid>                     -> OK
-///     SUBSCRIBE <qid>                -> OK sub=<sid>
+///     SUBSCRIBE <qid>                -> OK sub=<sid>       (pull mode)
 ///     POLL <sid>                     -> one DATA frame per queued record,
 ///                                       then OK n=<count>
-///     PUSH <name> <ts> <v1,v2,...>   -> OK      (CSV row per stream schema)
+///     LISTEN <qid>                   -> OK sub=<sid> push  (push mode:
+///                                       "DATA <sid> t=.. <tuple>" frames
+///                                       arrive unpolled; "CLOSED <sid>"
+///                                       when the query drops)
+///     PUSH <name> <ts> <v1,v2,...>   -> OK   (CSV row per stream schema)
 ///     WATERMARK <name> <ts>          -> OK
 ///     STATS                          -> OK + service counters
 ///     QUIT                           -> OK, closes the connection
 ///
-///   Either mode accepts `--http PORT` (0 = ephemeral), which starts an
-///   embedded observability endpoint on 127.0.0.1:
+///     Serve-mode flags:
+///       --shards N             front a ShardedQueryService (records route
+///                              by each stream's key= columns)
+///       --checkpoint-dir DIR   durable serve: fence query output through
+///                              DIR/out and checkpoint into DIR/snap on
+///                              graceful drain
+///       --recover              restore the service from DIR before
+///                              listening (unsharded serve only: a sharded
+///                              image validates against streams that would
+///                              have to be re-registered first)
+///       --tenant-quota NAME:MAXQ:MAXBYTES:BPS[:BURST]
+///                              per-tenant admission quota: query count,
+///                              state bytes, egress bytes/sec (token-bucket
+///                              rate), optional burst. 0 = unlimited; NAME
+///                              "*" sets the default quota. Repeatable.
 ///
-///     GET /metrics          Prometheus text exposition of every counter,
-///                           gauge and histogram in the service registry
-///     GET /queries          JSON list of registered queries (id, state,
-///                           sql, node sharing, subscription count)
-///     GET /traces           JSON dump of recently sampled trace spans
-///     GET /flightrecorder   JSON dump of the global flight-recorder ring
+///     The same port answers HTTP GETs (/metrics /queries /traces
+///     /flightrecorder) from the same loop. SIGTERM drains gracefully:
+///     stop accepting, flush every subscriber feed, checkpoint (publishing
+///     staged fence frames), close, exit 0.
+///
+///   Either mode accepts `--http PORT` (0 = ephemeral), which starts the
+///   embedded thread-based observability endpoint on 127.0.0.1 with the same
+///   four routes.
 ///
 ///   Errors come back as a single "ERR <status>" frame; the connection
 ///   survives them. Try it with a few lines of Python:
@@ -66,11 +90,7 @@
 ///     send(s, "REGISTER SELECT sym FROM trades [Range 100] WHERE price > 10")
 ///     print(recv(s))
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -82,6 +102,9 @@
 #include "ft/fence.h"
 #include "ft/recovery.h"
 #include "ft/snapshot_store.h"
+#include "net/backend.h"
+#include "net/quotas.h"
+#include "net/server.h"
 #include "obs/flight_recorder.h"
 #include "obs/http.h"
 #include "obs/trace.h"
@@ -117,10 +140,10 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-std::string QueriesJson(QueryService* svc) {
+std::string QueriesJson(const std::vector<QueryInfo>& queries) {
   std::string out = "[";
   bool first = true;
-  for (const auto& info : svc->ListQueries()) {
+  for (const auto& info : queries) {
     if (!first) out += ",";
     first = false;
     out += "{\"id\":" + std::to_string(info.id) + ",\"state\":\"" +
@@ -136,13 +159,13 @@ std::string QueriesJson(QueryService* svc) {
 /// Registers the four observability routes and starts the listener.
 /// `http_port` < 0 means "no endpoint": returns OK without starting.
 Status StartHttp(HttpEndpoint* http, int http_port, MetricsRegistry* registry,
-                 TraceRecorder* tracer, QueryService* svc) {
+                 TraceRecorder* tracer,
+                 std::function<std::string()> queries_json) {
   if (http_port < 0) return Status::OK();
   http->AddHandler("/metrics", "text/plain; version=0.0.4", [registry] {
     return registry->Dump(MetricsFormat::kText);
   });
-  http->AddHandler("/queries", "application/json",
-                   [svc] { return QueriesJson(svc); });
+  http->AddHandler("/queries", "application/json", std::move(queries_json));
   http->AddHandler("/traces", "application/json",
                    [tracer] { return tracer->ToJson(); });
   http->AddHandler("/flightrecorder", "application/json",
@@ -163,7 +186,10 @@ int RunDemo(const std::string& checkpoint_dir, bool recover, int http_port) {
   TraceRecorder tracer;
   auto svc = MakeService(&registry, &tracer);
   HttpEndpoint http;
-  Status http_st = StartHttp(&http, http_port, &registry, &tracer, svc.get());
+  QueryService* svc_raw = svc.get();
+  Status http_st =
+      StartHttp(&http, http_port, &registry, &tracer,
+                [svc_raw] { return QueriesJson(svc_raw->ListQueries()); });
   if (!http_st.ok()) {
     std::fprintf(stderr, "http: %s\n", http_st.ToString().c_str());
     return 1;
@@ -329,8 +355,10 @@ int RunShardedDemo(size_t nshards, const std::string& checkpoint_dir,
   config.trace_sample_every = 1;
   shard::ShardedQueryService svc(nshards, config);
   HttpEndpoint http;
+  QueryService* replica0 = svc.replica(0);
   Status http_st =
-      StartHttp(&http, http_port, &registry, &tracer, svc.replica(0));
+      StartHttp(&http, http_port, &registry, &tracer,
+                [replica0] { return QueriesJson(replica0->ListQueries()); });
   if (!http_st.ok()) {
     std::fprintf(stderr, "http: %s\n", http_st.ToString().c_str());
     return 1;
@@ -462,270 +490,220 @@ int RunShardedDemo(size_t nshards, const std::string& checkpoint_dir,
   return routed > 0 || recover ? 0 : 1;
 }
 
-// --- Serve mode ------------------------------------------------------------
+// --- Serve mode (async epoll front door) -----------------------------------
 
-/// Reads exactly `len` bytes; false on EOF / error.
-bool ReadFull(int fd, void* buf, size_t len) {
-  auto* p = static_cast<char*>(buf);
-  while (len > 0) {
-    ssize_t n = read(fd, p, len);
-    if (n <= 0) return false;
-    p += n;
-    len -= static_cast<size_t>(n);
-  }
-  return true;
+net::Server* g_server = nullptr;
+
+/// SIGTERM/SIGINT: one async-signal-safe eventfd write; the loop thread
+/// runs the graceful drain.
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->ShutdownAsync();
 }
 
-bool ReadFrame(int fd, std::string* out) {
-  uint32_t be = 0;
-  if (!ReadFull(fd, &be, sizeof(be))) return false;
-  uint32_t len = ntohl(be);
-  if (len > (1u << 20)) return false;  // 1 MiB frame cap
-  out->resize(len);
-  return len == 0 || ReadFull(fd, out->data(), len);
-}
-
-bool WriteFrame(int fd, const std::string& payload) {
-  uint32_t be = htonl(static_cast<uint32_t>(payload.size()));
-  std::string wire(reinterpret_cast<const char*>(&be), sizeof(be));
-  wire += payload;
-  const char* p = wire.data();
-  size_t len = wire.size();
-  while (len > 0) {
-    ssize_t n = write(fd, p, len);
-    if (n <= 0) return false;
-    p += n;
-    len -= static_cast<size_t>(n);
-  }
-  return true;
-}
-
-std::vector<std::string> SplitCsv(const std::string& s) {
-  std::vector<std::string> out;
-  std::string cur;
-  for (char c : s) {
-    if (c == ',') {
-      out.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  out.push_back(cur);
-  return out;
-}
-
-Result<SchemaPtr> ParseSchema(const std::string& spec) {
-  std::vector<Field> fields;
-  for (const std::string& part : SplitCsv(spec)) {
-    size_t colon = part.find(':');
-    if (colon == std::string::npos) {
-      return Status::InvalidArgument("bad column spec '" + part +
-                                     "' (want name:type)");
-    }
-    std::string name = part.substr(0, colon);
-    std::string type = part.substr(colon + 1);
-    if (type == "int64") {
-      fields.push_back({name, ValueType::kInt64});
-    } else if (type == "double") {
-      fields.push_back({name, ValueType::kDouble});
-    } else if (type == "string") {
-      fields.push_back({name, ValueType::kString});
-    } else if (type == "bool") {
-      fields.push_back({name, ValueType::kBool});
-    } else {
-      return Status::InvalidArgument("unknown type '" + type + "'");
-    }
-  }
-  return Schema::Make(std::move(fields));
-}
-
-Result<Tuple> ParseRow(const std::string& csv, const Schema& schema) {
-  std::vector<std::string> fields = SplitCsv(csv);
-  if (fields.size() != schema.num_fields()) {
-    return Status::InvalidArgument(
-        "row has " + std::to_string(fields.size()) + " fields, schema wants " +
-        std::to_string(schema.num_fields()));
-  }
-  std::vector<Value> values;
-  values.reserve(fields.size());
-  for (size_t i = 0; i < fields.size(); ++i) {
-    const std::string& f = fields[i];
-    switch (schema.field(i).type) {
-      case ValueType::kInt64:
-        values.emplace_back(static_cast<int64_t>(std::stoll(f)));
-        break;
-      case ValueType::kDouble:
-        values.emplace_back(std::stod(f));
-        break;
-      case ValueType::kBool:
-        values.emplace_back(f == "true" || f == "1");
-        break;
-      default:
-        values.emplace_back(f);
-        break;
-    }
-  }
-  return Tuple(std::move(values));
-}
-
-/// One connected client's view of the service.
-class ClientSession {
- public:
-  explicit ClientSession(QueryService* svc) : svc_(svc) {}
-
-  /// Handles one command frame; responses go out through `reply`. Returns
-  /// false when the client asked to quit.
-  bool Handle(const std::string& line, int fd) {
-    size_t space = line.find(' ');
-    std::string cmd = line.substr(0, space);
-    std::string rest =
-        space == std::string::npos ? "" : line.substr(space + 1);
-    if (cmd == "QUIT") {
-      (void)WriteFrame(fd, "OK bye");
-      return false;
-    }
-    std::string reply = Dispatch(cmd, rest, fd);
-    (void)WriteFrame(fd, reply);
-    return true;
-  }
-
- private:
-  std::string Dispatch(const std::string& cmd, const std::string& rest,
-                       int fd) {
-    if (cmd == "STREAM") {
-      size_t space = rest.find(' ');
-      if (space == std::string::npos) return "ERR want: STREAM name cols";
-      auto schema = ParseSchema(rest.substr(space + 1));
-      if (!schema.ok()) return "ERR " + schema.status().ToString();
-      Status st = svc_->RegisterStream(rest.substr(0, space), *schema);
-      return st.ok() ? "OK" : "ERR " + st.ToString();
-    }
-    if (cmd == "REGISTER") {
-      auto id = svc_->RegisterQuery(rest);
-      if (!id.ok()) return "ERR " + id.status().ToString();
-      return "OK id=" + std::to_string(*id);
-    }
-    if (cmd == "DROP") {
-      Status st = svc_->DropQuery(std::stoull(rest));
-      return st.ok() ? "OK" : "ERR " + st.ToString();
-    }
-    if (cmd == "SUBSCRIBE") {
-      auto sub = svc_->Subscribe(std::stoull(rest));
-      if (!sub.ok()) return "ERR " + sub.status().ToString();
-      uint64_t sid = next_sub_handle_++;
-      subs_[sid] = *sub;
-      return "OK sub=" + std::to_string(sid);
-    }
-    if (cmd == "POLL") {
-      auto it = subs_.find(std::stoull(rest));
-      if (it == subs_.end()) return "ERR no such subscription";
-      size_t n = 0;
-      StreamBatch batch;
-      while (it->second->TryPoll(&batch)) {
-        for (const auto& e : batch) {
-          if (!e.is_record()) continue;
-          (void)WriteFrame(fd, "DATA t=" +
-                                   std::to_string(e.timestamp) + " " +
-                                   e.tuple.ToString());
-          ++n;
-        }
-      }
-      std::string tail = "OK n=" + std::to_string(n);
-      if (it->second->closed() && it->second->depth() == 0) {
-        tail += " closed";
-        subs_.erase(it);
-      }
-      return tail;
-    }
-    if (cmd == "PUSH") {
-      size_t s1 = rest.find(' ');
-      size_t s2 = rest.find(' ', s1 + 1);
-      if (s1 == std::string::npos || s2 == std::string::npos) {
-        return "ERR want: PUSH stream ts v1,v2,...";
-      }
-      std::string stream = rest.substr(0, s1);
-      Timestamp ts = std::stoll(rest.substr(s1 + 1, s2 - s1 - 1));
-      auto schema = svc_->catalog().GetStream(stream);
-      if (!schema.ok()) return "ERR " + schema.status().ToString();
-      auto tuple = ParseRow(rest.substr(s2 + 1), **schema);
-      if (!tuple.ok()) return "ERR " + tuple.status().ToString();
-      Status st = svc_->PushRecord(stream, *tuple, ts);
-      return st.ok() ? "OK" : "ERR " + st.ToString();
-    }
-    if (cmd == "WATERMARK") {
-      size_t s1 = rest.find(' ');
-      if (s1 == std::string::npos) return "ERR want: WATERMARK stream ts";
-      Status st = svc_->PushWatermark(rest.substr(0, s1),
-                                      std::stoll(rest.substr(s1 + 1)));
-      return st.ok() ? "OK" : "ERR " + st.ToString();
-    }
-    if (cmd == "STATS") {
-      std::string out = "OK operators=" + std::to_string(svc_->NumOperators()) +
-                        " active_queries=" +
-                        std::to_string(svc_->NumActiveQueries());
-      for (const auto& info : svc_->ListQueries()) {
-        out += "\nquery " + std::to_string(info.id) + " state=" +
-               QueryStateToString(info.state) + " nodes=" +
-               std::to_string(info.nodes_total) + " reused=" +
-               std::to_string(info.nodes_reused) + " sql=" + info.sql;
-      }
-      return out;
-    }
-    return "ERR unknown command '" + cmd + "'";
-  }
-
-  QueryService* svc_;
-  std::map<uint64_t, SubscriptionPtr> subs_;
-  uint64_t next_sub_handle_ = 1;
+struct ServeOptions {
+  uint16_t port = 7878;
+  int http_port = -1;
+  size_t shards = 1;
+  std::string checkpoint_dir;
+  bool recover = false;
+  /// name -> quota ("*" = default quota).
+  std::vector<std::pair<std::string, net::TenantQuota>> quotas;
 };
 
-int RunServer(uint16_t port, int http_port) {
+int RunServer(const ServeOptions& opts) {
   MetricsRegistry registry;
   TraceRecorder tracer;
-  auto svc = MakeService(&registry, &tracer);
+  ServiceConfig config;
+  config.metrics = &registry;
+  config.tracer = &tracer;
+  config.trace_sample_every = 1;
+
+  // Backend: one QueryService, or N replicas behind the same protocol.
+  std::unique_ptr<QueryService> local;
+  std::unique_ptr<shard::ShardedQueryService> sharded;
+  std::unique_ptr<net::ServiceBackend> backend;
+  ft::Checkpointable* checkpointable = nullptr;
+  ft::BarrierInjectable* barrier_target = nullptr;
+  if (opts.shards > 1) {
+    sharded = std::make_unique<shard::ShardedQueryService>(opts.shards, config);
+    backend = std::make_unique<net::ShardedBackend>(sharded.get());
+    checkpointable = sharded.get();
+    barrier_target = sharded.get();
+  } else {
+    local = std::make_unique<QueryService>(Catalog{}, config);
+    backend = std::make_unique<net::LocalBackend>(local.get());
+    checkpointable = local.get();
+    barrier_target = local.get();
+  }
+
+  // Durability rig: same shape as the demo, but the checkpoint runs inside
+  // the graceful drain (SIGTERM) instead of at end-of-script.
+  std::unique_ptr<ft::DurableOutputLog> log;
+  std::unique_ptr<ft::SnapshotStore> store;
+  std::unique_ptr<ft::CheckpointCoordinator> coord;
+  if (!opts.checkpoint_dir.empty()) {
+    store = std::make_unique<ft::SnapshotStore>(opts.checkpoint_dir + "/snap");
+    Status st = store->Init();
+    if (st.ok() && local != nullptr) {
+      // Output fencing is per service; the sharded path checkpoints state
+      // only (its demo rig does the same).
+      log = std::make_unique<ft::DurableOutputLog>(opts.checkpoint_dir +
+                                                   "/out");
+      st = log->Init();
+      if (st.ok()) local->SetDurableOutputLog(log.get());
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint dir: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    coord =
+        std::make_unique<ft::CheckpointCoordinator>(checkpointable, store.get());
+    if (log != nullptr) coord->SetOutputLog(log.get());
+    coord->SetWatermarkFn([] { return Timestamp{0}; });
+    if (local != nullptr) {
+      local->SetBarrierHandler(coord->Handler(local->BarrierFanIn()));
+    } else {
+      sharded->SetBarrierHandler(coord->Handler(sharded->BarrierFanIn()));
+    }
+  }
+
+  if (opts.recover) {
+    if (store == nullptr) {
+      std::fprintf(stderr, "--recover requires --checkpoint-dir\n");
+      return 2;
+    }
+    if (local == nullptr) {
+      std::fprintf(stderr,
+                   "--recover --shards is unsupported in serve mode: a "
+                   "sharded image validates against streams that must be "
+                   "registered (with their shard keys) before restore\n");
+      return 2;
+    }
+    ft::RecoveryManager recovery(store.get());
+    recovery.SetOutputLog(log.get());
+    auto report = recovery.Recover(local.get(), nullptr);
+    if (!report.ok()) {
+      std::fprintf(stderr, "recover: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    if (report->restored) {
+      coord->ResumeFromEpoch(report->epoch);
+      std::printf("recovered %zu queries at epoch %llu\n",
+                  local->NumActiveQueries(),
+                  static_cast<unsigned long long>(report->epoch));
+    } else {
+      std::printf("no checkpoint in %s; starting fresh\n",
+                  opts.checkpoint_dir.c_str());
+    }
+  }
+
+  net::TenantQuotas quotas(&registry);
+  for (const auto& [name, quota] : opts.quotas) {
+    if (name == "*") {
+      quotas.SetDefaultQuota(quota);
+    } else {
+      quotas.SetQuota(name, quota);
+    }
+  }
+
+  net::ServerConfig sconf;
+  sconf.port = opts.port;
+  sconf.quotas = &quotas;
+  sconf.metrics = &registry;
+  net::Server server(backend.get(), sconf);
+
+  // The observability routes ride the same loop and port as the protocol.
+  net::ServiceBackend* backend_raw = backend.get();
+  server.AddHttpRoute("/metrics", "text/plain; version=0.0.4", [&registry] {
+    return registry.Dump(MetricsFormat::kText);
+  });
+  server.AddHttpRoute("/queries", "application/json", [backend_raw] {
+    return QueriesJson(backend_raw->ListQueries());
+  });
+  server.AddHttpRoute("/traces", "application/json",
+                      [&tracer] { return tracer.ToJson(); });
+  server.AddHttpRoute("/flightrecorder", "application/json",
+                      [] { return FlightRecorder::Global().ToJson(); });
+
+  Status st = server.Init();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Legacy separate observability endpoint (--http): same routes, own
+  // thread and port.
   HttpEndpoint http;
-  Status http_st = StartHttp(&http, http_port, &registry, &tracer, svc.get());
+  Status http_st =
+      StartHttp(&http, opts.http_port, &registry, &tracer, [backend_raw] {
+        return QueriesJson(backend_raw->ListQueries());
+      });
   if (!http_st.ok()) {
     std::fprintf(stderr, "http: %s\n", http_st.ToString().c_str());
     return 1;
   }
 
-  int listener = socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("socket");
-    return 1;
+  if (coord != nullptr) {
+    // Graceful drain, after subscriber flush and before close: barrier
+    // checkpoint the service, publishing every staged fence frame through
+    // the idempotent output log.
+    ft::CheckpointCoordinator* coord_raw = coord.get();
+    server.SetDrainHook([coord_raw, barrier_target] {
+      auto epoch = coord_raw->TriggerBarrierCheckpoint(barrier_target);
+      CQ_RETURN_NOT_OK(epoch.status());
+      CQ_RETURN_NOT_OK(coord_raw->WaitForEpoch(*epoch));
+      std::printf("drain checkpoint: epoch %llu durable\n",
+                  static_cast<unsigned long long>(*epoch));
+      return Status::OK();
+    });
   }
-  int one = 1;
-  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      listen(listener, 8) < 0) {
-    std::perror("bind/listen");
-    close(listener);
-    return 1;
-  }
-  std::printf("query_server listening on 127.0.0.1:%u\n", port);
 
-  // Clients are served one at a time; the service itself outlives every
-  // connection, so queries registered by one client keep running (and stay
-  // shareable) after it disconnects.
-  while (true) {
-    int fd = accept(listener, nullptr, nullptr);
-    if (fd < 0) continue;
-    std::printf("client connected\n");
-    ClientSession session(svc.get());
-    std::string line;
-    while (ReadFrame(fd, &line)) {
-      if (!session.Handle(line, fd)) break;
+  g_server = &server;
+  struct sigaction sa{};
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  std::printf("query_server listening on 127.0.0.1:%u (%zu shard%s, epoll "
+              "front door; SIGTERM drains gracefully)\n",
+              server.port(), opts.shards, opts.shards == 1 ? "" : "s");
+  std::fflush(stdout);
+  server.Run();
+  g_server = nullptr;
+
+  std::printf("drained: %zu quer%s still registered at shutdown\n",
+              backend->NumActiveQueries(),
+              backend->NumActiveQueries() == 1 ? "y" : "ies");
+  return 0;
+}
+
+/// Parses NAME:MAXQ:MAXBYTES:BPS[:BURST] ("*" as NAME = default quota).
+bool ParseTenantQuotaFlag(const std::string& spec,
+                          std::pair<std::string, net::TenantQuota>* out) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : spec) {
+    if (c == ':') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
     }
-    close(fd);
-    std::printf("client disconnected (%zu operators stay live)\n",
-                svc->NumOperators());
   }
+  parts.push_back(cur);
+  if (parts.size() < 4 || parts.size() > 5 || parts[0].empty()) return false;
+  try {
+    out->first = parts[0];
+    out->second.max_queries = std::stoull(parts[1]);
+    out->second.max_state_bytes = std::stoull(parts[2]);
+    out->second.egress_bytes_per_sec = std::stoull(parts[3]);
+    out->second.egress_burst_bytes =
+        parts.size() == 5 ? std::stoull(parts[4]) : 0;
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -733,16 +711,16 @@ int RunServer(uint16_t port, int http_port) {
 
 int main(int argc, char** argv) {
   bool serve = false;
-  uint16_t serve_port = 7878;
-  int http_port = -1;  // -1 = no observability endpoint
+  cq::ServeOptions opts;
   std::string checkpoint_dir;
   bool recover = false;
   size_t shards = 1;
+  int http_port = -1;  // -1 = no separate observability endpoint
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serve") == 0) {
       serve = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') {
-        serve_port = static_cast<uint16_t>(std::stoi(argv[++i]));
+        opts.port = static_cast<uint16_t>(std::stoi(argv[++i]));
       }
     } else if (std::strcmp(argv[i], "--http") == 0 && i + 1 < argc) {
       http_port = std::stoi(argv[++i]);
@@ -757,19 +735,34 @@ int main(int argc, char** argv) {
         return 2;
       }
       shards = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--tenant-quota") == 0 && i + 1 < argc) {
+      std::pair<std::string, cq::net::TenantQuota> quota;
+      if (!cq::ParseTenantQuotaFlag(argv[++i], &quota)) {
+        std::fprintf(stderr,
+                     "--tenant-quota wants NAME:MAXQ:MAXBYTES:BPS[:BURST]\n");
+        return 2;
+      }
+      opts.quotas.push_back(std::move(quota));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--serve [port]] [--http PORT] [--shards N] "
-                   "[--checkpoint-dir DIR [--recover]]\n",
+                   "[--checkpoint-dir DIR [--recover]] "
+                   "[--tenant-quota NAME:MAXQ:MAXBYTES:BPS[:BURST]]...\n",
                    argv[0]);
       return 2;
     }
   }
-  if (serve && shards > 1) {
-    std::fprintf(stderr, "--shards applies to the demo mode only\n");
+  if (!serve && !opts.quotas.empty()) {
+    std::fprintf(stderr, "--tenant-quota applies to serve mode only\n");
     return 2;
   }
-  if (serve) return cq::RunServer(serve_port, http_port);
+  if (serve) {
+    opts.http_port = http_port;
+    opts.shards = shards;
+    opts.checkpoint_dir = checkpoint_dir;
+    opts.recover = recover;
+    return cq::RunServer(opts);
+  }
   if (shards > 1) {
     return cq::RunShardedDemo(shards, checkpoint_dir, recover, http_port);
   }

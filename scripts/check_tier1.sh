@@ -17,11 +17,13 @@ query_server examples.
 --tsan builds with ThreadSanitizer (default build dir: build-tsan) and
 runs only the concurrent-runtime test binaries (channel, parallel
 pipeline, broker driver, the multi-query service whose subscribers
-drain concurrently, and the sharded pipeline whose exchanges fan
-batches and barriers across task threads) — the threaded core.
+drain concurrently, the sharded pipeline whose exchanges fan batches
+and barriers across task threads, and the epoll front door whose loop
+thread races client threads) — the threaded core.
 --asan builds with AddressSanitizer (default build dir: build-asan) and
 runs the state/durability test binaries (ft, kvstore, snapshot, queue)
-— the buffers and file framing the fault-tolerance layer serializes.
+plus the net frame/buffer parsing — the buffers and file framing the
+fault-tolerance and wire layers serialize.
 --ubsan builds with UndefinedBehaviorSanitizer (default build dir:
 build-ubsan) and runs the columnar/typed-kernel test binaries (types,
 columnar, expr, batch equivalence, window equivalence, aggregates) —
@@ -69,11 +71,12 @@ if [[ "$ASAN" == 1 ]]; then
 
   echo "== build (asan) =="
   cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
-    ft_test kvstore_test snapshot_test state_test queue_test parallel_test
+    ft_test kvstore_test snapshot_test state_test queue_test parallel_test \
+    net_test
 
-  echo "== ctest (asan: ft/state/durability) =="
+  echo "== ctest (asan: ft/state/durability + net framing) =="
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
-    -R 'ft_test|kvstore_test|snapshot_test|state_test|queue_test|parallel_test'
+    -R 'ft_test|kvstore_test|snapshot_test|state_test|queue_test|parallel_test|net_test'
 
   echo "tier-1 asan check: OK"
   exit 0
@@ -118,11 +121,11 @@ if [[ "$TSAN" == 1 ]]; then
   cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
     runtime_test parallel_test broker_driver_test executor_failure_test \
     batch_equivalence_test service_test graph_mutation_test \
-    shard_test shard_recovery_test
+    shard_test shard_recovery_test net_test
 
-  echo "== ctest (tsan: runtime/parallel/broker/service/shard) =="
+  echo "== ctest (tsan: runtime/parallel/broker/service/shard/net) =="
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
-    -R 'runtime_test|parallel_test|broker_driver_test|executor_failure_test|batch_equivalence_test|service_test|graph_mutation_test|shard_test|shard_recovery_test'
+    -R 'runtime_test|parallel_test|broker_driver_test|executor_failure_test|batch_equivalence_test|service_test|graph_mutation_test|shard_test|shard_recovery_test|net_test'
 
   echo "tier-1 tsan check: OK"
   exit 0
@@ -296,5 +299,85 @@ finally:
     proc.kill()
     proc.wait()
 EOF
+
+echo "== query_server smoke (epoll serve mode, SIGTERM drain) =="
+# Drive a query through the epoll front door, then SIGTERM the server: it
+# must stop accepting, flush subscribers, publish a drain checkpoint, and
+# exit 0. (net_test's DrainCheckpointThenRecoverContinuesWindows proves the
+# drained image recovers exactly; this guards the shipped binary's wiring.)
+QS_DRAIN_DIR="$(mktemp -d)"
+QS_BIN="$BUILD_DIR/examples/query_server" QS_DRAIN_DIR="$QS_DRAIN_DIR" \
+  python3 - <<'EOF'
+import os, signal, socket, struct, subprocess, sys, time
+
+def free_port():
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return port
+
+port = free_port()
+proc = subprocess.Popen(
+    [os.environ["QS_BIN"], "--serve", str(port),
+     "--checkpoint-dir", os.environ["QS_DRAIN_DIR"]],
+    stdout=subprocess.PIPE, text=True)
+try:
+    for _ in range(100):
+        try:
+            s = socket.create_connection(("127.0.0.1", port), timeout=0.2)
+            break
+        except OSError:
+            time.sleep(0.05)
+    else:
+        sys.exit("FAIL: query_server --serve never started listening")
+
+    def send(msg):
+        s.sendall(struct.pack(">I", len(msg)) + msg.encode())
+
+    def recv():
+        data = b""
+        while len(data) < 4:
+            chunk = s.recv(4 - len(data))
+            if not chunk:
+                sys.exit("FAIL: server closed connection")
+            data += chunk
+        n = struct.unpack(">I", data)[0]
+        body = b""
+        while len(body) < n:
+            chunk = s.recv(n - len(body))
+            if not chunk:
+                sys.exit("FAIL: short frame")
+            body += chunk
+        return body.decode()
+
+    def cmd(line):
+        send(line)
+        reply = recv()
+        if not reply.startswith("OK"):
+            sys.exit(f"FAIL: {line!r} -> {reply!r}")
+        return reply
+
+    cmd("STREAM trades sym:string,price:int64,qty:int64")
+    cmd("REGISTER SELECT sym, SUM(qty) AS total FROM trades [Range 100] "
+        "WHERE price > 10 GROUP BY sym")
+    cmd("PUSH trades 1 ACME,42,5")
+    cmd("WATERMARK trades 1")
+
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=30)
+    if proc.returncode != 0:
+        sys.exit(f"FAIL: drained server exited {proc.returncode}")
+    if "drain checkpoint:" not in out:
+        sys.exit(f"FAIL: no drain checkpoint in output:\n{out}")
+    if "drained:" not in out:
+        sys.exit(f"FAIL: no drain summary in output:\n{out}")
+    print("sigterm drain smoke: exit 0 with durable drain checkpoint")
+finally:
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait()
+EOF
+rm -rf "$QS_DRAIN_DIR"
 
 echo "tier-1 check: OK"

@@ -30,7 +30,7 @@ Status HttpEndpoint::Start(uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (bind(listener_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      listen(listener_, 8) < 0) {
+      listen(listener_, SOMAXCONN) < 0) {
     Status st = Status::IOError("bind/listen: " +
                                 std::string(strerror(errno)));
     close(listener_);
@@ -59,7 +59,17 @@ void HttpEndpoint::Stop() {
 void HttpEndpoint::AcceptLoop() {
   while (true) {
     int fd = accept(listener_, nullptr, nullptr);
-    if (fd < 0) return;  // listener closed by Stop()
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop()
+    }
+    // The endpoint serves one scraper at a time on this thread. A scraper
+    // that connects and then stops reading (or never sends a request) must
+    // not wedge the thread — bound every socket operation.
+    timeval timeout{};
+    timeout.tv_sec = 5;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
     ServeOne(fd);
     close(fd);
   }
@@ -72,6 +82,9 @@ void WriteAll(int fd, const std::string& data) {
   size_t len = data.size();
   while (len > 0) {
     ssize_t n = write(fd, p, len);
+    if (n < 0 && errno == EINTR) continue;
+    // A stalled peer trips SO_SNDTIMEO (EAGAIN) — abandon the response
+    // rather than block the accept thread forever.
     if (n <= 0) return;
     p += n;
     len -= static_cast<size_t>(n);

@@ -583,6 +583,24 @@ size_t QueryService::NumActiveQueriesLocked() const {
   return n;
 }
 
+Result<size_t> QueryService::QueryStateBytes(QueryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(id) +
+                            " is not registered");
+  }
+  size_t total = 0;
+  for (const std::string& fp : it->second.ref_order) {
+    auto sit = shared_.find(fp);
+    if (sit == shared_.end()) continue;
+    if (graph_->is_live(sit->second.node)) {
+      total += graph_->node(sit->second.node)->StateBytesApprox();
+    }
+  }
+  return total;
+}
+
 size_t QueryService::ApproxStateBytes() const {
   size_t total = 0;
   for (NodeId i = 0; i < graph_->num_nodes(); ++i) {

@@ -185,6 +185,14 @@ class QueryService : public ft::Checkpointable, public ft::BarrierInjectable {
   /// downstream — byte-identical across a checkpoint/restore cycle.
   Result<std::vector<std::string>> QueryFingerprints(QueryId id) const;
 
+  /// \brief Approximate resident state bytes attributed to one query: the
+  /// sum of StateBytesApprox over every node in its ref_order. A shared
+  /// node counts fully for each query referencing it (attribution, not a
+  /// partition of ApproxStateBytes) — the per-tenant admission quota in
+  /// src/net charges each tenant for the state its queries depend on,
+  /// shared or not.
+  Result<size_t> QueryStateBytes(QueryId id) const;
+
  private:
   /// One fingerprint-named node in the shared graph.
   struct SharedNode {

@@ -120,6 +120,18 @@ class ShardedQueryService : public ft::Checkpointable,
   /// \brief Records routed to shard `i` so far.
   uint64_t records_routed(size_t shard) const { return routed_[shard]; }
 
+  /// \brief Query state attributed across all replicas (the per-tenant
+  /// quota measurement: a query registers on every replica, so its resident
+  /// footprint is the sum of the per-replica footprints).
+  Result<size_t> QueryStateBytes(QueryId id) const {
+    size_t total = 0;
+    for (const auto& replica : replicas_) {
+      CQ_ASSIGN_OR_RETURN(size_t bytes, replica->QueryStateBytes(id));
+      total += bytes;
+    }
+    return total;
+  }
+
  private:
   struct StreamInfo {
     SchemaPtr schema;

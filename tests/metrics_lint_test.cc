@@ -7,6 +7,9 @@
 #include <vector>
 
 #include "dataflow/window_operator.h"
+#include "net/backend.h"
+#include "net/quotas.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "service/service.h"
 #include "shard/sharded_pipeline.h"
@@ -185,6 +188,47 @@ TEST(MetricsLintTest, ShardedServiceExpositionIsLintClean) {
             std::string::npos);
   EXPECT_NE(text.find("cq_shard_records_total{shard=\"1\"}"),
             std::string::npos);
+}
+
+/// The net front door's families — connection/frame counters, subscriber
+/// gauge, latency histograms, and the per-tenant quota series — must survive
+/// the same lint that guards the /metrics endpoint.
+TEST(MetricsLintTest, NetFrontDoorExpositionIsLintClean) {
+  MetricsRegistry registry;
+  ServiceConfig cfg;
+  cfg.metrics = &registry;
+  QueryService svc(TradesCatalog(), cfg);
+  net::LocalBackend backend(&svc);
+  net::TenantQuotas quotas(&registry);
+  net::TenantQuota quota;
+  quota.max_queries = 1;
+  quota.egress_bytes_per_sec = 64;
+  quotas.SetQuota("acme", quota);
+  net::ServerConfig sc;
+  sc.metrics = &registry;
+  sc.quotas = &quotas;
+  net::Server server(&backend, sc);
+  ASSERT_TRUE(server.Init().ok());
+
+  // Materialize every per-tenant series: one admission, one rejection, one
+  // granted and one throttled egress consult.
+  ASSERT_TRUE(quotas.AdmitQuery("acme", 0).ok());
+  EXPECT_FALSE(quotas.AdmitQuery("acme", 0).ok());
+  EXPECT_TRUE(quotas.TryConsumeEgress("acme", 64, 1));
+  EXPECT_FALSE(quotas.TryConsumeEgress("acme", 64, 2));
+
+  EXPECT_TRUE(registry.LintProblems().empty())
+      << registry.LintProblems().front();
+  std::string text = registry.ToText();
+  for (const char* family :
+       {"cq_net_connections", "cq_net_accepted_total", "cq_net_frames_total",
+        "cq_net_subscribers", "cq_net_evicted_total",
+        "cq_net_egress_bytes_total{tenant=\"acme\"}",
+        "cq_net_egress_throttled_total{tenant=\"acme\"}",
+        "cq_net_quota_rejected_total{tenant=\"acme\"}", "cq_net_accept_us",
+        "cq_net_read_us", "cq_net_write_us"}) {
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+  }
 }
 
 /// Every sample line of the text exposition must match the Prometheus data

@@ -1,0 +1,791 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ft/coordinator.h"
+#include "ft/fence.h"
+#include "ft/recovery.h"
+#include "ft/snapshot_store.h"
+#include "net/backend.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/quotas.h"
+#include "net/server.h"
+#include "service/service.h"
+
+namespace cq::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ScratchDir(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("cq_net_" + tag + "_" + std::to_string(getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+SchemaPtr TradesSchema() {
+  return Schema::Make({{"sym", ValueType::kString},
+                       {"price", ValueType::kInt64},
+                       {"qty", ValueType::kInt64}});
+}
+
+Tuple Trade(const char* sym, int64_t price, int64_t qty) {
+  return Tuple{Value(sym), Value(price), Value(qty)};
+}
+
+// --- Framing ----------------------------------------------------------------
+
+TEST(FrameReaderTest, ReassemblesFramesFromArbitrarySplits) {
+  const std::string wire =
+      EncodeFrame("first") + EncodeFrame("") + EncodeFrame("third frame");
+  // Feed one byte at a time: every header and payload boundary is torn.
+  FrameReader reader;
+  std::vector<std::string> got;
+  for (char c : wire) {
+    reader.Append(std::string_view(&c, 1));
+    std::string frame;
+    while (true) {
+      auto next = reader.Next(&frame);
+      ASSERT_TRUE(next.ok());
+      if (!*next) break;
+      got.push_back(frame);
+    }
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "first");
+  EXPECT_EQ(got[1], "");
+  EXPECT_EQ(got[2], "third frame");
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(FrameReaderTest, ManyFramesInOneAppend) {
+  std::string wire;
+  for (int i = 0; i < 100; ++i) wire += EncodeFrame("payload " + std::to_string(i));
+  FrameReader reader;
+  reader.Append(wire);
+  std::string frame;
+  int n = 0;
+  while (true) {
+    auto next = reader.Next(&frame);
+    ASSERT_TRUE(next.ok());
+    if (!*next) break;
+    EXPECT_EQ(frame, "payload " + std::to_string(n));
+    ++n;
+  }
+  EXPECT_EQ(n, 100);
+}
+
+TEST(FrameReaderTest, OversizedFrameIsAProtocolError) {
+  FrameReader reader;
+  uint32_t huge = htonl(kMaxFrameBytes + 1);
+  reader.Append(std::string_view(reinterpret_cast<const char*>(&huge), 4));
+  std::string frame;
+  auto next = reader.Next(&frame);
+  EXPECT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameReaderTest, HttpGetDecodesAsOversized) {
+  // "GET " as a big-endian length is ~1.2 GB — the sniffing in the server
+  // relies on an HTTP request line never being a valid frame header.
+  FrameReader reader;
+  reader.Append("GET /metrics HTTP/1.1\r\n");
+  std::string frame;
+  auto next = reader.Next(&frame);
+  EXPECT_FALSE(next.ok());
+}
+
+TEST(WriteBufferTest, PartialWritesResumeWhereTheyStopped) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds), 0);
+  int sndbuf = 4096;
+  setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+
+  WriteBuffer wbuf;
+  const std::string frame = EncodeFrame(std::string(100'000, 'x'));
+  wbuf.Append(frame);
+  ASSERT_EQ(wbuf.size(), frame.size());
+
+  // The tiny send buffer fills before the frame completes.
+  bool would_block = false;
+  ASSERT_TRUE(wbuf.FlushTo(fds[0], &would_block).ok());
+  ASSERT_TRUE(would_block);
+  ASSERT_GT(wbuf.size(), 0u);
+
+  // Drain the peer and re-flush until everything shipped.
+  std::string received;
+  char buf[8192];
+  while (!wbuf.empty()) {
+    ssize_t n = read(fds[1], buf, sizeof(buf));
+    if (n > 0) received.append(buf, static_cast<size_t>(n));
+    ASSERT_TRUE(wbuf.FlushTo(fds[0], &would_block).ok());
+  }
+  ssize_t n;
+  while ((n = read(fds[1], buf, sizeof(buf))) > 0) {
+    received.append(buf, static_cast<size_t>(n));
+  }
+  EXPECT_EQ(received, frame);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+// --- Tenant quotas ----------------------------------------------------------
+
+TEST(TenantQuotasTest, QueryCountAdmission) {
+  TenantQuotas quotas;
+  quotas.SetQuota("acme", {.max_queries = 2});
+  EXPECT_TRUE(quotas.AdmitQuery("acme", 0).ok());
+  EXPECT_TRUE(quotas.AdmitQuery("acme", 0).ok());
+  Status third = quotas.AdmitQuery("acme", 0);
+  EXPECT_EQ(third.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(quotas.ActiveQueries("acme"), 2u);
+  // Another tenant is unaffected.
+  EXPECT_TRUE(quotas.AdmitQuery("globex", 0).ok());
+  // DROP releases the slot and admission recovers.
+  quotas.ReleaseQuery("acme");
+  EXPECT_TRUE(quotas.AdmitQuery("acme", 0).ok());
+}
+
+TEST(TenantQuotasTest, StateBytesAdmission) {
+  TenantQuotas quotas;
+  quotas.SetQuota("acme", {.max_state_bytes = 1000});
+  EXPECT_TRUE(quotas.AdmitQuery("acme", 999).ok());
+  EXPECT_EQ(quotas.AdmitQuery("acme", 1000).code(), StatusCode::kOutOfRange);
+}
+
+TEST(TenantQuotasTest, TokenBucketRefillsOnManualClock) {
+  TenantQuotas quotas;
+  quotas.SetQuota("acme",
+                  {.egress_bytes_per_sec = 1000, .egress_burst_bytes = 500});
+  // The bucket starts full (one burst) and runs dry.
+  EXPECT_TRUE(quotas.TryConsumeEgress("acme", 500, 0));
+  EXPECT_FALSE(quotas.TryConsumeEgress("acme", 1, 0));
+  EXPECT_EQ(quotas.ThrottledCount("acme"), 1u);
+  // 100 ms at 1000 B/s refills 100 tokens — not 101.
+  const int64_t t1 = 100'000'000;
+  EXPECT_TRUE(quotas.TryConsumeEgress("acme", 100, t1));
+  EXPECT_FALSE(quotas.TryConsumeEgress("acme", 1, t1));
+  // Refill clamps at the burst no matter how long the tenant idles.
+  const int64_t t2 = t1 + 3'600'000'000'000;
+  EXPECT_TRUE(quotas.TryConsumeEgress("acme", 500, t2));
+  EXPECT_FALSE(quotas.TryConsumeEgress("acme", 1, t2));
+  EXPECT_EQ(quotas.EgressGranted("acme"), 1100u);
+}
+
+TEST(TenantQuotasTest, DefaultQuotaCoversUnconfiguredTenants) {
+  TenantQuotas quotas;
+  quotas.SetDefaultQuota({.max_queries = 1});
+  EXPECT_TRUE(quotas.AdmitQuery("anyone", 0).ok());
+  EXPECT_EQ(quotas.AdmitQuery("anyone", 0).code(), StatusCode::kOutOfRange);
+  // An explicit quota overrides the default.
+  quotas.SetQuota("vip", {.max_queries = 0});
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(quotas.AdmitQuery("vip", 0).ok());
+}
+
+TEST(TenantQuotasTest, UnlimitedTenantNeverThrottles) {
+  TenantQuotas quotas;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(quotas.TryConsumeEgress("free", 1 << 20, 0));
+  }
+  EXPECT_EQ(quotas.ThrottledCount("free"), 0u);
+}
+
+// --- Event loop -------------------------------------------------------------
+
+TEST(EventLoopTest, DispatchesReadinessAndWakeTokens) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Init().ok());
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  std::string read_back;
+  ASSERT_TRUE(loop.Add(fds[0], EPOLLIN,
+                       [&](uint32_t) {
+                         char buf[64];
+                         ssize_t n = read(fds[0], buf, sizeof(buf));
+                         if (n > 0) read_back.append(buf, size_t(n));
+                       })
+                  .ok());
+  uint64_t tokens_seen = 0;
+  loop.SetWakeHandler([&](uint64_t tokens) {
+    tokens_seen = tokens;
+    loop.Stop();
+  });
+
+  ASSERT_EQ(write(fds[1], "ping", 4), 4);
+  std::thread waker([&loop] {
+    // Two wakes before the handler runs coalesce into one delivery.
+    loop.Wake(1);
+    loop.Wake(2);
+  });
+  loop.Run(/*tick_ms=*/10, nullptr);
+  waker.join();
+  EXPECT_EQ(read_back, "ping");
+  EXPECT_EQ(tokens_seen, 3u);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(EventLoopTest, TickRunsWithoutAnyIo) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Init().ok());
+  int ticks = 0;
+  loop.Run(/*tick_ms=*/1, [&] {
+    if (++ticks >= 3) loop.Stop();
+  });
+  EXPECT_GE(ticks, 3);
+}
+
+// --- Subscriber mux ---------------------------------------------------------
+
+/// A sink whose consumer never drains: PendingBytes() grows with every
+/// Deliver (plus an optional artificial backlog) — the shape of a stalled
+/// TCP peer without any sockets.
+class MockSink : public MuxSink {
+ public:
+  bool Deliver(std::string_view wire) override {
+    delivered.push_back(std::string(wire));
+    pending += wire.size();
+    return true;
+  }
+  size_t PendingBytes() const override { return pending + extra_backlog; }
+
+  std::vector<std::string> delivered;
+  size_t pending = 0;
+  size_t extra_backlog = 0;
+};
+
+struct MuxRig {
+  MuxRig() : svc(Catalog{}, ServiceConfig{}) {
+    EXPECT_TRUE(svc.RegisterStream("trades", TradesSchema()).ok());
+    auto id = svc.RegisterQuery(
+        "SELECT sym, price FROM trades [Range 100] WHERE price > 10");
+    EXPECT_TRUE(id.ok());
+    query = *id;
+  }
+
+  /// One passing record + watermark = one flushed output batch.
+  void PushOne(Timestamp ts) {
+    ASSERT_TRUE(svc.PushRecord("trades", Trade("ACME", 42, 1), ts).ok());
+    ASSERT_TRUE(svc.PushWatermark("trades", ts).ok());
+  }
+
+  QueryService svc;
+  cq::QueryId query = 0;
+};
+
+TEST(SubscriberMuxTest, DeliversFramesWithSidPrefix) {
+  MuxRig rig;
+  LocalBackend backend(&rig.svc);
+  SubscriberMux mux(MuxConfig{});
+  MockSink sink;
+  auto feed = backend.Subscribe(rig.query);
+  ASSERT_TRUE(feed.ok());
+  mux.Add(/*sid=*/7, "default", std::move(*feed), &sink);
+
+  rig.PushOne(1);
+  EXPECT_EQ(mux.Pump(/*now_ns=*/0), 1u);
+  ASSERT_EQ(sink.delivered.size(), 1u);
+  // Wire bytes: length prefix + "DATA <sid> t=<ts> <tuple>".
+  EXPECT_NE(sink.delivered[0].find("DATA 7 t=1 ('ACME', 42)"),
+            std::string::npos);
+}
+
+TEST(SubscriberMuxTest, ThrottledTenantIsPacedNotEvicted) {
+  MuxRig rig;
+  LocalBackend backend(&rig.svc);
+  TenantQuotas quotas;
+  // Budget fits roughly one frame per second: frames are ~40 wire bytes.
+  quotas.SetQuota("acme",
+                  {.egress_bytes_per_sec = 50, .egress_burst_bytes = 50});
+  MuxConfig config;
+  config.quotas = &quotas;
+  SubscriberMux mux(config);
+  MockSink sink;
+  auto feed = backend.Subscribe(rig.query);
+  ASSERT_TRUE(feed.ok());
+  mux.Add(1, "acme", std::move(*feed), &sink);
+
+  for (Timestamp ts = 1; ts <= 5; ++ts) rig.PushOne(ts);
+  size_t first = mux.Pump(/*now_ns=*/0);
+  EXPECT_GE(first, 1u);
+  EXPECT_LT(first, 5u);  // the bucket ran dry mid-backlog
+  EXPECT_GT(quotas.ThrottledCount("acme"), 0u);
+
+  // Over quota means *paced*: the entry stays, nothing is evicted, and the
+  // backlog drains as the bucket refills.
+  EXPECT_EQ(mux.NumEntries(), 1u);
+  EXPECT_EQ(mux.num_evicted(), 0u);
+  size_t total = first;
+  int64_t now = 0;
+  for (int s = 1; s <= 10 && total < 5; ++s) {
+    now = int64_t(s) * 1'000'000'000;
+    total += mux.Pump(now);
+  }
+  EXPECT_EQ(total, 5u);
+  EXPECT_EQ(mux.num_evicted(), 0u);
+  EXPECT_EQ(mux.NumEntries(), 1u);
+}
+
+TEST(SubscriberMuxTest, SlowConsumerEvictedAfterGraceAndRefsReleased) {
+  MetricsRegistry registry;
+  ServiceConfig svc_config;
+  svc_config.metrics = &registry;
+  QueryService svc(Catalog{}, svc_config);
+  ASSERT_TRUE(svc.RegisterStream("trades", TradesSchema()).ok());
+  auto query = svc.RegisterQuery(
+      "SELECT sym, price FROM trades [Range 100] WHERE price > 10");
+  ASSERT_TRUE(query.ok());
+  LocalBackend backend(&svc);
+
+  MuxConfig config;
+  config.write_high_watermark = 64;
+  config.eviction_grace_ns = 1000;
+  config.metrics = &registry;
+  SubscriberMux mux(config);
+  MockSink sink;
+  sink.extra_backlog = 1 << 20;  // permanently over the watermark
+  auto feed = backend.Subscribe(*query);
+  ASSERT_TRUE(feed.ok());
+  mux.Add(1, "default", std::move(*feed), &sink);
+  std::vector<MuxSink*> evicted;
+  mux.SetEvictHandler([&](MuxSink* s) {
+    evicted.push_back(s);
+    mux.RemoveSink(s);
+  });
+  ASSERT_EQ(svc.ListQueries()[0].num_subscriptions, 1u);
+
+  // While the sink is backed up the mux must not copy: batches pile into
+  // the bounded subscription channel and overflow there, counted.
+  for (Timestamp ts = 1; ts <= 80; ++ts) {
+    ASSERT_TRUE(svc.PushRecord("trades", Trade("ACME", 42, 1), ts).ok());
+    ASSERT_TRUE(svc.PushWatermark("trades", ts).ok());
+  }
+  EXPECT_EQ(mux.Pump(/*now_ns=*/0), 0u);     // marks the sink over-watermark
+  EXPECT_EQ(mux.Pump(/*now_ns=*/500), 0u);   // still inside the grace
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(mux.Pump(/*now_ns=*/2000), 0u);  // grace expired
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], &sink);
+  EXPECT_EQ(mux.NumEntries(), 0u);
+  EXPECT_EQ(mux.num_evicted(), 1u);
+  EXPECT_TRUE(sink.delivered.empty());
+
+  // The channel overflow was accounted against the query.
+  std::string dump = registry.Dump(MetricsFormat::kText);
+  size_t at = dump.find("cq_query_dropped_pushes_total");
+  ASSERT_NE(at, std::string::npos) << dump;
+  size_t eol = dump.find('\n', at);
+  std::string line = dump.substr(at, eol - at);
+  EXPECT_EQ(line.find(" 0"), std::string::npos) << line;
+
+  // Eviction cancelled the feed; the sink operator garbage collects the
+  // subscription on its next flush, releasing the channel refcount.
+  ASSERT_TRUE(svc.PushRecord("trades", Trade("ACME", 42, 1), 81).ok());
+  ASSERT_TRUE(svc.PushWatermark("trades", 81).ok());
+  EXPECT_EQ(svc.ListQueries()[0].num_subscriptions, 0u);
+}
+
+TEST(SubscriberMuxTest, DroppedQueryEmitsClosedFrameThenEntryRetires) {
+  MuxRig rig;
+  LocalBackend backend(&rig.svc);
+  SubscriberMux mux(MuxConfig{});
+  MockSink sink;
+  auto feed = backend.Subscribe(rig.query);
+  ASSERT_TRUE(feed.ok());
+  mux.Add(3, "default", std::move(*feed), &sink);
+
+  rig.PushOne(1);
+  ASSERT_TRUE(rig.svc.DropQuery(rig.query).ok());
+  mux.Pump(/*now_ns=*/0);
+  ASSERT_GE(sink.delivered.size(), 1u);
+  EXPECT_NE(sink.delivered.back().find("CLOSED 3"), std::string::npos);
+  EXPECT_EQ(mux.NumEntries(), 0u);
+}
+
+// --- Server end-to-end ------------------------------------------------------
+
+/// Blocking protocol client for driving a live server.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    struct timeval tv{.tv_sec = 10, .tv_usec = 0};
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0)
+        << strerror(errno);
+  }
+  ~TestClient() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  void Send(const std::string& payload) {
+    std::string wire = EncodeFrame(payload);
+    ASSERT_EQ(write(fd_, wire.data(), wire.size()),
+              static_cast<ssize_t>(wire.size()));
+  }
+
+  std::string Recv() {
+    std::string hdr = ReadExactly(4);
+    if (hdr.size() < 4) return "<eof>";
+    uint32_t len;
+    memcpy(&len, hdr.data(), 4);
+    return ReadExactly(ntohl(len));
+  }
+
+  /// Request/response in one call.
+  std::string Cmd(const std::string& payload) {
+    Send(payload);
+    return Recv();
+  }
+
+  std::string ReadExactly(size_t n) {
+    std::string out;
+    while (out.size() < n) {
+      char buf[4096];
+      ssize_t got = read(fd_, buf, std::min(n - out.size(), sizeof(buf)));
+      if (got <= 0) break;
+      out.append(buf, static_cast<size_t>(got));
+    }
+    return out;
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+struct ServerRig {
+  explicit ServerRig(ServerConfig config = {})
+      : svc(Catalog{},
+            [this] {
+              ServiceConfig c;
+              c.metrics = &registry;
+              return c;
+            }()),
+        backend(&svc),
+        quotas(&registry) {
+    config.metrics = &registry;
+    if (config.quotas == nullptr) config.quotas = &quotas;
+    config.tick_ms = 1;
+    server = std::make_unique<Server>(&backend, config);
+    server->AddHttpRoute("/metrics", "text/plain; version=0.0.4",
+                         [this] { return registry.Dump(MetricsFormat::kText); });
+    EXPECT_TRUE(server->Init().ok());
+    thread = std::thread([this] { server->Run(); });
+  }
+
+  ~ServerRig() {
+    if (thread.joinable()) {
+      server->ShutdownAsync();
+      thread.join();
+    }
+  }
+
+  void Join() {
+    thread.join();
+  }
+
+  MetricsRegistry registry;
+  QueryService svc;
+  LocalBackend backend;
+  TenantQuotas quotas;
+  std::unique_ptr<Server> server;
+  std::thread thread;
+};
+
+TEST(NetServerTest, ProtocolRoundTripWithPollAndPush) {
+  ServerRig rig;
+  TestClient client(rig.server->port());
+
+  EXPECT_EQ(client.Cmd("STREAM trades sym:string,price:int64,qty:int64"),
+            "OK");
+  std::string reg = client.Cmd(
+      "REGISTER SELECT sym, price FROM trades [Range 100] WHERE price > 10");
+  ASSERT_EQ(reg, "OK id=1");
+  EXPECT_EQ(client.Cmd("SUBSCRIBE 1"), "OK sub=1");
+  EXPECT_EQ(client.Cmd("LISTEN 1"), "OK sub=2 push");
+  EXPECT_EQ(client.Cmd("PUSH trades 1 ACME,42,5"), "OK");
+  EXPECT_EQ(client.Cmd("PUSH trades 2 ACME,7,1"), "OK");
+  EXPECT_EQ(client.Cmd("WATERMARK trades 5"), "OK");
+
+  // Both feeds carry the one passing record: the push-mode frame arrives
+  // unpolled (sid-tagged), the poll-mode one on request. Order between the
+  // POLL reply and the pushed frame is not fixed — collect until both seen.
+  client.Send("POLL 1");
+  bool pushed = false, polled = false, ok_tail = false;
+  for (int i = 0; i < 4 && !(pushed && polled && ok_tail); ++i) {
+    std::string frame = client.Recv();
+    if (frame.rfind("DATA 2 ", 0) == 0) {
+      EXPECT_NE(frame.find("t=5 ('ACME', 42)"), std::string::npos) << frame;
+      pushed = true;
+    } else if (frame.rfind("DATA t=", 0) == 0) {
+      polled = true;
+    } else if (frame.rfind("OK n=1", 0) == 0) {
+      ok_tail = true;
+    } else {
+      FAIL() << "unexpected frame: " << frame;
+    }
+  }
+  EXPECT_TRUE(pushed);
+  EXPECT_TRUE(polled);
+  EXPECT_TRUE(ok_tail);
+
+  // Errors keep the connection alive.
+  EXPECT_EQ(client.Cmd("BOGUS").rfind("ERR", 0), 0u);
+  std::string stats = client.Cmd("STATS");
+  EXPECT_NE(stats.find("active_queries=1"), std::string::npos) << stats;
+  EXPECT_EQ(client.Cmd("QUIT"), "OK bye");
+}
+
+TEST(NetServerTest, TenantQueryQuotaRejectsAtTheCap) {
+  ServerRig rig;
+  rig.quotas.SetQuota("acme", {.max_queries = 1});
+  TestClient client(rig.server->port());
+  ASSERT_EQ(client.Cmd("STREAM trades sym:string,price:int64,qty:int64"),
+            "OK");
+  EXPECT_EQ(client.Cmd("TENANT acme"), "OK tenant=acme");
+  EXPECT_EQ(client.Cmd("REGISTER SELECT sym FROM trades [Rows 4]"), "OK id=1");
+  std::string second =
+      client.Cmd("REGISTER SELECT price FROM trades [Rows 4]");
+  EXPECT_EQ(second.rfind("ERR", 0), 0u) << second;
+  EXPECT_NE(second.find("quota"), std::string::npos) << second;
+  // DROP releases the tenant's slot.
+  EXPECT_EQ(client.Cmd("DROP 1"), "OK");
+  EXPECT_EQ(client.Cmd("REGISTER SELECT price FROM trades [Rows 4]"),
+            "OK id=2");
+}
+
+TEST(NetServerTest, HttpGetServedFromTheSameLoop) {
+  ServerRig rig;
+  // Touch the protocol first so metrics families exist.
+  TestClient proto(rig.server->port());
+  ASSERT_EQ(proto.Cmd("STREAM trades sym:string,price:int64,qty:int64"), "OK");
+
+  TestClient http(rig.server->port());
+  std::string req = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(write(http.fd(), req.data(), req.size()),
+            static_cast<ssize_t>(req.size()));
+  std::string resp = http.ReadExactly(1 << 20);  // server closes after
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("text/plain"), std::string::npos);
+  EXPECT_NE(resp.find("cq_net_connections"), std::string::npos);
+
+  TestClient notfound(rig.server->port());
+  req = "GET /nope HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(write(notfound.fd(), req.data(), req.size()),
+            static_cast<ssize_t>(req.size()));
+  EXPECT_NE(notfound.ReadExactly(1 << 20).find("404"), std::string::npos);
+}
+
+TEST(NetServerTest, SlowConsumerEvictionClosesTheConnection) {
+  ServerConfig config;
+  config.write_high_watermark = 1024;
+  config.eviction_grace_ms = 50;
+  // Bound the kernel send queue, else autotuned socket buffers absorb
+  // megabytes before the user-space backlog ever crosses the watermark.
+  config.so_sndbuf = 4096;
+  ServerRig rig(config);
+
+  TestClient driver(rig.server->port());
+  ASSERT_EQ(driver.Cmd("STREAM trades sym:string,price:int64,qty:int64"),
+            "OK");
+  ASSERT_EQ(driver.Cmd("REGISTER SELECT sym, price, qty FROM trades "
+                       "[Range 1000000] WHERE price > 10"),
+            "OK id=1");
+
+  // The victim LISTENs and then never reads. Shrink its kernel-side window
+  // so the server's write buffer backs up fast.
+  TestClient victim(rig.server->port());
+  int tiny = 1;
+  setsockopt(victim.fd(), SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  ASSERT_EQ(victim.Cmd("LISTEN 1"), "OK sub=1 push");
+
+  // Firehose enough output to overwhelm the victim's unread socket: wide
+  // rows so the kernel's send buffer fills and the server-side write
+  // backlog climbs past the watermark.
+  const std::string payload(8'000, 'z');
+  for (int ts = 1; ts <= 100 && rig.server->mux()->num_evicted() == 0; ++ts) {
+    ASSERT_EQ(driver.Cmd("PUSH trades " + std::to_string(ts) + " " + payload +
+                         ",42,1"),
+              "OK");
+    ASSERT_EQ(driver.Cmd("WATERMARK trades " + std::to_string(ts)), "OK");
+  }
+
+  // The mux pump runs on the loop tick; wait for the eviction to land.
+  for (int i = 0; i < 500 && rig.server->mux()->num_evicted() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(rig.server->mux()->num_evicted(), 0u);
+  EXPECT_EQ(rig.server->mux()->NumEntries(), 0u);
+
+  // The victim's socket was closed by the server (EOF, or RST since the
+  // close dropped unread bytes).
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(victim.fd(), buf, sizeof(buf))) > 0) {
+  }
+  EXPECT_TRUE(n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK))
+      << strerror(errno);
+
+  // …the driver survives, and the subscription refcount released once the
+  // sink flushed again.
+  ASSERT_EQ(driver.Cmd("PUSH trades 9999 ACME,42,1"), "OK");
+  ASSERT_EQ(driver.Cmd("WATERMARK trades 9999"), "OK");
+  EXPECT_EQ(rig.svc.ListQueries()[0].num_subscriptions, 0u);
+  std::string dump = rig.registry.Dump(MetricsFormat::kText);
+  EXPECT_NE(dump.find("cq_net_evicted_total"), std::string::npos);
+}
+
+TEST(NetServerTest, GracefulDrainFlushesSubscribersBeforeClosing) {
+  ServerRig rig;
+  TestClient client(rig.server->port());
+  ASSERT_EQ(client.Cmd("STREAM trades sym:string,price:int64,qty:int64"),
+            "OK");
+  ASSERT_EQ(client.Cmd(
+                "REGISTER SELECT sym, price FROM trades [Range 100] "
+                "WHERE price > 10"),
+            "OK id=1");
+  ASSERT_EQ(client.Cmd("LISTEN 1"), "OK sub=1 push");
+  ASSERT_EQ(client.Cmd("PUSH trades 1 ACME,42,5"), "OK");
+  ASSERT_EQ(client.Cmd("WATERMARK trades 1"), "OK");
+
+  std::atomic<bool> hook_ran{false};
+  rig.server->SetDrainHook([&hook_ran] {
+    hook_ran = true;
+    return Status::OK();
+  });
+  rig.server->ShutdownAsync();
+  rig.Join();
+  EXPECT_TRUE(hook_ran);
+
+  // Every result the query produced reached the wire before the close: the
+  // push frame, then EOF.
+  std::string frame = client.Recv();
+  EXPECT_NE(frame.find("DATA 1 t=1 ('ACME', 42)"), std::string::npos)
+      << frame;
+  char buf[64];
+  EXPECT_EQ(read(client.fd(), buf, sizeof(buf)), 0);
+}
+
+/// The serve-mode durability contract, in the style of
+/// service_recovery_test: a server that drains on shutdown loses nothing —
+/// a fresh process recovering from its checkpoint continues the windows
+/// exactly, and every staged fence frame was published.
+TEST(NetServerTest, DrainCheckpointThenRecoverContinuesWindows) {
+  const std::string dir = ScratchDir("drain");
+
+  // --- Life 1: serve, ingest the first act, SIGTERM-style drain. ----------
+  {
+    ft::DurableOutputLog log(dir + "/out");
+    ASSERT_TRUE(log.Init().ok());
+    ft::SnapshotStore store(dir + "/snap");
+    ASSERT_TRUE(store.Init().ok());
+
+    QueryService svc(Catalog{}, ServiceConfig{});
+    svc.SetDurableOutputLog(&log);
+    ft::CheckpointCoordinator coord(&svc, &store);
+    coord.SetOutputLog(&log);
+    coord.SetWatermarkFn([] { return Timestamp{0}; });
+    svc.SetBarrierHandler(coord.Handler(svc.BarrierFanIn()));
+
+    LocalBackend backend(&svc);
+    Server server(&backend, ServerConfig{});
+    server.SetDrainHook([&] {
+      CQ_ASSIGN_OR_RETURN(uint64_t epoch, coord.TriggerBarrierCheckpoint(&svc));
+      return coord.WaitForEpoch(epoch);
+    });
+    ASSERT_TRUE(server.Init().ok());
+    std::thread loop([&server] { server.Run(); });
+
+    TestClient client(server.port());
+    ASSERT_EQ(client.Cmd("STREAM trades sym:string,price:int64,qty:int64"),
+              "OK");
+    ASSERT_EQ(client.Cmd("REGISTER SELECT sym, SUM(qty) AS total FROM trades "
+                         "[Range 100] WHERE price > 10 GROUP BY sym"),
+              "OK id=1");
+    const char* acts[] = {"1 ACME,12,100", "2 ACME,8,50",  "3 GLOBEX,40,10",
+                          "4 ACME,15,30",  "5 GLOBEX,9,99", "6 GLOBEX,41,5"};
+    for (const char* act : acts) {
+      ASSERT_EQ(client.Cmd(std::string("PUSH trades ") + act), "OK");
+      ASSERT_EQ(client.Cmd("WATERMARK trades " +
+                           std::string(act).substr(0, 1)),
+                "OK");
+    }
+    server.ShutdownAsync();
+    loop.join();
+  }
+
+  // The drain checkpoint published the staged fence frames: all four
+  // passing records' aggregate outputs, none lost.
+  ft::DurableOutputLog reader(dir + "/out");
+  auto published = reader.ReadAll();
+  ASSERT_TRUE(published.ok());
+  EXPECT_EQ(published->size(), 4u);
+
+  // --- Life 2: recover and stream the second act. --------------------------
+  {
+    ft::DurableOutputLog log(dir + "/out");
+    ASSERT_TRUE(log.Init().ok());
+    ft::SnapshotStore store(dir + "/snap");
+    ASSERT_TRUE(store.Init().ok());
+    QueryService svc(Catalog{}, ServiceConfig{});
+    svc.SetDurableOutputLog(&log);
+    ft::RecoveryManager recovery(&store);
+    recovery.SetOutputLog(&log);
+    auto report = recovery.Recover(&svc, nullptr);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ASSERT_TRUE(report->restored);
+    ASSERT_EQ(svc.NumActiveQueries(), 1u);
+
+    auto sub = svc.Subscribe(svc.ListQueries()[0].id);
+    ASSERT_TRUE(sub.ok());
+    ASSERT_TRUE(svc.PushRecord("trades", Trade("ACME", 20, 7), 7).ok());
+    ASSERT_TRUE(svc.PushWatermark("trades", 7).ok());
+
+    // ACME totalled 130 before the drain (100 + 30); the restored window
+    // carries that into the second act: 130 + 7 = 137.
+    std::vector<std::string> rows;
+    StreamBatch batch;
+    while ((*sub)->TryPoll(&batch)) {
+      for (const auto& e : batch) {
+        if (e.is_record()) rows.push_back(e.tuple.ToString());
+      }
+    }
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0], "('ACME', 137)");
+  }
+  fs::remove_all(dir);
+}
+
+TEST(NetServerTest, ShardKeyOnLocalBackendIsRejected) {
+  ServerRig rig;
+  TestClient client(rig.server->port());
+  std::string resp =
+      client.Cmd("STREAM trades sym:string,price:int64,qty:int64 key=sym");
+  EXPECT_EQ(resp.rfind("ERR", 0), 0u) << resp;
+  EXPECT_NE(resp.find("--shards"), std::string::npos) << resp;
+}
+
+}  // namespace
+}  // namespace cq::net
