@@ -44,6 +44,11 @@ Status EventLoop::Add(int fd, uint32_t events, FdCallback cb) {
     return Status::IOError("epoll_ctl(add): " + std::string(strerror(errno)));
   }
   callbacks_[fd] = std::move(cb);
+  // A registration made while dispatching can only mean the kernel recycled
+  // a number closed earlier in the same round; any event still queued for
+  // that number belongs to the old fd and must not reach the new callback
+  // (an old EPOLLHUP would close a freshly accepted connection).
+  if (in_dispatch_) added_this_round_.insert(fd);
   return Status::OK();
 }
 
@@ -61,9 +66,9 @@ void EventLoop::Remove(int fd) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   // A still-queued event for this fd in the current dispatch round finds no
   // callback and is dropped. If the kernel reuses the number for a
-  // connection accepted in the same round, a stale event can reach the new
-  // callback — harmless, because every handler re-checks readiness with
-  // non-blocking syscalls and treats EAGAIN as "nothing to do".
+  // connection accepted in the same round, Add marks it and the dispatch
+  // loop suppresses the stale event (handlers are not readiness-safe
+  // against foreign events: EPOLLHUP closes unconditionally).
   callbacks_.erase(fd);
 }
 
@@ -84,6 +89,8 @@ void EventLoop::Run(int tick_ms, const std::function<void()>& tick) {
       if (errno == EINTR) continue;
       break;  // fatal epoll failure: leave Run rather than spin
     }
+    in_dispatch_ = true;
+    added_this_round_.clear();
     for (int i = 0; i < n && running_; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_) {
@@ -96,11 +103,15 @@ void EventLoop::Run(int tick_ms, const std::function<void()>& tick) {
       }
       auto it = callbacks_.find(fd);
       if (it == callbacks_.end()) continue;  // removed earlier this round
+      if (added_this_round_.count(fd) != 0) {
+        continue;  // stale event for a number recycled mid-round
+      }
       // Copy: the callback may Remove(fd) (connection teardown) and
       // invalidate the map entry under itself.
       FdCallback cb = it->second;
       cb(events[i].events);
     }
+    in_dispatch_ = false;
     if (running_ && tick) tick();
   }
 }

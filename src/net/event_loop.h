@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 
 #include "common/status.h"
 
@@ -78,6 +79,11 @@ class EventLoop {
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   bool running_ = false;
+  bool in_dispatch_ = false;
+  /// Fds registered while dispatching the current epoll_wait batch: the
+  /// kernel recycled a number closed earlier in the round, so any event
+  /// still queued under it is for the *old* fd and is suppressed.
+  std::set<int> added_this_round_;
   std::map<int, FdCallback> callbacks_;
   std::function<void(uint64_t)> wake_handler_;
 };

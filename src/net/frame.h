@@ -59,6 +59,12 @@ class FrameReader {
     return std::string_view(buf_).substr(pos_);
   }
 
+  /// \brief Drops all buffered bytes (connection teardown / rejected input).
+  void Clear() {
+    buf_.clear();
+    pos_ = 0;
+  }
+
  private:
   std::string buf_;
   size_t pos_ = 0;  // consumed prefix; compacted once it outgrows the tail

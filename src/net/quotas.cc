@@ -87,7 +87,14 @@ bool TenantQuotas::TryConsumeEgress(const std::string& tenant, uint64_t bytes,
                                 static_cast<double>(q.egress_bytes_per_sec));
   }
   ts->refill_ns = now_ns;
-  if (ts->tokens < static_cast<double>(bytes)) {
+  // A frame larger than the burst could never pass a plain `tokens >= bytes`
+  // gate — it would wedge its subscription's staged queue forever. Clamp the
+  // requirement to the bucket capacity (a full bucket admits any one frame)
+  // but charge the real size: tokens go negative and the tenant pays the
+  // debt across future refills, preserving the long-run rate.
+  const double need =
+      std::min(static_cast<double>(bytes), burst);
+  if (ts->tokens < need) {
     ts->throttled++;
     if (ts->throttled_counter) ts->throttled_counter->Increment();
     return false;

@@ -73,7 +73,10 @@ class TenantQuotas {
   /// \brief Egress gate: consumes `bytes` tokens if available. False means
   /// the tenant is over its bandwidth budget right now — the caller leaves
   /// the data queued and retries after refill. Unlimited tenants always
-  /// pass. `now_ns` is a monotonic clock reading.
+  /// pass. A frame larger than the burst is admitted once the bucket is
+  /// full (the bucket goes negative and repays over future refills) so an
+  /// oversized frame is paced, never wedged. `now_ns` is a monotonic clock
+  /// reading.
   bool TryConsumeEgress(const std::string& tenant, uint64_t bytes,
                         int64_t now_ns);
 

@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 
 #include "obs/flight_recorder.h"
@@ -102,7 +103,11 @@ Result<uint64_t> ParseId(const std::string& s) {
     if (c < '0' || c > '9') {
       return Status::InvalidArgument("bad id '" + s + "'");
     }
-    v = v * 10 + static_cast<uint64_t>(c - '0');
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument("id '" + s + "' out of range");
+    }
+    v = v * 10 + digit;
   }
   return v;
 }
@@ -111,6 +116,23 @@ Result<int64_t> ParseTimestamp(const std::string& s) {
   bool neg = !s.empty() && s[0] == '-';
   CQ_ASSIGN_OR_RETURN(uint64_t v, ParseId(neg ? s.substr(1) : s));
   return neg ? -static_cast<int64_t>(v) : static_cast<int64_t>(v);
+}
+
+/// The frame path is capped at kMaxFrameBytes; HTTP requests need their own
+/// (much smaller) bound so a header that never terminates cannot grow a
+/// connection's read buffer without limit.
+constexpr size_t kMaxHttpHeaderBytes = 8 * 1024;
+
+std::string HttpResponse(const char* status_line,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status_line;
+  out += "\r\nContent-Type: " + content_type +
+         "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
 }
 
 }  // namespace
@@ -434,7 +456,18 @@ void Server::HandleConnEvent(int fd, uint32_t events) {
         std::string response = HandleHttp(conn, std::string(req));
         conn->wbuf_.Append(response);
         conn->close_after_flush_ = true;
-      } else if (eof) {
+      } else if (!conn->close_after_flush_ &&
+                 conn->reader_.buffered_bytes() > kMaxHttpHeaderBytes) {
+        // A request line that never terminates must not buffer without
+        // bound. Reject, stop reading (SHUT_RD caps further inbound bytes
+        // at the kernel), and release what accumulated.
+        conn->reader_.Clear();
+        ::shutdown(fd, SHUT_RD);
+        conn->wbuf_.Append(
+            HttpResponse("431 Request Header Fields Too Large", "text/plain",
+                         "header too large\n"));
+        conn->close_after_flush_ = true;
+      } else if (eof && !conn->close_after_flush_) {
         CloseConnection(conn, "http eof before request end");
         return;
       }
@@ -460,6 +493,11 @@ void Server::HandleConnEvent(int fd, uint32_t events) {
       // Commands that pushed data should reach push-mode listeners without
       // waiting a tick.
       mux_.Pump(MonotonicNanos());
+      // The pump's evict handler may have closed connections — including
+      // this one (a LISTENer over the watermark past its grace). Re-resolve
+      // before touching `conn` again; no accept ran in between, so finding
+      // the fd means finding the same connection.
+      if (conns_.find(fd) == conns_.end()) return;
       for (auto it2 = conns_.begin(); it2 != conns_.end();) {
         Connection* other = (it2++)->second.get();  // flush may erase
         if (other != conn && !other->wbuf_.empty()) FlushConnection(other);
@@ -734,22 +772,6 @@ std::string Server::DispatchCommand(Connection* conn, const std::string& line) {
 }
 
 // --- HTTP on the same loop --------------------------------------------------
-
-namespace {
-
-std::string HttpResponse(const char* status_line,
-                         const std::string& content_type,
-                         const std::string& body) {
-  std::string out = "HTTP/1.0 ";
-  out += status_line;
-  out += "\r\nContent-Type: " + content_type +
-         "\r\nContent-Length: " + std::to_string(body.size()) +
-         "\r\nConnection: close\r\n\r\n";
-  out += body;
-  return out;
-}
-
-}  // namespace
 
 std::string Server::HandleHttp(Connection* conn, const std::string& request) {
   (void)conn;

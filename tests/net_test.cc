@@ -196,6 +196,26 @@ TEST(TenantQuotasTest, DefaultQuotaCoversUnconfiguredTenants) {
   for (int i = 0; i < 5; ++i) EXPECT_TRUE(quotas.AdmitQuery("vip", 0).ok());
 }
 
+TEST(TenantQuotasTest, FrameLargerThanBurstIsPacedNotWedged) {
+  TenantQuotas quotas;
+  // Burst defaults to one second of rate: 512 bytes.
+  quotas.SetQuota("tiny", {.egress_bytes_per_sec = 512});
+  // A 1 KiB frame exceeds the bucket capacity. A plain `tokens >= bytes`
+  // gate could never admit it; the clamped gate lets it through on a full
+  // bucket and puts the bucket into debt.
+  EXPECT_TRUE(quotas.TryConsumeEgress("tiny", 1024, 0));
+  // In debt: nothing passes until the full cost has been repaid.
+  EXPECT_FALSE(quotas.TryConsumeEgress("tiny", 1, 0));
+  const int64_t sec = 1'000'000'000;
+  EXPECT_FALSE(quotas.TryConsumeEgress("tiny", 1024, 1 * sec));
+  // After two seconds the debt is repaid and the bucket is full again —
+  // the next oversized frame passes. Long-run rate: 2 KiB over 4 s = 512 B/s.
+  EXPECT_TRUE(quotas.TryConsumeEgress("tiny", 1024, 2 * sec));
+  EXPECT_FALSE(quotas.TryConsumeEgress("tiny", 1024, 3 * sec));
+  EXPECT_TRUE(quotas.TryConsumeEgress("tiny", 1024, 4 * sec));
+  EXPECT_EQ(quotas.EgressGranted("tiny"), 3072u);
+}
+
 TEST(TenantQuotasTest, UnlimitedTenantNeverThrottles) {
   TenantQuotas quotas;
   for (int i = 0; i < 100; ++i) {
@@ -238,6 +258,64 @@ TEST(EventLoopTest, DispatchesReadinessAndWakeTokens) {
   EXPECT_EQ(tokens_seen, 3u);
   close(fds[0]);
   close(fds[1]);
+}
+
+TEST(EventLoopTest, StaleEventForRecycledFdNumberIsSuppressed) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Init().ok());
+
+  int a[2], b[2];
+  ASSERT_EQ(pipe(a), 0);
+  ASSERT_EQ(pipe(b), 0);
+  int recycled[2] = {-1, -1};
+  bool new_cb_ran = false;
+  bool skipped = false;
+
+  // a's handler closes b mid-round and re-registers a fresh pipe that (by
+  // the lowest-free-fd rule) reuses b's number. The batch fetched before
+  // the round still holds b's readiness event — it must not reach the new
+  // callback.
+  ASSERT_TRUE(loop.Add(a[0], EPOLLIN,
+                       [&](uint32_t) {
+                         char buf[8];
+                         (void)!read(a[0], buf, sizeof(buf));
+                         loop.Remove(b[0]);
+                         close(b[0]);
+                         if (pipe(recycled) != 0 || recycled[0] != b[0]) {
+                           skipped = true;  // kernel gave a different number
+                           return;
+                         }
+                         ASSERT_TRUE(loop.Add(recycled[0], EPOLLIN,
+                                              [&](uint32_t) {
+                                                char d[8];
+                                                (void)!read(recycled[0], d,
+                                                            sizeof(d));
+                                                new_cb_ran = true;
+                                              })
+                                         .ok());
+                       })
+                  .ok());
+  bool old_cb_ran = false;
+  ASSERT_TRUE(
+      loop.Add(b[0], EPOLLIN, [&](uint32_t) { old_cb_ran = true; }).ok());
+
+  // Both ready before the first epoll_wait: one batch, a first.
+  ASSERT_EQ(write(a[1], "x", 1), 1);
+  ASSERT_EQ(write(b[1], "y", 1), 1);
+  loop.Run(/*tick_ms=*/10, [&] { loop.Stop(); });
+  if (skipped) GTEST_SKIP() << "fd number not recycled; cannot stage event";
+  EXPECT_FALSE(new_cb_ran);  // the stale event was dropped...
+
+  // ...but genuinely new readiness on the recycled fd still delivers.
+  ASSERT_EQ(write(recycled[1], "z", 1), 1);
+  loop.Run(/*tick_ms=*/10, [&] { loop.Stop(); });
+  EXPECT_TRUE(new_cb_ran);
+  (void)old_cb_ran;  // readiness order is kernel-defined; either is fine
+  close(a[0]);
+  close(a[1]);
+  close(b[1]);
+  if (recycled[0] >= 0) close(recycled[0]);
+  if (recycled[1] >= 0) close(recycled[1]);
 }
 
 TEST(EventLoopTest, TickRunsWithoutAnyIo) {
@@ -337,6 +415,36 @@ TEST(SubscriberMuxTest, ThrottledTenantIsPacedNotEvicted) {
     total += mux.Pump(now);
   }
   EXPECT_EQ(total, 5u);
+  EXPECT_EQ(mux.num_evicted(), 0u);
+  EXPECT_EQ(mux.NumEntries(), 1u);
+}
+
+TEST(SubscriberMuxTest, FrameOverBurstDrainsInsteadOfWedgingTheQueue) {
+  MuxRig rig;
+  LocalBackend backend(&rig.svc);
+  TenantQuotas quotas;
+  // Wire frames are ~40 bytes — larger than this bucket's whole capacity
+  // (burst defaults to one second of rate). Before the clamped gate this
+  // wedged the staged queue permanently.
+  quotas.SetQuota("tiny", {.egress_bytes_per_sec = 20});
+  MuxConfig config;
+  config.quotas = &quotas;
+  SubscriberMux mux(config);
+  MockSink sink;
+  auto feed = backend.Subscribe(rig.query);
+  ASSERT_TRUE(feed.ok());
+  mux.Add(1, "tiny", std::move(*feed), &sink);
+
+  for (Timestamp ts = 1; ts <= 3; ++ts) rig.PushOne(ts);
+  size_t total = mux.Pump(/*now_ns=*/0);
+  EXPECT_EQ(total, 1u);  // full bucket admits one oversized frame
+  // Each further frame waits for the debt to repay and the bucket to
+  // refill; nothing is stuck forever and nothing is evicted.
+  for (int s = 1; s <= 20 && total < 3; ++s) {
+    total += mux.Pump(int64_t(s) * 1'000'000'000);
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(sink.delivered.size(), 3u);
   EXPECT_EQ(mux.num_evicted(), 0u);
   EXPECT_EQ(mux.NumEntries(), 1u);
 }
@@ -655,6 +763,100 @@ TEST(NetServerTest, SlowConsumerEvictionClosesTheConnection) {
   EXPECT_EQ(rig.svc.ListQueries()[0].num_subscriptions, 0u);
   std::string dump = rig.registry.Dump(MetricsFormat::kText);
   EXPECT_NE(dump.find("cq_net_evicted_total"), std::string::npos);
+}
+
+TEST(NetServerTest, EvictionOfTheCommandingConnectionIsSafe) {
+  // Regression: a LISTENer that is itself over the watermark past its grace
+  // and then sends a command used to be evicted by the in-handler pump while
+  // HandleConnEvent still held the raw pointer — a use-after-free. A huge
+  // tick keeps the loop's own pump out of the way so the command-path pump
+  // is the one that evicts.
+  MetricsRegistry registry;
+  ServiceConfig svc_config;
+  svc_config.metrics = &registry;
+  QueryService svc(Catalog{}, svc_config);
+  LocalBackend backend(&svc);
+  ServerConfig config;
+  config.metrics = &registry;
+  config.write_high_watermark = 1024;
+  config.eviction_grace_ms = 200;
+  config.so_sndbuf = 4096;
+  config.tick_ms = 60'000;
+  Server server(&backend, config);
+  ASSERT_TRUE(server.Init().ok());
+  std::thread loop([&server] { server.Run(); });
+
+  TestClient driver(server.port());
+  ASSERT_EQ(driver.Cmd("STREAM trades sym:string,price:int64,qty:int64"),
+            "OK");
+  ASSERT_EQ(driver.Cmd("REGISTER SELECT sym, price, qty FROM trades "
+                       "[Range 1000000] WHERE price > 10"),
+            "OK id=1");
+
+  TestClient victim(server.port());
+  int tiny = 1;
+  setsockopt(victim.fd(), SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  ASSERT_EQ(victim.Cmd("LISTEN 1"), "OK sub=1 push");
+
+  // Back the victim up well past the watermark, then let the grace lapse.
+  const std::string payload(8'000, 'z');
+  for (int ts = 1; ts <= 20; ++ts) {
+    ASSERT_EQ(driver.Cmd("PUSH trades " + std::to_string(ts) + " " + payload +
+                         ",42,1"),
+              "OK");
+    ASSERT_EQ(driver.Cmd("WATERMARK trades " + std::to_string(ts)), "OK");
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+  // The victim's own command triggers the pump that evicts the victim.
+  char stats[] = "STATS";
+  std::string wire = EncodeFrame(stats);
+  ASSERT_EQ(write(victim.fd(), wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+
+  // The server must survive the self-eviction: the driver keeps working and
+  // the victim's socket is gone.
+  for (int i = 0; i < 100 && server.mux()->num_evicted() == 0; ++i) {
+    ASSERT_EQ(driver.Cmd("PUSH trades 9999 ACME,42,1"), "OK");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(server.mux()->num_evicted(), 0u);
+  std::string alive = driver.Cmd("STATS");
+  EXPECT_NE(alive.find("active_queries=1"), std::string::npos) << alive;
+
+  server.ShutdownAsync();
+  loop.join();
+}
+
+TEST(NetServerTest, HttpHeaderWithoutTerminatorIsRejectedNotBuffered) {
+  ServerRig rig;
+  TestClient client(rig.server->port());
+  // An HTTP-looking prelude that never sends the header terminator: the
+  // server must cap the buffering and reject instead of growing forever.
+  // Just over the cap, in one write: the server consumes it all before
+  // responding, so the 431 isn't raced by an RST for unread bytes.
+  std::string garbage = "GET /" + std::string(10'000, 'a');
+  ASSERT_EQ(write(client.fd(), garbage.data(), garbage.size()),
+            static_cast<ssize_t>(garbage.size()));
+  std::string resp = client.ReadExactly(1 << 16);  // server closes after
+  EXPECT_NE(resp.find("431"), std::string::npos) << resp.substr(0, 200);
+}
+
+TEST(NetServerTest, OverflowingIdIsRejectedNotWrapped) {
+  ServerRig rig;
+  TestClient client(rig.server->port());
+  ASSERT_EQ(client.Cmd("STREAM trades sym:string,price:int64,qty:int64"),
+            "OK");
+  ASSERT_EQ(client.Cmd("REGISTER SELECT sym FROM trades [Rows 4]"), "OK id=1");
+  // 2^64 wraps to 0 without an overflow check; it must be an error, not a
+  // reference to some other id.
+  std::string resp = client.Cmd("DROP 18446744073709551616");
+  EXPECT_EQ(resp.rfind("ERR", 0), 0u) << resp;
+  EXPECT_NE(resp.find("out of range"), std::string::npos) << resp;
+  resp = client.Cmd("SUBSCRIBE 99999999999999999999999");
+  EXPECT_EQ(resp.rfind("ERR", 0), 0u) << resp;
+  // The real query is untouched.
+  EXPECT_EQ(client.Cmd("DROP 1"), "OK");
 }
 
 TEST(NetServerTest, GracefulDrainFlushesSubscribersBeforeClosing) {
