@@ -161,6 +161,70 @@ BENCHMARK(BM_PushFanout)
     ->ArgNames({"queries", "share"})
     ->Unit(benchmark::kMicrosecond);
 
+/// K semantically-equal but textually-different queries (permuted conjunct
+/// order, flipped comparisons, redundant parens, double negation). Arg(0)
+/// is K; Arg(1) toggles the plan optimizer. With canonicalization on, all
+/// K land on ONE shared chain (operators = first chain + K-1 sinks); with
+/// the optimizer off every textual variant fingerprints differently and
+/// instantiates its own chain — the sharing win the optimizer buys beyond
+/// exact-text matching. compare_bench.py ratifies optimized < naive at
+/// K=16 via `@operators`.
+std::string SemanticVariantSql(size_t i) {
+  static const char* kPrice[] = {"price > 10", "10 < price", "(price > 10)",
+                                 "NOT NOT price > 10"};
+  static const char* kQty[] = {"qty < 5", "5 > qty", "(qty < 5)",
+                               "NOT NOT qty < 5"};
+  const char* a = kPrice[i % 4];
+  const char* b = kQty[(i / 4) % 4];
+  // Alternate conjunct order for extra textual spread.
+  if (i % 2 == 0) {
+    return std::string("SELECT sym FROM trades [Range 100] WHERE ") + a +
+           " AND " + b;
+  }
+  return std::string("SELECT sym FROM trades [Range 100] WHERE ") + b +
+         " AND " + a;
+}
+
+void BM_SemanticSharing(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool optimize = state.range(1) != 0;
+  size_t operators = 0;
+  for (auto _ : state) {
+    ServiceConfig config;
+    config.max_queries = 1024;
+    if (!optimize) {
+      auto off = OptimizerOptionsFromSpec("none");
+      if (!off.ok()) std::abort();
+      config.optimizer = *off;
+    }
+    QueryService svc(TradesCatalog(), config);
+    for (size_t i = 0; i < n; ++i) {
+      auto id = svc.RegisterQuery(SemanticVariantSql(i));
+      if (!id.ok()) std::abort();
+    }
+    operators = svc.NumOperators();
+    benchmark::DoNotOptimize(operators);
+  }
+  static std::set<std::pair<size_t, bool>> printed;
+  if (printed.insert({n, optimize}).second) {
+    if (printed.size() == 1) {
+      std::printf(
+          "BENCH_SERIES case=service_semantic_sharing "
+          "x=num_queries y=operators series=optimize\n");
+    }
+    std::printf(
+        "BENCH_SERIES case=service_semantic_sharing num_queries=%zu "
+        "optimize=%d operators=%zu\n",
+        n, optimize ? 1 : 0, operators);
+  }
+  state.counters["operators"] = static_cast<double>(operators);
+  SetPerItemMicros(state, static_cast<double>(n));
+}
+BENCHMARK(BM_SemanticSharing)
+    ->ArgsProduct({{4, 16}, {0, 1}})
+    ->ArgNames({"queries", "optimize"})
+    ->Unit(benchmark::kMicrosecond);
+
 /// Steady-state ingest through a ShardedQueryService: the service graph of
 /// BM_PushFanout scaled out by the stream's shard key (`sym`). Arg(0) is
 /// the shard count; every replica carries the same 4-query graph, records

@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "sql/fingerprint.h"
 #include "sql/optimizer.h"
 #include "sql/planner.h"
 #include "workload/generators.h"
@@ -93,6 +94,82 @@ void BM_FullyOptimised(benchmark::State& state) {
   RunPlan(state, f, plan, "+ reordering + fusion (all rules)");
 }
 BENCHMARK(BM_FullyOptimised)->Arg(250)->Arg(500)->Arg(1000);
+
+/// Optimized-vs-naive per rule: Arg(1) indexes OptimizerRuleNames(); the
+/// plan runs with ONLY that rule enabled, so each series line isolates one
+/// rule's contribution against the naive baseline (same rows, same data).
+void BM_RuleSolo(benchmark::State& state) {
+  Fixture f(static_cast<size_t>(state.range(0)));
+  const auto& rules = OptimizerRuleNames();
+  const size_t rule = static_cast<size_t>(state.range(1));
+  OptimizerOptions opts = *OptimizerOptionsFromSpec(rules[rule]);
+  RelOpPtr plan = *OptimizePlan(f.naive_plan, opts);
+  RunPlan(state, f, plan, ("solo: " + rules[rule]).c_str());
+}
+BENCHMARK(BM_RuleSolo)
+    ->ArgsProduct({{500}, {0, 1, 2, 3, 4, 5, 6, 7, 8}})
+    ->ArgNames({"rows", "rule"});
+
+/// Canonical-fingerprint quality over a corpus of semantically-equal query
+/// groups: within a group every textual variant must land on ONE plan
+/// fingerprint (merge_rate 1.0), and no two different groups may ever meet
+/// (collision_rate 0.0). Also times the optimizer pass itself.
+void BM_CanonicalFingerprints(benchmark::State& state) {
+  Catalog catalog;
+  (void)catalog.RegisterStream(
+      "L", Schema::Make({{"k", ValueType::kInt64}, {"a", ValueType::kInt64}}));
+  (void)catalog.RegisterStream(
+      "R", Schema::Make({{"k", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  // Each inner vector is one semantic equivalence class.
+  const std::vector<std::vector<std::string>> groups = {
+      {"SELECT L.a FROM L WHERE L.a > 5 AND L.k = 2",
+       "SELECT L.a FROM L WHERE L.k = 2 AND L.a > 5",
+       "SELECT L.a FROM L WHERE 5 < L.a AND ((L.k = 2))",
+       "SELECT L.a FROM L WHERE NOT NOT (L.a > 5) AND 2 = L.k"},
+      {"SELECT L.a FROM L WHERE L.a > 6 AND L.k = 2",
+       "SELECT L.a FROM L WHERE L.k = 2 AND L.a > 6"},
+      {"SELECT L.a, R.b FROM L, R WHERE L.k = R.k AND L.a > 2",
+       "SELECT L.a, R.b FROM L, R WHERE R.k = L.k AND 2 < L.a"},
+      // NOTE: `NOT (a AND b)` variants with swapped conjuncts do NOT merge:
+      // De Morgan yields an OR, and OR operand order is semantically
+      // observable here (first-operand NULL poisoning), so canonicalization
+      // correctly keeps them apart.
+      {"SELECT L.k, COUNT(*) FROM L WHERE L.a > 1 GROUP BY L.k",
+       "SELECT L.k, COUNT(*) FROM L WHERE 1 < L.a GROUP BY L.k",
+       "SELECT L.k, COUNT(*) FROM L WHERE NOT (L.a <= 1) GROUP BY L.k"},
+  };
+  size_t merged = 0, pairs = 0, collisions = 0;
+  for (auto _ : state) {
+    std::vector<std::string> group_fps;
+    merged = pairs = collisions = 0;
+    for (const auto& group : groups) {
+      std::string first;
+      for (const auto& sql : group) {
+        auto planned = PlanSql(sql, catalog);
+        if (!planned.ok()) std::abort();
+        RelOpPtr plan = *OptimizePlan(planned->query.plan, OptimizerOptions{});
+        std::string fp = PlanFingerprint(*plan);
+        if (first.empty()) {
+          first = fp;
+        } else {
+          ++pairs;
+          if (fp == first) ++merged;
+        }
+        benchmark::DoNotOptimize(fp);
+      }
+      for (const auto& other : group_fps) {
+        if (other == first) ++collisions;
+      }
+      group_fps.push_back(first);
+    }
+  }
+  state.counters["fp_merge_rate"] =
+      pairs == 0 ? 1.0 : static_cast<double>(merged) / pairs;
+  state.counters["fp_collision_rate"] =
+      static_cast<double>(collisions) / groups.size();
+  state.SetLabel("canonical fingerprint corpus");
+}
+BENCHMARK(BM_CanonicalFingerprints);
 
 }  // namespace
 }  // namespace cq

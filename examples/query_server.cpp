@@ -68,6 +68,10 @@
 ///                              state bytes, egress bytes/sec (token-bucket
 ///                              rate), optional burst. 0 = unlimited; NAME
 ///                              "*" sets the default quota. Repeatable.
+///       --optimizer-rules SPEC plan-optimizer kill switches (any mode, not
+///                              just serve): "all" (default), "none", or a
+///                              comma list of rule toggles such as
+///                              "all,-fuse" / "pushdown,reorder"
 ///
 ///     The same port answers HTTP GETs (/metrics /queries /traces
 ///     /flightrecorder) from the same loop. SIGTERM drains gracefully:
@@ -110,11 +114,16 @@
 #include "obs/trace.h"
 #include "service/service.h"
 #include "shard/sharded_service.h"
+#include "sql/optimizer.h"
 
 namespace cq {
 namespace {
 
 // --- Shared: building the service -----------------------------------------
+
+// Set from --optimizer-rules (e.g. "none", "all,-fuse", "pushdown"); the
+// default enables every rule. Applied to every service this binary builds.
+OptimizerOptions g_optimizer;
 
 std::unique_ptr<QueryService> MakeService(MetricsRegistry* registry,
                                           TraceRecorder* tracer) {
@@ -122,6 +131,7 @@ std::unique_ptr<QueryService> MakeService(MetricsRegistry* registry,
   config.metrics = registry;
   config.tracer = tracer;
   config.trace_sample_every = 1;
+  config.optimizer = g_optimizer;
   return std::make_unique<QueryService>(Catalog{}, config);
 }
 
@@ -353,6 +363,7 @@ int RunShardedDemo(size_t nshards, const std::string& checkpoint_dir,
   config.metrics = &registry;
   config.tracer = &tracer;
   config.trace_sample_every = 1;
+  config.optimizer = g_optimizer;
   shard::ShardedQueryService svc(nshards, config);
   HttpEndpoint http;
   QueryService* replica0 = svc.replica(0);
@@ -517,6 +528,7 @@ int RunServer(const ServeOptions& opts) {
   config.metrics = &registry;
   config.tracer = &tracer;
   config.trace_sample_every = 1;
+  config.optimizer = g_optimizer;
 
   // Backend: one QueryService, or N replicas behind the same protocol.
   std::unique_ptr<QueryService> local;
@@ -743,10 +755,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.quotas.push_back(std::move(quota));
+    } else if (std::strcmp(argv[i], "--optimizer-rules") == 0 && i + 1 < argc) {
+      auto o = cq::OptimizerOptionsFromSpec(argv[++i]);
+      if (!o.ok()) {
+        std::fprintf(stderr, "--optimizer-rules: %s\n",
+                     o.status().ToString().c_str());
+        return 2;
+      }
+      cq::g_optimizer = *o;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--serve [port]] [--http PORT] [--shards N] "
                    "[--checkpoint-dir DIR [--recover]] "
+                   "[--optimizer-rules SPEC] "
                    "[--tenant-quota NAME:MAXQ:MAXBYTES:BPS[:BURST]]...\n",
                    argv[0]);
       return 2;

@@ -8,6 +8,7 @@ Usage: scripts/check_tier1.sh [build-dir]     (default: build)
        scripts/check_tier1.sh --tsan [build-dir]
        scripts/check_tier1.sh --asan [build-dir]
        scripts/check_tier1.sh --ubsan [build-dir]
+       scripts/check_tier1.sh --optimizer [build-dir]
        scripts/check_tier1.sh --help
 
 Default mode configures + builds everything, runs the full ctest suite,
@@ -29,6 +30,12 @@ build-ubsan) and runs the columnar/typed-kernel test binaries (types,
 columnar, expr, batch equivalence, window equivalence, aggregates) —
 the typed column loops and grid arithmetic where signed overflow,
 misaligned reads, and bad casts would hide.
+--optimizer builds with AddressSanitizer (default build dir:
+build-optimizer) and runs the plan-optimizer equivalence suite — the
+randomized optimized-vs-naive checks plus the kill-switch sweep
+(all rules on, all off, and each rule solo, asserting bit-identical
+outputs) — together with the service sharing and recovery tests that
+depend on canonical plan fingerprints.
 
 Every failure — including a failed cmake configure — exits nonzero, so
 the script is safe as a CI gate.
@@ -40,6 +47,7 @@ cd "$(dirname "$0")/.."
 TSAN=0
 ASAN=0
 UBSAN=0
+OPTIMIZER=0
 if [[ "${1:-}" == "--help" || "${1:-}" == "-h" ]]; then
   usage
   exit 0
@@ -51,6 +59,9 @@ elif [[ "${1:-}" == "--asan" ]]; then
   shift
 elif [[ "${1:-}" == "--ubsan" ]]; then
   UBSAN=1
+  shift
+elif [[ "${1:-}" == "--optimizer" ]]; then
+  OPTIMIZER=1
   shift
 elif [[ "${1:-}" == --* ]]; then
   echo "unknown option: $1" >&2
@@ -79,6 +90,36 @@ if [[ "$ASAN" == 1 ]]; then
     -R 'ft_test|kvstore_test|snapshot_test|state_test|queue_test|parallel_test|net_test'
 
   echo "tier-1 asan check: OK"
+  exit 0
+fi
+
+if [[ "$OPTIMIZER" == 1 ]]; then
+  BUILD_DIR="${1:-build-optimizer}"
+
+  echo "== configure (optimizer lane: asan) =="
+  if ! cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"; then
+    echo "FAIL: cmake configure (optimizer lane) failed" >&2
+    exit 1
+  fi
+
+  echo "== build (optimizer lane) =="
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
+    optimizer_test service_test service_recovery_test shard_test
+
+  echo "== kill-switch sweep (all on, all off, each rule solo) =="
+  # The sweep is the KillSwitches/OptimizerRuleSweepTest parameterization
+  # inside optimizer_test: every spec re-runs the query corpus on random
+  # data and asserts bit-identical output against the naive plan.
+  "$BUILD_DIR"/tests/optimizer_test \
+    --gtest_filter='KillSwitches/*:Seeds/*'
+
+  echo "== ctest (optimizer equivalence + canonical-fingerprint sharing) =="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
+    -R 'optimizer_test|service_test|service_recovery_test|shard_test'
+
+  echo "tier-1 optimizer check: OK"
   exit 0
 fi
 

@@ -24,12 +24,18 @@ Ratifying a performance step (--expect-improvement, repeatable):
   scripts/compare_bench.py ... \
       --expect-improvement 'BM_ColumnarPipeline/2>BM_ColumnarPipeline/0=5'
 
-Each spec is `FAST_RE>SLOW_RE=FACTOR`: within every *current* results file
-whose cases match both regexes, the mean throughput of the FAST cases must
-be at least FACTOR times the mean of the SLOW cases. This is how a claimed
-speedup (e.g. the columnar series vs the row series) is asserted once when
-the new baselines are committed; a spec that matches nothing FAILS, so a
-renamed bench cannot silently void the claim.
+Each spec is `FAST_RE>SLOW_RE=FACTOR[@COUNTER]`: within every *current*
+results file whose cases match both regexes, the mean throughput of the
+FAST cases must be at least FACTOR times the mean of the SLOW cases. This
+is how a claimed speedup (e.g. the columnar series vs the row series) is
+asserted once when the new baselines are committed; a spec that matches
+nothing FAILS, so a renamed bench cannot silently void the claim.
+
+With an `@COUNTER` suffix the claim is about a reported counter where
+SMALLER is better (e.g. `operators`): the mean of the SLOW cases' counter
+must be at least FACTOR times the mean of the FAST cases' counter, i.e.
+`BM_Sharing/16/1>BM_Sharing/16/0=1.5@operators` ratifies that the
+optimized run instantiates at most 1/1.5 the operators of the naive run.
 """
 
 import argparse
@@ -81,12 +87,13 @@ def main():
 
     expectations = []
     for spec in args.expect_improvement:
-        m = re.fullmatch(r"(.+)>(.+)=([0-9.]+)", spec)
+        m = re.fullmatch(r"(.+)>(.+)=([0-9.]+)(?:@(\w+))?", spec)
         if m is None:
             print(f"bad --expect-improvement spec: {spec!r} "
-                  "(want FAST_RE>SLOW_RE=FACTOR)", file=sys.stderr)
+                  "(want FAST_RE>SLOW_RE=FACTOR[@COUNTER])", file=sys.stderr)
             return 2
-        expectations.append((m.group(1), m.group(2), float(m.group(3))))
+        expectations.append((m.group(1), m.group(2), float(m.group(3)),
+                             m.group(4)))
 
     baseline_files = {p.name: p for p in sorted(args.baseline.glob("BENCH_*.json"))}
     current_files = {p.name: p for p in sorted(args.current.glob("BENCH_*.json"))}
@@ -166,27 +173,42 @@ def main():
                     f.write(f"- {w}\n")
 
     improvement_failures = []
-    for fast_re, slow_re, factor in expectations:
+    for fast_re, slow_re, factor, counter_name in expectations:
+        def metric_of(bench):
+            if counter_name is None:
+                return throughput_of(bench)[1]
+            value = bench.get(counter_name)
+            if isinstance(value, (int, float)) and value > 0:
+                return float(value)
+            return None
         matched_any = False
         for name, path in sorted(current_files.items()):
             cases = load_cases(path)
-            fast = [tp for case, bench in cases.items()
+            fast = [v for case, bench in cases.items()
                     if re.search(fast_re, case)
-                    and (tp := throughput_of(bench)[1])]
-            slow = [tp for case, bench in cases.items()
+                    and (v := metric_of(bench))]
+            slow = [v for case, bench in cases.items()
                     if re.search(slow_re, case)
-                    and (tp := throughput_of(bench)[1])]
+                    and (v := metric_of(bench))]
             if not fast or not slow:
                 continue
             matched_any = True
-            ratio = (sum(fast) / len(fast)) / (sum(slow) / len(slow))
+            if counter_name is None:
+                # Throughput: FAST must be >= FACTOR x SLOW.
+                ratio = (sum(fast) / len(fast)) / (sum(slow) / len(slow))
+                what = "throughput"
+            else:
+                # Counter: smaller is better; SLOW must carry >= FACTOR x
+                # the FAST cases' counter.
+                ratio = (sum(slow) / len(slow)) / (sum(fast) / len(fast))
+                what = counter_name
             if ratio >= factor:
-                print(f"IMPROVEMENT OK: {name}: {fast_re} is {ratio:.2f}x "
-                      f"{slow_re} (required {factor:g}x)")
+                print(f"IMPROVEMENT OK: {name}: {fast_re} beats {slow_re} "
+                      f"by {ratio:.2f}x on {what} (required {factor:g}x)")
             else:
                 improvement_failures.append(
-                    f"{name}: {fast_re} only {ratio:.2f}x {slow_re} "
-                    f"(required {factor:g}x)")
+                    f"{name}: {fast_re} only {ratio:.2f}x {slow_re} on "
+                    f"{what} (required {factor:g}x)")
         if not matched_any:
             improvement_failures.append(
                 f"no current file matched both {fast_re!r} and {slow_re!r}")

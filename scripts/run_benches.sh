@@ -54,6 +54,22 @@ for bin in "$BUILD_DIR"/bench/bench_*; do
   grep -E '^BENCH_(SERIES|METRICS) ' "$OUT_DIR/${name}.console" \
     > "$OUT_DIR/BENCH_${name}.series" || true
   rm -f "$OUT_DIR/${name}.console"
+  # Every bench must produce at least one measured case — a binary that
+  # silently measures nothing (bad filter, early exit, empty registration)
+  # would otherwise vanish from the comparison gate instead of failing it.
+  python3 - "$OUT_DIR/BENCH_${name}.json" <<'PY'
+import json, sys
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        data = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"{path}: unreadable benchmark output: {e}")
+cases = [b for b in data.get("benchmarks", [])
+         if b.get("run_type") != "aggregate"]
+if not cases:
+    sys.exit(f"{path}: bench binary produced no measured cases")
+PY
   ran=$((ran + 1))
 done
 

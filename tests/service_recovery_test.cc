@@ -18,6 +18,8 @@
 #include "queue/broker.h"
 #include "runtime/driver.h"
 #include "service/service.h"
+#include "sql/fingerprint.h"
+#include "sql/optimizer.h"
 
 namespace cq {
 namespace {
@@ -288,6 +290,61 @@ TEST_F(ServiceRecoveryTest, SnapshotRestoreRoundTripPreservesGraphAndState) {
   auto fresh = b.RegisterQuery(ServiceQueries()[0]);
   ASSERT_TRUE(fresh.ok());
   EXPECT_GT(*fresh, ids.back());
+}
+
+/// Selectivity hints steer plan shape (predicate order), so restore must
+/// replay each query under the hints it was registered with — not the
+/// registry's current hints — or fingerprints (and sharing) would drift
+/// across a recovery.
+TEST_F(ServiceRecoveryTest, SelectivityHintsArePinnedAcrossRestore) {
+  const std::string sql =
+      "SELECT sym FROM trades [Range 100] WHERE price > 10 AND qty < 5";
+  // trades = (sym, price, qty): canonical keys for the two conjuncts.
+  const std::string key_price =
+      ExprFingerprint(*CanonicalizePredicate(Gt(Col(1), Lit(int64_t{10}))));
+  const std::string key_qty =
+      ExprFingerprint(*CanonicalizePredicate(Lt(Col(2), Lit(int64_t{5}))));
+
+  QueryService a(TradesCatalog());
+  auto q1 = a.RegisterQuery(sql);
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+
+  // Observed feedback arrives: the price predicate passes almost nothing,
+  // the qty predicate almost everything. Registrations from here on order
+  // the conjunction differently.
+  SelectivityHints hints;
+  hints[key_price] = 0.01;
+  hints[key_qty] = 0.99;
+  a.SetSelectivityHints(hints);
+  auto q2 = a.RegisterQuery(sql);
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+
+  // Same SQL, different hints, different plan shape: no sharing between
+  // the two beyond the source stage.
+  auto f1 = *a.QueryFingerprints(*q1);
+  auto f2 = *a.QueryFingerprints(*q2);
+  EXPECT_NE(f1, f2);
+
+  auto slots = a.SnapshotSlots();
+  ASSERT_TRUE(slots.ok()) << slots.status().ToString();
+
+  QueryService b(TradesCatalog());
+  ASSERT_TRUE(b.RestoreSlots(*slots).ok());
+
+  // Pinned replay: every query rebuilt with its registration-time hints.
+  EXPECT_EQ(*b.QueryFingerprints(*q1), f1);
+  EXPECT_EQ(*b.QueryFingerprints(*q2), f2);
+  EXPECT_EQ(b.SharedRefCounts(), a.SharedRefCounts());
+  EXPECT_EQ(b.NumOperators(), a.NumOperators());
+
+  // Current hints survive too: a fresh registration on either side lands on
+  // the same (hinted) chain.
+  EXPECT_EQ(b.CurrentSelectivityHints(), hints);
+  auto q3a = a.RegisterQuery(sql);
+  auto q3b = b.RegisterQuery(sql);
+  ASSERT_TRUE(q3a.ok() && q3b.ok());
+  EXPECT_EQ(*a.QueryFingerprints(*q3a), *b.QueryFingerprints(*q3b));
+  EXPECT_EQ(*a.QueryFingerprints(*q3a), f2);
 }
 
 // --- Coordinated end-to-end runs ---

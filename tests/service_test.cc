@@ -95,6 +95,100 @@ TEST(ServiceSharingTest, IdenticalQueriesShareThePlanStageToo) {
   EXPECT_EQ(svc.NumOperators(), after_first + 1);
 }
 
+TEST(ServiceSharingTest, SemanticallyEqualQueriesShareOneChain) {
+  // Textually different, semantically identical: reordered conjuncts, a
+  // flipped comparison, redundant parens, and a double negation. Plan
+  // canonicalization must fold all four onto one fingerprint chain so they
+  // share everything but the per-query sink.
+  QueryService svc(TradesCatalog());
+  const std::vector<std::string> sqls = {
+      "SELECT sym FROM trades [Range 100] WHERE price > 10 AND qty < 5",
+      "SELECT sym FROM trades [Range 100] WHERE qty < 5 AND price > 10",
+      "SELECT sym FROM trades [Range 100] WHERE 10 < price AND ((qty < 5))",
+      "SELECT sym FROM trades [Range 100] WHERE NOT NOT (price > 10) "
+      "AND qty < 5",
+  };
+  std::vector<QueryId> ids;
+  auto first = svc.RegisterQuery(sqls[0]);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const size_t after_first = svc.NumOperators();
+  ids.push_back(*first);
+  for (size_t i = 1; i < sqls.size(); ++i) {
+    auto id = svc.RegisterQuery(sqls[i]);
+    ASSERT_TRUE(id.ok()) << sqls[i] << ": " << id.status().ToString();
+    ids.push_back(*id);
+    // Each textual variant adds exactly its private sink.
+    EXPECT_EQ(svc.NumOperators(), after_first + i) << sqls[i];
+  }
+  // Every shared stage carries one refcount per query.
+  size_t fully_shared = 0;
+  for (const auto& [fp, refs] : svc.SharedRefCounts()) {
+    if (refs == sqls.size()) fully_shared++;
+  }
+  EXPECT_GE(fully_shared, after_first - 1);  // all but the first sink
+
+  // The variants also produce identical output.
+  auto sub0 = *svc.Subscribe(ids[0]);
+  auto sub3 = *svc.Subscribe(ids[3]);
+  ASSERT_TRUE(svc.PushRecord("trades", Trade("a", 20, 1), 1).ok());
+  ASSERT_TRUE(svc.PushRecord("trades", Trade("b", 5, 9), 2).ok());
+  ASSERT_TRUE(svc.PushRecord("trades", Trade("c", 30, 2), 3).ok());
+  ASSERT_TRUE(svc.PushWatermark("trades", 10).ok());
+  std::vector<StreamElement> out0, out3;
+  Drain(sub0, &out0);
+  Drain(sub3, &out3);
+  EXPECT_FALSE(out0.empty());
+  EXPECT_EQ(Canon(out0), Canon(out3));
+
+  // Refcounted teardown: each drop releases exactly one sink until the last
+  // drop releases the shared chain too.
+  sub0->Cancel();
+  sub3->Cancel();
+  for (size_t i = 0; i + 1 < ids.size(); ++i) {
+    ASSERT_TRUE(svc.DropQuery(ids[i]).ok());
+    EXPECT_EQ(svc.NumOperators(), after_first + (ids.size() - 2 - i));
+  }
+  ASSERT_TRUE(svc.DropQuery(ids.back()).ok());
+  EXPECT_EQ(svc.NumOperators(), 0u);
+}
+
+TEST(ServiceSharingTest, SelectivityHintsRefreshFromObservedRates) {
+  // Register a filtering query, stream data through it, and the service can
+  // report the observed pass-rate EWMA keyed by canonical predicate — the
+  // feedback loop that re-seeds the optimizer's cost model.
+  ServiceConfig config;
+  MetricsRegistry metrics;
+  config.metrics = &metrics;
+  QueryService svc(TradesCatalog(), config);
+  auto id = svc.RegisterQuery(
+      "SELECT sym FROM trades [Range 100] WHERE price > 10");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto sub = *svc.Subscribe(*id);
+
+  // 1 in 4 records passes the filter.
+  for (int64_t t = 1; t <= 40; ++t) {
+    ASSERT_TRUE(
+        svc.PushRecord("trades", Trade("a", t % 4 == 0 ? 20 : 5, 1), t).ok());
+  }
+  ASSERT_TRUE(svc.PushWatermark("trades", 100).ok());
+  std::vector<StreamElement> out;
+  Drain(sub, &out);
+
+  SelectivityHints observed = svc.ObservedSelectivityHints();
+  ASSERT_EQ(observed.size(), 1u);
+  const auto& [pred, sel] = *observed.begin();
+  // Keyed by the canonical expression IR of the filter stage.
+  EXPECT_NE(pred.find("(col 1"), std::string::npos) << pred;
+  EXPECT_GT(sel, 0.0);
+  EXPECT_LT(sel, 0.7);
+
+  // Refresh folds the observation into the registration-time hints.
+  EXPECT_EQ(svc.RefreshSelectivityHints(), 1u);
+  SelectivityHints current = svc.CurrentSelectivityHints();
+  ASSERT_EQ(current.count(pred), 1u);
+  EXPECT_EQ(current[pred], sel);
+}
+
 TEST(ServiceSharingTest, FiltersAreNotLiftedBelowTupleWindows) {
   // [Rows n] does not commute with filtering: last-2-then-filter differs
   // from filter-then-last-2. The filter must stay in the residual plan.

@@ -575,5 +575,51 @@ TEST(ShardedServiceTest, ReplicasAgreeOnSharingAndRouting) {
   }
 }
 
+TEST(ShardedServiceTest, CanonicalSharingComposesWithSharding) {
+  // Textually-different but semantically-equal queries must land on one
+  // shared chain on EVERY replica (plan canonicalization composes with
+  // scale-out), and uniform hint refresh must keep replicas agreeing.
+  ShardedQueryService svc(3);
+  ASSERT_TRUE(svc.RegisterStream("trades", TradesSchema(), {0}).ok());
+  auto id1 = svc.RegisterQuery(
+      "SELECT sym FROM trades [Range 20] WHERE price > 3 AND qty < 9");
+  auto id2 = svc.RegisterQuery(
+      "SELECT sym FROM trades [Range 20] WHERE qty < 9 AND 3 < price");
+  ASSERT_TRUE(id1.ok() && id2.ok());
+
+  size_t base_ops = svc.replica(0)->NumOperators();
+  for (size_t r = 0; r < svc.nshards(); ++r) {
+    // Second query added only its private sink on each replica.
+    EXPECT_EQ(svc.replica(r)->NumOperators(), base_ops) << "replica " << r;
+    size_t fully_shared = 0;
+    for (const auto& [fp, refs] : svc.replica(r)->SharedRefCounts()) {
+      if (refs == 2) fully_shared++;
+    }
+    EXPECT_GE(fully_shared, base_ops - 2) << "replica " << r;
+  }
+
+  // Uniform hint application keeps future registrations replica-identical.
+  SelectivityHints hints;
+  hints["(< (lit i 3) (col 1 \"$1\"))"] = 0.8;
+  svc.SetSelectivityHints(hints);
+  auto id3 = svc.RegisterQuery(
+      "SELECT sym FROM trades [Range 20] WHERE price > 3 AND qty < 9");
+  ASSERT_TRUE(id3.ok()) << id3.status().ToString();
+  auto expected = svc.replica(0)->SharedRefCounts();
+  for (size_t r = 1; r < svc.nshards(); ++r) {
+    EXPECT_EQ(svc.replica(r)->SharedRefCounts(), expected) << "replica " << r;
+    EXPECT_EQ(svc.replica(r)->CurrentSelectivityHints(), hints)
+        << "replica " << r;
+  }
+  // RefreshSelectivityHints (replica 0 sampling) is a no-op without traffic
+  // but must still apply uniformly and not disturb agreement.
+  svc.RefreshSelectivityHints();
+  for (size_t r = 1; r < svc.nshards(); ++r) {
+    EXPECT_EQ(svc.replica(r)->CurrentSelectivityHints(),
+              svc.replica(0)->CurrentSelectivityHints())
+        << "replica " << r;
+  }
+}
+
 }  // namespace
 }  // namespace cq::shard
